@@ -1,0 +1,239 @@
+// Ablation benches for the design choices called out in DESIGN.md:
+//   (1) DP (Algorithm 1) vs price-interpolation-based pricing (project
+//       the valuation curve onto region (5) with L2 / L-infinity
+//       objectives and sell at the projected prices) — shows why revenue
+//       optimization matters beyond arbitrage-free curve fitting.
+//   (2) Gaussian vs Laplace vs additive-uniform mechanisms — all are
+//       calibrated to the same E‖w‖² = δ, so the square-loss error curve
+//       (and hence the MBP price-error curve) is mechanism-invariant.
+//   (3) Piecewise-linear (Proposition 1) vs naive constant extension of
+//       the DP prices between support points — quantifies how much
+//       revenue the extension style leaves for off-grid buyers.
+//   (4) Arbitrary-k knapsack attack (optimal_attack.h) against MBP vs a
+//       naive valuation-priced menu.
+//   (5) Differential-privacy accounting per version (privacy.h): the
+//       NCP knob doubles as a DP knob.
+//   (6) The revenue/affordability trade-off via globally scaled DP
+//       prices (fairness.h) — the paper's fairness future work.
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "market/curves.h"
+#include "mechanism/noise_mechanism.h"
+#include "mechanism/privacy.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+#include "pricing/error_curve.h"
+#include "pricing/optimal_attack.h"
+#include "revenue/buyer_model.h"
+#include "revenue/dp_optimizer.h"
+#include "revenue/fairness.h"
+#include "revenue/interpolation.h"
+
+namespace {
+
+using nimbus::revenue::BuyerPoint;
+
+void AblationDpVsInterpolation() {
+  std::printf(
+      "Ablation 1: DP revenue optimization vs price interpolation of the "
+      "valuation curve\n");
+  std::printf("%-10s %12s %12s %12s\n", "value", "DP", "interp-L2",
+              "interp-Linf");
+  for (nimbus::market::ValueShape vs : nimbus::market::AllValueShapes()) {
+    auto points = nimbus::market::MakeBuyerPoints(
+        vs, nimbus::market::DemandShape::kUniform, 40, 1.0, 100.0, 100.0);
+    NIMBUS_CHECK(points.ok());
+    auto dp = nimbus::revenue::OptimizeRevenueDp(*points);
+    NIMBUS_CHECK(dp.ok());
+
+    std::vector<nimbus::revenue::InterpolationPoint> targets;
+    for (const BuyerPoint& p : *points) {
+      targets.push_back({p.a, p.v});
+    }
+    auto l2 = nimbus::revenue::InterpolatePricesL2(targets);
+    auto linf = nimbus::revenue::InterpolatePricesLInf(targets);
+    NIMBUS_CHECK(l2.ok());
+    NIMBUS_CHECK(linf.ok());
+    const double rev_l2 = nimbus::revenue::RevenueForPrices(*points, *l2);
+    const double rev_linf = nimbus::revenue::RevenueForPrices(*points, *linf);
+    std::printf("%-10s %12.3f %12.3f %12.3f\n",
+                std::string(nimbus::market::ToString(vs)).c_str(),
+                dp->revenue, rev_l2, rev_linf);
+    NIMBUS_CHECK(dp->revenue >= rev_l2 - 1e-6);
+    NIMBUS_CHECK(dp->revenue >= rev_linf - 1e-6);
+  }
+  std::printf("\n");
+}
+
+void AblationMechanisms() {
+  std::printf(
+      "Ablation 2: square-loss error curve across noise mechanisms "
+      "(identical calibration)\n");
+  nimbus::Rng rng(3);
+  nimbus::data::RegressionSpec spec;
+  spec.num_examples = 400;
+  spec.num_features = 10;
+  spec.noise_stddev = 0.5;
+  const nimbus::data::Dataset data = nimbus::data::GenerateRegression(spec,
+                                                                      rng);
+  auto optimal = nimbus::ml::FitLinearRegressionClosedForm(data);
+  NIMBUS_CHECK(optimal.ok());
+  const nimbus::ml::SquaredLoss loss;
+  const std::vector<double> grid = nimbus::Linspace(1.0, 100.0, 8);
+  std::printf("%-18s", "mechanism");
+  for (double x : grid) {
+    std::printf(" %8.1f", x);
+  }
+  std::printf("\n");
+  for (const char* name : {"gaussian", "laplace", "additive_uniform"}) {
+    auto mech = nimbus::mechanism::MakeMechanism(name);
+    NIMBUS_CHECK(mech.ok());
+    auto curve = nimbus::pricing::ErrorCurve::Estimate(
+        **mech, *optimal, loss, data, grid, 600, rng);
+    NIMBUS_CHECK(curve.ok());
+    std::printf("%-18s", name);
+    for (const auto& p : curve->points()) {
+      std::printf(" %8.4f", p.expected_error);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void AblationCurveExtension() {
+  std::printf(
+      "Ablation 3: off-grid revenue under piecewise-linear vs "
+      "constant-step extension of DP prices\n");
+  auto support_points = nimbus::market::MakeBuyerPoints(
+      nimbus::market::ValueShape::kConcave,
+      nimbus::market::DemandShape::kUniform, 10, 1.0, 100.0, 100.0);
+  NIMBUS_CHECK(support_points.ok());
+  auto dp = nimbus::revenue::OptimizeRevenueDp(*support_points);
+  NIMBUS_CHECK(dp.ok());
+  auto pwl = nimbus::revenue::MakeDpPricingFunction(*support_points, *dp);
+  NIMBUS_CHECK(pwl.ok());
+
+  // Off-grid buyer population between the support points (same value
+  // curve, 4x denser).
+  auto off_grid = nimbus::market::MakeBuyerPoints(
+      nimbus::market::ValueShape::kConcave,
+      nimbus::market::DemandShape::kUniform, 40, 1.0, 100.0, 100.0);
+  NIMBUS_CHECK(off_grid.ok());
+
+  // Constant-step extension: charge the price of the nearest support
+  // point below (staircase).
+  double staircase_revenue = 0.0;
+  for (const BuyerPoint& buyer : *off_grid) {
+    double price = 0.0;
+    for (size_t j = 0; j < support_points->size(); ++j) {
+      if ((*support_points)[j].a <= buyer.a + 1e-12) {
+        price = dp->prices[j];
+      }
+    }
+    if (price <= buyer.v) {
+      staircase_revenue += buyer.b * price;
+    }
+  }
+  const double pwl_revenue =
+      nimbus::revenue::RevenueForPricing(*off_grid, *pwl);
+  std::printf("  piecewise-linear: %8.3f\n  staircase:        %8.3f\n\n",
+              pwl_revenue, staircase_revenue);
+}
+
+void AblationMenuAttack() {
+  std::printf(
+      "Ablation 4: arbitrary-k knapsack attack against MBP vs naive "
+      "valuation pricing\n");
+  auto points = nimbus::market::MakeBuyerPoints(
+      nimbus::market::ValueShape::kConvex,
+      nimbus::market::DemandShape::kUniform, 15, 1.0, 100.0, 100.0, 1.0);
+  NIMBUS_CHECK(points.ok());
+  std::vector<double> versions;
+  std::vector<nimbus::pricing::PricePoint> support;
+  for (const BuyerPoint& p : *points) {
+    versions.push_back(p.a);
+    support.push_back({p.a, p.v});
+  }
+  auto naive =
+      nimbus::pricing::PiecewiseLinearPricing::Create(support, "naive");
+  NIMBUS_CHECK(naive.ok());
+  auto dp = nimbus::revenue::OptimizeRevenueDp(*points);
+  NIMBUS_CHECK(dp.ok());
+  auto mbp = nimbus::revenue::MakeDpPricingFunction(*points, *dp);
+  NIMBUS_CHECK(mbp.ok());
+
+  for (const auto& [label, pricing] :
+       {std::pair<const char*, const nimbus::pricing::PricingFunction*>{
+            "naive", &*naive},
+        {"MBP", &*mbp}}) {
+    auto audit = nimbus::pricing::AuditMenu(*pricing, versions, 0.25);
+    NIMBUS_CHECK(audit.ok());
+    std::printf(
+        "  %-6s worst direct/synthesized price ratio = %7.3f  -> %s\n",
+        label, audit->worst_ratio,
+        audit->arbitrage_free ? "safe" : "EXPLOITABLE");
+  }
+  std::printf("\n");
+}
+
+void AblationPrivacyAccounting() {
+  std::printf(
+      "Ablation 5: differential-privacy guarantee per version (Gaussian "
+      "mechanism, logistic model, n = 10000, mu = 0.01, ||x|| <= 1)\n");
+  auto sensitivity =
+      nimbus::mechanism::ErmL2Sensitivity(/*lipschitz=*/1.0, /*mu=*/0.01,
+                                          /*n=*/10000);
+  NIMBUS_CHECK(sensitivity.ok());
+  std::printf("  %-10s %-14s %-12s\n", "1/NCP", "E err (delta)", "epsilon");
+  for (double x : {1.0, 5.0, 25.0, 100.0}) {
+    auto guarantee = nimbus::mechanism::DpGuaranteeForNcp(
+        1.0 / x, /*delta_dp=*/1e-6, *sensitivity, /*dim=*/20);
+    NIMBUS_CHECK(guarantee.ok());
+    std::printf("  %-10.1f %-14.5f %-12.5f%s\n", x, 1.0 / x,
+                guarantee->epsilon,
+                guarantee->classical_bound_valid ? "" : "  (beyond eps<1)");
+  }
+  std::printf(
+      "  (cheaper versions are more private: the MBP knob doubles as a DP "
+      "knob)\n\n");
+}
+
+void AblationFairnessTradeoff() {
+  std::printf(
+      "Ablation 6: revenue/affordability trade-off via scaled DP prices "
+      "(the fairness future work of the paper)\n");
+  auto points = nimbus::market::MakeBuyerPoints(
+      nimbus::market::ValueShape::kConvex,
+      nimbus::market::DemandShape::kUniform, 40, 1.0, 100.0, 100.0, 2.0);
+  NIMBUS_CHECK(points.ok());
+  std::printf("  %-18s %10s %14s %8s\n", "affordability floor", "revenue",
+              "affordability", "scale");
+  for (double floor : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    auto fair = nimbus::revenue::OptimizeRevenueWithAffordabilityFloor(
+        *points, floor);
+    NIMBUS_CHECK(fair.ok());
+    std::printf("  %-18.2f %10.3f %14.3f %8.4f\n", floor, fair->revenue,
+                fair->affordability, fair->scale);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  AblationDpVsInterpolation();
+  AblationMechanisms();
+  AblationCurveExtension();
+  AblationMenuAttack();
+  AblationPrivacyAccounting();
+  AblationFairnessTradeoff();
+  return 0;
+}

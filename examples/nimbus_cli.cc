@@ -1,0 +1,330 @@
+// A small command-line front end for the Nimbus library, wiring the CSV,
+// model and pricing persistence layers together the way a downstream
+// adopter would:
+//
+//   nimbus_cli gen-data <out.csv> [rows] [features] [seed]
+//       Generates a synthetic regression CSV (last column = target).
+//   nimbus_cli train <data.csv> <out.model> [ridge_mu]
+//       Trains least squares on the CSV and saves the weights.
+//   nimbus_cli research <out.csv> [value_shape] [demand_shape] [n] [v_max]
+//       Generates a market-research CSV (rows a,b,v). Shapes:
+//       linear|convex|concave|sigmoid and
+//       uniform|unimodal|bimodal|increasing|decreasing.
+//   nimbus_cli price <out.pricing> [research.csv]
+//       Runs the revenue DP on the research (default: concave/uniform,
+//       20 versions) and saves the arbitrage-free pricing curve.
+//   nimbus_cli sensitivity <research.csv> [noise]
+//       Reports how robust the DP prices are to valuation noise.
+//   nimbus_cli sell <model> <pricing> <inverse_ncp> <out.model>
+//       Sells one Gaussian-noised version: prints the price and writes
+//       the delivered instance.
+//   nimbus_cli audit <pricing>
+//       Audits the pricing curve for arbitrage (pairwise + menu attack).
+//   nimbus_cli eval <model> <data.csv>
+//       Scores a (possibly purchased) model on a CSV.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "market/curves.h"
+#include "mechanism/noise_mechanism.h"
+#include "ml/metrics.h"
+#include "ml/model_io.h"
+#include "ml/trainer.h"
+#include "pricing/arbitrage.h"
+#include "pricing/optimal_attack.h"
+#include "pricing/pricing_io.h"
+#include "revenue/dp_optimizer.h"
+#include "revenue/research_io.h"
+#include "revenue/sensitivity.h"
+
+namespace {
+
+using nimbus::Status;
+using nimbus::StatusOr;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int GenData(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: nimbus_cli gen-data <out.csv> [rows] "
+                         "[features] [seed]\n");
+    return 2;
+  }
+  nimbus::data::RegressionSpec spec;
+  spec.num_examples = argc > 3 ? std::atoi(argv[3]) : 1000;
+  spec.num_features = argc > 4 ? std::atoi(argv[4]) : 8;
+  spec.noise_stddev = 0.3;
+  nimbus::Rng rng(argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42);
+  const nimbus::data::Dataset dataset =
+      nimbus::data::GenerateRegression(spec, rng);
+  const Status status = nimbus::data::WriteCsv(dataset, argv[2]);
+  if (!status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %d rows x %d features to %s\n", dataset.num_examples(),
+              dataset.num_features(), argv[2]);
+  return 0;
+}
+
+int Train(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: nimbus_cli train <data.csv> <out.model> "
+                 "[ridge_mu]\n");
+    return 2;
+  }
+  StatusOr<nimbus::data::Dataset> data =
+      nimbus::data::ReadCsv(argv[2], nimbus::data::Task::kRegression);
+  if (!data.ok()) {
+    return Fail(data.status());
+  }
+  const double mu = argc > 4 ? std::atof(argv[4]) : 0.0;
+  StatusOr<nimbus::linalg::Vector> weights =
+      nimbus::ml::FitLinearRegressionClosedForm(*data, mu);
+  if (!weights.ok()) {
+    return Fail(weights.status());
+  }
+  const Status status = nimbus::ml::SaveWeights(*weights, argv[3]);
+  if (!status.ok()) {
+    return Fail(status);
+  }
+  StatusOr<nimbus::ml::RegressionMetrics> metrics =
+      nimbus::ml::EvaluateRegression(*weights, *data);
+  std::printf("trained on %d rows; train RMSE %.5f, R^2 %.4f -> %s\n",
+              data->num_examples(), metrics->rmse, metrics->r2, argv[3]);
+  return 0;
+}
+
+StatusOr<nimbus::market::ValueShape> ParseValueShape(
+    const std::string& name) {
+  for (nimbus::market::ValueShape shape : nimbus::market::AllValueShapes()) {
+    if (nimbus::market::ToString(shape) == name) {
+      return shape;
+    }
+  }
+  return nimbus::NotFoundError("unknown value shape '" + name + "'");
+}
+
+StatusOr<nimbus::market::DemandShape> ParseDemandShape(
+    const std::string& name) {
+  for (nimbus::market::DemandShape shape :
+       nimbus::market::AllDemandShapes()) {
+    if (nimbus::market::ToString(shape) == name) {
+      return shape;
+    }
+  }
+  return nimbus::NotFoundError("unknown demand shape '" + name + "'");
+}
+
+int Research(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: nimbus_cli research <out.csv> [value_shape] "
+                 "[demand_shape] [n] [v_max]\n");
+    return 2;
+  }
+  auto value_shape = ParseValueShape(argc > 3 ? argv[3] : "concave");
+  if (!value_shape.ok()) {
+    return Fail(value_shape.status());
+  }
+  auto demand_shape = ParseDemandShape(argc > 4 ? argv[4] : "uniform");
+  if (!demand_shape.ok()) {
+    return Fail(demand_shape.status());
+  }
+  const int n = argc > 5 ? std::atoi(argv[5]) : 20;
+  const double v_max = argc > 6 ? std::atof(argv[6]) : 100.0;
+  auto points = nimbus::market::MakeBuyerPoints(
+      *value_shape, *demand_shape, n, 1.0, 100.0, v_max, 2.0);
+  if (!points.ok()) {
+    return Fail(points.status());
+  }
+  const Status status = nimbus::revenue::SaveBuyerPoints(*points, argv[2]);
+  if (!status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %d research points to %s\n", n, argv[2]);
+  return 0;
+}
+
+int Sensitivity(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: nimbus_cli sensitivity <research.csv> [noise]\n");
+    return 2;
+  }
+  auto points = nimbus::revenue::LoadBuyerPoints(argv[2]);
+  if (!points.ok()) {
+    return Fail(points.status());
+  }
+  nimbus::revenue::SensitivityOptions options;
+  options.valuation_noise = argc > 3 ? std::atof(argv[3]) : 0.1;
+  options.trials = 300;
+  auto report = nimbus::revenue::AnalyzeRevenueSensitivity(*points, options);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  std::printf(
+      "nominal revenue %.3f; under %.0f%% valuation noise: mean realized "
+      "%.3f (worst %.3f), mean regret vs clairvoyant %.3f (worst %.3f)\n",
+      report->nominal_revenue, 100.0 * options.valuation_noise,
+      report->mean_realized_revenue, report->worst_realized_revenue,
+      report->mean_regret, report->worst_regret);
+  return 0;
+}
+
+int Price(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: nimbus_cli price <out.pricing> [research.csv]\n");
+    return 2;
+  }
+  StatusOr<std::vector<nimbus::revenue::BuyerPoint>> points =
+      nimbus::InvalidArgumentError("unset");
+  if (argc > 3) {
+    points = nimbus::revenue::LoadBuyerPoints(argv[3]);
+  } else {
+    points = nimbus::market::MakeBuyerPoints(
+        nimbus::market::ValueShape::kConcave,
+        nimbus::market::DemandShape::kUniform, 20, 1.0, 100.0, 100.0, 2.0);
+  }
+  if (!points.ok()) {
+    return Fail(points.status());
+  }
+  auto dp = nimbus::revenue::OptimizeRevenueDp(*points);
+  if (!dp.ok()) {
+    return Fail(dp.status());
+  }
+  auto pricing = nimbus::revenue::MakeDpPricingFunction(*points, *dp);
+  if (!pricing.ok()) {
+    return Fail(pricing.status());
+  }
+  const Status status = nimbus::pricing::SavePricingFunction(*pricing,
+                                                             argv[2]);
+  if (!status.ok()) {
+    return Fail(status);
+  }
+  std::printf("optimized %zu versions, expected revenue %.3f -> %s\n",
+              points->size(), dp->revenue, argv[2]);
+  return 0;
+}
+
+int Sell(int argc, char** argv) {
+  if (argc < 6) {
+    std::fprintf(stderr,
+                 "usage: nimbus_cli sell <model> <pricing> <inverse_ncp> "
+                 "<out.model>\n");
+    return 2;
+  }
+  StatusOr<nimbus::linalg::Vector> optimal = nimbus::ml::LoadWeights(argv[2]);
+  if (!optimal.ok()) {
+    return Fail(optimal.status());
+  }
+  auto pricing = nimbus::pricing::LoadPricingFunction(argv[3]);
+  if (!pricing.ok()) {
+    return Fail(pricing.status());
+  }
+  const double x = std::atof(argv[4]);
+  if (!(x > 0.0)) {
+    std::fprintf(stderr, "inverse_ncp must be positive\n");
+    return 2;
+  }
+  nimbus::Rng rng(std::hash<std::string>{}(std::string(argv[5])));
+  const nimbus::mechanism::GaussianMechanism mechanism;
+  const nimbus::linalg::Vector delivered =
+      mechanism.Perturb(*optimal, 1.0 / x, rng);
+  const Status status = nimbus::ml::SaveWeights(delivered, argv[5]);
+  if (!status.ok()) {
+    return Fail(status);
+  }
+  std::printf("sold version 1/NCP=%.2f for %.2f -> %s\n", x,
+              pricing->PriceAtInverseNcp(x), argv[5]);
+  return 0;
+}
+
+int Audit(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: nimbus_cli audit <pricing>\n");
+    return 2;
+  }
+  auto pricing = nimbus::pricing::LoadPricingFunction(argv[2]);
+  if (!pricing.ok()) {
+    return Fail(pricing.status());
+  }
+  std::vector<double> versions;
+  for (const nimbus::pricing::PricePoint& p : pricing->points()) {
+    versions.push_back(p.inverse_ncp);
+  }
+  const nimbus::pricing::AuditResult pairwise =
+      nimbus::pricing::AuditPricingFunction(
+          *pricing, nimbus::Linspace(versions.front(), versions.back(), 50),
+          1e-6);
+  auto menu = nimbus::pricing::AuditMenu(*pricing, versions,
+                                         versions.front() / 4.0);
+  if (!menu.ok()) {
+    return Fail(menu.status());
+  }
+  std::printf("pairwise audit: %s\n",
+              pairwise.arbitrage_free ? "arbitrage free"
+                                      : pairwise.violation.c_str());
+  std::printf("menu (knapsack) audit: %s (worst ratio %.4f)\n",
+              menu->arbitrage_free ? "arbitrage free" : "VULNERABLE",
+              menu->worst_ratio);
+  return pairwise.arbitrage_free && menu->arbitrage_free ? 0 : 1;
+}
+
+int Eval(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: nimbus_cli eval <model> <data.csv>\n");
+    return 2;
+  }
+  StatusOr<nimbus::linalg::Vector> weights = nimbus::ml::LoadWeights(argv[2]);
+  if (!weights.ok()) {
+    return Fail(weights.status());
+  }
+  StatusOr<nimbus::data::Dataset> data =
+      nimbus::data::ReadCsv(argv[3], nimbus::data::Task::kRegression);
+  if (!data.ok()) {
+    return Fail(data.status());
+  }
+  StatusOr<nimbus::ml::RegressionMetrics> metrics =
+      nimbus::ml::EvaluateRegression(*weights, *data);
+  if (!metrics.ok()) {
+    return Fail(metrics.status());
+  }
+  std::printf("MSE %.6f  RMSE %.6f  MAE %.6f  R^2 %.4f\n", metrics->mse,
+              metrics->rmse, metrics->mae, metrics->r2);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: nimbus_cli <gen-data|research|train|price|sensitivity|sell|"
+                 "audit|eval> "
+                 "...\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "gen-data") return GenData(argc, argv);
+  if (command == "research") return Research(argc, argv);
+  if (command == "sensitivity") return Sensitivity(argc, argv);
+  if (command == "train") return Train(argc, argv);
+  if (command == "price") return Price(argc, argv);
+  if (command == "sell") return Sell(argc, argv);
+  if (command == "audit") return Audit(argc, argv);
+  if (command == "eval") return Eval(argc, argv);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,129 @@
+#include "aggregate/aggregate_market.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nimbus::aggregate {
+
+StatusOr<double> ComputeStatistic(const data::Dataset& dataset, int column,
+                                  Statistic statistic) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("dataset is empty");
+  }
+  if (column < 0 || column >= dataset.num_features()) {
+    return OutOfRangeError("column " + std::to_string(column) +
+                           " out of range");
+  }
+  double sum = 0.0;
+  for (const data::Example& e : dataset.examples()) {
+    sum += e.features[static_cast<size_t>(column)];
+  }
+  switch (statistic) {
+    case Statistic::kMean:
+      return sum / dataset.num_examples();
+    case Statistic::kSum:
+      return sum;
+    case Statistic::kVariance: {
+      const double mean = sum / dataset.num_examples();
+      double sq = 0.0;
+      for (const data::Example& e : dataset.examples()) {
+        const double centred = e.features[static_cast<size_t>(column)] - mean;
+        sq += centred * centred;
+      }
+      return sq / dataset.num_examples();
+    }
+  }
+  return InternalError("unreachable statistic kind");
+}
+
+StatusOr<AggregateMarket> AggregateMarket::Create(
+    const data::Dataset& dataset, int column, Statistic statistic,
+    std::unique_ptr<mechanism::NoiseMechanism> mechanism, Options options) {
+  if (mechanism == nullptr) {
+    return InvalidArgumentError("aggregate market needs a mechanism");
+  }
+  if (!(options.min_inverse_ncp > 0.0) ||
+      !(options.max_inverse_ncp > options.min_inverse_ncp)) {
+    return InvalidArgumentError("need 0 < min_inverse_ncp < max_inverse_ncp");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(double truth,
+                          ComputeStatistic(dataset, column, statistic));
+  return AggregateMarket(truth, std::move(mechanism), options);
+}
+
+AggregateMarket::AggregateMarket(
+    double truth, std::unique_ptr<mechanism::NoiseMechanism> mechanism,
+    Options options)
+    : truth_(truth),
+      mechanism_(std::move(mechanism)),
+      options_(options),
+      pricing_(std::make_shared<pricing::LinearPricing>(
+          1.0, std::numeric_limits<double>::infinity(), "placeholder")),
+      rng_(options.seed) {}
+
+void AggregateMarket::SetPricingFunction(
+    std::shared_ptr<const pricing::PricingFunction> pricing) {
+  NIMBUS_CHECK(pricing != nullptr);
+  pricing_ = std::move(pricing);
+}
+
+StatusOr<double> AggregateMarket::ExpectedSquaredErrorAt(
+    double inverse_ncp) const {
+  if (!(inverse_ncp > 0.0)) {
+    return InvalidArgumentError("inverse NCP must be positive");
+  }
+  return mechanism_->ExpectedSquaredError({truth_}, 1.0 / inverse_ncp);
+}
+
+StatusOr<AggregateMarket::Sale> AggregateMarket::BuyAtInverseNcp(
+    double inverse_ncp) {
+  if (inverse_ncp < options_.min_inverse_ncp ||
+      inverse_ncp > options_.max_inverse_ncp) {
+    return OutOfRangeError("version outside the supported range");
+  }
+  Sale sale;
+  sale.ncp = 1.0 / inverse_ncp;
+  sale.price = pricing_->PriceAtInverseNcp(inverse_ncp);
+  NIMBUS_ASSIGN_OR_RETURN(sale.expected_squared_error,
+                          ExpectedSquaredErrorAt(inverse_ncp));
+  sale.value = mechanism_->Perturb({truth_}, sale.ncp, rng_)[0];
+  revenue_collected_ += sale.price;
+  ++sales_count_;
+  return sale;
+}
+
+StatusOr<AggregateMarket::Sale> AggregateMarket::BuyWithErrorBudget(
+    double error_budget) {
+  if (error_budget < 0.0) {
+    return InvalidArgumentError("error budget must be non-negative");
+  }
+  // The expected squared error is monotone decreasing in x (restriction
+  // two of §3.2); bisect for the smallest x meeting the budget.
+  NIMBUS_ASSIGN_OR_RETURN(double err_lo,
+                          ExpectedSquaredErrorAt(options_.min_inverse_ncp));
+  NIMBUS_ASSIGN_OR_RETURN(double err_hi,
+                          ExpectedSquaredErrorAt(options_.max_inverse_ncp));
+  if (err_hi > error_budget) {
+    return InfeasibleError("no supported version achieves the error budget");
+  }
+  if (err_lo <= error_budget) {
+    return BuyAtInverseNcp(options_.min_inverse_ncp);
+  }
+  double lo = options_.min_inverse_ncp;  // Error above budget here.
+  double hi = options_.max_inverse_ncp;  // Error within budget here.
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    NIMBUS_ASSIGN_OR_RETURN(double err, ExpectedSquaredErrorAt(mid));
+    if (err <= error_budget) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return BuyAtInverseNcp(hi);
+}
+
+}  // namespace nimbus::aggregate

@@ -1,0 +1,74 @@
+#ifndef NIMBUS_COMMON_LOGGING_H_
+#define NIMBUS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace nimbus {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Returns/sets the minimum severity that is actually emitted. Defaults to
+// kInfo; benches raise it to kWarning to keep output machine-parseable.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+// Accumulates one log line and emits it (with severity tag and source
+// location) on destruction. A kFatal message aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows a log statement whose severity is below the threshold; the
+// operator& trick gives it lower precedence than <<.
+class LogMessageVoidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace nimbus
+
+#define NIMBUS_LOG_INTERNAL(severity)                                      \
+  ::nimbus::internal::LogMessage(::nimbus::LogSeverity::severity, __FILE__, \
+                                 __LINE__)
+
+// Usage: NIMBUS_LOG(kInfo) << "message"; Fatal logs abort.
+#define NIMBUS_LOG(severity) NIMBUS_LOG_INTERNAL(severity)
+
+// Checks `condition` in all build modes; logs fatally when it fails.
+#define NIMBUS_CHECK(condition)                                   \
+  (condition) ? (void)0                                           \
+              : ::nimbus::internal::LogMessageVoidify() &         \
+                    NIMBUS_LOG_INTERNAL(kFatal)                   \
+                        << "Check failed: " #condition " "
+
+#define NIMBUS_CHECK_EQ(a, b) NIMBUS_CHECK((a) == (b))
+#define NIMBUS_CHECK_NE(a, b) NIMBUS_CHECK((a) != (b))
+#define NIMBUS_CHECK_LT(a, b) NIMBUS_CHECK((a) < (b))
+#define NIMBUS_CHECK_LE(a, b) NIMBUS_CHECK((a) <= (b))
+#define NIMBUS_CHECK_GT(a, b) NIMBUS_CHECK((a) > (b))
+#define NIMBUS_CHECK_GE(a, b) NIMBUS_CHECK((a) >= (b))
+
+#endif  // NIMBUS_COMMON_LOGGING_H_

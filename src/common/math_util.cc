@@ -1,0 +1,123 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nimbus {
+
+bool AlmostEqual(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+bool AlmostEqual(const std::vector<double>& a, const std::vector<double>& b,
+                 double tol) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!AlmostEqual(a[i], b[i], tol)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  const size_t n = values.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    sum_sq += d * d;
+  }
+  return sum_sq / static_cast<double>(n - 1);
+}
+
+double SampleStddev(const std::vector<double>& values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  NIMBUS_CHECK(!values.empty()) << "Quantile of empty vector";
+  NIMBUS_CHECK_GE(q, 0.0);
+  NIMBUS_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Log1pExp(double x) {
+  if (x > 35.0) {
+    return x;  // exp(-x) underflows to a negligible correction.
+  }
+  if (x < -35.0) {
+    return std::exp(x);
+  }
+  return std::log1p(std::exp(x));
+}
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+std::vector<double> Linspace(double lo, double hi, int n) {
+  NIMBUS_CHECK_GE(n, 1);
+  if (n == 1) {
+    return {lo};
+  }
+  std::vector<double> out(static_cast<size_t>(n));
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // Avoid accumulated round-off on the endpoint.
+  return out;
+}
+
+bool IsNonDecreasing(const std::vector<double>& values, double tol) {
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < values[i - 1] - tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsNonIncreasing(const std::vector<double>& values, double tol) {
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[i - 1] + tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nimbus

@@ -1,0 +1,56 @@
+#ifndef NIMBUS_COMMON_MATH_UTIL_H_
+#define NIMBUS_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace nimbus {
+
+// Numerical tolerance used by the comparison helpers below when the caller
+// does not supply one.
+inline constexpr double kDefaultTolerance = 1e-9;
+
+// Returns true when |a - b| <= tol * max(1, |a|, |b|) (mixed absolute /
+// relative comparison, robust for both tiny and large magnitudes).
+bool AlmostEqual(double a, double b, double tol = kDefaultTolerance);
+
+// Element-wise AlmostEqual over two equally sized vectors.
+bool AlmostEqual(const std::vector<double>& a, const std::vector<double>& b,
+                 double tol = kDefaultTolerance);
+
+// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+// Unbiased sample variance (divides by n - 1); returns 0 when n < 2.
+double SampleVariance(const std::vector<double>& values);
+
+// Sample standard deviation.
+double SampleStddev(const std::vector<double>& values);
+
+// Returns the q-quantile (q in [0, 1]) using linear interpolation between
+// order statistics. Aborts on an empty input.
+double Quantile(std::vector<double> values, double q);
+
+// Numerically stable log(1 + exp(x)).
+double Log1pExp(double x);
+
+// Logistic sigmoid 1 / (1 + exp(-x)).
+double Sigmoid(double x);
+
+// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+// Returns n evenly spaced values from lo to hi inclusive (n >= 2), or
+// {lo} when n == 1.
+std::vector<double> Linspace(double lo, double hi, int n);
+
+// Returns true when `values` is non-decreasing up to `tol` slack, i.e.
+// values[i+1] >= values[i] - tol for all i.
+bool IsNonDecreasing(const std::vector<double>& values, double tol = 0.0);
+
+// Returns true when `values` is non-increasing up to `tol` slack.
+bool IsNonIncreasing(const std::vector<double>& values, double tol = 0.0);
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_COMMON_MATH_UTIL_H_

@@ -1,0 +1,128 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nimbus {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256++ step.
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 top bits give a double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  NIMBUS_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  NIMBUS_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v = NextUint64();
+  while (v >= limit) {
+    v = NextUint64();
+  }
+  return v % n;
+}
+
+double Rng::Gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Box-Muller transform; u1 is kept away from zero so log() is finite.
+  double u1 = Uniform();
+  while (u1 <= 1e-300) {
+    u1 = Uniform();
+  }
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  spare_ = radius * std::sin(2.0 * kPi * u2);
+  has_spare_ = true;
+  return radius * std::cos(2.0 * kPi * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  NIMBUS_CHECK_GE(stddev, 0.0);
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Laplace(double scale) {
+  NIMBUS_CHECK_GT(scale, 0.0);
+  const double u = Uniform() - 0.5;
+  const double sign = u < 0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Poisson(double mean) {
+  NIMBUS_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until below exp(-mean).
+    const double limit = std::exp(-mean);
+    int k = 0;
+    double product = Uniform();
+    while (product > limit) {
+      ++k;
+      product *= Uniform();
+    }
+    return k;
+  }
+  // Normal approximation for large means.
+  const double draw = Gaussian(mean, std::sqrt(mean));
+  return std::max(0, static_cast<int>(std::lround(draw)));
+}
+
+std::vector<double> Rng::GaussianVector(int n) {
+  NIMBUS_CHECK_GE(n, 0);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (double& v : out) {
+    v = Gaussian();
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64() ^ 0xA5A5A5A5A5A5A5A5ULL); }
+
+}  // namespace nimbus

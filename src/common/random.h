@@ -1,0 +1,63 @@
+#ifndef NIMBUS_COMMON_RANDOM_H_
+#define NIMBUS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nimbus {
+
+// Deterministic pseudo-random source used everywhere in Nimbus. Wraps a
+// xoshiro256++ generator seeded through SplitMix64, so that a single
+// 64-bit seed reproduces every experiment bit-for-bit across platforms
+// (std::normal_distribution is implementation-defined, so we implement the
+// distributions ourselves).
+//
+// Not thread-safe; create one Rng per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Returns the next raw 64-bit output.
+  uint64_t NextUint64();
+
+  // Uniform in [0, 1).
+  double Uniform();
+
+  // Uniform in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Standard normal via Box-Muller (cached spare deviate).
+  double Gaussian();
+
+  // Normal with the given mean and standard deviation (stddev >= 0).
+  double Gaussian(double mean, double stddev);
+
+  // Zero-mean Laplace with scale b > 0 (variance 2 b^2).
+  double Laplace(double scale);
+
+  // Bernoulli draw returning true with probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  // Poisson draw with the given mean >= 0 (Knuth's method below mean 30,
+  // clamped normal approximation above).
+  int Poisson(double mean);
+
+  // Returns a vector of `n` iid standard normals.
+  std::vector<double> GaussianVector(int n);
+
+  // Derives an independent child generator; useful for giving each agent
+  // or worker its own stream from one master seed.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_COMMON_RANDOM_H_

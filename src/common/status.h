@@ -1,0 +1,91 @@
+#ifndef NIMBUS_COMMON_STATUS_H_
+#define NIMBUS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nimbus {
+
+// Canonical error space for the library. Mirrors the subset of the
+// well-known canonical codes that Nimbus actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kResourceExhausted = 7,
+  kInfeasible = 8,   // Optimization problem has no feasible solution.
+  kUnbounded = 9,    // Optimization problem is unbounded.
+};
+
+// Returns the canonical spelling of `code`, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeToString(StatusCode code);
+
+// A Status conveys either success ("OK") or an error code plus a
+// human-readable message. Nimbus does not throw exceptions across API
+// boundaries; fallible operations return Status or StatusOr<T>.
+//
+// Example:
+//   Status s = model.Fit(dataset);
+//   if (!s.ok()) { LOG(ERROR) << s; return s; }
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Factory helpers, one per error code.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InfeasibleError(std::string message);
+Status UnboundedError(std::string message);
+
+}  // namespace nimbus
+
+// Evaluates `expr` (a Status expression); returns it from the enclosing
+// function if it is not OK.
+#define NIMBUS_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::nimbus::Status nimbus_status_macro_tmp = (expr); \
+    if (!nimbus_status_macro_tmp.ok()) {               \
+      return nimbus_status_macro_tmp;                  \
+    }                                                  \
+  } while (false)
+
+#endif  // NIMBUS_COMMON_STATUS_H_

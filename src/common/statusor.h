@@ -1,0 +1,102 @@
+#ifndef NIMBUS_COMMON_STATUSOR_H_
+#define NIMBUS_COMMON_STATUSOR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace nimbus {
+
+// StatusOr<T> holds either a value of type T or a non-OK Status explaining
+// why the value is absent. Accessing the value of a non-OK StatusOr aborts
+// the process (there are no exceptions in this codebase), so callers must
+// check ok() first or use value_or().
+//
+// Example:
+//   StatusOr<Model> m = TrainModel(data);
+//   if (!m.ok()) return m.status();
+//   Use(*m);
+template <typename T>
+class StatusOr {
+ public:
+  // Constructs from an error status. `status` must not be OK: an OK status
+  // carries no value and would leave the StatusOr in a contradictory state.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+
+  // Constructs from a value.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  // Returns the contained status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!ok()) {
+      std::cerr << "Fatal: accessing value of failed StatusOr: "
+                << status_.ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace nimbus
+
+// Assigns the value of `rexpr` (a StatusOr expression) to `lhs`, or
+// returns the error status from the enclosing function.
+#define NIMBUS_STATUSOR_CONCAT_INNER(a, b) a##b
+#define NIMBUS_STATUSOR_CONCAT(a, b) NIMBUS_STATUSOR_CONCAT_INNER(a, b)
+#define NIMBUS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+#define NIMBUS_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  NIMBUS_ASSIGN_OR_RETURN_IMPL(                                              \
+      NIMBUS_STATUSOR_CONCAT(nimbus_statusor_tmp_, __LINE__), lhs, rexpr)
+
+#endif  // NIMBUS_COMMON_STATUSOR_H_

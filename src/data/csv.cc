@@ -1,0 +1,114 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace nimbus::data {
+namespace {
+
+// Splits one CSV line into numeric fields. Returns an error on any
+// non-numeric or empty field.
+StatusOr<std::vector<double>> ParseLine(const std::string& line,
+                                        int line_number) {
+  std::vector<double> fields;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t end = line.find(',', start);
+    if (end == std::string::npos) {
+      end = line.size();
+    }
+    const std::string token = line.substr(start, end - start);
+    if (token.empty()) {
+      return InvalidArgumentError("empty field on line " +
+                                  std::to_string(line_number));
+    }
+    errno = 0;
+    char* parse_end = nullptr;
+    const double value = std::strtod(token.c_str(), &parse_end);
+    if (errno != 0 || parse_end == token.c_str() || *parse_end != '\0') {
+      return InvalidArgumentError("non-numeric field '" + token +
+                                  "' on line " + std::to_string(line_number));
+    }
+    fields.push_back(value);
+    if (end == line.size()) {
+      break;
+    }
+    start = end + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+StatusOr<Dataset> ParseCsvString(const std::string& content, Task task) {
+  std::istringstream in(content);
+  std::string line;
+  int line_number = 0;
+  int width = -1;
+  std::vector<std::vector<double>> rows;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    NIMBUS_ASSIGN_OR_RETURN(std::vector<double> fields,
+                            ParseLine(line, line_number));
+    if (width == -1) {
+      width = static_cast<int>(fields.size());
+      if (width < 2) {
+        return InvalidArgumentError(
+            "CSV rows need at least one feature and a target");
+      }
+    } else if (static_cast<int>(fields.size()) != width) {
+      return InvalidArgumentError("ragged row on line " +
+                                  std::to_string(line_number));
+    }
+    rows.push_back(std::move(fields));
+  }
+  if (rows.empty()) {
+    return InvalidArgumentError("CSV contains no data rows");
+  }
+  Dataset out(width - 1, task);
+  for (std::vector<double>& row : rows) {
+    const double target = row.back();
+    row.pop_back();
+    out.Add(std::move(row), target);
+  }
+  return out;
+}
+
+StatusOr<Dataset> ReadCsv(const std::string& path, Task task) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return ParseCsvString(content.str(), task);
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return InvalidArgumentError("cannot create '" + path + "'");
+  }
+  file.precision(17);
+  for (const Example& e : dataset.examples()) {
+    for (double v : e.features) {
+      file << v << ',';
+    }
+    file << e.target << '\n';
+  }
+  if (!file) {
+    return InternalError("write to '" + path + "' failed");
+  }
+  return OkStatus();
+}
+
+}  // namespace nimbus::data

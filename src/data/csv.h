@@ -1,0 +1,27 @@
+#ifndef NIMBUS_DATA_CSV_H_
+#define NIMBUS_DATA_CSV_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+
+namespace nimbus::data {
+
+// Reads a headerless numeric CSV where every row is
+// `feature_0,...,feature_{d-1},target`. All rows must have the same
+// width. Fails with kInvalidArgument on malformed input and kNotFound
+// when the file cannot be opened.
+StatusOr<Dataset> ReadCsv(const std::string& path, Task task);
+
+// Writes `dataset` in the same format. Returns a non-OK status when the
+// file cannot be created.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+// Parses CSV content from a string (same format as ReadCsv); used by
+// tests and by callers that already hold the bytes.
+StatusOr<Dataset> ParseCsvString(const std::string& content, Task task);
+
+}  // namespace nimbus::data
+
+#endif  // NIMBUS_DATA_CSV_H_

@@ -1,0 +1,122 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace nimbus::data {
+
+Dataset::Dataset(int num_features, Task task)
+    : num_features_(num_features), task_(task) {
+  NIMBUS_CHECK_GE(num_features, 1);
+}
+
+void Dataset::Add(linalg::Vector features, double target) {
+  NIMBUS_CHECK_EQ(static_cast<int>(features.size()), num_features_);
+  examples_.push_back(Example{std::move(features), target});
+}
+
+linalg::Vector Dataset::Targets() const {
+  linalg::Vector out;
+  out.reserve(examples_.size());
+  for (const Example& e : examples_) {
+    out.push_back(e.target);
+  }
+  return out;
+}
+
+linalg::Vector Dataset::FeatureMeans() const {
+  linalg::Vector means(static_cast<size_t>(num_features_), 0.0);
+  if (examples_.empty()) {
+    return means;
+  }
+  for (const Example& e : examples_) {
+    for (int j = 0; j < num_features_; ++j) {
+      means[static_cast<size_t>(j)] += e.features[static_cast<size_t>(j)];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(examples_.size());
+  for (double& m : means) {
+    m *= inv_n;
+  }
+  return means;
+}
+
+linalg::Vector Dataset::FeatureStddevs() const {
+  linalg::Vector stddevs(static_cast<size_t>(num_features_), 0.0);
+  if (examples_.size() < 2) {
+    return stddevs;
+  }
+  const linalg::Vector means = FeatureMeans();
+  for (const Example& e : examples_) {
+    for (int j = 0; j < num_features_; ++j) {
+      const double d =
+          e.features[static_cast<size_t>(j)] - means[static_cast<size_t>(j)];
+      stddevs[static_cast<size_t>(j)] += d * d;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(examples_.size() - 1);
+  for (double& s : stddevs) {
+    s = std::sqrt(s * inv);
+  }
+  return stddevs;
+}
+
+Dataset Dataset::Subset(const std::vector<int>& indices) const {
+  Dataset out(num_features_, task_);
+  for (int i : indices) {
+    NIMBUS_CHECK_GE(i, 0);
+    NIMBUS_CHECK_LT(i, num_examples());
+    const Example& e = examples_[static_cast<size_t>(i)];
+    out.Add(e.features, e.target);
+  }
+  return out;
+}
+
+Dataset Dataset::Shuffled(Rng& rng) const {
+  std::vector<int> indices(static_cast<size_t>(num_examples()));
+  std::iota(indices.begin(), indices.end(), 0);
+  // Fisher-Yates with our deterministic Rng.
+  for (size_t i = indices.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.UniformInt(i));
+    std::swap(indices[i - 1], indices[j]);
+  }
+  return Subset(indices);
+}
+
+TrainTestSplit Split(const Dataset& dataset, double train_fraction, Rng& rng) {
+  NIMBUS_CHECK_GT(train_fraction, 0.0);
+  NIMBUS_CHECK_LT(train_fraction, 1.0);
+  const Dataset shuffled = dataset.Shuffled(rng);
+  const int n = shuffled.num_examples();
+  const int n_train = std::clamp(
+      static_cast<int>(std::lround(train_fraction * n)), 1, n - 1);
+  std::vector<int> train_idx(static_cast<size_t>(n_train));
+  std::iota(train_idx.begin(), train_idx.end(), 0);
+  std::vector<int> test_idx(static_cast<size_t>(n - n_train));
+  std::iota(test_idx.begin(), test_idx.end(), n_train);
+  return TrainTestSplit{shuffled.Subset(train_idx), shuffled.Subset(test_idx)};
+}
+
+Standardizer Standardizer::Fit(const Dataset& reference) {
+  return Standardizer(reference.FeatureMeans(), reference.FeatureStddevs());
+}
+
+Dataset Standardizer::Transform(const Dataset& dataset) const {
+  NIMBUS_CHECK_EQ(dataset.num_features(), static_cast<int>(means_.size()));
+  Dataset out(dataset.num_features(), dataset.task());
+  for (const Example& e : dataset.examples()) {
+    linalg::Vector scaled(e.features.size());
+    for (size_t j = 0; j < scaled.size(); ++j) {
+      const double s = stddevs_[j];
+      scaled[j] = s > 0.0 ? (e.features[j] - means_[j]) / s
+                          : e.features[j] - means_[j];
+    }
+    out.Add(std::move(scaled), e.target);
+  }
+  return out;
+}
+
+}  // namespace nimbus::data

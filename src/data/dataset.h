@@ -1,0 +1,100 @@
+#ifndef NIMBUS_DATA_DATASET_H_
+#define NIMBUS_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "linalg/vector_ops.h"
+
+namespace nimbus::data {
+
+// Learning task a dataset is labeled for. Regression targets are real
+// numbers; classification targets are +1 / -1.
+enum class Task { kRegression, kClassification };
+
+// One labeled example z = (x, y): a feature vector and a target.
+struct Example {
+  linalg::Vector features;
+  double target = 0.0;
+};
+
+// In-memory relational dataset of labeled examples, all with the same
+// feature dimension. This is the `D` of the paper (§3.1): a single
+// relation whose attributes are the feature columns X plus the target Y.
+class Dataset {
+ public:
+  // Creates an empty dataset with the given feature dimension.
+  Dataset(int num_features, Task task);
+
+  // Appends one example; aborts if the feature dimension mismatches.
+  void Add(linalg::Vector features, double target);
+
+  int num_examples() const { return static_cast<int>(examples_.size()); }
+  int num_features() const { return num_features_; }
+  Task task() const { return task_; }
+  bool empty() const { return examples_.empty(); }
+
+  const Example& example(int i) const {
+    return examples_[static_cast<size_t>(i)];
+  }
+  const std::vector<Example>& examples() const { return examples_; }
+
+  // Returns all targets as one vector.
+  linalg::Vector Targets() const;
+
+  // Returns the mean of every feature column.
+  linalg::Vector FeatureMeans() const;
+
+  // Returns the (sample) standard deviation of every feature column.
+  linalg::Vector FeatureStddevs() const;
+
+  // Returns a dataset containing the rows at `indices` (in that order).
+  Dataset Subset(const std::vector<int>& indices) const;
+
+  // Returns a copy with rows shuffled by `rng`.
+  Dataset Shuffled(Rng& rng) const;
+
+ private:
+  int num_features_;
+  Task task_;
+  std::vector<Example> examples_;
+};
+
+// A dataset split into the (train, test) pair the paper's seller provides.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+// Splits `dataset` by assigning the first round(train_fraction * n) rows
+// (after shuffling with `rng`) to train and the rest to test.
+// train_fraction must be in (0, 1).
+TrainTestSplit Split(const Dataset& dataset, double train_fraction, Rng& rng);
+
+// Standardizes features to zero mean / unit variance using statistics
+// from a reference dataset (fit on train, apply to both).
+class Standardizer {
+ public:
+  // Learns per-column means and stddevs from `reference`. Columns with
+  // zero variance are left unscaled.
+  static Standardizer Fit(const Dataset& reference);
+
+  // Returns a standardized copy of `dataset`.
+  Dataset Transform(const Dataset& dataset) const;
+
+  const linalg::Vector& means() const { return means_; }
+  const linalg::Vector& stddevs() const { return stddevs_; }
+
+ private:
+  Standardizer(linalg::Vector means, linalg::Vector stddevs)
+      : means_(std::move(means)), stddevs_(std::move(stddevs)) {}
+
+  linalg::Vector means_;
+  linalg::Vector stddevs_;
+};
+
+}  // namespace nimbus::data
+
+#endif  // NIMBUS_DATA_DATASET_H_

@@ -1,0 +1,57 @@
+#include "data/feature_map.h"
+
+namespace nimbus::data {
+
+int PolynomialOutputDim(int d, const PolynomialOptions& options) {
+  int out = d;  // Linear terms are always kept.
+  if (options.include_bias) {
+    ++out;
+  }
+  if (options.include_squares) {
+    out += d;
+  }
+  if (options.include_interactions) {
+    out += d * (d - 1) / 2;
+  }
+  return out;
+}
+
+linalg::Vector ExpandPolynomial(const linalg::Vector& features,
+                                const PolynomialOptions& options) {
+  const int d = static_cast<int>(features.size());
+  linalg::Vector out;
+  out.reserve(static_cast<size_t>(PolynomialOutputDim(d, options)));
+  if (options.include_bias) {
+    out.push_back(1.0);
+  }
+  out.insert(out.end(), features.begin(), features.end());
+  if (options.include_squares) {
+    for (double v : features) {
+      out.push_back(v * v);
+    }
+  }
+  if (options.include_interactions) {
+    for (int i = 0; i < d; ++i) {
+      for (int j = i + 1; j < d; ++j) {
+        out.push_back(features[static_cast<size_t>(i)] *
+                      features[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<Dataset> ExpandPolynomialFeatures(const Dataset& dataset,
+                                           const PolynomialOptions& options) {
+  const int out_dim = PolynomialOutputDim(dataset.num_features(), options);
+  if (out_dim < 1) {
+    return InvalidArgumentError("expansion produces no features");
+  }
+  Dataset out(out_dim, dataset.task());
+  for (const Example& e : dataset.examples()) {
+    out.Add(ExpandPolynomial(e.features, options), e.target);
+  }
+  return out;
+}
+
+}  // namespace nimbus::data

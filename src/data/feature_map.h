@@ -1,0 +1,35 @@
+#ifndef NIMBUS_DATA_FEATURE_MAP_H_
+#define NIMBUS_DATA_FEATURE_MAP_H_
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+
+namespace nimbus::data {
+
+// Degree-2 polynomial feature expansion. §7 notes that non-relational
+// data "might require complex feature extraction"; this is the simplest
+// member of that family, letting the linear models in the menu capture
+// quadratic structure while every downstream piece (training, noise
+// mechanisms, pricing) stays unchanged — only the model dimension grows.
+
+struct PolynomialOptions {
+  bool include_bias = true;          // Prepend a constant-1 feature.
+  bool include_squares = true;       // x_j².
+  bool include_interactions = true;  // x_i x_j for i < j.
+};
+
+// Output dimension of the expansion for `d` input features.
+int PolynomialOutputDim(int d, const PolynomialOptions& options);
+
+// Expands one feature vector.
+linalg::Vector ExpandPolynomial(const linalg::Vector& features,
+                                const PolynomialOptions& options);
+
+// Expands every row of `dataset` (targets are untouched). Fails when the
+// expansion would produce no features at all.
+StatusOr<Dataset> ExpandPolynomialFeatures(const Dataset& dataset,
+                                           const PolynomialOptions& options);
+
+}  // namespace nimbus::data
+
+#endif  // NIMBUS_DATA_FEATURE_MAP_H_

@@ -1,0 +1,131 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nimbus::linalg {
+
+StatusOr<CholeskyFactorization> CholeskyFactorization::Compute(
+    const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("Cholesky requires a square matrix");
+  }
+  const int n = a.rows();
+  Matrix lower(n, n);
+  for (int j = 0; j < n; ++j) {
+    double diag = a.At(j, j);
+    for (int k = 0; k < j; ++k) {
+      diag -= lower.At(j, k) * lower.At(j, k);
+    }
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return FailedPreconditionError(
+          "matrix is not numerically positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    lower.At(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double sum = a.At(i, j);
+      for (int k = 0; k < j; ++k) {
+        sum -= lower.At(i, k) * lower.At(j, k);
+      }
+      lower.At(i, j) = sum / ljj;
+    }
+  }
+  return CholeskyFactorization(std::move(lower));
+}
+
+Vector CholeskyFactorization::Solve(const Vector& b) const {
+  const int n = lower_.rows();
+  NIMBUS_CHECK_EQ(static_cast<int>(b.size()), n);
+  // Forward substitution: L y = b.
+  Vector y(b);
+  for (int i = 0; i < n; ++i) {
+    double sum = y[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) {
+      sum -= lower_.At(i, k) * y[static_cast<size_t>(k)];
+    }
+    y[static_cast<size_t>(i)] = sum / lower_.At(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(y);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = x[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      sum -= lower_.At(k, i) * x[static_cast<size_t>(k)];
+    }
+    x[static_cast<size_t>(i)] = sum / lower_.At(i, i);
+  }
+  return x;
+}
+
+double CholeskyFactorization::LogDeterminant() const {
+  double sum = 0.0;
+  for (int i = 0; i < lower_.rows(); ++i) {
+    sum += std::log(lower_.At(i, i));
+  }
+  return 2.0 * sum;
+}
+
+StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  NIMBUS_ASSIGN_OR_RETURN(CholeskyFactorization chol,
+                          CholeskyFactorization::Compute(a));
+  return chol.Solve(b);
+}
+
+StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("SolveLinearSystem requires a square matrix");
+  }
+  const int n = a.rows();
+  if (static_cast<int>(b.size()) != n) {
+    return InvalidArgumentError("right-hand side has wrong dimension");
+  }
+  Matrix work = a;
+  Vector rhs = b;
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest remaining entry to the diagonal.
+    int pivot = col;
+    double best = std::fabs(work.At(col, col));
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::fabs(work.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return FailedPreconditionError("matrix is numerically singular");
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(work.At(pivot, c), work.At(col, c));
+      }
+      std::swap(rhs[static_cast<size_t>(pivot)], rhs[static_cast<size_t>(col)]);
+    }
+    const double inv = 1.0 / work.At(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = work.At(r, col) * inv;
+      if (factor == 0.0) {
+        continue;
+      }
+      work.At(r, col) = 0.0;
+      for (int c = col + 1; c < n; ++c) {
+        work.At(r, c) -= factor * work.At(col, c);
+      }
+      rhs[static_cast<size_t>(r)] -= factor * rhs[static_cast<size_t>(col)];
+    }
+  }
+  // Back substitution.
+  Vector x(static_cast<size_t>(n), 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = rhs[static_cast<size_t>(i)];
+    for (int c = i + 1; c < n; ++c) {
+      sum -= work.At(i, c) * x[static_cast<size_t>(c)];
+    }
+    x[static_cast<size_t>(i)] = sum / work.At(i, i);
+  }
+  return x;
+}
+
+}  // namespace nimbus::linalg

@@ -1,0 +1,42 @@
+#ifndef NIMBUS_LINALG_CHOLESKY_H_
+#define NIMBUS_LINALG_CHOLESKY_H_
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace nimbus::linalg {
+
+// Cholesky factorization A = L L^T of a symmetric positive-definite
+// matrix, plus triangular solves. Used for closed-form least squares
+// (normal equations) and logistic-regression Newton steps.
+class CholeskyFactorization {
+ public:
+  // Factorizes `a`, which must be square and symmetric. Fails with
+  // kFailedPrecondition when `a` is not (numerically) positive definite.
+  static StatusOr<CholeskyFactorization> Compute(const Matrix& a);
+
+  // Solves A x = b via the stored factor. b.size() must equal A's order.
+  Vector Solve(const Vector& b) const;
+
+  // log(det(A)) = 2 * sum_i log(L_ii); useful for model diagnostics.
+  double LogDeterminant() const;
+
+  const Matrix& lower() const { return lower_; }
+
+ private:
+  explicit CholeskyFactorization(Matrix lower) : lower_(std::move(lower)) {}
+
+  Matrix lower_;
+};
+
+// Convenience wrapper: solves the SPD system A x = b in one call.
+StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+// Solves a general square linear system A x = b with partially pivoted
+// Gaussian elimination. Fails with kFailedPrecondition when A is singular.
+StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+}  // namespace nimbus::linalg
+
+#endif  // NIMBUS_LINALG_CHOLESKY_H_

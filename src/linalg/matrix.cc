@@ -1,0 +1,148 @@
+#include "linalg/matrix.h"
+
+#include "common/logging.h"
+
+namespace nimbus::linalg {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0) {
+  NIMBUS_CHECK_GE(rows, 0);
+  NIMBUS_CHECK_GE(cols, 0);
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(static_cast<int>(rows.size())), cols_(0) {
+  if (rows_ > 0) {
+    cols_ = static_cast<int>(rows.begin()->size());
+  }
+  data_.reserve(static_cast<size_t>(rows_) * static_cast<size_t>(cols_));
+  for (const auto& row : rows) {
+    NIMBUS_CHECK_EQ(static_cast<int>(row.size()), cols_)
+        << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+size_t Matrix::Index(int r, int c) const {
+  NIMBUS_CHECK_GE(r, 0);
+  NIMBUS_CHECK_LT(r, rows_);
+  NIMBUS_CHECK_GE(c, 0);
+  NIMBUS_CHECK_LT(c, cols_);
+  return static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+         static_cast<size_t>(c);
+}
+
+Vector Matrix::Row(int r) const {
+  Vector out(static_cast<size_t>(cols_));
+  for (int c = 0; c < cols_; ++c) {
+    out[static_cast<size_t>(c)] = At(r, c);
+  }
+  return out;
+}
+
+Vector Matrix::Col(int c) const {
+  Vector out(static_cast<size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) {
+    out[static_cast<size_t>(r)] = At(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      out.At(c, r) = At(r, c);
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MatVec(const Vector& x) const {
+  NIMBUS_CHECK_EQ(static_cast<int>(x.size()), cols_);
+  Vector out(static_cast<size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = &data_[static_cast<size_t>(r) *
+                               static_cast<size_t>(cols_)];
+    for (int c = 0; c < cols_; ++c) {
+      sum += row[c] * x[static_cast<size_t>(c)];
+    }
+    out[static_cast<size_t>(r)] = sum;
+  }
+  return out;
+}
+
+Vector Matrix::TransposeMatVec(const Vector& x) const {
+  NIMBUS_CHECK_EQ(static_cast<int>(x.size()), rows_);
+  Vector out(static_cast<size_t>(cols_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double xr = x[static_cast<size_t>(r)];
+    const double* row = &data_[static_cast<size_t>(r) *
+                               static_cast<size_t>(cols_)];
+    for (int c = 0; c < cols_; ++c) {
+      out[static_cast<size_t>(c)] += row[c] * xr;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  NIMBUS_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = At(r, k);
+      if (a == 0.0) {
+        continue;
+      }
+      for (int c = 0; c < other.cols_; ++c) {
+        out.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    const double* row = &data_[static_cast<size_t>(r) *
+                               static_cast<size_t>(cols_)];
+    for (int i = 0; i < cols_; ++i) {
+      const double a = row[i];
+      if (a == 0.0) {
+        continue;
+      }
+      for (int j = i; j < cols_; ++j) {
+        out.At(i, j) += a * row[j];
+      }
+    }
+  }
+  // Mirror the upper triangle into the lower one.
+  for (int i = 0; i < cols_; ++i) {
+    for (int j = i + 1; j < cols_; ++j) {
+      out.At(j, i) = out.At(i, j);
+    }
+  }
+  return out;
+}
+
+void Matrix::AddToDiagonal(double value) {
+  const int n = std::min(rows_, cols_);
+  for (int i = 0; i < n; ++i) {
+    At(i, i) += value;
+  }
+}
+
+Matrix Matrix::Identity(int d) {
+  Matrix out(d, d);
+  for (int i = 0; i < d; ++i) {
+    out.At(i, i) = 1.0;
+  }
+  return out;
+}
+
+}  // namespace nimbus::linalg

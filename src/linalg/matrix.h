@@ -1,0 +1,72 @@
+#ifndef NIMBUS_LINALG_MATRIX_H_
+#define NIMBUS_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace nimbus::linalg {
+
+// Dense row-major matrix of doubles. Sized once at construction; supports
+// the small set of operations needed for normal-equation solves, Newton
+// steps and the simplex tableau.
+class Matrix {
+ public:
+  // Creates a rows x cols matrix of zeros.
+  Matrix(int rows, int cols);
+
+  // Creates a matrix from nested initializer lists; all rows must have the
+  // same length. Example: Matrix m({{1, 2}, {3, 4}});
+  explicit Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& At(int r, int c) { return data_[Index(r, c)]; }
+  double At(int r, int c) const { return data_[Index(r, c)]; }
+
+  // Returns the r-th row as a vector copy.
+  Vector Row(int r) const;
+
+  // Returns the c-th column as a vector copy.
+  Vector Col(int c) const;
+
+  // Returns the transpose.
+  Matrix Transpose() const;
+
+  // Matrix-vector product (this * x). x.size() must equal cols().
+  Vector MatVec(const Vector& x) const;
+
+  // Transposed matrix-vector product (this^T * x). x.size() == rows().
+  Vector TransposeMatVec(const Vector& x) const;
+
+  // Matrix-matrix product (this * other).
+  Matrix MatMul(const Matrix& other) const;
+
+  // Returns this^T * this (the Gram matrix), computed directly.
+  Matrix Gram() const;
+
+  // Adds `value` to every diagonal entry (ridge shift), in place.
+  void AddToDiagonal(double value);
+
+  // Returns the d x d identity.
+  static Matrix Identity(int d);
+
+ private:
+  size_t Index(int r, int c) const;
+
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace nimbus::linalg
+
+#endif  // NIMBUS_LINALG_MATRIX_H_

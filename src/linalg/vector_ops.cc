@@ -1,0 +1,91 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nimbus::linalg {
+
+double Dot(const Vector& a, const Vector& b) {
+  NIMBUS_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(SquaredNorm2(a)); }
+
+double SquaredNorm2(const Vector& a) { return Dot(a, a); }
+
+double Norm1(const Vector& a) {
+  double sum = 0.0;
+  for (double v : a) {
+    sum += std::fabs(v);
+  }
+  return sum;
+}
+
+double NormInf(const Vector& a) {
+  double best = 0.0;
+  for (double v : a) {
+    best = std::max(best, std::fabs(v));
+  }
+  return best;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  NIMBUS_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] + b[i];
+  }
+  return out;
+}
+
+Vector Subtract(const Vector& a, const Vector& b) {
+  NIMBUS_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] - b[i];
+  }
+  return out;
+}
+
+Vector Scale(const Vector& a, double scalar) {
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] * scalar;
+  }
+  return out;
+}
+
+void AxpyInPlace(double scalar, const Vector& b, Vector& a) {
+  NIMBUS_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] += scalar * b[i];
+  }
+}
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  NIMBUS_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+Vector Zeros(int d) {
+  NIMBUS_CHECK_GE(d, 0);
+  return Vector(static_cast<size_t>(d), 0.0);
+}
+
+Vector Ones(int d) {
+  NIMBUS_CHECK_GE(d, 0);
+  return Vector(static_cast<size_t>(d), 1.0);
+}
+
+}  // namespace nimbus::linalg

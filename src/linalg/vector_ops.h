@@ -1,0 +1,53 @@
+#ifndef NIMBUS_LINALG_VECTOR_OPS_H_
+#define NIMBUS_LINALG_VECTOR_OPS_H_
+
+#include <vector>
+
+namespace nimbus::linalg {
+
+// Dense vectors are plain std::vector<double>; these free functions give
+// them the small algebra kernel the ML and pricing layers need. All
+// binary operations require equal sizes and abort otherwise (size
+// mismatches are programming errors, not runtime conditions).
+
+using Vector = std::vector<double>;
+
+// Inner product <a, b>.
+double Dot(const Vector& a, const Vector& b);
+
+// Euclidean norm ||a||_2.
+double Norm2(const Vector& a);
+
+// Squared euclidean norm ||a||_2^2.
+double SquaredNorm2(const Vector& a);
+
+// L1 norm.
+double Norm1(const Vector& a);
+
+// Infinity norm.
+double NormInf(const Vector& a);
+
+// Element-wise a + b.
+Vector Add(const Vector& a, const Vector& b);
+
+// Element-wise a - b.
+Vector Subtract(const Vector& a, const Vector& b);
+
+// scalar * a.
+Vector Scale(const Vector& a, double scalar);
+
+// a += scalar * b (BLAS axpy), in place.
+void AxpyInPlace(double scalar, const Vector& b, Vector& a);
+
+// ||a - b||_2^2.
+double SquaredDistance(const Vector& a, const Vector& b);
+
+// Returns the all-zeros vector of dimension d.
+Vector Zeros(int d);
+
+// Returns the all-ones vector of dimension d.
+Vector Ones(int d);
+
+}  // namespace nimbus::linalg
+
+#endif  // NIMBUS_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,158 @@
+#include "market/broker.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace nimbus::market {
+
+StatusOr<Broker> Broker::Create(
+    data::TrainTestSplit split, ml::ModelSpec model,
+    std::unique_ptr<mechanism::NoiseMechanism> mechanism, Options options) {
+  if (mechanism == nullptr) {
+    return InvalidArgumentError("broker needs a noise mechanism");
+  }
+  if (!(options.min_inverse_ncp > 0.0) ||
+      !(options.max_inverse_ncp > options.min_inverse_ncp)) {
+    return InvalidArgumentError("need 0 < min_inverse_ncp < max_inverse_ncp");
+  }
+  if (options.error_curve_points < 2) {
+    return InvalidArgumentError("need at least two error-curve points");
+  }
+  if (options.samples_per_curve_point < 1) {
+    return InvalidArgumentError("need at least one sample per curve point");
+  }
+  if (split.train.empty() || split.test.empty()) {
+    return InvalidArgumentError("train and test sets must be non-empty");
+  }
+  // One-time training of the optimal model instance h*_λ(D) — the key
+  // runtime property of the noise-injection approach (§1): later sales
+  // only add noise, they never retrain.
+  NIMBUS_ASSIGN_OR_RETURN(linalg::Vector optimal,
+                          model.FitOptimal(split.train));
+  return Broker(std::move(split), std::move(model), std::move(mechanism),
+                options, std::move(optimal));
+}
+
+Broker::Broker(data::TrainTestSplit split, ml::ModelSpec model,
+               std::unique_ptr<mechanism::NoiseMechanism> mechanism,
+               Options options, linalg::Vector optimal_model)
+    : split_(std::move(split)),
+      model_(std::move(model)),
+      mechanism_(std::move(mechanism)),
+      options_(options),
+      optimal_model_(std::move(optimal_model)),
+      pricing_(std::make_shared<pricing::LinearPricing>(
+          1.0, std::numeric_limits<double>::infinity(), "placeholder")),
+      rng_(options.seed) {}
+
+void Broker::SetPricingFunction(
+    std::shared_ptr<const pricing::PricingFunction> pricing) {
+  NIMBUS_CHECK(pricing != nullptr);
+  pricing_ = std::move(pricing);
+}
+
+StatusOr<const pricing::ErrorCurve*> Broker::GetErrorCurve(
+    const std::string& report_loss_name) {
+  auto it = error_curves_.find(report_loss_name);
+  if (it != error_curves_.end()) {
+    return &it->second;
+  }
+  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const ml::Loss> loss,
+                          model_.FindReportLoss(report_loss_name));
+  const std::vector<double> grid =
+      Linspace(options_.min_inverse_ncp, options_.max_inverse_ncp,
+               options_.error_curve_points);
+  NIMBUS_ASSIGN_OR_RETURN(
+      pricing::ErrorCurve curve,
+      pricing::ErrorCurve::Estimate(*mechanism_, optimal_model_, *loss,
+                                    split_.test, grid,
+                                    options_.samples_per_curve_point, rng_));
+  auto [inserted, ok] =
+      error_curves_.emplace(report_loss_name, std::move(curve));
+  NIMBUS_CHECK(ok);
+  return &inserted->second;
+}
+
+StatusOr<std::vector<Broker::PriceErrorPoint>> Broker::PriceErrorCurve(
+    const std::string& report_loss_name) {
+  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+                          GetErrorCurve(report_loss_name));
+  std::vector<PriceErrorPoint> out;
+  out.reserve(curve->points().size());
+  for (const pricing::ErrorCurvePoint& p : curve->points()) {
+    out.push_back(PriceErrorPoint{p.inverse_ncp, p.expected_error,
+                                  pricing_->PriceAtInverseNcp(p.inverse_ncp)});
+  }
+  return out;
+}
+
+StatusOr<Broker::Purchase> Broker::CompleteSale(
+    double inverse_ncp, const pricing::ErrorCurve& curve) {
+  Purchase purchase;
+  purchase.inverse_ncp = inverse_ncp;
+  purchase.ncp = 1.0 / inverse_ncp;
+  purchase.price = pricing_->PriceAtInverseNcp(inverse_ncp);
+  purchase.expected_error = curve.ErrorAtInverseNcp(inverse_ncp);
+  purchase.model = mechanism_->Perturb(optimal_model_, purchase.ncp, rng_);
+  revenue_collected_ += purchase.price;
+  ++sales_count_;
+  return purchase;
+}
+
+StatusOr<Broker::Purchase> Broker::BuyAtInverseNcp(
+    double inverse_ncp, const std::string& report_loss_name) {
+  if (inverse_ncp < options_.min_inverse_ncp ||
+      inverse_ncp > options_.max_inverse_ncp) {
+    return OutOfRangeError("requested version is outside the supported "
+                           "inverse-NCP range");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+                          GetErrorCurve(report_loss_name));
+  return CompleteSale(inverse_ncp, *curve);
+}
+
+StatusOr<Broker::Purchase> Broker::BuyWithErrorBudget(
+    double error_budget, const std::string& report_loss_name) {
+  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+                          GetErrorCurve(report_loss_name));
+  // Price is monotone in x, so the cheapest qualifying version is the
+  // smallest x meeting the budget — exactly the broker's optimization
+  // problem in §3.2 (option two).
+  NIMBUS_ASSIGN_OR_RETURN(double x,
+                          curve->MinInverseNcpForErrorBudget(error_budget));
+  return CompleteSale(x, *curve);
+}
+
+StatusOr<Broker::Purchase> Broker::BuyWithPriceBudget(
+    double price_budget, const std::string& report_loss_name) {
+  if (price_budget < 0.0) {
+    return InvalidArgumentError("price budget must be non-negative");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+                          GetErrorCurve(report_loss_name));
+  // Expected error decreases with x while price increases, so the best
+  // affordable version is the largest x with price <= budget (option
+  // three of §3.2). Binary search on the monotone price curve.
+  double lo = options_.min_inverse_ncp;
+  double hi = options_.max_inverse_ncp;
+  if (pricing_->PriceAtInverseNcp(lo) > price_budget) {
+    return InfeasibleError("price budget below the cheapest version");
+  }
+  if (pricing_->PriceAtInverseNcp(hi) <= price_budget) {
+    return CompleteSale(hi, *curve);
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (pricing_->PriceAtInverseNcp(mid) <= price_budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return CompleteSale(lo, *curve);
+}
+
+}  // namespace nimbus::market

@@ -1,0 +1,133 @@
+#ifndef NIMBUS_MARKET_BROKER_H_
+#define NIMBUS_MARKET_BROKER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "mechanism/noise_mechanism.h"
+#include "ml/model.h"
+#include "pricing/error_curve.h"
+#include "pricing/pricing_function.h"
+
+namespace nimbus::market {
+
+// The broker agent of Figure 1(B): holds the seller's dataset, trains the
+// optimal model instance once, builds error-transformation curves per
+// report loss, and serves buyers noisy model versions priced by an
+// arbitrage-free pricing function. Implements the full broker-buyer
+// protocol of §3.2:
+//   1. the buyer picks the model and error functions λ, ε;
+//   2. the broker shows the price-error curve;
+//   3. the buyer picks a point / error budget / price budget and pays;
+//   4. the broker returns the noisy model instance.
+class Broker {
+ public:
+  struct Options {
+    // Grid of supported versions x = 1/δ.
+    double min_inverse_ncp = 1.0;
+    double max_inverse_ncp = 100.0;
+    int error_curve_points = 25;
+    // Monte-Carlo draws per error-curve point (paper uses 2000).
+    int samples_per_curve_point = 200;
+    uint64_t seed = 20190642;
+  };
+
+  // Trains the optimal model on `split.train` and prepares the broker.
+  // The pricing function starts as a unit-slope linear placeholder; call
+  // SetPricingFunction after the seller runs revenue optimization.
+  // (Pass Options{} for the defaults.)
+  static StatusOr<Broker> Create(data::TrainTestSplit split,
+                                 ml::ModelSpec model,
+                                 std::unique_ptr<mechanism::NoiseMechanism>
+                                     mechanism,
+                                 Options options);
+
+  Broker(Broker&&) = default;
+  Broker& operator=(Broker&&) = default;
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  const ml::ModelSpec& model() const { return model_; }
+  const linalg::Vector& optimal_model() const { return optimal_model_; }
+  const mechanism::NoiseMechanism& noise_mechanism() const {
+    return *mechanism_;
+  }
+  const Options& options() const { return options_; }
+
+  // Installs the pricing function agreed with the seller.
+  void SetPricingFunction(
+      std::shared_ptr<const pricing::PricingFunction> pricing);
+  const pricing::PricingFunction& pricing_function() const {
+    return *pricing_;
+  }
+
+  // Error-transformation curve for one of the model's report losses
+  // (ε name as in ml::Loss::name()); computed lazily and cached.
+  StatusOr<const pricing::ErrorCurve*> GetErrorCurve(
+      const std::string& report_loss_name);
+
+  // One row of the price-error curve shown to buyers (Figure 2d).
+  struct PriceErrorPoint {
+    double inverse_ncp = 0.0;
+    double expected_error = 0.0;
+    double price = 0.0;
+  };
+  StatusOr<std::vector<PriceErrorPoint>> PriceErrorCurve(
+      const std::string& report_loss_name);
+
+  // A completed sale.
+  struct Purchase {
+    linalg::Vector model;
+    double price = 0.0;
+    double ncp = 0.0;
+    double inverse_ncp = 0.0;
+    double expected_error = 0.0;
+  };
+
+  // Option 1: buy the version at a specific point x = 1/δ of the curve.
+  StatusOr<Purchase> BuyAtInverseNcp(double inverse_ncp,
+                                     const std::string& report_loss_name);
+
+  // Option 2: cheapest version whose expected error is <= `error_budget`
+  // (kInfeasible when no supported version qualifies).
+  StatusOr<Purchase> BuyWithErrorBudget(double error_budget,
+                                        const std::string& report_loss_name);
+
+  // Option 3: most accurate version whose price is <= `price_budget`
+  // (kInfeasible when even the cheapest version costs more).
+  StatusOr<Purchase> BuyWithPriceBudget(double price_budget,
+                                        const std::string& report_loss_name);
+
+  // Total payments collected so far.
+  double revenue_collected() const { return revenue_collected_; }
+  int sales_count() const { return sales_count_; }
+
+ private:
+  Broker(data::TrainTestSplit split, ml::ModelSpec model,
+         std::unique_ptr<mechanism::NoiseMechanism> mechanism,
+         Options options, linalg::Vector optimal_model);
+
+  StatusOr<Purchase> CompleteSale(double inverse_ncp,
+                                  const pricing::ErrorCurve& curve);
+
+  data::TrainTestSplit split_;
+  ml::ModelSpec model_;
+  std::unique_ptr<mechanism::NoiseMechanism> mechanism_;
+  Options options_;
+  linalg::Vector optimal_model_;
+  std::shared_ptr<const pricing::PricingFunction> pricing_;
+  std::map<std::string, pricing::ErrorCurve> error_curves_;
+  Rng rng_;
+  double revenue_collected_ = 0.0;
+  int sales_count_ = 0;
+};
+
+}  // namespace nimbus::market
+
+#endif  // NIMBUS_MARKET_BROKER_H_

@@ -1,0 +1,37 @@
+#include "market/buyer_advisor.h"
+
+namespace nimbus::market {
+
+StatusOr<PurchaseRecommendation> RecommendPurchase(
+    Broker& broker, const std::string& report_loss_name,
+    double value_per_error_reduction) {
+  if (!(value_per_error_reduction > 0.0)) {
+    return InvalidArgumentError(
+        "value_per_error_reduction must be positive");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+                          broker.GetErrorCurve(report_loss_name));
+  const double worst_error = curve->points().front().expected_error;
+  PurchaseRecommendation best;
+  bool first = true;
+  for (const pricing::ErrorCurvePoint& point : curve->points()) {
+    const double price =
+        broker.pricing_function().PriceAtInverseNcp(point.inverse_ncp);
+    const double surplus =
+        value_per_error_reduction * (worst_error - point.expected_error) -
+        price;
+    if (first || surplus > best.surplus) {
+      first = false;
+      best.inverse_ncp = point.inverse_ncp;
+      best.expected_error = point.expected_error;
+      best.price = price;
+      best.surplus = surplus;
+    }
+  }
+  // When even the best version has non-positive surplus, the advisor
+  // still reports the least-bad option but marks it not worth buying.
+  best.worthwhile = best.surplus > 0.0;
+  return best;
+}
+
+}  // namespace nimbus::market

@@ -1,0 +1,39 @@
+#ifndef NIMBUS_MARKET_BUYER_ADVISOR_H_
+#define NIMBUS_MARKET_BUYER_ADVISOR_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "market/broker.h"
+
+namespace nimbus::market {
+
+// Buyer-side decision support: given the broker's price-error menu and
+// the buyer's own economics — how much one unit of expected-error
+// reduction is worth to them — recommend the surplus-maximizing version
+// (or "buy nothing" when no version pays for itself). This is the
+// missing fourth interaction of §3.2: instead of the buyer naming a
+// point/budget, they name their value model and the advisor picks.
+
+struct PurchaseRecommendation {
+  // Whether any version yields positive surplus at all.
+  bool worthwhile = false;
+  double inverse_ncp = 0.0;
+  double expected_error = 0.0;
+  double price = 0.0;
+  // value_per_error_reduction * (worst_error − expected_error) − price.
+  double surplus = 0.0;
+};
+
+// Scans the broker's error curve for `report_loss_name` and maximizes
+// the buyer's surplus. The buyer values error reduction linearly at
+// `value_per_error_reduction` (> 0) relative to the noisiest offered
+// version; this matches the value-curve abstraction of Figure 2(a).
+// Does not execute a purchase.
+StatusOr<PurchaseRecommendation> RecommendPurchase(
+    Broker& broker, const std::string& report_loss_name,
+    double value_per_error_reduction);
+
+}  // namespace nimbus::market
+
+#endif  // NIMBUS_MARKET_BUYER_ADVISOR_H_

@@ -1,0 +1,74 @@
+#include "market/collusion.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nimbus::market {
+
+CollusionMonitor::CollusionMonitor(
+    std::shared_ptr<const pricing::PricingFunction> pricing)
+    : pricing_(std::move(pricing)) {
+  NIMBUS_CHECK(pricing_ != nullptr);
+}
+
+void CollusionMonitor::SetPricingFunction(
+    std::shared_ptr<const pricing::PricingFunction> pricing) {
+  NIMBUS_CHECK(pricing != nullptr);
+  pricing_ = std::move(pricing);
+}
+
+Status CollusionMonitor::RecordPurchase(const std::string& buyer_id,
+                                        double inverse_ncp,
+                                        double price_paid) {
+  if (buyer_id.empty()) {
+    return InvalidArgumentError("buyer id must be non-empty");
+  }
+  if (!(inverse_ncp > 0.0)) {
+    return InvalidArgumentError("inverse NCP must be positive");
+  }
+  if (price_paid < 0.0) {
+    return InvalidArgumentError("price must be non-negative");
+  }
+  BuyerHistory& history = history_[buyer_id];
+  ++history.purchases;
+  history.combined_inverse_ncp += inverse_ncp;
+  history.total_paid += price_paid;
+  return OkStatus();
+}
+
+StatusOr<CollusionMonitor::Assessment> CollusionMonitor::Assess(
+    const std::string& buyer_id, double tol) const {
+  const auto it = history_.find(buyer_id);
+  if (it == history_.end()) {
+    return NotFoundError("unknown buyer '" + buyer_id + "'");
+  }
+  const BuyerHistory& history = it->second;
+  Assessment assessment;
+  assessment.purchases = history.purchases;
+  assessment.combined_inverse_ncp = history.combined_inverse_ncp;
+  assessment.total_paid = history.total_paid;
+  assessment.combined_list_price =
+      pricing_->PriceAtInverseNcp(history.combined_inverse_ncp);
+  assessment.suspicious =
+      history.purchases >= 2 &&
+      assessment.total_paid <
+          assessment.combined_list_price -
+              tol * std::max(1.0, assessment.combined_list_price);
+  return assessment;
+}
+
+std::vector<std::string> CollusionMonitor::SuspiciousBuyers(double tol) const {
+  std::vector<std::string> out;
+  for (const auto& [buyer_id, history] : history_) {
+    (void)history;
+    StatusOr<Assessment> assessment = Assess(buyer_id, tol);
+    if (assessment.ok() && assessment->suspicious) {
+      out.push_back(buyer_id);
+    }
+  }
+  return out;
+}
+
+}  // namespace nimbus::market

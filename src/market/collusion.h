@@ -1,0 +1,68 @@
+#ifndef NIMBUS_MARKET_COLLUSION_H_
+#define NIMBUS_MARKET_COLLUSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "pricing/pricing_function.h"
+
+namespace nimbus::market {
+
+// Watches purchase histories for the Theorem 5 combination executed
+// across transactions: a buyer who accumulates versions with precisions
+// x_1, ..., x_k can average them into a model of precision Σ x_i (the
+// inverse variances add). Under an arbitrage-free pricing function the
+// combined list price p(Σ x_i) never exceeds what they paid — so a buyer
+// whose history beats the list price is direct evidence that the
+// installed pricing function leaks arbitrage (e.g. after a manual price
+// override). Brokers run this as a self-check in production.
+class CollusionMonitor {
+ public:
+  explicit CollusionMonitor(
+      std::shared_ptr<const pricing::PricingFunction> pricing);
+
+  // Updates the pricing function (e.g. after the seller re-negotiates).
+  void SetPricingFunction(
+      std::shared_ptr<const pricing::PricingFunction> pricing);
+
+  // Records one completed sale. `inverse_ncp` and `price_paid` must be
+  // positive / non-negative respectively.
+  Status RecordPurchase(const std::string& buyer_id, double inverse_ncp,
+                        double price_paid);
+
+  struct Assessment {
+    int purchases = 0;
+    double combined_inverse_ncp = 0.0;   // Σ x_i.
+    double total_paid = 0.0;             // Σ prices.
+    double combined_list_price = 0.0;    // p(Σ x_i) under current pricing.
+    // True when the buyer synthesized the combined precision for less
+    // than its list price (with at least two purchases).
+    bool suspicious = false;
+  };
+
+  // Assesses one buyer; kNotFound for unknown ids.
+  StatusOr<Assessment> Assess(const std::string& buyer_id,
+                              double tol = 1e-9) const;
+
+  // All buyer ids whose assessment is suspicious, sorted.
+  std::vector<std::string> SuspiciousBuyers(double tol = 1e-9) const;
+
+  int known_buyers() const { return static_cast<int>(history_.size()); }
+
+ private:
+  struct BuyerHistory {
+    int purchases = 0;
+    double combined_inverse_ncp = 0.0;
+    double total_paid = 0.0;
+  };
+
+  std::shared_ptr<const pricing::PricingFunction> pricing_;
+  std::map<std::string, BuyerHistory> history_;
+};
+
+}  // namespace nimbus::market
+
+#endif  // NIMBUS_MARKET_COLLUSION_H_

@@ -1,0 +1,119 @@
+#include "market/curves.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace nimbus::market {
+
+double NormalizedValueAt(ValueShape shape, double t) {
+  switch (shape) {
+    case ValueShape::kLinear:
+      return t;
+    case ValueShape::kConvex:
+      return t * t * t;
+    case ValueShape::kConcave:
+      return std::cbrt(t);
+    case ValueShape::kSigmoid: {
+      // Logistic centred at 0.5, rescaled so the endpoints hit 0 and 1.
+      const double raw = Sigmoid(10.0 * (t - 0.5));
+      const double lo = Sigmoid(-5.0);
+      const double hi = Sigmoid(5.0);
+      return (raw - lo) / (hi - lo);
+    }
+  }
+  return t;
+}
+
+double DemandDensityAt(DemandShape shape, double t) {
+  switch (shape) {
+    case DemandShape::kUniform:
+      return 1.0;
+    case DemandShape::kUnimodal: {
+      const double z = (t - 0.5) / 0.2;
+      return 0.05 + std::exp(-0.5 * z * z);
+    }
+    case DemandShape::kBimodal: {
+      const double z0 = (t - 0.15) / 0.12;
+      const double z1 = (t - 0.85) / 0.12;
+      return 0.05 + std::exp(-0.5 * z0 * z0) + std::exp(-0.5 * z1 * z1);
+    }
+    case DemandShape::kIncreasing:
+      return 0.1 + t;
+    case DemandShape::kDecreasing:
+      return 0.1 + (1.0 - t);
+  }
+  return 1.0;
+}
+
+std::string_view ToString(ValueShape shape) {
+  switch (shape) {
+    case ValueShape::kLinear:
+      return "linear";
+    case ValueShape::kConvex:
+      return "convex";
+    case ValueShape::kConcave:
+      return "concave";
+    case ValueShape::kSigmoid:
+      return "sigmoid";
+  }
+  return "unknown";
+}
+
+std::string_view ToString(DemandShape shape) {
+  switch (shape) {
+    case DemandShape::kUniform:
+      return "uniform";
+    case DemandShape::kUnimodal:
+      return "unimodal";
+    case DemandShape::kBimodal:
+      return "bimodal";
+    case DemandShape::kIncreasing:
+      return "increasing";
+    case DemandShape::kDecreasing:
+      return "decreasing";
+  }
+  return "unknown";
+}
+
+std::vector<ValueShape> AllValueShapes() {
+  return {ValueShape::kLinear, ValueShape::kConvex, ValueShape::kConcave,
+          ValueShape::kSigmoid};
+}
+
+std::vector<DemandShape> AllDemandShapes() {
+  return {DemandShape::kUniform, DemandShape::kUnimodal,
+          DemandShape::kBimodal, DemandShape::kIncreasing,
+          DemandShape::kDecreasing};
+}
+
+StatusOr<std::vector<revenue::BuyerPoint>> MakeBuyerPoints(
+    ValueShape value_shape, DemandShape demand_shape, int n, double a_min,
+    double a_max, double v_max, double value_floor) {
+  if (n < 1) {
+    return InvalidArgumentError("need at least one buyer point");
+  }
+  if (!(a_min > 0.0) || (n > 1 && !(a_max > a_min))) {
+    return InvalidArgumentError("need 0 < a_min < a_max");
+  }
+  if (value_floor < 0.0 || v_max < value_floor) {
+    return InvalidArgumentError("need 0 <= value_floor <= v_max");
+  }
+  std::vector<revenue::BuyerPoint> points(static_cast<size_t>(n));
+  double total_mass = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double t =
+        n == 1 ? 1.0 : static_cast<double>(j) / static_cast<double>(n - 1);
+    revenue::BuyerPoint& p = points[static_cast<size_t>(j)];
+    p.a = n == 1 ? a_min : a_min + t * (a_max - a_min);
+    p.v = value_floor + (v_max - value_floor) * NormalizedValueAt(value_shape, t);
+    p.b = DemandDensityAt(demand_shape, t);
+    total_mass += p.b;
+  }
+  for (revenue::BuyerPoint& p : points) {
+    p.b /= total_mass;
+  }
+  return points;
+}
+
+}  // namespace nimbus::market

@@ -1,0 +1,58 @@
+#ifndef NIMBUS_MARKET_CURVES_H_
+#define NIMBUS_MARKET_CURVES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "revenue/buyer_model.h"
+
+namespace nimbus::market {
+
+// Parametric families of buyer value curves (monetary worth as a function
+// of the version parameter x = 1/NCP) matching the shapes plotted in
+// Figures 7/8 and 11-14. All shapes are non-decreasing in x, as the
+// paper's revenue DP requires.
+enum class ValueShape {
+  kLinear,   // Value grows linearly with accuracy.
+  kConvex,   // Only near-optimal models are worth much (Fig 7a).
+  kConcave,  // Value saturates quickly (Fig 7b).
+  kSigmoid,  // Threshold behaviour: worthless until "good enough".
+};
+
+// Demand curve families (how buyer mass is distributed over versions).
+enum class DemandShape {
+  kUniform,     // Same interest at every accuracy level (Fig 7).
+  kUnimodal,    // Most buyers want medium accuracy (Fig 8a).
+  kBimodal,     // Interest at both extremes (Fig 8b).
+  kIncreasing,  // Most buyers want high accuracy.
+  kDecreasing,  // Most buyers want cheap exploratory models.
+};
+
+std::string_view ToString(ValueShape shape);
+std::string_view ToString(DemandShape shape);
+
+// All enumerators, for sweeps.
+std::vector<ValueShape> AllValueShapes();
+std::vector<DemandShape> AllDemandShapes();
+
+// Normalized value curve: position t in [0, 1] -> value in [0, 1],
+// non-decreasing with endpoints 0 and 1.
+double NormalizedValueAt(ValueShape shape, double t);
+
+// Unnormalized demand density at position t in [0, 1] (> 0 everywhere).
+double DemandDensityAt(DemandShape shape, double t);
+
+// Generates `n` buyer points on an even grid of x in [a_min, a_max] with
+// valuations following `value_shape` scaled to [value_floor, v_max] and
+// demand masses following `demand_shape` (normalized to total mass 1).
+// Requires n >= 1, 0 < a_min < a_max (or n == 1 with a_min == a_max) and
+// 0 <= value_floor <= v_max.
+StatusOr<std::vector<revenue::BuyerPoint>> MakeBuyerPoints(
+    ValueShape value_shape, DemandShape demand_shape, int n, double a_min,
+    double a_max, double v_max, double value_floor = 0.0);
+
+}  // namespace nimbus::market
+
+#endif  // NIMBUS_MARKET_CURVES_H_

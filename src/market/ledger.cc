@@ -1,0 +1,91 @@
+#include "market/ledger.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace nimbus::market {
+
+StatusOr<int64_t> Ledger::Record(const std::string& buyer_id,
+                                 ml::ModelKind model, double inverse_ncp,
+                                 double price, double expected_error) {
+  if (buyer_id.empty()) {
+    return InvalidArgumentError("buyer id must be non-empty");
+  }
+  if (!(inverse_ncp > 0.0)) {
+    return InvalidArgumentError("inverse NCP must be positive");
+  }
+  if (price < 0.0) {
+    return InvalidArgumentError("price must be non-negative");
+  }
+  LedgerEntry entry;
+  entry.sequence = static_cast<int64_t>(entries_.size());
+  entry.buyer_id = buyer_id;
+  entry.model = model;
+  entry.inverse_ncp = inverse_ncp;
+  entry.price = price;
+  entry.expected_error = expected_error;
+  entries_.push_back(entry);
+  spend_by_buyer_[buyer_id] += price;
+  return entry.sequence;
+}
+
+double Ledger::TotalRevenue() const {
+  double total = 0.0;
+  for (const LedgerEntry& e : entries_) {
+    total += e.price;
+  }
+  return total;
+}
+
+double Ledger::RevenueForModel(ml::ModelKind model) const {
+  double total = 0.0;
+  for (const LedgerEntry& e : entries_) {
+    if (e.model == model) {
+      total += e.price;
+    }
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, double>> Ledger::TopBuyers(
+    int limit) const {
+  std::vector<std::pair<std::string, double>> buyers(spend_by_buyer_.begin(),
+                                                     spend_by_buyer_.end());
+  std::sort(buyers.begin(), buyers.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) {
+                return a.second > b.second;
+              }
+              return a.first < b.first;
+            });
+  if (limit >= 0 && static_cast<size_t>(limit) < buyers.size()) {
+    buyers.resize(static_cast<size_t>(limit));
+  }
+  return buyers;
+}
+
+std::vector<LedgerEntry> Ledger::EntriesForBuyer(
+    const std::string& buyer_id) const {
+  std::vector<LedgerEntry> out;
+  for (const LedgerEntry& e : entries_) {
+    if (e.buyer_id == buyer_id) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string Ledger::ToCsv() const {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "sequence,buyer,model,inverse_ncp,price,expected_error\n";
+  for (const LedgerEntry& e : entries_) {
+    out << e.sequence << ',' << e.buyer_id << ','
+        << ml::ModelKindToString(e.model) << ',' << e.inverse_ncp << ','
+        << e.price << ',' << e.expected_error << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace nimbus::market

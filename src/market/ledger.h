@@ -1,0 +1,62 @@
+#ifndef NIMBUS_MARKET_LEDGER_H_
+#define NIMBUS_MARKET_LEDGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "ml/model.h"
+
+namespace nimbus::market {
+
+// One completed transaction as recorded by the marketplace.
+struct LedgerEntry {
+  int64_t sequence = 0;  // Monotone id assigned by the ledger.
+  std::string buyer_id;
+  ml::ModelKind model = ml::ModelKind::kLinearRegression;
+  double inverse_ncp = 0.0;
+  double price = 0.0;
+  double expected_error = 0.0;
+};
+
+// Append-only transaction log with simple reporting queries. The ledger
+// is the seller's audit trail: it backs revenue accounting, per-model
+// break-downs, and feeds the CollusionMonitor with purchase histories.
+class Ledger {
+ public:
+  Ledger() = default;
+
+  // Appends one transaction; assigns and returns its sequence number.
+  // buyer_id must be non-empty, inverse_ncp > 0 and price >= 0.
+  StatusOr<int64_t> Record(const std::string& buyer_id, ml::ModelKind model,
+                           double inverse_ncp, double price,
+                           double expected_error);
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  const std::vector<LedgerEntry>& entries() const { return entries_; }
+
+  // Sum of all prices.
+  double TotalRevenue() const;
+
+  // Revenue restricted to one model kind.
+  double RevenueForModel(ml::ModelKind model) const;
+
+  // Total spend per buyer, descending; ties broken by buyer id.
+  std::vector<std::pair<std::string, double>> TopBuyers(int limit) const;
+
+  // All entries of one buyer, in purchase order.
+  std::vector<LedgerEntry> EntriesForBuyer(const std::string& buyer_id) const;
+
+  // Serializes the ledger as CSV:
+  //   sequence,buyer,model,inverse_ncp,price,expected_error
+  std::string ToCsv() const;
+
+ private:
+  std::vector<LedgerEntry> entries_;
+  std::map<std::string, double> spend_by_buyer_;
+};
+
+}  // namespace nimbus::market
+
+#endif  // NIMBUS_MARKET_LEDGER_H_

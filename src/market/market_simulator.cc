@@ -1,0 +1,66 @@
+#include "market/market_simulator.h"
+
+#include <memory>
+
+#include "revenue/dp_optimizer.h"
+
+namespace nimbus::market {
+
+StatusOr<Seller> Seller::Create(
+    std::vector<revenue::BuyerPoint> market_research) {
+  NIMBUS_RETURN_IF_ERROR(revenue::ValidateBuyerPoints(
+      market_research, /*require_monotone_valuations=*/true));
+  return Seller(std::move(market_research));
+}
+
+StatusOr<std::shared_ptr<const pricing::PricingFunction>>
+Seller::NegotiatePricing() const {
+  NIMBUS_ASSIGN_OR_RETURN(revenue::DpResult dp,
+                          revenue::OptimizeRevenueDp(market_research_));
+  NIMBUS_ASSIGN_OR_RETURN(
+      pricing::PiecewiseLinearPricing pricing,
+      revenue::MakeDpPricingFunction(market_research_, dp));
+  predicted_revenue_ = dp.revenue;
+  return std::shared_ptr<const pricing::PricingFunction>(
+      std::make_shared<pricing::PiecewiseLinearPricing>(std::move(pricing)));
+}
+
+StatusOr<SimulationResult> SimulateMarket(
+    Broker& broker, const std::vector<revenue::BuyerPoint>& buyers,
+    const std::string& report_loss_name) {
+  NIMBUS_RETURN_IF_ERROR(revenue::ValidateBuyerPoints(
+      buyers, /*require_monotone_valuations=*/false));
+  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const ml::Loss> loss,
+                          broker.model().FindReportLoss(report_loss_name));
+
+  SimulationResult result;
+  const double revenue_before = broker.revenue_collected();
+  double total_mass = 0.0;
+  double affordable_mass = 0.0;
+  double error_sum = 0.0;
+  for (const revenue::BuyerPoint& buyer : buyers) {
+    total_mass += buyer.b;
+    const double price =
+        broker.pricing_function().PriceAtInverseNcp(buyer.a);
+    if (price > buyer.v * (1.0 + 1e-9) + 1e-9) {
+      continue;  // Buyer cannot afford this version.
+    }
+    NIMBUS_ASSIGN_OR_RETURN(Broker::Purchase purchase,
+                            broker.BuyAtInverseNcp(buyer.a, report_loss_name));
+    affordable_mass += buyer.b;
+    ++result.transactions;
+    // Weight revenue by the buyer mass this point represents, mirroring
+    // TBV = Σ b_j z_j 1[z_j <= v_j].
+    result.revenue += buyer.b * purchase.price;
+    error_sum += purchase.expected_error;
+  }
+  result.affordability = total_mass > 0.0 ? affordable_mass / total_mass : 0.0;
+  result.mean_delivered_error =
+      result.transactions > 0 ? error_sum / result.transactions : 0.0;
+  // The broker's till grew by the unweighted sum of prices; consistency
+  // between the two accountings is asserted by tests, not here.
+  (void)revenue_before;
+  return result;
+}
+
+}  // namespace nimbus::market

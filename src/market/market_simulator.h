@@ -1,0 +1,64 @@
+#ifndef NIMBUS_MARKET_MARKET_SIMULATOR_H_
+#define NIMBUS_MARKET_MARKET_SIMULATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "market/broker.h"
+#include "pricing/pricing_function.h"
+#include "revenue/buyer_model.h"
+
+namespace nimbus::market {
+
+// The seller agent of Figure 1(A): owns the market research (buyer value
+// and demand curves) and negotiates the pricing function with the broker
+// by running the MBP revenue optimization (Algorithm 1) on it.
+class Seller {
+ public:
+  // `market_research` must satisfy the DP preconditions (strictly
+  // increasing parameters, monotone valuations).
+  static StatusOr<Seller> Create(
+      std::vector<revenue::BuyerPoint> market_research);
+
+  const std::vector<revenue::BuyerPoint>& market_research() const {
+    return market_research_;
+  }
+
+  // Runs revenue optimization and returns the arbitrage-free MBP pricing
+  // function to install on the broker, together with the predicted
+  // revenue (field two).
+  StatusOr<std::shared_ptr<const pricing::PricingFunction>>
+  NegotiatePricing() const;
+  double predicted_revenue() const { return predicted_revenue_; }
+
+ private:
+  explicit Seller(std::vector<revenue::BuyerPoint> market_research)
+      : market_research_(std::move(market_research)) {}
+
+  std::vector<revenue::BuyerPoint> market_research_;
+  mutable double predicted_revenue_ = 0.0;
+};
+
+// Outcome of simulating one buyer population against a broker.
+struct SimulationResult {
+  double revenue = 0.0;            // Actual payments collected.
+  double affordability = 0.0;      // Buyer-mass fraction that purchased.
+  int transactions = 0;            // Number of completed sales.
+  double mean_delivered_error = 0.0;  // Avg report error of sold models.
+};
+
+// Replays the market of §6.2 end to end: each buyer point represents
+// `b_j`-weighted buyers interested in version a_j who purchase through
+// the broker's point-on-curve option iff the listed price is within
+// their valuation. Delivered models are scored with the report loss so
+// the simulation verifies that buyers actually receive the quality they
+// paid for.
+StatusOr<SimulationResult> SimulateMarket(
+    Broker& broker, const std::vector<revenue::BuyerPoint>& buyers,
+    const std::string& report_loss_name);
+
+}  // namespace nimbus::market
+
+#endif  // NIMBUS_MARKET_MARKET_SIMULATOR_H_

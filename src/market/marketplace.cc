@@ -1,0 +1,142 @@
+#include "market/marketplace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mechanism/noise_mechanism.h"
+
+namespace nimbus::market {
+
+Marketplace::Marketplace(data::TrainTestSplit split, Broker::Options options)
+    : split_(std::move(split)), options_(options) {}
+
+Status Marketplace::AddOffering(
+    ml::ModelKind kind, double ridge_mu,
+    std::shared_ptr<const pricing::PricingFunction> pricing) {
+  if (pricing == nullptr) {
+    return InvalidArgumentError("offering needs a pricing function");
+  }
+  if (brokers_.count(kind) > 0) {
+    return InvalidArgumentError(
+        "model '" + std::string(ml::ModelKindToString(kind)) +
+        "' is already offered");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(ml::ModelSpec spec,
+                          ml::ModelSpec::Create(kind, ridge_mu));
+  // Every broker gets its own copy of the split and a distinct seed so
+  // sales across models draw independent noise.
+  Broker::Options options = options_;
+  options.seed += static_cast<uint64_t>(brokers_.size()) + 1;
+  data::TrainTestSplit split_copy{split_.train, split_.test};
+  NIMBUS_ASSIGN_OR_RETURN(
+      Broker broker,
+      Broker::Create(std::move(split_copy), std::move(spec),
+                     std::make_unique<mechanism::GaussianMechanism>(),
+                     options));
+  broker.SetPricingFunction(pricing);
+  brokers_.emplace(kind, std::move(broker));
+  pricing_.emplace(kind, pricing);
+  monitors_.emplace(kind, CollusionMonitor(pricing));
+  offering_order_.push_back(kind);
+  return OkStatus();
+}
+
+std::vector<ml::ModelKind> Marketplace::Offerings() const {
+  return offering_order_;
+}
+
+StatusOr<Broker*> Marketplace::BrokerFor(ml::ModelKind kind) {
+  auto it = brokers_.find(kind);
+  if (it == brokers_.end()) {
+    return NotFoundError("model '" +
+                         std::string(ml::ModelKindToString(kind)) +
+                         "' is not offered");
+  }
+  return &it->second;
+}
+
+StatusOr<std::vector<Marketplace::CatalogRow>> Marketplace::Catalog() {
+  std::vector<CatalogRow> rows;
+  for (ml::ModelKind kind : offering_order_) {
+    NIMBUS_ASSIGN_OR_RETURN(Broker * broker, BrokerFor(kind));
+    const std::string loss_name =
+        broker->model().report_losses().front()->name();
+    NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+                            broker->GetErrorCurve(loss_name));
+    CatalogRow row;
+    row.model = kind;
+    row.report_loss = loss_name;
+    row.worst_expected_error = curve->points().front().expected_error;
+    row.best_expected_error = curve->points().back().expected_error;
+    const pricing::PricingFunction& pricing = broker->pricing_function();
+    row.min_price =
+        pricing.PriceAtInverseNcp(broker->options().min_inverse_ncp);
+    row.max_price =
+        pricing.PriceAtInverseNcp(broker->options().max_inverse_ncp);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+StatusOr<Broker::Purchase> Marketplace::Buy(
+    const std::string& buyer_id, ml::ModelKind kind, double inverse_ncp,
+    const std::string& report_loss_name) {
+  if (buyer_id.empty()) {
+    return InvalidArgumentError("buyer id must be non-empty");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(Broker * broker, BrokerFor(kind));
+  NIMBUS_ASSIGN_OR_RETURN(
+      Broker::Purchase purchase,
+      broker->BuyAtInverseNcp(inverse_ncp, report_loss_name));
+  NIMBUS_RETURN_IF_ERROR(ledger_
+                             .Record(buyer_id, kind, purchase.inverse_ncp,
+                                     purchase.price, purchase.expected_error)
+                             .status());
+  NIMBUS_RETURN_IF_ERROR(monitors_.at(kind).RecordPurchase(
+      buyer_id, purchase.inverse_ncp, purchase.price));
+  return purchase;
+}
+
+StatusOr<Broker::Purchase> Marketplace::BuyWithPriceBudget(
+    const std::string& buyer_id, ml::ModelKind kind, double price_budget,
+    const std::string& report_loss_name) {
+  if (buyer_id.empty()) {
+    return InvalidArgumentError("buyer id must be non-empty");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(Broker * broker, BrokerFor(kind));
+  NIMBUS_ASSIGN_OR_RETURN(
+      Broker::Purchase purchase,
+      broker->BuyWithPriceBudget(price_budget, report_loss_name));
+  NIMBUS_RETURN_IF_ERROR(ledger_
+                             .Record(buyer_id, kind, purchase.inverse_ncp,
+                                     purchase.price, purchase.expected_error)
+                             .status());
+  NIMBUS_RETURN_IF_ERROR(monitors_.at(kind).RecordPurchase(
+      buyer_id, purchase.inverse_ncp, purchase.price));
+  return purchase;
+}
+
+StatusOr<const CollusionMonitor*> Marketplace::MonitorFor(
+    ml::ModelKind kind) const {
+  const auto it = monitors_.find(kind);
+  if (it == monitors_.end()) {
+    return NotFoundError("model '" +
+                         std::string(ml::ModelKindToString(kind)) +
+                         "' is not offered");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Marketplace::SuspiciousBuyers() const {
+  std::vector<std::string> out;
+  for (const auto& [kind, monitor] : monitors_) {
+    (void)kind;
+    const std::vector<std::string> flagged = monitor.SuspiciousBuyers();
+    out.insert(out.end(), flagged.begin(), flagged.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace nimbus::market

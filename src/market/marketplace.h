@@ -1,0 +1,94 @@
+#ifndef NIMBUS_MARKET_MARKETPLACE_H_
+#define NIMBUS_MARKET_MARKETPLACE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "market/broker.h"
+#include "market/collusion.h"
+#include "market/ledger.h"
+#include "ml/model.h"
+
+namespace nimbus::market {
+
+// The full Nimbus marketplace: one dataset, a menu M of ML models (each
+// served by its own Broker), a shared transaction ledger, and a
+// collusion monitor. This is the system the demonstration paper shows —
+// buyers browse offerings across models, compare price-error menus, and
+// purchase attributed versions, while the seller gets consolidated
+// revenue reporting.
+class Marketplace {
+ public:
+  // Creates an empty marketplace over one train/test split. `options`
+  // apply to every broker added later.
+  Marketplace(data::TrainTestSplit split, Broker::Options options);
+
+  Marketplace(Marketplace&&) = default;
+  Marketplace& operator=(Marketplace&&) = default;
+  Marketplace(const Marketplace&) = delete;
+  Marketplace& operator=(const Marketplace&) = delete;
+
+  // Adds one menu entry: trains the model's optimal instance and installs
+  // the given arbitrage-free pricing function. Fails when the model is
+  // incompatible with the dataset task or already offered.
+  Status AddOffering(ml::ModelKind kind, double ridge_mu,
+                     std::shared_ptr<const pricing::PricingFunction> pricing);
+
+  // Model kinds currently on the menu, in insertion order.
+  std::vector<ml::ModelKind> Offerings() const;
+
+  // The broker serving one model kind; kNotFound when not offered.
+  StatusOr<Broker*> BrokerFor(ml::ModelKind kind);
+
+  // One row of the cross-model catalog shown to buyers.
+  struct CatalogRow {
+    ml::ModelKind model = ml::ModelKind::kLinearRegression;
+    std::string report_loss;
+    double best_expected_error = 0.0;   // At the most precise version.
+    double worst_expected_error = 0.0;  // At the noisiest version.
+    double min_price = 0.0;
+    double max_price = 0.0;
+  };
+  // Builds the catalog (one row per offering, using each model's first
+  // report loss).
+  StatusOr<std::vector<CatalogRow>> Catalog();
+
+  // Purchase with attribution: routes to the model's broker, records the
+  // sale in the ledger and the collusion monitor.
+  StatusOr<Broker::Purchase> Buy(const std::string& buyer_id,
+                                 ml::ModelKind kind, double inverse_ncp,
+                                 const std::string& report_loss_name);
+
+  // Attributed price-budget purchase (Broker::BuyWithPriceBudget with
+  // ledger/monitor recording).
+  StatusOr<Broker::Purchase> BuyWithPriceBudget(
+      const std::string& buyer_id, ml::ModelKind kind, double price_budget,
+      const std::string& report_loss_name);
+
+  const Ledger& ledger() const { return ledger_; }
+  double total_revenue() const { return ledger_.TotalRevenue(); }
+
+  // Per-offering collusion monitor (versions of different models cannot
+  // be combined, so histories are tracked per model).
+  StatusOr<const CollusionMonitor*> MonitorFor(ml::ModelKind kind) const;
+
+  // Buyers flagged by any offering's monitor, sorted and deduplicated.
+  std::vector<std::string> SuspiciousBuyers() const;
+
+ private:
+  data::TrainTestSplit split_;
+  Broker::Options options_;
+  std::vector<ml::ModelKind> offering_order_;
+  std::map<ml::ModelKind, Broker> brokers_;
+  std::map<ml::ModelKind, std::shared_ptr<const pricing::PricingFunction>>
+      pricing_;
+  std::map<ml::ModelKind, CollusionMonitor> monitors_;
+  Ledger ledger_;
+};
+
+}  // namespace nimbus::market
+
+#endif  // NIMBUS_MARKET_MARKETPLACE_H_

@@ -1,0 +1,142 @@
+#include "market/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nimbus::market {
+namespace {
+
+Status ValidateSpec(const PopulationSpec& spec) {
+  if (spec.num_buyers < 1) {
+    return InvalidArgumentError("need at least one buyer");
+  }
+  if (!(spec.a_min > 0.0) || !(spec.a_max > spec.a_min)) {
+    return InvalidArgumentError("need 0 < a_min < a_max");
+  }
+  if (spec.value_floor < 0.0 || spec.v_max < spec.value_floor) {
+    return InvalidArgumentError("need 0 <= value_floor <= v_max");
+  }
+  if (spec.valuation_noise < 0.0) {
+    return InvalidArgumentError("valuation_noise must be >= 0");
+  }
+  const double total = spec.weight_point_purchase +
+                       spec.weight_error_budget + spec.weight_price_budget;
+  if (spec.weight_point_purchase < 0.0 || spec.weight_error_budget < 0.0 ||
+      spec.weight_price_budget < 0.0 || !(total > 0.0)) {
+    return InvalidArgumentError("strategy weights must be >= 0, sum > 0");
+  }
+  return OkStatus();
+}
+
+enum class Strategy { kPoint, kErrorBudget, kPriceBudget };
+
+Strategy DrawStrategy(const PopulationSpec& spec, Rng& rng) {
+  const double total = spec.weight_point_purchase +
+                       spec.weight_error_budget + spec.weight_price_budget;
+  const double u = rng.Uniform(0.0, total);
+  if (u < spec.weight_point_purchase) {
+    return Strategy::kPoint;
+  }
+  if (u < spec.weight_point_purchase + spec.weight_error_budget) {
+    return Strategy::kErrorBudget;
+  }
+  return Strategy::kPriceBudget;
+}
+
+}  // namespace
+
+double SampleDemandPosition(DemandShape shape, Rng& rng) {
+  // All demand densities are bounded above by 2.05 on [0, 1].
+  constexpr double kDensityBound = 2.05;
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const double t = rng.Uniform();
+    if (rng.Uniform(0.0, kDensityBound) <= DemandDensityAt(shape, t)) {
+      return t;
+    }
+  }
+  // Practically unreachable: acceptance probability is >= 1/41.
+  return rng.Uniform();
+}
+
+StatusOr<PopulationOutcome> RunPopulation(Broker& broker,
+                                          const PopulationSpec& spec,
+                                          const std::string& report_loss_name,
+                                          Rng& rng) {
+  NIMBUS_RETURN_IF_ERROR(ValidateSpec(spec));
+  // Resolve the error curve up front so failures surface before sales.
+  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+                          broker.GetErrorCurve(report_loss_name));
+
+  PopulationOutcome outcome;
+  outcome.buyers = spec.num_buyers;
+  const double a_lo = std::max(spec.a_min, broker.options().min_inverse_ncp);
+  const double a_hi = std::min(spec.a_max, broker.options().max_inverse_ncp);
+  if (!(a_hi > a_lo)) {
+    return InvalidArgumentError(
+        "population version range does not overlap the broker's");
+  }
+
+  for (int i = 0; i < spec.num_buyers; ++i) {
+    const double t = SampleDemandPosition(spec.demand_shape, rng);
+    const double desired_x = a_lo + t * (a_hi - a_lo);
+    const double base_value =
+        spec.value_floor + (spec.v_max - spec.value_floor) *
+                               NormalizedValueAt(spec.value_shape, t);
+    const double valuation =
+        base_value *
+        std::max(0.0, 1.0 + spec.valuation_noise * rng.Gaussian());
+
+    StatusOr<Broker::Purchase> purchase = InfeasibleError("no attempt");
+    Strategy strategy = DrawStrategy(spec, rng);
+    switch (strategy) {
+      case Strategy::kPoint: {
+        // Buy the desired version iff it is within the budget.
+        const double price =
+            broker.pricing_function().PriceAtInverseNcp(desired_x);
+        if (price <= valuation) {
+          purchase = broker.BuyAtInverseNcp(desired_x, report_loss_name);
+        }
+        break;
+      }
+      case Strategy::kErrorBudget: {
+        // Ask for the quality of the desired version; walk away if the
+        // cheapest qualifying version exceeds the valuation.
+        const double budget = curve->ErrorAtInverseNcp(desired_x);
+        StatusOr<double> x = curve->MinInverseNcpForErrorBudget(budget);
+        if (x.ok() &&
+            broker.pricing_function().PriceAtInverseNcp(*x) <= valuation) {
+          purchase = broker.BuyWithErrorBudget(budget, report_loss_name);
+        }
+        break;
+      }
+      case Strategy::kPriceBudget: {
+        purchase = broker.BuyWithPriceBudget(valuation, report_loss_name);
+        break;
+      }
+    }
+    if (!purchase.ok()) {
+      continue;
+    }
+    ++outcome.served;
+    outcome.revenue += purchase->price;
+    outcome.total_surplus += std::max(0.0, valuation - purchase->price);
+    switch (strategy) {
+      case Strategy::kPoint:
+        ++outcome.point_purchases;
+        break;
+      case Strategy::kErrorBudget:
+        ++outcome.error_budget_purchases;
+        break;
+      case Strategy::kPriceBudget:
+        ++outcome.price_budget_purchases;
+        break;
+    }
+  }
+  outcome.affordability =
+      static_cast<double>(outcome.served) / outcome.buyers;
+  return outcome;
+}
+
+}  // namespace nimbus::market

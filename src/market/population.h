@@ -1,0 +1,63 @@
+#ifndef NIMBUS_MARKET_POPULATION_H_
+#define NIMBUS_MARKET_POPULATION_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "market/broker.h"
+#include "market/curves.h"
+
+namespace nimbus::market {
+
+// A stochastic buyer population: instead of the deterministic buyer
+// points of §5's market research, buyers arrive one by one with a
+// version preference drawn from the demand curve, an idiosyncratic
+// valuation around the value curve, and one of the three §3.2 purchase
+// strategies. This is the "live market" view of the same model the
+// benches evaluate analytically.
+struct PopulationSpec {
+  int num_buyers = 200;
+  ValueShape value_shape = ValueShape::kConcave;
+  DemandShape demand_shape = DemandShape::kUniform;
+  double a_min = 1.0;
+  double a_max = 100.0;
+  double v_max = 100.0;
+  double value_floor = 2.0;
+  // Relative stddev of the multiplicative valuation noise (>= 0):
+  // v_i = curve(t_i) * max(0, 1 + noise * N(0,1)).
+  double valuation_noise = 0.15;
+  // Strategy mix; must be non-negative and sum to something positive.
+  double weight_point_purchase = 1.0;
+  double weight_error_budget = 1.0;
+  double weight_price_budget = 1.0;
+};
+
+// Outcome of one stochastic market run.
+struct PopulationOutcome {
+  int buyers = 0;
+  int served = 0;
+  double revenue = 0.0;
+  double affordability = 0.0;  // served / buyers.
+  // Consumer surplus: Σ (valuation - price paid) over served buyers.
+  double total_surplus = 0.0;
+  int point_purchases = 0;
+  int error_budget_purchases = 0;
+  int price_budget_purchases = 0;
+};
+
+// Draws a position t in [0, 1] from the demand density by rejection
+// sampling (the densities are bounded by 2.05).
+double SampleDemandPosition(DemandShape shape, Rng& rng);
+
+// Runs the population against the broker (whose pricing function must be
+// installed first). `report_loss_name` selects the error curve buyers
+// reason about. Deterministic given `rng`.
+StatusOr<PopulationOutcome> RunPopulation(Broker& broker,
+                                          const PopulationSpec& spec,
+                                          const std::string& report_loss_name,
+                                          Rng& rng);
+
+}  // namespace nimbus::market
+
+#endif  // NIMBUS_MARKET_POPULATION_H_

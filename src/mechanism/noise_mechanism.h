@@ -1,0 +1,103 @@
+#ifndef NIMBUS_MECHANISM_NOISE_MECHANISM_H_
+#define NIMBUS_MECHANISM_NOISE_MECHANISM_H_
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "ml/loss.h"
+
+namespace nimbus::mechanism {
+
+// Randomized mechanism K of §3.2: given the optimal model instance
+// h*_λ(D) and a noise control parameter (NCP) δ > 0, returns a noisy
+// version h^δ_λ(D) = K(h*, w). Every mechanism in this library satisfies
+// the paper's two restrictions:
+//   (1) unbiasedness:  E[K(h*, w)] = h*, and
+//   (2) NCP-monotonicity of the expected error.
+class NoiseMechanism {
+ public:
+  virtual ~NoiseMechanism() = default;
+
+  // Samples one noisy model instance. `ncp` must be > 0.
+  virtual linalg::Vector Perturb(const linalg::Vector& optimal, double ncp,
+                                 Rng& rng) const = 0;
+
+  // The exact expected square loss E[ε_s(h^δ, D)] = E‖h^δ − h*‖² when it
+  // is available in closed form; kUnimplemented otherwise. For the
+  // Gaussian mechanism this equals δ (Lemma 3).
+  virtual StatusOr<double> ExpectedSquaredError(
+      const linalg::Vector& optimal, double ncp) const = 0;
+
+  // Short identifier, e.g. "gaussian".
+  virtual std::string name() const = 0;
+};
+
+// The Gaussian mechanism K_G of §4.1 (Eq. 1):
+//   K_G(h*, w) = h* + w,  w ~ N(0, (δ/d) · I_d),
+// so that E‖w‖² = δ exactly (Lemma 3).
+class GaussianMechanism final : public NoiseMechanism {
+ public:
+  linalg::Vector Perturb(const linalg::Vector& optimal, double ncp,
+                         Rng& rng) const override;
+  StatusOr<double> ExpectedSquaredError(const linalg::Vector& optimal,
+                                        double ncp) const override;
+  std::string name() const override { return "gaussian"; }
+};
+
+// Additive zero-mean Laplace noise per coordinate, scaled so that the
+// expected square loss is also exactly δ (per-coordinate variance δ/d).
+// Mentioned in Example 2 as an alternative mechanism.
+class LaplaceMechanism final : public NoiseMechanism {
+ public:
+  linalg::Vector Perturb(const linalg::Vector& optimal, double ncp,
+                         Rng& rng) const override;
+  StatusOr<double> ExpectedSquaredError(const linalg::Vector& optimal,
+                                        double ncp) const override;
+  std::string name() const override { return "laplace"; }
+};
+
+// Additive per-coordinate uniform noise U[−a, a], a = sqrt(3 δ / d), so
+// the expected square loss is δ (mechanism K1 of Example 1, vectorized).
+class AdditiveUniformMechanism final : public NoiseMechanism {
+ public:
+  linalg::Vector Perturb(const linalg::Vector& optimal, double ncp,
+                         Rng& rng) const override;
+  StatusOr<double> ExpectedSquaredError(const linalg::Vector& optimal,
+                                        double ncp) const override;
+  std::string name() const override { return "additive_uniform"; }
+};
+
+// Multiplicative mechanism K2 of Example 1: each coordinate is scaled by
+// an independent w ~ U[1 − δ, 1 + δ]. Unbiased; its expected square loss
+// is ‖h*‖² δ² / 3 and therefore depends on the optimal model.
+class MultiplicativeUniformMechanism final : public NoiseMechanism {
+ public:
+  linalg::Vector Perturb(const linalg::Vector& optimal, double ncp,
+                         Rng& rng) const override;
+  StatusOr<double> ExpectedSquaredError(const linalg::Vector& optimal,
+                                        double ncp) const override;
+  std::string name() const override { return "multiplicative_uniform"; }
+};
+
+// Creates a mechanism by name ("gaussian", "laplace", "additive_uniform",
+// "multiplicative_uniform"); kNotFound for anything else.
+StatusOr<std::unique_ptr<NoiseMechanism>> MakeMechanism(
+    const std::string& name);
+
+// Monte-Carlo estimate of the expected report error
+//   E_{w~W_δ}[ε(K(h*, w), D)]
+// using `num_samples` independent draws (the paper uses 2000 per NCP in
+// §6.1). Deterministic given `rng`.
+double EstimateExpectedError(const NoiseMechanism& mechanism,
+                             const linalg::Vector& optimal, double ncp,
+                             const ml::Loss& report_loss,
+                             const data::Dataset& eval_data, int num_samples,
+                             Rng& rng);
+
+}  // namespace nimbus::mechanism
+
+#endif  // NIMBUS_MECHANISM_NOISE_MECHANISM_H_

@@ -1,0 +1,74 @@
+#include "mechanism/privacy.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace nimbus::mechanism {
+namespace {
+
+Status ValidateDpInputs(double delta_dp, double l2_sensitivity, int dim) {
+  if (!(delta_dp > 0.0) || !(delta_dp < 1.0)) {
+    return InvalidArgumentError("delta_dp must be in (0, 1)");
+  }
+  if (!(l2_sensitivity > 0.0)) {
+    return InvalidArgumentError("l2_sensitivity must be positive");
+  }
+  if (dim < 1) {
+    return InvalidArgumentError("dim must be >= 1");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<double> ErmL2Sensitivity(double lipschitz, double mu, int n) {
+  if (lipschitz < 0.0) {
+    return InvalidArgumentError("lipschitz must be non-negative");
+  }
+  if (!(mu > 0.0)) {
+    return InvalidArgumentError(
+        "sensitivity control requires a strictly positive regularizer mu");
+  }
+  if (n < 1) {
+    return InvalidArgumentError("n must be >= 1");
+  }
+  return lipschitz / (mu * static_cast<double>(n));
+}
+
+double MaxFeatureNorm(const data::Dataset& dataset) {
+  double best = 0.0;
+  for (const data::Example& e : dataset.examples()) {
+    best = std::max(best, linalg::Norm2(e.features));
+  }
+  return best;
+}
+
+StatusOr<double> MinNcpForDp(double epsilon, double delta_dp,
+                             double l2_sensitivity, int dim) {
+  if (!(epsilon > 0.0) || epsilon > 1.0) {
+    return InvalidArgumentError(
+        "the classical Gaussian mechanism requires epsilon in (0, 1]");
+  }
+  NIMBUS_RETURN_IF_ERROR(ValidateDpInputs(delta_dp, l2_sensitivity, dim));
+  const double sigma = l2_sensitivity *
+                       std::sqrt(2.0 * std::log(1.25 / delta_dp)) / epsilon;
+  return sigma * sigma * static_cast<double>(dim);
+}
+
+StatusOr<DpGuarantee> DpGuaranteeForNcp(double ncp, double delta_dp,
+                                        double l2_sensitivity, int dim) {
+  if (!(ncp > 0.0)) {
+    return InvalidArgumentError("ncp must be positive");
+  }
+  NIMBUS_RETURN_IF_ERROR(ValidateDpInputs(delta_dp, l2_sensitivity, dim));
+  const double sigma = std::sqrt(ncp / static_cast<double>(dim));
+  DpGuarantee guarantee;
+  guarantee.delta = delta_dp;
+  guarantee.epsilon = l2_sensitivity *
+                      std::sqrt(2.0 * std::log(1.25 / delta_dp)) / sigma;
+  guarantee.classical_bound_valid = guarantee.epsilon < 1.0;
+  return guarantee;
+}
+
+}  // namespace nimbus::mechanism

@@ -1,0 +1,59 @@
+#ifndef NIMBUS_MECHANISM_PRIVACY_H_
+#define NIMBUS_MECHANISM_PRIVACY_H_
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+
+namespace nimbus::mechanism {
+
+// Differential-privacy accounting for the Gaussian mechanism K_G.
+//
+// The paper names "integrating model-based pricing with data privacy" as
+// a core future challenge (§7). The connection is direct: K_G releases
+// h* + N(0, (δ/d) I_d), which is exactly the classical analytic Gaussian
+// output-perturbation mechanism, so every sale carries an (ε, δ_dp)-DP
+// guarantee determined by the NCP and the L2 sensitivity of the training
+// map. This module computes both directions of that correspondence:
+// the minimum NCP a privacy-conscious seller must enforce, and the DP
+// guarantee implied by a given version.
+//
+// Sensitivity: for L2-regularized empirical risk minimization
+//   h* = argmin (1/n) Σ ℓ(w; z_i) + µ‖w‖²
+// with a per-example loss that is L-Lipschitz in w, replacing one example
+// changes h* by at most Δ₂ = L / (µ n) in L2 norm (Chaudhuri et al.'s
+// output-perturbation bound with strong-convexity parameter 2µ).
+
+// One (ε, δ_dp) differential-privacy point.
+struct DpGuarantee {
+  double epsilon = 0.0;
+  double delta = 0.0;
+  // The classical Gaussian-mechanism theorem is stated for ε < 1; for
+  // larger ε the reported value is the same formula extrapolated and
+  // should be treated as a heuristic.
+  bool classical_bound_valid = false;
+};
+
+// L2 sensitivity of the regularized ERM optimum: L / (mu * n).
+// Requires lipschitz >= 0, mu > 0, n >= 1.
+StatusOr<double> ErmL2Sensitivity(double lipschitz, double mu, int n);
+
+// Upper bound on the per-example Lipschitz constant of the logistic and
+// hinge losses: the maximum feature L2 norm in the dataset.
+double MaxFeatureNorm(const data::Dataset& dataset);
+
+// Smallest NCP δ such that K_G with W_δ = N(0, (δ/d) I) is
+// (epsilon, delta_dp)-DP for a release with the given L2 sensitivity:
+//   σ² = δ/d  >=  2 ln(1.25/δ_dp) Δ₂² / ε²
+// Requires epsilon in (0, 1], delta_dp in (0, 1), sensitivity > 0,
+// dim >= 1.
+StatusOr<double> MinNcpForDp(double epsilon, double delta_dp,
+                             double l2_sensitivity, int dim);
+
+// The (ε, δ_dp) guarantee implied by selling at NCP `ncp`:
+//   ε = Δ₂ sqrt(2 ln(1.25/δ_dp)) / σ,  σ = sqrt(ncp / dim).
+StatusOr<DpGuarantee> DpGuaranteeForNcp(double ncp, double delta_dp,
+                                        double l2_sensitivity, int dim);
+
+}  // namespace nimbus::mechanism
+
+#endif  // NIMBUS_MECHANISM_PRIVACY_H_

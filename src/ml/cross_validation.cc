@@ -1,0 +1,83 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "ml/loss.h"
+
+namespace nimbus::ml {
+
+StatusOr<std::vector<std::vector<int>>> KFoldIndices(int n, int k, Rng& rng) {
+  if (k < 2) {
+    return InvalidArgumentError("need at least two folds");
+  }
+  if (k > n) {
+    return InvalidArgumentError("more folds than examples");
+  }
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[static_cast<size_t>(rng.UniformInt(i))]);
+  }
+  std::vector<std::vector<int>> folds(static_cast<size_t>(k));
+  for (int i = 0; i < n; ++i) {
+    folds[static_cast<size_t>(i % k)].push_back(order[static_cast<size_t>(i)]);
+  }
+  return folds;
+}
+
+StatusOr<CrossValidationResult> CrossValidateRidge(
+    const data::Dataset& dataset, ModelKind kind,
+    const std::vector<double>& mu_candidates, int folds, uint64_t seed) {
+  if (mu_candidates.empty()) {
+    return InvalidArgumentError("need at least one mu candidate");
+  }
+  // Validate every candidate up front (the SVM rejects µ = 0, etc.).
+  for (double mu : mu_candidates) {
+    NIMBUS_RETURN_IF_ERROR(ModelSpec::Create(kind, mu).status());
+  }
+  Rng rng(seed);
+  NIMBUS_ASSIGN_OR_RETURN(std::vector<std::vector<int>> fold_indices,
+                          KFoldIndices(dataset.num_examples(), folds, rng));
+
+  // Pre-build the per-fold train/validation datasets once.
+  std::vector<data::Dataset> train_sets;
+  std::vector<data::Dataset> valid_sets;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<int> train_idx;
+    for (int g = 0; g < folds; ++g) {
+      if (g == f) {
+        continue;
+      }
+      const std::vector<int>& fold = fold_indices[static_cast<size_t>(g)];
+      train_idx.insert(train_idx.end(), fold.begin(), fold.end());
+    }
+    train_sets.push_back(dataset.Subset(train_idx));
+    valid_sets.push_back(
+        dataset.Subset(fold_indices[static_cast<size_t>(f)]));
+  }
+
+  CrossValidationResult result;
+  result.best_score = std::numeric_limits<double>::infinity();
+  for (double mu : mu_candidates) {
+    NIMBUS_ASSIGN_OR_RETURN(ModelSpec spec, ModelSpec::Create(kind, mu));
+    const Loss& score_loss = *spec.report_losses().back();
+    double total = 0.0;
+    for (int f = 0; f < folds; ++f) {
+      NIMBUS_ASSIGN_OR_RETURN(
+          linalg::Vector weights,
+          spec.FitOptimal(train_sets[static_cast<size_t>(f)]));
+      total += score_loss.Value(weights, valid_sets[static_cast<size_t>(f)]);
+    }
+    const double mean_error = total / folds;
+    result.scores.emplace_back(mu, mean_error);
+    if (mean_error < result.best_score) {
+      result.best_score = mean_error;
+      result.best_mu = mu;
+    }
+  }
+  return result;
+}
+
+}  // namespace nimbus::ml

@@ -1,0 +1,42 @@
+#ifndef NIMBUS_ML_CROSS_VALIDATION_H_
+#define NIMBUS_ML_CROSS_VALIDATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "ml/model.h"
+
+namespace nimbus::ml {
+
+// K-fold cross-validation for regularizer selection. §7 names model
+// selection and iterative refinement as the next step for the MBP
+// framework; this is the minimal substrate for it — the broker can use
+// it to pick the µ of each menu entry before pricing versions.
+
+// Partitions {0, ..., n-1} into k near-equal shuffled folds.
+// Requires 2 <= k <= n.
+StatusOr<std::vector<std::vector<int>>> KFoldIndices(int n, int k, Rng& rng);
+
+struct CrossValidationResult {
+  double best_mu = 0.0;
+  double best_score = 0.0;  // Mean held-out error at best_mu.
+  // (µ, mean held-out error) for every candidate, in input order.
+  std::vector<std::pair<double, double>> scores;
+};
+
+// Sweeps `mu_candidates` for the given model kind: for each µ, trains on
+// k−1 folds and scores the model's first report loss (the 0/1 rate for
+// classifiers, the squared loss for regression) on the held-out fold,
+// averaged over folds. Returns the candidate with the lowest mean error.
+// Candidates that are invalid for the model kind (e.g. µ = 0 for the
+// SVM) fail fast with kInvalidArgument.
+StatusOr<CrossValidationResult> CrossValidateRidge(
+    const data::Dataset& dataset, ModelKind kind,
+    const std::vector<double>& mu_candidates, int folds, uint64_t seed);
+
+}  // namespace nimbus::ml
+
+#endif  // NIMBUS_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,148 @@
+#include "ml/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace nimbus::ml {
+
+using data::Dataset;
+using data::Example;
+using linalg::Vector;
+
+linalg::Vector Loss::Gradient(const linalg::Vector& /*w*/,
+                              const data::Dataset& /*dataset*/) const {
+  NIMBUS_LOG(kFatal) << "Gradient requested for non-differentiable loss '"
+                     << name() << "'";
+  return {};
+}
+
+double SquaredLoss::Value(const Vector& w, const Dataset& dataset) const {
+  NIMBUS_CHECK(!dataset.empty());
+  double sum = 0.0;
+  for (const Example& e : dataset.examples()) {
+    const double r = linalg::Dot(w, e.features) - e.target;
+    sum += r * r;
+  }
+  return sum / (2.0 * dataset.num_examples());
+}
+
+Vector SquaredLoss::Gradient(const Vector& w, const Dataset& dataset) const {
+  NIMBUS_CHECK(!dataset.empty());
+  Vector grad = linalg::Zeros(dataset.num_features());
+  for (const Example& e : dataset.examples()) {
+    const double r = linalg::Dot(w, e.features) - e.target;
+    linalg::AxpyInPlace(r, e.features, grad);
+  }
+  return linalg::Scale(grad, 1.0 / dataset.num_examples());
+}
+
+double LogisticLoss::Value(const Vector& w, const Dataset& dataset) const {
+  NIMBUS_CHECK(!dataset.empty());
+  double sum = 0.0;
+  for (const Example& e : dataset.examples()) {
+    sum += Log1pExp(-e.target * linalg::Dot(w, e.features));
+  }
+  return sum / dataset.num_examples();
+}
+
+Vector LogisticLoss::Gradient(const Vector& w, const Dataset& dataset) const {
+  NIMBUS_CHECK(!dataset.empty());
+  Vector grad = linalg::Zeros(dataset.num_features());
+  for (const Example& e : dataset.examples()) {
+    const double margin = e.target * linalg::Dot(w, e.features);
+    // d/dw log(1+exp(-m)) = -y sigmoid(-m) x.
+    const double coeff = -e.target * Sigmoid(-margin);
+    linalg::AxpyInPlace(coeff, e.features, grad);
+  }
+  return linalg::Scale(grad, 1.0 / dataset.num_examples());
+}
+
+double HingeLoss::Value(const Vector& w, const Dataset& dataset) const {
+  NIMBUS_CHECK(!dataset.empty());
+  double sum = 0.0;
+  for (const Example& e : dataset.examples()) {
+    sum += std::max(0.0, 1.0 - e.target * linalg::Dot(w, e.features));
+  }
+  return sum / dataset.num_examples();
+}
+
+Vector HingeLoss::Gradient(const Vector& w, const Dataset& dataset) const {
+  NIMBUS_CHECK(!dataset.empty());
+  Vector grad = linalg::Zeros(dataset.num_features());
+  for (const Example& e : dataset.examples()) {
+    if (e.target * linalg::Dot(w, e.features) < 1.0) {
+      linalg::AxpyInPlace(-e.target, e.features, grad);
+    }
+  }
+  return linalg::Scale(grad, 1.0 / dataset.num_examples());
+}
+
+namespace {
+
+// exp with the argument clamped so extreme weight vectors probed by line
+// searches do not overflow to inf (the clamp is far outside any region a
+// fitted model visits).
+double SafeExp(double z) { return std::exp(std::min(z, 500.0)); }
+
+}  // namespace
+
+double PoissonLoss::Value(const Vector& w, const Dataset& dataset) const {
+  NIMBUS_CHECK(!dataset.empty());
+  double sum = 0.0;
+  for (const Example& e : dataset.examples()) {
+    const double z = linalg::Dot(w, e.features);
+    sum += SafeExp(z) - e.target * z;
+  }
+  return sum / dataset.num_examples();
+}
+
+Vector PoissonLoss::Gradient(const Vector& w, const Dataset& dataset) const {
+  NIMBUS_CHECK(!dataset.empty());
+  Vector grad = linalg::Zeros(dataset.num_features());
+  for (const Example& e : dataset.examples()) {
+    const double z = linalg::Dot(w, e.features);
+    linalg::AxpyInPlace(SafeExp(z) - e.target, e.features, grad);
+  }
+  return linalg::Scale(grad, 1.0 / dataset.num_examples());
+}
+
+double ZeroOneLoss::Value(const Vector& w, const Dataset& dataset) const {
+  NIMBUS_CHECK(!dataset.empty());
+  int errors = 0;
+  for (const Example& e : dataset.examples()) {
+    const double pred = linalg::Dot(w, e.features) > 0.0 ? 1.0 : -1.0;
+    if (pred != e.target) {
+      ++errors;
+    }
+  }
+  return static_cast<double>(errors) / dataset.num_examples();
+}
+
+RegularizedLoss::RegularizedLoss(std::shared_ptr<const Loss> base, double mu)
+    : base_(std::move(base)), mu_(mu) {
+  NIMBUS_CHECK(base_ != nullptr);
+  NIMBUS_CHECK_GE(mu_, 0.0);
+}
+
+double RegularizedLoss::Value(const Vector& w, const Dataset& dataset) const {
+  return base_->Value(w, dataset) + mu_ * linalg::SquaredNorm2(w);
+}
+
+Vector RegularizedLoss::Gradient(const Vector& w,
+                                 const Dataset& dataset) const {
+  Vector grad = base_->Gradient(w, dataset);
+  linalg::AxpyInPlace(2.0 * mu_, w, grad);
+  return grad;
+}
+
+bool RegularizedLoss::IsDifferentiable() const {
+  return base_->IsDifferentiable();
+}
+
+std::string RegularizedLoss::name() const {
+  return base_->name() + "+l2(" + std::to_string(mu_) + ")";
+}
+
+}  // namespace nimbus::ml

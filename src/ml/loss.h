@@ -1,0 +1,122 @@
+#ifndef NIMBUS_ML_LOSS_H_
+#define NIMBUS_ML_LOSS_H_
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+
+namespace nimbus::ml {
+
+// Error function λ(h, D) / ε(h, D) of the paper (§3.1, Table 2): maps a
+// linear-model instance h (a weight vector) and a dataset to a
+// non-negative real. All losses are averaged over the examples, matching
+// the paper's convention.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  // Loss value at weights `w` on `dataset`.
+  virtual double Value(const linalg::Vector& w,
+                       const data::Dataset& dataset) const = 0;
+
+  // Gradient with respect to `w`. Only valid when IsDifferentiable();
+  // non-differentiable losses abort.
+  virtual linalg::Vector Gradient(const linalg::Vector& w,
+                                  const data::Dataset& dataset) const;
+
+  // Whether Gradient() is available (the 0/1 loss is not).
+  virtual bool IsDifferentiable() const { return true; }
+
+  // Whether the loss is convex in `w` (the 0/1 loss is not). Strictly
+  // convex losses admit the error-inverse map of Theorem 6.
+  virtual bool IsConvex() const { return true; }
+
+  // Short identifier, e.g. "squared" or "zero_one".
+  virtual std::string name() const = 0;
+};
+
+// Least-squares loss of Example 2:
+//   λ(h, D) = 1/(2|D|) Σ (hᵀx_i − y_i)².
+class SquaredLoss final : public Loss {
+ public:
+  double Value(const linalg::Vector& w,
+               const data::Dataset& dataset) const override;
+  linalg::Vector Gradient(const linalg::Vector& w,
+                          const data::Dataset& dataset) const override;
+  std::string name() const override { return "squared"; }
+};
+
+// Logistic loss for labels y ∈ {−1, +1}:
+//   λ(h, D) = 1/|D| Σ log(1 + exp(−y_i hᵀx_i)).
+class LogisticLoss final : public Loss {
+ public:
+  double Value(const linalg::Vector& w,
+               const data::Dataset& dataset) const override;
+  linalg::Vector Gradient(const linalg::Vector& w,
+                          const data::Dataset& dataset) const override;
+  std::string name() const override { return "logistic"; }
+};
+
+// Hinge loss for L2 linear SVM (Table 2):
+//   λ(h, D) = 1/|D| Σ max(0, 1 − y_i hᵀx_i).
+// Differentiable almost everywhere; Gradient returns a subgradient.
+class HingeLoss final : public Loss {
+ public:
+  double Value(const linalg::Vector& w,
+               const data::Dataset& dataset) const override;
+  linalg::Vector Gradient(const linalg::Vector& w,
+                          const data::Dataset& dataset) const override;
+  std::string name() const override { return "hinge"; }
+};
+
+// Poisson-regression negative log-likelihood (dropping the y!-term that
+// does not depend on h) for count targets y >= 0 with rate exp(hᵀx):
+//   λ(h, D) = 1/|D| Σ (exp(hᵀx_i) − y_i hᵀx_i).
+// Strictly convex, so it supports the Theorem 6 error-inverse map like
+// the other GLM losses (an extension beyond the paper's Table 2).
+class PoissonLoss final : public Loss {
+ public:
+  double Value(const linalg::Vector& w,
+               const data::Dataset& dataset) const override;
+  linalg::Vector Gradient(const linalg::Vector& w,
+                          const data::Dataset& dataset) const override;
+  std::string name() const override { return "poisson"; }
+};
+
+// Misclassification rate (Table 2's 0/1 error for ε):
+//   ε(h, D) = 1/|D| Σ 1[sign(hᵀx_i) ≠ y_i].
+class ZeroOneLoss final : public Loss {
+ public:
+  double Value(const linalg::Vector& w,
+               const data::Dataset& dataset) const override;
+  bool IsDifferentiable() const override { return false; }
+  bool IsConvex() const override { return false; }
+  std::string name() const override { return "zero_one"; }
+};
+
+// Wraps a base loss with L2 (ridge) regularization, the optional
+// `+ µ‖w‖²` of Table 2.
+class RegularizedLoss final : public Loss {
+ public:
+  RegularizedLoss(std::shared_ptr<const Loss> base, double mu);
+
+  double Value(const linalg::Vector& w,
+               const data::Dataset& dataset) const override;
+  linalg::Vector Gradient(const linalg::Vector& w,
+                          const data::Dataset& dataset) const override;
+  bool IsDifferentiable() const override;
+  std::string name() const override;
+
+  double mu() const { return mu_; }
+  const Loss& base() const { return *base_; }
+
+ private:
+  std::shared_ptr<const Loss> base_;
+  double mu_;
+};
+
+}  // namespace nimbus::ml
+
+#endif  // NIMBUS_ML_LOSS_H_

@@ -1,0 +1,127 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace nimbus::ml {
+namespace {
+
+Status ValidateInput(const linalg::Vector& weights,
+                     const data::Dataset& dataset) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("cannot evaluate on an empty dataset");
+  }
+  if (static_cast<int>(weights.size()) != dataset.num_features()) {
+    return InvalidArgumentError("weight / feature dimension mismatch");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<RegressionMetrics> EvaluateRegression(const linalg::Vector& weights,
+                                               const data::Dataset& dataset) {
+  NIMBUS_RETURN_IF_ERROR(ValidateInput(weights, dataset));
+  const int n = dataset.num_examples();
+  double sum_sq = 0.0;
+  double sum_abs = 0.0;
+  double target_sum = 0.0;
+  for (const data::Example& e : dataset.examples()) {
+    const double residual = linalg::Dot(weights, e.features) - e.target;
+    sum_sq += residual * residual;
+    sum_abs += std::fabs(residual);
+    target_sum += e.target;
+  }
+  const double target_mean = target_sum / n;
+  double total_variance = 0.0;
+  for (const data::Example& e : dataset.examples()) {
+    const double centred = e.target - target_mean;
+    total_variance += centred * centred;
+  }
+  RegressionMetrics metrics;
+  metrics.mse = sum_sq / n;
+  metrics.rmse = std::sqrt(metrics.mse);
+  metrics.mae = sum_abs / n;
+  metrics.r2 = total_variance > 0.0 ? 1.0 - sum_sq / total_variance
+                                    : (sum_sq == 0.0 ? 1.0 : 0.0);
+  return metrics;
+}
+
+StatusOr<ClassificationMetrics> EvaluateClassification(
+    const linalg::Vector& weights, const data::Dataset& dataset) {
+  NIMBUS_RETURN_IF_ERROR(ValidateInput(weights, dataset));
+  ClassificationMetrics metrics;
+  // Scores with labels, for the AUC rank statistic.
+  std::vector<std::pair<double, bool>> scored;
+  scored.reserve(static_cast<size_t>(dataset.num_examples()));
+  for (const data::Example& e : dataset.examples()) {
+    if (e.target != 1.0 && e.target != -1.0) {
+      return InvalidArgumentError("classification labels must be +1 / -1");
+    }
+    const double score = linalg::Dot(weights, e.features);
+    const bool actual_positive = e.target > 0.0;
+    const bool predicted_positive = score > 0.0;
+    if (predicted_positive && actual_positive) {
+      ++metrics.true_positives;
+    } else if (predicted_positive && !actual_positive) {
+      ++metrics.false_positives;
+    } else if (!predicted_positive && actual_positive) {
+      ++metrics.false_negatives;
+    } else {
+      ++metrics.true_negatives;
+    }
+    scored.emplace_back(score, actual_positive);
+  }
+  const int n = dataset.num_examples();
+  metrics.accuracy =
+      static_cast<double>(metrics.true_positives + metrics.true_negatives) /
+      n;
+  const int predicted_pos = metrics.true_positives + metrics.false_positives;
+  const int actual_pos = metrics.true_positives + metrics.false_negatives;
+  metrics.precision =
+      predicted_pos > 0
+          ? static_cast<double>(metrics.true_positives) / predicted_pos
+          : 0.0;
+  metrics.recall = actual_pos > 0 ? static_cast<double>(
+                                        metrics.true_positives) /
+                                        actual_pos
+                                  : 0.0;
+  metrics.f1 = (metrics.precision + metrics.recall) > 0.0
+                   ? 2.0 * metrics.precision * metrics.recall /
+                         (metrics.precision + metrics.recall)
+                   : 0.0;
+
+  // AUC = P(score of a random positive > score of a random negative),
+  // computed from ranks with midrank tie handling.
+  const int actual_neg = n - actual_pos;
+  if (actual_pos == 0 || actual_neg == 0) {
+    metrics.auc = 0.5;  // Degenerate: one class absent.
+    return metrics;
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double positive_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < scored.size()) {
+    size_t j = i;
+    while (j < scored.size() && scored[j].first == scored[i].first) {
+      ++j;
+    }
+    // Midrank for the tie block [i, j); ranks are 1-based.
+    const double midrank = 0.5 * (static_cast<double>(i + 1) +
+                                  static_cast<double>(j));
+    for (size_t k = i; k < j; ++k) {
+      if (scored[k].second) {
+        positive_rank_sum += midrank;
+      }
+    }
+    i = j;
+  }
+  metrics.auc = (positive_rank_sum -
+                 0.5 * actual_pos * (actual_pos + 1.0)) /
+                (static_cast<double>(actual_pos) * actual_neg);
+  return metrics;
+}
+
+}  // namespace nimbus::ml

@@ -1,0 +1,45 @@
+#ifndef NIMBUS_ML_METRICS_H_
+#define NIMBUS_ML_METRICS_H_
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+
+namespace nimbus::ml {
+
+// Standard holdout evaluation scores (§2: "the predictive power of a
+// model instance is often evaluated using standard scores"). These are
+// what a buyer would compute on the delivered model instance.
+
+struct RegressionMetrics {
+  double mse = 0.0;   // Mean squared error.
+  double rmse = 0.0;  // Root mean squared error.
+  double mae = 0.0;   // Mean absolute error.
+  double r2 = 0.0;    // Coefficient of determination.
+};
+
+struct ClassificationMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;  // Of predicted positives (0 when none).
+  double recall = 0.0;     // Of actual positives (0 when none).
+  double f1 = 0.0;
+  double auc = 0.0;  // Area under the ROC curve via the rank statistic.
+  int true_positives = 0;
+  int true_negatives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+};
+
+// Scores a linear model on a regression dataset. Fails on an empty
+// dataset or a dimension mismatch.
+StatusOr<RegressionMetrics> EvaluateRegression(const linalg::Vector& weights,
+                                               const data::Dataset& dataset);
+
+// Scores a linear classifier (predicting sign(w.x)) on a classification
+// dataset with labels in {-1, +1}.
+StatusOr<ClassificationMetrics> EvaluateClassification(
+    const linalg::Vector& weights, const data::Dataset& dataset);
+
+}  // namespace nimbus::ml
+
+#endif  // NIMBUS_ML_METRICS_H_

@@ -1,0 +1,118 @@
+#include "ml/model.h"
+
+#include "common/logging.h"
+#include "ml/trainer.h"
+
+namespace nimbus::ml {
+
+std::string_view ModelKindToString(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLinearRegression:
+      return "linear_regression";
+    case ModelKind::kPoissonRegression:
+      return "poisson_regression";
+    case ModelKind::kLogisticRegression:
+      return "logistic_regression";
+    case ModelKind::kLinearSvm:
+      return "linear_svm";
+  }
+  return "unknown";
+}
+
+StatusOr<ModelSpec> ModelSpec::Create(ModelKind kind, double ridge_mu) {
+  if (ridge_mu < 0.0) {
+    return InvalidArgumentError("ridge_mu must be non-negative");
+  }
+  std::shared_ptr<const Loss> base;
+  switch (kind) {
+    case ModelKind::kLinearRegression:
+      base = std::make_shared<SquaredLoss>();
+      break;
+    case ModelKind::kLogisticRegression:
+      base = std::make_shared<LogisticLoss>();
+      break;
+    case ModelKind::kLinearSvm:
+      if (ridge_mu <= 0.0) {
+        return InvalidArgumentError("the L2 linear SVM requires ridge_mu > 0");
+      }
+      base = std::make_shared<HingeLoss>();
+      break;
+    case ModelKind::kPoissonRegression:
+      base = std::make_shared<PoissonLoss>();
+      break;
+  }
+  std::shared_ptr<const Loss> training =
+      ridge_mu > 0.0
+          ? std::shared_ptr<const Loss>(
+                std::make_shared<RegularizedLoss>(base, ridge_mu))
+          : base;
+  // Report losses ε are the unregularized base losses of Table 2: the
+  // regularizer is a training device, not part of the accuracy report.
+  std::vector<std::shared_ptr<const Loss>> report_losses = {base};
+  if (kind == ModelKind::kLogisticRegression || kind == ModelKind::kLinearSvm) {
+    report_losses.push_back(std::make_shared<ZeroOneLoss>());
+  }
+  return ModelSpec(kind, ridge_mu, std::move(training),
+                   std::move(report_losses));
+}
+
+StatusOr<std::shared_ptr<const Loss>> ModelSpec::FindReportLoss(
+    const std::string& name) const {
+  for (const std::shared_ptr<const Loss>& loss : report_losses_) {
+    if (loss->name() == name) {
+      return loss;
+    }
+  }
+  return NotFoundError("model '" + std::string(ModelKindToString(kind_)) +
+                       "' does not support report loss '" + name + "'");
+}
+
+StatusOr<linalg::Vector> ModelSpec::FitOptimal(
+    const data::Dataset& train) const {
+  if (!IsCompatibleWith(train)) {
+    return InvalidArgumentError(
+        "dataset task does not match model '" +
+        std::string(ModelKindToString(kind_)) + "'");
+  }
+  switch (kind_) {
+    case ModelKind::kLinearRegression:
+      return FitLinearRegressionClosedForm(train, ridge_mu_);
+    case ModelKind::kLogisticRegression: {
+      if (ridge_mu_ > 0.0) {
+        NIMBUS_ASSIGN_OR_RETURN(TrainResult result,
+                                FitLogisticRegressionNewton(train, ridge_mu_));
+        return result.weights;
+      }
+      NIMBUS_ASSIGN_OR_RETURN(
+          TrainResult result,
+          MinimizeWithGradientDescent(*training_loss_, train));
+      return result.weights;
+    }
+    case ModelKind::kLinearSvm:
+    case ModelKind::kPoissonRegression: {
+      GradientDescentOptions options;
+      options.max_iterations = 5000;
+      NIMBUS_ASSIGN_OR_RETURN(
+          TrainResult result,
+          MinimizeWithGradientDescent(*training_loss_, train, options));
+      return result.weights;
+    }
+  }
+  return InternalError("unreachable model kind");
+}
+
+bool ModelSpec::IsCompatibleWith(const data::Dataset& dataset) const {
+  const bool needs_regression = kind_ == ModelKind::kLinearRegression ||
+                                kind_ == ModelKind::kPoissonRegression;
+  return needs_regression == (dataset.task() == data::Task::kRegression);
+}
+
+double PredictScore(const linalg::Vector& w, const linalg::Vector& x) {
+  return linalg::Dot(w, x);
+}
+
+double PredictLabel(const linalg::Vector& w, const linalg::Vector& x) {
+  return PredictScore(w, x) > 0.0 ? 1.0 : -1.0;
+}
+
+}  // namespace nimbus::ml

@@ -1,0 +1,85 @@
+#ifndef NIMBUS_ML_MODEL_H_
+#define NIMBUS_ML_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "ml/loss.h"
+
+namespace nimbus::ml {
+
+// The ML models of the broker's menu M (Table 2).
+enum class ModelKind {
+  kLinearRegression,
+  kLogisticRegression,
+  kLinearSvm,
+  kPoissonRegression,  // GLM extension beyond Table 2 (counts).
+};
+
+std::string_view ModelKindToString(ModelKind kind);
+
+// One entry of the broker's menu: an ML model together with its training
+// error function λ (Table 2, upper half) and the accuracy-report error
+// functions ε it supports (lower half). The hypothesis space H is R^d.
+class ModelSpec {
+ public:
+  // `ridge_mu` is the optional L2 regularizer µ of Table 2; the SVM
+  // requires µ > 0 (its objective is only strictly convex then), the
+  // others accept 0.
+  static StatusOr<ModelSpec> Create(ModelKind kind, double ridge_mu);
+
+  ModelKind kind() const { return kind_; }
+  double ridge_mu() const { return ridge_mu_; }
+
+  // The training loss λ (includes the regularizer when µ > 0).
+  const Loss& training_loss() const { return *training_loss_; }
+  std::shared_ptr<const Loss> training_loss_ptr() const {
+    return training_loss_;
+  }
+
+  // Accuracy-report losses ε the broker offers for this model. Always
+  // contains the training loss itself; classification models also offer
+  // the 0/1 misclassification rate (Table 2).
+  const std::vector<std::shared_ptr<const Loss>>& report_losses() const {
+    return report_losses_;
+  }
+
+  // Looks up a report loss by Loss::name(); kNotFound if unsupported.
+  StatusOr<std::shared_ptr<const Loss>> FindReportLoss(
+      const std::string& name) const;
+
+  // Trains the optimal model instance h*_λ(D) on `train` (closed-form for
+  // linear regression, Newton for logistic, gradient descent for SVM).
+  StatusOr<linalg::Vector> FitOptimal(const data::Dataset& train) const;
+
+  // Whether this model's task matches the dataset labeling.
+  bool IsCompatibleWith(const data::Dataset& dataset) const;
+
+ private:
+  ModelSpec(ModelKind kind, double ridge_mu,
+            std::shared_ptr<const Loss> training_loss,
+            std::vector<std::shared_ptr<const Loss>> report_losses)
+      : kind_(kind),
+        ridge_mu_(ridge_mu),
+        training_loss_(std::move(training_loss)),
+        report_losses_(std::move(report_losses)) {}
+
+  ModelKind kind_;
+  double ridge_mu_;
+  std::shared_ptr<const Loss> training_loss_;
+  std::vector<std::shared_ptr<const Loss>> report_losses_;
+};
+
+// Linear prediction: returns wᵀx.
+double PredictScore(const linalg::Vector& w, const linalg::Vector& x);
+
+// Classification prediction: sign(wᵀx) in {−1, +1}.
+double PredictLabel(const linalg::Vector& w, const linalg::Vector& x);
+
+}  // namespace nimbus::ml
+
+#endif  // NIMBUS_ML_MODEL_H_

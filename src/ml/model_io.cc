@@ -1,0 +1,72 @@
+#include "ml/model_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace nimbus::ml {
+namespace {
+
+constexpr char kHeader[] = "nimbus-model v1";
+
+}  // namespace
+
+std::string SerializeWeights(const linalg::Vector& weights) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kHeader << '\n' << weights.size() << '\n';
+  for (double w : weights) {
+    out << w << '\n';
+  }
+  return out.str();
+}
+
+StatusOr<linalg::Vector> DeserializeWeights(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) || header != kHeader) {
+    return InvalidArgumentError("missing or unknown model header");
+  }
+  long long dim = -1;
+  if (!(in >> dim) || dim < 0 || dim > 100000000) {
+    return InvalidArgumentError("bad model dimension");
+  }
+  linalg::Vector weights(static_cast<size_t>(dim));
+  for (long long i = 0; i < dim; ++i) {
+    if (!(in >> weights[static_cast<size_t>(i)])) {
+      return InvalidArgumentError("truncated model file at weight " +
+                                  std::to_string(i));
+    }
+  }
+  double extra = 0.0;
+  if (in >> extra) {
+    return InvalidArgumentError("trailing data after declared weights");
+  }
+  return weights;
+}
+
+Status SaveWeights(const linalg::Vector& weights, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return InvalidArgumentError("cannot create '" + path + "'");
+  }
+  file << SerializeWeights(weights);
+  if (!file) {
+    return InternalError("write to '" + path + "' failed");
+  }
+  return OkStatus();
+}
+
+StatusOr<linalg::Vector> LoadWeights(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return DeserializeWeights(content.str());
+}
+
+}  // namespace nimbus::ml

@@ -1,0 +1,30 @@
+#ifndef NIMBUS_ML_MODEL_IO_H_
+#define NIMBUS_ML_MODEL_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "linalg/vector_ops.h"
+
+namespace nimbus::ml {
+
+// Plain-text persistence for model instances, so a purchased model can be
+// handed to the buyer as a file and reloaded by downstream tooling (see
+// the nimbus_cli example). Format:
+//   nimbus-model v1
+//   <dimension>
+//   <weight_0>
+//   ...
+// Weights round-trip exactly (printed with max_digits10 precision).
+
+Status SaveWeights(const linalg::Vector& weights, const std::string& path);
+
+StatusOr<linalg::Vector> LoadWeights(const std::string& path);
+
+// String-based variants used by tests and in-memory transport.
+std::string SerializeWeights(const linalg::Vector& weights);
+StatusOr<linalg::Vector> DeserializeWeights(const std::string& text);
+
+}  // namespace nimbus::ml
+
+#endif  // NIMBUS_ML_MODEL_IO_H_

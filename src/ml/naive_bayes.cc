@@ -1,0 +1,124 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nimbus::ml {
+
+linalg::Vector NaiveBayesModel::Flatten() const {
+  const int d = num_features();
+  NIMBUS_CHECK_EQ(static_cast<int>(mean_negative.size()), d);
+  NIMBUS_CHECK_EQ(static_cast<int>(log_variance.size()), d);
+  linalg::Vector flat;
+  flat.reserve(static_cast<size_t>(ParameterDim(d)));
+  flat.push_back(prior_logit);
+  flat.insert(flat.end(), mean_positive.begin(), mean_positive.end());
+  flat.insert(flat.end(), mean_negative.begin(), mean_negative.end());
+  flat.insert(flat.end(), log_variance.begin(), log_variance.end());
+  return flat;
+}
+
+StatusOr<NaiveBayesModel> NaiveBayesModel::FromFlat(
+    const linalg::Vector& flat) {
+  if (flat.size() < 4 || (flat.size() - 1) % 3 != 0) {
+    return InvalidArgumentError(
+        "flattened Naive Bayes parameters must have size 3d + 1");
+  }
+  const size_t d = (flat.size() - 1) / 3;
+  NaiveBayesModel model;
+  model.prior_logit = flat[0];
+  model.mean_positive.assign(flat.begin() + 1, flat.begin() + 1 + d);
+  model.mean_negative.assign(flat.begin() + 1 + d, flat.begin() + 1 + 2 * d);
+  model.log_variance.assign(flat.begin() + 1 + 2 * d, flat.end());
+  return model;
+}
+
+double NaiveBayesModel::Score(const linalg::Vector& x) const {
+  NIMBUS_CHECK_EQ(x.size(), mean_positive.size());
+  // With a pooled variance the Gaussian normalizers cancel and the
+  // log-odds reduce to a quadratic-difference form per feature.
+  double score = prior_logit;
+  for (size_t j = 0; j < x.size(); ++j) {
+    const double inv_var = std::exp(-log_variance[j]);
+    const double dp = x[j] - mean_positive[j];
+    const double dn = x[j] - mean_negative[j];
+    score += 0.5 * inv_var * (dn * dn - dp * dp);
+  }
+  return score;
+}
+
+double NaiveBayesModel::Predict(const linalg::Vector& x) const {
+  return Score(x) > 0.0 ? 1.0 : -1.0;
+}
+
+StatusOr<NaiveBayesModel> FitGaussianNaiveBayes(const data::Dataset& dataset,
+                                                double variance_floor) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("cannot fit on an empty dataset");
+  }
+  if (!(variance_floor > 0.0)) {
+    return InvalidArgumentError("variance_floor must be positive");
+  }
+  const int d = dataset.num_features();
+  int n_pos = 0;
+  int n_neg = 0;
+  linalg::Vector sum_pos = linalg::Zeros(d);
+  linalg::Vector sum_neg = linalg::Zeros(d);
+  for (const data::Example& e : dataset.examples()) {
+    if (e.target == 1.0) {
+      ++n_pos;
+      linalg::AxpyInPlace(1.0, e.features, sum_pos);
+    } else if (e.target == -1.0) {
+      ++n_neg;
+      linalg::AxpyInPlace(1.0, e.features, sum_neg);
+    } else {
+      return InvalidArgumentError("labels must be +1 / -1");
+    }
+  }
+  if (n_pos == 0 || n_neg == 0) {
+    return FailedPreconditionError(
+        "both classes must be present to fit Naive Bayes");
+  }
+  NaiveBayesModel model;
+  model.prior_logit = std::log(static_cast<double>(n_pos) /
+                               static_cast<double>(n_neg));
+  model.mean_positive = linalg::Scale(sum_pos, 1.0 / n_pos);
+  model.mean_negative = linalg::Scale(sum_neg, 1.0 / n_neg);
+  // Pooled within-class variance per feature (maximum likelihood).
+  linalg::Vector pooled = linalg::Zeros(d);
+  for (const data::Example& e : dataset.examples()) {
+    const linalg::Vector& mean =
+        e.target == 1.0 ? model.mean_positive : model.mean_negative;
+    for (int j = 0; j < d; ++j) {
+      const double diff = e.features[static_cast<size_t>(j)] -
+                          mean[static_cast<size_t>(j)];
+      pooled[static_cast<size_t>(j)] += diff * diff;
+    }
+  }
+  model.log_variance.resize(static_cast<size_t>(d));
+  for (int j = 0; j < d; ++j) {
+    const double variance = std::max(
+        variance_floor,
+        pooled[static_cast<size_t>(j)] / dataset.num_examples());
+    model.log_variance[static_cast<size_t>(j)] = std::log(variance);
+  }
+  return model;
+}
+
+double NaiveBayesZeroOneLoss::Value(const linalg::Vector& flat_params,
+                                    const data::Dataset& dataset) const {
+  NIMBUS_CHECK(!dataset.empty());
+  StatusOr<NaiveBayesModel> model = NaiveBayesModel::FromFlat(flat_params);
+  NIMBUS_CHECK(model.ok()) << model.status();
+  NIMBUS_CHECK_EQ(model->num_features(), dataset.num_features());
+  int errors = 0;
+  for (const data::Example& e : dataset.examples()) {
+    if (model->Predict(e.features) != e.target) {
+      ++errors;
+    }
+  }
+  return static_cast<double>(errors) / dataset.num_examples();
+}
+
+}  // namespace nimbus::ml

@@ -1,0 +1,69 @@
+#ifndef NIMBUS_ML_NAIVE_BAYES_H_
+#define NIMBUS_ML_NAIVE_BAYES_H_
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "ml/loss.h"
+
+namespace nimbus::ml {
+
+// Gaussian Naive Bayes for binary labels in {−1, +1} with a pooled
+// diagonal covariance. §2 lists Naive Bayes among the model families a
+// broker should support; this class shows the MBP machinery extends
+// beyond GLMs: the model's parameters flatten into one real vector, the
+// noise mechanisms perturb that vector, and the empirical error
+// transformation (§6.1) applies unchanged.
+//
+// Parameter layout (dimension 3d + 1):
+//   [ prior_logit | mean_positive (d) | mean_negative (d) | log_variance (d) ]
+// Storing log-variances keeps every noisy version a valid model — the
+// variance stays positive no matter what noise is added.
+struct NaiveBayesModel {
+  double prior_logit = 0.0;        // log(P(+1) / P(−1)).
+  linalg::Vector mean_positive;    // Per-feature class-conditional means.
+  linalg::Vector mean_negative;
+  linalg::Vector log_variance;     // Pooled per-feature log variances.
+
+  int num_features() const {
+    return static_cast<int>(mean_positive.size());
+  }
+
+  // Number of flattened parameters for a d-feature model.
+  static int ParameterDim(int num_features) { return 3 * num_features + 1; }
+
+  // Serializes the parameters into one vector (see layout above).
+  linalg::Vector Flatten() const;
+
+  // Rebuilds a model from a flattened vector; the size must be 3d + 1
+  // for some d >= 1.
+  static StatusOr<NaiveBayesModel> FromFlat(const linalg::Vector& flat);
+
+  // Log-odds log P(+1 | x) − log P(−1 | x).
+  double Score(const linalg::Vector& x) const;
+
+  // Hard prediction in {−1, +1}.
+  double Predict(const linalg::Vector& x) const;
+};
+
+// Fits the model by maximum likelihood (class priors, class-conditional
+// means, pooled within-class variances, floored at `variance_floor`).
+// Fails when either class is absent.
+StatusOr<NaiveBayesModel> FitGaussianNaiveBayes(
+    const data::Dataset& dataset, double variance_floor = 1e-6);
+
+// 0/1 misclassification rate over the *flattened* parameter vector, so
+// Naive Bayes models plug into mechanism::EstimateExpectedError and
+// pricing::ErrorCurve like any linear model.
+class NaiveBayesZeroOneLoss final : public Loss {
+ public:
+  double Value(const linalg::Vector& flat_params,
+               const data::Dataset& dataset) const override;
+  bool IsDifferentiable() const override { return false; }
+  bool IsConvex() const override { return false; }
+  std::string name() const override { return "naive_bayes_zero_one"; }
+};
+
+}  // namespace nimbus::ml
+
+#endif  // NIMBUS_ML_NAIVE_BAYES_H_

@@ -1,0 +1,99 @@
+#include "ml/sgd.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+#include "linalg/vector_ops.h"
+
+namespace nimbus::ml {
+namespace {
+
+double LearningRateAt(const SgdOptions& options, int64_t step) {
+  switch (options.schedule) {
+    case LearningRateSchedule::kConstant:
+      return options.initial_learning_rate;
+    case LearningRateSchedule::kInverseTime:
+      return options.initial_learning_rate /
+             (1.0 + options.decay * static_cast<double>(step));
+    case LearningRateSchedule::kSqrtDecay:
+      return options.initial_learning_rate /
+             std::sqrt(1.0 + static_cast<double>(step));
+  }
+  return options.initial_learning_rate;
+}
+
+}  // namespace
+
+StatusOr<TrainResult> MinimizeWithSgd(const Loss& loss,
+                                      const data::Dataset& dataset,
+                                      const SgdOptions& options) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("cannot train on an empty dataset");
+  }
+  if (!loss.IsDifferentiable()) {
+    return InvalidArgumentError("loss '" + loss.name() +
+                                "' is not differentiable");
+  }
+  if (options.epochs < 1 || options.batch_size < 1) {
+    return InvalidArgumentError("epochs and batch_size must be positive");
+  }
+  if (options.initial_learning_rate <= 0.0) {
+    return InvalidArgumentError("initial_learning_rate must be positive");
+  }
+  if (options.average_tail_fraction < 0.0 ||
+      options.average_tail_fraction > 1.0) {
+    return InvalidArgumentError("average_tail_fraction must be in [0, 1]");
+  }
+
+  const int n = dataset.num_examples();
+  const int d = dataset.num_features();
+  Rng rng(options.seed);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  linalg::Vector weights = linalg::Zeros(d);
+  linalg::Vector average = linalg::Zeros(d);
+  const int64_t steps_per_epoch =
+      (n + options.batch_size - 1) / options.batch_size;
+  const int64_t total_steps = steps_per_epoch * options.epochs;
+  const int64_t tail_start = static_cast<int64_t>(
+      (1.0 - options.average_tail_fraction) * static_cast<double>(total_steps));
+  int64_t averaged_steps = 0;
+  int64_t step = 0;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fresh shuffle each epoch (Fisher-Yates on the index array).
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[static_cast<size_t>(rng.UniformInt(i))]);
+    }
+    for (int start = 0; start < n; start += options.batch_size) {
+      const int end = std::min(start + options.batch_size, n);
+      std::vector<int> batch_idx(order.begin() + start, order.begin() + end);
+      const data::Dataset batch = dataset.Subset(batch_idx);
+      const linalg::Vector grad = loss.Gradient(weights, batch);
+      linalg::AxpyInPlace(-LearningRateAt(options, step), grad, weights);
+      if (step >= tail_start) {
+        linalg::AxpyInPlace(1.0, weights, average);
+        ++averaged_steps;
+      }
+      ++step;
+    }
+  }
+
+  TrainResult result;
+  result.weights = averaged_steps > 0
+                       ? linalg::Scale(average,
+                                       1.0 / static_cast<double>(
+                                                 averaged_steps))
+                       : weights;
+  result.final_loss = loss.Value(result.weights, dataset);
+  result.iterations = static_cast<int>(step);
+  // SGD has no gradient-norm stopping rule; completing the budget counts
+  // as convergence for reporting purposes.
+  result.converged = true;
+  return result;
+}
+
+}  // namespace nimbus::ml

@@ -1,0 +1,43 @@
+#ifndef NIMBUS_ML_SGD_H_
+#define NIMBUS_ML_SGD_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+
+namespace nimbus::ml {
+
+// Learning-rate schedules for stochastic training.
+enum class LearningRateSchedule {
+  kConstant,     // eta_t = eta0.
+  kInverseTime,  // eta_t = eta0 / (1 + decay * t).
+  kSqrtDecay,    // eta_t = eta0 / sqrt(1 + t).
+};
+
+struct SgdOptions {
+  int epochs = 30;
+  int batch_size = 32;
+  double initial_learning_rate = 0.1;
+  LearningRateSchedule schedule = LearningRateSchedule::kInverseTime;
+  // Decay constant for kInverseTime (per step, not per epoch).
+  double decay = 1e-3;
+  // Polyak-Ruppert averaging over the last `average_tail_fraction` of
+  // steps (0 disables averaging). Averaging is what makes SGD usable for
+  // the strictly convex losses MBP relies on.
+  double average_tail_fraction = 0.5;
+  uint64_t seed = 1;
+};
+
+// Mini-batch stochastic gradient descent over `loss` on `dataset`. This
+// is the paper-scale training path: one pass over Simulated1's 7.5M rows
+// is cheap where the closed form's Gram accumulation or full-batch GD
+// would not be. Works for every differentiable loss in the library.
+StatusOr<TrainResult> MinimizeWithSgd(const Loss& loss,
+                                      const data::Dataset& dataset,
+                                      const SgdOptions& options = {});
+
+}  // namespace nimbus::ml
+
+#endif  // NIMBUS_ML_SGD_H_

@@ -1,0 +1,192 @@
+#include "ml/trainer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+
+namespace nimbus::ml {
+
+using data::Dataset;
+using data::Example;
+using linalg::Matrix;
+using linalg::Vector;
+
+StatusOr<TrainResult> MinimizeWithGradientDescent(
+    const Loss& loss, const Dataset& dataset,
+    const GradientDescentOptions& options) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("cannot train on an empty dataset");
+  }
+  if (!loss.IsDifferentiable()) {
+    return InvalidArgumentError("loss '" + loss.name() +
+                                "' is not differentiable");
+  }
+  TrainResult result;
+  result.weights = linalg::Zeros(dataset.num_features());
+  double value = loss.Value(result.weights, dataset);
+  double step = options.initial_step;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const Vector grad = loss.Gradient(result.weights, dataset);
+    const double grad_norm = linalg::NormInf(grad);
+    result.iterations = iter;
+    if (grad_norm < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+    // Backtracking line search along -grad (Armijo condition).
+    const double grad_sq = linalg::SquaredNorm2(grad);
+    double t = step;
+    bool accepted = false;
+    for (int backtrack = 0; backtrack < 60; ++backtrack) {
+      Vector candidate = result.weights;
+      linalg::AxpyInPlace(-t, grad, candidate);
+      const double candidate_value = loss.Value(candidate, dataset);
+      if (candidate_value <= value - options.armijo_c * t * grad_sq) {
+        result.weights = std::move(candidate);
+        value = candidate_value;
+        accepted = true;
+        break;
+      }
+      t *= options.backtracking_beta;
+    }
+    if (!accepted) {
+      // Step collapsed to numerical noise: treat as converged.
+      result.converged = true;
+      break;
+    }
+    // Allow the step to grow back so progress is not permanently throttled
+    // by one bad region.
+    step = std::min(options.initial_step, t / options.backtracking_beta);
+  }
+  result.final_loss = value;
+  return result;
+}
+
+StatusOr<Vector> FitLinearRegressionClosedForm(const Dataset& dataset,
+                                               double ridge_mu) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("cannot train on an empty dataset");
+  }
+  if (ridge_mu < 0.0) {
+    return InvalidArgumentError("ridge_mu must be non-negative");
+  }
+  const int d = dataset.num_features();
+  const int n = dataset.num_examples();
+  // Accumulate Xᵀ X and Xᵀ y without materializing X.
+  Matrix gram(d, d);
+  Vector xty = linalg::Zeros(d);
+  for (const Example& e : dataset.examples()) {
+    for (int i = 0; i < d; ++i) {
+      const double xi = e.features[static_cast<size_t>(i)];
+      if (xi == 0.0) {
+        continue;
+      }
+      xty[static_cast<size_t>(i)] += xi * e.target;
+      for (int j = i; j < d; ++j) {
+        gram.At(i, j) += xi * e.features[static_cast<size_t>(j)];
+      }
+    }
+  }
+  for (int i = 0; i < d; ++i) {
+    for (int j = i + 1; j < d; ++j) {
+      gram.At(j, i) = gram.At(i, j);
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) {
+      gram.At(i, j) *= inv_n;
+    }
+  }
+  gram.AddToDiagonal(2.0 * ridge_mu);
+  return linalg::SolveSpd(gram, linalg::Scale(xty, inv_n));
+}
+
+StatusOr<TrainResult> FitLogisticRegressionNewton(const Dataset& dataset,
+                                                  double ridge_mu,
+                                                  int max_iterations,
+                                                  double gradient_tolerance) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("cannot train on an empty dataset");
+  }
+  if (ridge_mu <= 0.0) {
+    return InvalidArgumentError(
+        "FitLogisticRegressionNewton requires ridge_mu > 0");
+  }
+  const int d = dataset.num_features();
+  const int n = dataset.num_examples();
+  const RegularizedLoss loss(std::make_shared<LogisticLoss>(), ridge_mu);
+
+  TrainResult result;
+  result.weights = linalg::Zeros(d);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter;
+    const Vector grad = loss.Gradient(result.weights, dataset);
+    if (linalg::NormInf(grad) < gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+    // Hessian = 1/n Σ σ(m)(1−σ(m)) x xᵀ + 2µ I, with m = y wᵀx.
+    Matrix hessian(d, d);
+    for (const Example& e : dataset.examples()) {
+      const double margin = e.target * linalg::Dot(result.weights, e.features);
+      const double s = Sigmoid(-margin);
+      const double weight = s * (1.0 - s);
+      if (weight == 0.0) {
+        continue;
+      }
+      for (int i = 0; i < d; ++i) {
+        const double xi = e.features[static_cast<size_t>(i)];
+        if (xi == 0.0) {
+          continue;
+        }
+        for (int j = i; j < d; ++j) {
+          hessian.At(i, j) += weight * xi * e.features[static_cast<size_t>(j)];
+        }
+      }
+    }
+    for (int i = 0; i < d; ++i) {
+      for (int j = i + 1; j < d; ++j) {
+        hessian.At(j, i) = hessian.At(i, j);
+      }
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        hessian.At(i, j) *= inv_n;
+      }
+    }
+    hessian.AddToDiagonal(2.0 * ridge_mu);
+
+    StatusOr<Vector> direction = linalg::SolveSpd(hessian, grad);
+    if (!direction.ok()) {
+      // Degenerate Hessian: fall back to first-order minimization.
+      return MinimizeWithGradientDescent(loss, dataset);
+    }
+    // Damped Newton: halve the step until the objective decreases.
+    const double value = loss.Value(result.weights, dataset);
+    double t = 1.0;
+    bool accepted = false;
+    for (int backtrack = 0; backtrack < 50; ++backtrack) {
+      Vector candidate = result.weights;
+      linalg::AxpyInPlace(-t, *direction, candidate);
+      if (loss.Value(candidate, dataset) < value) {
+        result.weights = std::move(candidate);
+        accepted = true;
+        break;
+      }
+      t *= 0.5;
+    }
+    if (!accepted) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.final_loss = loss.Value(result.weights, dataset);
+  return result;
+}
+
+}  // namespace nimbus::ml

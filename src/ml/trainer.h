@@ -1,0 +1,56 @@
+#ifndef NIMBUS_ML_TRAINER_H_
+#define NIMBUS_ML_TRAINER_H_
+
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "ml/loss.h"
+
+namespace nimbus::ml {
+
+// Options for the first-order trainer.
+struct GradientDescentOptions {
+  int max_iterations = 2000;
+  // Stop when the gradient infinity-norm drops below this.
+  double gradient_tolerance = 1e-8;
+  // Initial step size for backtracking line search.
+  double initial_step = 1.0;
+  // Backtracking shrink factor in (0, 1).
+  double backtracking_beta = 0.5;
+  // Armijo sufficient-decrease constant in (0, 1).
+  double armijo_c = 1e-4;
+};
+
+// Result of a training run: the fitted weights and convergence info.
+struct TrainResult {
+  linalg::Vector weights;
+  double final_loss = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Minimizes `loss` over `dataset` with full-batch gradient descent and
+// Armijo backtracking line search, starting from the zero vector.
+// Deterministic; suitable for every differentiable loss in this library.
+StatusOr<TrainResult> MinimizeWithGradientDescent(
+    const Loss& loss, const data::Dataset& dataset,
+    const GradientDescentOptions& options = {});
+
+// Fits least-squares linear regression in closed form via the ridge
+// normal equations (Xᵀ X / n + 2µ I) w = Xᵀ y / n, matching the
+// SquaredLoss + RegularizedLoss(µ) objective exactly. `ridge_mu` may be 0
+// when the Gram matrix is non-singular.
+StatusOr<linalg::Vector> FitLinearRegressionClosedForm(
+    const data::Dataset& dataset, double ridge_mu = 0.0);
+
+// Fits L2-regularized logistic regression with damped Newton iterations
+// (falls back to gradient descent when a Hessian solve fails).
+// `ridge_mu` must be > 0 so the optimum is unique (strict convexity is
+// what the MBP error transformation relies on).
+StatusOr<TrainResult> FitLogisticRegressionNewton(
+    const data::Dataset& dataset, double ridge_mu, int max_iterations = 100,
+    double gradient_tolerance = 1e-10);
+
+}  // namespace nimbus::ml
+
+#endif  // NIMBUS_ML_TRAINER_H_

@@ -1,0 +1,57 @@
+#include "pricing/analytic_error.h"
+
+#include <algorithm>
+
+#include "ml/loss.h"
+
+namespace nimbus::pricing {
+
+double MeanSquaredFeatureNorm(const data::Dataset& dataset) {
+  if (dataset.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const data::Example& e : dataset.examples()) {
+    sum += linalg::SquaredNorm2(e.features);
+  }
+  return sum / dataset.num_examples();
+}
+
+double AnalyticExpectedSquaredLoss(double base_loss,
+                                   double mean_squared_feature_norm, int dim,
+                                   double ncp) {
+  return base_loss +
+         ncp * mean_squared_feature_norm / (2.0 * static_cast<double>(dim));
+}
+
+StatusOr<ErrorCurve> AnalyticSquaredLossCurve(
+    const linalg::Vector& optimal, const data::Dataset& eval_data,
+    const std::vector<double>& inverse_ncp_grid) {
+  if (eval_data.empty()) {
+    return InvalidArgumentError("evaluation dataset is empty");
+  }
+  if (static_cast<int>(optimal.size()) != eval_data.num_features()) {
+    return InvalidArgumentError("model / dataset dimension mismatch");
+  }
+  if (inverse_ncp_grid.size() < 2) {
+    return InvalidArgumentError("need at least two grid points");
+  }
+  std::vector<double> grid = inverse_ncp_grid;
+  std::sort(grid.begin(), grid.end());
+  if (!(grid.front() > 0.0)) {
+    return InvalidArgumentError("inverse NCP grid must be positive");
+  }
+  const ml::SquaredLoss loss;
+  const double base = loss.Value(optimal, eval_data);
+  const double trace = MeanSquaredFeatureNorm(eval_data);
+  const int dim = eval_data.num_features();
+  std::vector<ErrorCurvePoint> points;
+  points.reserve(grid.size());
+  for (double x : grid) {
+    points.push_back(ErrorCurvePoint{
+        x, AnalyticExpectedSquaredLoss(base, trace, dim, 1.0 / x)});
+  }
+  return ErrorCurve::FromSamples(std::move(points));
+}
+
+}  // namespace nimbus::pricing

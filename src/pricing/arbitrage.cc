@@ -1,0 +1,117 @@
+#include "pricing/arbitrage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace nimbus::pricing {
+
+AuditResult AuditPricingFunction(const PricingFunction& pricing,
+                                 std::vector<double> grid, double tol) {
+  AuditResult result;
+  NIMBUS_CHECK(!grid.empty());
+  std::sort(grid.begin(), grid.end());
+  NIMBUS_CHECK_GT(grid.front(), 0.0) << "grid values must be positive";
+
+  // Condition (2) of Theorem 5: monotonicity in x = 1/δ.
+  double prev_price = 0.0;
+  double prev_x = 0.0;
+  for (double x : grid) {
+    const double price = pricing.PriceAtInverseNcp(x);
+    if (price < prev_price - tol) {
+      std::ostringstream msg;
+      msg << "monotonicity violated: p(" << prev_x << ") = " << prev_price
+          << " > p(" << x << ") = " << price;
+      result.arbitrage_free = false;
+      result.violation = msg.str();
+      // A monotonicity violation is 1-arbitrage: buy the noisier-but-
+      // pricier version's quality via the cheaper, less noisy instance.
+      ArbitrageAttack attack;
+      attack.target_ncp = 1.0 / prev_x;
+      attack.component_ncps = {1.0 / x};
+      attack.target_price = prev_price;
+      attack.combined_price = price;
+      result.attack = attack;
+      return result;
+    }
+    prev_price = price;
+    prev_x = x;
+  }
+
+  // Condition (1): subadditivity over all grid pairs.
+  for (size_t i = 0; i < grid.size(); ++i) {
+    for (size_t j = i; j < grid.size(); ++j) {
+      const double x = grid[i];
+      const double y = grid[j];
+      const double lhs = pricing.PriceAtInverseNcp(x + y);
+      const double rhs =
+          pricing.PriceAtInverseNcp(x) + pricing.PriceAtInverseNcp(y);
+      if (lhs > rhs + tol) {
+        std::ostringstream msg;
+        msg << "subadditivity violated: p(" << x + y << ") = " << lhs
+            << " > p(" << x << ") + p(" << y << ") = " << rhs;
+        result.arbitrage_free = false;
+        result.violation = msg.str();
+        ArbitrageAttack attack;
+        attack.target_ncp = 1.0 / (x + y);
+        attack.component_ncps = {1.0 / x, 1.0 / y};
+        attack.target_price = lhs;
+        attack.combined_price = rhs;
+        result.attack = attack;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+AttackExecution ExecuteAttack(const ArbitrageAttack& attack,
+                              const PricingFunction& pricing,
+                              const linalg::Vector& optimal_model,
+                              int num_trials, Rng& rng) {
+  NIMBUS_CHECK_GE(num_trials, 1);
+  NIMBUS_CHECK(!attack.component_ncps.empty());
+  // Sanity: the harmonic combination must reproduce the target NCP.
+  double inv_sum = 0.0;
+  for (double ncp : attack.component_ncps) {
+    NIMBUS_CHECK_GT(ncp, 0.0);
+    inv_sum += 1.0 / ncp;
+  }
+  NIMBUS_CHECK(std::fabs(inv_sum - 1.0 / attack.target_ncp) <
+               1e-6 * std::max(1.0, inv_sum))
+      << "component NCPs do not combine to the target NCP";
+
+  const mechanism::GaussianMechanism gaussian;
+  AttackExecution execution;
+  execution.list_price = pricing.PriceAtNcp(attack.target_ncp);
+  for (double ncp : attack.component_ncps) {
+    execution.price_paid += pricing.PriceAtNcp(ncp);
+  }
+  execution.target_expected_squared_error = attack.target_ncp;  // Lemma 3.
+
+  double error_sum = 0.0;
+  for (int trial = 0; trial < num_trials; ++trial) {
+    linalg::Vector combined = linalg::Zeros(
+        static_cast<int>(optimal_model.size()));
+    for (size_t i = 0; i < attack.component_ncps.size(); ++i) {
+      const linalg::Vector purchase =
+          gaussian.Perturb(optimal_model, attack.component_ncps[i], rng);
+      linalg::AxpyInPlace(attack.WeightFor(i), purchase, combined);
+    }
+    error_sum += linalg::SquaredDistance(combined, optimal_model);
+  }
+  execution.combined_expected_squared_error =
+      error_sum / static_cast<double>(num_trials);
+
+  // The attack succeeds when it pays less and (statistically) obtains the
+  // target quality; allow 10% Monte-Carlo slack on the error comparison.
+  execution.succeeded =
+      execution.price_paid < execution.list_price &&
+      execution.combined_expected_squared_error <=
+          1.1 * execution.target_expected_squared_error;
+  return execution;
+}
+
+}  // namespace nimbus::pricing

@@ -1,0 +1,80 @@
+#ifndef NIMBUS_PRICING_ARBITRAGE_H_
+#define NIMBUS_PRICING_ARBITRAGE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "linalg/vector_ops.h"
+#include "mechanism/noise_mechanism.h"
+#include "pricing/pricing_function.h"
+
+namespace nimbus::pricing {
+
+// A concrete k-arbitrage opportunity against a pricing function under the
+// Gaussian mechanism (Definition 3 instantiated via the proof of
+// Theorem 5): buy instances with NCPs component_ncps = {δ_1, ..., δ_k},
+// combine them as h = Σ_i (δ_0 / δ_i) h^{δ_i} where 1/δ_0 = Σ_i 1/δ_i,
+// and obtain the target-NCP model for less than its list price.
+struct ArbitrageAttack {
+  double target_ncp = 0.0;
+  std::vector<double> component_ncps;
+  double target_price = 0.0;
+  double combined_price = 0.0;
+
+  // Price saved by the attack (> 0 for a genuine opportunity).
+  double Savings() const { return target_price - combined_price; }
+
+  // Mixing weight δ_0 / δ_i for component i; the weights sum to 1.
+  double WeightFor(size_t i) const {
+    return target_ncp / component_ncps[i];
+  }
+};
+
+// Result of auditing a pricing function on a grid.
+struct AuditResult {
+  bool arbitrage_free = true;
+  // When not arbitrage-free: a description of the first violation found
+  // and, for subadditivity violations, the concrete attack.
+  std::string violation;
+  std::optional<ArbitrageAttack> attack;
+};
+
+// Checks the two Theorem 5 conditions for `pricing` over a grid of
+// inverse-NCP values (x = 1/δ):
+//   (1) monotonicity: x <= y implies p(x) <= p(y), and
+//   (2) subadditivity: p(x + y) <= p(x) + p(y),
+// for every grid point / pair. `grid` must contain positive values; it is
+// sorted internally. This is a certification on the grid: a pass means no
+// arbitrage is expressible with the given versions, a fail returns a
+// concrete attack.
+AuditResult AuditPricingFunction(const PricingFunction& pricing,
+                                 std::vector<double> grid, double tol = 1e-9);
+
+// Outcome of executing an arbitrage attack empirically.
+struct AttackExecution {
+  // Monte-Carlo estimate of the combined model's expected square loss
+  // E‖ĥ − h*‖²; Theorem 5's construction guarantees this equals target_ncp.
+  double combined_expected_squared_error = 0.0;
+  // The expected square loss a legitimate buyer of target_ncp would get.
+  double target_expected_squared_error = 0.0;
+  double price_paid = 0.0;
+  double list_price = 0.0;
+  // Whether the attack really delivered the target quality for less money.
+  bool succeeded = false;
+};
+
+// Buys the component instances from the Gaussian mechanism, combines them
+// with the inverse-variance weights and measures the achieved error with
+// `num_trials` Monte-Carlo repetitions. Demonstrates that a subadditivity
+// violation is exploitable in practice (used by tests and the
+// arbitrage_audit example).
+AttackExecution ExecuteAttack(const ArbitrageAttack& attack,
+                              const PricingFunction& pricing,
+                              const linalg::Vector& optimal_model,
+                              int num_trials, Rng& rng);
+
+}  // namespace nimbus::pricing
+
+#endif  // NIMBUS_PRICING_ARBITRAGE_H_

@@ -1,0 +1,142 @@
+#include "pricing/error_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nimbus::pricing {
+namespace {
+
+// Pool-adjacent-violators pass enforcing a non-increasing sequence (the
+// Monte-Carlo means are noisy around a theoretically decreasing curve).
+std::vector<double> IsotonicDecreasing(const std::vector<double>& values) {
+  std::vector<double> level;   // Pooled value per block.
+  std::vector<int> count;      // Block sizes.
+  for (double v : values) {
+    level.push_back(v);
+    count.push_back(1);
+    // Merge while the sequence increases (violating "decreasing").
+    while (level.size() > 1 && level[level.size() - 2] < level.back()) {
+      const double merged =
+          (level[level.size() - 2] * count[count.size() - 2] +
+           level.back() * count.back()) /
+          (count[count.size() - 2] + count.back());
+      count[count.size() - 2] += count.back();
+      level[level.size() - 2] = merged;
+      level.pop_back();
+      count.pop_back();
+    }
+  }
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (size_t b = 0; b < level.size(); ++b) {
+    out.insert(out.end(), static_cast<size_t>(count[b]), level[b]);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ErrorCurve> ErrorCurve::FromSamples(
+    std::vector<ErrorCurvePoint> points, double monotonicity_tol) {
+  if (points.size() < 2) {
+    return InvalidArgumentError("error curve needs at least two points");
+  }
+  double prev_x = 0.0;
+  for (const ErrorCurvePoint& p : points) {
+    if (!(p.inverse_ncp > prev_x)) {
+      return InvalidArgumentError(
+          "error-curve points must be strictly increasing in inverse NCP");
+    }
+    if (p.expected_error < 0.0 || !std::isfinite(p.expected_error)) {
+      return InvalidArgumentError("expected errors must be finite and >= 0");
+    }
+    prev_x = p.inverse_ncp;
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double slack =
+        monotonicity_tol * std::max(1.0, points[i - 1].expected_error);
+    if (points[i].expected_error > points[i - 1].expected_error + slack) {
+      return FailedPreconditionError(
+          "expected error is not monotone non-increasing in inverse NCP");
+    }
+  }
+  return ErrorCurve(std::move(points));
+}
+
+StatusOr<ErrorCurve> ErrorCurve::Estimate(
+    const mechanism::NoiseMechanism& mechanism,
+    const linalg::Vector& optimal_model, const ml::Loss& report_loss,
+    const data::Dataset& eval_data, const std::vector<double>& inverse_ncp_grid,
+    int samples_per_point, Rng& rng) {
+  if (inverse_ncp_grid.size() < 2) {
+    return InvalidArgumentError("need at least two grid points");
+  }
+  std::vector<double> grid = inverse_ncp_grid;
+  std::sort(grid.begin(), grid.end());
+  if (grid.front() <= 0.0) {
+    return InvalidArgumentError("inverse NCP grid must be positive");
+  }
+  std::vector<double> raw;
+  raw.reserve(grid.size());
+  for (double x : grid) {
+    raw.push_back(mechanism::EstimateExpectedError(
+        mechanism, optimal_model, /*ncp=*/1.0 / x, report_loss, eval_data,
+        samples_per_point, rng));
+  }
+  const std::vector<double> smoothed = IsotonicDecreasing(raw);
+  std::vector<ErrorCurvePoint> points(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    points[i] = ErrorCurvePoint{grid[i], smoothed[i]};
+  }
+  return FromSamples(std::move(points));
+}
+
+double ErrorCurve::ErrorAtInverseNcp(double x) const {
+  if (x <= points_.front().inverse_ncp) {
+    return points_.front().expected_error;
+  }
+  if (x >= points_.back().inverse_ncp) {
+    return points_.back().expected_error;
+  }
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (x <= points_[i].inverse_ncp) {
+      const ErrorCurvePoint& lo = points_[i - 1];
+      const ErrorCurvePoint& hi = points_[i];
+      const double t = (x - lo.inverse_ncp) / (hi.inverse_ncp - lo.inverse_ncp);
+      return lo.expected_error + t * (hi.expected_error - lo.expected_error);
+    }
+  }
+  return points_.back().expected_error;
+}
+
+StatusOr<double> ErrorCurve::MinInverseNcpForErrorBudget(
+    double error_budget) const {
+  if (error_budget < 0.0) {
+    return InvalidArgumentError("error budget must be non-negative");
+  }
+  if (points_.back().expected_error > error_budget) {
+    return InfeasibleError(
+        "no supported version achieves the requested error budget");
+  }
+  if (points_.front().expected_error <= error_budget) {
+    return points_.front().inverse_ncp;
+  }
+  // Walk to the first point meeting the budget and interpolate back.
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].expected_error <= error_budget) {
+      const ErrorCurvePoint& lo = points_[i - 1];
+      const ErrorCurvePoint& hi = points_[i];
+      if (lo.expected_error == hi.expected_error) {
+        return hi.inverse_ncp;
+      }
+      const double t = (lo.expected_error - error_budget) /
+                       (lo.expected_error - hi.expected_error);
+      return lo.inverse_ncp + t * (hi.inverse_ncp - lo.inverse_ncp);
+    }
+  }
+  return InternalError("unreachable: budget feasibility already checked");
+}
+
+}  // namespace nimbus::pricing

@@ -1,0 +1,76 @@
+#ifndef NIMBUS_PRICING_ERROR_CURVE_H_
+#define NIMBUS_PRICING_ERROR_CURVE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "mechanism/noise_mechanism.h"
+#include "ml/loss.h"
+
+namespace nimbus::pricing {
+
+// One sampled point of the error-transformation curve of Figure 2(b)/6:
+// the expected report error obtained at inverse NCP x = 1/δ.
+struct ErrorCurvePoint {
+  double inverse_ncp = 0.0;
+  double expected_error = 0.0;
+};
+
+// Empirical error-transformation curve mapping x = 1/δ to the expected
+// report error E[ε(h^δ, D)], and its inverse (the error-inverse map φ of
+// Theorem 6, computed empirically as §4.2 suggests). The curve must be
+// (weakly) decreasing in x — more money, less noise, less error — which
+// Theorem 4 guarantees for convex ε and §6.1 verifies empirically even
+// for the 0/1 loss.
+class ErrorCurve {
+ public:
+  // Builds a curve from pre-computed samples. Points must be strictly
+  // increasing in inverse_ncp (positive) with non-negative errors.
+  // Fails with kFailedPrecondition when the error is not monotone
+  // non-increasing within `monotonicity_tol` (relative slack), since a
+  // non-monotone curve breaks the price/error bijection the broker needs.
+  static StatusOr<ErrorCurve> FromSamples(std::vector<ErrorCurvePoint> points,
+                                          double monotonicity_tol = 0.05);
+
+  // Monte-Carlo estimates the curve for `mechanism` on the given optimal
+  // model and evaluation data: for each x in `inverse_ncp_grid`, draws
+  // `samples_per_point` noisy instances at δ = 1/x and averages the
+  // report loss (the paper uses a 1..100 grid with 2000 samples).
+  // Non-monotone Monte-Carlo noise is smoothed with a decreasing-isotonic
+  // pass before the monotonicity check.
+  static StatusOr<ErrorCurve> Estimate(
+      const mechanism::NoiseMechanism& mechanism,
+      const linalg::Vector& optimal_model, const ml::Loss& report_loss,
+      const data::Dataset& eval_data, const std::vector<double>& inverse_ncp_grid,
+      int samples_per_point, Rng& rng);
+
+  const std::vector<ErrorCurvePoint>& points() const { return points_; }
+
+  double min_inverse_ncp() const { return points_.front().inverse_ncp; }
+  double max_inverse_ncp() const { return points_.back().inverse_ncp; }
+
+  // Expected error at inverse NCP x (piecewise-linear interpolation,
+  // clamped to the sampled range).
+  double ErrorAtInverseNcp(double x) const;
+
+  // The error-inverse φ: the smallest sampled-range x whose expected
+  // error is <= `error_budget`. This is exactly what the broker needs for
+  // the buyer's error-budget purchase option (§3.2): price increases with
+  // x, so the cheapest version meeting the budget is the smallest such x.
+  // Fails with kInfeasible when even the largest x exceeds the budget.
+  StatusOr<double> MinInverseNcpForErrorBudget(double error_budget) const;
+
+ private:
+  explicit ErrorCurve(std::vector<ErrorCurvePoint> points)
+      : points_(std::move(points)) {}
+
+  std::vector<ErrorCurvePoint> points_;
+};
+
+}  // namespace nimbus::pricing
+
+#endif  // NIMBUS_PRICING_ERROR_CURVE_H_

@@ -1,0 +1,115 @@
+#include "pricing/optimal_attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nimbus::pricing {
+namespace {
+
+constexpr int64_t kMaxGridCells = 10000000;
+
+}  // namespace
+
+StatusOr<CheapestCombination> FindCheapestCombination(
+    const PricingFunction& pricing,
+    const std::vector<double>& offered_versions, double target_inverse_ncp,
+    double unit, double tol) {
+  if (offered_versions.empty()) {
+    return InvalidArgumentError("no offered versions");
+  }
+  if (!(unit > 0.0)) {
+    return InvalidArgumentError("unit must be positive");
+  }
+  if (!(target_inverse_ncp > 0.0)) {
+    return InvalidArgumentError("target precision must be positive");
+  }
+  for (double x : offered_versions) {
+    if (!(x > 0.0)) {
+      return InvalidArgumentError("offered versions must be positive");
+    }
+  }
+  // Round the target UP and versions DOWN so any reported multiset truly
+  // reaches the target precision.
+  const int64_t target_units = static_cast<int64_t>(
+      std::ceil(target_inverse_ncp / unit - 1e-12));
+  if (target_units > kMaxGridCells) {
+    return InvalidArgumentError("discretized target too large; raise unit");
+  }
+  struct Item {
+    int64_t units;
+    double price;
+    double version;
+  };
+  std::vector<Item> items;
+  for (double x : offered_versions) {
+    const int64_t units = static_cast<int64_t>(std::floor(x / unit + 1e-12));
+    if (units <= 0) {
+      continue;  // Version too imprecise to contribute at this resolution.
+    }
+    items.push_back(Item{units, pricing.PriceAtInverseNcp(x), x});
+  }
+  CheapestCombination result;
+  result.target_inverse_ncp = target_inverse_ncp;
+  result.direct_price = pricing.PriceAtInverseNcp(target_inverse_ncp);
+  if (items.empty()) {
+    result.combination_cost = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  // Unbounded min-cost covering knapsack: g[t] = cheapest cost to reach
+  // at least t precision units; choice[t] records the item used.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> g(static_cast<size_t>(target_units) + 1, kInf);
+  std::vector<int> choice(static_cast<size_t>(target_units) + 1, -1);
+  g[0] = 0.0;
+  for (int64_t t = 1; t <= target_units; ++t) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      const int64_t rest = std::max<int64_t>(0, t - items[i].units);
+      if (g[static_cast<size_t>(rest)] < kInf) {
+        const double cost = items[i].price + g[static_cast<size_t>(rest)];
+        if (cost < g[static_cast<size_t>(t)]) {
+          g[static_cast<size_t>(t)] = cost;
+          choice[static_cast<size_t>(t)] = static_cast<int>(i);
+        }
+      }
+    }
+  }
+  result.combination_cost = g[static_cast<size_t>(target_units)];
+  // Reconstruct the multiset.
+  int64_t t = target_units;
+  while (t > 0 && choice[static_cast<size_t>(t)] >= 0) {
+    const Item& item = items[static_cast<size_t>(
+        choice[static_cast<size_t>(t)])];
+    result.purchases.push_back(item.version);
+    t = std::max<int64_t>(0, t - item.units);
+  }
+  result.arbitrage_found =
+      result.combination_cost <
+      result.direct_price - tol * std::max(1.0, result.direct_price);
+  return result;
+}
+
+StatusOr<MenuAuditResult> AuditMenu(const PricingFunction& pricing,
+                                    const std::vector<double>& offered_versions,
+                                    double unit, double tol) {
+  MenuAuditResult audit;
+  for (double target : offered_versions) {
+    NIMBUS_ASSIGN_OR_RETURN(
+        CheapestCombination combo,
+        FindCheapestCombination(pricing, offered_versions, target, unit,
+                                tol));
+    if (combo.combination_cost <= 0.0) {
+      continue;  // Free versions cannot be undercut.
+    }
+    const double ratio = combo.direct_price / combo.combination_cost;
+    if (ratio > audit.worst_ratio) {
+      audit.worst_ratio = ratio;
+      audit.worst_case = combo;
+    }
+  }
+  audit.arbitrage_free = audit.worst_ratio <= 1.0 + tol;
+  return audit;
+}
+
+}  // namespace nimbus::pricing

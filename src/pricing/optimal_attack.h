@@ -1,0 +1,60 @@
+#ifndef NIMBUS_PRICING_OPTIMAL_ATTACK_H_
+#define NIMBUS_PRICING_OPTIMAL_ATTACK_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "pricing/pricing_function.h"
+
+namespace nimbus::pricing {
+
+// Exhaustive arbitrage search: given the versions a broker actually
+// offers (a finite set of inverse NCPs), find the *cheapest* multiset of
+// purchases whose combined precision Σ x_i reaches a target x (by the
+// Cramer-Rao argument of Theorem 5, combined inverse variances add).
+// This generalizes the pairwise audit in arbitrage.h to arbitrary k and
+// is the buyer's optimal strategy; a pricing function is safe on the
+// offered menu iff no target is cheaper to synthesize than to buy.
+//
+// Computed by an unbounded-knapsack dynamic program over a discretized
+// precision grid of resolution `unit` (all version precisions and the
+// target are rounded up/down conservatively so the attack found is
+// always genuinely feasible).
+
+struct CheapestCombination {
+  double target_inverse_ncp = 0.0;
+  double direct_price = 0.0;       // List price of the target version.
+  double combination_cost = 0.0;   // Cheapest synthesis cost.
+  // The versions (inverse NCPs) in the cheapest multiset, with
+  // multiplicity.
+  std::vector<double> purchases;
+  // True when the synthesis undercuts the list price by more than tol.
+  bool arbitrage_found = false;
+};
+
+// Finds the cheapest multiset of `offered_versions` (inverse NCPs, all
+// > 0) with combined precision >= target. `unit` is the discretization
+// step (> 0); versions are rounded down and the target up, so reported
+// combinations are feasible. Fails when inputs are invalid or the grid
+// would exceed 10^7 cells.
+StatusOr<CheapestCombination> FindCheapestCombination(
+    const PricingFunction& pricing,
+    const std::vector<double>& offered_versions, double target_inverse_ncp,
+    double unit = 0.25, double tol = 1e-9);
+
+// Scans every offered version as an attack target and returns the worst
+// (largest) ratio direct_price / combination_cost observed; a ratio of
+// at most 1 + tol certifies the menu arbitrage-safe against arbitrary-k
+// combination attacks.
+struct MenuAuditResult {
+  double worst_ratio = 1.0;
+  CheapestCombination worst_case;
+  bool arbitrage_free = true;
+};
+StatusOr<MenuAuditResult> AuditMenu(const PricingFunction& pricing,
+                                    const std::vector<double>& offered_versions,
+                                    double unit = 0.25, double tol = 1e-6);
+
+}  // namespace nimbus::pricing
+
+#endif  // NIMBUS_PRICING_OPTIMAL_ATTACK_H_

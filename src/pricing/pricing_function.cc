@@ -1,0 +1,101 @@
+#include "pricing/pricing_function.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nimbus::pricing {
+
+double PricingFunction::PriceAtNcp(double ncp) const {
+  NIMBUS_CHECK_GT(ncp, 0.0);
+  return PriceAtInverseNcp(1.0 / ncp);
+}
+
+StatusOr<PiecewiseLinearPricing> PiecewiseLinearPricing::Create(
+    std::vector<PricePoint> points, std::string name) {
+  if (points.empty()) {
+    return InvalidArgumentError("pricing curve needs at least one point");
+  }
+  double prev_x = 0.0;
+  for (const PricePoint& p : points) {
+    if (!(p.inverse_ncp > prev_x)) {
+      return InvalidArgumentError(
+          "support points must be strictly increasing in inverse NCP and "
+          "positive");
+    }
+    if (p.price < 0.0 || !std::isfinite(p.price)) {
+      return InvalidArgumentError("prices must be finite and non-negative");
+    }
+    prev_x = p.inverse_ncp;
+  }
+  return PiecewiseLinearPricing(std::move(points), std::move(name));
+}
+
+double PiecewiseLinearPricing::PriceAtInverseNcp(double x) const {
+  NIMBUS_CHECK_GE(x, 0.0);
+  const PricePoint& first = points_.front();
+  if (x <= first.inverse_ncp) {
+    return first.price * (x / first.inverse_ncp);
+  }
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const PricePoint& lo = points_[i - 1];
+    const PricePoint& hi = points_[i];
+    if (x <= hi.inverse_ncp) {
+      const double t =
+          (x - lo.inverse_ncp) / (hi.inverse_ncp - lo.inverse_ncp);
+      return lo.price + t * (hi.price - lo.price);
+    }
+  }
+  return points_.back().price;
+}
+
+bool PiecewiseLinearPricing::SatisfiesChainConstraints(double tol) const {
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const PricePoint& lo = points_[i - 1];
+    const PricePoint& hi = points_[i];
+    if (hi.price < lo.price - tol) {
+      return false;  // Monotonicity violated.
+    }
+    const double ratio_lo = lo.price / lo.inverse_ncp;
+    const double ratio_hi = hi.price / hi.inverse_ncp;
+    if (ratio_hi > ratio_lo + tol) {
+      return false;  // Relaxed subadditivity (decreasing slope) violated.
+    }
+  }
+  return true;
+}
+
+ConstantPricing::ConstantPricing(double price, std::string name)
+    : price_(price), name_(std::move(name)) {
+  NIMBUS_CHECK_GE(price, 0.0);
+}
+
+double ConstantPricing::PriceAtInverseNcp(double x) const {
+  NIMBUS_CHECK_GE(x, 0.0);
+  // A constant price for x > 0 with p(0) = 0 is monotone and subadditive.
+  return x > 0.0 ? price_ : 0.0;
+}
+
+AffinePricing::AffinePricing(double intercept, double slope, std::string name)
+    : intercept_(intercept), slope_(slope), name_(std::move(name)) {
+  NIMBUS_CHECK_GE(intercept, 0.0);
+  NIMBUS_CHECK_GE(slope, 0.0);
+}
+
+double AffinePricing::PriceAtInverseNcp(double x) const {
+  NIMBUS_CHECK_GE(x, 0.0);
+  return x > 0.0 ? intercept_ + slope_ * x : 0.0;
+}
+
+LinearPricing::LinearPricing(double slope, double cap, std::string name)
+    : slope_(slope), cap_(cap), name_(std::move(name)) {
+  NIMBUS_CHECK_GE(slope, 0.0);
+  NIMBUS_CHECK_GE(cap, 0.0);
+}
+
+double LinearPricing::PriceAtInverseNcp(double x) const {
+  NIMBUS_CHECK_GE(x, 0.0);
+  return std::min(slope_ * x, cap_);
+}
+
+}  // namespace nimbus::pricing

@@ -1,0 +1,122 @@
+#ifndef NIMBUS_PRICING_PRICING_FUNCTION_H_
+#define NIMBUS_PRICING_PRICING_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace nimbus::pricing {
+
+// A pricing function expressed over the inverse noise-control parameter
+// x = 1/δ, the natural domain of Theorem 5: the Gaussian mechanism's
+// pricing function p_ε,λ(δ, D) is arbitrage-free iff p(x) = p_ε,λ(1/x, D)
+// is monotone non-decreasing and subadditive in x.
+//
+// Larger x means less noise (variance δ = 1/x), hence a better model and
+// a (weakly) higher price.
+class PricingFunction {
+ public:
+  virtual ~PricingFunction() = default;
+
+  // Price for inverse-NCP x >= 0. Must return a finite value >= 0.
+  virtual double PriceAtInverseNcp(double x) const = 0;
+
+  // Price for NCP δ > 0; PriceAtInverseNcp(1/δ).
+  double PriceAtNcp(double ncp) const;
+
+  // Human-readable identifier, e.g. "mbp_dp" or "linear".
+  virtual std::string name() const = 0;
+};
+
+// A (x_i, price_i) support point of a pricing curve.
+struct PricePoint {
+  double inverse_ncp = 0.0;
+  double price = 0.0;
+};
+
+// Piecewise-linear pricing through given support points, extended exactly
+// as in the proof of Proposition 1:
+//   * on [0, x_1]: the segment from the origin to (x_1, z_1);
+//   * between consecutive points: linear interpolation;
+//   * beyond x_n: constant z_n.
+// When the support values satisfy the chain constraints of problem (5)
+// (z non-decreasing, z_i / x_i non-increasing), the resulting function is
+// monotone and subadditive, hence arbitrage-free.
+class PiecewiseLinearPricing final : public PricingFunction {
+ public:
+  // `points` must be non-empty, strictly increasing in inverse_ncp with
+  // x_1 > 0, and have non-negative prices.
+  static StatusOr<PiecewiseLinearPricing> Create(std::vector<PricePoint> points,
+                                                 std::string name = "pwl");
+
+  double PriceAtInverseNcp(double x) const override;
+  std::string name() const override { return name_; }
+
+  const std::vector<PricePoint>& points() const { return points_; }
+
+  // True when the support points satisfy the relaxed-subadditivity chain
+  // constraints of problem (5) (up to tolerance), which by Lemma 8
+  // certifies arbitrage-freeness of the whole curve.
+  bool SatisfiesChainConstraints(double tol = 1e-9) const;
+
+ private:
+  PiecewiseLinearPricing(std::vector<PricePoint> points, std::string name)
+      : points_(std::move(points)), name_(std::move(name)) {}
+
+  std::vector<PricePoint> points_;
+  std::string name_;
+};
+
+// Constant price c for every version (the MaxC / MedC / OptC baselines of
+// §6.2 are constant pricing with different levels).
+class ConstantPricing final : public PricingFunction {
+ public:
+  ConstantPricing(double price, std::string name);
+
+  double PriceAtInverseNcp(double x) const override;
+  std::string name() const override { return name_; }
+  double price() const { return price_; }
+
+ private:
+  double price_;
+  std::string name_;
+};
+
+// Affine pricing p(x) = intercept + slope * x for x > 0, with p(0) = 0.
+// With intercept >= 0 and slope >= 0 this is monotone and subadditive,
+// hence arbitrage-free.
+class AffinePricing final : public PricingFunction {
+ public:
+  AffinePricing(double intercept, double slope, std::string name = "affine");
+
+  double PriceAtInverseNcp(double x) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  double intercept_;
+  double slope_;
+  std::string name_;
+};
+
+// Linear pricing p(x) = slope * x clipped to [0, cap]: the "Lin" baseline
+// interpolates the smallest and largest buyer value linearly in x. A
+// capped linear function is concave, hence subadditive and arbitrage-free.
+class LinearPricing final : public PricingFunction {
+ public:
+  // `slope` >= 0; `cap` >= 0 (use +infinity for no cap).
+  LinearPricing(double slope, double cap, std::string name = "linear");
+
+  double PriceAtInverseNcp(double x) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  double slope_;
+  double cap_;
+  std::string name_;
+};
+
+}  // namespace nimbus::pricing
+
+#endif  // NIMBUS_PRICING_PRICING_FUNCTION_H_

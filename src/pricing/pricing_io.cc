@@ -1,0 +1,76 @@
+#include "pricing/pricing_io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace nimbus::pricing {
+namespace {
+
+constexpr char kHeader[] = "nimbus-pricing v1";
+
+}  // namespace
+
+std::string SerializePricingFunction(const PiecewiseLinearPricing& pricing) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kHeader << '\n'
+      << pricing.name() << '\n'
+      << pricing.points().size() << '\n';
+  for (const PricePoint& p : pricing.points()) {
+    out << p.inverse_ncp << ' ' << p.price << '\n';
+  }
+  return out.str();
+}
+
+StatusOr<PiecewiseLinearPricing> DeserializePricingFunction(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) || header != kHeader) {
+    return InvalidArgumentError("missing or unknown pricing header");
+  }
+  std::string name;
+  if (!std::getline(in, name) || name.empty()) {
+    return InvalidArgumentError("missing pricing-curve name");
+  }
+  long long count = -1;
+  if (!(in >> count) || count < 1 || count > 10000000) {
+    return InvalidArgumentError("bad support-point count");
+  }
+  std::vector<PricePoint> points(static_cast<size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    PricePoint& p = points[static_cast<size_t>(i)];
+    if (!(in >> p.inverse_ncp >> p.price)) {
+      return InvalidArgumentError("truncated pricing file at point " +
+                                  std::to_string(i));
+    }
+  }
+  return PiecewiseLinearPricing::Create(std::move(points), name);
+}
+
+Status SavePricingFunction(const PiecewiseLinearPricing& pricing,
+                           const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return InvalidArgumentError("cannot create '" + path + "'");
+  }
+  file << SerializePricingFunction(pricing);
+  if (!file) {
+    return InternalError("write to '" + path + "' failed");
+  }
+  return OkStatus();
+}
+
+StatusOr<PiecewiseLinearPricing> LoadPricingFunction(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return DeserializePricingFunction(content.str());
+}
+
+}  // namespace nimbus::pricing

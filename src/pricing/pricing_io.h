@@ -1,0 +1,33 @@
+#ifndef NIMBUS_PRICING_PRICING_IO_H_
+#define NIMBUS_PRICING_PRICING_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "pricing/pricing_function.h"
+
+namespace nimbus::pricing {
+
+// Plain-text persistence for piecewise-linear pricing curves, so a
+// negotiated price menu can be published, versioned, and reloaded by the
+// broker (see the nimbus_cli example). Format:
+//   nimbus-pricing v1
+//   <name>
+//   <num_points>
+//   <inverse_ncp> <price>
+//   ...
+// Creation re-runs PiecewiseLinearPricing::Create, so loaded curves are
+// re-validated.
+
+Status SavePricingFunction(const PiecewiseLinearPricing& pricing,
+                           const std::string& path);
+
+StatusOr<PiecewiseLinearPricing> LoadPricingFunction(const std::string& path);
+
+std::string SerializePricingFunction(const PiecewiseLinearPricing& pricing);
+StatusOr<PiecewiseLinearPricing> DeserializePricingFunction(
+    const std::string& text);
+
+}  // namespace nimbus::pricing
+
+#endif  // NIMBUS_PRICING_PRICING_IO_H_

@@ -1,0 +1,41 @@
+#include "pricing/subadditive_tools.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "pricing/optimal_attack.h"
+
+namespace nimbus::pricing {
+
+StatusOr<PiecewiseLinearPricing> MinSlopeTransform(
+    const PricingFunction& pricing, std::vector<double> grid) {
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  if (grid.empty() || !(grid.front() > 0.0)) {
+    return InvalidArgumentError("grid must contain positive values");
+  }
+  std::vector<PricePoint> points;
+  points.reserve(grid.size());
+  double min_slope = std::numeric_limits<double>::infinity();
+  for (double x : grid) {
+    min_slope = std::min(min_slope, pricing.PriceAtInverseNcp(x) / x);
+    points.push_back(PricePoint{x, min_slope * x});
+  }
+  return PiecewiseLinearPricing::Create(std::move(points), "min_slope");
+}
+
+StatusOr<std::vector<double>> SubadditiveClosureOnGrid(
+    const PricingFunction& pricing, const std::vector<double>& grid,
+    double unit) {
+  std::vector<double> closure;
+  closure.reserve(grid.size());
+  for (double target : grid) {
+    NIMBUS_ASSIGN_OR_RETURN(
+        CheapestCombination combo,
+        FindCheapestCombination(pricing, grid, target, unit));
+    closure.push_back(std::min(combo.direct_price, combo.combination_cost));
+  }
+  return closure;
+}
+
+}  // namespace nimbus::pricing

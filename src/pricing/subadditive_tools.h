@@ -1,0 +1,38 @@
+#ifndef NIMBUS_PRICING_SUBADDITIVE_TOOLS_H_
+#define NIMBUS_PRICING_SUBADDITIVE_TOOLS_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "pricing/pricing_function.h"
+
+namespace nimbus::pricing {
+
+// Constructive tools around the paper's subadditivity theory.
+
+// The Lemma 9 transformation: given any monotone subadditive pricing
+// function p, the function
+//   q(x) = x · min_{0 < y <= x} p(y) / y
+// satisfies the relaxed chain constraints of problem (5) and sandwiches
+// p as p(x)/2 <= q(x) <= p(x). This is how the paper converts a feasible
+// solution of (3) into one of (5) while losing at most half the value.
+//
+// Evaluated on a finite grid: the minimum is taken over the sampled
+// y <= x, and the result is returned as the Proposition 1 piecewise-
+// linear curve through the grid points. `grid` must contain at least one
+// strictly positive value; it is sorted and deduplicated internally.
+StatusOr<PiecewiseLinearPricing> MinSlopeTransform(
+    const PricingFunction& pricing, std::vector<double> grid);
+
+// Largest subadditive monotone minorant prices on a version menu: for
+// each target x in `grid`, the cheapest way to cover x using versions
+// from the same grid (the closure construction from the proofs of
+// Theorem 7 / Algorithm 2, restricted to the grid). The result never
+// exceeds the input prices and is subadditive across grid sums.
+StatusOr<std::vector<double>> SubadditiveClosureOnGrid(
+    const PricingFunction& pricing, const std::vector<double>& grid,
+    double unit);
+
+}  // namespace nimbus::pricing
+
+#endif  // NIMBUS_PRICING_SUBADDITIVE_TOOLS_H_

@@ -1,0 +1,117 @@
+#include "revenue/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nimbus::revenue {
+namespace {
+
+using pricing::PricingFunction;
+
+Status Validate(const std::vector<BuyerPoint>& points) {
+  return ValidateBuyerPoints(points, /*require_monotone_valuations=*/false);
+}
+
+double MinValuation(const std::vector<BuyerPoint>& points) {
+  double v = points.front().v;
+  for (const BuyerPoint& p : points) {
+    v = std::min(v, p.v);
+  }
+  return v;
+}
+
+double MaxValuation(const std::vector<BuyerPoint>& points) {
+  double v = points.front().v;
+  for (const BuyerPoint& p : points) {
+    v = std::max(v, p.v);
+  }
+  return v;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<PricingFunction>> MakeLinBaseline(
+    const std::vector<BuyerPoint>& points) {
+  NIMBUS_RETURN_IF_ERROR(Validate(points));
+  const double a_lo = points.front().a;
+  const double a_hi = points.back().a;
+  const double v_lo = MinValuation(points);
+  const double v_hi = MaxValuation(points);
+  if (points.size() == 1 || a_hi == a_lo || v_hi == v_lo) {
+    return std::unique_ptr<PricingFunction>(
+        new pricing::ConstantPricing(v_hi, "lin"));
+  }
+  const double slope = (v_hi - v_lo) / (a_hi - a_lo);
+  const double intercept = v_lo - slope * a_lo;
+  if (intercept >= 0.0) {
+    return std::unique_ptr<PricingFunction>(
+        new pricing::AffinePricing(intercept, slope, "lin"));
+  }
+  // The affine extension would be negative at 0 (not subadditive); use
+  // the steepest origin line under both anchors instead.
+  const double origin_slope = std::min(v_lo / a_lo, v_hi / a_hi);
+  return std::unique_ptr<PricingFunction>(new pricing::LinearPricing(
+      origin_slope, std::numeric_limits<double>::infinity(), "lin"));
+}
+
+StatusOr<std::unique_ptr<PricingFunction>> MakeMaxCBaseline(
+    const std::vector<BuyerPoint>& points) {
+  NIMBUS_RETURN_IF_ERROR(Validate(points));
+  return std::unique_ptr<PricingFunction>(
+      new pricing::ConstantPricing(MaxValuation(points), "maxc"));
+}
+
+StatusOr<std::unique_ptr<PricingFunction>> MakeMedCBaseline(
+    const std::vector<BuyerPoint>& points) {
+  NIMBUS_RETURN_IF_ERROR(Validate(points));
+  // Demand-weighted median valuation: the largest price that at least
+  // half of the buyer mass can still afford.
+  std::vector<std::pair<double, double>> by_value;  // (valuation, mass)
+  double total = 0.0;
+  for (const BuyerPoint& p : points) {
+    by_value.emplace_back(p.v, p.b);
+    total += p.b;
+  }
+  std::sort(by_value.begin(), by_value.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  double running = 0.0;
+  double price = MinValuation(points);
+  for (const auto& [valuation, mass] : by_value) {
+    running += mass;
+    if (running >= 0.5 * total) {
+      price = valuation;
+      break;
+    }
+  }
+  return std::unique_ptr<PricingFunction>(
+      new pricing::ConstantPricing(price, "medc"));
+}
+
+StatusOr<std::unique_ptr<PricingFunction>> MakeOptCBaseline(
+    const std::vector<BuyerPoint>& points) {
+  NIMBUS_RETURN_IF_ERROR(Validate(points));
+  // The optimal constant price is one of the valuations.
+  double best_price = 0.0;
+  double best_revenue = -1.0;
+  for (const BuyerPoint& candidate : points) {
+    const double c = candidate.v;
+    double revenue = 0.0;
+    for (const BuyerPoint& p : points) {
+      if (c <= p.v) {
+        revenue += p.b * c;
+      }
+    }
+    if (revenue > best_revenue) {
+      best_revenue = revenue;
+      best_price = c;
+    }
+  }
+  return std::unique_ptr<PricingFunction>(
+      new pricing::ConstantPricing(best_price, "optc"));
+}
+
+}  // namespace nimbus::revenue

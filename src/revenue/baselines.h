@@ -1,0 +1,40 @@
+#ifndef NIMBUS_REVENUE_BASELINES_H_
+#define NIMBUS_REVENUE_BASELINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "pricing/pricing_function.h"
+#include "revenue/buyer_model.h"
+
+namespace nimbus::revenue {
+
+// The four baseline pricing schemes of §6.2, all of which produce
+// well-behaved (arbitrage-free, non-negative) pricing functions.
+
+// "Lin": linear interpolation between the smallest and largest buyer
+// value. When the affine extension would be negative at x = 0 (which
+// would break subadditivity), the line is replaced by the steepest
+// through-the-origin line below the two anchor values, preserving
+// arbitrage-freeness.
+StatusOr<std::unique_ptr<pricing::PricingFunction>> MakeLinBaseline(
+    const std::vector<BuyerPoint>& points);
+
+// "MaxC": constant price equal to the highest buyer value.
+StatusOr<std::unique_ptr<pricing::PricingFunction>> MakeMaxCBaseline(
+    const std::vector<BuyerPoint>& points);
+
+// "MedC": constant price at the demand-weighted median valuation, so at
+// least half of the buyer mass can afford a model instance.
+StatusOr<std::unique_ptr<pricing::PricingFunction>> MakeMedCBaseline(
+    const std::vector<BuyerPoint>& points);
+
+// "OptC": the revenue-optimal constant price (always one of the
+// valuations; found by direct search).
+StatusOr<std::unique_ptr<pricing::PricingFunction>> MakeOptCBaseline(
+    const std::vector<BuyerPoint>& points);
+
+}  // namespace nimbus::revenue
+
+#endif  // NIMBUS_REVENUE_BASELINES_H_

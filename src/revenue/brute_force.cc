@@ -1,0 +1,107 @@
+#include "revenue/brute_force.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/logging.h"
+#include "solver/milp.h"
+
+namespace nimbus::revenue {
+
+StatusOr<double> SubadditiveClosurePrice(const std::vector<BuyerPoint>& points,
+                                         const std::vector<bool>& member,
+                                         double a, int64_t* nodes_accum) {
+  if (member.size() != points.size()) {
+    return InvalidArgumentError("membership mask size mismatch");
+  }
+  std::vector<int> active;
+  for (size_t w = 0; w < points.size(); ++w) {
+    if (member[w]) {
+      active.push_back(static_cast<int>(w));
+    }
+  }
+  if (active.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Unbounded-knapsack covering MILP:
+  //   minimize Σ v_w k_w   s.t.  Σ a_w k_w >= a,  0 <= k_w <= ceil(a/a_w),
+  // with k_w integral. The per-variable caps are valid (one copy of any
+  // single item already covers a) and keep branch-and-bound finite.
+  solver::MilpProblem milp;
+  milp.lp.num_vars = static_cast<int>(active.size());
+  milp.lp.maximize = false;
+  milp.lp.objective.resize(active.size());
+  milp.integer.assign(active.size(), true);
+  solver::LpConstraint cover;
+  cover.coeffs.resize(active.size());
+  cover.sense = solver::ConstraintSense::kGreaterEqual;
+  cover.rhs = a;
+  for (size_t i = 0; i < active.size(); ++i) {
+    const BuyerPoint& pt = points[static_cast<size_t>(active[i])];
+    milp.lp.objective[i] = pt.v;
+    cover.coeffs[i] = pt.a;
+    solver::LpConstraint cap;
+    cap.coeffs.assign(active.size(), 0.0);
+    cap.coeffs[i] = 1.0;
+    cap.sense = solver::ConstraintSense::kLessEqual;
+    cap.rhs = std::ceil(a / pt.a);
+    milp.lp.constraints.push_back(std::move(cap));
+  }
+  milp.lp.constraints.push_back(std::move(cover));
+  NIMBUS_ASSIGN_OR_RETURN(solver::MilpSolution solution,
+                          solver::SolveMilp(milp));
+  if (nodes_accum != nullptr) {
+    *nodes_accum += solution.nodes_explored;
+  }
+  return solution.objective_value;
+}
+
+StatusOr<BruteForceResult> OptimizeRevenueBruteForce(
+    const std::vector<BuyerPoint>& points, int max_points) {
+  NIMBUS_RETURN_IF_ERROR(
+      ValidateBuyerPoints(points, /*require_monotone_valuations=*/true));
+  const int n = static_cast<int>(points.size());
+  if (n > max_points) {
+    return InvalidArgumentError(
+        "brute force capped at " + std::to_string(max_points) +
+        " points (got " + std::to_string(n) + "); use the DP instead");
+  }
+  BruteForceResult best;
+  best.prices.assign(static_cast<size_t>(n), 0.0);
+  best.revenue = 0.0;
+
+  std::vector<bool> member(static_cast<size_t>(n), false);
+  std::vector<double> prices(static_cast<size_t>(n), 0.0);
+  const uint32_t limit = 1u << n;
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    for (int w = 0; w < n; ++w) {
+      member[static_cast<size_t>(w)] = (mask >> w) & 1u;
+    }
+    bool feasible = true;
+    for (int j = 0; j < n && feasible; ++j) {
+      NIMBUS_ASSIGN_OR_RETURN(
+          double price,
+          SubadditiveClosurePrice(points, member,
+                                  points[static_cast<size_t>(j)].a,
+                                  &best.milp_nodes));
+      if (!std::isfinite(price)) {
+        feasible = false;
+        break;
+      }
+      prices[static_cast<size_t>(j)] = price;
+    }
+    ++best.subsets_evaluated;
+    if (!feasible) {
+      continue;
+    }
+    const double revenue = RevenueForPrices(points, prices);
+    if (revenue > best.revenue) {
+      best.revenue = revenue;
+      best.prices = prices;
+    }
+  }
+  return best;
+}
+
+}  // namespace nimbus::revenue

@@ -1,0 +1,42 @@
+#ifndef NIMBUS_REVENUE_BRUTE_FORCE_H_
+#define NIMBUS_REVENUE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "revenue/buyer_model.h"
+
+namespace nimbus::revenue {
+
+// Result of the exponential-time optimal revenue search.
+struct BruteForceResult {
+  std::vector<double> prices;
+  double revenue = 0.0;
+  int subsets_evaluated = 0;
+  int64_t milp_nodes = 0;  // Total branch-and-bound nodes across all MILPs.
+};
+
+// Algorithm 2 of the paper (Appendix C): the brute-force optimum of the
+// *unrelaxed* problem (3) under TBV. For every subset S of buyer points,
+// pin p(a_w) = v_w for w in S and extend with the tightest monotone +
+// subadditive closure
+//   p_S(a) = min { Σ_{w∈S} k_w v_w : Σ_{w∈S} k_w a_w >= a, k_w ∈ ℕ },
+// evaluated by solving one small MILP per (subset, point) with the
+// in-repo branch-and-bound solver; the best subset wins. Runtime grows as
+// 2^n — this is the expensive baseline the DP is benchmarked against
+// (Figures 9/10). `points` must satisfy the same preconditions as the DP;
+// n is capped at `max_points` (default 14) to keep the enumeration sane.
+StatusOr<BruteForceResult> OptimizeRevenueBruteForce(
+    const std::vector<BuyerPoint>& points, int max_points = 14);
+
+// The subadditive-closure price p_S(a) described above for one subset
+// (exposed for tests). `member[w]` marks the pinned points. Returns
+// +infinity when S is empty (no finite cover exists).
+StatusOr<double> SubadditiveClosurePrice(const std::vector<BuyerPoint>& points,
+                                         const std::vector<bool>& member,
+                                         double a, int64_t* nodes_accum);
+
+}  // namespace nimbus::revenue
+
+#endif  // NIMBUS_REVENUE_BRUTE_FORCE_H_

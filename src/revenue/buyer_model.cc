@@ -1,0 +1,95 @@
+#include "revenue/buyer_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nimbus::revenue {
+namespace {
+
+// Purchases are decided with a hair of tolerance so that prices set
+// exactly at the valuation (the common optimal case) count as sales
+// despite floating-point round-off.
+constexpr double kPurchaseTol = 1e-9;
+
+bool Buys(double price, double valuation) {
+  return price <= valuation * (1.0 + kPurchaseTol) + kPurchaseTol;
+}
+
+}  // namespace
+
+Status ValidateBuyerPoints(const std::vector<BuyerPoint>& points,
+                           bool require_monotone_valuations) {
+  if (points.empty()) {
+    return InvalidArgumentError("need at least one buyer point");
+  }
+  double prev_a = 0.0;
+  double prev_v = -1.0;
+  for (const BuyerPoint& p : points) {
+    if (!(p.a > prev_a)) {
+      return InvalidArgumentError(
+          "buyer parameters must be strictly increasing and positive");
+    }
+    if (p.b < 0.0 || !std::isfinite(p.b)) {
+      return InvalidArgumentError("demand masses must be finite and >= 0");
+    }
+    if (p.v < 0.0 || !std::isfinite(p.v)) {
+      return InvalidArgumentError("valuations must be finite and >= 0");
+    }
+    if (require_monotone_valuations && p.v < prev_v) {
+      return InvalidArgumentError(
+          "valuations must be monotone non-decreasing in the parameter");
+    }
+    prev_a = p.a;
+    prev_v = p.v;
+  }
+  return OkStatus();
+}
+
+double RevenueForPrices(const std::vector<BuyerPoint>& points,
+                        const std::vector<double>& prices) {
+  NIMBUS_CHECK_EQ(points.size(), prices.size());
+  double revenue = 0.0;
+  for (size_t j = 0; j < points.size(); ++j) {
+    if (Buys(prices[j], points[j].v)) {
+      revenue += points[j].b * prices[j];
+    }
+  }
+  return revenue;
+}
+
+double AffordabilityForPrices(const std::vector<BuyerPoint>& points,
+                              const std::vector<double>& prices) {
+  NIMBUS_CHECK_EQ(points.size(), prices.size());
+  double total_mass = 0.0;
+  double affordable_mass = 0.0;
+  for (size_t j = 0; j < points.size(); ++j) {
+    total_mass += points[j].b;
+    if (Buys(prices[j], points[j].v)) {
+      affordable_mass += points[j].b;
+    }
+  }
+  return total_mass > 0.0 ? affordable_mass / total_mass : 0.0;
+}
+
+std::vector<double> PricesAt(const pricing::PricingFunction& pricing,
+                             const std::vector<BuyerPoint>& points) {
+  std::vector<double> prices;
+  prices.reserve(points.size());
+  for (const BuyerPoint& p : points) {
+    prices.push_back(pricing.PriceAtInverseNcp(p.a));
+  }
+  return prices;
+}
+
+double RevenueForPricing(const std::vector<BuyerPoint>& points,
+                         const pricing::PricingFunction& pricing) {
+  return RevenueForPrices(points, PricesAt(pricing, points));
+}
+
+double AffordabilityForPricing(const std::vector<BuyerPoint>& points,
+                               const pricing::PricingFunction& pricing) {
+  return AffordabilityForPrices(points, PricesAt(pricing, points));
+}
+
+}  // namespace nimbus::revenue

@@ -1,0 +1,50 @@
+#ifndef NIMBUS_REVENUE_BUYER_MODEL_H_
+#define NIMBUS_REVENUE_BUYER_MODEL_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "pricing/pricing_function.h"
+
+namespace nimbus::revenue {
+
+// One market-research point (§5): buyers with demand mass `b` are
+// interested in the model version with parameter `a` (inverse NCP after
+// the error transformation of Figure 2) and value it at `v`. They buy
+// iff the price at `a` is at most `v`.
+struct BuyerPoint {
+  double a = 0.0;  // Version parameter x = 1/δ; strictly increasing.
+  double b = 0.0;  // Demand mass (>= 0); need not sum to 1.
+  double v = 0.0;  // Valuation (>= 0).
+};
+
+// Validates a market-research curve for the revenue-optimization
+// algorithms: a strictly increasing and positive, b non-negative, v
+// non-negative. When `require_monotone_valuations` is set, additionally
+// enforces v_1 <= ... <= v_n (the paper's standing assumption that
+// valuations are monotone w.r.t. accuracy, required by Algorithm 1).
+Status ValidateBuyerPoints(const std::vector<BuyerPoint>& points,
+                           bool require_monotone_valuations);
+
+// TBV of §5 for explicit prices: Σ_j b_j z_j · 1[z_j <= v_j].
+double RevenueForPrices(const std::vector<BuyerPoint>& points,
+                        const std::vector<double>& prices);
+
+// Fraction of buyer mass that can afford its version:
+// Σ_j b_j 1[z_j <= v_j] / Σ_j b_j  (the affordability ratio of §6.2).
+double AffordabilityForPrices(const std::vector<BuyerPoint>& points,
+                              const std::vector<double>& prices);
+
+// Evaluates a pricing function at every a_j.
+std::vector<double> PricesAt(const pricing::PricingFunction& pricing,
+                             const std::vector<BuyerPoint>& points);
+
+// Convenience: revenue / affordability of a pricing function.
+double RevenueForPricing(const std::vector<BuyerPoint>& points,
+                         const pricing::PricingFunction& pricing);
+double AffordabilityForPricing(const std::vector<BuyerPoint>& points,
+                               const pricing::PricingFunction& pricing);
+
+}  // namespace nimbus::revenue
+
+#endif  // NIMBUS_REVENUE_BUYER_MODEL_H_

@@ -1,0 +1,141 @@
+#include "revenue/dp_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace nimbus::revenue {
+namespace {
+
+// Suffix-choice tags for reconstructing the optimal price vector.
+enum class Choice : unsigned char {
+  kClamped,   // a_k Δ <= v_k: price pinned to Δ a_k, Δ unchanged.
+  kSellAtV,   // price = v_k, suffix continues with Δ' = v_k / a_k.
+  kSkip,      // price rides above v_k (no sale at k), Δ unchanged.
+};
+
+}  // namespace
+
+StatusOr<DpResult> OptimizeRevenueDp(const std::vector<BuyerPoint>& points) {
+  NIMBUS_RETURN_IF_ERROR(
+      ValidateBuyerPoints(points, /*require_monotone_valuations=*/true));
+  const int n = static_cast<int>(points.size());
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // Δ can only take the n values v_j / a_j plus +infinity (§5.3).
+  std::vector<double> delta(static_cast<size_t>(n) + 1);
+  for (int j = 0; j < n; ++j) {
+    delta[static_cast<size_t>(j)] = points[static_cast<size_t>(j)].v /
+                                    points[static_cast<size_t>(j)].a;
+  }
+  delta[static_cast<size_t>(n)] = kInf;
+
+  // opt[k][i]   = OPT(k, Δ_i): best suffix revenue from point k on, with
+  //               every suffix price z_j constrained by z_j / a_j <= Δ_i.
+  // price[k][i] = s_k(k, Δ_i): the price of point k in that optimum.
+  // choice[k][i] records which recurrence branch won.
+  const size_t cols = static_cast<size_t>(n) + 1;
+  std::vector<std::vector<double>> opt(
+      static_cast<size_t>(n), std::vector<double>(cols, 0.0));
+  std::vector<std::vector<double>> price(
+      static_cast<size_t>(n), std::vector<double>(cols, 0.0));
+  std::vector<std::vector<Choice>> choice(
+      static_cast<size_t>(n), std::vector<Choice>(cols, Choice::kClamped));
+
+  // Base case k = n - 1: it is always best to charge the highest price
+  // allowed, capped at the valuation.
+  for (size_t i = 0; i < cols; ++i) {
+    const BuyerPoint& last = points[static_cast<size_t>(n - 1)];
+    const double cap = delta[i] * last.a;  // inf * a = inf is fine here.
+    const double s = std::min(last.v, cap);
+    price[static_cast<size_t>(n - 1)][i] = s;
+    opt[static_cast<size_t>(n - 1)][i] = last.b * s;
+  }
+
+  for (int k = n - 2; k >= 0; --k) {
+    const BuyerPoint& pt = points[static_cast<size_t>(k)];
+    for (size_t i = 0; i < cols; ++i) {
+      const double cap = delta[i] * pt.a;
+      if (cap <= pt.v) {
+        // Lemma 11: the cap binds; sell at Δ a_k and keep Δ.
+        price[static_cast<size_t>(k)][i] = cap;
+        opt[static_cast<size_t>(k)][i] =
+            pt.b * cap + opt[static_cast<size_t>(k + 1)][i];
+        choice[static_cast<size_t>(k)][i] = Choice::kClamped;
+      } else {
+        // Lemma 12: either sell at v_k (tightening Δ to v_k / a_k for the
+        // suffix), or skip the sale and let the price ride above v_k.
+        const double sell = pt.b * pt.v +
+                            opt[static_cast<size_t>(k + 1)][
+                                static_cast<size_t>(k)];
+        const double skip = opt[static_cast<size_t>(k + 1)][i];
+        if (sell > skip) {
+          price[static_cast<size_t>(k)][i] = pt.v;
+          opt[static_cast<size_t>(k)][i] = sell;
+          choice[static_cast<size_t>(k)][i] = Choice::kSellAtV;
+        } else {
+          // Price scaled down from the next point keeps monotonicity and
+          // the slope constraint while extracting nothing at k.
+          price[static_cast<size_t>(k)][i] =
+              price[static_cast<size_t>(k + 1)][i] * pt.a /
+              points[static_cast<size_t>(k + 1)].a;
+          opt[static_cast<size_t>(k)][i] = skip;
+          choice[static_cast<size_t>(k)][i] = Choice::kSkip;
+        }
+      }
+    }
+  }
+
+  // Reconstruct the price vector by walking the choice table from
+  // (k = 0, Δ = +infinity).
+  DpResult result;
+  result.prices.resize(static_cast<size_t>(n));
+  size_t i = static_cast<size_t>(n);
+  for (int k = 0; k < n; ++k) {
+    result.prices[static_cast<size_t>(k)] = price[static_cast<size_t>(k)][i];
+    if (k < n - 1 &&
+        choice[static_cast<size_t>(k)][i] == Choice::kSellAtV) {
+      i = static_cast<size_t>(k);
+    }
+  }
+  result.revenue = opt[0][static_cast<size_t>(n)];
+
+  // Cross-check: the reconstructed prices must earn the DP's value.
+  const double realized = RevenueForPrices(points, result.prices);
+  NIMBUS_CHECK(std::fabs(realized - result.revenue) <=
+               1e-6 * std::max(1.0, result.revenue))
+      << "DP reconstruction mismatch: " << realized << " vs "
+      << result.revenue;
+  return result;
+}
+
+StatusOr<DpResult> OptimizeRevenueDpWithMargin(
+    const std::vector<BuyerPoint>& points, double margin) {
+  if (margin < 0.0 || margin >= 1.0) {
+    return InvalidArgumentError("margin must be in [0, 1)");
+  }
+  std::vector<BuyerPoint> discounted = points;
+  for (BuyerPoint& p : discounted) {
+    p.v *= 1.0 - margin;
+  }
+  NIMBUS_ASSIGN_OR_RETURN(DpResult result, OptimizeRevenueDp(discounted));
+  // Report what the margin prices earn against the undiscounted curve.
+  result.revenue = RevenueForPrices(points, result.prices);
+  return result;
+}
+
+StatusOr<pricing::PiecewiseLinearPricing> MakeDpPricingFunction(
+    const std::vector<BuyerPoint>& points, const DpResult& result) {
+  if (points.size() != result.prices.size()) {
+    return InvalidArgumentError("points / prices size mismatch");
+  }
+  std::vector<pricing::PricePoint> support(points.size());
+  for (size_t j = 0; j < points.size(); ++j) {
+    support[j] = pricing::PricePoint{points[j].a, result.prices[j]};
+  }
+  return pricing::PiecewiseLinearPricing::Create(std::move(support), "mbp");
+}
+
+}  // namespace nimbus::revenue

@@ -1,0 +1,46 @@
+#ifndef NIMBUS_REVENUE_DP_OPTIMIZER_H_
+#define NIMBUS_REVENUE_DP_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "pricing/pricing_function.h"
+#include "revenue/buyer_model.h"
+
+namespace nimbus::revenue {
+
+// Result of the MBP revenue optimization: the optimal version prices of
+// the relaxed problem (5) under the buyer-valuation objective TBV.
+struct DpResult {
+  // Price z_j assigned to each buyer point (same order as the input).
+  std::vector<double> prices;
+  // Objective value Σ b_j z_j 1[z_j <= v_j] achieved by `prices`.
+  double revenue = 0.0;
+};
+
+// Algorithm 1 of the paper: the O(n²) dynamic program that solves the
+// relaxed revenue-maximization problem (5) exactly for the TBV objective.
+// Requires: buyer points strictly increasing in `a` with monotone
+// non-decreasing valuations (the paper's standing assumption). By
+// Lemma 8 the returned prices induce an arbitrage-free pricing function;
+// by Proposition 3 their revenue is at least half the unrelaxed optimum.
+StatusOr<DpResult> OptimizeRevenueDp(const std::vector<BuyerPoint>& points);
+
+// Wraps DP prices into the piecewise-linear arbitrage-free pricing
+// function of Proposition 1 (named "mbp").
+StatusOr<pricing::PiecewiseLinearPricing> MakeDpPricingFunction(
+    const std::vector<BuyerPoint>& points, const DpResult& result);
+
+// Robust variant: optimizes against valuations discounted by `margin`
+// in [0, 1). The exact DP prices sit *on* the valuations, so any
+// downward error in market research loses the sale (the knife-edge
+// surfaced by sensitivity.h); a margin trades a (1 − margin) factor of
+// nominal revenue for sales that survive relative valuation errors up
+// to `margin`. The returned revenue is computed against the ORIGINAL
+// valuations.
+StatusOr<DpResult> OptimizeRevenueDpWithMargin(
+    const std::vector<BuyerPoint>& points, double margin);
+
+}  // namespace nimbus::revenue
+
+#endif  // NIMBUS_REVENUE_DP_OPTIMIZER_H_

@@ -1,0 +1,66 @@
+#include "revenue/fairness.h"
+
+#include <algorithm>
+
+#include "revenue/dp_optimizer.h"
+
+namespace nimbus::revenue {
+namespace {
+
+FairPricingResult Evaluate(const std::vector<BuyerPoint>& points,
+                           const std::vector<double>& base_prices,
+                           double scale) {
+  FairPricingResult result;
+  result.scale = scale;
+  result.prices.resize(base_prices.size());
+  for (size_t j = 0; j < base_prices.size(); ++j) {
+    result.prices[j] = scale * base_prices[j];
+  }
+  result.revenue = RevenueForPrices(points, result.prices);
+  result.affordability = AffordabilityForPrices(points, result.prices);
+  return result;
+}
+
+}  // namespace
+
+StatusOr<FairPricingResult> OptimizeRevenueWithAffordabilityFloor(
+    const std::vector<BuyerPoint>& points, double min_affordability) {
+  if (min_affordability < 0.0 || min_affordability > 1.0) {
+    return InvalidArgumentError("min_affordability must be in [0, 1]");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(DpResult dp, OptimizeRevenueDp(points));
+
+  // Candidate scales: 1 (the unconstrained optimum) and every point
+  // where a buyer flips from priced-out to affordable.
+  std::vector<double> candidates = {1.0};
+  for (size_t j = 0; j < points.size(); ++j) {
+    if (dp.prices[j] > 0.0) {
+      const double s = points[j].v / dp.prices[j];
+      if (s > 0.0 && s < 1.0) {
+        candidates.push_back(s);
+      }
+    }
+  }
+  // Free pricing is the affordability-maximal fallback.
+  candidates.push_back(0.0);
+
+  bool found = false;
+  FairPricingResult best;
+  for (double s : candidates) {
+    FairPricingResult candidate = Evaluate(points, dp.prices, s);
+    if (candidate.affordability + 1e-12 < min_affordability) {
+      continue;
+    }
+    if (!found || candidate.revenue > best.revenue) {
+      best = candidate;
+      found = true;
+    }
+  }
+  if (!found) {
+    return InfeasibleError(
+        "affordability floor unreachable even with free pricing");
+  }
+  return best;
+}
+
+}  // namespace nimbus::revenue

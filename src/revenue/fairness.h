@@ -1,0 +1,39 @@
+#ifndef NIMBUS_REVENUE_FAIRNESS_H_
+#define NIMBUS_REVENUE_FAIRNESS_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "revenue/buyer_model.h"
+
+namespace nimbus::revenue {
+
+// Revenue/fairness trade-off (§6.3 observes MedC can beat MBP on
+// affordability because it *requires* half the buyers to afford a model;
+// §7 lists the formal trade-off as future work). This module implements
+// the natural mechanism: scale the revenue-optimal DP prices by a global
+// factor s in (0, 1]. Scaling preserves the chain constraints of (5)
+// (both are homogeneous in the prices), hence arbitrage-freeness, while
+// the affordability ratio is non-increasing in s — so the seller can
+// trade revenue for reach along a one-dimensional, always-safe knob.
+
+struct FairPricingResult {
+  std::vector<double> prices;   // Scaled DP prices.
+  double scale = 1.0;           // The chosen factor s.
+  double revenue = 0.0;
+  double affordability = 0.0;
+};
+
+// Maximizes revenue subject to an affordability floor: at least
+// `min_affordability` (in [0, 1]) of the buyer mass must afford its
+// version. Searches the candidate scale factors s = v_j / z_j (the only
+// points where affordability changes) plus s = 1, keeping the
+// highest-revenue one that meets the floor. Fails with kInfeasible when
+// even free pricing cannot reach the floor (only possible when the floor
+// exceeds the total mass share with positive demand).
+StatusOr<FairPricingResult> OptimizeRevenueWithAffordabilityFloor(
+    const std::vector<BuyerPoint>& points, double min_affordability);
+
+}  // namespace nimbus::revenue
+
+#endif  // NIMBUS_REVENUE_FAIRNESS_H_

@@ -1,0 +1,162 @@
+#include "revenue/interpolation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "solver/dykstra.h"
+#include "solver/lp.h"
+
+namespace nimbus::revenue {
+namespace {
+
+Status ValidatePoints(const std::vector<InterpolationPoint>& points) {
+  if (points.empty()) {
+    return InvalidArgumentError("need at least one interpolation point");
+  }
+  double prev_a = 0.0;
+  for (const InterpolationPoint& p : points) {
+    if (!(p.a > prev_a)) {
+      return InvalidArgumentError(
+          "interpolation parameters must be strictly increasing and "
+          "positive");
+    }
+    if (p.target_price < 0.0 || !std::isfinite(p.target_price)) {
+      return InvalidArgumentError("target prices must be finite and >= 0");
+    }
+    prev_a = p.a;
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> InterpolatePricesL2(
+    const std::vector<InterpolationPoint>& points) {
+  NIMBUS_RETURN_IF_ERROR(ValidatePoints(points));
+  std::vector<double> targets(points.size());
+  std::vector<double> a(points.size());
+  for (size_t j = 0; j < points.size(); ++j) {
+    targets[j] = points[j].target_price;
+    a[j] = points[j].a;
+  }
+  return solver::ProjectOntoPricingPolytope(targets, a);
+}
+
+StatusOr<std::vector<double>> InterpolatePricesLInf(
+    const std::vector<InterpolationPoint>& points) {
+  NIMBUS_RETURN_IF_ERROR(ValidatePoints(points));
+  const int n = static_cast<int>(points.size());
+  // Variables: z_1..z_n (prices), then t (the max deviation).
+  solver::LpProblem lp;
+  lp.num_vars = n + 1;
+  lp.maximize = false;
+  lp.objective.assign(static_cast<size_t>(n) + 1, 0.0);
+  lp.objective.back() = 1.0;
+
+  auto zero_row = [&]() {
+    return std::vector<double>(static_cast<size_t>(n) + 1, 0.0);
+  };
+  for (int j = 0; j < n; ++j) {
+    // z_j - t <= P_j.
+    solver::LpConstraint upper;
+    upper.coeffs = zero_row();
+    upper.coeffs[static_cast<size_t>(j)] = 1.0;
+    upper.coeffs.back() = -1.0;
+    upper.sense = solver::ConstraintSense::kLessEqual;
+    upper.rhs = points[static_cast<size_t>(j)].target_price;
+    lp.constraints.push_back(std::move(upper));
+    // -z_j - t <= -P_j  (i.e. P_j - z_j <= t).
+    solver::LpConstraint lower;
+    lower.coeffs = zero_row();
+    lower.coeffs[static_cast<size_t>(j)] = -1.0;
+    lower.coeffs.back() = -1.0;
+    lower.sense = solver::ConstraintSense::kLessEqual;
+    lower.rhs = -points[static_cast<size_t>(j)].target_price;
+    lp.constraints.push_back(std::move(lower));
+  }
+  for (int j = 0; j + 1 < n; ++j) {
+    // Monotonicity: z_j - z_{j+1} <= 0.
+    solver::LpConstraint mono;
+    mono.coeffs = zero_row();
+    mono.coeffs[static_cast<size_t>(j)] = 1.0;
+    mono.coeffs[static_cast<size_t>(j) + 1] = -1.0;
+    mono.sense = solver::ConstraintSense::kLessEqual;
+    mono.rhs = 0.0;
+    lp.constraints.push_back(std::move(mono));
+    // Relaxed subadditivity: z_{j+1} a_j - z_j a_{j+1} <= 0.
+    solver::LpConstraint slope;
+    slope.coeffs = zero_row();
+    slope.coeffs[static_cast<size_t>(j) + 1] = points[static_cast<size_t>(j)].a;
+    slope.coeffs[static_cast<size_t>(j)] =
+        -points[static_cast<size_t>(j) + 1].a;
+    slope.sense = solver::ConstraintSense::kLessEqual;
+    slope.rhs = 0.0;
+    lp.constraints.push_back(std::move(slope));
+  }
+  NIMBUS_ASSIGN_OR_RETURN(solver::LpSolution solution, solver::SolveLp(lp));
+  solution.values.pop_back();  // Drop t.
+  return solution.values;
+}
+
+StatusOr<pricing::PiecewiseLinearPricing> MakeInterpolatedPricing(
+    const std::vector<InterpolationPoint>& points,
+    const std::vector<double>& fitted_prices, std::string name) {
+  if (points.size() != fitted_prices.size()) {
+    return InvalidArgumentError("points / prices size mismatch");
+  }
+  std::vector<pricing::PricePoint> support(points.size());
+  for (size_t j = 0; j < points.size(); ++j) {
+    support[j] =
+        pricing::PricePoint{points[j].a, std::max(0.0, fitted_prices[j])};
+  }
+  return pricing::PiecewiseLinearPricing::Create(std::move(support),
+                                                 std::move(name));
+}
+
+StatusOr<bool> ExactSubadditiveInterpolationFeasible(
+    const std::vector<InterpolationPoint>& points) {
+  NIMBUS_RETURN_IF_ERROR(ValidatePoints(points));
+  // Require integer parameters so µ can be computed on the integer grid.
+  std::vector<int> a(points.size());
+  int max_a = 0;
+  for (size_t j = 0; j < points.size(); ++j) {
+    const double rounded = std::round(points[j].a);
+    if (std::fabs(points[j].a - rounded) > 1e-9) {
+      return InvalidArgumentError(
+          "exact interpolation feasibility requires integer parameters");
+    }
+    a[j] = static_cast<int>(rounded);
+    max_a = std::max(max_a, a[j]);
+  }
+  if (max_a > 1000000) {
+    return InvalidArgumentError("integer parameters too large (max 1e6)");
+  }
+  // µ(x): cheapest unbounded multiset of points whose parameters sum to at
+  // least x (proof of Theorem 7). g is its table over 0..max_a.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> g(static_cast<size_t>(max_a) + 1, kInf);
+  g[0] = 0.0;
+  for (int x = 1; x <= max_a; ++x) {
+    double best = kInf;
+    for (size_t j = 0; j < points.size(); ++j) {
+      const int remaining = std::max(0, x - a[j]);
+      if (g[static_cast<size_t>(remaining)] < kInf) {
+        best = std::min(best, points[j].target_price +
+                                  g[static_cast<size_t>(remaining)]);
+      }
+    }
+    g[static_cast<size_t>(x)] = best;
+  }
+  // Any monotone subadditive interpolant f satisfies f(x) <= µ(x), so
+  // feasibility requires µ(a_j) >= P_j; conversely min(µ, ·) interpolates.
+  for (size_t j = 0; j < points.size(); ++j) {
+    if (g[static_cast<size_t>(a[j])] < points[j].target_price - 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nimbus::revenue

@@ -1,0 +1,54 @@
+#ifndef NIMBUS_REVENUE_INTERPOLATION_H_
+#define NIMBUS_REVENUE_INTERPOLATION_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "pricing/pricing_function.h"
+
+namespace nimbus::revenue {
+
+// Price-interpolation problems of §5: the seller provides target prices
+// P_j at parameters a_j and wants a well-behaved (arbitrage-free,
+// non-negative) pricing function whose values at a_j are as close as
+// possible to P_j. The exact problem is coNP-hard (Theorem 7); these
+// solvers work on the relaxed feasible region (5), losing at most the
+// additive gaps of Proposition 2.
+
+// One target point of a price-interpolation instance.
+struct InterpolationPoint {
+  double a = 0.0;  // Strictly increasing, positive.
+  double target_price = 0.0;
+};
+
+// Solves the T²PI objective (squared loss) exactly over region (5) by
+// Euclidean projection (Dykstra + isotonic regressions). Returns the
+// fitted prices z_j in input order.
+StatusOr<std::vector<double>> InterpolatePricesL2(
+    const std::vector<InterpolationPoint>& points);
+
+// Solves the T∞PI objective (max absolute deviation) over region (5) as
+// a linear program with the in-repo simplex solver.
+StatusOr<std::vector<double>> InterpolatePricesLInf(
+    const std::vector<InterpolationPoint>& points);
+
+// Builds the Proposition 1 piecewise-linear pricing function through the
+// fitted prices.
+StatusOr<pricing::PiecewiseLinearPricing> MakeInterpolatedPricing(
+    const std::vector<InterpolationPoint>& points,
+    const std::vector<double>& fitted_prices, std::string name = "pi");
+
+// Decides the *exact* SUBADDITIVE INTERPOLATION problem (Definition 6)
+// for instances whose parameters a_j are positive integers: does a
+// positive, monotone, subadditive p with p(a_j) = P_j exist? Implements
+// the closure construction from the proof of Theorem 7: the candidate
+// f(x) = min(µ(x), cap) where µ(x) is the cheapest unbounded combination
+// of the given points covering x (computed by knapsack DP over the
+// integer grid). Exponential-free but pseudo-polynomial; intended for
+// the hardness-gadget tests, not production sizes.
+StatusOr<bool> ExactSubadditiveInterpolationFeasible(
+    const std::vector<InterpolationPoint>& points);
+
+}  // namespace nimbus::revenue
+
+#endif  // NIMBUS_REVENUE_INTERPOLATION_H_

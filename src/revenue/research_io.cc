@@ -1,0 +1,76 @@
+#include "revenue/research_io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace nimbus::revenue {
+
+std::string SerializeBuyerPoints(const std::vector<BuyerPoint>& points) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const BuyerPoint& p : points) {
+    out << p.a << ',' << p.b << ',' << p.v << '\n';
+  }
+  return out.str();
+}
+
+StatusOr<std::vector<BuyerPoint>> DeserializeBuyerPoints(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<BuyerPoint> points;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    BuyerPoint p;
+    char comma1 = 0;
+    char comma2 = 0;
+    std::istringstream row(line);
+    if (!(row >> p.a >> comma1 >> p.b >> comma2 >> p.v) || comma1 != ',' ||
+        comma2 != ',') {
+      return InvalidArgumentError("malformed research row on line " +
+                                  std::to_string(line_number));
+    }
+    std::string trailing;
+    if (row >> trailing) {
+      return InvalidArgumentError("trailing data on line " +
+                                  std::to_string(line_number));
+    }
+    points.push_back(p);
+  }
+  NIMBUS_RETURN_IF_ERROR(
+      ValidateBuyerPoints(points, /*require_monotone_valuations=*/false));
+  return points;
+}
+
+Status SaveBuyerPoints(const std::vector<BuyerPoint>& points,
+                       const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return InvalidArgumentError("cannot create '" + path + "'");
+  }
+  file << SerializeBuyerPoints(points);
+  if (!file) {
+    return InternalError("write to '" + path + "' failed");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<BuyerPoint>> LoadBuyerPoints(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return DeserializeBuyerPoints(content.str());
+}
+
+}  // namespace nimbus::revenue

@@ -1,0 +1,31 @@
+#ifndef NIMBUS_REVENUE_RESEARCH_IO_H_
+#define NIMBUS_REVENUE_RESEARCH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "revenue/buyer_model.h"
+
+namespace nimbus::revenue {
+
+// CSV persistence for market research (the seller's value/demand curves
+// as buyer points). Format, one row per version:
+//   a,b,v
+// with `a` the version parameter (inverse NCP), `b` the demand mass and
+// `v` the valuation. Rows must be sorted by strictly increasing `a`;
+// loading re-validates through ValidateBuyerPoints.
+
+std::string SerializeBuyerPoints(const std::vector<BuyerPoint>& points);
+
+StatusOr<std::vector<BuyerPoint>> DeserializeBuyerPoints(
+    const std::string& text);
+
+Status SaveBuyerPoints(const std::vector<BuyerPoint>& points,
+                       const std::string& path);
+
+StatusOr<std::vector<BuyerPoint>> LoadBuyerPoints(const std::string& path);
+
+}  // namespace nimbus::revenue
+
+#endif  // NIMBUS_REVENUE_RESEARCH_IO_H_

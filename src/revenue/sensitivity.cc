@@ -1,0 +1,68 @@
+#include "revenue/sensitivity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/random.h"
+#include "revenue/dp_optimizer.h"
+#include "solver/isotonic.h"
+
+namespace nimbus::revenue {
+
+StatusOr<SensitivityReport> AnalyzeRevenueSensitivity(
+    const std::vector<BuyerPoint>& research,
+    const SensitivityOptions& options) {
+  if (options.trials < 1) {
+    return InvalidArgumentError("need at least one trial");
+  }
+  if (options.valuation_noise < 0.0) {
+    return InvalidArgumentError("valuation_noise must be >= 0");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(DpResult nominal, OptimizeRevenueDp(research));
+
+  SensitivityReport report;
+  report.nominal_revenue = nominal.revenue;
+  report.worst_realized_revenue = std::numeric_limits<double>::infinity();
+  report.worst_regret = 0.0;
+
+  Rng rng(options.seed);
+  double realized_sum = 0.0;
+  double regret_sum = 0.0;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    // Perturb each valuation multiplicatively.
+    std::vector<BuyerPoint> perturbed = research;
+    std::vector<double> raw_values(perturbed.size());
+    for (size_t j = 0; j < perturbed.size(); ++j) {
+      perturbed[j].v *=
+          std::max(0.0, 1.0 + options.valuation_noise * rng.Gaussian());
+      raw_values[j] = perturbed[j].v;
+    }
+    const double realized = RevenueForPrices(perturbed, nominal.prices);
+    realized_sum += realized;
+    report.worst_realized_revenue =
+        std::min(report.worst_realized_revenue, realized);
+
+    // Clairvoyant benchmark: smooth the perturbed valuations back to a
+    // monotone curve (the DP precondition) and re-optimize.
+    NIMBUS_ASSIGN_OR_RETURN(std::vector<double> monotone_values,
+                            solver::IsotonicIncreasing(raw_values));
+    std::vector<BuyerPoint> smoothed = perturbed;
+    for (size_t j = 0; j < smoothed.size(); ++j) {
+      smoothed[j].v = std::max(0.0, monotone_values[j]);
+    }
+    NIMBUS_ASSIGN_OR_RETURN(DpResult reoptimized,
+                            OptimizeRevenueDp(smoothed));
+    // Regret is measured on the same perturbed population: what the
+    // clairvoyant prices earn there minus what the nominal prices earned.
+    const double clairvoyant =
+        RevenueForPrices(perturbed, reoptimized.prices);
+    const double regret = std::max(0.0, clairvoyant - realized);
+    regret_sum += regret;
+    report.worst_regret = std::max(report.worst_regret, regret);
+  }
+  report.mean_realized_revenue = realized_sum / options.trials;
+  report.mean_regret = regret_sum / options.trials;
+  return report;
+}
+
+}  // namespace nimbus::revenue

@@ -1,0 +1,47 @@
+#ifndef NIMBUS_REVENUE_SENSITIVITY_H_
+#define NIMBUS_REVENUE_SENSITIVITY_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "revenue/buyer_model.h"
+
+namespace nimbus::revenue {
+
+// Seller-side robustness analysis: the DP prices are optimal *for the
+// estimated* value curve, but real buyers deviate from market research.
+// This module quantifies how much revenue the nominal prices lose when
+// valuations are perturbed — the practical question behind §5's reliance
+// on the curves of Figure 2(a).
+
+struct SensitivityOptions {
+  // Relative stddev of the multiplicative valuation perturbation:
+  // v'_j = v_j * max(0, 1 + noise * N(0,1)).
+  double valuation_noise = 0.1;
+  int trials = 200;
+  uint64_t seed = 1;
+};
+
+struct SensitivityReport {
+  // Revenue the DP prices earn on the nominal research curve.
+  double nominal_revenue = 0.0;
+  // Distribution of the revenue those same prices earn when valuations
+  // are perturbed.
+  double mean_realized_revenue = 0.0;
+  double worst_realized_revenue = 0.0;
+  // Mean regret against clairvoyant re-optimization: the DP re-run on
+  // each perturbed curve (with valuations restored to monotone via
+  // isotonic smoothing) minus the realized revenue. Always >= ~0.
+  double mean_regret = 0.0;
+  double worst_regret = 0.0;
+};
+
+// Runs the analysis for the DP pricing computed from `research` (which
+// must satisfy the DP preconditions). Deterministic given the seed.
+StatusOr<SensitivityReport> AnalyzeRevenueSensitivity(
+    const std::vector<BuyerPoint>& research,
+    const SensitivityOptions& options = {});
+
+}  // namespace nimbus::revenue
+
+#endif  // NIMBUS_REVENUE_SENSITIVITY_H_

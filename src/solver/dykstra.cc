@@ -1,0 +1,103 @@
+#include "solver/dykstra.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solver/isotonic.h"
+
+namespace nimbus::solver {
+namespace {
+
+// Projection onto { z : z non-decreasing } — plain isotonic regression.
+std::vector<double> ProjectMonotone(const std::vector<double>& x) {
+  return *IsotonicIncreasing(x);
+}
+
+// Projection onto { z : z_i / a_i non-increasing }. With u_i = z_i / a_i,
+// minimizing Σ (z_i − x_i)² = Σ a_i² (u_i − x_i/a_i)² is a weighted
+// decreasing isotonic regression in u with weights a_i².
+std::vector<double> ProjectRelaxedSubadditive(const std::vector<double>& x,
+                                              const std::vector<double>& a) {
+  const size_t n = x.size();
+  std::vector<double> u(n);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    u[i] = x[i] / a[i];
+    w[i] = a[i] * a[i];
+  }
+  std::vector<double> fit = *IsotonicDecreasing(u, w);
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    z[i] = fit[i] * a[i];
+  }
+  return z;
+}
+
+std::vector<double> ProjectNonNegative(const std::vector<double>& x) {
+  std::vector<double> z = x;
+  for (double& v : z) {
+    v = std::max(v, 0.0);
+  }
+  return z;
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> ProjectOntoPricingPolytope(
+    const std::vector<double>& target, const std::vector<double>& a,
+    int max_sweeps, double tolerance) {
+  const size_t n = target.size();
+  if (n == 0) {
+    return InvalidArgumentError("empty target");
+  }
+  if (a.size() != n) {
+    return InvalidArgumentError("parameter vector size mismatch");
+  }
+  double prev = 0.0;
+  for (double ai : a) {
+    if (!(ai > prev)) {
+      return InvalidArgumentError(
+          "parameters must be strictly increasing and positive");
+    }
+    prev = ai;
+  }
+  // Dykstra's algorithm over the three convex sets.
+  std::vector<double> x = target;
+  std::vector<std::vector<double>> increments(
+      3, std::vector<double>(n, 0.0));
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    const std::vector<double> before = x;
+    for (int set = 0; set < 3; ++set) {
+      std::vector<double> shifted(n);
+      for (size_t i = 0; i < n; ++i) {
+        shifted[i] = x[i] + increments[static_cast<size_t>(set)][i];
+      }
+      std::vector<double> projected;
+      switch (set) {
+        case 0:
+          projected = ProjectMonotone(shifted);
+          break;
+        case 1:
+          projected = ProjectRelaxedSubadditive(shifted, a);
+          break;
+        default:
+          projected = ProjectNonNegative(shifted);
+          break;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        increments[static_cast<size_t>(set)][i] = shifted[i] - projected[i];
+      }
+      x = std::move(projected);
+    }
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      delta = std::max(delta, std::fabs(x[i] - before[i]));
+    }
+    if (delta < tolerance) {
+      break;
+    }
+  }
+  return x;
+}
+
+}  // namespace nimbus::solver

@@ -1,0 +1,27 @@
+#ifndef NIMBUS_SOLVER_DYKSTRA_H_
+#define NIMBUS_SOLVER_DYKSTRA_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace nimbus::solver {
+
+// Euclidean projection of `target` onto the feasible region of the
+// relaxed pricing problem (5):
+//   z_1 <= z_2 <= ... <= z_n            (monotonicity),
+//   z_1/a_1 >= z_2/a_2 >= ... >= z_n/a_n  (relaxed subadditivity),
+//   z_i >= 0,
+// for strictly increasing positive parameters `a`. Computed with
+// Dykstra's alternating-projection algorithm; each individual projection
+// is a (weighted) isotonic regression or a clip, so one sweep is O(n).
+//
+// This is the exact solver for the T²PI price-interpolation objective:
+// maximizing −Σ (z_j − P_j)² over (5) is projecting P onto the region.
+StatusOr<std::vector<double>> ProjectOntoPricingPolytope(
+    const std::vector<double>& target, const std::vector<double>& a,
+    int max_sweeps = 1000, double tolerance = 1e-10);
+
+}  // namespace nimbus::solver
+
+#endif  // NIMBUS_SOLVER_DYKSTRA_H_

@@ -1,0 +1,76 @@
+#include "solver/isotonic.h"
+
+#include <algorithm>
+
+namespace nimbus::solver {
+namespace {
+
+Status ValidateInput(const std::vector<double>& y,
+                     const std::vector<double>& weights) {
+  if (y.empty()) {
+    return InvalidArgumentError("isotonic regression needs data");
+  }
+  if (!weights.empty()) {
+    if (weights.size() != y.size()) {
+      return InvalidArgumentError("weights size != data size");
+    }
+    for (double w : weights) {
+      if (!(w > 0.0)) {
+        return InvalidArgumentError("weights must be positive");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> IsotonicIncreasing(
+    const std::vector<double>& y, const std::vector<double>& weights) {
+  NIMBUS_RETURN_IF_ERROR(ValidateInput(y, weights));
+  const size_t n = y.size();
+  // Blocks of pooled values: value, total weight, number of elements.
+  std::vector<double> value;
+  std::vector<double> weight;
+  std::vector<size_t> count;
+  value.reserve(n);
+  weight.reserve(n);
+  count.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    value.push_back(y[i]);
+    weight.push_back(weights.empty() ? 1.0 : weights[i]);
+    count.push_back(1);
+    // Merge backwards while the last block undercuts its predecessor.
+    while (value.size() > 1 && value[value.size() - 2] > value.back()) {
+      const size_t last = value.size() - 1;
+      const double merged_weight = weight[last - 1] + weight[last];
+      value[last - 1] = (value[last - 1] * weight[last - 1] +
+                         value[last] * weight[last]) /
+                        merged_weight;
+      weight[last - 1] = merged_weight;
+      count[last - 1] += count[last];
+      value.pop_back();
+      weight.pop_back();
+      count.pop_back();
+    }
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t b = 0; b < value.size(); ++b) {
+    out.insert(out.end(), count[b], value[b]);
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> IsotonicDecreasing(
+    const std::vector<double>& y, const std::vector<double>& weights) {
+  // Decreasing fit = increasing fit on the reversed sequence, reversed.
+  std::vector<double> y_rev(y.rbegin(), y.rend());
+  std::vector<double> w_rev(weights.rbegin(), weights.rend());
+  NIMBUS_ASSIGN_OR_RETURN(std::vector<double> fit,
+                          IsotonicIncreasing(y_rev, w_rev));
+  std::reverse(fit.begin(), fit.end());
+  return fit;
+}
+
+}  // namespace nimbus::solver

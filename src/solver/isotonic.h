@@ -1,0 +1,23 @@
+#ifndef NIMBUS_SOLVER_ISOTONIC_H_
+#define NIMBUS_SOLVER_ISOTONIC_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace nimbus::solver {
+
+// Weighted isotonic regression via the pool-adjacent-violators algorithm
+// (PAVA): returns argmin_z Σ w_i (z_i − y_i)² subject to
+// z_1 <= z_2 <= ... <= z_n. Weights must be positive; when `weights` is
+// empty, unit weights are used. O(n).
+StatusOr<std::vector<double>> IsotonicIncreasing(
+    const std::vector<double>& y, const std::vector<double>& weights = {});
+
+// Same with the reversed order constraint z_1 >= z_2 >= ... >= z_n.
+StatusOr<std::vector<double>> IsotonicDecreasing(
+    const std::vector<double>& y, const std::vector<double>& weights = {});
+
+}  // namespace nimbus::solver
+
+#endif  // NIMBUS_SOLVER_ISOTONIC_H_

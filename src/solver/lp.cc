@@ -1,0 +1,275 @@
+#include "solver/lp.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace nimbus::solver {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// Full-tableau simplex state. Variables are columns; the last column is
+// the right-hand side. row 0 of `tableau` is the (negated-cost) objective
+// row; rows 1..m are constraints with `basis[i]` giving the basic
+// variable of row i+1.
+struct Tableau {
+  int num_cols = 0;  // Total structural columns (excluding rhs).
+  std::vector<std::vector<double>> rows;  // rows[0] = objective row.
+  std::vector<int> basis;                 // Size m.
+
+  double& Rhs(int row) { return rows[static_cast<size_t>(row)].back(); }
+  double Rhs(int row) const { return rows[static_cast<size_t>(row)].back(); }
+};
+
+void Pivot(Tableau& t, int pivot_row, int pivot_col) {
+  std::vector<double>& prow = t.rows[static_cast<size_t>(pivot_row)];
+  const double inv = 1.0 / prow[static_cast<size_t>(pivot_col)];
+  for (double& v : prow) {
+    v *= inv;
+  }
+  for (size_t r = 0; r < t.rows.size(); ++r) {
+    if (static_cast<int>(r) == pivot_row) {
+      continue;
+    }
+    std::vector<double>& row = t.rows[r];
+    const double factor = row[static_cast<size_t>(pivot_col)];
+    if (std::fabs(factor) < 1e-14) {
+      continue;
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      row[c] -= factor * prow[c];
+    }
+    row[static_cast<size_t>(pivot_col)] = 0.0;
+  }
+  t.basis[static_cast<size_t>(pivot_row - 1)] = pivot_col;
+}
+
+// Runs simplex iterations with Bland's rule until optimality or
+// unboundedness. `allowed` marks columns eligible to enter the basis.
+// Returns kUnbounded if a negative reduced cost column has no positive
+// entry.
+Status Iterate(Tableau& t, const std::vector<bool>& allowed) {
+  const int m = static_cast<int>(t.rows.size()) - 1;
+  for (int iter = 0;; ++iter) {
+    // Safety valve: Bland's rule guarantees termination, but cap anyway.
+    NIMBUS_CHECK_LT(iter, 100000) << "simplex iteration bound exceeded";
+    // Bland: entering column = smallest index with negative reduced cost.
+    int entering = -1;
+    for (int c = 0; c < t.num_cols; ++c) {
+      if (allowed[static_cast<size_t>(c)] &&
+          t.rows[0][static_cast<size_t>(c)] < -kTol) {
+        entering = c;
+        break;
+      }
+    }
+    if (entering == -1) {
+      return OkStatus();  // Optimal.
+    }
+    // Ratio test; Bland tie-break on smallest basis variable index.
+    int leaving_row = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 1; r <= m; ++r) {
+      const double a = t.rows[static_cast<size_t>(r)][static_cast<size_t>(
+          entering)];
+      if (a > kTol) {
+        const double ratio = t.Rhs(r) / a;
+        if (ratio < best_ratio - kTol ||
+            (ratio < best_ratio + kTol && leaving_row != -1 &&
+             t.basis[static_cast<size_t>(r - 1)] <
+                 t.basis[static_cast<size_t>(leaving_row - 1)])) {
+          best_ratio = ratio;
+          leaving_row = r;
+        }
+      }
+    }
+    if (leaving_row == -1) {
+      return UnboundedError("LP objective is unbounded");
+    }
+    Pivot(t, leaving_row, entering);
+  }
+}
+
+}  // namespace
+
+Status ValidateLpProblem(const LpProblem& problem) {
+  if (problem.num_vars <= 0) {
+    return InvalidArgumentError("LP needs at least one variable");
+  }
+  if (static_cast<int>(problem.objective.size()) != problem.num_vars) {
+    return InvalidArgumentError("objective size != num_vars");
+  }
+  for (double c : problem.objective) {
+    if (!std::isfinite(c)) {
+      return InvalidArgumentError("objective has non-finite coefficient");
+    }
+  }
+  for (const LpConstraint& con : problem.constraints) {
+    if (static_cast<int>(con.coeffs.size()) != problem.num_vars) {
+      return InvalidArgumentError("constraint width != num_vars");
+    }
+    if (!std::isfinite(con.rhs)) {
+      return InvalidArgumentError("constraint rhs is non-finite");
+    }
+    for (double c : con.coeffs) {
+      if (!std::isfinite(c)) {
+        return InvalidArgumentError("constraint has non-finite coefficient");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<LpSolution> SolveLp(const LpProblem& problem) {
+  NIMBUS_RETURN_IF_ERROR(ValidateLpProblem(problem));
+  const int n = problem.num_vars;
+  const int m = static_cast<int>(problem.constraints.size());
+
+  // Normalize rows to non-negative rhs, then count slack/artificial needs.
+  std::vector<LpConstraint> rows = problem.constraints;
+  for (LpConstraint& row : rows) {
+    if (row.rhs < 0.0) {
+      row.rhs = -row.rhs;
+      for (double& c : row.coeffs) {
+        c = -c;
+      }
+      if (row.sense == ConstraintSense::kLessEqual) {
+        row.sense = ConstraintSense::kGreaterEqual;
+      } else if (row.sense == ConstraintSense::kGreaterEqual) {
+        row.sense = ConstraintSense::kLessEqual;
+      }
+    }
+  }
+  int num_slack = 0;
+  int num_artificial = 0;
+  for (const LpConstraint& row : rows) {
+    switch (row.sense) {
+      case ConstraintSense::kLessEqual:
+        ++num_slack;
+        break;
+      case ConstraintSense::kGreaterEqual:
+        ++num_slack;
+        ++num_artificial;
+        break;
+      case ConstraintSense::kEqual:
+        ++num_artificial;
+        break;
+    }
+  }
+  const int total = n + num_slack + num_artificial;
+  const int artificial_start = n + num_slack;
+
+  Tableau t;
+  t.num_cols = total;
+  t.rows.assign(static_cast<size_t>(m + 1),
+                std::vector<double>(static_cast<size_t>(total + 1), 0.0));
+  t.basis.assign(static_cast<size_t>(m), -1);
+
+  int slack_col = n;
+  int artificial_col = artificial_start;
+  for (int r = 0; r < m; ++r) {
+    std::vector<double>& row = t.rows[static_cast<size_t>(r + 1)];
+    for (int c = 0; c < n; ++c) {
+      row[static_cast<size_t>(c)] = rows[static_cast<size_t>(r)].coeffs[
+          static_cast<size_t>(c)];
+    }
+    row.back() = rows[static_cast<size_t>(r)].rhs;
+    switch (rows[static_cast<size_t>(r)].sense) {
+      case ConstraintSense::kLessEqual:
+        row[static_cast<size_t>(slack_col)] = 1.0;
+        t.basis[static_cast<size_t>(r)] = slack_col;
+        ++slack_col;
+        break;
+      case ConstraintSense::kGreaterEqual:
+        row[static_cast<size_t>(slack_col)] = -1.0;  // Surplus.
+        ++slack_col;
+        row[static_cast<size_t>(artificial_col)] = 1.0;
+        t.basis[static_cast<size_t>(r)] = artificial_col;
+        ++artificial_col;
+        break;
+      case ConstraintSense::kEqual:
+        row[static_cast<size_t>(artificial_col)] = 1.0;
+        t.basis[static_cast<size_t>(r)] = artificial_col;
+        ++artificial_col;
+        break;
+    }
+  }
+
+  std::vector<bool> allowed(static_cast<size_t>(total), true);
+
+  if (num_artificial > 0) {
+    // Phase 1: maximize −Σ artificials. Objective row starts as +1 on the
+    // artificial columns, then basic columns are priced out.
+    for (int c = artificial_start; c < total; ++c) {
+      t.rows[0][static_cast<size_t>(c)] = 1.0;
+    }
+    for (int r = 0; r < m; ++r) {
+      const int b = t.basis[static_cast<size_t>(r)];
+      if (b >= artificial_start) {
+        for (size_t c = 0; c < t.rows[0].size(); ++c) {
+          t.rows[0][c] -= t.rows[static_cast<size_t>(r + 1)][c];
+        }
+      }
+    }
+    NIMBUS_RETURN_IF_ERROR(Iterate(t, allowed));
+    // Objective row rhs holds −(phase-1 optimum); feasible iff ≈ 0.
+    if (t.rows[0].back() < -1e-7) {
+      return InfeasibleError("LP is infeasible");
+    }
+    // Pivot any artificial variable still basic (at zero) out of the basis.
+    for (int r = 0; r < m; ++r) {
+      if (t.basis[static_cast<size_t>(r)] >= artificial_start) {
+        int pivot_col = -1;
+        for (int c = 0; c < artificial_start; ++c) {
+          if (std::fabs(t.rows[static_cast<size_t>(r + 1)][
+                  static_cast<size_t>(c)]) > kTol) {
+            pivot_col = c;
+            break;
+          }
+        }
+        if (pivot_col != -1) {
+          Pivot(t, r + 1, pivot_col);
+        }
+        // Otherwise the row is redundant (all-zero in structural columns);
+        // leaving the artificial basic at level 0 is harmless since the
+        // column is disallowed below.
+      }
+    }
+    for (int c = artificial_start; c < total; ++c) {
+      allowed[static_cast<size_t>(c)] = false;
+    }
+  }
+
+  // Phase 2: install the real objective row (negated costs for maximize;
+  // minimize is maximize of the negation) and price out basic columns.
+  std::fill(t.rows[0].begin(), t.rows[0].end(), 0.0);
+  const double sign = problem.maximize ? 1.0 : -1.0;
+  for (int c = 0; c < n; ++c) {
+    t.rows[0][static_cast<size_t>(c)] =
+        -sign * problem.objective[static_cast<size_t>(c)];
+  }
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis[static_cast<size_t>(r)];
+    const double coeff = t.rows[0][static_cast<size_t>(b)];
+    if (std::fabs(coeff) > 0.0) {
+      for (size_t c = 0; c < t.rows[0].size(); ++c) {
+        t.rows[0][c] -= coeff * t.rows[static_cast<size_t>(r + 1)][c];
+      }
+    }
+  }
+  NIMBUS_RETURN_IF_ERROR(Iterate(t, allowed));
+
+  LpSolution solution;
+  solution.values.assign(static_cast<size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis[static_cast<size_t>(r)];
+    if (b < n) {
+      solution.values[static_cast<size_t>(b)] = t.Rhs(r + 1);
+    }
+  }
+  solution.objective_value = sign * t.rows[0].back();
+  return solution;
+}
+
+}  // namespace nimbus::solver

@@ -1,0 +1,49 @@
+#ifndef NIMBUS_SOLVER_LP_H_
+#define NIMBUS_SOLVER_LP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace nimbus::solver {
+
+// Direction of one linear constraint row.
+enum class ConstraintSense { kLessEqual, kGreaterEqual, kEqual };
+
+// One constraint: coeffs · x  (sense)  rhs.
+struct LpConstraint {
+  std::vector<double> coeffs;
+  ConstraintSense sense = ConstraintSense::kLessEqual;
+  double rhs = 0.0;
+};
+
+// A linear program over non-negative variables x >= 0:
+//   maximize (or minimize) objective · x  subject to the constraints.
+// Callers with free variables must split them into differences of
+// non-negative pairs themselves.
+struct LpProblem {
+  int num_vars = 0;
+  bool maximize = true;
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+};
+
+struct LpSolution {
+  std::vector<double> values;
+  double objective_value = 0.0;
+};
+
+// Solves `problem` with a two-phase dense tableau simplex using Bland's
+// anti-cycling rule. Returns kInfeasible when no feasible point exists and
+// kUnbounded when the objective is unbounded in the optimization
+// direction.
+StatusOr<LpSolution> SolveLp(const LpProblem& problem);
+
+// Validates the structural invariants of `problem` (matching coefficient
+// widths, finite data); SolveLp calls this first.
+Status ValidateLpProblem(const LpProblem& problem);
+
+}  // namespace nimbus::solver
+
+#endif  // NIMBUS_SOLVER_LP_H_

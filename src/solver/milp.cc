@@ -1,0 +1,141 @@
+#include "solver/milp.h"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace nimbus::solver {
+namespace {
+
+constexpr double kIntTol = 1e-6;
+
+// Returns the index of the integer variable whose LP value is furthest
+// from integral, or -1 when all integer variables are integral.
+int MostFractionalVariable(const std::vector<double>& values,
+                           const std::vector<bool>& integer) {
+  int best = -1;
+  double best_frac = kIntTol;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!integer[i]) {
+      continue;
+    }
+    const double frac = std::fabs(values[i] - std::round(values[i]));
+    if (frac > best_frac) {
+      best_frac = frac;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+struct SearchState {
+  const MilpProblem* problem = nullptr;
+  double sign = 1.0;  // +1 maximize, used for bound comparisons.
+  std::optional<MilpSolution> incumbent;
+  int nodes = 0;
+  int max_nodes = 0;
+  bool node_budget_exceeded = false;
+};
+
+// Depth-first branch and bound. `bounds` carries the extra branching
+// constraints accumulated along the current path.
+void Branch(SearchState& state, std::vector<LpConstraint>& extra) {
+  if (state.node_budget_exceeded) {
+    return;
+  }
+  if (++state.nodes > state.max_nodes) {
+    state.node_budget_exceeded = true;
+    return;
+  }
+  LpProblem relaxed = state.problem->lp;
+  relaxed.constraints.insert(relaxed.constraints.end(), extra.begin(),
+                             extra.end());
+  StatusOr<LpSolution> lp = SolveLp(relaxed);
+  if (!lp.ok()) {
+    return;  // Infeasible subtree (unbounded roots are handled by caller).
+  }
+  // Bound pruning: a maximizer cannot improve past the relaxation value.
+  if (state.incumbent.has_value()) {
+    const double bound = state.sign * lp->objective_value;
+    const double have = state.sign * state.incumbent->objective_value;
+    if (bound <= have + 1e-9) {
+      return;
+    }
+  }
+  const int branch_var =
+      MostFractionalVariable(lp->values, state.problem->integer);
+  if (branch_var == -1) {
+    // Integral: candidate incumbent.
+    MilpSolution candidate;
+    candidate.values = lp->values;
+    for (size_t i = 0; i < candidate.values.size(); ++i) {
+      if (state.problem->integer[i]) {
+        candidate.values[i] = std::round(candidate.values[i]);
+      }
+    }
+    candidate.objective_value = lp->objective_value;
+    if (!state.incumbent.has_value() ||
+        state.sign * candidate.objective_value >
+            state.sign * state.incumbent->objective_value) {
+      state.incumbent = std::move(candidate);
+    }
+    return;
+  }
+  const double value = lp->values[static_cast<size_t>(branch_var)];
+  const double floor_value = std::floor(value);
+
+  // Down branch: x_b <= floor(value).
+  {
+    LpConstraint c;
+    c.coeffs.assign(static_cast<size_t>(state.problem->lp.num_vars), 0.0);
+    c.coeffs[static_cast<size_t>(branch_var)] = 1.0;
+    c.sense = ConstraintSense::kLessEqual;
+    c.rhs = floor_value;
+    extra.push_back(std::move(c));
+    Branch(state, extra);
+    extra.pop_back();
+  }
+  // Up branch: x_b >= floor(value) + 1.
+  {
+    LpConstraint c;
+    c.coeffs.assign(static_cast<size_t>(state.problem->lp.num_vars), 0.0);
+    c.coeffs[static_cast<size_t>(branch_var)] = 1.0;
+    c.sense = ConstraintSense::kGreaterEqual;
+    c.rhs = floor_value + 1.0;
+    extra.push_back(std::move(c));
+    Branch(state, extra);
+    extra.pop_back();
+  }
+}
+
+}  // namespace
+
+StatusOr<MilpSolution> SolveMilp(const MilpProblem& problem, int max_nodes) {
+  NIMBUS_RETURN_IF_ERROR(ValidateLpProblem(problem.lp));
+  if (problem.integer.size() != static_cast<size_t>(problem.lp.num_vars)) {
+    return InvalidArgumentError("integer mask size != num_vars");
+  }
+  // Root relaxation decides unboundedness / infeasibility up front.
+  StatusOr<LpSolution> root = SolveLp(problem.lp);
+  if (!root.ok()) {
+    return root.status();
+  }
+  SearchState state;
+  state.problem = &problem;
+  state.sign = problem.lp.maximize ? 1.0 : -1.0;
+  state.max_nodes = max_nodes;
+  std::vector<LpConstraint> extra;
+  Branch(state, extra);
+  if (state.node_budget_exceeded && !state.incumbent.has_value()) {
+    return ResourceExhaustedError("branch-and-bound node budget exceeded");
+  }
+  if (!state.incumbent.has_value()) {
+    return InfeasibleError("no integral feasible point exists");
+  }
+  state.incumbent->nodes_explored = state.nodes;
+  return *state.incumbent;
+}
+
+}  // namespace nimbus::solver

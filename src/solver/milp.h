@@ -1,0 +1,35 @@
+#ifndef NIMBUS_SOLVER_MILP_H_
+#define NIMBUS_SOLVER_MILP_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "solver/lp.h"
+
+namespace nimbus::solver {
+
+// A mixed-integer linear program: an LpProblem plus integrality marks.
+struct MilpProblem {
+  LpProblem lp;
+  // integer[i] == true forces variable i to take an integer value.
+  std::vector<bool> integer;
+};
+
+struct MilpSolution {
+  std::vector<double> values;
+  double objective_value = 0.0;
+  // Number of branch-and-bound nodes explored (for runtime reporting).
+  int nodes_explored = 0;
+};
+
+// Solves `problem` by LP-relaxation branch-and-bound (depth-first, most-
+// fractional branching, bound pruning). Suitable for the small integer
+// programs of the paper's brute-force revenue baseline (Algorithm 2).
+// Returns kInfeasible / kUnbounded like SolveLp. `max_nodes` bounds the
+// search; exceeding it returns kResourceExhausted.
+StatusOr<MilpSolution> SolveMilp(const MilpProblem& problem,
+                                 int max_nodes = 100000);
+
+}  // namespace nimbus::solver
+
+#endif  // NIMBUS_SOLVER_MILP_H_

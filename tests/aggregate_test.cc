@@ -1,0 +1,153 @@
+#include "aggregate/aggregate_market.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "pricing/pricing_function.h"
+
+namespace nimbus::aggregate {
+namespace {
+
+data::Dataset ThreeRowData() {
+  data::Dataset d(2, data::Task::kRegression);
+  d.Add({1.0, 10.0}, 0.0);
+  d.Add({2.0, 20.0}, 0.0);
+  d.Add({6.0, 30.0}, 0.0);
+  return d;
+}
+
+TEST(ComputeStatisticTest, MeanAndSum) {
+  const data::Dataset d = ThreeRowData();
+  EXPECT_DOUBLE_EQ(*ComputeStatistic(d, 0, Statistic::kMean), 3.0);
+  EXPECT_DOUBLE_EQ(*ComputeStatistic(d, 1, Statistic::kMean), 20.0);
+  EXPECT_DOUBLE_EQ(*ComputeStatistic(d, 0, Statistic::kSum), 9.0);
+}
+
+TEST(ComputeStatisticTest, Variance) {
+  // Column 0 values {1, 2, 6}: mean 3, population variance
+  // ((4 + 1 + 9) / 3) = 14/3.
+  const data::Dataset d = ThreeRowData();
+  EXPECT_NEAR(*ComputeStatistic(d, 0, Statistic::kVariance), 14.0 / 3.0,
+              1e-12);
+}
+
+TEST(ComputeStatisticTest, Validation) {
+  const data::Dataset d = ThreeRowData();
+  EXPECT_EQ(ComputeStatistic(d, 2, Statistic::kMean).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ComputeStatistic(d, -1, Statistic::kMean).status().code(),
+            StatusCode::kOutOfRange);
+  data::Dataset empty(1, data::Task::kRegression);
+  EXPECT_FALSE(ComputeStatistic(empty, 0, Statistic::kMean).ok());
+}
+
+StatusOr<AggregateMarket> MakeMarket(const char* mechanism_name = "gaussian") {
+  NIMBUS_ASSIGN_OR_RETURN(auto mechanism,
+                          mechanism::MakeMechanism(mechanism_name));
+  AggregateMarket::Options options;
+  options.min_inverse_ncp = 1.0;
+  options.max_inverse_ncp = 10000.0;
+  options.seed = 7;
+  return AggregateMarket::Create(ThreeRowData(), 0, Statistic::kMean,
+                                 std::move(mechanism), options);
+}
+
+TEST(AggregateMarketTest, CreateValidates) {
+  EXPECT_FALSE(AggregateMarket::Create(ThreeRowData(), 0, Statistic::kMean,
+                                       nullptr, AggregateMarket::Options())
+                   .ok());
+  auto mech = mechanism::MakeMechanism("gaussian");
+  AggregateMarket::Options bad;
+  bad.min_inverse_ncp = 5.0;
+  bad.max_inverse_ncp = 1.0;
+  EXPECT_FALSE(AggregateMarket::Create(ThreeRowData(), 0, Statistic::kMean,
+                                       *std::move(mech), bad)
+                   .ok());
+}
+
+TEST(AggregateMarketTest, TrueValueAndAnalyticError) {
+  StatusOr<AggregateMarket> market = MakeMarket();
+  ASSERT_TRUE(market.ok());
+  EXPECT_DOUBLE_EQ(market->true_value(), 3.0);
+  // Gaussian mechanism in d = 1: E err = δ = 1/x.
+  EXPECT_DOUBLE_EQ(*market->ExpectedSquaredErrorAt(4.0), 0.25);
+}
+
+TEST(AggregateMarketTest, PurchaseDeliversNoisyStatistic) {
+  StatusOr<AggregateMarket> market = MakeMarket();
+  ASSERT_TRUE(market.ok());
+  market->SetPricingFunction(
+      std::make_shared<pricing::LinearPricing>(
+          0.5, std::numeric_limits<double>::infinity(), "lin"));
+  // Average of many precise purchases concentrates on the true mean.
+  double sum = 0.0;
+  const int reps = 2000;
+  for (int i = 0; i < reps; ++i) {
+    StatusOr<AggregateMarket::Sale> sale = market->BuyAtInverseNcp(100.0);
+    ASSERT_TRUE(sale.ok());
+    EXPECT_DOUBLE_EQ(sale->price, 50.0);
+    sum += sale->value;
+  }
+  EXPECT_NEAR(sum / reps, 3.0, 0.01);
+  EXPECT_DOUBLE_EQ(market->revenue_collected(), 50.0 * reps);
+  EXPECT_EQ(market->sales_count(), reps);
+}
+
+TEST(AggregateMarketTest, ErrorBudgetPurchaseIsTight) {
+  StatusOr<AggregateMarket> market = MakeMarket();
+  ASSERT_TRUE(market.ok());
+  StatusOr<AggregateMarket::Sale> sale = market->BuyWithErrorBudget(0.01);
+  ASSERT_TRUE(sale.ok());
+  // Gaussian: E err = δ, so the cheapest qualifying version has δ = 0.01
+  // (x = 100).
+  EXPECT_NEAR(sale->ncp, 0.01, 1e-6);
+  EXPECT_LE(sale->expected_squared_error, 0.01 + 1e-9);
+}
+
+TEST(AggregateMarketTest, ErrorBudgetEdgeCases) {
+  StatusOr<AggregateMarket> market = MakeMarket();
+  ASSERT_TRUE(market.ok());
+  // Looser than the noisiest version: buy the cheapest.
+  StatusOr<AggregateMarket::Sale> loose = market->BuyWithErrorBudget(100.0);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_DOUBLE_EQ(loose->ncp, 1.0);
+  // Tighter than the most precise version: infeasible.
+  EXPECT_EQ(market->BuyWithErrorBudget(1e-9).status().code(),
+            StatusCode::kInfeasible);
+  EXPECT_FALSE(market->BuyWithErrorBudget(-1.0).ok());
+}
+
+TEST(AggregateMarketTest, OutOfRangeVersionRejected) {
+  StatusOr<AggregateMarket> market = MakeMarket();
+  ASSERT_TRUE(market.ok());
+  EXPECT_EQ(market->BuyAtInverseNcp(0.5).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(market->BuyAtInverseNcp(1e9).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(AggregateMarketTest, Example1UniformMechanisms) {
+  // K1 (additive uniform) behaves like the Gaussian in expectation; K2
+  // (multiplicative) has model-dependent error ‖h‖² δ²/3 = 9 δ²/3.
+  StatusOr<AggregateMarket> k1 = MakeMarket("additive_uniform");
+  ASSERT_TRUE(k1.ok());
+  EXPECT_DOUBLE_EQ(*k1->ExpectedSquaredErrorAt(2.0), 0.5);
+
+  StatusOr<AggregateMarket> k2 = MakeMarket("multiplicative_uniform");
+  ASSERT_TRUE(k2.ok());
+  const double delta = 1.0 / 2.0;
+  EXPECT_DOUBLE_EQ(*k2->ExpectedSquaredErrorAt(2.0),
+                   9.0 * delta * delta / 3.0);
+  // The error-budget bisection works for K2's different error law too.
+  StatusOr<AggregateMarket::Sale> sale = k2->BuyWithErrorBudget(0.03);
+  ASSERT_TRUE(sale.ok());
+  EXPECT_LE(sale->expected_squared_error, 0.03 + 1e-9);
+  // δ for budget b: 3 δ² = b / ... -> δ = sqrt(b/3) with ‖h‖² = 9.
+  EXPECT_NEAR(sale->ncp, std::sqrt(0.03 / 3.0), 1e-4);
+}
+
+}  // namespace
+}  // namespace nimbus::aggregate

@@ -1,0 +1,92 @@
+#include "pricing/analytic_error.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "mechanism/noise_mechanism.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+
+namespace nimbus::pricing {
+namespace {
+
+TEST(AnalyticErrorTest, MeanSquaredFeatureNorm) {
+  data::Dataset d(2, data::Task::kRegression);
+  d.Add({3.0, 4.0}, 0.0);  // ||x||² = 25.
+  d.Add({1.0, 0.0}, 0.0);  // ||x||² = 1.
+  EXPECT_DOUBLE_EQ(MeanSquaredFeatureNorm(d), 13.0);
+  EXPECT_DOUBLE_EQ(
+      MeanSquaredFeatureNorm(data::Dataset(1, data::Task::kRegression)),
+      0.0);
+}
+
+TEST(AnalyticErrorTest, PointFormula) {
+  // base 2, tr(M) 8, d 4, δ 3: 2 + 3 * 8 / 8 = 5.
+  EXPECT_DOUBLE_EQ(AnalyticExpectedSquaredLoss(2.0, 8.0, 4, 3.0), 5.0);
+}
+
+TEST(AnalyticErrorTest, CurveIsAffineInNcp) {
+  Rng rng(1);
+  data::RegressionSpec spec;
+  spec.num_examples = 100;
+  spec.num_features = 4;
+  spec.noise_stddev = 0.5;
+  const data::Dataset d = data::GenerateRegression(spec, rng);
+  StatusOr<linalg::Vector> w = ml::FitLinearRegressionClosedForm(d);
+  ASSERT_TRUE(w.ok());
+  StatusOr<ErrorCurve> curve =
+      AnalyticSquaredLossCurve(*w, d, {1.0, 2.0, 4.0});
+  ASSERT_TRUE(curve.ok());
+  const ml::SquaredLoss loss;
+  const double base = loss.Value(*w, d);
+  // error(x) − base is proportional to 1/x.
+  const double e1 = curve->points()[0].expected_error - base;  // x = 1.
+  const double e2 = curve->points()[1].expected_error - base;  // x = 2.
+  const double e4 = curve->points()[2].expected_error - base;  // x = 4.
+  EXPECT_NEAR(e1, 2.0 * e2, 1e-12);
+  EXPECT_NEAR(e2, 2.0 * e4, 1e-12);
+}
+
+TEST(AnalyticErrorTest, AgreesWithMonteCarloForAllAdditiveMechanisms) {
+  Rng rng(2);
+  data::RegressionSpec spec;
+  spec.num_examples = 200;
+  spec.num_features = 6;
+  spec.noise_stddev = 0.4;
+  const data::Dataset d = data::GenerateRegression(spec, rng);
+  StatusOr<linalg::Vector> w = ml::FitLinearRegressionClosedForm(d);
+  ASSERT_TRUE(w.ok());
+  const std::vector<double> grid = Linspace(1.0, 40.0, 6);
+  StatusOr<ErrorCurve> analytic = AnalyticSquaredLossCurve(*w, d, grid);
+  ASSERT_TRUE(analytic.ok());
+  const ml::SquaredLoss loss;
+  for (const char* name : {"gaussian", "laplace", "additive_uniform"}) {
+    auto mech = mechanism::MakeMechanism(name);
+    ASSERT_TRUE(mech.ok());
+    StatusOr<ErrorCurve> mc = ErrorCurve::Estimate(**mech, *w, loss, d, grid,
+                                                   3000, rng);
+    ASSERT_TRUE(mc.ok());
+    for (size_t i = 0; i < grid.size(); ++i) {
+      const double expected = analytic->points()[i].expected_error;
+      const double measured = mc->points()[i].expected_error;
+      EXPECT_NEAR(measured, expected, 0.08 * expected)
+          << name << " at x = " << grid[i];
+    }
+  }
+}
+
+TEST(AnalyticErrorTest, Validation) {
+  const linalg::Vector w = {1.0, 2.0};
+  data::Dataset d(2, data::Task::kRegression);
+  d.Add({1.0, 1.0}, 1.0);
+  EXPECT_FALSE(AnalyticSquaredLossCurve({1.0}, d, {1.0, 2.0}).ok());
+  EXPECT_FALSE(AnalyticSquaredLossCurve(w, d, {1.0}).ok());
+  EXPECT_FALSE(AnalyticSquaredLossCurve(w, d, {0.0, 1.0}).ok());
+  data::Dataset empty(2, data::Task::kRegression);
+  EXPECT_FALSE(AnalyticSquaredLossCurve(w, empty, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace nimbus::pricing

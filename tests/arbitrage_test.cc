@@ -1,0 +1,125 @@
+#include "pricing/arbitrage.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace nimbus::pricing {
+namespace {
+
+// A deliberately superadditive (convex) pricing function p(x) = x², which
+// violates Theorem 5's condition (1): p(x+y) = (x+y)² > x² + y².
+class QuadraticPricing final : public PricingFunction {
+ public:
+  double PriceAtInverseNcp(double x) const override { return x * x; }
+  std::string name() const override { return "quadratic"; }
+};
+
+// A non-monotone pricing function violating condition (2).
+class DippingPricing final : public PricingFunction {
+ public:
+  double PriceAtInverseNcp(double x) const override {
+    return x <= 2.0 ? 10.0 * x : 20.0 / x;
+  }
+  std::string name() const override { return "dipping"; }
+};
+
+std::vector<double> Grid() { return Linspace(1.0, 10.0, 19); }
+
+TEST(AuditTest, ConcaveCurveIsArbitrageFree) {
+  // sqrt is monotone and subadditive.
+  class SqrtPricing final : public PricingFunction {
+   public:
+    double PriceAtInverseNcp(double x) const override {
+      return std::sqrt(x);
+    }
+    std::string name() const override { return "sqrt"; }
+  } pricing;
+  AuditResult audit = AuditPricingFunction(pricing, Grid());
+  EXPECT_TRUE(audit.arbitrage_free) << audit.violation;
+  EXPECT_FALSE(audit.attack.has_value());
+}
+
+TEST(AuditTest, LinearCurveIsArbitrageFree) {
+  LinearPricing pricing(3.0, std::numeric_limits<double>::infinity());
+  AuditResult audit = AuditPricingFunction(pricing, Grid());
+  EXPECT_TRUE(audit.arbitrage_free);
+}
+
+TEST(AuditTest, DetectsSubadditivityViolation) {
+  QuadraticPricing pricing;
+  AuditResult audit = AuditPricingFunction(pricing, Grid());
+  ASSERT_FALSE(audit.arbitrage_free);
+  ASSERT_TRUE(audit.attack.has_value());
+  const ArbitrageAttack& attack = *audit.attack;
+  EXPECT_EQ(attack.component_ncps.size(), 2u);
+  EXPECT_GT(attack.Savings(), 0.0);
+  // The attack's harmonic identity 1/δ0 = Σ 1/δi must hold.
+  double inv = 0.0;
+  for (double d : attack.component_ncps) {
+    inv += 1.0 / d;
+  }
+  EXPECT_NEAR(inv, 1.0 / attack.target_ncp, 1e-9);
+}
+
+TEST(AuditTest, DetectsMonotonicityViolation) {
+  DippingPricing pricing;
+  AuditResult audit = AuditPricingFunction(pricing, Grid());
+  ASSERT_FALSE(audit.arbitrage_free);
+  ASSERT_TRUE(audit.attack.has_value());
+  // 1-arbitrage: a single cheaper-but-better component.
+  EXPECT_EQ(audit.attack->component_ncps.size(), 1u);
+  EXPECT_GT(audit.attack->Savings(), 0.0);
+}
+
+TEST(ExecuteAttackTest, SubadditivityAttackDeliversTargetQuality) {
+  // Combining two δ = 1/x purchases at inverse-variance weights must give
+  // the δ0 = 1/(x1+x2) quality (the Theorem 5 construction).
+  QuadraticPricing pricing;
+  AuditResult audit = AuditPricingFunction(pricing, Grid());
+  ASSERT_TRUE(audit.attack.has_value());
+  Rng rng(31);
+  const linalg::Vector optimal = {1.0, -2.0, 0.5, 3.0};
+  AttackExecution exec =
+      ExecuteAttack(*audit.attack, pricing, optimal, 20000, rng);
+  EXPECT_TRUE(exec.succeeded);
+  EXPECT_LT(exec.price_paid, exec.list_price);
+  EXPECT_NEAR(exec.combined_expected_squared_error,
+              exec.target_expected_squared_error,
+              0.05 * exec.target_expected_squared_error);
+}
+
+TEST(ExecuteAttackTest, AttackAgainstSubadditiveCurveSavesNothing) {
+  // Manufacture the same combination against a subadditive (linear)
+  // pricing function: quality is achieved but no money is saved.
+  LinearPricing pricing(2.0, std::numeric_limits<double>::infinity());
+  ArbitrageAttack attack;
+  attack.component_ncps = {1.0 / 3.0, 1.0 / 5.0};
+  attack.target_ncp = 1.0 / 8.0;
+  Rng rng(32);
+  const linalg::Vector optimal = {0.5, 0.5};
+  AttackExecution exec = ExecuteAttack(attack, pricing, optimal, 5000, rng);
+  EXPECT_FALSE(exec.succeeded);
+  EXPECT_GE(exec.price_paid, exec.list_price - 1e-9);
+}
+
+TEST(ExecuteAttackTest, ThreeWayCombination) {
+  // 1/δ0 = 1 + 2 + 3 = 6; verify the generalized combination also hits
+  // the Cramer-Rao floor of Eq. (6).
+  ArbitrageAttack attack;
+  attack.component_ncps = {1.0, 0.5, 1.0 / 3.0};
+  attack.target_ncp = 1.0 / 6.0;
+  ConstantPricing pricing(5.0, "flat");
+  Rng rng(33);
+  const linalg::Vector optimal = {2.0, -1.0, 4.0};
+  AttackExecution exec = ExecuteAttack(attack, pricing, optimal, 30000, rng);
+  EXPECT_NEAR(exec.combined_expected_squared_error, 1.0 / 6.0, 0.01);
+}
+
+}  // namespace
+}  // namespace nimbus::pricing

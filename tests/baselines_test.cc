@@ -1,0 +1,118 @@
+#include "revenue/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "pricing/arbitrage.h"
+
+namespace nimbus::revenue {
+namespace {
+
+std::vector<BuyerPoint> ConvexValuePoints() {
+  // Convex value curve: worth little until accuracy is high.
+  return {{1.0, 0.2, 1.0},
+          {2.0, 0.2, 4.0},
+          {3.0, 0.2, 20.0},
+          {4.0, 0.2, 60.0},
+          {5.0, 0.2, 100.0}};
+}
+
+TEST(BaselinesTest, MaxCUsesHighestValuation) {
+  auto maxc = MakeMaxCBaseline(ConvexValuePoints());
+  ASSERT_TRUE(maxc.ok());
+  EXPECT_DOUBLE_EQ((*maxc)->PriceAtInverseNcp(1.0), 100.0);
+  EXPECT_DOUBLE_EQ((*maxc)->PriceAtInverseNcp(5.0), 100.0);
+}
+
+TEST(BaselinesTest, MaxCOnlySellsToTheTop) {
+  const std::vector<BuyerPoint> pts = ConvexValuePoints();
+  auto maxc = MakeMaxCBaseline(pts);
+  ASSERT_TRUE(maxc.ok());
+  EXPECT_DOUBLE_EQ(AffordabilityForPricing(pts, **maxc), 0.2);
+  EXPECT_DOUBLE_EQ(RevenueForPricing(pts, **maxc), 0.2 * 100.0);
+}
+
+TEST(BaselinesTest, MedCServesAtLeastHalfTheMass) {
+  const std::vector<BuyerPoint> pts = ConvexValuePoints();
+  auto medc = MakeMedCBaseline(pts);
+  ASSERT_TRUE(medc.ok());
+  EXPECT_GE(AffordabilityForPricing(pts, **medc), 0.5);
+}
+
+TEST(BaselinesTest, MedCPicksWeightedMedian) {
+  // 60% of the mass values at 10, 40% at 100; the largest price keeping
+  // half the mass is 10.
+  const std::vector<BuyerPoint> pts = {
+      {1.0, 0.6, 10.0}, {2.0, 0.4, 100.0}};
+  auto medc = MakeMedCBaseline(pts);
+  ASSERT_TRUE(medc.ok());
+  EXPECT_DOUBLE_EQ((*medc)->PriceAtInverseNcp(1.0), 10.0);
+}
+
+TEST(BaselinesTest, OptCDominatesOtherConstantPrices) {
+  const std::vector<BuyerPoint> pts = ConvexValuePoints();
+  auto optc = MakeOptCBaseline(pts);
+  auto maxc = MakeMaxCBaseline(pts);
+  auto medc = MakeMedCBaseline(pts);
+  ASSERT_TRUE(optc.ok());
+  ASSERT_TRUE(maxc.ok());
+  ASSERT_TRUE(medc.ok());
+  const double opt_rev = RevenueForPricing(pts, **optc);
+  EXPECT_GE(opt_rev, RevenueForPricing(pts, **maxc) - 1e-9);
+  EXPECT_GE(opt_rev, RevenueForPricing(pts, **medc) - 1e-9);
+  // And it dominates every valuation used as a constant price.
+  for (const BuyerPoint& p : pts) {
+    pricing::ConstantPricing candidate(p.v, "probe");
+    EXPECT_GE(opt_rev, RevenueForPricing(pts, candidate) - 1e-9);
+  }
+}
+
+TEST(BaselinesTest, LinInterpolatesAnchorsWhenSubadditive) {
+  // Anchors (1, 10) and (5, 30): slope 5, intercept 5 >= 0.
+  const std::vector<BuyerPoint> pts = {
+      {1.0, 0.5, 10.0}, {5.0, 0.5, 30.0}};
+  auto lin = MakeLinBaseline(pts);
+  ASSERT_TRUE(lin.ok());
+  EXPECT_DOUBLE_EQ((*lin)->PriceAtInverseNcp(1.0), 10.0);
+  EXPECT_DOUBLE_EQ((*lin)->PriceAtInverseNcp(5.0), 30.0);
+  EXPECT_DOUBLE_EQ((*lin)->PriceAtInverseNcp(3.0), 20.0);
+}
+
+TEST(BaselinesTest, LinFallsBackToOriginLineWhenInterceptNegative) {
+  // Anchors (1, 1) and (2, 10) would give intercept -8; the baseline must
+  // stay subadditive, so it uses the steepest origin line under both.
+  const std::vector<BuyerPoint> pts = {{1.0, 0.5, 1.0}, {2.0, 0.5, 10.0}};
+  auto lin = MakeLinBaseline(pts);
+  ASSERT_TRUE(lin.ok());
+  EXPECT_DOUBLE_EQ((*lin)->PriceAtInverseNcp(1.0), 1.0);
+  EXPECT_DOUBLE_EQ((*lin)->PriceAtInverseNcp(2.0), 2.0);
+}
+
+TEST(BaselinesTest, DegenerateSinglePointFallsBackToConstant) {
+  const std::vector<BuyerPoint> pts = {{2.0, 1.0, 7.0}};
+  auto lin = MakeLinBaseline(pts);
+  ASSERT_TRUE(lin.ok());
+  EXPECT_DOUBLE_EQ((*lin)->PriceAtInverseNcp(2.0), 7.0);
+}
+
+TEST(BaselinesTest, AllBaselinesAreArbitrageFree) {
+  const std::vector<BuyerPoint> pts = ConvexValuePoints();
+  const std::vector<double> grid = Linspace(0.5, 10.0, 20);
+  for (auto make : {MakeLinBaseline, MakeMaxCBaseline, MakeMedCBaseline,
+                    MakeOptCBaseline}) {
+    auto baseline = make(pts);
+    ASSERT_TRUE(baseline.ok());
+    pricing::AuditResult audit =
+        pricing::AuditPricingFunction(**baseline, grid, 1e-7);
+    EXPECT_TRUE(audit.arbitrage_free)
+        << (*baseline)->name() << ": " << audit.violation;
+  }
+}
+
+TEST(BaselinesTest, ValidateInputs) {
+  EXPECT_FALSE(MakeLinBaseline({}).ok());
+  EXPECT_FALSE(MakeOptCBaseline({{1.0, -1.0, 2.0}}).ok());
+}
+
+}  // namespace
+}  // namespace nimbus::revenue

@@ -1,0 +1,99 @@
+#include "revenue/brute_force.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace nimbus::revenue {
+namespace {
+
+TEST(ClosurePriceTest, SingleMemberIsUnboundedKnapsack) {
+  const std::vector<BuyerPoint> pts = {{2.0, 1.0, 10.0}, {5.0, 1.0, 18.0}};
+  int64_t nodes = 0;
+  // Only the first point active: covering a = 7 needs ceil(7/2) = 4
+  // copies -> price 40.
+  StatusOr<double> price =
+      SubadditiveClosurePrice(pts, {true, false}, 7.0, &nodes);
+  ASSERT_TRUE(price.ok());
+  EXPECT_NEAR(*price, 40.0, 1e-9);
+  EXPECT_GT(nodes, 0);
+}
+
+TEST(ClosurePriceTest, MixedCoverChoosesCheapest) {
+  const std::vector<BuyerPoint> pts = {{2.0, 1.0, 10.0}, {5.0, 1.0, 18.0}};
+  // Cover a = 7: {2,5} costs 28, {5,5} costs 36, {2,2,2,2} costs 40.
+  StatusOr<double> price =
+      SubadditiveClosurePrice(pts, {true, true}, 7.0, nullptr);
+  ASSERT_TRUE(price.ok());
+  EXPECT_NEAR(*price, 28.0, 1e-9);
+}
+
+TEST(ClosurePriceTest, EmptySubsetIsInfinity) {
+  const std::vector<BuyerPoint> pts = {{1.0, 1.0, 1.0}};
+  StatusOr<double> price =
+      SubadditiveClosurePrice(pts, {false}, 1.0, nullptr);
+  ASSERT_TRUE(price.ok());
+  EXPECT_TRUE(std::isinf(*price));
+}
+
+TEST(ClosurePriceTest, MaskSizeValidated) {
+  const std::vector<BuyerPoint> pts = {{1.0, 1.0, 1.0}};
+  EXPECT_FALSE(SubadditiveClosurePrice(pts, {true, false}, 1.0, nullptr).ok());
+}
+
+TEST(BruteForceTest, SinglePoint) {
+  StatusOr<BruteForceResult> bf = OptimizeRevenueBruteForce({{1, 1, 25}});
+  ASSERT_TRUE(bf.ok());
+  EXPECT_DOUBLE_EQ(bf->revenue, 25.0);
+  EXPECT_DOUBLE_EQ(bf->prices[0], 25.0);
+}
+
+TEST(BruteForceTest, PrefersCombinedSubset) {
+  // Linear valuations: pinning all three points extracts everything.
+  const std::vector<BuyerPoint> pts = {{1, 1, 10}, {2, 1, 20}, {3, 1, 30}};
+  StatusOr<BruteForceResult> bf = OptimizeRevenueBruteForce(pts);
+  ASSERT_TRUE(bf.ok());
+  EXPECT_DOUBLE_EQ(bf->revenue, 60.0);
+  EXPECT_EQ(bf->subsets_evaluated, 7);
+}
+
+TEST(BruteForceTest, SuperadditiveValuationsCannotAllBeExtracted) {
+  // v = a² grows superadditively: pinning (1,1) and (2,4) forces
+  // p(2) <= 2 via subadditive closure, so the seller cannot charge 4 at
+  // a=2 while also charging 1 at a=1.
+  const std::vector<BuyerPoint> pts = {{1, 1, 1}, {2, 1, 4}};
+  StatusOr<BruteForceResult> bf = OptimizeRevenueBruteForce(pts);
+  ASSERT_TRUE(bf.ok());
+  // Options: pin only a=2 at 4 -> closure p(1) = 4 > 1, no sale at 1,
+  // revenue 4. Pin both -> p(2) = min(4, 1+1) = 2, revenue 1 + 2 = 3.
+  // Pin only a=1 -> p(2) = 2, revenue 3. Optimal: 4.
+  EXPECT_DOUBLE_EQ(bf->revenue, 4.0);
+}
+
+TEST(BruteForceTest, CapsProblemSize) {
+  std::vector<BuyerPoint> pts;
+  for (int j = 0; j < 15; ++j) {
+    pts.push_back({static_cast<double>(j + 1), 1.0, static_cast<double>(j)});
+  }
+  EXPECT_EQ(OptimizeRevenueBruteForce(pts, /*max_points=*/14)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BruteForceTest, ResultPricesAreSubadditiveOnThePoints) {
+  const std::vector<BuyerPoint> pts = {
+      {1, 0.5, 3}, {2, 0.7, 9}, {3, 0.2, 10}};
+  StatusOr<BruteForceResult> bf = OptimizeRevenueBruteForce(pts);
+  ASSERT_TRUE(bf.ok());
+  // p(a_i + a_j) <= p(a_i) + p(a_j) wherever the sum is one of the points.
+  // Here a1 + a2 = a3.
+  EXPECT_LE(bf->prices[2], bf->prices[0] + bf->prices[1] + 1e-9);
+  // Monotone in a.
+  EXPECT_LE(bf->prices[0], bf->prices[1] + 1e-9);
+  EXPECT_LE(bf->prices[1], bf->prices[2] + 1e-9);
+}
+
+}  // namespace
+}  // namespace nimbus::revenue

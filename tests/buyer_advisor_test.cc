@@ -1,0 +1,104 @@
+#include "market/buyer_advisor.h"
+
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "mechanism/noise_mechanism.h"
+
+namespace nimbus::market {
+namespace {
+
+StatusOr<Broker> MakeBroker() {
+  Rng rng(31);
+  data::RegressionSpec spec;
+  spec.num_examples = 200;
+  spec.num_features = 4;
+  spec.noise_stddev = 0.3;
+  data::Dataset all = data::GenerateRegression(spec, rng);
+  data::TrainTestSplit split = data::Split(all, 0.75, rng);
+  NIMBUS_ASSIGN_OR_RETURN(
+      ml::ModelSpec model,
+      ml::ModelSpec::Create(ml::ModelKind::kLinearRegression, 0.0));
+  Broker::Options options;
+  options.error_curve_points = 10;
+  options.samples_per_curve_point = 80;
+  options.min_inverse_ncp = 1.0;
+  options.max_inverse_ncp = 100.0;
+  return Broker::Create(std::move(split), std::move(model),
+                        std::make_unique<mechanism::GaussianMechanism>(),
+                        options);
+}
+
+TEST(BuyerAdvisorTest, Validation) {
+  StatusOr<Broker> broker = MakeBroker();
+  ASSERT_TRUE(broker.ok());
+  EXPECT_FALSE(RecommendPurchase(*broker, "squared", 0.0).ok());
+  EXPECT_FALSE(RecommendPurchase(*broker, "squared", -1.0).ok());
+  EXPECT_EQ(RecommendPurchase(*broker, "zero_one", 1.0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BuyerAdvisorTest, CheapPricesMakeAccuracyWorthwhile) {
+  StatusOr<Broker> broker = MakeBroker();
+  ASSERT_TRUE(broker.ok());
+  broker->SetPricingFunction(
+      std::make_shared<pricing::ConstantPricing>(0.01, "cheap"));
+  StatusOr<PurchaseRecommendation> rec =
+      RecommendPurchase(*broker, "squared", 1000.0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->worthwhile);
+  // With a flat negligible price and high value on accuracy, the best
+  // version is the most precise one.
+  EXPECT_DOUBLE_EQ(rec->inverse_ncp, 100.0);
+  EXPECT_GT(rec->surplus, 0.0);
+}
+
+TEST(BuyerAdvisorTest, AbsurdPricesAreNotWorthwhile) {
+  StatusOr<Broker> broker = MakeBroker();
+  ASSERT_TRUE(broker.ok());
+  broker->SetPricingFunction(
+      std::make_shared<pricing::ConstantPricing>(1e9, "absurd"));
+  StatusOr<PurchaseRecommendation> rec =
+      RecommendPurchase(*broker, "squared", 1.0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_FALSE(rec->worthwhile);
+  EXPECT_LT(rec->surplus, 0.0);
+}
+
+TEST(BuyerAdvisorTest, HigherValueBuyersPickMorePreciseVersions) {
+  StatusOr<Broker> broker = MakeBroker();
+  ASSERT_TRUE(broker.ok());
+  // Linear pricing: accuracy costs proportionally more.
+  broker->SetPricingFunction(std::make_shared<pricing::LinearPricing>(
+      0.5, std::numeric_limits<double>::infinity(), "lin"));
+  StatusOr<PurchaseRecommendation> modest =
+      RecommendPurchase(*broker, "squared", 50.0);
+  StatusOr<PurchaseRecommendation> keen =
+      RecommendPurchase(*broker, "squared", 5000.0);
+  ASSERT_TRUE(modest.ok());
+  ASSERT_TRUE(keen.ok());
+  EXPECT_LE(modest->inverse_ncp, keen->inverse_ncp);
+  EXPECT_LE(modest->surplus, keen->surplus + 1e-9);
+}
+
+TEST(BuyerAdvisorTest, RecommendationIsOnTheMenu) {
+  StatusOr<Broker> broker = MakeBroker();
+  ASSERT_TRUE(broker.ok());
+  StatusOr<PurchaseRecommendation> rec =
+      RecommendPurchase(*broker, "squared", 100.0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GE(rec->inverse_ncp, 1.0);
+  EXPECT_LE(rec->inverse_ncp, 100.0);
+  // The recommended point can actually be purchased.
+  StatusOr<Broker::Purchase> purchase =
+      broker->BuyAtInverseNcp(rec->inverse_ncp, "squared");
+  ASSERT_TRUE(purchase.ok());
+  EXPECT_NEAR(purchase->price, rec->price, 1e-9);
+}
+
+}  // namespace
+}  // namespace nimbus::market

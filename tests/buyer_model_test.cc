@@ -1,0 +1,75 @@
+#include "revenue/buyer_model.h"
+
+#include <gtest/gtest.h>
+
+#include "pricing/pricing_function.h"
+
+namespace nimbus::revenue {
+namespace {
+
+std::vector<BuyerPoint> FourPoints() {
+  // The Figure 5 illustrating example.
+  return {{1.0, 0.25, 100.0},
+          {2.0, 0.25, 150.0},
+          {3.0, 0.25, 280.0},
+          {4.0, 0.25, 350.0}};
+}
+
+TEST(ValidateTest, AcceptsFigure5Example) {
+  EXPECT_TRUE(ValidateBuyerPoints(FourPoints(), true).ok());
+}
+
+TEST(ValidateTest, RejectsBadShapes) {
+  EXPECT_FALSE(ValidateBuyerPoints({}, false).ok());
+  // Non-increasing a.
+  EXPECT_FALSE(
+      ValidateBuyerPoints({{2, 1, 1}, {1, 1, 1}}, false).ok());
+  // Negative demand.
+  EXPECT_FALSE(ValidateBuyerPoints({{1, -1, 1}}, false).ok());
+  // Negative valuation.
+  EXPECT_FALSE(ValidateBuyerPoints({{1, 1, -1}}, false).ok());
+  // Decreasing valuations rejected only in monotone mode.
+  const std::vector<BuyerPoint> dec = {{1, 1, 5}, {2, 1, 3}};
+  EXPECT_TRUE(ValidateBuyerPoints(dec, false).ok());
+  EXPECT_FALSE(ValidateBuyerPoints(dec, true).ok());
+}
+
+TEST(RevenueTest, CountsOnlyAffordableSales) {
+  const std::vector<BuyerPoint> pts = FourPoints();
+  // Prices: sell to 1, overprice 2, sell to 3 and 4.
+  const std::vector<double> prices = {100.0, 200.0, 250.0, 350.0};
+  EXPECT_DOUBLE_EQ(RevenueForPrices(pts, prices),
+                   0.25 * (100.0 + 250.0 + 350.0));
+  EXPECT_DOUBLE_EQ(AffordabilityForPrices(pts, prices), 0.75);
+}
+
+TEST(RevenueTest, PriceExactlyAtValuationSells) {
+  const std::vector<BuyerPoint> pts = {{1.0, 1.0, 50.0}};
+  EXPECT_DOUBLE_EQ(RevenueForPrices(pts, {50.0}), 50.0);
+}
+
+TEST(RevenueTest, ZeroMassPopulationHasZeroAffordability) {
+  const std::vector<BuyerPoint> pts = {{1.0, 0.0, 50.0}};
+  EXPECT_DOUBLE_EQ(AffordabilityForPrices(pts, {10.0}), 0.0);
+}
+
+TEST(RevenueTest, PricingFunctionOverloadsAgree) {
+  const std::vector<BuyerPoint> pts = FourPoints();
+  pricing::ConstantPricing flat(150.0, "flat");
+  const std::vector<double> prices = PricesAt(flat, pts);
+  EXPECT_DOUBLE_EQ(RevenueForPricing(pts, flat),
+                   RevenueForPrices(pts, prices));
+  EXPECT_DOUBLE_EQ(AffordabilityForPricing(pts, flat),
+                   AffordabilityForPrices(pts, prices));
+  // Flat 150 sells to buyers 2, 3, 4.
+  EXPECT_DOUBLE_EQ(RevenueForPricing(pts, flat), 0.75 * 150.0);
+}
+
+TEST(RevenueTest, DemandMassWeightsRevenue) {
+  const std::vector<BuyerPoint> pts = {{1.0, 2.0, 10.0}, {2.0, 1.0, 10.0}};
+  EXPECT_DOUBLE_EQ(RevenueForPrices(pts, {10.0, 10.0}), 30.0);
+  EXPECT_DOUBLE_EQ(AffordabilityForPrices(pts, {10.0, 999.0}), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace nimbus::revenue

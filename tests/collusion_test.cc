@@ -1,0 +1,101 @@
+#include "market/collusion.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "pricing/pricing_function.h"
+
+namespace nimbus::market {
+namespace {
+
+// p(x) = x² is superadditive: accumulating cheap versions synthesizes
+// precision below list price, which the monitor must flag.
+class QuadraticPricing final : public pricing::PricingFunction {
+ public:
+  double PriceAtInverseNcp(double x) const override { return x * x; }
+  std::string name() const override { return "quadratic"; }
+};
+
+TEST(CollusionMonitorTest, RecordValidation) {
+  CollusionMonitor monitor(std::make_shared<QuadraticPricing>());
+  EXPECT_FALSE(monitor.RecordPurchase("", 1.0, 1.0).ok());
+  EXPECT_FALSE(monitor.RecordPurchase("a", 0.0, 1.0).ok());
+  EXPECT_FALSE(monitor.RecordPurchase("a", 1.0, -1.0).ok());
+  EXPECT_TRUE(monitor.RecordPurchase("a", 1.0, 1.0).ok());
+  EXPECT_EQ(monitor.known_buyers(), 1);
+}
+
+TEST(CollusionMonitorTest, UnknownBuyerIsNotFound) {
+  CollusionMonitor monitor(std::make_shared<QuadraticPricing>());
+  EXPECT_EQ(monitor.Assess("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CollusionMonitorTest, FlagsAccumulatorUnderLeakyPricing) {
+  CollusionMonitor monitor(std::make_shared<QuadraticPricing>());
+  // Four x = 1 purchases at price 1 each: combined precision 4 lists at
+  // 16, paid 4 -> suspicious.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(monitor.RecordPurchase("accumulator", 1.0, 1.0).ok());
+  }
+  StatusOr<CollusionMonitor::Assessment> assessment =
+      monitor.Assess("accumulator");
+  ASSERT_TRUE(assessment.ok());
+  EXPECT_EQ(assessment->purchases, 4);
+  EXPECT_DOUBLE_EQ(assessment->combined_inverse_ncp, 4.0);
+  EXPECT_DOUBLE_EQ(assessment->total_paid, 4.0);
+  EXPECT_DOUBLE_EQ(assessment->combined_list_price, 16.0);
+  EXPECT_TRUE(assessment->suspicious);
+}
+
+TEST(CollusionMonitorTest, SinglePurchaseIsNeverSuspicious) {
+  CollusionMonitor monitor(std::make_shared<QuadraticPricing>());
+  ASSERT_TRUE(monitor.RecordPurchase("single", 1.0, 1.0).ok());
+  StatusOr<CollusionMonitor::Assessment> assessment =
+      monitor.Assess("single");
+  ASSERT_TRUE(assessment.ok());
+  EXPECT_FALSE(assessment->suspicious);
+}
+
+TEST(CollusionMonitorTest, ArbitrageFreePricingNeverFlags) {
+  // Under a subadditive (linear) pricing function accumulation never
+  // beats list price, so the monitor stays quiet.
+  CollusionMonitor monitor(std::make_shared<pricing::LinearPricing>(
+      2.0, std::numeric_limits<double>::infinity(), "lin"));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(monitor.RecordPurchase("honest", 1.0, 2.0).ok());
+  }
+  StatusOr<CollusionMonitor::Assessment> assessment =
+      monitor.Assess("honest");
+  ASSERT_TRUE(assessment.ok());
+  EXPECT_FALSE(assessment->suspicious);
+  EXPECT_TRUE(monitor.SuspiciousBuyers().empty());
+}
+
+TEST(CollusionMonitorTest, SuspiciousBuyersListsOnlyOffenders) {
+  CollusionMonitor monitor(std::make_shared<QuadraticPricing>());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(monitor.RecordPurchase("colluder", 1.0, 1.0).ok());
+  }
+  ASSERT_TRUE(monitor.RecordPurchase("casual", 2.0, 4.0).ok());
+  const std::vector<std::string> suspicious = monitor.SuspiciousBuyers();
+  ASSERT_EQ(suspicious.size(), 1u);
+  EXPECT_EQ(suspicious[0], "colluder");
+}
+
+TEST(CollusionMonitorTest, RepricingChangesAssessments) {
+  auto quadratic = std::make_shared<QuadraticPricing>();
+  CollusionMonitor monitor(quadratic);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(monitor.RecordPurchase("b", 1.0, 1.0).ok());
+  }
+  EXPECT_TRUE(monitor.Assess("b")->suspicious);
+  // After the seller installs an arbitrage-free curve, the same history
+  // is no longer evidence of leakage.
+  monitor.SetPricingFunction(std::make_shared<pricing::LinearPricing>(
+      1.0, std::numeric_limits<double>::infinity(), "lin"));
+  EXPECT_FALSE(monitor.Assess("b")->suspicious);
+}
+
+}  // namespace
+}  // namespace nimbus::market

@@ -1,0 +1,113 @@
+#include "ml/cross_validation.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+
+namespace nimbus::ml {
+namespace {
+
+TEST(KFoldTest, PartitionCoversEveryIndexOnce) {
+  Rng rng(1);
+  StatusOr<std::vector<std::vector<int>>> folds = KFoldIndices(23, 4, rng);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 4u);
+  std::set<int> seen;
+  for (const std::vector<int>& fold : *folds) {
+    // Near-equal sizes: 23 / 4 -> {6, 6, 6, 5}.
+    EXPECT_GE(fold.size(), 5u);
+    EXPECT_LE(fold.size(), 6u);
+    for (int i : fold) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), 23u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 22);
+}
+
+TEST(KFoldTest, Validation) {
+  Rng rng(2);
+  EXPECT_FALSE(KFoldIndices(10, 1, rng).ok());
+  EXPECT_FALSE(KFoldIndices(3, 4, rng).ok());
+  EXPECT_TRUE(KFoldIndices(4, 4, rng).ok());
+}
+
+TEST(CrossValidateRidgeTest, PicksModerateMuOnNoisyData) {
+  // Small noisy dataset with many features: some regularization must
+  // beat both extremes (0 underfits the validation folds, huge µ kills
+  // the signal).
+  Rng rng(3);
+  data::RegressionSpec spec;
+  spec.num_examples = 60;
+  spec.num_features = 12;
+  spec.noise_stddev = 2.0;
+  const data::Dataset d = data::GenerateRegression(spec, rng);
+  StatusOr<CrossValidationResult> result = CrossValidateRidge(
+      d, ModelKind::kLinearRegression, {0.0, 0.01, 0.1, 1.0, 100.0}, 5, 7);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->scores.size(), 5u);
+  // The huge regularizer must not win (it zeroes the model).
+  EXPECT_NE(result->best_mu, 100.0);
+  // The reported best really is the minimum of the sweep.
+  for (const auto& [mu, score] : result->scores) {
+    EXPECT_GE(score, result->best_score - 1e-12) << "mu " << mu;
+  }
+}
+
+TEST(CrossValidateRidgeTest, WorksForClassification) {
+  Rng rng(4);
+  data::ClassificationSpec spec;
+  spec.num_examples = 120;
+  spec.num_features = 4;
+  spec.positive_prob = 0.9;
+  const data::Dataset d = data::GenerateClassification(spec, rng);
+  StatusOr<CrossValidationResult> result = CrossValidateRidge(
+      d, ModelKind::kLogisticRegression, {0.001, 0.1, 10.0}, 4, 8);
+  ASSERT_TRUE(result.ok());
+  // Scores are 0/1 error rates in [0, 1].
+  for (const auto& [mu, score] : result->scores) {
+    EXPECT_GE(score, 0.0) << mu;
+    EXPECT_LE(score, 1.0) << mu;
+  }
+  // With 10% label noise, the best model should beat guessing.
+  EXPECT_LT(result->best_score, 0.4);
+}
+
+TEST(CrossValidateRidgeTest, RejectsInvalidCandidatesUpFront) {
+  Rng rng(5);
+  data::ClassificationSpec spec;
+  spec.num_examples = 40;
+  spec.num_features = 3;
+  const data::Dataset d = data::GenerateClassification(spec, rng);
+  // µ = 0 is illegal for the SVM.
+  EXPECT_EQ(CrossValidateRidge(d, ModelKind::kLinearSvm, {0.0, 0.1}, 4, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(
+      CrossValidateRidge(d, ModelKind::kLinearSvm, {}, 4, 1).ok());
+}
+
+TEST(CrossValidateRidgeTest, DeterministicGivenSeed) {
+  Rng rng(6);
+  data::RegressionSpec spec;
+  spec.num_examples = 50;
+  spec.num_features = 5;
+  spec.noise_stddev = 1.0;
+  const data::Dataset d = data::GenerateRegression(spec, rng);
+  StatusOr<CrossValidationResult> a =
+      CrossValidateRidge(d, ModelKind::kLinearRegression, {0.0, 0.1}, 5, 42);
+  StatusOr<CrossValidationResult> b =
+      CrossValidateRidge(d, ModelKind::kLinearRegression, {0.0, 0.1}, 5, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->best_mu, b->best_mu);
+  EXPECT_EQ(a->scores, b->scores);
+}
+
+}  // namespace
+}  // namespace nimbus::ml

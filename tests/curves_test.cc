@@ -1,0 +1,128 @@
+#include "market/curves.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "revenue/buyer_model.h"
+
+namespace nimbus::market {
+namespace {
+
+TEST(CurvesTest, NamesRoundTrip) {
+  EXPECT_EQ(ToString(ValueShape::kConvex), "convex");
+  EXPECT_EQ(ToString(ValueShape::kConcave), "concave");
+  EXPECT_EQ(ToString(ValueShape::kLinear), "linear");
+  EXPECT_EQ(ToString(ValueShape::kSigmoid), "sigmoid");
+  EXPECT_EQ(ToString(DemandShape::kUniform), "uniform");
+  EXPECT_EQ(ToString(DemandShape::kBimodal), "bimodal");
+  EXPECT_EQ(AllValueShapes().size(), 4u);
+  EXPECT_EQ(AllDemandShapes().size(), 5u);
+}
+
+TEST(CurvesTest, PointsPassDpValidation) {
+  for (ValueShape vs : AllValueShapes()) {
+    for (DemandShape ds : AllDemandShapes()) {
+      auto points = MakeBuyerPoints(vs, ds, 20, 1.0, 100.0, 100.0);
+      ASSERT_TRUE(points.ok()) << ToString(vs) << "/" << ToString(ds);
+      EXPECT_TRUE(revenue::ValidateBuyerPoints(*points, true).ok())
+          << ToString(vs) << "/" << ToString(ds);
+    }
+  }
+}
+
+TEST(CurvesTest, DemandMassNormalizedToOne) {
+  for (DemandShape ds : AllDemandShapes()) {
+    auto points =
+        MakeBuyerPoints(ValueShape::kLinear, ds, 17, 1.0, 50.0, 80.0);
+    ASSERT_TRUE(points.ok());
+    double total = 0.0;
+    for (const revenue::BuyerPoint& p : *points) {
+      total += p.b;
+      EXPECT_GT(p.b, 0.0);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(CurvesTest, ValueEndpointsSpanRange) {
+  for (ValueShape vs : AllValueShapes()) {
+    auto points = MakeBuyerPoints(vs, DemandShape::kUniform, 11, 1.0, 100.0,
+                                  90.0, 5.0);
+    ASSERT_TRUE(points.ok());
+    EXPECT_NEAR(points->front().v, 5.0, 1e-9) << ToString(vs);
+    EXPECT_NEAR(points->back().v, 90.0, 1e-9) << ToString(vs);
+  }
+}
+
+TEST(CurvesTest, ConvexityOrderingAtMidpoint) {
+  auto convex = MakeBuyerPoints(ValueShape::kConvex, DemandShape::kUniform,
+                                21, 1.0, 100.0, 100.0);
+  auto linear = MakeBuyerPoints(ValueShape::kLinear, DemandShape::kUniform,
+                                21, 1.0, 100.0, 100.0);
+  auto concave = MakeBuyerPoints(ValueShape::kConcave, DemandShape::kUniform,
+                                 21, 1.0, 100.0, 100.0);
+  ASSERT_TRUE(convex.ok());
+  ASSERT_TRUE(linear.ok());
+  ASSERT_TRUE(concave.ok());
+  const size_t mid = 10;
+  EXPECT_LT((*convex)[mid].v, (*linear)[mid].v);
+  EXPECT_GT((*concave)[mid].v, (*linear)[mid].v);
+}
+
+TEST(CurvesTest, UnimodalPeaksInTheMiddle) {
+  auto points = MakeBuyerPoints(ValueShape::kLinear, DemandShape::kUnimodal,
+                                21, 1.0, 100.0, 100.0);
+  ASSERT_TRUE(points.ok());
+  const double mid = (*points)[10].b;
+  EXPECT_GT(mid, (*points)[0].b);
+  EXPECT_GT(mid, (*points)[20].b);
+}
+
+TEST(CurvesTest, BimodalDipsInTheMiddle) {
+  auto points = MakeBuyerPoints(ValueShape::kLinear, DemandShape::kBimodal,
+                                21, 1.0, 100.0, 100.0);
+  ASSERT_TRUE(points.ok());
+  const double mid = (*points)[10].b;
+  EXPECT_LT(mid, (*points)[3].b);
+  EXPECT_LT(mid, (*points)[17].b);
+}
+
+TEST(CurvesTest, IncreasingAndDecreasingAreMonotone) {
+  auto inc = MakeBuyerPoints(ValueShape::kLinear, DemandShape::kIncreasing,
+                             15, 1.0, 100.0, 100.0);
+  auto dec = MakeBuyerPoints(ValueShape::kLinear, DemandShape::kDecreasing,
+                             15, 1.0, 100.0, 100.0);
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(dec.ok());
+  std::vector<double> inc_mass;
+  std::vector<double> dec_mass;
+  for (size_t j = 0; j < inc->size(); ++j) {
+    inc_mass.push_back((*inc)[j].b);
+    dec_mass.push_back((*dec)[j].b);
+  }
+  EXPECT_TRUE(IsNonDecreasing(inc_mass, 1e-12));
+  EXPECT_TRUE(IsNonIncreasing(dec_mass, 1e-12));
+}
+
+TEST(CurvesTest, ValidatesArguments) {
+  EXPECT_FALSE(MakeBuyerPoints(ValueShape::kLinear, DemandShape::kUniform, 0,
+                               1.0, 10.0, 5.0)
+                   .ok());
+  EXPECT_FALSE(MakeBuyerPoints(ValueShape::kLinear, DemandShape::kUniform, 5,
+                               0.0, 10.0, 5.0)
+                   .ok());
+  EXPECT_FALSE(MakeBuyerPoints(ValueShape::kLinear, DemandShape::kUniform, 5,
+                               10.0, 1.0, 5.0)
+                   .ok());
+  EXPECT_FALSE(MakeBuyerPoints(ValueShape::kLinear, DemandShape::kUniform, 5,
+                               1.0, 10.0, 5.0, 6.0)
+                   .ok());
+  EXPECT_TRUE(MakeBuyerPoints(ValueShape::kLinear, DemandShape::kUniform, 1,
+                              1.0, 1.0, 5.0)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace nimbus::market

@@ -1,0 +1,175 @@
+#include "data/dataset.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "data/csv.h"
+
+namespace nimbus::data {
+namespace {
+
+Dataset SmallRegressionData() {
+  Dataset d(2, Task::kRegression);
+  d.Add({1.0, 2.0}, 3.0);
+  d.Add({4.0, 6.0}, 10.0);
+  d.Add({7.0, 10.0}, 17.0);
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = SmallRegressionData();
+  EXPECT_EQ(d.num_examples(), 3);
+  EXPECT_EQ(d.num_features(), 2);
+  EXPECT_EQ(d.task(), Task::kRegression);
+  EXPECT_FALSE(d.empty());
+  EXPECT_DOUBLE_EQ(d.example(1).target, 10.0);
+  EXPECT_TRUE(AlmostEqual(d.Targets(), {3, 10, 17}));
+}
+
+TEST(DatasetTest, FeatureStatistics) {
+  Dataset d = SmallRegressionData();
+  EXPECT_TRUE(AlmostEqual(d.FeatureMeans(), {4.0, 6.0}));
+  const linalg::Vector stds = d.FeatureStddevs();
+  EXPECT_NEAR(stds[0], 3.0, 1e-12);
+  EXPECT_NEAR(stds[1], 4.0, 1e-12);
+}
+
+TEST(DatasetTest, SubsetPreservesOrder) {
+  Dataset d = SmallRegressionData();
+  Dataset s = d.Subset({2, 0});
+  ASSERT_EQ(s.num_examples(), 2);
+  EXPECT_DOUBLE_EQ(s.example(0).target, 17.0);
+  EXPECT_DOUBLE_EQ(s.example(1).target, 3.0);
+}
+
+TEST(DatasetTest, ShuffleIsPermutation) {
+  Dataset d = SmallRegressionData();
+  Rng rng(5);
+  Dataset s = d.Shuffled(rng);
+  ASSERT_EQ(s.num_examples(), 3);
+  double sum = 0.0;
+  for (const Example& e : s.examples()) {
+    sum += e.target;
+  }
+  EXPECT_DOUBLE_EQ(sum, 30.0);
+}
+
+TEST(SplitTest, RespectsFraction) {
+  Dataset d(1, Task::kRegression);
+  for (int i = 0; i < 100; ++i) {
+    d.Add({static_cast<double>(i)}, static_cast<double>(i));
+  }
+  Rng rng(6);
+  TrainTestSplit split = Split(d, 0.75, rng);
+  EXPECT_EQ(split.train.num_examples(), 75);
+  EXPECT_EQ(split.test.num_examples(), 25);
+}
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  Dataset d(1, Task::kRegression);
+  for (int i = 0; i < 20; ++i) {
+    d.Add({static_cast<double>(i)}, static_cast<double>(i));
+  }
+  Rng rng(7);
+  TrainTestSplit split = Split(d, 0.5, rng);
+  std::vector<bool> seen(20, false);
+  for (const Dataset* part : {&split.train, &split.test}) {
+    for (const Example& e : part->examples()) {
+      const int id = static_cast<int>(e.target);
+      EXPECT_FALSE(seen[static_cast<size_t>(id)]) << "duplicate row " << id;
+      seen[static_cast<size_t>(id)] = true;
+    }
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(SplitTest, AlwaysLeavesBothSidesNonEmpty) {
+  Dataset d(1, Task::kRegression);
+  for (int i = 0; i < 3; ++i) {
+    d.Add({1.0}, 1.0);
+  }
+  Rng rng(8);
+  TrainTestSplit split = Split(d, 0.99, rng);
+  EXPECT_GE(split.train.num_examples(), 1);
+  EXPECT_GE(split.test.num_examples(), 1);
+}
+
+TEST(StandardizerTest, TransformsToZeroMeanUnitVariance) {
+  Dataset d = SmallRegressionData();
+  Standardizer std = Standardizer::Fit(d);
+  Dataset t = std.Transform(d);
+  EXPECT_TRUE(AlmostEqual(t.FeatureMeans(), {0.0, 0.0}, 1e-9));
+  const linalg::Vector stds = t.FeatureStddevs();
+  EXPECT_NEAR(stds[0], 1.0, 1e-9);
+  EXPECT_NEAR(stds[1], 1.0, 1e-9);
+}
+
+TEST(StandardizerTest, ConstantColumnIsOnlyCentred) {
+  Dataset d(1, Task::kRegression);
+  d.Add({5.0}, 0.0);
+  d.Add({5.0}, 0.0);
+  Standardizer std = Standardizer::Fit(d);
+  Dataset t = std.Transform(d);
+  EXPECT_DOUBLE_EQ(t.example(0).features[0], 0.0);
+}
+
+TEST(CsvTest, ParseRoundTrip) {
+  const std::string csv = "1,2,3\n4,5,6\n";
+  StatusOr<Dataset> d = ParseCsvString(csv, Task::kRegression);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_examples(), 2);
+  EXPECT_EQ(d->num_features(), 2);
+  EXPECT_DOUBLE_EQ(d->example(1).target, 6.0);
+}
+
+TEST(CsvTest, HandlesCrLfAndBlankLines) {
+  StatusOr<Dataset> d =
+      ParseCsvString("1,2\r\n\r\n3,4\n", Task::kRegression);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_examples(), 2);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_EQ(ParseCsvString("1,2,3\n4,5\n", Task::kRegression).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsNonNumeric) {
+  EXPECT_EQ(ParseCsvString("1,abc\n", Task::kRegression).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsEmptyAndSingleColumn) {
+  EXPECT_EQ(ParseCsvString("", Task::kRegression).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCsvString("1\n2\n", Task::kRegression).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Dataset d = SmallRegressionData();
+  const std::string path = ::testing::TempDir() + "/nimbus_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+  StatusOr<Dataset> back = ReadCsv(path, Task::kRegression);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_examples(), d.num_examples());
+  for (int i = 0; i < d.num_examples(); ++i) {
+    EXPECT_TRUE(AlmostEqual(back->example(i).features, d.example(i).features));
+    EXPECT_DOUBLE_EQ(back->example(i).target, d.example(i).target);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadCsv("/nonexistent/nimbus.csv", Task::kRegression)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace nimbus::data

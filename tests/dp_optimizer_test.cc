@@ -1,0 +1,206 @@
+#include "revenue/dp_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pricing/arbitrage.h"
+#include "revenue/baselines.h"
+#include "revenue/brute_force.h"
+
+namespace nimbus::revenue {
+namespace {
+
+std::vector<BuyerPoint> Figure5Example() {
+  return {{1.0, 0.25, 100.0},
+          {2.0, 0.25, 150.0},
+          {3.0, 0.25, 280.0},
+          {4.0, 0.25, 350.0}};
+}
+
+bool PricesSatisfyChain(const std::vector<BuyerPoint>& pts,
+                        const std::vector<double>& z, double tol = 1e-7) {
+  for (size_t j = 0; j < pts.size(); ++j) {
+    if (z[j] < -tol) {
+      return false;
+    }
+    if (j > 0) {
+      if (z[j] < z[j - 1] - tol) {
+        return false;
+      }
+      if (z[j] / pts[j].a > z[j - 1] / pts[j - 1].a + tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(DpTest, SinglePointSellsAtValuation) {
+  StatusOr<DpResult> dp = OptimizeRevenueDp({{2.0, 1.0, 42.0}});
+  ASSERT_TRUE(dp.ok());
+  EXPECT_DOUBLE_EQ(dp->revenue, 42.0);
+  EXPECT_DOUBLE_EQ(dp->prices[0], 42.0);
+}
+
+TEST(DpTest, Figure5ExampleBeatsKnownFeasiblePoints) {
+  StatusOr<DpResult> dp = OptimizeRevenueDp(Figure5Example());
+  ASSERT_TRUE(dp.ok());
+  // Hand-constructed feasible solution z = (100, 150, 225, 300) earns
+  // 0.25 * 775 = 193.75, so the optimum is at least that.
+  EXPECT_GE(dp->revenue, 193.75 - 1e-9);
+  EXPECT_TRUE(PricesSatisfyChain(Figure5Example(), dp->prices));
+  // The optimum dominates the best constant price (OptC earns 140).
+  EXPECT_GE(dp->revenue, 140.0);
+}
+
+TEST(DpTest, RequiresMonotoneValuations) {
+  EXPECT_EQ(
+      OptimizeRevenueDp({{1, 1, 10}, {2, 1, 5}}).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(DpTest, UniformValuationsSellToEveryone) {
+  const std::vector<BuyerPoint> pts = {{1, 1, 10}, {2, 1, 10}, {3, 1, 10}};
+  StatusOr<DpResult> dp = OptimizeRevenueDp(pts);
+  ASSERT_TRUE(dp.ok());
+  // Constant price 10 is feasible (monotone, slope decreasing) and sells
+  // to all three buyers for revenue 30 — clearly optimal.
+  EXPECT_DOUBLE_EQ(dp->revenue, 30.0);
+}
+
+TEST(DpTest, ZeroDemandPointsDoNotDistort) {
+  // The middle buyer has no mass; the DP should price around it.
+  const std::vector<BuyerPoint> pts = {{1, 1, 10}, {2, 0, 11}, {3, 1, 30}};
+  StatusOr<DpResult> dp = OptimizeRevenueDp(pts);
+  ASSERT_TRUE(dp.ok());
+  // Selling 10 and 30 is feasible: slope 10/1 >= 30/3. Revenue 40.
+  EXPECT_DOUBLE_EQ(dp->revenue, 40.0);
+}
+
+TEST(DpTest, LinearValuationsAreMatchedExactly) {
+  // Valuations proportional to a satisfy the chain constraints, so the
+  // DP can extract full surplus.
+  const std::vector<BuyerPoint> pts = {
+      {1, 1, 10}, {2, 1, 20}, {3, 1, 30}, {4, 1, 40}};
+  StatusOr<DpResult> dp = OptimizeRevenueDp(pts);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_DOUBLE_EQ(dp->revenue, 100.0);
+  for (size_t j = 0; j < pts.size(); ++j) {
+    EXPECT_NEAR(dp->prices[j], pts[j].v, 1e-9);
+  }
+}
+
+TEST(DpTest, ConcaveValuationsAreMatchedExactly) {
+  // Concave (subadditive-compatible) valuations can also be extracted in
+  // full — this is why MBP wins on concave value curves (§6.2).
+  const std::vector<BuyerPoint> pts = {
+      {1, 1, 40}, {2, 1, 60}, {3, 1, 72}, {4, 1, 80}};
+  StatusOr<DpResult> dp = OptimizeRevenueDp(pts);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_DOUBLE_EQ(dp->revenue, 252.0);
+}
+
+TEST(DpTest, PricingFunctionWrapperIsArbitrageFree) {
+  const std::vector<BuyerPoint> pts = Figure5Example();
+  StatusOr<DpResult> dp = OptimizeRevenueDp(pts);
+  ASSERT_TRUE(dp.ok());
+  StatusOr<pricing::PiecewiseLinearPricing> pf =
+      MakeDpPricingFunction(pts, *dp);
+  ASSERT_TRUE(pf.ok());
+  EXPECT_TRUE(pf->SatisfiesChainConstraints(1e-7));
+  std::vector<double> grid;
+  for (double x = 0.5; x <= 8.0; x += 0.25) {
+    grid.push_back(x);
+  }
+  pricing::AuditResult audit = pricing::AuditPricingFunction(*pf, grid, 1e-6);
+  EXPECT_TRUE(audit.arbitrage_free) << audit.violation;
+}
+
+TEST(DpMarginTest, MarginValidation) {
+  EXPECT_FALSE(OptimizeRevenueDpWithMargin(Figure5Example(), -0.1).ok());
+  EXPECT_FALSE(OptimizeRevenueDpWithMargin(Figure5Example(), 1.0).ok());
+}
+
+TEST(DpMarginTest, ZeroMarginMatchesPlainDp) {
+  StatusOr<DpResult> plain = OptimizeRevenueDp(Figure5Example());
+  StatusOr<DpResult> margin =
+      OptimizeRevenueDpWithMargin(Figure5Example(), 0.0);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(margin.ok());
+  EXPECT_EQ(plain->prices, margin->prices);
+  EXPECT_DOUBLE_EQ(plain->revenue, margin->revenue);
+}
+
+TEST(DpMarginTest, MarginPricesLeaveHeadroomUnderEveryValuation) {
+  const std::vector<BuyerPoint> pts = Figure5Example();
+  StatusOr<DpResult> margin = OptimizeRevenueDpWithMargin(pts, 0.2);
+  ASSERT_TRUE(margin.ok());
+  for (size_t j = 0; j < pts.size(); ++j) {
+    EXPECT_LE(margin->prices[j], 0.8 * pts[j].v + 1e-9);
+  }
+  // Nominal revenue is sacrificed relative to the exact DP.
+  StatusOr<DpResult> plain = OptimizeRevenueDp(pts);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_LE(margin->revenue, plain->revenue + 1e-9);
+  // But every buyer the discounted DP targets actually buys, so revenue
+  // is at least (1 - margin) times what the DP earns on the discounted
+  // curve, which is itself >= (1 - margin) * plain revenue.
+  EXPECT_GE(margin->revenue, (1.0 - 0.2) * plain->revenue - 1e-9);
+}
+
+TEST(DpMarginTest, MarginPricesSurviveDownwardValuationShock) {
+  // Shrink all true valuations by 10%: the exact DP loses the knife-edge
+  // sales, the 20%-margin prices keep them.
+  const std::vector<BuyerPoint> pts = Figure5Example();
+  std::vector<BuyerPoint> shocked = pts;
+  for (BuyerPoint& p : shocked) {
+    p.v *= 0.9;
+  }
+  StatusOr<DpResult> plain = OptimizeRevenueDp(pts);
+  StatusOr<DpResult> margin = OptimizeRevenueDpWithMargin(pts, 0.2);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(margin.ok());
+  const double plain_realized = RevenueForPrices(shocked, plain->prices);
+  const double margin_realized = RevenueForPrices(shocked, margin->prices);
+  EXPECT_GT(margin_realized, plain_realized);
+}
+
+// Property sweep vs the exponential brute force: Proposition 3 guarantees
+// BF/2 <= DP <= BF, and in practice DP is almost always equal to BF.
+class DpVsBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpVsBruteForceTest, WithinProposition3Bounds) {
+  Rng rng(9000 + static_cast<uint64_t>(GetParam()));
+  const int n = 2 + GetParam() % 5;
+  std::vector<BuyerPoint> pts(static_cast<size_t>(n));
+  double a = 0.0;
+  double v = 0.0;
+  for (int j = 0; j < n; ++j) {
+    a += rng.Uniform(0.5, 2.0);
+    v += rng.Uniform(0.0, 20.0);
+    pts[static_cast<size_t>(j)] = {a, rng.Uniform(0.1, 1.0), v};
+  }
+  StatusOr<DpResult> dp = OptimizeRevenueDp(pts);
+  ASSERT_TRUE(dp.ok());
+  StatusOr<BruteForceResult> bf = OptimizeRevenueBruteForce(pts);
+  ASSERT_TRUE(bf.ok());
+  EXPECT_LE(dp->revenue, bf->revenue + 1e-6) << "DP beats unrelaxed optimum";
+  EXPECT_GE(dp->revenue, 0.5 * bf->revenue - 1e-6) << "Proposition 3";
+  EXPECT_TRUE(PricesSatisfyChain(pts, dp->prices));
+  // The DP also dominates every baseline pricing scheme.
+  for (auto make : {MakeLinBaseline, MakeMaxCBaseline, MakeMedCBaseline,
+                    MakeOptCBaseline}) {
+    auto baseline = make(pts);
+    ASSERT_TRUE(baseline.ok());
+    EXPECT_GE(dp->revenue, RevenueForPricing(pts, **baseline) - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, DpVsBruteForceTest,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace nimbus::revenue

@@ -1,0 +1,105 @@
+#include "solver/dykstra.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace nimbus::solver {
+namespace {
+
+bool SatisfiesRegion(const std::vector<double>& z,
+                     const std::vector<double>& a, double tol = 1e-7) {
+  for (size_t i = 0; i < z.size(); ++i) {
+    if (z[i] < -tol) {
+      return false;
+    }
+    if (i > 0) {
+      if (z[i] < z[i - 1] - tol) {
+        return false;
+      }
+      if (z[i] / a[i] > z[i - 1] / a[i - 1] + tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double Sse(const std::vector<double>& z, const std::vector<double>& t) {
+  double s = 0.0;
+  for (size_t i = 0; i < z.size(); ++i) {
+    s += (z[i] - t[i]) * (z[i] - t[i]);
+  }
+  return s;
+}
+
+TEST(DykstraTest, FeasibleTargetIsFixedPoint) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> target = {1.0, 1.5, 1.8};  // Already feasible.
+  StatusOr<std::vector<double>> z = ProjectOntoPricingPolytope(target, a);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(AlmostEqual(*z, target, 1e-8));
+}
+
+TEST(DykstraTest, ProjectionSatisfiesAllConstraints) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> target = {5.0, 1.0, 9.0, -2.0};
+  StatusOr<std::vector<double>> z = ProjectOntoPricingPolytope(target, a);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(SatisfiesRegion(*z, a));
+}
+
+TEST(DykstraTest, MatchesGridSearchOnSmallInstances) {
+  Rng rng(77);
+  const std::vector<double> a = {1, 2, 3};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> target(3);
+    for (double& t : target) {
+      t = rng.Uniform(0.0, 4.0);
+    }
+    StatusOr<std::vector<double>> z = ProjectOntoPricingPolytope(target, a);
+    ASSERT_TRUE(z.ok());
+    ASSERT_TRUE(SatisfiesRegion(*z, a));
+    const double proj_sse = Sse(*z, target);
+    // No feasible grid candidate may do better.
+    const std::vector<double> grid = Linspace(0.0, 4.0, 21);
+    for (double z0 : grid) {
+      for (double z1 : grid) {
+        for (double z2 : grid) {
+          const std::vector<double> cand = {z0, z1, z2};
+          if (SatisfiesRegion(cand, a, 1e-12)) {
+            EXPECT_GE(Sse(cand, target), proj_sse - 1e-6);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DykstraTest, InputValidation) {
+  EXPECT_EQ(ProjectOntoPricingPolytope({}, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ProjectOntoPricingPolytope({1.0}, {1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ProjectOntoPricingPolytope({1.0, 2.0}, {2.0, 1.0}).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ProjectOntoPricingPolytope({1.0, 2.0}, {0.0, 1.0}).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(DykstraTest, NegativeTargetsClampToZero) {
+  const std::vector<double> a = {1, 2};
+  StatusOr<std::vector<double>> z =
+      ProjectOntoPricingPolytope({-3.0, -1.0}, a);
+  ASSERT_TRUE(z.ok());
+  EXPECT_NEAR((*z)[0], 0.0, 1e-8);
+  EXPECT_NEAR((*z)[1], 0.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace nimbus::solver

@@ -1,0 +1,120 @@
+#include "pricing/error_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "mechanism/noise_mechanism.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+
+namespace nimbus::pricing {
+namespace {
+
+TEST(ErrorCurveTest, FromSamplesValidation) {
+  // Too few points.
+  EXPECT_FALSE(ErrorCurve::FromSamples({{1.0, 2.0}}).ok());
+  // Non-increasing x.
+  EXPECT_FALSE(ErrorCurve::FromSamples({{2.0, 2.0}, {1.0, 1.0}}).ok());
+  // Negative error.
+  EXPECT_FALSE(ErrorCurve::FromSamples({{1.0, -1.0}, {2.0, 0.5}}).ok());
+  // Error increasing with x beyond tolerance -> broken bijection.
+  EXPECT_EQ(ErrorCurve::FromSamples({{1.0, 1.0}, {2.0, 3.0}}).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Valid decreasing curve.
+  EXPECT_TRUE(ErrorCurve::FromSamples({{1.0, 3.0}, {2.0, 1.0}}).ok());
+}
+
+ErrorCurve MakeCurve() {
+  return *ErrorCurve::FromSamples(
+      {{1.0, 10.0}, {2.0, 6.0}, {4.0, 3.0}, {8.0, 1.0}});
+}
+
+TEST(ErrorCurveTest, InterpolationAndClamping) {
+  ErrorCurve curve = MakeCurve();
+  EXPECT_DOUBLE_EQ(curve.ErrorAtInverseNcp(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(curve.ErrorAtInverseNcp(1.5), 8.0);
+  EXPECT_DOUBLE_EQ(curve.ErrorAtInverseNcp(3.0), 4.5);
+  EXPECT_DOUBLE_EQ(curve.ErrorAtInverseNcp(8.0), 1.0);
+  // Clamped outside the sampled range.
+  EXPECT_DOUBLE_EQ(curve.ErrorAtInverseNcp(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(curve.ErrorAtInverseNcp(20.0), 1.0);
+}
+
+TEST(ErrorCurveTest, ErrorBudgetInversion) {
+  ErrorCurve curve = MakeCurve();
+  // Budget looser than the worst version: cheapest version qualifies.
+  StatusOr<double> x = curve.MinInverseNcpForErrorBudget(12.0);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(*x, 1.0);
+  // Budget between samples: interpolate (error 4.5 at x = 3).
+  x = curve.MinInverseNcpForErrorBudget(4.5);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(*x, 3.0, 1e-9);
+  // Exact at a sample.
+  x = curve.MinInverseNcpForErrorBudget(3.0);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(*x, 4.0, 1e-9);
+  // Tighter than the best version: infeasible.
+  EXPECT_EQ(curve.MinInverseNcpForErrorBudget(0.5).status().code(),
+            StatusCode::kInfeasible);
+  EXPECT_EQ(curve.MinInverseNcpForErrorBudget(-1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ErrorCurveTest, BudgetInversionIsConsistentWithForwardMap) {
+  ErrorCurve curve = MakeCurve();
+  for (double budget : {9.0, 5.0, 2.0, 1.2}) {
+    StatusOr<double> x = curve.MinInverseNcpForErrorBudget(budget);
+    ASSERT_TRUE(x.ok());
+    EXPECT_LE(curve.ErrorAtInverseNcp(*x), budget + 1e-9);
+    // Anything cheaper (smaller x) must violate the budget.
+    if (*x > curve.min_inverse_ncp() + 1e-6) {
+      EXPECT_GT(curve.ErrorAtInverseNcp(*x * 0.95), budget - 1e-9);
+    }
+  }
+}
+
+TEST(ErrorCurveTest, EstimateProducesMonotoneCurveOnRealModel) {
+  // End-to-end: train linear regression, estimate the square-loss error
+  // curve under the Gaussian mechanism — the §6.1 experiment in miniature.
+  Rng rng(41);
+  data::RegressionSpec spec;
+  spec.num_examples = 200;
+  spec.num_features = 5;
+  spec.noise_stddev = 0.5;
+  const data::Dataset d = data::GenerateRegression(spec, rng);
+  StatusOr<linalg::Vector> w = ml::FitLinearRegressionClosedForm(d);
+  ASSERT_TRUE(w.ok());
+  mechanism::GaussianMechanism mech;
+  ml::SquaredLoss loss;
+  StatusOr<ErrorCurve> curve = ErrorCurve::Estimate(
+      mech, *w, loss, d, Linspace(1.0, 50.0, 12), 400, rng);
+  ASSERT_TRUE(curve.ok());
+  std::vector<double> errors;
+  for (const ErrorCurvePoint& p : curve->points()) {
+    errors.push_back(p.expected_error);
+  }
+  EXPECT_TRUE(IsNonIncreasing(errors, 1e-12));
+  // At x = 1 (δ = 1) the noise dominates; at x = 50 the curve approaches
+  // the noiseless training loss.
+  const double base = loss.Value(*w, d);
+  EXPECT_GT(errors.front(), errors.back());
+  EXPECT_NEAR(errors.back(), base + 0.5 * (1.0 / 50.0), 0.05);
+}
+
+TEST(ErrorCurveTest, EstimateValidatesGrid) {
+  Rng rng(42);
+  mechanism::GaussianMechanism mech;
+  ml::SquaredLoss loss;
+  data::Dataset d(1, data::Task::kRegression);
+  d.Add({1.0}, 1.0);
+  const linalg::Vector w = {1.0};
+  EXPECT_FALSE(ErrorCurve::Estimate(mech, w, loss, d, {1.0}, 10, rng).ok());
+  EXPECT_FALSE(
+      ErrorCurve::Estimate(mech, w, loss, d, {0.0, 1.0}, 10, rng).ok());
+}
+
+}  // namespace
+}  // namespace nimbus::pricing

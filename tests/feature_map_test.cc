@@ -1,0 +1,75 @@
+#include "data/feature_map.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+
+namespace nimbus::data {
+namespace {
+
+TEST(FeatureMapTest, OutputDimensions) {
+  PolynomialOptions all;
+  EXPECT_EQ(PolynomialOutputDim(3, all), 1 + 3 + 3 + 3);
+  PolynomialOptions none;
+  none.include_bias = false;
+  none.include_squares = false;
+  none.include_interactions = false;
+  EXPECT_EQ(PolynomialOutputDim(3, none), 3);
+  PolynomialOptions squares_only;
+  squares_only.include_bias = false;
+  squares_only.include_interactions = false;
+  EXPECT_EQ(PolynomialOutputDim(4, squares_only), 8);
+}
+
+TEST(FeatureMapTest, ExpandedValuesAndOrder) {
+  PolynomialOptions all;
+  const linalg::Vector out = ExpandPolynomial({2.0, 3.0}, all);
+  // [bias, x1, x2, x1², x2², x1 x2].
+  EXPECT_TRUE(AlmostEqual(out, {1.0, 2.0, 3.0, 4.0, 9.0, 6.0}));
+}
+
+TEST(FeatureMapTest, DatasetExpansionPreservesTargets) {
+  Dataset d(2, Task::kRegression);
+  d.Add({1.0, 2.0}, 5.0);
+  d.Add({0.0, -1.0}, -3.0);
+  PolynomialOptions all;
+  StatusOr<Dataset> expanded = ExpandPolynomialFeatures(d, all);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->num_features(), 6);
+  EXPECT_EQ(expanded->num_examples(), 2);
+  EXPECT_DOUBLE_EQ(expanded->example(0).target, 5.0);
+  EXPECT_DOUBLE_EQ(expanded->example(1).target, -3.0);
+}
+
+TEST(FeatureMapTest, QuadraticTargetBecomesLinearlyLearnable) {
+  // y = x1² + 2 x1 x2 is not linear in the raw features but is linear in
+  // the expanded ones, so the closed-form fit drives the loss to ~0.
+  Rng rng(1);
+  Dataset d(2, Task::kRegression);
+  for (int i = 0; i < 100; ++i) {
+    const double x1 = rng.Gaussian();
+    const double x2 = rng.Gaussian();
+    d.Add({x1, x2}, x1 * x1 + 2.0 * x1 * x2);
+  }
+  ml::SquaredLoss loss;
+  // Raw features cannot explain the target.
+  StatusOr<linalg::Vector> raw_fit = ml::FitLinearRegressionClosedForm(d,
+                                                                       1e-8);
+  ASSERT_TRUE(raw_fit.ok());
+  EXPECT_GT(loss.Value(*raw_fit, d), 0.3);
+  // Expanded features fit it exactly.
+  PolynomialOptions all;
+  StatusOr<Dataset> expanded = ExpandPolynomialFeatures(d, all);
+  ASSERT_TRUE(expanded.ok());
+  StatusOr<linalg::Vector> poly_fit =
+      ml::FitLinearRegressionClosedForm(*expanded, 1e-8);
+  ASSERT_TRUE(poly_fit.ok());
+  EXPECT_LT(loss.Value(*poly_fit, *expanded), 1e-6);
+}
+
+}  // namespace
+}  // namespace nimbus::data

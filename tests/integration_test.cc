@@ -1,0 +1,186 @@
+// End-to-end integration tests exercising the full Nimbus pipeline on
+// both tasks: data generation -> training -> error transformation ->
+// revenue optimization -> market simulation -> arbitrage audit.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "market/broker.h"
+#include "market/curves.h"
+#include "market/market_simulator.h"
+#include "mechanism/noise_mechanism.h"
+#include "pricing/arbitrage.h"
+#include "revenue/baselines.h"
+#include "revenue/dp_optimizer.h"
+
+namespace nimbus {
+namespace {
+
+market::Broker::Options FastOptions() {
+  market::Broker::Options options;
+  options.error_curve_points = 8;
+  options.samples_per_curve_point = 60;
+  options.min_inverse_ncp = 1.0;
+  options.max_inverse_ncp = 100.0;
+  return options;
+}
+
+struct PipelineResult {
+  double mbp_revenue = 0.0;
+  double mbp_affordability = 0.0;
+  double best_baseline_revenue = 0.0;
+};
+
+StatusOr<PipelineResult> RunPipeline(ml::ModelKind kind,
+                                     market::ValueShape value_shape,
+                                     const std::string& report_loss) {
+  Rng rng(2019);
+  data::Dataset all(1, data::Task::kRegression);
+  if (kind == ml::ModelKind::kLinearRegression) {
+    data::RegressionSpec spec;
+    spec.num_examples = 260;
+    spec.num_features = 5;
+    spec.noise_stddev = 0.4;
+    all = data::GenerateRegression(spec, rng);
+  } else {
+    data::ClassificationSpec spec;
+    spec.num_examples = 260;
+    spec.num_features = 5;
+    spec.positive_prob = 0.93;
+    all = data::GenerateClassification(spec, rng);
+  }
+  data::TrainTestSplit split = data::Split(all, 0.75, rng);
+  NIMBUS_ASSIGN_OR_RETURN(ml::ModelSpec model,
+                          ml::ModelSpec::Create(kind, 0.01));
+  NIMBUS_ASSIGN_OR_RETURN(
+      market::Broker broker,
+      market::Broker::Create(std::move(split), std::move(model),
+                             std::make_unique<mechanism::GaussianMechanism>(),
+                             FastOptions()));
+
+  NIMBUS_ASSIGN_OR_RETURN(
+      std::vector<revenue::BuyerPoint> points,
+      market::MakeBuyerPoints(value_shape, market::DemandShape::kUniform, 12,
+                              1.0, 100.0, 100.0));
+  NIMBUS_ASSIGN_OR_RETURN(market::Seller seller,
+                          market::Seller::Create(points));
+  NIMBUS_ASSIGN_OR_RETURN(auto pricing, seller.NegotiatePricing());
+  broker.SetPricingFunction(pricing);
+
+  NIMBUS_ASSIGN_OR_RETURN(
+      market::SimulationResult sim,
+      market::SimulateMarket(broker, points, report_loss));
+
+  // The negotiated pricing must survive an arbitrage audit.
+  pricing::AuditResult audit = pricing::AuditPricingFunction(
+      *pricing, Linspace(1.0, 100.0, 25), 1e-6);
+  if (!audit.arbitrage_free) {
+    return InternalError("MBP pricing failed audit: " + audit.violation);
+  }
+
+  PipelineResult result;
+  result.mbp_revenue = sim.revenue;
+  result.mbp_affordability = sim.affordability;
+  for (auto make :
+       {revenue::MakeLinBaseline, revenue::MakeMaxCBaseline,
+        revenue::MakeMedCBaseline, revenue::MakeOptCBaseline}) {
+    NIMBUS_ASSIGN_OR_RETURN(auto baseline, make(points));
+    result.best_baseline_revenue =
+        std::max(result.best_baseline_revenue,
+                 revenue::RevenueForPricing(points, *baseline));
+  }
+  return result;
+}
+
+TEST(IntegrationTest, RegressionPipelineMbpDominatesBaselines) {
+  StatusOr<PipelineResult> result =
+      RunPipeline(ml::ModelKind::kLinearRegression,
+                  market::ValueShape::kConcave, "squared");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->mbp_revenue, 0.0);
+  EXPECT_GE(result->mbp_revenue, result->best_baseline_revenue - 1e-6);
+  EXPECT_GT(result->mbp_affordability, 0.9);
+}
+
+TEST(IntegrationTest, ClassificationPipelineWithZeroOneReporting) {
+  StatusOr<PipelineResult> result =
+      RunPipeline(ml::ModelKind::kLogisticRegression,
+                  market::ValueShape::kConvex, "zero_one");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->mbp_revenue, result->best_baseline_revenue - 1e-6);
+}
+
+TEST(IntegrationTest, SvmPipelineRuns) {
+  StatusOr<PipelineResult> result = RunPipeline(
+      ml::ModelKind::kLinearSvm, market::ValueShape::kSigmoid, "zero_one");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->mbp_revenue, 0.0);
+}
+
+TEST(IntegrationTest, ArbitrageAttackAgainstNaiveValuationPricingSucceeds) {
+  // A seller who naively prices every version at the buyers' valuation
+  // curve (convex) creates arbitrage; the Theorem 5 combination attack
+  // must extract a high-accuracy model for less than list price.
+  auto points =
+      market::MakeBuyerPoints(market::ValueShape::kConvex,
+                              market::DemandShape::kUniform, 12, 1.0, 100.0,
+                              100.0, 1.0);
+  ASSERT_TRUE(points.ok());
+  std::vector<pricing::PricePoint> support;
+  for (const revenue::BuyerPoint& p : *points) {
+    support.push_back({p.a, p.v});
+  }
+  StatusOr<pricing::PiecewiseLinearPricing> naive =
+      pricing::PiecewiseLinearPricing::Create(support, "naive");
+  ASSERT_TRUE(naive.ok());
+  pricing::AuditResult audit = pricing::AuditPricingFunction(
+      *naive, Linspace(1.0, 100.0, 40), 1e-6);
+  ASSERT_FALSE(audit.arbitrage_free);
+  ASSERT_TRUE(audit.attack.has_value());
+
+  Rng rng(5);
+  const linalg::Vector optimal = {1.0, -0.5, 2.0, 0.25};
+  pricing::AttackExecution exec =
+      pricing::ExecuteAttack(*audit.attack, *naive, optimal, 5000, rng);
+  EXPECT_TRUE(exec.succeeded);
+  EXPECT_GT(exec.list_price - exec.price_paid, 0.0);
+}
+
+TEST(IntegrationTest, BrokerRevenueMatchesSellerPrediction) {
+  Rng rng(77);
+  data::RegressionSpec spec;
+  spec.num_examples = 160;
+  spec.num_features = 3;
+  spec.noise_stddev = 0.2;
+  data::Dataset all = data::GenerateRegression(spec, rng);
+  data::TrainTestSplit split = data::Split(all, 0.8, rng);
+  StatusOr<ml::ModelSpec> model =
+      ml::ModelSpec::Create(ml::ModelKind::kLinearRegression, 0.0);
+  ASSERT_TRUE(model.ok());
+  StatusOr<market::Broker> broker = market::Broker::Create(
+      std::move(split), *std::move(model),
+      std::make_unique<mechanism::GaussianMechanism>(), FastOptions());
+  ASSERT_TRUE(broker.ok());
+
+  auto points =
+      market::MakeBuyerPoints(market::ValueShape::kLinear,
+                              market::DemandShape::kUnimodal, 9, 1.0, 100.0,
+                              50.0);
+  ASSERT_TRUE(points.ok());
+  StatusOr<market::Seller> seller = market::Seller::Create(*points);
+  ASSERT_TRUE(seller.ok());
+  auto pricing = seller->NegotiatePricing();
+  ASSERT_TRUE(pricing.ok());
+  broker->SetPricingFunction(*pricing);
+  StatusOr<market::SimulationResult> sim =
+      market::SimulateMarket(*broker, *points, "squared");
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(sim->revenue, seller->predicted_revenue(), 1e-6);
+}
+
+}  // namespace
+}  // namespace nimbus

@@ -1,0 +1,165 @@
+#include "revenue/interpolation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "pricing/arbitrage.h"
+
+namespace nimbus::revenue {
+namespace {
+
+bool SatisfiesChain(const std::vector<InterpolationPoint>& pts,
+                    const std::vector<double>& z, double tol = 1e-6) {
+  for (size_t j = 0; j < pts.size(); ++j) {
+    if (z[j] < -tol) return false;
+    if (j > 0) {
+      if (z[j] < z[j - 1] - tol) return false;
+      if (z[j] / pts[j].a > z[j - 1] / pts[j - 1].a + tol) return false;
+    }
+  }
+  return true;
+}
+
+TEST(InterpolationL2Test, FeasibleTargetsAreReproducedExactly) {
+  // Targets already satisfy the chain constraints.
+  const std::vector<InterpolationPoint> pts = {
+      {1.0, 10.0}, {2.0, 15.0}, {4.0, 20.0}};
+  StatusOr<std::vector<double>> z = InterpolatePricesL2(pts);
+  ASSERT_TRUE(z.ok());
+  EXPECT_NEAR((*z)[0], 10.0, 1e-7);
+  EXPECT_NEAR((*z)[1], 15.0, 1e-7);
+  EXPECT_NEAR((*z)[2], 20.0, 1e-7);
+}
+
+TEST(InterpolationL2Test, InfeasibleTargetsAreProjected) {
+  // Superadditive targets (price doubling with x) must be flattened.
+  const std::vector<InterpolationPoint> pts = {{1.0, 1.0}, {2.0, 4.0}};
+  StatusOr<std::vector<double>> z = InterpolatePricesL2(pts);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(SatisfiesChain(pts, *z));
+  // Projection of (1,4) onto {z2 <= 2 z1, z2 >= z1, z >= 0}: the active
+  // constraint is z2 = 2 z1; minimizing (z1-1)²+(2z1-4)² gives z1 = 1.8.
+  EXPECT_NEAR((*z)[0], 1.8, 1e-6);
+  EXPECT_NEAR((*z)[1], 3.6, 1e-6);
+}
+
+TEST(InterpolationLInfTest, FeasibleTargetsHaveZeroDeviation) {
+  const std::vector<InterpolationPoint> pts = {
+      {1.0, 10.0}, {2.0, 15.0}, {4.0, 20.0}};
+  StatusOr<std::vector<double>> z = InterpolatePricesLInf(pts);
+  ASSERT_TRUE(z.ok());
+  for (size_t j = 0; j < pts.size(); ++j) {
+    EXPECT_NEAR((*z)[j], pts[j].target_price, 1e-7);
+  }
+}
+
+TEST(InterpolationLInfTest, MinimizesMaxDeviation) {
+  const std::vector<InterpolationPoint> pts = {{1.0, 1.0}, {2.0, 4.0}};
+  StatusOr<std::vector<double>> z = InterpolatePricesLInf(pts);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(SatisfiesChain(pts, *z));
+  // Optimal L∞ fit of (1,4) under z2 <= 2 z1: deviation t satisfies
+  // z1 = 1 + t, z2 = 4 - t, z2 = 2 z1 -> t = 2/3.
+  const double t = std::max(std::fabs((*z)[0] - 1.0),
+                            std::fabs((*z)[1] - 4.0));
+  EXPECT_NEAR(t, 2.0 / 3.0, 1e-6);
+}
+
+TEST(InterpolationTest, L2NeverBeatenByRandomFeasibleCandidates) {
+  Rng rng(123);
+  const std::vector<InterpolationPoint> pts = {
+      {1.0, 5.0}, {2.0, 2.0}, {3.0, 9.0}};
+  StatusOr<std::vector<double>> z = InterpolatePricesL2(pts);
+  ASSERT_TRUE(z.ok());
+  ASSERT_TRUE(SatisfiesChain(pts, *z));
+  double best = 0.0;
+  for (size_t j = 0; j < pts.size(); ++j) {
+    best += ((*z)[j] - pts[j].target_price) *
+            ((*z)[j] - pts[j].target_price);
+  }
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Random feasible candidate via slope parametrization.
+    const double s1 = rng.Uniform(0.0, 10.0);
+    const double s2 = rng.Uniform(0.0, s1);
+    const double s3 = rng.Uniform(0.0, s2);
+    const std::vector<double> cand = {s1 * 1.0,
+                                      std::max(s1 * 1.0, s2 * 2.0),
+                                      std::max(std::max(s1, s2 * 2.0),
+                                               s3 * 3.0)};
+    if (!SatisfiesChain(pts, cand, 1e-9)) {
+      continue;
+    }
+    double sse = 0.0;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      sse += (cand[j] - pts[j].target_price) *
+             (cand[j] - pts[j].target_price);
+    }
+    EXPECT_GE(sse, best - 1e-5);
+  }
+}
+
+TEST(InterpolationTest, WrapperBuildsArbitrageFreeCurve) {
+  const std::vector<InterpolationPoint> pts = {{1.0, 3.0}, {2.0, 8.0}};
+  StatusOr<std::vector<double>> z = InterpolatePricesL2(pts);
+  ASSERT_TRUE(z.ok());
+  StatusOr<pricing::PiecewiseLinearPricing> pf =
+      MakeInterpolatedPricing(pts, *z);
+  ASSERT_TRUE(pf.ok());
+  pricing::AuditResult audit =
+      pricing::AuditPricingFunction(*pf, Linspace(0.5, 6.0, 12), 1e-6);
+  EXPECT_TRUE(audit.arbitrage_free) << audit.violation;
+}
+
+TEST(InterpolationTest, ValidatesInput) {
+  EXPECT_FALSE(InterpolatePricesL2({}).ok());
+  EXPECT_FALSE(InterpolatePricesL2({{0.0, 1.0}}).ok());
+  EXPECT_FALSE(InterpolatePricesL2({{1.0, -2.0}}).ok());
+  EXPECT_FALSE(InterpolatePricesLInf({{2.0, 1.0}, {1.0, 1.0}}).ok());
+}
+
+// Theorem 7 gadget: the SUBADDITIVE INTERPOLATION instance built from an
+// UNBOUNDED SUBSET-SUM instance is feasible iff no subset sums to K.
+TEST(ExactFeasibilityTest, SubsetSumGadget) {
+  // Weights {2, 3}: every integer >= 2 is representable.
+  // K = 7 is representable (2+2+3) -> infeasible gadget.
+  {
+    const std::vector<InterpolationPoint> gadget = {
+        {2.0, 2.0}, {3.0, 3.0}, {7.0, 7.5}};
+    StatusOr<bool> feasible = ExactSubadditiveInterpolationFeasible(gadget);
+    ASSERT_TRUE(feasible.ok());
+    EXPECT_FALSE(*feasible);
+  }
+  // Weights {4, 5}: K = 7 is NOT representable -> feasible gadget.
+  {
+    const std::vector<InterpolationPoint> gadget = {
+        {4.0, 4.0}, {5.0, 5.0}, {7.0, 7.5}};
+    StatusOr<bool> feasible = ExactSubadditiveInterpolationFeasible(gadget);
+    ASSERT_TRUE(feasible.ok());
+    EXPECT_TRUE(*feasible);
+  }
+}
+
+TEST(ExactFeasibilityTest, DirectViolations) {
+  // p(2) must satisfy p(2) <= 2 p(1): targets (1, 3) are infeasible.
+  StatusOr<bool> feasible =
+      ExactSubadditiveInterpolationFeasible({{1.0, 1.0}, {2.0, 3.0}});
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_FALSE(*feasible);
+  // Targets (1, 2) sit exactly on the subadditivity boundary: feasible.
+  feasible = ExactSubadditiveInterpolationFeasible({{1.0, 1.0}, {2.0, 2.0}});
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_TRUE(*feasible);
+}
+
+TEST(ExactFeasibilityTest, RequiresIntegerParameters) {
+  EXPECT_EQ(ExactSubadditiveInterpolationFeasible({{1.5, 1.0}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace nimbus::revenue

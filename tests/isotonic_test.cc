@@ -1,0 +1,127 @@
+#include "solver/isotonic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace nimbus::solver {
+namespace {
+
+double WeightedSse(const std::vector<double>& fit,
+                   const std::vector<double>& y,
+                   const std::vector<double>& w) {
+  double sse = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double weight = w.empty() ? 1.0 : w[i];
+    sse += weight * (fit[i] - y[i]) * (fit[i] - y[i]);
+  }
+  return sse;
+}
+
+TEST(IsotonicTest, AlreadyMonotoneIsFixedPoint) {
+  const std::vector<double> y = {1, 2, 2, 5};
+  StatusOr<std::vector<double>> fit = IsotonicIncreasing(y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(AlmostEqual(*fit, y));
+}
+
+TEST(IsotonicTest, PoolsViolatingPair) {
+  StatusOr<std::vector<double>> fit = IsotonicIncreasing({3, 1});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(AlmostEqual(*fit, {2, 2}));
+}
+
+TEST(IsotonicTest, ClassicExample) {
+  StatusOr<std::vector<double>> fit = IsotonicIncreasing({1, 3, 2, 4});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(AlmostEqual(*fit, {1, 2.5, 2.5, 4}));
+}
+
+TEST(IsotonicTest, WeightsShiftPooledValue) {
+  // Pooling (3 with weight 3) and (1 with weight 1): mean = 2.5.
+  StatusOr<std::vector<double>> fit = IsotonicIncreasing({3, 1}, {3, 1});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(AlmostEqual(*fit, {2.5, 2.5}));
+}
+
+TEST(IsotonicTest, DecreasingMirrorsIncreasing) {
+  StatusOr<std::vector<double>> fit = IsotonicDecreasing({1, 3});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(AlmostEqual(*fit, {2, 2}));
+  fit = IsotonicDecreasing({5, 4, 4, 1});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(AlmostEqual(*fit, {5, 4, 4, 1}));
+}
+
+TEST(IsotonicTest, InputValidation) {
+  EXPECT_EQ(IsotonicIncreasing({}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(IsotonicIncreasing({1, 2}, {1}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(IsotonicIncreasing({1, 2}, {1, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Property sweep: on random inputs the PAVA output must (a) be monotone,
+// (b) preserve the weighted mean, and (c) achieve a weighted SSE no worse
+// than any monotone candidate from a brute-force grid.
+class IsotonicPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsotonicPropertyTest, OutputIsMonotoneAndMeanPreserving) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int n = 3 + GetParam() % 7;
+  std::vector<double> y(static_cast<size_t>(n));
+  std::vector<double> w(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    y[static_cast<size_t>(i)] = rng.Uniform(-5.0, 5.0);
+    w[static_cast<size_t>(i)] = rng.Uniform(0.5, 3.0);
+  }
+  StatusOr<std::vector<double>> fit = IsotonicIncreasing(y, w);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(IsNonDecreasing(*fit, 1e-12));
+  double mean_y = 0.0;
+  double mean_fit = 0.0;
+  double total_w = 0.0;
+  for (int i = 0; i < n; ++i) {
+    mean_y += w[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+    mean_fit += w[static_cast<size_t>(i)] * (*fit)[static_cast<size_t>(i)];
+    total_w += w[static_cast<size_t>(i)];
+  }
+  EXPECT_NEAR(mean_y / total_w, mean_fit / total_w, 1e-9);
+}
+
+TEST_P(IsotonicPropertyTest, NoMonotoneGridCandidateBeatsPava) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  const int n = 4;
+  std::vector<double> y(n);
+  for (double& v : y) {
+    v = rng.Uniform(0.0, 3.0);
+  }
+  StatusOr<std::vector<double>> fit = IsotonicIncreasing(y);
+  ASSERT_TRUE(fit.ok());
+  const double pava_sse = WeightedSse(*fit, y, {});
+  // Exhaustive monotone candidates on a coarse grid.
+  const std::vector<double> grid = Linspace(0.0, 3.0, 13);
+  for (double a : grid) {
+    for (double b : grid) {
+      if (b < a) continue;
+      for (double c : grid) {
+        if (c < b) continue;
+        for (double d : grid) {
+          if (d < c) continue;
+          const double sse = WeightedSse({a, b, c, d}, y, {});
+          EXPECT_GE(sse, pava_sse - 1e-9);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, IsotonicPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace nimbus::solver

@@ -1,0 +1,175 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace nimbus::linalg {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorms) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm2(a), 14.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(Norm1(b), 15.0);
+  EXPECT_DOUBLE_EQ(NormInf(b), 6.0);
+}
+
+TEST(VectorOpsTest, AddSubtractScale) {
+  const Vector a = {1, 2};
+  const Vector b = {3, 5};
+  EXPECT_TRUE(AlmostEqual(Add(a, b), {4, 7}));
+  EXPECT_TRUE(AlmostEqual(Subtract(b, a), {2, 3}));
+  EXPECT_TRUE(AlmostEqual(Scale(a, -2.0), {-2, -4}));
+}
+
+TEST(VectorOpsTest, AxpyAccumulates) {
+  Vector a = {1, 1};
+  AxpyInPlace(3.0, {2, -1}, a);
+  EXPECT_TRUE(AlmostEqual(a, {7, -2}));
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(VectorOpsTest, ZerosAndOnes) {
+  EXPECT_TRUE(AlmostEqual(Zeros(3), {0, 0, 0}));
+  EXPECT_TRUE(AlmostEqual(Ones(2), {1, 1}));
+}
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6.0);
+  EXPECT_TRUE(AlmostEqual(m.Row(0), {1, 2, 3}));
+  EXPECT_TRUE(AlmostEqual(m.Col(1), {2, 5}));
+}
+
+TEST(MatrixTest, TransposeRoundTrips) {
+  Matrix m({{1, 2}, {3, 4}, {5, 6}});
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_DOUBLE_EQ(t.At(0, 2), 5.0);
+  Matrix tt = t.Transpose();
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(tt.At(r, c), m.At(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MatVecAndTransposeMatVec) {
+  Matrix m({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_TRUE(AlmostEqual(m.MatVec({1, 1}), {3, 7, 11}));
+  EXPECT_TRUE(AlmostEqual(m.TransposeMatVec({1, 1, 1}), {9, 12}));
+}
+
+TEST(MatrixTest, MatMulMatchesHandComputation) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, GramEqualsTransposeTimesSelf) {
+  Matrix m({{1, 2}, {3, 4}, {5, 6}});
+  Matrix gram = m.Gram();
+  Matrix expected = m.Transpose().MatMul(m);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(gram.At(r, c), expected.At(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, IdentityAndDiagonalShift) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id.At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id.At(0, 1), 0.0);
+  id.AddToDiagonal(2.0);
+  EXPECT_DOUBLE_EQ(id.At(2, 2), 3.0);
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+  Matrix a({{4, 2}, {2, 3}});
+  StatusOr<Vector> x = SolveSpd(a, {6, 5});
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AlmostEqual(*x, {1, 1}, 1e-9));
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_EQ(CholeskyFactorization::Compute(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a({{1, 2}, {2, 1}});  // Eigenvalues 3 and -1.
+  EXPECT_EQ(CholeskyFactorization::Compute(a).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyTest, LogDeterminant) {
+  Matrix a({{4, 0}, {0, 9}});
+  StatusOr<CholeskyFactorization> chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->LogDeterminant(), std::log(36.0), 1e-12);
+}
+
+TEST(CholeskyTest, RandomSpdRoundTrip) {
+  Rng rng(99);
+  const int d = 8;
+  Matrix basis(d, d);
+  for (int r = 0; r < d; ++r) {
+    for (int c = 0; c < d; ++c) {
+      basis.At(r, c) = rng.Gaussian();
+    }
+  }
+  Matrix spd = basis.Gram();
+  spd.AddToDiagonal(0.5);
+  Vector truth(static_cast<size_t>(d));
+  for (double& v : truth) {
+    v = rng.Gaussian();
+  }
+  const Vector b = spd.MatVec(truth);
+  StatusOr<Vector> x = SolveSpd(spd, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AlmostEqual(*x, truth, 1e-7));
+}
+
+TEST(LinearSystemTest, SolvesWithPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a({{0, 1}, {1, 0}});
+  StatusOr<Vector> x = SolveLinearSystem(a, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AlmostEqual(*x, {3, 2}, 1e-12));
+}
+
+TEST(LinearSystemTest, DetectsSingular) {
+  Matrix a({{1, 2}, {2, 4}});
+  EXPECT_EQ(SolveLinearSystem(a, {1, 2}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LinearSystemTest, SolvesNonSymmetric) {
+  Matrix a({{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}});
+  StatusOr<Vector> x = SolveLinearSystem(a, {8, -11, -3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AlmostEqual(*x, {2, 3, -1}, 1e-9));
+}
+
+}  // namespace
+}  // namespace nimbus::linalg

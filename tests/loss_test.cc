@@ -1,0 +1,208 @@
+#include "ml/loss.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "ml/trainer.h"
+
+namespace nimbus::ml {
+namespace {
+
+using data::Dataset;
+using data::Task;
+using linalg::Vector;
+
+Dataset TinyRegression() {
+  Dataset d(2, Task::kRegression);
+  d.Add({1.0, 0.0}, 1.0);
+  d.Add({0.0, 1.0}, -1.0);
+  return d;
+}
+
+Dataset TinyClassification() {
+  Dataset d(2, Task::kClassification);
+  d.Add({1.0, 0.0}, 1.0);
+  d.Add({-1.0, 0.0}, -1.0);
+  d.Add({0.0, 2.0}, 1.0);
+  return d;
+}
+
+TEST(SquaredLossTest, HandComputedValue) {
+  // Residuals at w = (0,0): 1 and -1 -> sum sq = 2, /(2*2) = 0.5.
+  SquaredLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Value({0, 0}, TinyRegression()), 0.5);
+  // Perfect weights (1, -1): zero loss.
+  EXPECT_DOUBLE_EQ(loss.Value({1, -1}, TinyRegression()), 0.0);
+}
+
+TEST(LogisticLossTest, ZeroWeightsGiveLog2) {
+  LogisticLoss loss;
+  EXPECT_NEAR(loss.Value({0, 0}, TinyClassification()), std::log(2.0), 1e-12);
+}
+
+TEST(LogisticLossTest, ConfidentCorrectPredictionsShrinkLoss) {
+  LogisticLoss loss;
+  const double confident = loss.Value({5, 5}, TinyClassification());
+  EXPECT_LT(confident, 0.1);
+}
+
+TEST(HingeLossTest, MarginBehaviour) {
+  HingeLoss loss;
+  // w = (0,0): margin 0 for all -> hinge = 1 each.
+  EXPECT_DOUBLE_EQ(loss.Value({0, 0}, TinyClassification()), 1.0);
+  // Large correct margins: zero loss.
+  EXPECT_DOUBLE_EQ(loss.Value({10, 10}, TinyClassification()), 0.0);
+}
+
+TEST(ZeroOneLossTest, CountsMisclassifications) {
+  ZeroOneLoss loss;
+  // w = (1, 1): scores 1, -1, 2 -> all correct.
+  EXPECT_DOUBLE_EQ(loss.Value({1, 1}, TinyClassification()), 0.0);
+  // w = (-1, 0): scores -1, 1, 0 -> first two wrong; third predicts -1
+  // (score 0 is not > 0) and the label is +1, so all three are wrong.
+  EXPECT_DOUBLE_EQ(loss.Value({-1, 0}, TinyClassification()), 1.0);
+  EXPECT_FALSE(loss.IsDifferentiable());
+  EXPECT_FALSE(loss.IsConvex());
+}
+
+TEST(PoissonLossTest, HandComputedValue) {
+  // One example x = (1), y = 2, w = (0): exp(0) - 2*0 = 1.
+  Dataset d(1, Task::kRegression);
+  d.Add({1.0}, 2.0);
+  PoissonLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Value({0.0}, d), 1.0);
+  // At w = log(2) the rate matches the count; value = 2 - 2 log 2.
+  EXPECT_NEAR(loss.Value({std::log(2.0)}, d), 2.0 - 2.0 * std::log(2.0),
+              1e-12);
+  // The gradient vanishes there (rate == count).
+  EXPECT_NEAR(loss.Gradient({std::log(2.0)}, d)[0], 0.0, 1e-12);
+}
+
+TEST(PoissonLossTest, MinimizerMatchesMeanRate) {
+  // Bias-only design: the optimal rate is the mean count.
+  Dataset d(1, Task::kRegression);
+  d.Add({1.0}, 1.0);
+  d.Add({1.0}, 2.0);
+  d.Add({1.0}, 6.0);
+  PoissonLoss loss;
+  GradientDescentOptions options;
+  options.max_iterations = 5000;
+  StatusOr<TrainResult> fit = MinimizeWithGradientDescent(loss, d, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(std::exp(fit->weights[0]), 3.0, 1e-5);
+}
+
+TEST(RegularizedLossTest, AddsMuTimesSquaredNorm) {
+  RegularizedLoss loss(std::make_shared<SquaredLoss>(), 0.5);
+  const Dataset d = TinyRegression();
+  SquaredLoss base;
+  const Vector w = {2.0, -1.0};
+  EXPECT_NEAR(loss.Value(w, d), base.Value(w, d) + 0.5 * 5.0, 1e-12);
+  EXPECT_EQ(loss.mu(), 0.5);
+  EXPECT_TRUE(loss.IsDifferentiable());
+}
+
+// Property sweep: every differentiable loss must match its numerical
+// gradient on random weight vectors and datasets.
+class GradientCheckTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  static std::shared_ptr<const Loss> MakeLoss(const std::string& name) {
+    if (name == "squared") return std::make_shared<SquaredLoss>();
+    if (name == "logistic") return std::make_shared<LogisticLoss>();
+    if (name == "hinge") return std::make_shared<HingeLoss>();
+    if (name == "squared_l2") {
+      return std::make_shared<RegularizedLoss>(std::make_shared<SquaredLoss>(),
+                                               0.3);
+    }
+    if (name == "logistic_l2") {
+      return std::make_shared<RegularizedLoss>(
+          std::make_shared<LogisticLoss>(), 0.1);
+    }
+    if (name == "poisson") return std::make_shared<PoissonLoss>();
+    return nullptr;
+  }
+
+  static Dataset MakeData(const std::string& name, Rng& rng) {
+    if (name == "squared" || name == "squared_l2") {
+      data::RegressionSpec spec;
+      spec.num_examples = 40;
+      spec.num_features = 5;
+      spec.noise_stddev = 0.5;
+      return data::GenerateRegression(spec, rng);
+    }
+    if (name == "poisson") {
+      data::PoissonSpec spec;
+      spec.num_examples = 40;
+      spec.num_features = 5;
+      return data::GeneratePoissonRegression(spec, rng);
+    }
+    data::ClassificationSpec spec;
+    spec.num_examples = 40;
+    spec.num_features = 5;
+    spec.positive_prob = 0.9;
+    return data::GenerateClassification(spec, rng);
+  }
+};
+
+TEST_P(GradientCheckTest, AnalyticMatchesNumericGradient) {
+  const std::string name = GetParam();
+  std::shared_ptr<const Loss> loss = MakeLoss(name);
+  ASSERT_NE(loss, nullptr);
+  Rng rng(1234);
+  const Dataset d = MakeData(name, rng);
+  const double h = 1e-6;
+  for (int trial = 0; trial < 5; ++trial) {
+    Vector w = rng.GaussianVector(d.num_features());
+    // Keep hinge away from its kinks where one-sided gradients disagree.
+    const Vector grad = loss->Gradient(w, d);
+    for (int j = 0; j < d.num_features(); ++j) {
+      Vector wp = w;
+      Vector wm = w;
+      wp[static_cast<size_t>(j)] += h;
+      wm[static_cast<size_t>(j)] -= h;
+      const double numeric = (loss->Value(wp, d) - loss->Value(wm, d)) /
+                             (2.0 * h);
+      EXPECT_NEAR(grad[static_cast<size_t>(j)], numeric, 2e-4)
+          << name << " coordinate " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDifferentiableLosses, GradientCheckTest,
+                         ::testing::Values("squared", "logistic", "hinge",
+                                           "squared_l2", "logistic_l2",
+                                           "poisson"));
+
+// Convexity spot-check: midpoint value never exceeds the chord.
+class ConvexityTest : public GradientCheckTest {};
+
+TEST_P(ConvexityTest, MidpointBelowChord) {
+  const std::string name = GetParam();
+  std::shared_ptr<const Loss> loss = MakeLoss(name);
+  ASSERT_NE(loss, nullptr);
+  Rng rng(77);
+  const Dataset d = MakeData(name, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vector a = rng.GaussianVector(d.num_features());
+    const Vector b = rng.GaussianVector(d.num_features());
+    Vector mid(a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      mid[i] = 0.5 * (a[i] + b[i]);
+    }
+    EXPECT_LE(loss->Value(mid, d),
+              0.5 * loss->Value(a, d) + 0.5 * loss->Value(b, d) + 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConvexLosses, ConvexityTest,
+                         ::testing::Values("squared", "logistic", "hinge",
+                                           "squared_l2", "logistic_l2",
+                                           "poisson"));
+
+}  // namespace
+}  // namespace nimbus::ml

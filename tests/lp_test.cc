@@ -1,0 +1,233 @@
+#include "solver/lp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace nimbus::solver {
+namespace {
+
+LpConstraint Row(std::vector<double> coeffs, ConstraintSense sense,
+                 double rhs) {
+  LpConstraint c;
+  c.coeffs = std::move(coeffs);
+  c.sense = sense;
+  c.rhs = rhs;
+  return c;
+}
+
+TEST(LpTest, SimpleMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x = 4, y = 0, obj 12.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {3, 2};
+  lp.constraints = {Row({1, 1}, ConstraintSense::kLessEqual, 4),
+                    Row({1, 3}, ConstraintSense::kLessEqual, 6)};
+  StatusOr<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 12.0, 1e-9);
+  EXPECT_NEAR(sol->values[0], 4.0, 1e-9);
+  EXPECT_NEAR(sol->values[1], 0.0, 1e-9);
+}
+
+TEST(LpTest, InteriorOptimum) {
+  // max x + y s.t. 2x + y <= 4, x + 2y <= 4 -> x = y = 4/3, obj 8/3.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.constraints = {Row({2, 1}, ConstraintSense::kLessEqual, 4),
+                    Row({1, 2}, ConstraintSense::kLessEqual, 4)};
+  StatusOr<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol->values[0], 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol->values[1], 4.0 / 3.0, 1e-9);
+}
+
+TEST(LpTest, MinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2 -> x = 10, y = 0? No: cost of x
+  // is lower, so push everything to x: x = 10, y = 0, obj 20.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.maximize = false;
+  lp.objective = {2, 3};
+  lp.constraints = {Row({1, 1}, ConstraintSense::kGreaterEqual, 10),
+                    Row({1, 0}, ConstraintSense::kGreaterEqual, 2)};
+  StatusOr<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 20.0, 1e-9);
+  EXPECT_NEAR(sol->values[0], 10.0, 1e-9);
+}
+
+TEST(LpTest, EqualityConstraint) {
+  // max x + 2y s.t. x + y = 3, y <= 2 -> y = 2, x = 1, obj 5.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 2};
+  lp.constraints = {Row({1, 1}, ConstraintSense::kEqual, 3),
+                    Row({0, 1}, ConstraintSense::kLessEqual, 2)};
+  StatusOr<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 5.0, 1e-9);
+  EXPECT_NEAR(sol->values[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol->values[1], 2.0, 1e-9);
+}
+
+TEST(LpTest, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 cannot both hold.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.constraints = {Row({1}, ConstraintSense::kLessEqual, 1),
+                    Row({1}, ConstraintSense::kGreaterEqual, 2)};
+  EXPECT_EQ(SolveLp(lp).status().code(), StatusCode::kInfeasible);
+}
+
+TEST(LpTest, DetectsUnboundedness) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.constraints = {Row({1, -1}, ConstraintSense::kLessEqual, 1)};
+  EXPECT_EQ(SolveLp(lp).status().code(), StatusCode::kUnbounded);
+}
+
+TEST(LpTest, NegativeRhsIsNormalized) {
+  // -x <= -3  <=>  x >= 3; min x -> 3.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.maximize = false;
+  lp.objective = {1};
+  lp.constraints = {Row({-1}, ConstraintSense::kLessEqual, -3)};
+  StatusOr<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 3.0, 1e-9);
+}
+
+TEST(LpTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex (classic
+  // degeneracy); Bland's rule must still terminate at the optimum.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.constraints = {Row({1, 0}, ConstraintSense::kLessEqual, 1),
+                    Row({0, 1}, ConstraintSense::kLessEqual, 1),
+                    Row({1, 1}, ConstraintSense::kLessEqual, 2),
+                    Row({2, 2}, ConstraintSense::kLessEqual, 4)};
+  StatusOr<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 2.0, 1e-9);
+}
+
+TEST(LpTest, ValidatesProblemShape) {
+  LpProblem lp;
+  lp.num_vars = 0;
+  EXPECT_EQ(SolveLp(lp).status().code(), StatusCode::kInvalidArgument);
+
+  lp.num_vars = 2;
+  lp.objective = {1};  // Wrong width.
+  EXPECT_EQ(SolveLp(lp).status().code(), StatusCode::kInvalidArgument);
+
+  lp.objective = {1, 1};
+  lp.constraints = {Row({1}, ConstraintSense::kLessEqual, 1)};
+  EXPECT_EQ(SolveLp(lp).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LpTest, RandomizedDualityGapIsZero) {
+  // For random feasible bounded LPs, primal optimum must satisfy all
+  // constraints and (weak duality proxy) re-solving with perturbed
+  // objective never exceeds the sum bound. Here we check feasibility and
+  // local optimality against vertex enumeration on 2D problems.
+  Rng rng(55);
+  for (int trial = 0; trial < 25; ++trial) {
+    LpProblem lp;
+    lp.num_vars = 2;
+    lp.objective = {rng.Uniform(0.1, 2.0), rng.Uniform(0.1, 2.0)};
+    // Box plus one diagonal cut keeps it bounded and feasible.
+    lp.constraints = {
+        Row({1, 0}, ConstraintSense::kLessEqual, rng.Uniform(1.0, 5.0)),
+        Row({0, 1}, ConstraintSense::kLessEqual, rng.Uniform(1.0, 5.0)),
+        Row({rng.Uniform(0.2, 1.0), rng.Uniform(0.2, 1.0)},
+            ConstraintSense::kLessEqual, rng.Uniform(1.0, 4.0))};
+    StatusOr<LpSolution> sol = SolveLp(lp);
+    ASSERT_TRUE(sol.ok());
+    // Feasibility.
+    for (const LpConstraint& c : lp.constraints) {
+      const double lhs = c.coeffs[0] * sol->values[0] +
+                         c.coeffs[1] * sol->values[1];
+      EXPECT_LE(lhs, c.rhs + 1e-7);
+    }
+    // No grid point beats the optimum.
+    for (double x = 0; x <= 5.0; x += 0.5) {
+      for (double y = 0; y <= 5.0; y += 0.5) {
+        bool feasible = true;
+        for (const LpConstraint& c : lp.constraints) {
+          if (c.coeffs[0] * x + c.coeffs[1] * y > c.rhs + 1e-12) {
+            feasible = false;
+            break;
+          }
+        }
+        if (feasible) {
+          EXPECT_LE(lp.objective[0] * x + lp.objective[1] * y,
+                    sol->objective_value + 1e-7);
+        }
+      }
+    }
+  }
+}
+
+TEST(LpTest, RandomThreeVariableFuzzAgainstGridSearch) {
+  // Random bounded 3-variable LPs: the simplex optimum must be feasible
+  // and never beaten by any feasible grid candidate.
+  Rng rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    LpProblem lp;
+    lp.num_vars = 3;
+    lp.objective = {rng.Uniform(0.1, 2.0), rng.Uniform(0.1, 2.0),
+                    rng.Uniform(0.1, 2.0)};
+    lp.constraints = {
+        Row({1, 0, 0}, ConstraintSense::kLessEqual, rng.Uniform(1.0, 4.0)),
+        Row({0, 1, 0}, ConstraintSense::kLessEqual, rng.Uniform(1.0, 4.0)),
+        Row({0, 0, 1}, ConstraintSense::kLessEqual, rng.Uniform(1.0, 4.0)),
+        Row({rng.Uniform(0.2, 1.0), rng.Uniform(0.2, 1.0),
+             rng.Uniform(0.2, 1.0)},
+            ConstraintSense::kLessEqual, rng.Uniform(2.0, 6.0)),
+        Row({1, 1, 1}, ConstraintSense::kGreaterEqual, 0.5)};
+    StatusOr<LpSolution> sol = SolveLp(lp);
+    ASSERT_TRUE(sol.ok()) << "trial " << trial;
+    for (const LpConstraint& c : lp.constraints) {
+      double lhs = 0.0;
+      for (int v = 0; v < 3; ++v) {
+        lhs += c.coeffs[static_cast<size_t>(v)] *
+               sol->values[static_cast<size_t>(v)];
+      }
+      if (c.sense == ConstraintSense::kLessEqual) {
+        EXPECT_LE(lhs, c.rhs + 1e-7);
+      } else {
+        EXPECT_GE(lhs, c.rhs - 1e-7);
+      }
+    }
+    for (double x = 0; x <= 4.0; x += 0.4) {
+      for (double y = 0; y <= 4.0; y += 0.4) {
+        for (double z = 0; z <= 4.0; z += 0.4) {
+          bool feasible = x + y + z >= 0.5;
+          for (size_t c = 0; c < 4 && feasible; ++c) {
+            const LpConstraint& con = lp.constraints[c];
+            if (con.coeffs[0] * x + con.coeffs[1] * y + con.coeffs[2] * z >
+                con.rhs + 1e-12) {
+              feasible = false;
+            }
+          }
+          if (feasible) {
+            EXPECT_LE(lp.objective[0] * x + lp.objective[1] * y +
+                          lp.objective[2] * z,
+                      sol->objective_value + 1e-7)
+                << "trial " << trial;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nimbus::solver

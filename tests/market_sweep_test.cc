@@ -1,0 +1,86 @@
+// Parameterized sweep over every (value shape, demand shape) market
+// configuration: the MBP DP must produce arbitrage-free prices that
+// dominate every baseline — the programmatic form of the paper's "MBP
+// always attains the highest revenue" claim (§6.2), checked on all 20
+// combinations rather than the figures' samples.
+
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "market/curves.h"
+#include "pricing/arbitrage.h"
+#include "pricing/optimal_attack.h"
+#include "revenue/baselines.h"
+#include "revenue/dp_optimizer.h"
+
+namespace nimbus::market {
+namespace {
+
+class MarketSweepTest
+    : public ::testing::TestWithParam<std::tuple<ValueShape, DemandShape>> {};
+
+TEST_P(MarketSweepTest, DpDominatesBaselinesAndIsArbitrageFree) {
+  const auto [value_shape, demand_shape] = GetParam();
+  auto points = MakeBuyerPoints(value_shape, demand_shape, 30, 1.0, 100.0,
+                                100.0, 2.0);
+  ASSERT_TRUE(points.ok());
+  auto dp = revenue::OptimizeRevenueDp(*points);
+  ASSERT_TRUE(dp.ok());
+
+  // Dominance over every baseline.
+  for (auto make :
+       {revenue::MakeLinBaseline, revenue::MakeMaxCBaseline,
+        revenue::MakeMedCBaseline, revenue::MakeOptCBaseline}) {
+    auto baseline = make(*points);
+    ASSERT_TRUE(baseline.ok());
+    EXPECT_GE(dp->revenue,
+              revenue::RevenueForPricing(*points, **baseline) - 1e-9)
+        << "lost to " << (*baseline)->name();
+  }
+
+  // Arbitrage-freeness: pairwise audit plus the arbitrary-k menu attack.
+  auto curve = revenue::MakeDpPricingFunction(*points, *dp);
+  ASSERT_TRUE(curve.ok());
+  pricing::AuditResult pairwise =
+      pricing::AuditPricingFunction(*curve, Linspace(1.0, 100.0, 25), 1e-6);
+  EXPECT_TRUE(pairwise.arbitrage_free) << pairwise.violation;
+  std::vector<double> versions;
+  for (const revenue::BuyerPoint& p : *points) {
+    versions.push_back(p.a);
+  }
+  auto menu = pricing::AuditMenu(*curve, versions, 0.5);
+  ASSERT_TRUE(menu.ok());
+  EXPECT_TRUE(menu->arbitrage_free)
+      << "worst ratio " << menu->worst_ratio;
+}
+
+TEST_P(MarketSweepTest, DpRevenueNeverExceedsTotalSurplus) {
+  const auto [value_shape, demand_shape] = GetParam();
+  auto points = MakeBuyerPoints(value_shape, demand_shape, 30, 1.0, 100.0,
+                                100.0, 2.0);
+  ASSERT_TRUE(points.ok());
+  auto dp = revenue::OptimizeRevenueDp(*points);
+  ASSERT_TRUE(dp.ok());
+  double total_surplus = 0.0;
+  for (const revenue::BuyerPoint& p : *points) {
+    total_surplus += p.b * p.v;
+  }
+  EXPECT_LE(dp->revenue, total_surplus + 1e-9);
+  EXPECT_GE(dp->revenue, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCurveCombinations, MarketSweepTest,
+    ::testing::Combine(::testing::ValuesIn(AllValueShapes()),
+                       ::testing::ValuesIn(AllDemandShapes())),
+    [](const ::testing::TestParamInfo<std::tuple<ValueShape, DemandShape>>&
+           info) {
+      return std::string(ToString(std::get<0>(info.param))) + "_" +
+             std::string(ToString(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace nimbus::market

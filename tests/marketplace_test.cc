@@ -1,0 +1,176 @@
+#include "market/marketplace.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "market/curves.h"
+#include "market/market_simulator.h"
+
+namespace nimbus::market {
+namespace {
+
+data::TrainTestSplit ClassificationSplit(uint64_t seed) {
+  Rng rng(seed);
+  data::ClassificationSpec spec;
+  spec.num_examples = 260;
+  spec.num_features = 4;
+  spec.positive_prob = 0.92;
+  data::Dataset all = data::GenerateClassification(spec, rng);
+  return data::Split(all, 0.75, rng);
+}
+
+Broker::Options FastOptions() {
+  Broker::Options options;
+  options.error_curve_points = 6;
+  options.samples_per_curve_point = 40;
+  options.min_inverse_ncp = 1.0;
+  options.max_inverse_ncp = 50.0;
+  return options;
+}
+
+std::shared_ptr<const pricing::PricingFunction> SomeMbpPricing() {
+  auto points = MakeBuyerPoints(ValueShape::kConcave, DemandShape::kUniform,
+                                10, 1.0, 50.0, 80.0, 2.0);
+  Seller seller = *Seller::Create(*points);
+  return *seller.NegotiatePricing();
+}
+
+TEST(LedgerTest, RecordAndQueries) {
+  Ledger ledger;
+  ASSERT_TRUE(ledger.Record("alice", ml::ModelKind::kLogisticRegression, 2.0,
+                            10.0, 0.1)
+                  .ok());
+  ASSERT_TRUE(ledger.Record("bob", ml::ModelKind::kLinearSvm, 4.0, 30.0, 0.05)
+                  .ok());
+  ASSERT_TRUE(ledger.Record("alice", ml::ModelKind::kLinearSvm, 1.0, 5.0, 0.2)
+                  .ok());
+  EXPECT_EQ(ledger.size(), 3);
+  EXPECT_DOUBLE_EQ(ledger.TotalRevenue(), 45.0);
+  EXPECT_DOUBLE_EQ(ledger.RevenueForModel(ml::ModelKind::kLinearSvm), 35.0);
+  EXPECT_DOUBLE_EQ(
+      ledger.RevenueForModel(ml::ModelKind::kLinearRegression), 0.0);
+
+  const auto top = ledger.TopBuyers(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "bob");
+  EXPECT_DOUBLE_EQ(top[0].second, 30.0);
+  EXPECT_EQ(top[1].first, "alice");
+  EXPECT_DOUBLE_EQ(top[1].second, 15.0);
+  EXPECT_EQ(ledger.TopBuyers(1).size(), 1u);
+
+  const auto alice = ledger.EntriesForBuyer("alice");
+  ASSERT_EQ(alice.size(), 2u);
+  EXPECT_EQ(alice[0].sequence, 0);
+  EXPECT_EQ(alice[1].sequence, 2);
+
+  const std::string csv = ledger.ToCsv();
+  EXPECT_NE(csv.find("alice,logistic_regression,2,10,0.1"),
+            std::string::npos);
+}
+
+TEST(LedgerTest, Validation) {
+  Ledger ledger;
+  EXPECT_FALSE(
+      ledger.Record("", ml::ModelKind::kLinearSvm, 1.0, 1.0, 0.0).ok());
+  EXPECT_FALSE(
+      ledger.Record("a", ml::ModelKind::kLinearSvm, 0.0, 1.0, 0.0).ok());
+  EXPECT_FALSE(
+      ledger.Record("a", ml::ModelKind::kLinearSvm, 1.0, -1.0, 0.0).ok());
+  EXPECT_EQ(ledger.size(), 0);
+}
+
+TEST(MarketplaceTest, AddOfferingValidation) {
+  Marketplace market(ClassificationSplit(1), FastOptions());
+  EXPECT_FALSE(market
+                   .AddOffering(ml::ModelKind::kLogisticRegression, 0.01,
+                                nullptr)
+                   .ok());
+  // Regression model on a classification dataset.
+  EXPECT_FALSE(market
+                   .AddOffering(ml::ModelKind::kLinearRegression, 0.0,
+                                SomeMbpPricing())
+                   .ok());
+  ASSERT_TRUE(market
+                  .AddOffering(ml::ModelKind::kLogisticRegression, 0.01,
+                               SomeMbpPricing())
+                  .ok());
+  // Duplicate offering.
+  EXPECT_FALSE(market
+                   .AddOffering(ml::ModelKind::kLogisticRegression, 0.01,
+                                SomeMbpPricing())
+                   .ok());
+  EXPECT_EQ(market.Offerings().size(), 1u);
+}
+
+TEST(MarketplaceTest, CatalogAndAttributedPurchases) {
+  Marketplace market(ClassificationSplit(2), FastOptions());
+  ASSERT_TRUE(market
+                  .AddOffering(ml::ModelKind::kLogisticRegression, 0.01,
+                               SomeMbpPricing())
+                  .ok());
+  ASSERT_TRUE(
+      market.AddOffering(ml::ModelKind::kLinearSvm, 0.05, SomeMbpPricing())
+          .ok());
+
+  StatusOr<std::vector<Marketplace::CatalogRow>> catalog = market.Catalog();
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_EQ(catalog->size(), 2u);
+  for (const Marketplace::CatalogRow& row : *catalog) {
+    EXPECT_LE(row.best_expected_error, row.worst_expected_error);
+    EXPECT_LE(row.min_price, row.max_price);
+  }
+
+  // Attributed purchases land in the ledger.
+  StatusOr<Broker::Purchase> purchase = market.Buy(
+      "carol", ml::ModelKind::kLogisticRegression, 10.0, "zero_one");
+  ASSERT_TRUE(purchase.ok());
+  ASSERT_TRUE(market
+                  .Buy("carol", ml::ModelKind::kLinearSvm, 10.0, "zero_one")
+                  .ok());
+  EXPECT_EQ(market.ledger().size(), 2);
+  EXPECT_NEAR(market.total_revenue(),
+              market.ledger().TotalRevenue(), 1e-12);
+  EXPECT_EQ(market.ledger().TopBuyers(1)[0].first, "carol");
+
+  // Unknown model and unknown buyer errors.
+  EXPECT_EQ(market.Buy("carol", ml::ModelKind::kLinearRegression, 10.0,
+                       "squared")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(market.Buy("", ml::ModelKind::kLinearSvm, 10.0, "zero_one")
+                   .ok());
+}
+
+TEST(MarketplaceTest, MbpPricingKeepsMonitorsQuiet) {
+  Marketplace market(ClassificationSplit(3), FastOptions());
+  ASSERT_TRUE(market
+                  .AddOffering(ml::ModelKind::kLogisticRegression, 0.01,
+                               SomeMbpPricing())
+                  .ok());
+  // A buyer accumulating many cheap versions cannot beat the list price
+  // under an arbitrage-free curve.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(market
+                    .Buy("hoarder", ml::ModelKind::kLogisticRegression, 2.0,
+                         "zero_one")
+                    .ok());
+  }
+  EXPECT_TRUE(market.SuspiciousBuyers().empty());
+  StatusOr<const CollusionMonitor*> monitor =
+      market.MonitorFor(ml::ModelKind::kLogisticRegression);
+  ASSERT_TRUE(monitor.ok());
+  StatusOr<CollusionMonitor::Assessment> assessment =
+      (*monitor)->Assess("hoarder");
+  ASSERT_TRUE(assessment.ok());
+  EXPECT_EQ(assessment->purchases, 8);
+  EXPECT_FALSE(assessment->suspicious);
+  EXPECT_EQ(market.MonitorFor(ml::ModelKind::kLinearSvm).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace nimbus::market

@@ -1,0 +1,98 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nimbus {
+namespace {
+
+TEST(AlmostEqualTest, ExactAndNearValues) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+}
+
+TEST(AlmostEqualTest, ScalesWithMagnitude) {
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 + 1.0, 1e-9));
+  EXPECT_FALSE(AlmostEqual(1e-12, 2e-12, 1e-13));
+}
+
+TEST(AlmostEqualTest, VectorsCompareElementwise) {
+  EXPECT_TRUE(AlmostEqual(std::vector<double>{1, 2}, {1, 2}));
+  EXPECT_FALSE(AlmostEqual(std::vector<double>{1, 2}, {1, 3}));
+  EXPECT_FALSE(AlmostEqual(std::vector<double>{1}, {1, 2}));
+}
+
+TEST(MomentsTest, MeanAndVariance) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(SampleStddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MomentsTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({3.0}), 0.0);
+}
+
+TEST(QuantileTest, InterpolatesOrderStatistics) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({4, 1}, 0.5), 2.5);
+}
+
+TEST(Log1pExpTest, MatchesNaiveInSafeRange) {
+  for (double x : {-5.0, -1.0, 0.0, 0.5, 3.0, 20.0}) {
+    EXPECT_NEAR(Log1pExp(x), std::log1p(std::exp(x)), 1e-12) << x;
+  }
+}
+
+TEST(Log1pExpTest, StableForExtremeInputs) {
+  EXPECT_DOUBLE_EQ(Log1pExp(1000.0), 1000.0);
+  EXPECT_NEAR(Log1pExp(-1000.0), 0.0, 1e-300);
+  EXPECT_TRUE(std::isfinite(Log1pExp(700.0)));
+}
+
+TEST(SigmoidTest, SymmetryAndRange) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(3.0) + Sigmoid(-3.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+}
+
+TEST(ClampTest, ClampsBothSides) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(2.0, 0.0, 3.0), 2.0);
+}
+
+TEST(LinspaceTest, EvenSpacingAndEndpoints) {
+  const std::vector<double> v = Linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(LinspaceTest, SinglePoint) {
+  const std::vector<double> v = Linspace(3.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(MonotoneChecksTest, Basic) {
+  EXPECT_TRUE(IsNonDecreasing({1, 1, 2, 3}));
+  EXPECT_FALSE(IsNonDecreasing({1, 0.5}));
+  EXPECT_TRUE(IsNonDecreasing({1, 0.9999}, 0.01));
+  EXPECT_TRUE(IsNonIncreasing({3, 2, 2, 1}));
+  EXPECT_FALSE(IsNonIncreasing({1, 2}));
+  EXPECT_TRUE(IsNonIncreasing({}));
+}
+
+}  // namespace
+}  // namespace nimbus

@@ -1,0 +1,150 @@
+#include "mechanism/noise_mechanism.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "ml/trainer.h"
+
+namespace nimbus::mechanism {
+namespace {
+
+using linalg::Vector;
+
+// Property sweep over every additive mechanism: unbiasedness (restriction
+// one of §3.2) and the exact expected square loss E‖w‖² = δ (Lemma 3 and
+// its analogues).
+class AdditiveMechanismTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<NoiseMechanism> Make() {
+    return std::move(MakeMechanism(GetParam())).value();
+  }
+};
+
+TEST_P(AdditiveMechanismTest, PerturbPreservesDimension) {
+  std::unique_ptr<NoiseMechanism> mech = Make();
+  Rng rng(1);
+  const Vector h = {1.0, -2.0, 0.5};
+  EXPECT_EQ(mech->Perturb(h, 2.0, rng).size(), h.size());
+}
+
+TEST_P(AdditiveMechanismTest, IsUnbiased) {
+  std::unique_ptr<NoiseMechanism> mech = Make();
+  Rng rng(2);
+  const Vector h = {1.5, -3.0, 0.0, 2.0};
+  Vector sum(h.size(), 0.0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    const Vector noisy = mech->Perturb(h, 4.0, rng);
+    for (size_t i = 0; i < h.size(); ++i) {
+      sum[i] += noisy[i];
+    }
+  }
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(sum[i] / trials, h[i], 0.05) << GetParam() << " dim " << i;
+  }
+}
+
+TEST_P(AdditiveMechanismTest, ExpectedSquaredErrorEqualsNcp) {
+  std::unique_ptr<NoiseMechanism> mech = Make();
+  Rng rng(3);
+  const Vector h = {0.3, 1.0, -1.0, 2.5, 0.0};
+  for (double ncp : {0.5, 2.0, 10.0}) {
+    StatusOr<double> analytic = mech->ExpectedSquaredError(h, ncp);
+    ASSERT_TRUE(analytic.ok());
+    EXPECT_DOUBLE_EQ(*analytic, ncp);
+    // Monte-Carlo agreement.
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+      sum += linalg::SquaredDistance(mech->Perturb(h, ncp, rng), h);
+    }
+    EXPECT_NEAR(sum / trials, ncp, 0.06 * ncp) << GetParam();
+  }
+}
+
+TEST_P(AdditiveMechanismTest, ErrorIsMonotoneInNcp) {
+  // Restriction two of §3.2: larger δ, larger expected error.
+  std::unique_ptr<NoiseMechanism> mech = Make();
+  Rng rng(4);
+  const Vector h = {1.0, 1.0, 1.0};
+  double prev = 0.0;
+  for (double ncp : {0.5, 2.0, 8.0, 32.0}) {
+    double sum = 0.0;
+    for (int t = 0; t < 4000; ++t) {
+      sum += linalg::SquaredDistance(mech->Perturb(h, ncp, rng), h);
+    }
+    const double err = sum / 4000;
+    EXPECT_GT(err, prev) << GetParam();
+    prev = err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAdditive, AdditiveMechanismTest,
+                         ::testing::Values("gaussian", "laplace",
+                                           "additive_uniform"));
+
+TEST(MultiplicativeMechanismTest, UnbiasedAndErrorDependsOnModel) {
+  MultiplicativeUniformMechanism mech;
+  Rng rng(5);
+  const Vector h = {2.0, -1.0};
+  Vector sum(h.size(), 0.0);
+  double err_sum = 0.0;
+  const int trials = 60000;
+  const double ncp = 0.5;
+  for (int t = 0; t < trials; ++t) {
+    const Vector noisy = mech.Perturb(h, ncp, rng);
+    for (size_t i = 0; i < h.size(); ++i) {
+      sum[i] += noisy[i];
+    }
+    err_sum += linalg::SquaredDistance(noisy, h);
+  }
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(sum[i] / trials, h[i], 0.02);
+  }
+  StatusOr<double> analytic = mech.ExpectedSquaredError(h, ncp);
+  ASSERT_TRUE(analytic.ok());
+  EXPECT_DOUBLE_EQ(*analytic, 5.0 * ncp * ncp / 3.0);
+  EXPECT_NEAR(err_sum / trials, *analytic, 0.05 * *analytic);
+}
+
+TEST(MakeMechanismTest, KnownAndUnknownNames) {
+  for (const char* name :
+       {"gaussian", "laplace", "additive_uniform", "multiplicative_uniform"}) {
+    StatusOr<std::unique_ptr<NoiseMechanism>> mech = MakeMechanism(name);
+    ASSERT_TRUE(mech.ok()) << name;
+    EXPECT_EQ((*mech)->name(), name);
+  }
+  EXPECT_EQ(MakeMechanism("bogus").status().code(), StatusCode::kNotFound);
+}
+
+TEST(EstimateExpectedErrorTest, MatchesSquareLossTheoryOnRealModel) {
+  // Train a real regression model, then check that the Monte-Carlo
+  // estimate of the *training-set* squared loss under Gaussian noise
+  // exceeds the noiseless loss and grows with δ.
+  Rng rng(6);
+  data::RegressionSpec spec;
+  spec.num_examples = 150;
+  spec.num_features = 4;
+  spec.noise_stddev = 0.5;
+  const data::Dataset d = data::GenerateRegression(spec, rng);
+  StatusOr<Vector> w = ml::FitLinearRegressionClosedForm(d);
+  ASSERT_TRUE(w.ok());
+  ml::SquaredLoss loss;
+  const double base = loss.Value(*w, d);
+  GaussianMechanism mech;
+  double prev = base;
+  for (double ncp : {0.1, 1.0, 10.0}) {
+    const double est =
+        EstimateExpectedError(mech, *w, ncp, loss, d, 3000, rng);
+    EXPECT_GT(est, prev);
+    prev = est;
+  }
+}
+
+}  // namespace
+}  // namespace nimbus::mechanism

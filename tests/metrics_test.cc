@@ -1,0 +1,155 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "ml/trainer.h"
+
+namespace nimbus::ml {
+namespace {
+
+using data::Dataset;
+using data::Task;
+
+TEST(RegressionMetricsTest, PerfectFit) {
+  Dataset d(1, Task::kRegression);
+  d.Add({1.0}, 2.0);
+  d.Add({2.0}, 4.0);
+  d.Add({3.0}, 6.0);
+  StatusOr<RegressionMetrics> m = EvaluateRegression({2.0}, d);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->mse, 0.0);
+  EXPECT_DOUBLE_EQ(m->rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m->mae, 0.0);
+  EXPECT_DOUBLE_EQ(m->r2, 1.0);
+}
+
+TEST(RegressionMetricsTest, HandComputedResiduals) {
+  // Predictions: 1, 2; targets 2, 4 -> residuals -1, -2.
+  Dataset d(1, Task::kRegression);
+  d.Add({1.0}, 2.0);
+  d.Add({2.0}, 4.0);
+  StatusOr<RegressionMetrics> m = EvaluateRegression({1.0}, d);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->mse, 2.5);
+  EXPECT_DOUBLE_EQ(m->rmse, std::sqrt(2.5));
+  EXPECT_DOUBLE_EQ(m->mae, 1.5);
+  // Total variance around mean 3 is 1 + 1 = 2; R² = 1 - 5/2 = -1.5.
+  EXPECT_DOUBLE_EQ(m->r2, -1.5);
+}
+
+TEST(RegressionMetricsTest, ConstantTargetsDegenerateR2) {
+  Dataset d(1, Task::kRegression);
+  d.Add({1.0}, 5.0);
+  d.Add({2.0}, 5.0);
+  StatusOr<RegressionMetrics> exact = EvaluateRegression({0.0}, d);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(exact->r2, 0.0);  // Nonzero error, zero variance.
+}
+
+TEST(RegressionMetricsTest, Validation) {
+  Dataset empty(2, Task::kRegression);
+  EXPECT_FALSE(EvaluateRegression({1.0, 2.0}, empty).ok());
+  Dataset d(2, Task::kRegression);
+  d.Add({1.0, 2.0}, 1.0);
+  EXPECT_FALSE(EvaluateRegression({1.0}, d).ok());
+}
+
+Dataset FourPointClassification() {
+  // Scores with w = (1): 2, 1, -1, -2; labels +, -, +, -.
+  Dataset d(1, Task::kClassification);
+  d.Add({2.0}, 1.0);
+  d.Add({1.0}, -1.0);
+  d.Add({-1.0}, 1.0);
+  d.Add({-2.0}, -1.0);
+  return d;
+}
+
+TEST(ClassificationMetricsTest, ConfusionCounts) {
+  StatusOr<ClassificationMetrics> m =
+      EvaluateClassification({1.0}, FourPointClassification());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->true_positives, 1);   // score 2, label +.
+  EXPECT_EQ(m->false_positives, 1);  // score 1, label -.
+  EXPECT_EQ(m->false_negatives, 1);  // score -1, label +.
+  EXPECT_EQ(m->true_negatives, 1);   // score -2, label -.
+  EXPECT_DOUBLE_EQ(m->accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(m->precision, 0.5);
+  EXPECT_DOUBLE_EQ(m->recall, 0.5);
+  EXPECT_DOUBLE_EQ(m->f1, 0.5);
+  // Positive scores {2, -1}, negative scores {1, -2}: of the four
+  // positive/negative pairs, three are correctly ordered -> AUC = 0.75.
+  EXPECT_DOUBLE_EQ(m->auc, 0.75);
+}
+
+TEST(ClassificationMetricsTest, PerfectSeparationHasAucOne) {
+  Dataset d(1, Task::kClassification);
+  d.Add({3.0}, 1.0);
+  d.Add({2.0}, 1.0);
+  d.Add({-1.0}, -1.0);
+  d.Add({-2.0}, -1.0);
+  StatusOr<ClassificationMetrics> m = EvaluateClassification({1.0}, d);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->auc, 1.0);
+  EXPECT_DOUBLE_EQ(m->accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m->f1, 1.0);
+}
+
+TEST(ClassificationMetricsTest, InvertedScoresHaveAucZero) {
+  Dataset d(1, Task::kClassification);
+  d.Add({-3.0}, 1.0);
+  d.Add({2.0}, -1.0);
+  StatusOr<ClassificationMetrics> m = EvaluateClassification({1.0}, d);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->auc, 0.0);
+}
+
+TEST(ClassificationMetricsTest, TiedScoresGetMidrank) {
+  // Two positives and two negatives, all with identical score: AUC 0.5.
+  Dataset d(1, Task::kClassification);
+  d.Add({0.0}, 1.0);
+  d.Add({0.0}, 1.0);
+  d.Add({0.0}, -1.0);
+  d.Add({0.0}, -1.0);
+  StatusOr<ClassificationMetrics> m = EvaluateClassification({1.0}, d);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->auc, 0.5);
+}
+
+TEST(ClassificationMetricsTest, SingleClassDegeneratesGracefully) {
+  Dataset d(1, Task::kClassification);
+  d.Add({1.0}, 1.0);
+  d.Add({2.0}, 1.0);
+  StatusOr<ClassificationMetrics> m = EvaluateClassification({1.0}, d);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->auc, 0.5);
+  EXPECT_DOUBLE_EQ(m->recall, 1.0);
+}
+
+TEST(ClassificationMetricsTest, RejectsNonSignLabels) {
+  Dataset d(1, Task::kClassification);
+  d.Add({1.0}, 0.5);
+  EXPECT_FALSE(EvaluateClassification({1.0}, d).ok());
+}
+
+TEST(ClassificationMetricsTest, TrainedModelScoresWell) {
+  Rng rng(9);
+  data::ClassificationSpec spec;
+  spec.num_examples = 400;
+  spec.num_features = 5;
+  spec.positive_prob = 0.95;
+  const Dataset d = data::GenerateClassification(spec, rng);
+  StatusOr<TrainResult> fit = FitLogisticRegressionNewton(d, 1e-3);
+  ASSERT_TRUE(fit.ok());
+  StatusOr<ClassificationMetrics> m =
+      EvaluateClassification(fit->weights, d);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->accuracy, 0.85);
+  EXPECT_GT(m->auc, 0.9);
+}
+
+}  // namespace
+}  // namespace nimbus::ml

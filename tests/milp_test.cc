@@ -1,0 +1,143 @@
+#include "solver/milp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace nimbus::solver {
+namespace {
+
+LpConstraint Row(std::vector<double> coeffs, ConstraintSense sense,
+                 double rhs) {
+  LpConstraint c;
+  c.coeffs = std::move(coeffs);
+  c.sense = sense;
+  c.rhs = rhs;
+  return c;
+}
+
+TEST(MilpTest, IntegerKnapsack) {
+  // max 5x + 4y s.t. 6x + 5y <= 10, integers -> x = 0, y = 2, obj 8.
+  MilpProblem milp;
+  milp.lp.num_vars = 2;
+  milp.lp.objective = {5, 4};
+  milp.lp.constraints = {Row({6, 5}, ConstraintSense::kLessEqual, 10)};
+  milp.integer = {true, true};
+  StatusOr<MilpSolution> sol = SolveMilp(milp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 8.0, 1e-9);
+  EXPECT_NEAR(sol->values[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol->values[1], 2.0, 1e-9);
+}
+
+TEST(MilpTest, IntegralityTightensTheRelaxation) {
+  // LP relaxation of the knapsack above achieves 10 * 5/6 > 8.
+  MilpProblem milp;
+  milp.lp.num_vars = 2;
+  milp.lp.objective = {5, 4};
+  milp.lp.constraints = {Row({6, 5}, ConstraintSense::kLessEqual, 10)};
+  milp.integer = {true, true};
+  StatusOr<LpSolution> relaxed = SolveLp(milp.lp);
+  StatusOr<MilpSolution> integral = SolveMilp(milp);
+  ASSERT_TRUE(relaxed.ok());
+  ASSERT_TRUE(integral.ok());
+  EXPECT_GT(relaxed->objective_value, integral->objective_value);
+}
+
+TEST(MilpTest, MixedIntegerLeavesContinuousFree) {
+  // max x + y, x integer, x <= 1.5, y <= 1.5 -> x = 1, y = 1.5.
+  MilpProblem milp;
+  milp.lp.num_vars = 2;
+  milp.lp.objective = {1, 1};
+  milp.lp.constraints = {Row({1, 0}, ConstraintSense::kLessEqual, 1.5),
+                         Row({0, 1}, ConstraintSense::kLessEqual, 1.5)};
+  milp.integer = {true, false};
+  StatusOr<MilpSolution> sol = SolveMilp(milp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->values[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol->values[1], 1.5, 1e-9);
+}
+
+TEST(MilpTest, MinimizationCoveringProblem) {
+  // min 3x + 5y s.t. 2x + 4y >= 7, integers -> candidates:
+  // x=4,y=0 ->12; x=2,y=1 ->11; x=0,y=2 ->10. Optimal 10.
+  MilpProblem milp;
+  milp.lp.num_vars = 2;
+  milp.lp.maximize = false;
+  milp.lp.objective = {3, 5};
+  milp.lp.constraints = {Row({2, 4}, ConstraintSense::kGreaterEqual, 7),
+                         Row({1, 0}, ConstraintSense::kLessEqual, 10),
+                         Row({0, 1}, ConstraintSense::kLessEqual, 10)};
+  milp.integer = {true, true};
+  StatusOr<MilpSolution> sol = SolveMilp(milp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 10.0, 1e-9);
+}
+
+TEST(MilpTest, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  MilpProblem milp;
+  milp.lp.num_vars = 1;
+  milp.lp.objective = {1};
+  milp.lp.constraints = {Row({1}, ConstraintSense::kLessEqual, 0.6),
+                         Row({1}, ConstraintSense::kGreaterEqual, 0.4)};
+  milp.integer = {true};
+  EXPECT_EQ(SolveMilp(milp).status().code(), StatusCode::kInfeasible);
+}
+
+TEST(MilpTest, MaskSizeValidated) {
+  MilpProblem milp;
+  milp.lp.num_vars = 2;
+  milp.lp.objective = {1, 1};
+  milp.integer = {true};  // Wrong size.
+  EXPECT_EQ(SolveMilp(milp).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MilpTest, ReportsNodesExplored) {
+  MilpProblem milp;
+  milp.lp.num_vars = 2;
+  milp.lp.objective = {5, 4};
+  milp.lp.constraints = {Row({6, 5}, ConstraintSense::kLessEqual, 10)};
+  milp.integer = {true, true};
+  StatusOr<MilpSolution> sol = SolveMilp(milp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GE(sol->nodes_explored, 1);
+}
+
+// Property sweep: random bounded 2-variable integer programs solved by
+// branch-and-bound must match exhaustive enumeration.
+TEST(MilpTest, MatchesEnumerationOnRandomInstances) {
+  Rng rng(66);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double c0 = rng.Uniform(0.5, 4.0);
+    const double c1 = rng.Uniform(0.5, 4.0);
+    const double a0 = rng.Uniform(0.5, 3.0);
+    const double a1 = rng.Uniform(0.5, 3.0);
+    const double budget = rng.Uniform(4.0, 12.0);
+
+    MilpProblem milp;
+    milp.lp.num_vars = 2;
+    milp.lp.objective = {c0, c1};
+    milp.lp.constraints = {Row({a0, a1}, ConstraintSense::kLessEqual, budget),
+                           Row({1, 0}, ConstraintSense::kLessEqual, 20),
+                           Row({0, 1}, ConstraintSense::kLessEqual, 20)};
+    milp.integer = {true, true};
+    StatusOr<MilpSolution> sol = SolveMilp(milp);
+    ASSERT_TRUE(sol.ok());
+
+    double best = 0.0;
+    for (int x = 0; x <= 20; ++x) {
+      for (int y = 0; y <= 20; ++y) {
+        if (a0 * x + a1 * y <= budget + 1e-12) {
+          best = std::max(best, c0 * x + c1 * y);
+        }
+      }
+    }
+    EXPECT_NEAR(sol->objective_value, best, 1e-7) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace nimbus::solver

@@ -1,0 +1,108 @@
+#include "ml/model_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "pricing/pricing_io.h"
+
+namespace nimbus {
+namespace {
+
+TEST(ModelIoTest, SerializeRoundTrip) {
+  const linalg::Vector weights = {1.5, -2.25, 0.0, 1e-17, 3.14159265358979};
+  StatusOr<linalg::Vector> back =
+      ml::DeserializeWeights(ml::SerializeWeights(weights));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, weights);  // Bit-exact round trip.
+}
+
+TEST(ModelIoTest, EmptyModelRoundTrips) {
+  StatusOr<linalg::Vector> back =
+      ml::DeserializeWeights(ml::SerializeWeights({}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(ModelIoTest, RejectsCorruptInput) {
+  EXPECT_FALSE(ml::DeserializeWeights("").ok());
+  EXPECT_FALSE(ml::DeserializeWeights("wrong header\n2\n1\n2\n").ok());
+  EXPECT_FALSE(ml::DeserializeWeights("nimbus-model v1\n-3\n").ok());
+  // Truncated.
+  EXPECT_FALSE(ml::DeserializeWeights("nimbus-model v1\n3\n1.0\n2.0\n").ok());
+  // Trailing garbage.
+  EXPECT_FALSE(
+      ml::DeserializeWeights("nimbus-model v1\n1\n1.0\n2.0\n").ok());
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const linalg::Vector weights = {0.25, -7.5};
+  const std::string path = ::testing::TempDir() + "/nimbus_model_io.model";
+  ASSERT_TRUE(ml::SaveWeights(weights, path).ok());
+  StatusOr<linalg::Vector> back = ml::LoadWeights(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, weights);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ml::LoadWeights("/nonexistent/nimbus.model").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PricingIoTest, SerializeRoundTrip) {
+  auto pricing = pricing::PiecewiseLinearPricing::Create(
+      {{1.0, 10.0}, {2.5, 17.125}, {10.0, 30.0}}, "mbp");
+  ASSERT_TRUE(pricing.ok());
+  StatusOr<pricing::PiecewiseLinearPricing> back =
+      pricing::DeserializePricingFunction(
+          pricing::SerializePricingFunction(*pricing));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name(), "mbp");
+  ASSERT_EQ(back->points().size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back->points()[i].inverse_ncp,
+              pricing->points()[i].inverse_ncp);
+    EXPECT_EQ(back->points()[i].price, pricing->points()[i].price);
+  }
+  // Behaviour identical after the round trip.
+  for (double x : {0.5, 1.7, 5.0, 50.0}) {
+    EXPECT_DOUBLE_EQ(back->PriceAtInverseNcp(x),
+                     pricing->PriceAtInverseNcp(x));
+  }
+}
+
+TEST(PricingIoTest, LoadedCurveIsRevalidated) {
+  // A file with decreasing inverse-NCP must fail Create on load.
+  const std::string bad =
+      "nimbus-pricing v1\nbroken\n2\n2.0 5.0\n1.0 9.0\n";
+  EXPECT_FALSE(pricing::DeserializePricingFunction(bad).ok());
+  // Negative price rejected as well.
+  const std::string negative =
+      "nimbus-pricing v1\nbroken\n1\n1.0 -4.0\n";
+  EXPECT_FALSE(pricing::DeserializePricingFunction(negative).ok());
+}
+
+TEST(PricingIoTest, RejectsCorruptInput) {
+  EXPECT_FALSE(pricing::DeserializePricingFunction("").ok());
+  EXPECT_FALSE(pricing::DeserializePricingFunction("bad header\n").ok());
+  EXPECT_FALSE(pricing::DeserializePricingFunction(
+                   "nimbus-pricing v1\nname\n3\n1.0 2.0\n")
+                   .ok());
+}
+
+TEST(PricingIoTest, FileRoundTrip) {
+  auto pricing =
+      pricing::PiecewiseLinearPricing::Create({{1.0, 3.0}}, "single");
+  ASSERT_TRUE(pricing.ok());
+  const std::string path = ::testing::TempDir() + "/nimbus_pricing_io.txt";
+  ASSERT_TRUE(pricing::SavePricingFunction(*pricing, path).ok());
+  StatusOr<pricing::PiecewiseLinearPricing> back =
+      pricing::LoadPricingFunction(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name(), "single");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nimbus

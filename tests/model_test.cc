@@ -1,0 +1,149 @@
+#include "ml/model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+
+namespace nimbus::ml {
+namespace {
+
+TEST(ModelSpecTest, LinearRegressionMenu) {
+  StatusOr<ModelSpec> spec = ModelSpec::Create(ModelKind::kLinearRegression,
+                                               0.0);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->training_loss().name(), "squared");
+  // Regression offers only its own loss for reporting (Table 2).
+  EXPECT_EQ(spec->report_losses().size(), 1u);
+  EXPECT_FALSE(spec->FindReportLoss("zero_one").ok());
+}
+
+TEST(ModelSpecTest, ClassificationModelsOfferZeroOne) {
+  for (ModelKind kind :
+       {ModelKind::kLogisticRegression, ModelKind::kLinearSvm}) {
+    StatusOr<ModelSpec> spec = ModelSpec::Create(kind, 0.1);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec->report_losses().size(), 2u);
+    EXPECT_TRUE(spec->FindReportLoss("zero_one").ok());
+  }
+}
+
+TEST(ModelSpecTest, RegularizerShowsUpInLossName) {
+  StatusOr<ModelSpec> spec =
+      ModelSpec::Create(ModelKind::kLogisticRegression, 0.25);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_NE(spec->training_loss().name().find("logistic+l2"),
+            std::string::npos);
+}
+
+TEST(ModelSpecTest, SvmRequiresRegularization) {
+  EXPECT_EQ(ModelSpec::Create(ModelKind::kLinearSvm, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ModelSpec::Create(ModelKind::kLinearSvm, 0.01).ok());
+}
+
+TEST(ModelSpecTest, NegativeMuRejected) {
+  EXPECT_EQ(
+      ModelSpec::Create(ModelKind::kLinearRegression, -0.1).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ModelSpecTest, CompatibilityChecksTask) {
+  Rng rng(1);
+  data::RegressionSpec rspec;
+  rspec.num_examples = 10;
+  rspec.num_features = 2;
+  const data::Dataset reg = data::GenerateRegression(rspec, rng);
+  data::ClassificationSpec cspec;
+  cspec.num_examples = 10;
+  cspec.num_features = 2;
+  const data::Dataset cls = data::GenerateClassification(cspec, rng);
+
+  StatusOr<ModelSpec> lin = ModelSpec::Create(ModelKind::kLinearRegression, 0);
+  StatusOr<ModelSpec> log =
+      ModelSpec::Create(ModelKind::kLogisticRegression, 0.1);
+  ASSERT_TRUE(lin.ok());
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(lin->IsCompatibleWith(reg));
+  EXPECT_FALSE(lin->IsCompatibleWith(cls));
+  EXPECT_TRUE(log->IsCompatibleWith(cls));
+  EXPECT_FALSE(log->IsCompatibleWith(reg));
+  EXPECT_EQ(lin->FitOptimal(cls).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ModelSpecTest, FitOptimalMinimizesTrainingLoss) {
+  Rng rng(2);
+  for (ModelKind kind : {ModelKind::kLinearRegression,
+                         ModelKind::kLogisticRegression,
+                         ModelKind::kLinearSvm}) {
+    StatusOr<ModelSpec> spec = ModelSpec::Create(kind, 0.05);
+    ASSERT_TRUE(spec.ok());
+    data::Dataset d(3, data::Task::kRegression);
+    if (kind == ModelKind::kLinearRegression) {
+      data::RegressionSpec rspec;
+      rspec.num_examples = 60;
+      rspec.num_features = 3;
+      rspec.noise_stddev = 0.3;
+      d = data::GenerateRegression(rspec, rng);
+    } else {
+      data::ClassificationSpec cspec;
+      cspec.num_examples = 60;
+      cspec.num_features = 3;
+      d = data::GenerateClassification(cspec, rng);
+    }
+    StatusOr<linalg::Vector> w = spec->FitOptimal(d);
+    ASSERT_TRUE(w.ok()) << ModelKindToString(kind);
+    const double optimum = spec->training_loss().Value(*w, d);
+    // Random probes never beat the fitted optimum (convex objective).
+    for (int i = 0; i < 20; ++i) {
+      linalg::Vector probe = *w;
+      linalg::AxpyInPlace(0.05, rng.GaussianVector(3), probe);
+      EXPECT_GE(spec->training_loss().Value(probe, d), optimum - 1e-6)
+          << ModelKindToString(kind);
+    }
+  }
+}
+
+TEST(ModelSpecTest, PoissonRegressionMenuAndFit) {
+  StatusOr<ModelSpec> spec =
+      ModelSpec::Create(ModelKind::kPoissonRegression, 0.0);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->training_loss().name(), "poisson");
+  // Count regression reports only its own loss (no 0/1 rate).
+  EXPECT_EQ(spec->report_losses().size(), 1u);
+  EXPECT_FALSE(spec->FindReportLoss("zero_one").ok());
+
+  Rng rng(5);
+  data::PoissonSpec pspec;
+  pspec.num_examples = 200;
+  pspec.num_features = 3;
+  const data::Dataset d = data::GeneratePoissonRegression(pspec, rng);
+  EXPECT_TRUE(spec->IsCompatibleWith(d));
+  StatusOr<linalg::Vector> w = spec->FitOptimal(d);
+  ASSERT_TRUE(w.ok());
+  const double optimum = spec->training_loss().Value(*w, d);
+  for (int i = 0; i < 10; ++i) {
+    linalg::Vector probe = *w;
+    linalg::AxpyInPlace(0.05, rng.GaussianVector(3), probe);
+    EXPECT_GE(spec->training_loss().Value(probe, d), optimum - 1e-6);
+  }
+}
+
+TEST(PredictTest, ScoreAndLabel) {
+  const linalg::Vector w = {1.0, -2.0};
+  EXPECT_DOUBLE_EQ(PredictScore(w, {3.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(PredictLabel(w, {3.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(PredictLabel(w, {0.0, 1.0}), -1.0);
+}
+
+TEST(ModelKindTest, Names) {
+  EXPECT_EQ(ModelKindToString(ModelKind::kLinearRegression),
+            "linear_regression");
+  EXPECT_EQ(ModelKindToString(ModelKind::kLogisticRegression),
+            "logistic_regression");
+  EXPECT_EQ(ModelKindToString(ModelKind::kLinearSvm), "linear_svm");
+}
+
+}  // namespace
+}  // namespace nimbus::ml

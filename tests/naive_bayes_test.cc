@@ -1,0 +1,139 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "mechanism/noise_mechanism.h"
+#include "pricing/error_curve.h"
+
+namespace nimbus::ml {
+namespace {
+
+using data::Dataset;
+using data::Task;
+
+Dataset TwoClusterData(Rng& rng, int per_class = 200, double separation = 3.0) {
+  Dataset d(2, Task::kClassification);
+  for (int i = 0; i < per_class; ++i) {
+    d.Add({separation + rng.Gaussian(), rng.Gaussian()}, 1.0);
+    d.Add({-separation + rng.Gaussian(), rng.Gaussian()}, -1.0);
+  }
+  return d;
+}
+
+TEST(NaiveBayesTest, FitRecoversClusterStructure) {
+  Rng rng(1);
+  const Dataset d = TwoClusterData(rng);
+  StatusOr<NaiveBayesModel> model = FitGaussianNaiveBayes(d);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->prior_logit, 0.0, 1e-9);  // Balanced classes.
+  EXPECT_NEAR(model->mean_positive[0], 3.0, 0.3);
+  EXPECT_NEAR(model->mean_negative[0], -3.0, 0.3);
+  EXPECT_NEAR(std::exp(model->log_variance[0]), 1.0, 0.3);
+  // Near-perfect separation at distance 3 sigma.
+  NaiveBayesZeroOneLoss loss;
+  EXPECT_LT(loss.Value(model->Flatten(), d), 0.02);
+}
+
+TEST(NaiveBayesTest, PriorLogitTracksClassImbalance) {
+  Dataset d(1, Task::kClassification);
+  for (int i = 0; i < 30; ++i) {
+    d.Add({1.0}, 1.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    d.Add({-1.0}, -1.0);
+  }
+  StatusOr<NaiveBayesModel> model = FitGaussianNaiveBayes(d);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->prior_logit, std::log(3.0), 1e-12);
+}
+
+TEST(NaiveBayesTest, FitValidation) {
+  Dataset empty(2, Task::kClassification);
+  EXPECT_FALSE(FitGaussianNaiveBayes(empty).ok());
+  Dataset one_class(1, Task::kClassification);
+  one_class.Add({1.0}, 1.0);
+  EXPECT_EQ(FitGaussianNaiveBayes(one_class).status().code(),
+            StatusCode::kFailedPrecondition);
+  Dataset bad_labels(1, Task::kClassification);
+  bad_labels.Add({1.0}, 0.5);
+  EXPECT_FALSE(FitGaussianNaiveBayes(bad_labels).ok());
+  Dataset ok(1, Task::kClassification);
+  ok.Add({1.0}, 1.0);
+  ok.Add({-1.0}, -1.0);
+  EXPECT_FALSE(FitGaussianNaiveBayes(ok, 0.0).ok());
+}
+
+TEST(NaiveBayesTest, FlattenRoundTrips) {
+  Rng rng(2);
+  const Dataset d = TwoClusterData(rng, 50);
+  NaiveBayesModel model = *FitGaussianNaiveBayes(d);
+  const linalg::Vector flat = model.Flatten();
+  EXPECT_EQ(static_cast<int>(flat.size()), NaiveBayesModel::ParameterDim(2));
+  StatusOr<NaiveBayesModel> back = NaiveBayesModel::FromFlat(flat);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->prior_logit, model.prior_logit);
+  EXPECT_TRUE(AlmostEqual(back->mean_positive, model.mean_positive));
+  EXPECT_TRUE(AlmostEqual(back->mean_negative, model.mean_negative));
+  EXPECT_TRUE(AlmostEqual(back->log_variance, model.log_variance));
+}
+
+TEST(NaiveBayesTest, FromFlatValidatesShape) {
+  EXPECT_FALSE(NaiveBayesModel::FromFlat({}).ok());
+  EXPECT_FALSE(NaiveBayesModel::FromFlat({1.0, 2.0}).ok());
+  EXPECT_FALSE(NaiveBayesModel::FromFlat({1, 2, 3, 4, 5}).ok());  // 3d+1=5? d=4/3.
+  EXPECT_TRUE(NaiveBayesModel::FromFlat({0, 1, -1, 0}).ok());     // d = 1.
+}
+
+TEST(NaiveBayesTest, ScoreIsSymmetricUnderClassSwap) {
+  NaiveBayesModel model;
+  model.prior_logit = 0.0;
+  model.mean_positive = {1.0};
+  model.mean_negative = {-1.0};
+  model.log_variance = {0.0};
+  EXPECT_GT(model.Score({0.5}), 0.0);
+  EXPECT_LT(model.Score({-0.5}), 0.0);
+  EXPECT_NEAR(model.Score({0.5}), -model.Score({-0.5}), 1e-12);
+  EXPECT_DOUBLE_EQ(model.Predict({0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(model.Predict({-0.5}), -1.0);
+}
+
+TEST(NaiveBayesTest, NoisyVersionsStayValidModels) {
+  // Perturbing the flattened parameters (incl. log-variances) always
+  // yields a usable model: this is the point of the log parametrization.
+  Rng rng(3);
+  const Dataset d = TwoClusterData(rng, 100);
+  NaiveBayesModel model = *FitGaussianNaiveBayes(d);
+  const mechanism::GaussianMechanism mech;
+  NaiveBayesZeroOneLoss loss;
+  for (double ncp : {0.1, 10.0, 1000.0}) {
+    const linalg::Vector noisy = mech.Perturb(model.Flatten(), ncp, rng);
+    StatusOr<NaiveBayesModel> version = NaiveBayesModel::FromFlat(noisy);
+    ASSERT_TRUE(version.ok());
+    const double err = loss.Value(noisy, d);
+    EXPECT_GE(err, 0.0);
+    EXPECT_LE(err, 1.0);
+  }
+}
+
+TEST(NaiveBayesTest, ErrorCurveIsMonotoneLikeFigure6) {
+  // The §6.1 observation extends to Naive Bayes: the expected 0/1 error
+  // of noisy versions decreases as 1/NCP grows.
+  Rng rng(4);
+  const Dataset d = TwoClusterData(rng, 150, 2.0);
+  NaiveBayesModel model = *FitGaussianNaiveBayes(d);
+  const mechanism::GaussianMechanism mech;
+  NaiveBayesZeroOneLoss loss;
+  StatusOr<pricing::ErrorCurve> curve = pricing::ErrorCurve::Estimate(
+      mech, model.Flatten(), loss, d, Linspace(1.0, 50.0, 8), 200, rng);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_GT(curve->points().front().expected_error,
+            curve->points().back().expected_error);
+}
+
+}  // namespace
+}  // namespace nimbus::ml

@@ -1,0 +1,136 @@
+#include "pricing/optimal_attack.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace nimbus::pricing {
+namespace {
+
+// p(x) = x²: superadditive, so synthesizing precision from cheap
+// versions always beats buying the precise version.
+class QuadraticPricing final : public PricingFunction {
+ public:
+  double PriceAtInverseNcp(double x) const override { return x * x; }
+  std::string name() const override { return "quadratic"; }
+};
+
+TEST(CheapestCombinationTest, FindsKnapsackOptimum) {
+  QuadraticPricing pricing;
+  // Versions 1 and 2 cost 1 and 4; target precision 4 costs 16 directly,
+  // but 2+2 costs 8 and 1+1+1+1 costs 4 (cheapest).
+  StatusOr<CheapestCombination> combo = FindCheapestCombination(
+      pricing, {1.0, 2.0}, /*target_inverse_ncp=*/4.0, /*unit=*/1.0);
+  ASSERT_TRUE(combo.ok());
+  EXPECT_DOUBLE_EQ(combo->direct_price, 16.0);
+  EXPECT_DOUBLE_EQ(combo->combination_cost, 4.0);
+  EXPECT_TRUE(combo->arbitrage_found);
+  EXPECT_EQ(combo->purchases.size(), 4u);
+  double total_precision = 0.0;
+  for (double x : combo->purchases) {
+    EXPECT_DOUBLE_EQ(x, 1.0);
+    total_precision += x;
+  }
+  EXPECT_GE(total_precision, 4.0);
+}
+
+TEST(CheapestCombinationTest, SubadditivePricingIsSafe) {
+  // sqrt pricing is subadditive: no combination can undercut it.
+  class SqrtPricing final : public PricingFunction {
+   public:
+    double PriceAtInverseNcp(double x) const override {
+      return std::sqrt(x);
+    }
+    std::string name() const override { return "sqrt"; }
+  } pricing;
+  const std::vector<double> versions = Linspace(1.0, 10.0, 10);
+  for (double target : versions) {
+    StatusOr<CheapestCombination> combo =
+        FindCheapestCombination(pricing, versions, target, 0.5);
+    ASSERT_TRUE(combo.ok());
+    EXPECT_FALSE(combo->arbitrage_found)
+        << "target " << target << ": synthesized for "
+        << combo->combination_cost << " vs list " << combo->direct_price;
+  }
+}
+
+TEST(CheapestCombinationTest, RoundingIsConservative) {
+  // A version at x = 0.9 with unit 1.0 rounds down to 0 units and cannot
+  // be used; the combination cost must then be infinite (no usable
+  // items), never an infeasible cheat.
+  QuadraticPricing pricing;
+  StatusOr<CheapestCombination> combo =
+      FindCheapestCombination(pricing, {0.9}, 2.0, 1.0);
+  ASSERT_TRUE(combo.ok());
+  EXPECT_TRUE(std::isinf(combo->combination_cost));
+  EXPECT_FALSE(combo->arbitrage_found);
+}
+
+TEST(CheapestCombinationTest, TargetRoundsUp) {
+  // Target 2.1 with unit 1 needs 3 units; one version of 2 is not
+  // enough, so two purchases are required.
+  class FlatPricing final : public PricingFunction {
+   public:
+    double PriceAtInverseNcp(double x) const override {
+      return x > 0 ? 5.0 : 0.0;
+    }
+    std::string name() const override { return "flat"; }
+  } pricing;
+  StatusOr<CheapestCombination> combo =
+      FindCheapestCombination(pricing, {2.0}, 2.1, 1.0);
+  ASSERT_TRUE(combo.ok());
+  EXPECT_EQ(combo->purchases.size(), 2u);
+  EXPECT_DOUBLE_EQ(combo->combination_cost, 10.0);
+}
+
+TEST(CheapestCombinationTest, Validation) {
+  QuadraticPricing pricing;
+  EXPECT_FALSE(FindCheapestCombination(pricing, {}, 1.0).ok());
+  EXPECT_FALSE(FindCheapestCombination(pricing, {1.0}, 0.0).ok());
+  EXPECT_FALSE(FindCheapestCombination(pricing, {1.0}, 1.0, 0.0).ok());
+  EXPECT_FALSE(FindCheapestCombination(pricing, {-1.0}, 1.0).ok());
+  // Excessive grid size.
+  EXPECT_FALSE(FindCheapestCombination(pricing, {1.0}, 1e9, 1e-3).ok());
+}
+
+TEST(AuditMenuTest, FlagsSuperadditiveMenu) {
+  QuadraticPricing pricing;
+  StatusOr<MenuAuditResult> audit =
+      AuditMenu(pricing, {1.0, 2.0, 4.0, 8.0}, 1.0);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_FALSE(audit->arbitrage_free);
+  // Worst target is the most precise version: 64 direct vs 8 singles.
+  EXPECT_NEAR(audit->worst_ratio, 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(audit->worst_case.target_inverse_ncp, 8.0);
+}
+
+TEST(AuditMenuTest, CertifiesConcaveMenu) {
+  class LogPricing final : public PricingFunction {
+   public:
+    double PriceAtInverseNcp(double x) const override {
+      return std::log1p(x);
+    }
+    std::string name() const override { return "log1p"; }
+  } pricing;
+  StatusOr<MenuAuditResult> audit =
+      AuditMenu(pricing, Linspace(1.0, 20.0, 20), 0.5);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->arbitrage_free) << "worst ratio " << audit->worst_ratio;
+}
+
+TEST(AuditMenuTest, MatchesPairwiseAuditorOnItsDomain) {
+  // The knapsack audit subsumes pairwise checks: a pricing function the
+  // pairwise auditor rejects must also be rejected here (with a gap at
+  // least as large when the pair is expressible on the menu).
+  QuadraticPricing pricing;
+  StatusOr<MenuAuditResult> audit = AuditMenu(pricing, {1.0, 2.0}, 1.0);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_FALSE(audit->arbitrage_free);
+  // Pairwise: p(2) = 4 > p(1) + p(1) = 2, ratio 2.
+  EXPECT_GE(audit->worst_ratio, 2.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace nimbus::pricing

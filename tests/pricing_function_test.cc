@@ -1,0 +1,91 @@
+#include "pricing/pricing_function.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace nimbus::pricing {
+namespace {
+
+TEST(PiecewiseLinearTest, CreateValidatesInput) {
+  EXPECT_FALSE(PiecewiseLinearPricing::Create({}).ok());
+  // Non-increasing x.
+  EXPECT_FALSE(
+      PiecewiseLinearPricing::Create({{2.0, 1.0}, {2.0, 2.0}}).ok());
+  // Non-positive first x.
+  EXPECT_FALSE(PiecewiseLinearPricing::Create({{0.0, 1.0}}).ok());
+  // Negative price.
+  EXPECT_FALSE(PiecewiseLinearPricing::Create({{1.0, -0.5}}).ok());
+  EXPECT_TRUE(PiecewiseLinearPricing::Create({{1.0, 5.0}, {2.0, 8.0}}).ok());
+}
+
+TEST(PiecewiseLinearTest, Proposition1Extension) {
+  // Points (2, 10), (4, 16): below 2 the curve is the origin segment,
+  // between them linear, above 4 constant.
+  StatusOr<PiecewiseLinearPricing> p =
+      PiecewiseLinearPricing::Create({{2.0, 10.0}, {4.0, 16.0}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->PriceAtInverseNcp(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p->PriceAtInverseNcp(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(p->PriceAtInverseNcp(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(p->PriceAtInverseNcp(3.0), 13.0);
+  EXPECT_DOUBLE_EQ(p->PriceAtInverseNcp(4.0), 16.0);
+  EXPECT_DOUBLE_EQ(p->PriceAtInverseNcp(100.0), 16.0);
+}
+
+TEST(PiecewiseLinearTest, PriceAtNcpIsInverseDomain) {
+  StatusOr<PiecewiseLinearPricing> p =
+      PiecewiseLinearPricing::Create({{1.0, 2.0}, {10.0, 5.0}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->PriceAtNcp(1.0), p->PriceAtInverseNcp(1.0));
+  EXPECT_DOUBLE_EQ(p->PriceAtNcp(0.1), p->PriceAtInverseNcp(10.0));
+}
+
+TEST(PiecewiseLinearTest, ChainConstraintCheck) {
+  // Valid: prices increase, price/x decreases (5/1 > 8/2 > 9/3).
+  StatusOr<PiecewiseLinearPricing> good = PiecewiseLinearPricing::Create(
+      {{1.0, 5.0}, {2.0, 8.0}, {3.0, 9.0}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->SatisfiesChainConstraints());
+
+  // Monotonicity violated (price drops).
+  StatusOr<PiecewiseLinearPricing> drop =
+      PiecewiseLinearPricing::Create({{1.0, 5.0}, {2.0, 4.0}});
+  ASSERT_TRUE(drop.ok());
+  EXPECT_FALSE(drop->SatisfiesChainConstraints());
+
+  // Slope condition violated (convex growth: 1/1 < 4/2).
+  StatusOr<PiecewiseLinearPricing> convex =
+      PiecewiseLinearPricing::Create({{1.0, 1.0}, {2.0, 4.0}});
+  ASSERT_TRUE(convex.ok());
+  EXPECT_FALSE(convex->SatisfiesChainConstraints());
+}
+
+TEST(ConstantPricingTest, ZeroAtOriginConstantElsewhere) {
+  ConstantPricing p(7.0, "maxc");
+  EXPECT_DOUBLE_EQ(p.PriceAtInverseNcp(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.PriceAtInverseNcp(0.001), 7.0);
+  EXPECT_DOUBLE_EQ(p.PriceAtInverseNcp(1e9), 7.0);
+  EXPECT_EQ(p.name(), "maxc");
+}
+
+TEST(LinearPricingTest, SlopeAndCap) {
+  LinearPricing p(2.0, 9.0);
+  EXPECT_DOUBLE_EQ(p.PriceAtInverseNcp(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.PriceAtInverseNcp(3.0), 6.0);
+  EXPECT_DOUBLE_EQ(p.PriceAtInverseNcp(10.0), 9.0);
+}
+
+TEST(LinearPricingTest, UncappedWithInfinity) {
+  LinearPricing p(1.5, std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(p.PriceAtInverseNcp(1000.0), 1500.0);
+}
+
+TEST(AffinePricingTest, InterceptAppliesOnlyOffOrigin) {
+  AffinePricing p(4.0, 0.5);
+  EXPECT_DOUBLE_EQ(p.PriceAtInverseNcp(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.PriceAtInverseNcp(2.0), 5.0);
+}
+
+}  // namespace
+}  // namespace nimbus::pricing

@@ -1,0 +1,112 @@
+#include "mechanism/privacy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace nimbus::mechanism {
+namespace {
+
+TEST(SensitivityTest, ErmFormula) {
+  StatusOr<double> s = ErmL2Sensitivity(/*lipschitz=*/1.0, /*mu=*/0.1,
+                                        /*n=*/100);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 0.1);
+}
+
+TEST(SensitivityTest, ShrinksWithDataAndRegularization) {
+  const double small_n = *ErmL2Sensitivity(1.0, 0.1, 100);
+  const double big_n = *ErmL2Sensitivity(1.0, 0.1, 10000);
+  const double big_mu = *ErmL2Sensitivity(1.0, 10.0, 100);
+  EXPECT_LT(big_n, small_n);
+  EXPECT_LT(big_mu, small_n);
+}
+
+TEST(SensitivityTest, Validation) {
+  EXPECT_FALSE(ErmL2Sensitivity(-1.0, 0.1, 10).ok());
+  EXPECT_FALSE(ErmL2Sensitivity(1.0, 0.0, 10).ok());
+  EXPECT_FALSE(ErmL2Sensitivity(1.0, 0.1, 0).ok());
+}
+
+TEST(MaxFeatureNormTest, FindsLargestRow) {
+  data::Dataset d(2, data::Task::kClassification);
+  d.Add({3.0, 4.0}, 1.0);   // Norm 5.
+  d.Add({1.0, 0.0}, -1.0);  // Norm 1.
+  EXPECT_DOUBLE_EQ(MaxFeatureNorm(d), 5.0);
+  EXPECT_DOUBLE_EQ(MaxFeatureNorm(data::Dataset(1, data::Task::kRegression)),
+                   0.0);
+}
+
+TEST(MinNcpTest, MatchesClassicalGaussianFormula) {
+  const double epsilon = 0.5;
+  const double delta = 1e-5;
+  const double sensitivity = 0.01;
+  const int dim = 10;
+  StatusOr<double> ncp = MinNcpForDp(epsilon, delta, sensitivity, dim);
+  ASSERT_TRUE(ncp.ok());
+  const double sigma =
+      sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+  EXPECT_NEAR(*ncp, sigma * sigma * dim, 1e-15);
+}
+
+TEST(MinNcpTest, TighterPrivacyNeedsMoreNoise) {
+  const double loose = *MinNcpForDp(1.0, 1e-5, 0.01, 10);
+  const double tight = *MinNcpForDp(0.1, 1e-5, 0.01, 10);
+  EXPECT_GT(tight, loose);
+  const double tighter_delta = *MinNcpForDp(1.0, 1e-9, 0.01, 10);
+  EXPECT_GT(tighter_delta, loose);
+}
+
+TEST(MinNcpTest, Validation) {
+  EXPECT_FALSE(MinNcpForDp(0.0, 1e-5, 0.01, 10).ok());
+  EXPECT_FALSE(MinNcpForDp(1.5, 1e-5, 0.01, 10).ok());
+  EXPECT_FALSE(MinNcpForDp(0.5, 0.0, 0.01, 10).ok());
+  EXPECT_FALSE(MinNcpForDp(0.5, 1.0, 0.01, 10).ok());
+  EXPECT_FALSE(MinNcpForDp(0.5, 1e-5, 0.0, 10).ok());
+  EXPECT_FALSE(MinNcpForDp(0.5, 1e-5, 0.01, 0).ok());
+}
+
+TEST(DpGuaranteeTest, RoundTripsWithMinNcp) {
+  // The guarantee implied by the minimum NCP for (ε, δ) is exactly ε.
+  const double epsilon = 0.8;
+  const double delta = 1e-6;
+  const double sensitivity = 0.02;
+  const int dim = 20;
+  StatusOr<double> ncp = MinNcpForDp(epsilon, delta, sensitivity, dim);
+  ASSERT_TRUE(ncp.ok());
+  StatusOr<DpGuarantee> guarantee =
+      DpGuaranteeForNcp(*ncp, delta, sensitivity, dim);
+  ASSERT_TRUE(guarantee.ok());
+  EXPECT_NEAR(guarantee->epsilon, epsilon, 1e-12);
+  EXPECT_TRUE(guarantee->classical_bound_valid);
+}
+
+TEST(DpGuaranteeTest, MoreNoiseMeansStrongerPrivacy) {
+  const DpGuarantee noisy = *DpGuaranteeForNcp(10.0, 1e-5, 0.05, 10);
+  const DpGuarantee precise = *DpGuaranteeForNcp(0.1, 1e-5, 0.05, 10);
+  EXPECT_LT(noisy.epsilon, precise.epsilon);
+}
+
+TEST(DpGuaranteeTest, FlagsEpsilonBeyondClassicalRange) {
+  // Tiny noise with large sensitivity: ε > 1, bound not valid.
+  const DpGuarantee weak = *DpGuaranteeForNcp(1e-6, 1e-5, 1.0, 1);
+  EXPECT_GT(weak.epsilon, 1.0);
+  EXPECT_FALSE(weak.classical_bound_valid);
+}
+
+TEST(DpGuaranteeTest, PrivacyErrorTradeoffIsTheMbpTradeoff) {
+  // The seller's dilemma: a cheaper (noisier) version is more private.
+  // Walk the NCP axis and check ε falls as the expected error (= δ for
+  // the Gaussian mechanism, Lemma 3) rises.
+  double prev_epsilon = 1e9;
+  for (double ncp : {0.1, 0.5, 2.0, 8.0}) {
+    const DpGuarantee g = *DpGuaranteeForNcp(ncp, 1e-5, 0.05, 10);
+    EXPECT_LT(g.epsilon, prev_epsilon);
+    prev_epsilon = g.epsilon;
+  }
+}
+
+}  // namespace
+}  // namespace nimbus::mechanism

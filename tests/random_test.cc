@@ -1,0 +1,177 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace nimbus {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint64() != b.NextUint64()) {
+      ++differing;
+    }
+  }
+  EXPECT_GE(differing, 30);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentred) {
+  Rng rng(9);
+  std::vector<double> samples(20000);
+  for (double& s : samples) {
+    s = rng.Uniform(0.0, 10.0);
+  }
+  EXPECT_NEAR(Mean(samples), 5.0, 0.1);
+}
+
+TEST(RngTest, UniformIntStaysBelowBound) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++counts[static_cast<size_t>(rng.UniformInt(5))];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // Expected 1000 each; loose bound.
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(12);
+  std::vector<double> samples(50000);
+  for (double& s : samples) {
+    s = rng.Gaussian();
+  }
+  EXPECT_NEAR(Mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(SampleVariance(samples), 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(13);
+  std::vector<double> samples(50000);
+  for (double& s : samples) {
+    s = rng.Gaussian(3.0, 2.0);
+  }
+  EXPECT_NEAR(Mean(samples), 3.0, 0.05);
+  EXPECT_NEAR(SampleVariance(samples), 4.0, 0.15);
+}
+
+TEST(RngTest, LaplaceVarianceIsTwoScaleSquared) {
+  Rng rng(14);
+  const double scale = 1.5;
+  std::vector<double> samples(80000);
+  for (double& s : samples) {
+    s = rng.Laplace(scale);
+  }
+  EXPECT_NEAR(Mean(samples), 0.0, 0.05);
+  EXPECT_NEAR(SampleVariance(samples), 2.0 * scale * scale, 0.15);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksProbability) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMeanAndVarianceMatch) {
+  Rng rng(19);
+  for (double mean : {0.5, 4.0, 80.0}) {
+    std::vector<double> samples(30000);
+    for (double& s : samples) {
+      s = static_cast<double>(rng.Poisson(mean));
+    }
+    EXPECT_NEAR(Mean(samples), mean, 0.05 * mean + 0.02) << mean;
+    EXPECT_NEAR(SampleVariance(samples), mean, 0.08 * mean + 0.05) << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(20);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Poisson(0.0), 0);
+  }
+}
+
+TEST(RngTest, PoissonIsNonNegative) {
+  Rng rng(21);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(rng.Poisson(50.0), 0);
+  }
+}
+
+TEST(RngTest, GaussianVectorHasRequestedLength) {
+  Rng rng(16);
+  EXPECT_EQ(rng.GaussianVector(17).size(), 17u);
+  EXPECT_TRUE(rng.GaussianVector(0).empty());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.Fork();
+  // The child stream must differ from the parent continuation.
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent.NextUint64() != child.NextUint64()) {
+      ++differing;
+    }
+  }
+  EXPECT_GE(differing, 30);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(18);
+  Rng b(18);
+  Rng ca = a.Fork();
+  Rng cb = b.Fork();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(ca.NextUint64(), cb.NextUint64());
+  }
+}
+
+}  // namespace
+}  // namespace nimbus

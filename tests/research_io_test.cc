@@ -1,0 +1,65 @@
+#include "revenue/research_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "market/curves.h"
+
+namespace nimbus::revenue {
+namespace {
+
+TEST(ResearchIoTest, RoundTripsGeneratedCurves) {
+  auto points = market::MakeBuyerPoints(
+      market::ValueShape::kSigmoid, market::DemandShape::kBimodal, 12, 1.0,
+      100.0, 80.0, 1.5);
+  ASSERT_TRUE(points.ok());
+  StatusOr<std::vector<BuyerPoint>> back =
+      DeserializeBuyerPoints(SerializeBuyerPoints(*points));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), points->size());
+  for (size_t j = 0; j < points->size(); ++j) {
+    EXPECT_EQ((*back)[j].a, (*points)[j].a);
+    EXPECT_EQ((*back)[j].b, (*points)[j].b);
+    EXPECT_EQ((*back)[j].v, (*points)[j].v);
+  }
+}
+
+TEST(ResearchIoTest, SkipsBlankLinesAndCrLf) {
+  StatusOr<std::vector<BuyerPoint>> points =
+      DeserializeBuyerPoints("1,0.5,10\r\n\r\n2,0.5,20\n");
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 2u);
+}
+
+TEST(ResearchIoTest, RejectsMalformedRows) {
+  EXPECT_FALSE(DeserializeBuyerPoints("1,2\n").ok());
+  EXPECT_FALSE(DeserializeBuyerPoints("1;2;3\n").ok());
+  EXPECT_FALSE(DeserializeBuyerPoints("a,b,c\n").ok());
+  EXPECT_FALSE(DeserializeBuyerPoints("1,2,3 junk\n").ok());
+}
+
+TEST(ResearchIoTest, RevalidatesBuyerPointInvariants) {
+  // Decreasing parameters.
+  EXPECT_FALSE(DeserializeBuyerPoints("2,1,10\n1,1,20\n").ok());
+  // Negative demand.
+  EXPECT_FALSE(DeserializeBuyerPoints("1,-1,10\n").ok());
+  // Empty file has no points.
+  EXPECT_FALSE(DeserializeBuyerPoints("").ok());
+}
+
+TEST(ResearchIoTest, FileRoundTrip) {
+  const std::vector<BuyerPoint> points = {{1.0, 0.5, 3.25},
+                                          {2.0, 0.5, 8.75}};
+  const std::string path = ::testing::TempDir() + "/nimbus_research.csv";
+  ASSERT_TRUE(SaveBuyerPoints(points, path).ok());
+  StatusOr<std::vector<BuyerPoint>> back = LoadBuyerPoints(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[1].v, 8.75);
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadBuyerPoints(path).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace nimbus::revenue

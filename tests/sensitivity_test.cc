@@ -1,0 +1,90 @@
+#include "revenue/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "market/curves.h"
+
+namespace nimbus::revenue {
+namespace {
+
+std::vector<BuyerPoint> SomeResearch() {
+  return *market::MakeBuyerPoints(market::ValueShape::kConcave,
+                                  market::DemandShape::kUniform, 12, 1.0,
+                                  100.0, 100.0, 2.0);
+}
+
+TEST(SensitivityTest, ZeroNoiseIsExactlyNominal) {
+  SensitivityOptions options;
+  options.valuation_noise = 0.0;
+  options.trials = 5;
+  StatusOr<SensitivityReport> report =
+      AnalyzeRevenueSensitivity(SomeResearch(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->mean_realized_revenue, report->nominal_revenue, 1e-9);
+  EXPECT_NEAR(report->worst_realized_revenue, report->nominal_revenue, 1e-9);
+  EXPECT_NEAR(report->mean_regret, 0.0, 1e-9);
+}
+
+TEST(SensitivityTest, NoiseCreatesRegretAndSpread) {
+  SensitivityOptions options;
+  options.valuation_noise = 0.25;
+  options.trials = 80;
+  options.seed = 11;
+  StatusOr<SensitivityReport> report =
+      AnalyzeRevenueSensitivity(SomeResearch(), options);
+  ASSERT_TRUE(report.ok());
+  // Perturbations can only hurt a price tuned to the nominal curve.
+  EXPECT_LT(report->worst_realized_revenue, report->nominal_revenue);
+  EXPECT_LE(report->mean_realized_revenue, report->nominal_revenue + 1e-9);
+  // The clairvoyant benchmark dominates on average.
+  EXPECT_GT(report->mean_regret, 0.0);
+  EXPECT_GE(report->worst_regret, report->mean_regret);
+}
+
+TEST(SensitivityTest, KnifeEdgePricingLosesHalfTheSalesUnderTinyNoise) {
+  // The DP sets many prices exactly at the valuation, so even a tiny
+  // perturbation drops roughly the half of the buyers whose valuation
+  // moved down — the practical warning this module exists to surface.
+  SensitivityOptions options;
+  options.valuation_noise = 0.01;
+  options.trials = 100;
+  options.seed = 12;
+  StatusOr<SensitivityReport> report =
+      AnalyzeRevenueSensitivity(SomeResearch(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->mean_realized_revenue, 0.75 * report->nominal_revenue);
+  EXPECT_GT(report->mean_realized_revenue, 0.25 * report->nominal_revenue);
+  // The clairvoyant benchmark recovers almost all of it, so the regret
+  // under tiny noise is large relative to the noise magnitude.
+  EXPECT_GT(report->mean_regret, 0.1 * report->nominal_revenue);
+}
+
+TEST(SensitivityTest, DeterministicGivenSeed) {
+  SensitivityOptions options;
+  options.valuation_noise = 0.2;
+  options.trials = 20;
+  options.seed = 99;
+  StatusOr<SensitivityReport> a =
+      AnalyzeRevenueSensitivity(SomeResearch(), options);
+  StatusOr<SensitivityReport> b =
+      AnalyzeRevenueSensitivity(SomeResearch(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->mean_realized_revenue, b->mean_realized_revenue);
+  EXPECT_EQ(a->worst_regret, b->worst_regret);
+}
+
+TEST(SensitivityTest, Validation) {
+  SensitivityOptions options;
+  options.trials = 0;
+  EXPECT_FALSE(AnalyzeRevenueSensitivity(SomeResearch(), options).ok());
+  options = SensitivityOptions();
+  options.valuation_noise = -0.1;
+  EXPECT_FALSE(AnalyzeRevenueSensitivity(SomeResearch(), options).ok());
+  // Non-monotone valuations fail the DP precondition.
+  EXPECT_FALSE(
+      AnalyzeRevenueSensitivity({{1, 1, 10}, {2, 1, 5}}, {}).ok());
+}
+
+}  // namespace
+}  // namespace nimbus::revenue

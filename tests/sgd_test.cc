@@ -1,0 +1,125 @@
+#include "ml/sgd.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "data/synthetic.h"
+#include "ml/trainer.h"
+
+namespace nimbus::ml {
+namespace {
+
+data::Dataset MakeRegression(uint64_t seed, int n = 400, int d = 5) {
+  Rng rng(seed);
+  data::RegressionSpec spec;
+  spec.num_examples = n;
+  spec.num_features = d;
+  spec.noise_stddev = 0.3;
+  return data::GenerateRegression(spec, rng);
+}
+
+TEST(SgdTest, ApproachesClosedFormOptimum) {
+  const data::Dataset d = MakeRegression(1);
+  const RegularizedLoss loss(std::make_shared<SquaredLoss>(), 0.01);
+  SgdOptions options;
+  options.epochs = 60;
+  options.batch_size = 16;
+  options.initial_learning_rate = 0.05;
+  StatusOr<TrainResult> sgd = MinimizeWithSgd(loss, d, options);
+  ASSERT_TRUE(sgd.ok());
+  StatusOr<linalg::Vector> closed = FitLinearRegressionClosedForm(d, 0.01);
+  ASSERT_TRUE(closed.ok());
+  const double optimal_loss = loss.Value(*closed, d);
+  // SGD with averaging should land within a few percent of the optimum.
+  EXPECT_LT(sgd->final_loss, optimal_loss * 1.05 + 1e-3);
+}
+
+TEST(SgdTest, DeterministicGivenSeed) {
+  const data::Dataset d = MakeRegression(2, 100, 3);
+  SquaredLoss loss;
+  SgdOptions options;
+  options.epochs = 5;
+  options.seed = 99;
+  StatusOr<TrainResult> a = MinimizeWithSgd(loss, d, options);
+  StatusOr<TrainResult> b = MinimizeWithSgd(loss, d, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->weights, b->weights);
+}
+
+TEST(SgdTest, LargerBatchReducesNoiseButBothConverge) {
+  const data::Dataset d = MakeRegression(3);
+  SquaredLoss loss;
+  for (int batch : {8, 128}) {
+    SgdOptions options;
+    options.epochs = 40;
+    options.batch_size = batch;
+    options.initial_learning_rate = 0.05;
+    StatusOr<TrainResult> result = MinimizeWithSgd(loss, d, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->final_loss, 0.2) << "batch " << batch;
+  }
+}
+
+TEST(SgdTest, WorksOnLogisticLoss) {
+  Rng rng(4);
+  data::ClassificationSpec spec;
+  spec.num_examples = 300;
+  spec.num_features = 4;
+  const data::Dataset d = data::GenerateClassification(spec, rng);
+  const RegularizedLoss loss(std::make_shared<LogisticLoss>(), 0.01);
+  SgdOptions options;
+  options.epochs = 40;
+  StatusOr<TrainResult> sgd = MinimizeWithSgd(loss, d, options);
+  ASSERT_TRUE(sgd.ok());
+  StatusOr<TrainResult> newton = FitLogisticRegressionNewton(d, 0.01);
+  ASSERT_TRUE(newton.ok());
+  EXPECT_LT(sgd->final_loss, newton->final_loss * 1.1 + 1e-3);
+}
+
+TEST(SgdTest, ScheduleVariantsAllRun) {
+  const data::Dataset d = MakeRegression(5, 120, 3);
+  SquaredLoss loss;
+  for (LearningRateSchedule schedule :
+       {LearningRateSchedule::kConstant, LearningRateSchedule::kInverseTime,
+        LearningRateSchedule::kSqrtDecay}) {
+    SgdOptions options;
+    options.epochs = 20;
+    options.schedule = schedule;
+    options.initial_learning_rate = 0.02;
+    StatusOr<TrainResult> result = MinimizeWithSgd(loss, d, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->converged);
+    EXPECT_EQ(result->iterations, 20 * ((120 + 31) / 32));
+  }
+}
+
+TEST(SgdTest, ValidatesOptions) {
+  const data::Dataset d = MakeRegression(6, 50, 2);
+  SquaredLoss loss;
+  SgdOptions options;
+  options.epochs = 0;
+  EXPECT_FALSE(MinimizeWithSgd(loss, d, options).ok());
+  options = {};
+  options.batch_size = 0;
+  EXPECT_FALSE(MinimizeWithSgd(loss, d, options).ok());
+  options = {};
+  options.initial_learning_rate = 0.0;
+  EXPECT_FALSE(MinimizeWithSgd(loss, d, options).ok());
+  options = {};
+  options.average_tail_fraction = 1.5;
+  EXPECT_FALSE(MinimizeWithSgd(loss, d, options).ok());
+  // Non-differentiable loss rejected.
+  ZeroOneLoss zero_one;
+  data::Dataset cls(1, data::Task::kClassification);
+  cls.Add({1.0}, 1.0);
+  EXPECT_FALSE(MinimizeWithSgd(zero_one, cls).ok());
+  // Empty dataset rejected.
+  data::Dataset empty(2, data::Task::kRegression);
+  EXPECT_FALSE(MinimizeWithSgd(loss, empty).ok());
+}
+
+}  // namespace
+}  // namespace nimbus::ml

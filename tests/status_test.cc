@@ -1,0 +1,117 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/statusor.h"
+
+namespace nimbus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad ncp");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad ncp");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad ncp");
+}
+
+TEST(StatusTest, FactoryHelpersProduceMatchingCodes) {
+  EXPECT_EQ(OkStatus().code(), StatusCode::kOk);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InfeasibleError("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(UnboundedError("x").code(), StatusCode::kUnbounded);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, StreamOperatorPrintsToString) {
+  std::ostringstream os;
+  os << InfeasibleError("no version fits");
+  EXPECT_EQ(os.str(), "INFEASIBLE: no version fits");
+}
+
+Status FailsHalfway() {
+  NIMBUS_RETURN_IF_ERROR(OkStatus());
+  NIMBUS_RETURN_IF_ERROR(InternalError("boom"));
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsHalfway().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOrReturnsValueWhenPresent) {
+  StatusOr<int> v = 7;
+  EXPECT_EQ(v.value_or(-1), 7);
+}
+
+TEST(StatusOrTest, ConstructingFromOkStatusBecomesInternalError) {
+  StatusOr<int> v{OkStatus()};
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+StatusOr<int> Doubled(StatusOr<int> input) {
+  NIMBUS_ASSIGN_OR_RETURN(int value, input);
+  return 2 * value;
+}
+
+TEST(StatusOrTest, AssignOrReturnUnwrapsAndPropagates) {
+  StatusOr<int> ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  StatusOr<int> err = Doubled(OutOfRangeError("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, MoveOnlyValueWorks) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(StatusOrTest, ArrowOperatorReachesMembers) {
+  StatusOr<std::string> v = std::string("nimbus");
+  EXPECT_EQ(v->size(), 6u);
+}
+
+}  // namespace
+}  // namespace nimbus

@@ -1,0 +1,114 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+#include "ml/trainer.h"
+
+namespace nimbus::data {
+namespace {
+
+TEST(GenerateRegressionTest, ShapeAndTask) {
+  Rng rng(1);
+  RegressionSpec spec;
+  spec.num_examples = 50;
+  spec.num_features = 4;
+  spec.noise_stddev = 0.1;
+  Dataset d = GenerateRegression(spec, rng);
+  EXPECT_EQ(d.num_examples(), 50);
+  EXPECT_EQ(d.num_features(), 4);
+  EXPECT_EQ(d.task(), Task::kRegression);
+}
+
+TEST(GenerateRegressionTest, NoiselessTargetsAreLinear) {
+  // With zero noise the closed-form fit must reproduce the targets.
+  Rng rng(2);
+  RegressionSpec spec;
+  spec.num_examples = 200;
+  spec.num_features = 5;
+  spec.noise_stddev = 0.0;
+  Dataset d = GenerateRegression(spec, rng);
+  StatusOr<linalg::Vector> w = ml::FitLinearRegressionClosedForm(d);
+  ASSERT_TRUE(w.ok());
+  for (const Example& e : d.examples()) {
+    EXPECT_NEAR(linalg::Dot(*w, e.features), e.target, 1e-8);
+  }
+}
+
+TEST(GenerateClassificationTest, LabelsAreSigns) {
+  Rng rng(3);
+  ClassificationSpec spec;
+  spec.num_examples = 100;
+  spec.num_features = 3;
+  Dataset d = GenerateClassification(spec, rng);
+  EXPECT_EQ(d.task(), Task::kClassification);
+  for (const Example& e : d.examples()) {
+    EXPECT_TRUE(e.target == 1.0 || e.target == -1.0);
+  }
+}
+
+TEST(GenerateClassificationTest, FlipProbabilityControlsSeparability) {
+  // With positive_prob = 1 the data is perfectly linearly separable, so a
+  // trained logistic model should reach near-zero training error; with
+  // 0.75 roughly a quarter of labels are flipped.
+  Rng rng(4);
+  ClassificationSpec clean;
+  clean.num_examples = 400;
+  clean.num_features = 4;
+  clean.positive_prob = 1.0;
+  Dataset d = GenerateClassification(clean, rng);
+  StatusOr<ml::TrainResult> fit =
+      ml::FitLogisticRegressionNewton(d, /*ridge_mu=*/1e-4);
+  ASSERT_TRUE(fit.ok());
+  int errors = 0;
+  for (const Example& e : d.examples()) {
+    const double pred = linalg::Dot(fit->weights, e.features) > 0 ? 1.0 : -1.0;
+    if (pred != e.target) {
+      ++errors;
+    }
+  }
+  EXPECT_LT(errors, 10);
+}
+
+TEST(PaperDatasetsTest, MatchesTable3ShapesScaledDown) {
+  const int divisor = 1000;
+  std::vector<NamedDataset> suite = MakePaperDatasets(divisor, 42);
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name, "Simulated1");
+  EXPECT_EQ(suite[3].name, "Simulated2");
+  // Table 3 dimensions are preserved exactly.
+  EXPECT_EQ(suite[0].split.train.num_features(), 20);
+  EXPECT_EQ(suite[1].split.train.num_features(), 90);
+  EXPECT_EQ(suite[2].split.train.num_features(), 9);
+  EXPECT_EQ(suite[3].split.train.num_features(), 20);
+  EXPECT_EQ(suite[4].split.train.num_features(), 54);
+  EXPECT_EQ(suite[5].split.train.num_features(), 18);
+  // Row counts scale with the divisor (±1 from rounding).
+  EXPECT_NEAR(suite[0].split.train.num_examples(), 7500000 / divisor, 2);
+  EXPECT_NEAR(suite[0].split.test.num_examples(), 2500000 / divisor, 2);
+  EXPECT_NEAR(suite[4].split.train.num_examples(), 435759 / divisor, 2);
+  // Tasks match the paper.
+  EXPECT_EQ(suite[1].task, Task::kRegression);
+  EXPECT_EQ(suite[5].task, Task::kClassification);
+}
+
+TEST(PaperDatasetsTest, DeterministicGivenSeed) {
+  std::vector<NamedDataset> a = MakePaperDatasets(5000, 7);
+  std::vector<NamedDataset> b = MakePaperDatasets(5000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  const Example& ea = a[2].split.train.example(0);
+  const Example& eb = b[2].split.train.example(0);
+  EXPECT_EQ(ea.target, eb.target);
+  EXPECT_EQ(ea.features, eb.features);
+}
+
+TEST(PaperDatasetsTest, TinySuiteHasFloorSizes) {
+  std::vector<NamedDataset> suite = MakePaperDatasets(100000000, 1);
+  for (const NamedDataset& ds : suite) {
+    EXPECT_GE(ds.split.train.num_examples(), 16);
+    EXPECT_GE(ds.split.test.num_examples(), 16);
+  }
+}
+
+}  // namespace
+}  // namespace nimbus::data

@@ -1,0 +1,208 @@
+// Numerical verification of the paper's main theoretical results, one
+// test per theorem/lemma. These are checks *of the implementation
+// against the theory* — each statement is exercised on concrete
+// instances where its conclusion is falsifiable.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "mechanism/noise_mechanism.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+#include "pricing/arbitrage.h"
+#include "pricing/pricing_function.h"
+#include "pricing/subadditive_tools.h"
+
+namespace nimbus {
+namespace {
+
+// Lemma 2: K_G is unbiased (covered per-mechanism in mechanism_test;
+// here we confirm the linear-combination form used in Theorem 5's proof
+// is unbiased too).
+TEST(TheoryTest, Lemma2CombinationsOfGaussianSalesAreUnbiased) {
+  Rng rng(1);
+  const linalg::Vector h = {2.0, -1.0, 0.5};
+  const mechanism::GaussianMechanism mech;
+  const double d1 = 2.0;
+  const double d2 = 3.0;
+  const double d0 = 1.0 / (1.0 / d1 + 1.0 / d2);
+  linalg::Vector mean = linalg::Zeros(3);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    linalg::Vector combined = linalg::Zeros(3);
+    linalg::AxpyInPlace(d0 / d1, mech.Perturb(h, d1, rng), combined);
+    linalg::AxpyInPlace(d0 / d2, mech.Perturb(h, d2, rng), combined);
+    linalg::AxpyInPlace(1.0 / trials, combined, mean);
+  }
+  EXPECT_TRUE(AlmostEqual(mean, h, 0.03));
+}
+
+// Lemma 3: E[eps_s(h^delta)] = delta exactly for the Gaussian mechanism.
+TEST(TheoryTest, Lemma3ExpectedSquareLossEqualsNcp) {
+  Rng rng(2);
+  const linalg::Vector h = rng.GaussianVector(6);
+  const mechanism::GaussianMechanism mech;
+  for (double delta : {0.25, 1.0, 9.0}) {
+    double sum = 0.0;
+    const int trials = 30000;
+    for (int t = 0; t < trials; ++t) {
+      sum += linalg::SquaredDistance(mech.Perturb(h, delta, rng), h);
+    }
+    EXPECT_NEAR(sum / trials, delta, 0.03 * delta);
+  }
+}
+
+// Theorem 4: for convex report losses the expected error is strictly
+// monotone in delta. Checked for the logistic loss on a trained model.
+TEST(TheoryTest, Theorem4ConvexErrorIsMonotoneInNcp) {
+  Rng rng(3);
+  data::ClassificationSpec spec;
+  spec.num_examples = 200;
+  spec.num_features = 4;
+  const data::Dataset d = data::GenerateClassification(spec, rng);
+  StatusOr<ml::TrainResult> fit = ml::FitLogisticRegressionNewton(d, 0.01);
+  ASSERT_TRUE(fit.ok());
+  const mechanism::GaussianMechanism mech;
+  const ml::LogisticLoss loss;
+  double prev = -1.0;
+  for (double delta : {0.01, 0.1, 1.0, 10.0}) {
+    const double err = mechanism::EstimateExpectedError(
+        mech, fit->weights, delta, loss, d, 5000, rng);
+    EXPECT_GT(err, prev) << "delta " << delta;
+    prev = err;
+  }
+}
+
+// Theorem 5 (=>): a subadditive+monotone price is arbitrage-free — the
+// optimal inverse-variance attack achieves exactly the Cramer-Rao floor
+// of Eq. (6) and therefore saves nothing.
+TEST(TheoryTest, Theorem5CramerRaoFloorBlocksAttacks) {
+  Rng rng(4);
+  const linalg::Vector h = {1.0, 2.0};
+  // Attack the sqrt curve (subadditive): combining (x=4) + (x=4) to
+  // reach x=8 costs 2*2 = 4 > sqrt(8) = 2.83 — no savings, and the
+  // combined error equals 1/8 (cannot go below the floor).
+  pricing::ArbitrageAttack attack;
+  attack.component_ncps = {0.25, 0.25};
+  attack.target_ncp = 0.125;
+  class SqrtPricing final : public pricing::PricingFunction {
+   public:
+    double PriceAtInverseNcp(double x) const override {
+      return std::sqrt(x);
+    }
+    std::string name() const override { return "sqrt"; }
+  } pricing_fn;
+  pricing::AttackExecution exec =
+      pricing::ExecuteAttack(attack, pricing_fn, h, 30000, rng);
+  EXPECT_NEAR(exec.combined_expected_squared_error, 0.125, 0.01);
+  EXPECT_GE(exec.price_paid, exec.list_price);
+  EXPECT_FALSE(exec.succeeded);
+}
+
+// Theorem 5 (<=): violating subadditivity yields a working attack (the
+// constructive direction; exercised in depth in arbitrage_test).
+TEST(TheoryTest, Theorem5ViolationIsExploitable) {
+  class QuadraticPricing final : public pricing::PricingFunction {
+   public:
+    double PriceAtInverseNcp(double x) const override { return x * x; }
+    std::string name() const override { return "quadratic"; }
+  } pricing_fn;
+  pricing::AuditResult audit =
+      pricing::AuditPricingFunction(pricing_fn, Linspace(1.0, 8.0, 8));
+  ASSERT_FALSE(audit.arbitrage_free);
+  Rng rng(5);
+  pricing::AttackExecution exec = pricing::ExecuteAttack(
+      *audit.attack, pricing_fn, {1.0, -1.0}, 20000, rng);
+  EXPECT_TRUE(exec.succeeded);
+}
+
+// Lemma 8: any chain-feasible price vector is subadditive as a
+// piecewise-linear curve.
+TEST(TheoryTest, Lemma8ChainConstraintsImplyArbitrageFreedom) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Build random chain-feasible points: slopes non-increasing.
+    std::vector<pricing::PricePoint> points;
+    double slope = rng.Uniform(1.0, 5.0);
+    double x = 0.0;
+    double price = 0.0;
+    for (int j = 0; j < 6; ++j) {
+      x += rng.Uniform(0.5, 2.0);
+      slope *= rng.Uniform(0.6, 1.0);  // Non-increasing marginal price.
+      price = std::max(price, slope * x);
+      points.push_back({x, slope * x});
+    }
+    // Enforce monotone prices (slope decay can break it; fix forward).
+    for (size_t j = 1; j < points.size(); ++j) {
+      points[j].price = std::max(points[j].price, points[j - 1].price);
+    }
+    // Re-check chain feasibility after the monotone fix; skip rare
+    // violations instead of asserting on an unintended input.
+    auto curve = pricing::PiecewiseLinearPricing::Create(points);
+    ASSERT_TRUE(curve.ok());
+    if (!curve->SatisfiesChainConstraints(1e-9)) {
+      continue;
+    }
+    pricing::AuditResult audit =
+        pricing::AuditPricingFunction(*curve, Linspace(0.5, 12.0, 24), 1e-7);
+    EXPECT_TRUE(audit.arbitrage_free) << audit.violation;
+  }
+}
+
+// Lemma 9: the min-slope transform q satisfies p/2 <= q <= p and the
+// chain constraints.
+TEST(TheoryTest, Lemma9MinSlopeTransformSandwich) {
+  // A monotone subadditive but non-concave price: min of two lines plus
+  // a constant, p(x) = min(4x, x + 6) (subadditive as a min of
+  // subadditive functions... min of subadditive need not be subadditive
+  // in general, but min(4x, x+6) is: both pieces are concave-ish lines
+  // with nonneg intercepts).
+  class PieceMin final : public pricing::PricingFunction {
+   public:
+    double PriceAtInverseNcp(double x) const override {
+      return x <= 0.0 ? 0.0 : std::min(4.0 * x, x + 6.0);
+    }
+    std::string name() const override { return "piece_min"; }
+  } p;
+  const std::vector<double> grid = Linspace(0.5, 20.0, 40);
+  // Sanity: p really is arbitrage-free on the grid.
+  ASSERT_TRUE(pricing::AuditPricingFunction(p, grid).arbitrage_free);
+  StatusOr<pricing::PiecewiseLinearPricing> q =
+      pricing::MinSlopeTransform(p, grid);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->SatisfiesChainConstraints(1e-9));
+  for (double x : grid) {
+    const double px = p.PriceAtInverseNcp(x);
+    const double qx = q->PriceAtInverseNcp(x);
+    EXPECT_LE(qx, px + 1e-9) << x;
+    EXPECT_GE(qx, 0.5 * px - 1e-9) << x;
+  }
+}
+
+// Closure tool: never exceeds list prices and is subadditive on sums.
+TEST(TheoryTest, ClosureOnGridIsSubadditiveMinorant) {
+  class QuadraticPricing final : public pricing::PricingFunction {
+   public:
+    double PriceAtInverseNcp(double x) const override { return x * x; }
+    std::string name() const override { return "quadratic"; }
+  } p;
+  const std::vector<double> grid = {1.0, 2.0, 3.0, 4.0};
+  StatusOr<std::vector<double>> closure =
+      pricing::SubadditiveClosureOnGrid(p, grid, 1.0);
+  ASSERT_TRUE(closure.ok());
+  // Closure of x²: p(1)=1, p(2)=min(4,2)=2, p(3)=min(9,3)=3, p(4)=4.
+  EXPECT_TRUE(AlmostEqual(*closure, {1.0, 2.0, 3.0, 4.0}, 1e-9));
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_LE((*closure)[i], p.PriceAtInverseNcp(grid[i]) + 1e-9);
+  }
+  // Subadditivity across expressible sums: closure(1)+closure(3) >= closure(4).
+  EXPECT_GE((*closure)[0] + (*closure)[2], (*closure)[3] - 1e-9);
+}
+
+}  // namespace
+}  // namespace nimbus

@@ -1,0 +1,156 @@
+#include "ml/trainer.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "ml/loss.h"
+
+namespace nimbus::ml {
+namespace {
+
+using data::Dataset;
+using data::Task;
+using linalg::Vector;
+
+TEST(ClosedFormTest, RecoversExactHyperplane) {
+  Rng rng(21);
+  data::RegressionSpec spec;
+  spec.num_examples = 300;
+  spec.num_features = 6;
+  spec.noise_stddev = 0.0;
+  const Dataset d = data::GenerateRegression(spec, rng);
+  StatusOr<Vector> w = FitLinearRegressionClosedForm(d);
+  ASSERT_TRUE(w.ok());
+  SquaredLoss loss;
+  EXPECT_NEAR(loss.Value(*w, d), 0.0, 1e-10);
+}
+
+TEST(ClosedFormTest, MatchesGradientDescent) {
+  Rng rng(22);
+  data::RegressionSpec spec;
+  spec.num_examples = 120;
+  spec.num_features = 4;
+  spec.noise_stddev = 1.0;
+  const Dataset d = data::GenerateRegression(spec, rng);
+
+  StatusOr<Vector> closed = FitLinearRegressionClosedForm(d, 0.01);
+  ASSERT_TRUE(closed.ok());
+
+  RegularizedLoss loss(std::make_shared<SquaredLoss>(), 0.01);
+  GradientDescentOptions options;
+  options.max_iterations = 20000;
+  options.gradient_tolerance = 1e-10;
+  StatusOr<TrainResult> gd = MinimizeWithGradientDescent(loss, d, options);
+  ASSERT_TRUE(gd.ok());
+  EXPECT_TRUE(AlmostEqual(*closed, gd->weights, 1e-4));
+}
+
+TEST(ClosedFormTest, RidgeShrinksWeights) {
+  Rng rng(23);
+  data::RegressionSpec spec;
+  spec.num_examples = 100;
+  spec.num_features = 5;
+  spec.noise_stddev = 0.5;
+  const Dataset d = data::GenerateRegression(spec, rng);
+  StatusOr<Vector> free = FitLinearRegressionClosedForm(d, 0.0);
+  StatusOr<Vector> ridged = FitLinearRegressionClosedForm(d, 10.0);
+  ASSERT_TRUE(free.ok());
+  ASSERT_TRUE(ridged.ok());
+  EXPECT_LT(linalg::Norm2(*ridged), linalg::Norm2(*free));
+}
+
+TEST(ClosedFormTest, RejectsEmptyAndNegativeMu) {
+  Dataset empty(3, Task::kRegression);
+  EXPECT_FALSE(FitLinearRegressionClosedForm(empty).ok());
+  Dataset d(1, Task::kRegression);
+  d.Add({1.0}, 1.0);
+  EXPECT_EQ(FitLinearRegressionClosedForm(d, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GradientDescentTest, ConvergesOnQuadratic) {
+  Rng rng(24);
+  data::RegressionSpec spec;
+  spec.num_examples = 60;
+  spec.num_features = 3;
+  spec.noise_stddev = 0.2;
+  const Dataset d = data::GenerateRegression(spec, rng);
+  SquaredLoss loss;
+  StatusOr<TrainResult> result = MinimizeWithGradientDescent(loss, d);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_LT(linalg::NormInf(loss.Gradient(result->weights, d)), 1e-6);
+}
+
+TEST(GradientDescentTest, RejectsNonDifferentiableLoss) {
+  Dataset d(1, Task::kClassification);
+  d.Add({1.0}, 1.0);
+  ZeroOneLoss loss;
+  EXPECT_EQ(MinimizeWithGradientDescent(loss, d).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GradientDescentTest, FinalLossIsMinimalAmongProbes) {
+  Rng rng(25);
+  data::ClassificationSpec spec;
+  spec.num_examples = 80;
+  spec.num_features = 3;
+  const Dataset d = data::GenerateClassification(spec, rng);
+  RegularizedLoss loss(std::make_shared<LogisticLoss>(), 0.05);
+  StatusOr<TrainResult> result = MinimizeWithGradientDescent(loss, d);
+  ASSERT_TRUE(result.ok());
+  // Perturbing the solution in random directions must not find a better
+  // point (local optimality of a convex minimum = global).
+  for (int i = 0; i < 10; ++i) {
+    Vector probe = result->weights;
+    linalg::AxpyInPlace(0.1, rng.GaussianVector(3), probe);
+    EXPECT_GE(loss.Value(probe, d), result->final_loss - 1e-9);
+  }
+}
+
+TEST(NewtonTest, MatchesGradientDescentOptimum) {
+  Rng rng(26);
+  data::ClassificationSpec spec;
+  spec.num_examples = 150;
+  spec.num_features = 4;
+  spec.positive_prob = 0.9;
+  const Dataset d = data::GenerateClassification(spec, rng);
+  const double mu = 0.1;
+  StatusOr<TrainResult> newton = FitLogisticRegressionNewton(d, mu);
+  ASSERT_TRUE(newton.ok());
+  EXPECT_TRUE(newton->converged);
+
+  RegularizedLoss loss(std::make_shared<LogisticLoss>(), mu);
+  GradientDescentOptions options;
+  options.max_iterations = 50000;
+  options.gradient_tolerance = 1e-10;
+  StatusOr<TrainResult> gd = MinimizeWithGradientDescent(loss, d, options);
+  ASSERT_TRUE(gd.ok());
+  EXPECT_NEAR(newton->final_loss, gd->final_loss, 1e-7);
+  EXPECT_TRUE(AlmostEqual(newton->weights, gd->weights, 1e-3));
+}
+
+TEST(NewtonTest, UsesFarFewerIterationsThanGd) {
+  Rng rng(27);
+  data::ClassificationSpec spec;
+  spec.num_examples = 200;
+  spec.num_features = 5;
+  const Dataset d = data::GenerateClassification(spec, rng);
+  StatusOr<TrainResult> newton = FitLogisticRegressionNewton(d, 0.01);
+  ASSERT_TRUE(newton.ok());
+  EXPECT_LT(newton->iterations, 50);
+}
+
+TEST(NewtonTest, RequiresPositiveMu) {
+  Dataset d(1, Task::kClassification);
+  d.Add({1.0}, 1.0);
+  EXPECT_EQ(FitLogisticRegressionNewton(d, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace nimbus::ml
