@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_transform.dir/bench_error_transform.cc.o"
+  "CMakeFiles/bench_error_transform.dir/bench_error_transform.cc.o.d"
+  "bench_error_transform"
+  "bench_error_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mechanism.dir/bench_mechanism.cc.o"
+  "CMakeFiles/bench_mechanism.dir/bench_mechanism.cc.o.d"
+  "bench_mechanism"
+  "bench_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

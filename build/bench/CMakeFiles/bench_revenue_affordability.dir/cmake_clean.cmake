@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_revenue_affordability.dir/bench_revenue_affordability.cc.o"
+  "CMakeFiles/bench_revenue_affordability.dir/bench_revenue_affordability.cc.o.d"
+  "bench_revenue_affordability"
+  "bench_revenue_affordability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_revenue_affordability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

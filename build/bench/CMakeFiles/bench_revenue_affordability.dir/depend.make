@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_revenue_affordability.
+# This may be replaced when dependencies are built.

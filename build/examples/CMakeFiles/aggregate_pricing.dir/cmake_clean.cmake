@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_pricing.dir/aggregate_pricing.cc.o"
+  "CMakeFiles/aggregate_pricing.dir/aggregate_pricing.cc.o.d"
+  "aggregate_pricing"
+  "aggregate_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbitrage_audit.dir/arbitrage_audit.cc.o"
+  "CMakeFiles/arbitrage_audit.dir/arbitrage_audit.cc.o.d"
+  "arbitrage_audit"
+  "arbitrage_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbitrage_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

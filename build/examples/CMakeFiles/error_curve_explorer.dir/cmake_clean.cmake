@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_curve_explorer.dir/error_curve_explorer.cc.o"
+  "CMakeFiles/error_curve_explorer.dir/error_curve_explorer.cc.o.d"
+  "error_curve_explorer"
+  "error_curve_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_curve_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_demo.dir/marketplace_demo.cc.o"
+  "CMakeFiles/marketplace_demo.dir/marketplace_demo.cc.o.d"
+  "marketplace_demo"
+  "marketplace_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_selection.dir/model_selection.cc.o"
+  "CMakeFiles/model_selection.dir/model_selection.cc.o.d"
+  "model_selection"
+  "model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_cli.dir/nimbus_cli.cc.o"
+  "CMakeFiles/nimbus_cli.dir/nimbus_cli.cc.o.d"
+  "nimbus_cli"
+  "nimbus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_repl.dir/nimbus_repl.cc.o"
+  "CMakeFiles/nimbus_repl.dir/nimbus_repl.cc.o.d"
+  "nimbus_repl"
+  "nimbus_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revenue_optimization.dir/revenue_optimization.cc.o"
+  "CMakeFiles/revenue_optimization.dir/revenue_optimization.cc.o.d"
+  "revenue_optimization"
+  "revenue_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revenue_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

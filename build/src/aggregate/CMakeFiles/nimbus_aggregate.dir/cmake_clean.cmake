@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_aggregate.dir/aggregate_market.cc.o"
+  "CMakeFiles/nimbus_aggregate.dir/aggregate_market.cc.o.d"
+  "libnimbus_aggregate.a"
+  "libnimbus_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

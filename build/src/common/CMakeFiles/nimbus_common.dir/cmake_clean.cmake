@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_common.dir/logging.cc.o"
+  "CMakeFiles/nimbus_common.dir/logging.cc.o.d"
+  "CMakeFiles/nimbus_common.dir/math_util.cc.o"
+  "CMakeFiles/nimbus_common.dir/math_util.cc.o.d"
+  "CMakeFiles/nimbus_common.dir/random.cc.o"
+  "CMakeFiles/nimbus_common.dir/random.cc.o.d"
+  "CMakeFiles/nimbus_common.dir/status.cc.o"
+  "CMakeFiles/nimbus_common.dir/status.cc.o.d"
+  "libnimbus_common.a"
+  "libnimbus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

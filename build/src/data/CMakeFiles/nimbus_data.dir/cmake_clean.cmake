@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_data.dir/csv.cc.o"
+  "CMakeFiles/nimbus_data.dir/csv.cc.o.d"
+  "CMakeFiles/nimbus_data.dir/dataset.cc.o"
+  "CMakeFiles/nimbus_data.dir/dataset.cc.o.d"
+  "CMakeFiles/nimbus_data.dir/feature_map.cc.o"
+  "CMakeFiles/nimbus_data.dir/feature_map.cc.o.d"
+  "CMakeFiles/nimbus_data.dir/synthetic.cc.o"
+  "CMakeFiles/nimbus_data.dir/synthetic.cc.o.d"
+  "libnimbus_data.a"
+  "libnimbus_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

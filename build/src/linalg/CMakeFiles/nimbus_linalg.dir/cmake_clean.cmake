@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/nimbus_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/nimbus_linalg.dir/matrix.cc.o"
+  "CMakeFiles/nimbus_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/nimbus_linalg.dir/vector_ops.cc.o"
+  "CMakeFiles/nimbus_linalg.dir/vector_ops.cc.o.d"
+  "libnimbus_linalg.a"
+  "libnimbus_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/broker.cc" "src/market/CMakeFiles/nimbus_market.dir/broker.cc.o" "gcc" "src/market/CMakeFiles/nimbus_market.dir/broker.cc.o.d"
+  "/root/repo/src/market/buyer_advisor.cc" "src/market/CMakeFiles/nimbus_market.dir/buyer_advisor.cc.o" "gcc" "src/market/CMakeFiles/nimbus_market.dir/buyer_advisor.cc.o.d"
+  "/root/repo/src/market/collusion.cc" "src/market/CMakeFiles/nimbus_market.dir/collusion.cc.o" "gcc" "src/market/CMakeFiles/nimbus_market.dir/collusion.cc.o.d"
+  "/root/repo/src/market/curves.cc" "src/market/CMakeFiles/nimbus_market.dir/curves.cc.o" "gcc" "src/market/CMakeFiles/nimbus_market.dir/curves.cc.o.d"
+  "/root/repo/src/market/ledger.cc" "src/market/CMakeFiles/nimbus_market.dir/ledger.cc.o" "gcc" "src/market/CMakeFiles/nimbus_market.dir/ledger.cc.o.d"
+  "/root/repo/src/market/market_simulator.cc" "src/market/CMakeFiles/nimbus_market.dir/market_simulator.cc.o" "gcc" "src/market/CMakeFiles/nimbus_market.dir/market_simulator.cc.o.d"
+  "/root/repo/src/market/marketplace.cc" "src/market/CMakeFiles/nimbus_market.dir/marketplace.cc.o" "gcc" "src/market/CMakeFiles/nimbus_market.dir/marketplace.cc.o.d"
+  "/root/repo/src/market/population.cc" "src/market/CMakeFiles/nimbus_market.dir/population.cc.o" "gcc" "src/market/CMakeFiles/nimbus_market.dir/population.cc.o.d"
+  "/root/repo/src/market/research_estimation.cc" "src/market/CMakeFiles/nimbus_market.dir/research_estimation.cc.o" "gcc" "src/market/CMakeFiles/nimbus_market.dir/research_estimation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nimbus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nimbus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nimbus_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanism/CMakeFiles/nimbus_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/nimbus_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/revenue/CMakeFiles/nimbus_revenue.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nimbus_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/nimbus_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

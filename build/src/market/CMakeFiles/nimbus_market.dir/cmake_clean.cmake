@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_market.dir/broker.cc.o"
+  "CMakeFiles/nimbus_market.dir/broker.cc.o.d"
+  "CMakeFiles/nimbus_market.dir/buyer_advisor.cc.o"
+  "CMakeFiles/nimbus_market.dir/buyer_advisor.cc.o.d"
+  "CMakeFiles/nimbus_market.dir/collusion.cc.o"
+  "CMakeFiles/nimbus_market.dir/collusion.cc.o.d"
+  "CMakeFiles/nimbus_market.dir/curves.cc.o"
+  "CMakeFiles/nimbus_market.dir/curves.cc.o.d"
+  "CMakeFiles/nimbus_market.dir/ledger.cc.o"
+  "CMakeFiles/nimbus_market.dir/ledger.cc.o.d"
+  "CMakeFiles/nimbus_market.dir/market_simulator.cc.o"
+  "CMakeFiles/nimbus_market.dir/market_simulator.cc.o.d"
+  "CMakeFiles/nimbus_market.dir/marketplace.cc.o"
+  "CMakeFiles/nimbus_market.dir/marketplace.cc.o.d"
+  "CMakeFiles/nimbus_market.dir/population.cc.o"
+  "CMakeFiles/nimbus_market.dir/population.cc.o.d"
+  "CMakeFiles/nimbus_market.dir/research_estimation.cc.o"
+  "CMakeFiles/nimbus_market.dir/research_estimation.cc.o.d"
+  "libnimbus_market.a"
+  "libnimbus_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mechanism/noise_mechanism.cc" "src/mechanism/CMakeFiles/nimbus_mechanism.dir/noise_mechanism.cc.o" "gcc" "src/mechanism/CMakeFiles/nimbus_mechanism.dir/noise_mechanism.cc.o.d"
+  "/root/repo/src/mechanism/privacy.cc" "src/mechanism/CMakeFiles/nimbus_mechanism.dir/privacy.cc.o" "gcc" "src/mechanism/CMakeFiles/nimbus_mechanism.dir/privacy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nimbus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nimbus_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nimbus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nimbus_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_mechanism.dir/noise_mechanism.cc.o"
+  "CMakeFiles/nimbus_mechanism.dir/noise_mechanism.cc.o.d"
+  "CMakeFiles/nimbus_mechanism.dir/privacy.cc.o"
+  "CMakeFiles/nimbus_mechanism.dir/privacy.cc.o.d"
+  "libnimbus_mechanism.a"
+  "libnimbus_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

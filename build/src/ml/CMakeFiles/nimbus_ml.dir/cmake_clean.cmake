@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/nimbus_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/nimbus_ml.dir/loss.cc.o"
+  "CMakeFiles/nimbus_ml.dir/loss.cc.o.d"
+  "CMakeFiles/nimbus_ml.dir/metrics.cc.o"
+  "CMakeFiles/nimbus_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/nimbus_ml.dir/model.cc.o"
+  "CMakeFiles/nimbus_ml.dir/model.cc.o.d"
+  "CMakeFiles/nimbus_ml.dir/model_io.cc.o"
+  "CMakeFiles/nimbus_ml.dir/model_io.cc.o.d"
+  "CMakeFiles/nimbus_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/nimbus_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/nimbus_ml.dir/sgd.cc.o"
+  "CMakeFiles/nimbus_ml.dir/sgd.cc.o.d"
+  "CMakeFiles/nimbus_ml.dir/trainer.cc.o"
+  "CMakeFiles/nimbus_ml.dir/trainer.cc.o.d"
+  "libnimbus_ml.a"
+  "libnimbus_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

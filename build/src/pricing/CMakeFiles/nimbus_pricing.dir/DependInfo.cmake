@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pricing/analytic_error.cc" "src/pricing/CMakeFiles/nimbus_pricing.dir/analytic_error.cc.o" "gcc" "src/pricing/CMakeFiles/nimbus_pricing.dir/analytic_error.cc.o.d"
+  "/root/repo/src/pricing/arbitrage.cc" "src/pricing/CMakeFiles/nimbus_pricing.dir/arbitrage.cc.o" "gcc" "src/pricing/CMakeFiles/nimbus_pricing.dir/arbitrage.cc.o.d"
+  "/root/repo/src/pricing/error_curve.cc" "src/pricing/CMakeFiles/nimbus_pricing.dir/error_curve.cc.o" "gcc" "src/pricing/CMakeFiles/nimbus_pricing.dir/error_curve.cc.o.d"
+  "/root/repo/src/pricing/optimal_attack.cc" "src/pricing/CMakeFiles/nimbus_pricing.dir/optimal_attack.cc.o" "gcc" "src/pricing/CMakeFiles/nimbus_pricing.dir/optimal_attack.cc.o.d"
+  "/root/repo/src/pricing/pricing_function.cc" "src/pricing/CMakeFiles/nimbus_pricing.dir/pricing_function.cc.o" "gcc" "src/pricing/CMakeFiles/nimbus_pricing.dir/pricing_function.cc.o.d"
+  "/root/repo/src/pricing/pricing_io.cc" "src/pricing/CMakeFiles/nimbus_pricing.dir/pricing_io.cc.o" "gcc" "src/pricing/CMakeFiles/nimbus_pricing.dir/pricing_io.cc.o.d"
+  "/root/repo/src/pricing/subadditive_tools.cc" "src/pricing/CMakeFiles/nimbus_pricing.dir/subadditive_tools.cc.o" "gcc" "src/pricing/CMakeFiles/nimbus_pricing.dir/subadditive_tools.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nimbus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nimbus_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nimbus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nimbus_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanism/CMakeFiles/nimbus_mechanism.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_pricing.dir/analytic_error.cc.o"
+  "CMakeFiles/nimbus_pricing.dir/analytic_error.cc.o.d"
+  "CMakeFiles/nimbus_pricing.dir/arbitrage.cc.o"
+  "CMakeFiles/nimbus_pricing.dir/arbitrage.cc.o.d"
+  "CMakeFiles/nimbus_pricing.dir/error_curve.cc.o"
+  "CMakeFiles/nimbus_pricing.dir/error_curve.cc.o.d"
+  "CMakeFiles/nimbus_pricing.dir/optimal_attack.cc.o"
+  "CMakeFiles/nimbus_pricing.dir/optimal_attack.cc.o.d"
+  "CMakeFiles/nimbus_pricing.dir/pricing_function.cc.o"
+  "CMakeFiles/nimbus_pricing.dir/pricing_function.cc.o.d"
+  "CMakeFiles/nimbus_pricing.dir/pricing_io.cc.o"
+  "CMakeFiles/nimbus_pricing.dir/pricing_io.cc.o.d"
+  "CMakeFiles/nimbus_pricing.dir/subadditive_tools.cc.o"
+  "CMakeFiles/nimbus_pricing.dir/subadditive_tools.cc.o.d"
+  "libnimbus_pricing.a"
+  "libnimbus_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

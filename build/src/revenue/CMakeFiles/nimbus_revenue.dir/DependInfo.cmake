@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revenue/baselines.cc" "src/revenue/CMakeFiles/nimbus_revenue.dir/baselines.cc.o" "gcc" "src/revenue/CMakeFiles/nimbus_revenue.dir/baselines.cc.o.d"
+  "/root/repo/src/revenue/brute_force.cc" "src/revenue/CMakeFiles/nimbus_revenue.dir/brute_force.cc.o" "gcc" "src/revenue/CMakeFiles/nimbus_revenue.dir/brute_force.cc.o.d"
+  "/root/repo/src/revenue/buyer_model.cc" "src/revenue/CMakeFiles/nimbus_revenue.dir/buyer_model.cc.o" "gcc" "src/revenue/CMakeFiles/nimbus_revenue.dir/buyer_model.cc.o.d"
+  "/root/repo/src/revenue/dp_optimizer.cc" "src/revenue/CMakeFiles/nimbus_revenue.dir/dp_optimizer.cc.o" "gcc" "src/revenue/CMakeFiles/nimbus_revenue.dir/dp_optimizer.cc.o.d"
+  "/root/repo/src/revenue/fairness.cc" "src/revenue/CMakeFiles/nimbus_revenue.dir/fairness.cc.o" "gcc" "src/revenue/CMakeFiles/nimbus_revenue.dir/fairness.cc.o.d"
+  "/root/repo/src/revenue/interpolation.cc" "src/revenue/CMakeFiles/nimbus_revenue.dir/interpolation.cc.o" "gcc" "src/revenue/CMakeFiles/nimbus_revenue.dir/interpolation.cc.o.d"
+  "/root/repo/src/revenue/research_io.cc" "src/revenue/CMakeFiles/nimbus_revenue.dir/research_io.cc.o" "gcc" "src/revenue/CMakeFiles/nimbus_revenue.dir/research_io.cc.o.d"
+  "/root/repo/src/revenue/sensitivity.cc" "src/revenue/CMakeFiles/nimbus_revenue.dir/sensitivity.cc.o" "gcc" "src/revenue/CMakeFiles/nimbus_revenue.dir/sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nimbus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/nimbus_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/nimbus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanism/CMakeFiles/nimbus_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nimbus_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nimbus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nimbus_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_revenue.dir/baselines.cc.o"
+  "CMakeFiles/nimbus_revenue.dir/baselines.cc.o.d"
+  "CMakeFiles/nimbus_revenue.dir/brute_force.cc.o"
+  "CMakeFiles/nimbus_revenue.dir/brute_force.cc.o.d"
+  "CMakeFiles/nimbus_revenue.dir/buyer_model.cc.o"
+  "CMakeFiles/nimbus_revenue.dir/buyer_model.cc.o.d"
+  "CMakeFiles/nimbus_revenue.dir/dp_optimizer.cc.o"
+  "CMakeFiles/nimbus_revenue.dir/dp_optimizer.cc.o.d"
+  "CMakeFiles/nimbus_revenue.dir/fairness.cc.o"
+  "CMakeFiles/nimbus_revenue.dir/fairness.cc.o.d"
+  "CMakeFiles/nimbus_revenue.dir/interpolation.cc.o"
+  "CMakeFiles/nimbus_revenue.dir/interpolation.cc.o.d"
+  "CMakeFiles/nimbus_revenue.dir/research_io.cc.o"
+  "CMakeFiles/nimbus_revenue.dir/research_io.cc.o.d"
+  "CMakeFiles/nimbus_revenue.dir/sensitivity.cc.o"
+  "CMakeFiles/nimbus_revenue.dir/sensitivity.cc.o.d"
+  "libnimbus_revenue.a"
+  "libnimbus_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

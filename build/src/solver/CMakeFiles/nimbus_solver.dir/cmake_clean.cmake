@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimbus_solver.dir/dykstra.cc.o"
+  "CMakeFiles/nimbus_solver.dir/dykstra.cc.o.d"
+  "CMakeFiles/nimbus_solver.dir/isotonic.cc.o"
+  "CMakeFiles/nimbus_solver.dir/isotonic.cc.o.d"
+  "CMakeFiles/nimbus_solver.dir/lp.cc.o"
+  "CMakeFiles/nimbus_solver.dir/lp.cc.o.d"
+  "CMakeFiles/nimbus_solver.dir/milp.cc.o"
+  "CMakeFiles/nimbus_solver.dir/milp.cc.o.d"
+  "libnimbus_solver.a"
+  "libnimbus_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimbus_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnimbus_solver.a"
+)

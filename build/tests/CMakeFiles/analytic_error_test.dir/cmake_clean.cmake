@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_error_test.dir/analytic_error_test.cc.o"
+  "CMakeFiles/analytic_error_test.dir/analytic_error_test.cc.o.d"
+  "analytic_error_test"
+  "analytic_error_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbitrage_test.dir/arbitrage_test.cc.o"
+  "CMakeFiles/arbitrage_test.dir/arbitrage_test.cc.o.d"
+  "arbitrage_test"
+  "arbitrage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbitrage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buyer_advisor_test.dir/buyer_advisor_test.cc.o"
+  "CMakeFiles/buyer_advisor_test.dir/buyer_advisor_test.cc.o.d"
+  "buyer_advisor_test"
+  "buyer_advisor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buyer_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

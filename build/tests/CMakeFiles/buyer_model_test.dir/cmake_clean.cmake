@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buyer_model_test.dir/buyer_model_test.cc.o"
+  "CMakeFiles/buyer_model_test.dir/buyer_model_test.cc.o.d"
+  "buyer_model_test"
+  "buyer_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buyer_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collusion_test.dir/collusion_test.cc.o"
+  "CMakeFiles/collusion_test.dir/collusion_test.cc.o.d"
+  "collusion_test"
+  "collusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dykstra_test.dir/dykstra_test.cc.o"
+  "CMakeFiles/dykstra_test.dir/dykstra_test.cc.o.d"
+  "dykstra_test"
+  "dykstra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dykstra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

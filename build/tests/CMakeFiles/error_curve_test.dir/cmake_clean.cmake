@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_curve_test.dir/error_curve_test.cc.o"
+  "CMakeFiles/error_curve_test.dir/error_curve_test.cc.o.d"
+  "error_curve_test"
+  "error_curve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_simulator_test.dir/market_simulator_test.cc.o"
+  "CMakeFiles/market_simulator_test.dir/market_simulator_test.cc.o.d"
+  "market_simulator_test"
+  "market_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

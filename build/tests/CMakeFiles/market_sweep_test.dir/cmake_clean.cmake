@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_sweep_test.dir/market_sweep_test.cc.o"
+  "CMakeFiles/market_sweep_test.dir/market_sweep_test.cc.o.d"
+  "market_sweep_test"
+  "market_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

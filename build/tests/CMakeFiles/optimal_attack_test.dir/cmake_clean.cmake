@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_attack_test.dir/optimal_attack_test.cc.o"
+  "CMakeFiles/optimal_attack_test.dir/optimal_attack_test.cc.o.d"
+  "optimal_attack_test"
+  "optimal_attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pricing_function_test.dir/pricing_function_test.cc.o"
+  "CMakeFiles/pricing_function_test.dir/pricing_function_test.cc.o.d"
+  "pricing_function_test"
+  "pricing_function_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pricing_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

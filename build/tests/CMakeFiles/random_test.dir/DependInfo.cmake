@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/random_test.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/random_test.dir/random_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/nimbus_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregate/CMakeFiles/nimbus_aggregate.dir/DependInfo.cmake"
+  "/root/repo/build/src/revenue/CMakeFiles/nimbus_revenue.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/nimbus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/nimbus_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanism/CMakeFiles/nimbus_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nimbus_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nimbus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nimbus_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nimbus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/research_estimation_test.dir/research_estimation_test.cc.o"
+  "CMakeFiles/research_estimation_test.dir/research_estimation_test.cc.o.d"
+  "research_estimation_test"
+  "research_estimation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/research_estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

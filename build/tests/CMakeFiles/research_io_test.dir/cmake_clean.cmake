@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/research_io_test.dir/research_io_test.cc.o"
+  "CMakeFiles/research_io_test.dir/research_io_test.cc.o.d"
+  "research_io_test"
+  "research_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/research_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
