@@ -11,7 +11,17 @@
 //   --samples=N   Monte-Carlo models per NCP point (paper: 2000;
 //                 default here 400 to stay CI-friendly).
 //   --points=N    number of 1/NCP grid points in [1, 100] (default 12).
+//   --threads=N   set NIMBUS_THREADS for the run (0 = leave unset). The
+//                 Figure 6 block is wall-clock timed, so comparing
+//                 --threads=1 vs --threads=8 measures the ParallelFor
+//                 speedup of ErrorCurve::Estimate; the curves themselves
+//                 are bit-identical at every thread count.
+//
+// BENCH_parallel.json is regenerated from this flag (see bench/README.md):
+//   build/bench/bench_error_transform --points=100 --samples=2000 --threads=1
+//   build/bench/bench_error_transform --points=100 --samples=2000 --threads=8
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +64,11 @@ int main(int argc, char** argv) {
   const int scale = FlagValue(argc, argv, "scale", 1000);
   const int samples = FlagValue(argc, argv, "samples", 400);
   const int points = FlagValue(argc, argv, "points", 12);
+  const int threads = FlagValue(argc, argv, "threads", 0);
+  if (threads > 0) {
+    setenv("NIMBUS_THREADS", std::to_string(threads).c_str(),
+           /*overwrite=*/1);
+  }
 
   std::printf("Table 3: dataset statistics (sizes scaled by 1/%d)\n", scale);
   std::vector<nimbus::data::NamedDataset> suite =
@@ -71,6 +86,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  const auto figure6_start = std::chrono::steady_clock::now();
   nimbus::Rng rng(7);
   for (const nimbus::data::NamedDataset& ds : suite) {
     const bool regression = ds.task == nimbus::data::Task::kRegression;
@@ -95,8 +111,14 @@ int main(int argc, char** argv) {
       NIMBUS_CHECK(nimbus::IsNonIncreasing(errors, 1e-9));
     }
   }
+  const double figure6_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - figure6_start)
+          .count();
   std::printf(
       "\nAll curves are monotone non-increasing in 1/NCP, matching "
       "Figure 6.\n");
+  std::printf("Figure 6 block: %.1f ms (threads=%s)\n", figure6_ms,
+              threads > 0 ? std::to_string(threads).c_str() : "auto");
   return 0;
 }

@@ -5,19 +5,34 @@
 // revenue DP across instance sizes (its O(n²) scaling is the Figure 9
 // claim).
 
+// Threaded variants: benchmarks taking a trailing thread-count argument
+// pin NIMBUS_THREADS for the run, so ->Args({n, d, 1}) vs ->Args({n, d, 8})
+// shows the ParallelFor scaling of the hot path. Results are bit-identical
+// across thread counts (deterministic chunked reductions + per-index RNG
+// streams); see bench/README.md for regenerating BENCH_parallel.json.
+
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "data/synthetic.h"
 #include "market/curves.h"
+#include "mechanism/noise_mechanism.h"
+#include "ml/cross_validation.h"
 #include "ml/loss.h"
 #include "ml/trainer.h"
+#include "pricing/error_curve.h"
 #include "revenue/dp_optimizer.h"
 
 namespace {
+
+void SetThreads(int threads) {
+  setenv("NIMBUS_THREADS", std::to_string(threads).c_str(), /*overwrite=*/1);
+}
 
 nimbus::data::Dataset MakeRegression(int n, int d, uint64_t seed) {
   nimbus::Rng rng(seed);
@@ -48,6 +63,63 @@ BENCHMARK(BM_ClosedFormLeastSquares)
     ->Args({500, 10})
     ->Args({2000, 10})
     ->Args({2000, 50});
+
+// Threaded closed-form ridge: large enough that the fused Gram kernel
+// crosses its parallel threshold.
+void BM_ClosedFormLeastSquaresThreaded(benchmark::State& state) {
+  SetThreads(static_cast<int>(state.range(2)));
+  const nimbus::data::Dataset data = MakeRegression(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nimbus::ml::FitLinearRegressionClosedForm(data, 0.01));
+  }
+}
+BENCHMARK(BM_ClosedFormLeastSquaresThreaded)
+    ->Args({20000, 50, 1})
+    ->Args({20000, 50, 8});
+
+// Threaded Monte-Carlo error-curve estimation — the §4.2 hot path (the
+// paper's grid is 100 points x 2000 samples; kept smaller here so the
+// micro-benchmark stays seconds-scale; bench_error_transform runs the
+// paper-scale grid).
+void BM_ErrorCurveEstimateThreaded(benchmark::State& state) {
+  SetThreads(static_cast<int>(state.range(2)));
+  const nimbus::data::Dataset data = MakeRegression(500, 10, 5);
+  const auto weights = nimbus::ml::FitLinearRegressionClosedForm(data, 0.0);
+  const nimbus::mechanism::GaussianMechanism mechanism;
+  const nimbus::ml::SquaredLoss loss;
+  std::vector<double> grid;
+  for (int i = 0; i < state.range(0); ++i) {
+    grid.push_back(1.0 + 99.0 * i / (state.range(0) - 1.0));
+  }
+  for (auto _ : state) {
+    nimbus::Rng rng(17);
+    benchmark::DoNotOptimize(nimbus::pricing::ErrorCurve::Estimate(
+        mechanism, *weights, loss, data, grid,
+        static_cast<int>(state.range(1)), rng));
+  }
+}
+BENCHMARK(BM_ErrorCurveEstimateThreaded)
+    ->Args({100, 200, 1})
+    ->Args({100, 200, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Threaded k-fold cross-validation over the ridge-µ sweep.
+void BM_CrossValidationThreaded(benchmark::State& state) {
+  SetThreads(static_cast<int>(state.range(1)));
+  const nimbus::data::Dataset data = MakeRegression(
+      static_cast<int>(state.range(0)), 20, 7);
+  const std::vector<double> mus = {0.0, 0.001, 0.01, 0.1, 1.0, 10.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nimbus::ml::CrossValidateRidge(
+        data, nimbus::ml::ModelKind::kLinearRegression, mus, 5, 42));
+  }
+}
+BENCHMARK(BM_CrossValidationThreaded)
+    ->Args({4000, 1})
+    ->Args({4000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GradientDescentLeastSquares(benchmark::State& state) {
   const nimbus::data::Dataset data = MakeRegression(

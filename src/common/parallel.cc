@@ -1,0 +1,164 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nimbus {
+namespace {
+
+// Set while a thread executes loop bodies, so nested ParallelFor calls
+// run inline instead of re-entering the pool.
+thread_local bool tls_in_parallel_region = false;
+
+int DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+int ParallelThreadCount() {
+  if (const char* env = std::getenv("NIMBUS_THREADS");
+      env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      return static_cast<int>(std::min(parsed, 1024L));
+    }
+    NIMBUS_LOG(kWarning) << "ignoring invalid NIMBUS_THREADS='" << env << "'";
+  }
+  return DefaultThreadCount();
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  NIMBUS_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int t = 0; t < num_threads - 1; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Function-local static: workers join cleanly at process exit.
+  static ThreadPool pool(std::max(ParallelThreadCount(),
+                                  DefaultThreadCount()));
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& body,
+                             int max_parallelism) {
+  if (end <= begin) {
+    return;
+  }
+  const int64_t n = end - begin;
+  const int width = static_cast<int>(std::min<int64_t>(
+      std::min(max_parallelism, num_threads()), n));
+  if (tls_in_parallel_region || width <= 1) {
+    // Serial path: either a nested call (the outer loop already spans the
+    // pool) or parallelism is disabled. Exceptions propagate directly.
+    for (int64_t i = begin; i < end; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  // Shared loop state. Helpers may still be queued when the range drains,
+  // so they hold shared ownership instead of borrowing the caller's stack.
+  struct LoopState {
+    std::atomic<int64_t> next{0};
+    int64_t end = 0;
+    const std::function<void(int64_t)>* body = nullptr;
+    std::mutex mu;
+    std::condition_variable done;
+    int running_helpers = 0;
+    std::exception_ptr exception;
+
+    void Drain() {
+      const bool was_nested = tls_in_parallel_region;
+      tls_in_parallel_region = true;
+      for (;;) {
+        const int64_t i = next.fetch_add(1);
+        if (i >= end) {
+          break;
+        }
+        try {
+          (*body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!exception) {
+            exception = std::current_exception();
+          }
+          next.store(end);  // Cancel the remaining indices.
+        }
+      }
+      tls_in_parallel_region = was_nested;
+    }
+  };
+  auto state = std::make_shared<LoopState>();
+  state->next.store(begin);
+  state->end = end;
+  state->body = &body;
+  state->running_helpers = width - 1;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int h = 0; h < width - 1; ++h) {
+      tasks_.emplace_back([state] {
+        state->Drain();
+        {
+          std::lock_guard<std::mutex> state_lock(state->mu);
+          --state->running_helpers;
+        }
+        state->done.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->running_helpers == 0; });
+  if (state->exception) {
+    std::rethrow_exception(state->exception);
+  }
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body) {
+  ThreadPool::Global().ParallelFor(begin, end, body, ParallelThreadCount());
+}
+
+}  // namespace nimbus

@@ -1,0 +1,89 @@
+#ifndef NIMBUS_COMMON_PARALLEL_H_
+#define NIMBUS_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nimbus {
+
+// Fixed-size worker pool behind ParallelFor/ParallelMap. Nimbus's hot
+// loops (Monte-Carlo error-curve estimation, market replay, brute-force
+// revenue search, cross-validation folds) are embarrassingly parallel;
+// this pool runs them across cores while the determinism contract stays
+// with the caller: derive one child RNG per index with Rng::Fork(i) and
+// reduce results in index order, and the output is bit-identical for
+// every thread count (see DESIGN.md, "Concurrency model").
+//
+// The pool is work-queue based: ParallelFor shares the index range
+// through an atomic cursor, the calling thread participates, and helper
+// tasks are enqueued for the workers. Nested ParallelFor calls from
+// inside a body run inline on the calling thread, so parallel code can
+// freely call other parallel code without deadlocking or oversubscribing.
+class ThreadPool {
+ public:
+  // A pool "of N threads" runs work N-wide: N - 1 background workers
+  // plus the calling thread. ThreadPool(1) spawns nothing and runs
+  // every loop inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Process-wide pool, created on first use and sized by
+  // ParallelThreadCount() at that moment (so NIMBUS_THREADS can also
+  // raise the pool size when set before first use).
+  static ThreadPool& Global();
+
+  // Width of the pool including the calling thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs body(i) for every i in [begin, end), at most `max_parallelism`
+  // threads wide (calling thread included), and blocks until every index
+  // finished. The first exception thrown by `body` cancels the remaining
+  // indices and is rethrown here once the loop drains. Safe to call with
+  // an empty range and from inside another ParallelFor body (runs inline).
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t)>& body,
+                   int max_parallelism);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Effective parallelism: the NIMBUS_THREADS environment variable
+// (clamped to >= 1) when set, otherwise std::thread::hardware_concurrency.
+// Re-read on every call so tests and benches can flip the override at
+// runtime; values above the global pool width use the full pool.
+int ParallelThreadCount();
+
+// ParallelFor over the global pool, honoring NIMBUS_THREADS.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body);
+
+// {fn(0), ..., fn(n-1)} computed in parallel. fn must be safe to call
+// concurrently from several threads; results land in index order.
+template <typename Fn>
+auto ParallelMap(int64_t n, Fn&& fn)
+    -> std::vector<decltype(fn(int64_t{0}))> {
+  std::vector<decltype(fn(int64_t{0}))> out(
+      static_cast<size_t>(n > 0 ? n : 0));
+  ParallelFor(0, n,
+              [&](int64_t i) { out[static_cast<size_t>(i)] = fn(i); });
+  return out;
+}
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_COMMON_PARALLEL_H_

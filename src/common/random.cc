@@ -125,4 +125,15 @@ std::vector<double> Rng::GaussianVector(int n) {
 
 Rng Rng::Fork() { return Rng(NextUint64() ^ 0xA5A5A5A5A5A5A5A5ULL); }
 
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Hash the full 256-bit state together with the stream id through
+  // SplitMix64 so distinct ids give statistically independent children.
+  uint64_t acc = stream_id + 0x9E3779B97F4A7C15ULL;
+  for (uint64_t s : state_) {
+    uint64_t x = acc ^ s;
+    acc = SplitMix64(x);
+  }
+  return Rng(acc);
+}
+
 }  // namespace nimbus

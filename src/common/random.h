@@ -48,9 +48,18 @@ class Rng {
   // Returns a vector of `n` iid standard normals.
   std::vector<double> GaussianVector(int n);
 
-  // Derives an independent child generator; useful for giving each agent
-  // or worker its own stream from one master seed.
+  // Derives an independent child generator and advances this one; useful
+  // for giving each agent or worker its own stream from one master seed.
   Rng Fork();
+
+  // Derives an independent child stream from the current state and
+  // `stream_id` WITHOUT advancing this generator: Fork(0), Fork(1), ...
+  // are pure functions of (state, id), so a parallel loop can hand index
+  // i the stream Fork(i) from any thread and reproduce results
+  // bit-for-bit at every thread count. Advance the parent between
+  // batches (e.g. with the argument-less Fork()) so successive batches
+  // do not reuse the same streams.
+  Rng Fork(uint64_t stream_id) const;
 
  private:
   uint64_t state_[4];

@@ -1,8 +1,29 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace nimbus::linalg {
+namespace {
+
+// Tile edge for the blocked transpose: 32x32 doubles = two 8 KB tiles in
+// flight, comfortably inside L1 on every target.
+constexpr int kTransposeBlock = 32;
+
+// Row-chunk size for the parallel Gram accumulation. Chunk boundaries
+// depend only on the matrix shape — never on the thread count — and the
+// partial sums are reduced in chunk order, so the result is bit-identical
+// at every NIMBUS_THREADS setting.
+constexpr int kGramChunk = 256;
+
+// Parallelizing Gram only pays off once the flop count dwarfs the
+// per-chunk buffer traffic.
+constexpr int64_t kGramParallelMinFlops = 1 << 20;
+
+}  // namespace
 
 Matrix::Matrix(int rows, int cols)
     : rows_(rows),
@@ -35,26 +56,45 @@ size_t Matrix::Index(int r, int c) const {
 }
 
 Vector Matrix::Row(int r) const {
+  NIMBUS_CHECK_GE(r, 0);
+  NIMBUS_CHECK_LT(r, rows_);
   Vector out(static_cast<size_t>(cols_));
-  for (int c = 0; c < cols_; ++c) {
-    out[static_cast<size_t>(c)] = At(r, c);
+  if (cols_ > 0) {
+    std::memcpy(out.data(),
+                &data_[static_cast<size_t>(r) * static_cast<size_t>(cols_)],
+                static_cast<size_t>(cols_) * sizeof(double));
   }
   return out;
 }
 
 Vector Matrix::Col(int c) const {
+  NIMBUS_CHECK_GE(c, 0);
+  NIMBUS_CHECK_LT(c, cols_);
   Vector out(static_cast<size_t>(rows_));
+  const double* src = data_.data() + static_cast<size_t>(c);
   for (int r = 0; r < rows_; ++r) {
-    out[static_cast<size_t>(r)] = At(r, c);
+    out[static_cast<size_t>(r)] = *src;
+    src += cols_;
   }
   return out;
 }
 
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
-  for (int r = 0; r < rows_; ++r) {
-    for (int c = 0; c < cols_; ++c) {
-      out.At(c, r) = At(r, c);
+  // Blocked so both the row-major read and the column-major write stay
+  // within one cache-resident tile at a time.
+  for (int rb = 0; rb < rows_; rb += kTransposeBlock) {
+    const int rmax = std::min(rb + kTransposeBlock, rows_);
+    for (int cb = 0; cb < cols_; cb += kTransposeBlock) {
+      const int cmax = std::min(cb + kTransposeBlock, cols_);
+      for (int r = rb; r < rmax; ++r) {
+        const double* src =
+            &data_[static_cast<size_t>(r) * static_cast<size_t>(cols_)];
+        for (int c = cb; c < cmax; ++c) {
+          out.data_[static_cast<size_t>(c) * static_cast<size_t>(rows_) +
+                    static_cast<size_t>(r)] = src[c];
+        }
+      }
     }
   }
   return out;
@@ -92,39 +132,81 @@ Vector Matrix::TransposeMatVec(const Vector& x) const {
 Matrix Matrix::MatMul(const Matrix& other) const {
   NIMBUS_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
+  const int oc = other.cols_;
   for (int r = 0; r < rows_; ++r) {
+    const double* a_row =
+        &data_[static_cast<size_t>(r) * static_cast<size_t>(cols_)];
+    double* out_row =
+        &out.data_[static_cast<size_t>(r) * static_cast<size_t>(oc)];
     for (int k = 0; k < cols_; ++k) {
-      const double a = At(r, k);
+      const double a = a_row[k];
       if (a == 0.0) {
         continue;
       }
-      for (int c = 0; c < other.cols_; ++c) {
-        out.At(r, c) += a * other.At(k, c);
+      const double* b_row =
+          &other.data_[static_cast<size_t>(k) * static_cast<size_t>(oc)];
+      for (int c = 0; c < oc; ++c) {
+        out_row[c] += a * b_row[c];
       }
     }
   }
   return out;
 }
 
-Matrix Matrix::Gram() const {
-  Matrix out(cols_, cols_);
-  for (int r = 0; r < rows_; ++r) {
-    const double* row = &data_[static_cast<size_t>(r) *
-                               static_cast<size_t>(cols_)];
-    for (int i = 0; i < cols_; ++i) {
+namespace {
+
+// Accumulates the upper triangle of XᵀX over rows [row_begin, row_end)
+// into `upper` (row-major d x d scratch, only j >= i written).
+void AccumulateGramUpper(const double* data, int row_begin, int row_end,
+                         int d, double* upper) {
+  for (int r = row_begin; r < row_end; ++r) {
+    const double* row = data + static_cast<size_t>(r) * static_cast<size_t>(d);
+    for (int i = 0; i < d; ++i) {
       const double a = row[i];
       if (a == 0.0) {
         continue;
       }
-      for (int j = i; j < cols_; ++j) {
-        out.At(i, j) += a * row[j];
+      double* out = upper + static_cast<size_t>(i) * static_cast<size_t>(d);
+      for (int j = i; j < d; ++j) {
+        out[j] += a * row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  const int d = cols_;
+  const int64_t flops = static_cast<int64_t>(rows_) * d * d;
+  if (flops < kGramParallelMinFlops || rows_ <= kGramChunk) {
+    AccumulateGramUpper(data_.data(), 0, rows_, d, out.data_.data());
+  } else {
+    // Fixed-size row chunks accumulated independently, then reduced in
+    // chunk order — deterministic at every thread count.
+    const int num_chunks = (rows_ + kGramChunk - 1) / kGramChunk;
+    std::vector<std::vector<double>> partial(static_cast<size_t>(num_chunks));
+    ParallelFor(0, num_chunks, [&](int64_t chunk) {
+      std::vector<double>& local = partial[static_cast<size_t>(chunk)];
+      local.assign(static_cast<size_t>(d) * static_cast<size_t>(d), 0.0);
+      const int row_begin = static_cast<int>(chunk) * kGramChunk;
+      const int row_end = std::min(row_begin + kGramChunk, rows_);
+      AccumulateGramUpper(data_.data(), row_begin, row_end, d, local.data());
+    });
+    for (const std::vector<double>& local : partial) {
+      for (size_t i = 0; i < local.size(); ++i) {
+        out.data_[i] += local[i];
       }
     }
   }
   // Mirror the upper triangle into the lower one.
-  for (int i = 0; i < cols_; ++i) {
-    for (int j = i + 1; j < cols_; ++j) {
-      out.At(j, i) = out.At(i, j);
+  for (int i = 0; i < d; ++i) {
+    const double* upper_row =
+        &out.data_[static_cast<size_t>(i) * static_cast<size_t>(d)];
+    for (int j = i + 1; j < d; ++j) {
+      out.data_[static_cast<size_t>(j) * static_cast<size_t>(d) +
+                static_cast<size_t>(i)] = upper_row[j];
     }
   }
   return out;

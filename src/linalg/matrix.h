@@ -32,13 +32,13 @@ class Matrix {
   double& At(int r, int c) { return data_[Index(r, c)]; }
   double At(int r, int c) const { return data_[Index(r, c)]; }
 
-  // Returns the r-th row as a vector copy.
+  // Returns the r-th row as a vector copy (single contiguous memcpy).
   Vector Row(int r) const;
 
-  // Returns the c-th column as a vector copy.
+  // Returns the c-th column as a vector copy (strided raw-data walk).
   Vector Col(int c) const;
 
-  // Returns the transpose.
+  // Returns the transpose (cache-blocked tile copy).
   Matrix Transpose() const;
 
   // Matrix-vector product (this * x). x.size() must equal cols().
@@ -50,7 +50,10 @@ class Matrix {
   // Matrix-matrix product (this * other).
   Matrix MatMul(const Matrix& other) const;
 
-  // Returns this^T * this (the Gram matrix), computed directly.
+  // Returns this^T * this (the Gram matrix) via a fused upper-triangle
+  // kernel; large inputs accumulate fixed-size row chunks in parallel
+  // and reduce them in chunk order, so the result is bit-identical at
+  // every thread count.
   Matrix Gram() const;
 
   // Adds `value` to every diagonal entry (ridge shift), in place.

@@ -89,16 +89,32 @@ StatusOr<std::vector<Broker::PriceErrorPoint>> Broker::PriceErrorCurve(
   return out;
 }
 
-StatusOr<Broker::Purchase> Broker::CompleteSale(
-    double inverse_ncp, const pricing::ErrorCurve& curve) {
+StatusOr<Broker::Purchase> Broker::QuoteAtInverseNcp(
+    double inverse_ncp, const pricing::ErrorCurve& curve, Rng& rng) const {
+  if (inverse_ncp < options_.min_inverse_ncp ||
+      inverse_ncp > options_.max_inverse_ncp) {
+    return OutOfRangeError("requested version is outside the supported "
+                           "inverse-NCP range");
+  }
   Purchase purchase;
   purchase.inverse_ncp = inverse_ncp;
   purchase.ncp = 1.0 / inverse_ncp;
   purchase.price = pricing_->PriceAtInverseNcp(inverse_ncp);
   purchase.expected_error = curve.ErrorAtInverseNcp(inverse_ncp);
-  purchase.model = mechanism_->Perturb(optimal_model_, purchase.ncp, rng_);
+  purchase.model = mechanism_->Perturb(optimal_model_, purchase.ncp, rng);
+  return purchase;
+}
+
+void Broker::RecordSale(const Purchase& purchase) {
   revenue_collected_ += purchase.price;
   ++sales_count_;
+}
+
+StatusOr<Broker::Purchase> Broker::CompleteSale(
+    double inverse_ncp, const pricing::ErrorCurve& curve) {
+  NIMBUS_ASSIGN_OR_RETURN(Purchase purchase,
+                          QuoteAtInverseNcp(inverse_ncp, curve, rng_));
+  RecordSale(purchase);
   return purchase;
 }
 

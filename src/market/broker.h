@@ -104,6 +104,20 @@ class Broker {
   StatusOr<Purchase> BuyWithPriceBudget(double price_budget,
                                         const std::string& report_loss_name);
 
+  // Concurrent-sale support for the parallel market replay. Quote builds
+  // the same purchase as BuyAtInverseNcp against an already-computed
+  // error curve, drawing noise from the caller-supplied `rng` and leaving
+  // the ledger untouched — safe to call from many threads at once. The
+  // caller books accepted quotes with RecordSale (single-threaded).
+  StatusOr<Purchase> QuoteAtInverseNcp(double inverse_ncp,
+                                       const pricing::ErrorCurve& curve,
+                                       Rng& rng) const;
+  void RecordSale(const Purchase& purchase);
+
+  // Derives an independent child stream from the broker's master RNG
+  // (advancing it once); used to seed deterministic per-buyer streams.
+  Rng ForkRng() { return rng_.Fork(); }
+
   // Total payments collected so far.
   double revenue_collected() const { return revenue_collected_; }
   int sales_count() const { return sales_count_; }

@@ -20,7 +20,11 @@ StatusOr<PurchaseRecommendation> RecommendPurchase(
     const double surplus =
         value_per_error_reduction * (worst_error - point.expected_error) -
         price;
-    if (first || surplus > best.surplus) {
+    // ">=": among equal-surplus versions (isotonic pooling can flatten
+    // the sampled curve) prefer the more precise one — the underlying
+    // error transformation is strictly decreasing, so indifference
+    // resolves toward accuracy.
+    if (first || surplus >= best.surplus) {
       first = false;
       best.inverse_ncp = point.inverse_ncp;
       best.expected_error = point.expected_error;

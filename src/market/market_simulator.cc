@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/parallel.h"
 #include "revenue/dp_optimizer.h"
 
 namespace nimbus::market {
@@ -33,33 +34,64 @@ StatusOr<SimulationResult> SimulateMarket(
   NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const ml::Loss> loss,
                           broker.model().FindReportLoss(report_loss_name));
 
-  SimulationResult result;
-  const double revenue_before = broker.revenue_collected();
-  double total_mass = 0.0;
-  double affordable_mass = 0.0;
-  double error_sum = 0.0;
-  for (const revenue::BuyerPoint& buyer : buyers) {
-    total_mass += buyer.b;
+  // Force the error curve once up front so the parallel quotes below hit
+  // a read-only broker.
+  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+                          broker.GetErrorCurve(report_loss_name));
+
+  // Phase 1 (parallel): price every buyer point and quote the affordable
+  // ones. Buyer i draws noise from the child stream base.Fork(i), so the
+  // replay is bit-identical at every NIMBUS_THREADS setting.
+  struct BuyerOutcome {
+    bool bought = false;
+    Status status;
+    Broker::Purchase purchase;
+  };
+  const Rng base = broker.ForkRng();
+  const int64_t n = static_cast<int64_t>(buyers.size());
+  std::vector<BuyerOutcome> outcomes(buyers.size());
+  ParallelFor(0, n, [&](int64_t i) {
+    const revenue::BuyerPoint& buyer = buyers[static_cast<size_t>(i)];
+    BuyerOutcome& outcome = outcomes[static_cast<size_t>(i)];
     const double price =
         broker.pricing_function().PriceAtInverseNcp(buyer.a);
     if (price > buyer.v * (1.0 + 1e-9) + 1e-9) {
-      continue;  // Buyer cannot afford this version.
+      return;  // Buyer cannot afford this version.
     }
-    NIMBUS_ASSIGN_OR_RETURN(Broker::Purchase purchase,
-                            broker.BuyAtInverseNcp(buyer.a, report_loss_name));
-    affordable_mass += buyer.b;
+    Rng buyer_rng = base.Fork(static_cast<uint64_t>(i));
+    StatusOr<Broker::Purchase> purchase =
+        broker.QuoteAtInverseNcp(buyer.a, *curve, buyer_rng);
+    outcome.status = purchase.status();
+    if (purchase.ok()) {
+      outcome.bought = true;
+      outcome.purchase = *std::move(purchase);
+    }
+  });
+
+  // Phase 2 (serial, in buyer order): book the sales and reduce the
+  // accounting deterministically.
+  SimulationResult result;
+  double total_mass = 0.0;
+  double affordable_mass = 0.0;
+  double error_sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const BuyerOutcome& outcome = outcomes[static_cast<size_t>(i)];
+    NIMBUS_RETURN_IF_ERROR(outcome.status);
+    total_mass += buyers[static_cast<size_t>(i)].b;
+    if (!outcome.bought) {
+      continue;
+    }
+    broker.RecordSale(outcome.purchase);
+    affordable_mass += buyers[static_cast<size_t>(i)].b;
     ++result.transactions;
     // Weight revenue by the buyer mass this point represents, mirroring
     // TBV = Σ b_j z_j 1[z_j <= v_j].
-    result.revenue += buyer.b * purchase.price;
-    error_sum += purchase.expected_error;
+    result.revenue += buyers[static_cast<size_t>(i)].b * outcome.purchase.price;
+    error_sum += outcome.purchase.expected_error;
   }
   result.affordability = total_mass > 0.0 ? affordable_mass / total_mass : 0.0;
   result.mean_delivered_error =
       result.transactions > 0 ? error_sum / result.transactions : 0.0;
-  // The broker's till grew by the unweighted sum of prices; consistency
-  // between the two accountings is asserted by tests, not here.
-  (void)revenue_before;
   return result;
 }
 

@@ -55,6 +55,9 @@ struct SimulationResult {
 // their valuation. Delivered models are scored with the report loss so
 // the simulation verifies that buyers actually receive the quality they
 // paid for.
+// Buyer points are quoted in parallel (NIMBUS_THREADS wide) on per-buyer
+// Rng::Fork(i) streams and the sales are then booked serially in buyer
+// order, so the replay is bit-identical at every thread count.
 StatusOr<SimulationResult> SimulateMarket(
     Broker& broker, const std::vector<revenue::BuyerPoint>& buyers,
     const std::string& report_loss_name);

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "ml/loss.h"
 
 namespace nimbus::ml {
@@ -58,23 +59,48 @@ StatusOr<CrossValidationResult> CrossValidateRidge(
         dataset.Subset(fold_indices[static_cast<size_t>(f)]));
   }
 
+  // Every (µ, fold) pair is an independent train-and-score job; flatten
+  // them into one parallel sweep. Each job builds its own ModelSpec so no
+  // mutable state is shared across threads, and the fold errors are
+  // reduced serially in (µ, fold) order — deterministic at every
+  // NIMBUS_THREADS setting.
+  const int64_t num_jobs =
+      static_cast<int64_t>(mu_candidates.size()) * folds;
+  std::vector<double> fold_error(static_cast<size_t>(num_jobs), 0.0);
+  std::vector<Status> fold_status(static_cast<size_t>(num_jobs));
+  ParallelFor(0, num_jobs, [&](int64_t job) {
+    const size_t mi = static_cast<size_t>(job / folds);
+    const size_t f = static_cast<size_t>(job % folds);
+    StatusOr<ModelSpec> spec = ModelSpec::Create(kind, mu_candidates[mi]);
+    if (!spec.ok()) {
+      fold_status[static_cast<size_t>(job)] = spec.status();
+      return;
+    }
+    StatusOr<linalg::Vector> weights = spec->FitOptimal(train_sets[f]);
+    if (!weights.ok()) {
+      fold_status[static_cast<size_t>(job)] = weights.status();
+      return;
+    }
+    const Loss& score_loss = *spec->report_losses().back();
+    fold_error[static_cast<size_t>(job)] =
+        score_loss.Value(*weights, valid_sets[f]);
+  });
+
   CrossValidationResult result;
   result.best_score = std::numeric_limits<double>::infinity();
-  for (double mu : mu_candidates) {
-    NIMBUS_ASSIGN_OR_RETURN(ModelSpec spec, ModelSpec::Create(kind, mu));
-    const Loss& score_loss = *spec.report_losses().back();
+  for (size_t mi = 0; mi < mu_candidates.size(); ++mi) {
     double total = 0.0;
     for (int f = 0; f < folds; ++f) {
-      NIMBUS_ASSIGN_OR_RETURN(
-          linalg::Vector weights,
-          spec.FitOptimal(train_sets[static_cast<size_t>(f)]));
-      total += score_loss.Value(weights, valid_sets[static_cast<size_t>(f)]);
+      const size_t job = mi * static_cast<size_t>(folds) +
+                         static_cast<size_t>(f);
+      NIMBUS_RETURN_IF_ERROR(fold_status[job]);
+      total += fold_error[job];
     }
     const double mean_error = total / folds;
-    result.scores.emplace_back(mu, mean_error);
+    result.scores.emplace_back(mu_candidates[mi], mean_error);
     if (mean_error < result.best_score) {
       result.best_score = mean_error;
-      result.best_mu = mu;
+      result.best_mu = mu_candidates[mi];
     }
   }
   return result;

@@ -75,26 +75,23 @@ StatusOr<Vector> FitLinearRegressionClosedForm(const Dataset& dataset,
   }
   const int d = dataset.num_features();
   const int n = dataset.num_examples();
-  // Accumulate Xᵀ X and Xᵀ y without materializing X.
-  Matrix gram(d, d);
-  Vector xty = linalg::Zeros(d);
-  for (const Example& e : dataset.examples()) {
-    for (int i = 0; i < d; ++i) {
-      const double xi = e.features[static_cast<size_t>(i)];
-      if (xi == 0.0) {
-        continue;
+  // Materialize the design matrix once and use the fused (and, for large
+  // inputs, parallel) Gram kernel for Xᵀ X plus the raw-pointer
+  // transposed product for Xᵀ y.
+  Matrix x(n, d);
+  Vector y(static_cast<size_t>(n));
+  {
+    int r = 0;
+    for (const Example& e : dataset.examples()) {
+      for (int i = 0; i < d; ++i) {
+        x.At(r, i) = e.features[static_cast<size_t>(i)];
       }
-      xty[static_cast<size_t>(i)] += xi * e.target;
-      for (int j = i; j < d; ++j) {
-        gram.At(i, j) += xi * e.features[static_cast<size_t>(j)];
-      }
+      y[static_cast<size_t>(r)] = e.target;
+      ++r;
     }
   }
-  for (int i = 0; i < d; ++i) {
-    for (int j = i + 1; j < d; ++j) {
-      gram.At(j, i) = gram.At(i, j);
-    }
-  }
+  Matrix gram = x.Gram();
+  const Vector xty = x.TransposeMatVec(y);
   const double inv_n = 1.0 / static_cast<double>(n);
   for (int i = 0; i < d; ++i) {
     for (int j = 0; j < d; ++j) {

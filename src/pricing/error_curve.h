@@ -42,6 +42,9 @@ class ErrorCurve {
   // report loss (the paper uses a 1..100 grid with 2000 samples).
   // Non-monotone Monte-Carlo noise is smoothed with a decreasing-isotonic
   // pass before the monotonicity check.
+  // Grid points are estimated in parallel (NIMBUS_THREADS wide), each on
+  // its own Rng::Fork(i) child stream; `rng` is advanced exactly once and
+  // the resulting curve is bit-identical at every thread count.
   static StatusOr<ErrorCurve> Estimate(
       const mechanism::NoiseMechanism& mechanism,
       const linalg::Vector& optimal_model, const ml::Loss& report_loss,

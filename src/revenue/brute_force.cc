@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "solver/milp.h"
 
 namespace nimbus::revenue {
@@ -67,38 +68,66 @@ StatusOr<BruteForceResult> OptimizeRevenueBruteForce(
         "brute force capped at " + std::to_string(max_points) +
         " points (got " + std::to_string(n) + "); use the DP instead");
   }
-  BruteForceResult best;
-  best.prices.assign(static_cast<size_t>(n), 0.0);
-  best.revenue = 0.0;
-
-  std::vector<bool> member(static_cast<size_t>(n), false);
-  std::vector<double> prices(static_cast<size_t>(n), 0.0);
+  // Every subset is an independent batch of MILP solves, so the 2^n
+  // enumeration is evaluated in parallel; the per-mask revenues are then
+  // reduced serially in mask order, matching the serial tie-breaking
+  // (first-best subset wins) at every thread count.
   const uint32_t limit = 1u << n;
-  for (uint32_t mask = 1; mask < limit; ++mask) {
+  std::vector<double> mask_revenue(limit,
+                                   -std::numeric_limits<double>::infinity());
+  std::vector<int64_t> mask_nodes(limit, 0);
+  std::vector<Status> mask_status(limit);
+  ParallelFor(1, limit, [&](int64_t m) {
+    const uint32_t mask = static_cast<uint32_t>(m);
+    std::vector<bool> member(static_cast<size_t>(n), false);
+    std::vector<double> prices(static_cast<size_t>(n), 0.0);
     for (int w = 0; w < n; ++w) {
       member[static_cast<size_t>(w)] = (mask >> w) & 1u;
     }
-    bool feasible = true;
-    for (int j = 0; j < n && feasible; ++j) {
+    for (int j = 0; j < n; ++j) {
+      StatusOr<double> price =
+          SubadditiveClosurePrice(points, member,
+                                  points[static_cast<size_t>(j)].a,
+                                  &mask_nodes[mask]);
+      if (!price.ok()) {
+        mask_status[mask] = price.status();
+        return;
+      }
+      if (!std::isfinite(*price)) {
+        return;  // Infeasible subset; revenue stays -inf.
+      }
+      prices[static_cast<size_t>(j)] = *price;
+    }
+    mask_revenue[mask] = RevenueForPrices(points, prices);
+  });
+
+  BruteForceResult best;
+  best.prices.assign(static_cast<size_t>(n), 0.0);
+  best.revenue = 0.0;
+  uint32_t best_mask = 0;
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    NIMBUS_RETURN_IF_ERROR(mask_status[mask]);
+    best.milp_nodes += mask_nodes[mask];
+    ++best.subsets_evaluated;
+    if (mask_revenue[mask] > best.revenue) {
+      best.revenue = mask_revenue[mask];
+      best_mask = mask;
+    }
+  }
+  if (best_mask != 0) {
+    // Re-derive the winning price vector (n extra MILPs — noise next to
+    // the n · 2^n solved above).
+    std::vector<bool> member(static_cast<size_t>(n), false);
+    for (int w = 0; w < n; ++w) {
+      member[static_cast<size_t>(w)] = (best_mask >> w) & 1u;
+    }
+    for (int j = 0; j < n; ++j) {
       NIMBUS_ASSIGN_OR_RETURN(
           double price,
           SubadditiveClosurePrice(points, member,
                                   points[static_cast<size_t>(j)].a,
-                                  &best.milp_nodes));
-      if (!std::isfinite(price)) {
-        feasible = false;
-        break;
-      }
-      prices[static_cast<size_t>(j)] = price;
-    }
-    ++best.subsets_evaluated;
-    if (!feasible) {
-      continue;
-    }
-    const double revenue = RevenueForPrices(points, prices);
-    if (revenue > best.revenue) {
-      best.revenue = revenue;
-      best.prices = prices;
+                                  /*nodes_accum=*/nullptr));
+      best.prices[static_cast<size_t>(j)] = price;
     }
   }
   return best;

@@ -23,7 +23,9 @@ struct BruteForceResult {
 // subadditive closure
 //   p_S(a) = min { Σ_{w∈S} k_w v_w : Σ_{w∈S} k_w a_w >= a, k_w ∈ ℕ },
 // evaluated by solving one small MILP per (subset, point) with the
-// in-repo branch-and-bound solver; the best subset wins. Runtime grows as
+// in-repo branch-and-bound solver; the best subset wins. Subsets are
+// evaluated in parallel (NIMBUS_THREADS wide) and reduced in mask order,
+// so the winner is identical at every thread count. Runtime grows as
 // 2^n — this is the expensive baseline the DP is benchmarked against
 // (Figures 9/10). `points` must satisfy the same preconditions as the DP;
 // n is capped at `max_points` (default 14) to keep the enumeration sane.

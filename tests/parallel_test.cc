@@ -1,0 +1,161 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "mechanism/noise_mechanism.h"
+#include "ml/loss.h"
+#include "ml/trainer.h"
+#include "pricing/error_curve.h"
+
+namespace nimbus {
+namespace {
+
+// RAII override of NIMBUS_THREADS for one test scope.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(const char* value) {
+    setenv("NIMBUS_THREADS", value, /*overwrite=*/1);
+  }
+  ~ScopedThreads() { unsetenv("NIMBUS_THREADS"); }
+};
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) {
+    h = 0;
+  }
+  ParallelFor(0, 257, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesAreNoOps) {
+  int calls = 0;
+  ParallelFor(0, 0, [&](int64_t) { ++calls; });
+  ParallelFor(5, 5, [&](int64_t) { ++calls; });
+  ParallelFor(10, 3, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  EXPECT_THROW(
+      ParallelFor(0, 100,
+                  [](int64_t i) {
+                    if (i == 37) {
+                      throw std::runtime_error("boom");
+                    }
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionCancelsRemainingIndices) {
+  std::atomic<int> executed{0};
+  try {
+    ParallelFor(0, 100000, [&](int64_t) {
+      ++executed;
+      throw std::runtime_error("early");
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  // Cancellation is cooperative; the pool must not have drained the whole
+  // range after the first throw.
+  EXPECT_LT(executed.load(), 100000);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  std::vector<std::atomic<int>> hits(64 * 64);
+  for (auto& h : hits) {
+    h = 0;
+  }
+  ParallelFor(0, 64, [&](int64_t outer) {
+    // The nested loop must run inline on this thread — no deadlock, no
+    // oversubscription.
+    ParallelFor(0, 64, [&](int64_t inner) {
+      ++hits[static_cast<size_t>(outer * 64 + inner)];
+    });
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, HonorsSingleThreadOverride) {
+  ScopedThreads one("1");
+  // With NIMBUS_THREADS=1 the loop runs on the calling thread, so
+  // unsynchronized mutation is safe.
+  int sum = 0;
+  ParallelFor(0, 1000, [&](int64_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 999 * 1000 / 2);
+}
+
+TEST(ParallelMapTest, ResultsLandInIndexOrder) {
+  const std::vector<int64_t> squares =
+      ParallelMap(100, [](int64_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(squares[static_cast<size_t>(i)], i * i);
+  }
+}
+
+TEST(ParallelThreadCountTest, EnvOverrideWins) {
+  {
+    ScopedThreads eight("8");
+    EXPECT_EQ(ParallelThreadCount(), 8);
+  }
+  {
+    ScopedThreads bogus("not-a-number");
+    EXPECT_GE(ParallelThreadCount(), 1);
+  }
+  EXPECT_GE(ParallelThreadCount(), 1);
+}
+
+// The headline determinism contract: the Monte-Carlo error curve is
+// bit-identical whether it is estimated serially or eight threads wide,
+// because every grid point draws from its own Rng::Fork(i) stream.
+TEST(ParallelDeterminismTest, ErrorCurveIsBitIdenticalAcrossThreadCounts) {
+  data::RegressionSpec spec;
+  spec.num_examples = 120;
+  spec.num_features = 4;
+  spec.noise_stddev = 0.5;
+  Rng data_rng(2026);
+  const data::Dataset d = data::GenerateRegression(spec, data_rng);
+  StatusOr<linalg::Vector> w = ml::FitLinearRegressionClosedForm(d);
+  ASSERT_TRUE(w.ok());
+  const mechanism::GaussianMechanism mech;
+  const ml::SquaredLoss loss;
+  const std::vector<double> grid = {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0};
+
+  auto estimate = [&](const char* threads) {
+    ScopedThreads scoped(threads);
+    Rng rng(7);
+    StatusOr<pricing::ErrorCurve> curve =
+        pricing::ErrorCurve::Estimate(mech, *w, loss, d, grid,
+                                      /*samples_per_point=*/200, rng);
+    EXPECT_TRUE(curve.ok()) << curve.status();
+    return *curve;
+  };
+
+  const pricing::ErrorCurve serial = estimate("1");
+  const pricing::ErrorCurve wide = estimate("8");
+  ASSERT_EQ(serial.points().size(), wide.points().size());
+  for (size_t i = 0; i < serial.points().size(); ++i) {
+    EXPECT_EQ(serial.points()[i].inverse_ncp, wide.points()[i].inverse_ncp);
+    // Bit-identical, not merely close.
+    EXPECT_EQ(serial.points()[i].expected_error,
+              wide.points()[i].expected_error)
+        << "grid point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nimbus
