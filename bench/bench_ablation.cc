@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/random.h"
@@ -228,12 +229,13 @@ void AblationFairnessTradeoff() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   AblationDpVsInterpolation();
   AblationMechanisms();
   AblationCurveExtension();
   AblationMenuAttack();
   AblationPrivacyAccounting();
   AblationFairnessTradeoff();
+  nimbus::bench::MaybeDumpMetrics(argc, argv);
   return 0;
 }

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/random.h"
@@ -120,5 +121,6 @@ int main(int argc, char** argv) {
       "Figure 6.\n");
   std::printf("Figure 6 block: %.1f ms (threads=%s)\n", figure6_ms,
               threads > 0 ? std::to_string(threads).c_str() : "auto");
+  nimbus::bench::MaybeDumpMetrics(argc, argv);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/math_util.h"
 #include "pricing/arbitrage.h"
 #include "pricing/pricing_function.h"
@@ -53,7 +54,7 @@ bool AuditPrices(const std::vector<BuyerPoint>& pts,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::vector<BuyerPoint> pts = {{1.0, 0.25, 100.0},
                                        {2.0, 0.25, 150.0},
                                        {3.0, 0.25, 280.0},
@@ -89,5 +90,6 @@ int main() {
       "\nMBP/optimal revenue ratio = %.4f (Proposition 3 guarantees >= "
       "0.5)\n",
       dp->revenue / bf->revenue);
+  nimbus::bench::MaybeDumpMetrics(argc, argv);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "market/curves.h"
 #include "revenue/baselines.h"
@@ -126,5 +127,6 @@ int main(int argc, char** argv) {
   std::printf(
       "MBP attained the highest revenue in every configuration "
       "(checked).\n");
+  nimbus::bench::MaybeDumpMetrics(argc, argv);
   return 0;
 }

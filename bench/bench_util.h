@@ -1,0 +1,37 @@
+#ifndef NIMBUS_BENCH_BENCH_UTIL_H_
+#define NIMBUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/telemetry.h"
+
+namespace nimbus::bench {
+
+// Shared flag handling for the figure/table harnesses.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  const std::string full = std::string("--") + flag;
+  for (int i = 1; i < argc; ++i) {
+    if (full == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// When --metrics was passed, appends the final telemetry snapshot to
+// stdout as a single JSON object ({"metrics": {...}}), so driver scripts
+// can scrape quote counts, revenue, and optimizer latencies without
+// parsing the human-readable tables above it.
+inline void MaybeDumpMetrics(int argc, char** argv) {
+  if (!HasFlag(argc, argv, "metrics")) {
+    return;
+  }
+  const std::string json =
+      telemetry::SnapshotToJson(telemetry::Registry::Global().Snapshot());
+  std::printf("%s\n", json.c_str());
+}
+
+}  // namespace nimbus::bench
+
+#endif  // NIMBUS_BENCH_BENCH_UTIL_H_

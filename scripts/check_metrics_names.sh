@@ -1,0 +1,31 @@
+#!/bin/sh
+# Static companion to Registry::GetOrCreate's runtime kind check: scans
+# every Get{Counter,Gauge,Histogram}("literal") call site and fails the
+# build if the same metric name is requested with two different kinds
+# (which would NIMBUS_CHECK-fail at runtime on whichever path runs
+# second). Run from anywhere; takes the repo root as optional $1.
+set -eu
+
+root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+
+# Emit "name kind" pairs for every registration with a literal name.
+pairs=$(grep -rhoE 'Get(Counter|Gauge|Histogram)\("[^"]+"' \
+    "$root/src" "$root/bench" "$root/tests" "$root/examples" 2>/dev/null |
+    sed -E 's/Get(Counter|Gauge|Histogram)\("([^"]+)"/\2 \1/' |
+    sort -u)
+
+status=0
+dupes=$(printf '%s\n' "$pairs" | awk '{print $1}' | sort | uniq -d)
+for name in $dupes; do
+    echo "error: metric '$name' is registered with multiple kinds:" >&2
+    printf '%s\n' "$pairs" | awk -v n="$name" '$1 == n {print "  " $2}' >&2
+    status=1
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "check_metrics_names: FAILED (fix the kind clash above)" >&2
+else
+    count=$(printf '%s\n' "$pairs" | grep -c . || true)
+    echo "check_metrics_names: OK ($count distinct metric registrations)"
+fi
+exit "$status"

@@ -1,12 +1,27 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <mutex>
+
+#include "common/telemetry.h"
 
 namespace nimbus {
 namespace {
 
+// Both knobs are atomics: worker threads log concurrently while tests and
+// benches flip them, and a plain global would be a data race.
 std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+std::atomic<int> g_log_format{-1};  // -1: not yet initialized from env.
+
+// Serializes emission so concurrent log lines never interleave mid-line;
+// each finished line is written with a single locked fwrite.
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
 
 const char* SeverityTag(LogSeverity severity) {
   switch (severity) {
@@ -22,6 +37,20 @@ const char* SeverityTag(LogSeverity severity) {
   return "?";
 }
 
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "info";
+    case LogSeverity::kWarning:
+      return "warning";
+    case LogSeverity::kError:
+      return "error";
+    case LogSeverity::kFatal:
+      return "fatal";
+  }
+  return "?";
+}
+
 const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
@@ -33,6 +62,55 @@ LogSeverity MinLogSeverity() { return g_min_severity.load(); }
 
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity.store(severity); }
 
+LogFormat GetLogFormat() {
+  int format = g_log_format.load(std::memory_order_acquire);
+  if (format < 0) {
+    const char* env = std::getenv("NIMBUS_LOG_FORMAT");
+    format = (env != nullptr && std::strcmp(env, "json") == 0)
+                 ? static_cast<int>(LogFormat::kJson)
+                 : static_cast<int>(LogFormat::kText);
+    g_log_format.store(format, std::memory_order_release);
+  }
+  return static_cast<LogFormat>(format);
+}
+
+void SetLogFormat(LogFormat format) {
+  g_log_format.store(static_cast<int>(format), std::memory_order_release);
+}
+
+std::string FormatLogLine(LogFormat format, LogSeverity severity,
+                          const char* file, int line, const std::string& msg) {
+  std::string out;
+  if (format == LogFormat::kJson) {
+    const double ts =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    char prefix[128];
+    std::snprintf(prefix, sizeof(prefix), "{\"ts\":%.6f,\"severity\":\"%s\",",
+                  ts, SeverityName(severity));
+    out += prefix;
+    out += "\"file\":\"";
+    out += telemetry::JsonEscape(Basename(file));
+    out += "\",\"line\":";
+    out += std::to_string(line);
+    out += ",\"msg\":\"";
+    out += telemetry::JsonEscape(msg);
+    out += "\"}\n";
+  } else {
+    out += '[';
+    out += SeverityTag(severity);
+    out += ' ';
+    out += Basename(file);
+    out += ':';
+    out += std::to_string(line);
+    out += "] ";
+    out += msg;
+    out += '\n';
+  }
+  return out;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
@@ -40,8 +118,11 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
-    std::cerr << "[" << SeverityTag(severity_) << " " << Basename(file_) << ":"
-              << line_ << "] " << stream_.str() << std::endl;
+    const std::string line =
+        FormatLogLine(GetLogFormat(), severity_, file_, line_, stream_.str());
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (severity_ == LogSeverity::kFatal) {
     std::abort();

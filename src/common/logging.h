@@ -12,8 +12,25 @@ enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
 
 // Returns/sets the minimum severity that is actually emitted. Defaults to
 // kInfo; benches raise it to kWarning to keep output machine-parseable.
+// Backed by an atomic so worker threads may log while another thread
+// flips the threshold.
 LogSeverity MinLogSeverity();
 void SetMinLogSeverity(LogSeverity severity);
+
+// Output format of the log sink. kText is the classic
+// "[I file.cc:42] msg" line; kJson emits one JSON object per line
+// ({"ts":...,"severity":...,"file":...,"line":...,"msg":...}) so logs
+// and telemetry snapshots can be ingested by the same tooling. The
+// default comes from NIMBUS_LOG_FORMAT ("json" selects kJson), read once
+// at first use; SetLogFormat overrides it at runtime.
+enum class LogFormat { kText = 0, kJson = 1 };
+LogFormat GetLogFormat();
+void SetLogFormat(LogFormat format);
+
+// Formats one finished log line (including the trailing newline) in the
+// given format. Exposed for tests; LogMessage uses it internally.
+std::string FormatLogLine(LogFormat format, LogSeverity severity,
+                          const char* file, int line, const std::string& msg);
 
 namespace internal {
 

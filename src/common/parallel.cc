@@ -2,15 +2,39 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace nimbus {
 namespace {
+
+// Pool telemetry: how many helper tasks ran, the deepest the queue ever
+// got, and total worker busy time. Registered once, updated with relaxed
+// atomics — the pool's hot path stays lock-free outside its own queue
+// mutex.
+telemetry::Counter& PoolTasksCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("parallel_tasks_total");
+  return counter;
+}
+
+telemetry::Gauge& PoolQueueHighWater() {
+  static telemetry::Gauge& gauge =
+      telemetry::Registry::Global().GetGauge("parallel_queue_depth_high_water");
+  return gauge;
+}
+
+telemetry::Counter& PoolBusyMicros() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("parallel_worker_busy_us_total");
+  return counter;
+}
 
 // Set while a thread executes loop bodies, so nested ParallelFor calls
 // run inline instead of re-entering the pool.
@@ -73,7 +97,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    const auto busy_start = std::chrono::steady_clock::now();
     task();
+    PoolTasksCounter().Increment();
+    PoolBusyMicros().Increment(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - busy_start)
+            .count());
   }
 }
 
@@ -145,6 +175,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
         state->done.notify_one();
       });
     }
+    PoolQueueHighWater().UpdateMax(static_cast<double>(tasks_.size()));
   }
   cv_.notify_all();
 

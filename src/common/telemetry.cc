@@ -1,0 +1,567 @@
+#include "common/telemetry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace nimbus::telemetry {
+namespace {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Trace timestamps are reported relative to the first telemetry use so
+// the chrome://tracing timeline starts near zero.
+uint64_t TraceEpochNs() {
+  static const uint64_t epoch = MonotonicNowNs();
+  return epoch;
+}
+
+// Small dense thread ids (0 = first thread to trace) — chrome://tracing
+// renders one row per tid, so dense ids keep the timeline compact.
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+// One recorded span. `ready` is set (release) after the payload fields
+// are written, so the exporter (acquire) never reads a half-filled slot.
+struct TraceEvent {
+  std::atomic<uint32_t> ready{0};
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;
+};
+
+constexpr size_t kTraceCapacity = size_t{1} << 16;
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<int64_t> g_trace_next{0};
+std::atomic<int64_t> g_trace_dropped{0};
+
+TraceEvent* TraceBuffer() {
+  // Allocated once, on the first call (SetTracingEnabled(true) forces it
+  // before the flag is visible), and intentionally leaked.
+  static TraceEvent* buffer = new TraceEvent[kTraceCapacity];
+  return buffer;
+}
+
+void WriteStringToFile(const char* path, const std::string& contents) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[telemetry] cannot open '%s' for writing\n", path);
+    return;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+}
+
+void FlushAtExit() {
+  if (const char* path = std::getenv("NIMBUS_METRICS");
+      path != nullptr && *path != '\0') {
+    const std::string text = SnapshotToText(Registry::Global().Snapshot());
+    if (path[0] == '-' && path[1] == '\0') {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      WriteStringToFile(path, text);
+    }
+  }
+  if (const char* path = std::getenv("NIMBUS_TRACE");
+      path != nullptr && *path != '\0') {
+    WriteStringToFile(path, TraceToJson());
+  }
+}
+
+// First-use initialization: honor NIMBUS_TRACE and install the exit
+// flush. Reached from Registry::Global() and TracingEnabled(), so any
+// instrumented binary gets the export hooks without explicit setup.
+void EnsureInitialized() {
+  static const bool initialized = [] {
+    if (const char* trace = std::getenv("NIMBUS_TRACE");
+        trace != nullptr && *trace != '\0') {
+      TraceBuffer();
+      TraceEpochNs();
+      g_tracing_enabled.store(true, std::memory_order_release);
+    }
+    std::atexit(FlushAtExit);
+    return true;
+  }();
+  (void)initialized;
+}
+
+void AppendDouble(std::ostringstream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::UpdateMax(double value) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (current < value &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+const std::vector<double>& Histogram::DefaultBoundaries() {
+  // 1-2-5 decades from 1us to 10s: fine enough for p99 interpolation on
+  // quote latencies, coarse enough that one histogram is 26 counters.
+  static const std::vector<double> boundaries = {
+      1.0,    2.0,    5.0,    1e1, 2e1, 5e1, 1e2, 2e2, 5e2, 1e3, 2e3, 5e3,
+      1e4,    2e4,    5e4,    1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7};
+  return boundaries;
+}
+
+Histogram::Histogram() : buckets_(DefaultBoundaries().size() + 1) {}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (std::atomic<int64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  const std::vector<double>& bounds = DefaultBoundaries();
+  size_t bucket = bounds.size();  // Overflow slot.
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // Seed min/max from the first observation: a histogram with count 0 has
+  // min == max == 0, so distinguish "empty" via count.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (value < lo &&
+         !min_.compare_exchange_weak(lo, value, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (value > hi &&
+         !max_.compare_exchange_weak(hi, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.boundaries = DefaultBoundaries();
+  snap.buckets.reserve(buckets_.size());
+  for (const std::atomic<int64_t>& b : buckets_) {
+    snap.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) {
+    return 0.0;
+  }
+  if (q <= 0.0) {
+    return min;
+  }
+  if (q >= 1.0) {
+    return max;
+  }
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    const int64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within [lower, upper) by the rank's position in the
+      // bucket, then clamp to the observed range.
+      const double lower = i == 0 ? 0.0 : boundaries[i - 1];
+      const double upper = i < boundaries.size() ? boundaries[i] : max;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      double value = lower + frac * (upper - lower);
+      if (value < min) value = min;
+      if (value > max) value = max;
+      return value;
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Registry& Registry::Global() {
+  EnsureInitialized();
+  // Leaked so exit-time flushing (and late logging from worker threads)
+  // never races static destruction.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Entry& Registry::GetOrCreate(const std::string& name,
+                                       MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter.reset(new Counter());
+        break;
+      case MetricKind::kGauge:
+        entry.gauge.reset(new Gauge());
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram.reset(new Histogram());
+        break;
+    }
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  NIMBUS_CHECK(it->second.kind == kind)
+      << "metric '" << name << "' registered as "
+      << MetricKindName(it->second.kind) << " but requested as "
+      << MetricKindName(kind);
+  return it->second;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  return *GetOrCreate(name, MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  return *GetOrCreate(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  return *GetOrCreate(name, MetricKind::kHistogram).histogram;
+}
+
+std::vector<Registry::SnapshotEntry> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotEntry> snap;
+  snap.reserve(metrics_.size());
+  // std::map iteration is name-sorted, so snapshot order is deterministic
+  // regardless of registration order or thread interleaving.
+  for (const auto& [name, entry] : metrics_) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        e.counter_value = entry.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        e.gauge_value = entry.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram = entry.histogram->Snapshot();
+        break;
+    }
+    snap.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::string SnapshotToText(const std::vector<Registry::SnapshotEntry>& snap) {
+  std::ostringstream out;
+  for (const Registry::SnapshotEntry& e : snap) {
+    out << MetricKindName(e.kind) << ' ' << e.name << ' ';
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out << e.counter_value;
+        break;
+      case MetricKind::kGauge:
+        AppendDouble(out, e.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = e.histogram;
+        out << "count=" << h.count << " sum=";
+        AppendDouble(out, h.sum);
+        out << " min=";
+        AppendDouble(out, h.min);
+        out << " max=";
+        AppendDouble(out, h.max);
+        out << " p50=";
+        AppendDouble(out, h.Quantile(0.50));
+        out << " p95=";
+        AppendDouble(out, h.Quantile(0.95));
+        out << " p99=";
+        AppendDouble(out, h.Quantile(0.99));
+        break;
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string SnapshotToPrometheus(
+    const std::vector<Registry::SnapshotEntry>& snap) {
+  std::ostringstream out;
+  for (const Registry::SnapshotEntry& e : snap) {
+    const std::string name = "nimbus_" + e.name;
+    out << "# TYPE " << name << ' ' << MetricKindName(e.kind) << '\n';
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out << name << ' ' << e.counter_value << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << name << ' ';
+        AppendDouble(out, e.gauge_value);
+        out << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = e.histogram;
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < h.boundaries.size(); ++i) {
+          cumulative += h.buckets[i];
+          out << name << "_bucket{le=\"";
+          AppendDouble(out, h.boundaries[i]);
+          out << "\"} " << cumulative << '\n';
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+        out << name << "_sum ";
+        AppendDouble(out, h.sum);
+        out << '\n';
+        out << name << "_count " << h.count << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string SnapshotToJson(const std::vector<Registry::SnapshotEntry>& snap) {
+  std::ostringstream out;
+  out << "{\"metrics\":{";
+  bool first = true;
+  for (const Registry::SnapshotEntry& e : snap) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << '"' << JsonEscape(e.name) << "\":{\"type\":\""
+        << MetricKindName(e.kind) << "\",";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out << "\"value\":" << e.counter_value;
+        break;
+      case MetricKind::kGauge:
+        out << "\"value\":";
+        AppendDouble(out, e.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = e.histogram;
+        out << "\"count\":" << h.count << ",\"sum\":";
+        AppendDouble(out, h.sum);
+        out << ",\"min\":";
+        AppendDouble(out, h.min);
+        out << ",\"max\":";
+        AppendDouble(out, h.max);
+        out << ",\"p50\":";
+        AppendDouble(out, h.Quantile(0.50));
+        out << ",\"p95\":";
+        AppendDouble(out, h.Quantile(0.95));
+        out << ",\"p99\":";
+        AppendDouble(out, h.Quantile(0.99));
+        break;
+      }
+    }
+    out << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+ScopedTimer::ScopedTimer(Histogram& histogram)
+    : histogram_(&histogram), start_ns_(MonotonicNowNs()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const uint64_t elapsed_ns = MonotonicNowNs() - start_ns_;
+  histogram_->Observe(static_cast<double>(elapsed_ns) * 1e-3);
+}
+
+bool TracingEnabled() {
+  EnsureInitialized();
+  return g_tracing_enabled.load(std::memory_order_acquire);
+}
+
+void SetTracingEnabled(bool enabled) {
+  EnsureInitialized();
+  if (enabled) {
+    TraceBuffer();
+    TraceEpochNs();
+  }
+  g_tracing_enabled.store(enabled, std::memory_order_release);
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (TracingEnabled()) {
+    active_ = true;
+    start_ns_ = MonotonicNowNs();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) {
+    return;
+  }
+  const uint64_t end_ns = MonotonicNowNs();
+  const int64_t slot = g_trace_next.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= static_cast<int64_t>(kTraceCapacity)) {
+    g_trace_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& event = TraceBuffer()[slot];
+  event.name = name_;
+  event.start_ns = start_ns_ - TraceEpochNs();
+  event.duration_ns = end_ns - start_ns_;
+  event.tid = CurrentThreadId();
+  event.ready.store(1, std::memory_order_release);
+}
+
+int64_t TraceEventCount() {
+  const int64_t next = g_trace_next.load(std::memory_order_relaxed);
+  return next < static_cast<int64_t>(kTraceCapacity)
+             ? next
+             : static_cast<int64_t>(kTraceCapacity);
+}
+
+int64_t TraceDroppedCount() {
+  return g_trace_dropped.load(std::memory_order_relaxed);
+}
+
+std::string TraceToJson() {
+  const int64_t n = TraceEventCount();
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (int64_t i = 0; i < n; ++i) {
+    const TraceEvent& event = TraceBuffer()[i];
+    if (event.ready.load(std::memory_order_acquire) == 0) {
+      continue;  // Reserved but not yet written; skip rather than tear.
+    }
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    // Complete ("X") events with microsecond timestamps, the format
+    // chrome://tracing and Perfetto ingest directly.
+    out << "{\"name\":\"" << JsonEscape(event.name != nullptr ? event.name
+                                                              : "?")
+        << "\",\"cat\":\"nimbus\",\"ph\":\"X\",\"ts\":";
+    AppendDouble(out, static_cast<double>(event.start_ns) * 1e-3);
+    out << ",\"dur\":";
+    AppendDouble(out, static_cast<double>(event.duration_ns) * 1e-3);
+    out << ",\"pid\":1,\"tid\":" << event.tid << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+void ClearTraceForTest() {
+  const int64_t n = TraceEventCount();
+  for (int64_t i = 0; i < n; ++i) {
+    TraceBuffer()[i].ready.store(0, std::memory_order_relaxed);
+  }
+  g_trace_next.store(0, std::memory_order_relaxed);
+  g_trace_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (unsigned char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace nimbus::telemetry

@@ -1,0 +1,240 @@
+#ifndef NIMBUS_COMMON_TELEMETRY_H_
+#define NIMBUS_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nimbus::telemetry {
+
+// Process-wide observability substrate for the marketplace: a metrics
+// registry (monotonic counters, gauges, fixed-bucket latency histograms)
+// plus lightweight tracing spans. Every primitive is thread-safe and
+// cheap enough for the pricing hot paths — updates are single relaxed
+// atomics (or short CAS loops), registration is a one-time locked map
+// lookup that call sites cache in a function-local static, and tracing
+// costs two relaxed loads when disabled.
+//
+// The substrate is strictly observation-only: nothing here touches RNG
+// streams, reduction orders, or any other state the determinism contract
+// depends on, so instrumented code produces bit-identical market output
+// to uninstrumented code (asserted by telemetry_test).
+//
+// Export hooks (installed on first telemetry use):
+//   NIMBUS_METRICS=<path|->  dump the final snapshot (text) at exit.
+//   NIMBUS_TRACE=<path>      enable tracing and write Chrome-tracing
+//                            JSON (load in chrome://tracing or Perfetto)
+//                            at exit.
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins double gauge with atomic accumulate and high-water
+// tracking (Set / Add / UpdateMax never tear or lose updates).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  // Raises the gauge to `value` if it is above the current reading.
+  void UpdateMax(double value);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::atomic<double> value_{0.0};
+};
+
+// Read-only view of a histogram's state. `buckets[i]` counts
+// observations <= boundaries[i]; the final slot counts the overflow.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> boundaries;
+  std::vector<int64_t> buckets;
+
+  // Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  // covering bucket, clamped to the observed [min, max]. Returns 0 for
+  // an empty histogram.
+  double Quantile(double q) const;
+};
+
+// Fixed-bucket histogram tuned for latencies in microseconds (default
+// boundaries span 1us .. 10s, roughly logarithmic). All updates are
+// relaxed atomics on pre-allocated buckets — no locks, no allocation.
+class Histogram {
+ public:
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+
+  static const std::vector<double>& DefaultBoundaries();
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class Registry;
+  Histogram();
+  void Reset();
+
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::vector<std::atomic<int64_t>> buckets_;  // boundaries + overflow.
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+// Process-wide metric registry. Metrics are created on first Get* and
+// live for the process lifetime, so call sites cache the reference:
+//
+//   static telemetry::Counter& quotes =
+//       telemetry::Registry::Global().GetCounter("broker_quotes_total");
+//   quotes.Increment();
+//
+// Requesting an existing name with a different kind is a programming
+// error and fails a NIMBUS_CHECK (scripts/check_metrics_names.sh lints
+// the same property statically at build time).
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  struct SnapshotEntry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    int64_t counter_value = 0;
+    double gauge_value = 0.0;
+    HistogramSnapshot histogram;
+  };
+
+  // Consistent-enough view of every registered metric, sorted by name —
+  // the ordering (and, for a deterministic workload, every counter value
+  // and histogram count) is identical across runs.
+  std::vector<SnapshotEntry> Snapshot() const;
+
+  // Zeroes every metric's value while keeping registrations (and cached
+  // references) valid. Test-only; not safe concurrently with updates.
+  void ResetForTest();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetOrCreate(const std::string& name, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+// Human-readable one-metric-per-line dump.
+std::string SnapshotToText(const std::vector<Registry::SnapshotEntry>& snap);
+// Prometheus exposition text (metric names get a "nimbus_" prefix).
+std::string SnapshotToPrometheus(
+    const std::vector<Registry::SnapshotEntry>& snap);
+// Single JSON object {"metrics": {...}} for embedding in bench output.
+std::string SnapshotToJson(const std::vector<Registry::SnapshotEntry>& snap);
+
+// RAII wall-clock timer: records the scope's duration in microseconds
+// into `histogram` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_ns_;
+};
+
+// ---------------------------------------------------------------------------
+// Tracing: bounded in-memory span buffer exportable as Chrome-tracing
+// JSON. Disabled by default (spans cost two relaxed atomic loads);
+// enabled at startup when NIMBUS_TRACE is set, or explicitly via
+// SetTracingEnabled. When the buffer (64K events) fills, further spans
+// are dropped and counted in TraceDroppedCount().
+
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+// RAII span: records {name, begin, duration, thread id} into the trace
+// buffer on destruction. `name` must be a string literal (the pointer is
+// stored, not the characters).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+// Number of spans recorded / dropped since the last ClearTraceForTest.
+int64_t TraceEventCount();
+int64_t TraceDroppedCount();
+
+// Chrome-tracing JSON ({"traceEvents": [...]}, "X" complete events with
+// microsecond timestamps relative to process start). Call from a
+// quiescent point — spans still in flight may be omitted.
+std::string TraceToJson();
+
+// Resets the trace buffer. Test-only; not safe concurrently with spans.
+void ClearTraceForTest();
+
+// Escapes `in` for embedding inside a JSON string literal (also used by
+// the structured log sink).
+std::string JsonEscape(const std::string& in);
+
+}  // namespace nimbus::telemetry
+
+#endif  // NIMBUS_COMMON_TELEMETRY_H_

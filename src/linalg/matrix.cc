@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 
 namespace nimbus::linalg {
 namespace {
@@ -177,6 +178,15 @@ void AccumulateGramUpper(const double* data, int row_begin, int row_end,
 }  // namespace
 
 Matrix Matrix::Gram() const {
+  // One timer per Gram call (not per chunk): the kernel feeds the ridge
+  // normal equations, so its latency distribution is the training cost
+  // the broker pays per (model, dataset) pair.
+  static telemetry::Counter& calls =
+      telemetry::Registry::Global().GetCounter("linalg_gram_calls_total");
+  static telemetry::Histogram& latency =
+      telemetry::Registry::Global().GetHistogram("linalg_gram_latency_us");
+  calls.Increment();
+  telemetry::ScopedTimer timer(latency);
   Matrix out(cols_, cols_);
   const int d = cols_;
   const int64_t flops = static_cast<int64_t>(rows_) * d * d;

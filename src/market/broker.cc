@@ -5,8 +5,39 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/telemetry.h"
 
 namespace nimbus::market {
+namespace {
+
+// Request-path telemetry (see DESIGN.md, "Observability"): quote volume
+// and latency, booked sales, and revenue to date. References are cached
+// once so the hot path pays only relaxed atomic updates.
+telemetry::Counter& QuotesCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("broker_quotes_total");
+  return counter;
+}
+
+telemetry::Histogram& QuoteLatency() {
+  static telemetry::Histogram& histogram =
+      telemetry::Registry::Global().GetHistogram("broker_quote_latency_us");
+  return histogram;
+}
+
+telemetry::Counter& SalesCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("broker_sales_total");
+  return counter;
+}
+
+telemetry::Gauge& RevenueGauge() {
+  static telemetry::Gauge& gauge =
+      telemetry::Registry::Global().GetGauge("broker_revenue_collected");
+  return gauge;
+}
+
+}  // namespace
 
 StatusOr<Broker> Broker::Create(
     data::TrainTestSplit split, ml::ModelSpec model,
@@ -60,6 +91,7 @@ StatusOr<const pricing::ErrorCurve*> Broker::GetErrorCurve(
   if (it != error_curves_.end()) {
     return &it->second;
   }
+  telemetry::TraceSpan span("broker.build_error_curve");
   NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const ml::Loss> loss,
                           model_.FindReportLoss(report_loss_name));
   const std::vector<double> grid =
@@ -91,6 +123,9 @@ StatusOr<std::vector<Broker::PriceErrorPoint>> Broker::PriceErrorCurve(
 
 StatusOr<Broker::Purchase> Broker::QuoteAtInverseNcp(
     double inverse_ncp, const pricing::ErrorCurve& curve, Rng& rng) const {
+  telemetry::TraceSpan span("broker.quote");
+  telemetry::ScopedTimer timer(QuoteLatency());
+  QuotesCounter().Increment();
   if (inverse_ncp < options_.min_inverse_ncp ||
       inverse_ncp > options_.max_inverse_ncp) {
     return OutOfRangeError("requested version is outside the supported "
@@ -108,6 +143,8 @@ StatusOr<Broker::Purchase> Broker::QuoteAtInverseNcp(
 void Broker::RecordSale(const Purchase& purchase) {
   revenue_collected_ += purchase.price;
   ++sales_count_;
+  SalesCounter().Increment();
+  RevenueGauge().Add(purchase.price);
 }
 
 StatusOr<Broker::Purchase> Broker::CompleteSale(

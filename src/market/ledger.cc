@@ -1,10 +1,44 @@
 #include "market/ledger.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 
+#include "common/telemetry.h"
+
 namespace nimbus::market {
+namespace {
+
+// Audit counters mirrored into the telemetry registry on every Record,
+// so benches and the metrics snapshot report revenue without re-walking
+// the ledger. Per-price-point counters are keyed by the formatted
+// inverse-NCP (cardinality is bounded by the broker's version grid).
+telemetry::Counter& LedgerSalesCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("ledger_sales_total");
+  return counter;
+}
+
+telemetry::Gauge& LedgerRevenueGauge() {
+  static telemetry::Gauge& gauge =
+      telemetry::Registry::Global().GetGauge("ledger_revenue_total");
+  return gauge;
+}
+
+std::string PricePointMetricName(double inverse_ncp) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", inverse_ncp);
+  std::string name = "ledger_sales_point_";
+  for (const char* p = buf; *p != '\0'; ++p) {
+    const char c = *p;
+    name += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return name;
+}
+
+}  // namespace
 
 StatusOr<int64_t> Ledger::Record(const std::string& buyer_id,
                                  ml::ModelKind model, double inverse_ncp,
@@ -27,7 +61,20 @@ StatusOr<int64_t> Ledger::Record(const std::string& buyer_id,
   entry.expected_error = expected_error;
   entries_.push_back(entry);
   spend_by_buyer_[buyer_id] += price;
+  LedgerSalesCounter().Increment();
+  LedgerRevenueGauge().Add(price);
+  telemetry::Registry::Global()
+      .GetCounter(PricePointMetricName(inverse_ncp))
+      .Increment();
   return entry.sequence;
+}
+
+std::map<double, int64_t> Ledger::SalesPerPricePoint() const {
+  std::map<double, int64_t> counts;
+  for (const LedgerEntry& e : entries_) {
+    ++counts[e.inverse_ncp];
+  }
+  return counts;
 }
 
 double Ledger::TotalRevenue() const {

@@ -36,6 +36,12 @@ class Ledger {
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
   const std::vector<LedgerEntry>& entries() const { return entries_; }
 
+  // Number of recorded sales (same as size(); named for audit reports).
+  int64_t SaleCount() const { return size(); }
+
+  // Sale count per supported price point x = 1/δ, ascending in x.
+  std::map<double, int64_t> SalesPerPricePoint() const;
+
   // Sum of all prices.
   double TotalRevenue() const;
 

@@ -3,9 +3,31 @@
 #include <memory>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "revenue/dp_optimizer.h"
 
 namespace nimbus::market {
+namespace {
+
+telemetry::Counter& BuyersEvaluatedCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("market_buyers_evaluated_total");
+  return counter;
+}
+
+telemetry::Counter& TransactionsCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("market_transactions_total");
+  return counter;
+}
+
+telemetry::Histogram& SimulateLatency() {
+  static telemetry::Histogram& histogram =
+      telemetry::Registry::Global().GetHistogram("market_simulate_latency_us");
+  return histogram;
+}
+
+}  // namespace
 
 StatusOr<Seller> Seller::Create(
     std::vector<revenue::BuyerPoint> market_research) {
@@ -29,6 +51,8 @@ Seller::NegotiatePricing() const {
 StatusOr<SimulationResult> SimulateMarket(
     Broker& broker, const std::vector<revenue::BuyerPoint>& buyers,
     const std::string& report_loss_name) {
+  telemetry::TraceSpan span("market.simulate");
+  telemetry::ScopedTimer timer(SimulateLatency());
   NIMBUS_RETURN_IF_ERROR(revenue::ValidateBuyerPoints(
       buyers, /*require_monotone_valuations=*/false));
   NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const ml::Loss> loss,
@@ -51,6 +75,8 @@ StatusOr<SimulationResult> SimulateMarket(
   const int64_t n = static_cast<int64_t>(buyers.size());
   std::vector<BuyerOutcome> outcomes(buyers.size());
   ParallelFor(0, n, [&](int64_t i) {
+    telemetry::TraceSpan buyer_span("market.buyer_eval");
+    BuyersEvaluatedCounter().Increment();
     const revenue::BuyerPoint& buyer = buyers[static_cast<size_t>(i)];
     BuyerOutcome& outcome = outcomes[static_cast<size_t>(i)];
     const double price =
@@ -70,6 +96,7 @@ StatusOr<SimulationResult> SimulateMarket(
 
   // Phase 2 (serial, in buyer order): book the sales and reduce the
   // accounting deterministically.
+  telemetry::TraceSpan booking_span("market.record_sales");
   SimulationResult result;
   double total_mass = 0.0;
   double affordable_mass = 0.0;
@@ -82,6 +109,7 @@ StatusOr<SimulationResult> SimulateMarket(
       continue;
     }
     broker.RecordSale(outcome.purchase);
+    TransactionsCounter().Increment();
     affordable_mass += buyers[static_cast<size_t>(i)].b;
     ++result.transactions;
     // Weight revenue by the buyer mass this point represents, mirroring

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace nimbus::mechanism {
 
@@ -111,6 +112,11 @@ double EstimateExpectedError(const NoiseMechanism& mechanism,
                              const data::Dataset& eval_data, int num_samples,
                              Rng& rng) {
   NIMBUS_CHECK_GE(num_samples, 1);
+  // Total Monte-Carlo model draws across all error-curve estimations —
+  // the dominant cost of serving a new (model, loss) pair.
+  static telemetry::Counter& draws =
+      telemetry::Registry::Global().GetCounter("mechanism_mc_draws_total");
+  draws.Increment(num_samples);
   double sum = 0.0;
   for (int s = 0; s < num_samples; ++s) {
     const Vector noisy = mechanism.Perturb(optimal, ncp, rng);

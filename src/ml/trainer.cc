@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/telemetry.h"
 #include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 
@@ -13,6 +14,40 @@ using data::Dataset;
 using data::Example;
 using linalg::Matrix;
 using linalg::Vector;
+
+namespace {
+
+telemetry::Counter& GdIterationsCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("ml_gd_iterations_total");
+  return counter;
+}
+
+telemetry::Histogram& GdFitLatency() {
+  static telemetry::Histogram& histogram =
+      telemetry::Registry::Global().GetHistogram("ml_gd_fit_latency_us");
+  return histogram;
+}
+
+telemetry::Counter& ClosedFormFitsCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("ml_closed_form_fits_total");
+  return counter;
+}
+
+telemetry::Histogram& ClosedFormFitLatency() {
+  static telemetry::Histogram& histogram = telemetry::Registry::Global()
+      .GetHistogram("ml_closed_form_fit_latency_us");
+  return histogram;
+}
+
+telemetry::Counter& NewtonIterationsCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("ml_newton_iterations_total");
+  return counter;
+}
+
+}  // namespace
 
 StatusOr<TrainResult> MinimizeWithGradientDescent(
     const Loss& loss, const Dataset& dataset,
@@ -24,6 +59,8 @@ StatusOr<TrainResult> MinimizeWithGradientDescent(
     return InvalidArgumentError("loss '" + loss.name() +
                                 "' is not differentiable");
   }
+  telemetry::TraceSpan span("ml.gd_fit");
+  telemetry::ScopedTimer timer(GdFitLatency());
   TrainResult result;
   result.weights = linalg::Zeros(dataset.num_features());
   double value = loss.Value(result.weights, dataset);
@@ -61,6 +98,7 @@ StatusOr<TrainResult> MinimizeWithGradientDescent(
     // by one bad region.
     step = std::min(options.initial_step, t / options.backtracking_beta);
   }
+  GdIterationsCounter().Increment(result.iterations);
   result.final_loss = value;
   return result;
 }
@@ -73,6 +111,9 @@ StatusOr<Vector> FitLinearRegressionClosedForm(const Dataset& dataset,
   if (ridge_mu < 0.0) {
     return InvalidArgumentError("ridge_mu must be non-negative");
   }
+  telemetry::TraceSpan span("ml.closed_form_fit");
+  telemetry::ScopedTimer timer(ClosedFormFitLatency());
+  ClosedFormFitsCounter().Increment();
   const int d = dataset.num_features();
   const int n = dataset.num_examples();
   // Materialize the design matrix once and use the fused (and, for large
@@ -117,6 +158,7 @@ StatusOr<TrainResult> FitLogisticRegressionNewton(const Dataset& dataset,
   const int n = dataset.num_examples();
   const RegularizedLoss loss(std::make_shared<LogisticLoss>(), ridge_mu);
 
+  telemetry::TraceSpan span("ml.newton_fit");
   TrainResult result;
   result.weights = linalg::Zeros(d);
   for (int iter = 0; iter < max_iterations; ++iter) {
@@ -182,6 +224,7 @@ StatusOr<TrainResult> FitLogisticRegressionNewton(const Dataset& dataset,
       break;
     }
   }
+  NewtonIterationsCounter().Increment(result.iterations);
   result.final_loss = loss.Value(result.weights, dataset);
   return result;
 }

@@ -5,9 +5,22 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 
 namespace nimbus::pricing {
 namespace {
+
+telemetry::Counter& CurveEstimatesCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("error_curve_estimates_total");
+  return counter;
+}
+
+telemetry::Histogram& GridPointLatency() {
+  static telemetry::Histogram& histogram =
+      telemetry::Registry::Global().GetHistogram("error_curve_point_latency_us");
+  return histogram;
+}
 
 // Pool-adjacent-violators pass enforcing a non-increasing sequence (the
 // Monte-Carlo means are noisy around a theoretically decreasing curve).
@@ -79,12 +92,16 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
   if (grid.front() <= 0.0) {
     return InvalidArgumentError("inverse NCP grid must be positive");
   }
+  telemetry::TraceSpan span("error_curve.estimate");
+  CurveEstimatesCounter().Increment();
   // Grid points are embarrassingly parallel: each draws its own child
   // stream Fork(i) from a once-advanced base, so the curve is
   // bit-identical at every NIMBUS_THREADS setting.
   const Rng base = rng.Fork();
   std::vector<double> raw(grid.size());
   ParallelFor(0, static_cast<int64_t>(grid.size()), [&](int64_t i) {
+    telemetry::TraceSpan point_span("error_curve.point");
+    telemetry::ScopedTimer point_timer(GridPointLatency());
     Rng point_rng = base.Fork(static_cast<uint64_t>(i));
     raw[static_cast<size_t>(i)] = mechanism::EstimateExpectedError(
         mechanism, optimal_model, /*ncp=*/1.0 / grid[static_cast<size_t>(i)],

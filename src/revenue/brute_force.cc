@@ -6,9 +6,25 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "solver/milp.h"
 
 namespace nimbus::revenue {
+namespace {
+
+telemetry::Counter& SubsetsCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("revenue_bf_subsets_total");
+  return counter;
+}
+
+telemetry::Counter& InfeasibleCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("revenue_bf_infeasible_total");
+  return counter;
+}
+
+}  // namespace
 
 StatusOr<double> SubadditiveClosurePrice(const std::vector<BuyerPoint>& points,
                                          const std::vector<bool>& member,
@@ -72,6 +88,7 @@ StatusOr<BruteForceResult> OptimizeRevenueBruteForce(
   // enumeration is evaluated in parallel; the per-mask revenues are then
   // reduced serially in mask order, matching the serial tie-breaking
   // (first-best subset wins) at every thread count.
+  telemetry::TraceSpan span("revenue.brute_force");
   const uint32_t limit = 1u << n;
   std::vector<double> mask_revenue(limit,
                                    -std::numeric_limits<double>::infinity());
@@ -79,6 +96,7 @@ StatusOr<BruteForceResult> OptimizeRevenueBruteForce(
   std::vector<Status> mask_status(limit);
   ParallelFor(1, limit, [&](int64_t m) {
     const uint32_t mask = static_cast<uint32_t>(m);
+    SubsetsCounter().Increment();
     std::vector<bool> member(static_cast<size_t>(n), false);
     std::vector<double> prices(static_cast<size_t>(n), 0.0);
     for (int w = 0; w < n; ++w) {
@@ -94,6 +112,7 @@ StatusOr<BruteForceResult> OptimizeRevenueBruteForce(
         return;
       }
       if (!std::isfinite(*price)) {
+        InfeasibleCounter().Increment();
         return;  // Infeasible subset; revenue stays -inf.
       }
       prices[static_cast<size_t>(j)] = *price;

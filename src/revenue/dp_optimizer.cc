@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace nimbus::revenue {
 namespace {
@@ -21,7 +22,18 @@ enum class Choice : unsigned char {
 StatusOr<DpResult> OptimizeRevenueDp(const std::vector<BuyerPoint>& points) {
   NIMBUS_RETURN_IF_ERROR(
       ValidateBuyerPoints(points, /*require_monotone_valuations=*/true));
+  telemetry::TraceSpan span("revenue.dp_optimize");
+  static telemetry::Counter& runs =
+      telemetry::Registry::Global().GetCounter("revenue_dp_runs_total");
+  static telemetry::Counter& cells =
+      telemetry::Registry::Global().GetCounter("revenue_dp_cells_total");
+  static telemetry::Histogram& latency =
+      telemetry::Registry::Global().GetHistogram("revenue_dp_latency_us");
+  telemetry::ScopedTimer timer(latency);
+  runs.Increment();
   const int n = static_cast<int>(points.size());
+  // The table is n rows by n + 1 Δ columns — the O(n²) of Algorithm 1.
+  cells.Increment(static_cast<int64_t>(n) * (n + 1));
   const double kInf = std::numeric_limits<double>::infinity();
 
   // Δ can only take the n values v_j / a_j plus +infinity (§5.3).

@@ -1,10 +1,12 @@
 #include "market/marketplace.h"
 
+#include <map>
 #include <memory>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/telemetry.h"
 #include "data/synthetic.h"
 #include "market/curves.h"
 #include "market/market_simulator.h"
@@ -39,6 +41,7 @@ std::shared_ptr<const pricing::PricingFunction> SomeMbpPricing() {
 }
 
 TEST(LedgerTest, RecordAndQueries) {
+  telemetry::Registry::Global().ResetForTest();
   Ledger ledger;
   ASSERT_TRUE(ledger.Record("alice", ml::ModelKind::kLogisticRegression, 2.0,
                             10.0, 0.1)
@@ -47,18 +50,35 @@ TEST(LedgerTest, RecordAndQueries) {
                   .ok());
   ASSERT_TRUE(ledger.Record("alice", ml::ModelKind::kLinearSvm, 1.0, 5.0, 0.2)
                   .ok());
-  EXPECT_EQ(ledger.size(), 3);
-  EXPECT_DOUBLE_EQ(ledger.TotalRevenue(), 45.0);
-  EXPECT_DOUBLE_EQ(ledger.RevenueForModel(ml::ModelKind::kLinearSvm), 35.0);
+  ASSERT_TRUE(ledger.Record("carol", ml::ModelKind::kLinearSvm, 4.0, 30.0,
+                            0.05)
+                  .ok());
+  EXPECT_EQ(ledger.size(), 4);
+  EXPECT_EQ(ledger.SaleCount(), 4);
+  EXPECT_DOUBLE_EQ(ledger.TotalRevenue(), 75.0);
+
+  const std::map<double, int64_t> per_point = ledger.SalesPerPricePoint();
+  ASSERT_EQ(per_point.size(), 3u);
+  EXPECT_EQ(per_point.at(1.0), 1);
+  EXPECT_EQ(per_point.at(2.0), 1);
+  EXPECT_EQ(per_point.at(4.0), 2);
+
+  // Every Record is mirrored into the telemetry registry for audit.
+  auto& registry = telemetry::Registry::Global();
+  EXPECT_EQ(registry.GetCounter("ledger_sales_total").Value(), 4);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ledger_revenue_total").Value(), 75.0);
+  EXPECT_EQ(registry.GetCounter("ledger_sales_point_4").Value(), 2);
+  EXPECT_DOUBLE_EQ(ledger.RevenueForModel(ml::ModelKind::kLinearSvm), 65.0);
   EXPECT_DOUBLE_EQ(
       ledger.RevenueForModel(ml::ModelKind::kLinearRegression), 0.0);
 
   const auto top = ledger.TopBuyers(10);
-  ASSERT_EQ(top.size(), 2u);
-  EXPECT_EQ(top[0].first, "bob");
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "bob");  // Ties broken by buyer id.
   EXPECT_DOUBLE_EQ(top[0].second, 30.0);
-  EXPECT_EQ(top[1].first, "alice");
-  EXPECT_DOUBLE_EQ(top[1].second, 15.0);
+  EXPECT_EQ(top[1].first, "carol");
+  EXPECT_EQ(top[2].first, "alice");
+  EXPECT_DOUBLE_EQ(top[2].second, 15.0);
   EXPECT_EQ(ledger.TopBuyers(1).size(), 1u);
 
   const auto alice = ledger.EntriesForBuyer("alice");
