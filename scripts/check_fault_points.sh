@@ -1,0 +1,59 @@
+#!/bin/sh
+# Static companion to fault::Configure's catalog check: every
+# FAULT_POINT("name") / ShouldFail("name") call site must name an entry
+# in the catalog between the FAULT-POINT-CATALOG markers in
+# src/common/fault.cc, and the catalog itself must be duplicate-free.
+# An unregistered point would make NIMBUS_FAULTS reject drills that the
+# code would actually honor; catch the drift statically. Run from
+# anywhere; takes the repo root as optional $1.
+set -eu
+
+root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+catalog_file="$root/src/common/fault.cc"
+
+if [ ! -f "$catalog_file" ]; then
+    echo "check_fault_points: missing $catalog_file" >&2
+    exit 1
+fi
+
+# The compiled-in catalog: quoted strings between the markers.
+catalog=$(sed -n '/FAULT-POINT-CATALOG-BEGIN/,/FAULT-POINT-CATALOG-END/p' \
+    "$catalog_file" | grep -oE '"[^"]+"' | tr -d '"' | sort)
+
+status=0
+if [ -z "$catalog" ]; then
+    echo "error: empty fault-point catalog in $catalog_file" >&2
+    status=1
+fi
+
+dupes=$(printf '%s\n' "$catalog" | uniq -d)
+for name in $dupes; do
+    echo "error: fault point '$name' appears twice in the catalog" >&2
+    status=1
+done
+
+# Every literal call-site name. fault.{h,cc} are excluded: the header's
+# usage docs and the catalog itself would self-match. Tests are excluded
+# too — they probe unknown names on purpose.
+used=$(grep -rhoE --exclude=fault.h --exclude=fault.cc \
+    '(FAULT_POINT|ShouldFail)\("[^"]+"\)' \
+    "$root/src" "$root/bench" "$root/examples" 2>/dev/null |
+    sed -E 's/(FAULT_POINT|ShouldFail)\("([^"]+)"\)/\2/' |
+    sort -u)
+
+for name in $used; do
+    if ! printf '%s\n' "$catalog" | grep -qxF "$name"; then
+        echo "error: fault point '$name' is used but not in the catalog" \
+             "(src/common/fault.cc)" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "check_fault_points: FAILED (fix the catalog drift above)" >&2
+else
+    n_catalog=$(printf '%s\n' "$catalog" | grep -c . || true)
+    n_used=$(printf '%s\n' "$used" | grep -c . || true)
+    echo "check_fault_points: OK ($n_catalog cataloged, $n_used used)"
+fi
+exit "$status"

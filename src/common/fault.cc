@@ -1,0 +1,267 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/statusor.h"
+#include "common/telemetry.h"
+
+namespace nimbus::fault {
+namespace {
+
+// Every FAULT_POINT / ShouldFail name in the tree must be listed here;
+// scripts/check_fault_points.sh fails the build on a call site missing
+// from the catalog or a duplicate entry. Keep the list sorted.
+// FAULT-POINT-CATALOG-BEGIN
+constexpr const char* kFaultPointCatalog[] = {
+    "broker.quote",
+    "io.write",
+    "journal.append",
+    "journal.fsync",
+    "solver.cholesky",
+};
+// FAULT-POINT-CATALOG-END
+
+telemetry::Counter& InjectedCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("fault_injected_total");
+  return counter;
+}
+
+// One armed clause plus its runtime state. Deterministic clauses fire on
+// hits [nth, nth+count) (count < 0 = forever); probabilistic clauses
+// (nth == 0) draw from a per-rule seeded stream.
+struct Rule {
+  int64_t nth = 0;
+  int64_t count = 1;
+  double probability = 0.0;
+  std::unique_ptr<Rng> rng;
+  int64_t hits = 0;
+  int64_t fires = 0;
+};
+
+std::atomic<bool> g_armed{false};
+
+std::mutex& Mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+// Armed rules plus hit counters for known points seen while armed.
+// Leaked (like the telemetry registry) so exit-time paths never race
+// static destruction.
+std::map<std::string, Rule>& Rules() {
+  static std::map<std::string, Rule>* rules = new std::map<std::string, Rule>();
+  return *rules;
+}
+
+// Stable 64-bit string hash (FNV-1a) mixing the point name into the
+// probabilistic seed so distinct points armed with the same seed draw
+// independent streams.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+StatusOr<Rule> ParseClauseBody(const std::string& point,
+                               const std::vector<std::string>& tokens) {
+  Rule rule;
+  if (tokens.empty()) {
+    return InvalidArgumentError("fault clause '" + point +
+                                "' needs ':nth' or ':p=<prob>'");
+  }
+  if (tokens[0].rfind("p=", 0) == 0) {
+    char* end = nullptr;
+    rule.probability = std::strtod(tokens[0].c_str() + 2, &end);
+    if (end == tokens[0].c_str() + 2 || *end != '\0' ||
+        !(rule.probability > 0.0) || rule.probability > 1.0) {
+      return InvalidArgumentError("bad probability in fault clause '" + point +
+                                  "'");
+    }
+    uint64_t seed = 0;
+    if (tokens.size() > 1) {
+      if (tokens.size() > 2 || tokens[1].rfind("seed=", 0) != 0) {
+        return InvalidArgumentError("bad probabilistic fault clause '" + point +
+                                    "'");
+      }
+      seed = std::strtoull(tokens[1].c_str() + 5, &end, 10);
+      if (end == tokens[1].c_str() + 5 || *end != '\0') {
+        return InvalidArgumentError("bad seed in fault clause '" + point + "'");
+      }
+    }
+    rule.rng = std::make_unique<Rng>(seed ^ HashName(point));
+    return rule;
+  }
+  char* end = nullptr;
+  rule.nth = static_cast<int64_t>(std::strtoll(tokens[0].c_str(), &end, 10));
+  if (end == tokens[0].c_str() || *end != '\0' || rule.nth < 1) {
+    return InvalidArgumentError("bad hit index in fault clause '" + point +
+                                "' (want a 1-based integer)");
+  }
+  if (tokens.size() > 2) {
+    return InvalidArgumentError("too many fields in fault clause '" + point +
+                                "'");
+  }
+  if (tokens.size() == 2) {
+    if (tokens[1] == "*") {
+      rule.count = -1;
+    } else {
+      rule.count =
+          static_cast<int64_t>(std::strtoll(tokens[1].c_str(), &end, 10));
+      if (end == tokens[1].c_str() || *end != '\0' || rule.count < 1) {
+        return InvalidArgumentError("bad count in fault clause '" + point +
+                                    "' (want a positive integer or '*')");
+      }
+    }
+  }
+  return rule;
+}
+
+StatusOr<std::map<std::string, Rule>> ParseSpec(const std::string& spec) {
+  std::map<std::string, Rule> rules;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string clause = spec.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) {
+      continue;
+    }
+    std::vector<std::string> tokens;
+    size_t pos = 0;
+    while (pos <= clause.size()) {
+      size_t colon = clause.find(':', pos);
+      if (colon == std::string::npos) {
+        colon = clause.size();
+      }
+      tokens.push_back(clause.substr(pos, colon - pos));
+      if (colon == clause.size()) {
+        break;
+      }
+      pos = colon + 1;
+    }
+    const std::string point = tokens.front();
+    tokens.erase(tokens.begin());
+    if (!IsKnownPoint(point)) {
+      return InvalidArgumentError("unknown fault point '" + point +
+                                  "' (see the catalog in common/fault.cc)");
+    }
+    if (rules.count(point) > 0) {
+      return InvalidArgumentError("fault point '" + point +
+                                  "' armed twice in one spec");
+    }
+    NIMBUS_ASSIGN_OR_RETURN(Rule rule, ParseClauseBody(point, tokens));
+    rules.emplace(point, std::move(rule));
+  }
+  return rules;
+}
+
+// First-use hook honoring NIMBUS_FAULTS, mirroring telemetry's
+// EnsureInitialized so any binary gets env-driven injection without
+// explicit setup.
+void EnsureInitialized() {
+  static const bool initialized = [] {
+    if (const char* spec = std::getenv("NIMBUS_FAULTS");
+        spec != nullptr && *spec != '\0') {
+      const Status status = Configure(spec);
+      if (!status.ok()) {
+        NIMBUS_LOG(kWarning) << "ignoring NIMBUS_FAULTS: "
+                             << status.ToString();
+      }
+    }
+    return true;
+  }();
+  (void)initialized;
+}
+
+}  // namespace
+
+bool ShouldFail(const char* point) {
+  EnsureInitialized();
+  if (!g_armed.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Rules().find(point);
+  if (it == Rules().end()) {
+    // Count hits at unarmed-but-known points too, so a drill can see
+    // which recovery paths were exercised without arming them.
+    ++Rules()[point].hits;
+    return false;
+  }
+  Rule& rule = it->second;
+  const int64_t hit = ++rule.hits;
+  bool fire = false;
+  if (rule.rng != nullptr) {
+    fire = rule.rng->Bernoulli(rule.probability);
+  } else {
+    fire = hit >= rule.nth &&
+           (rule.count < 0 || hit < rule.nth + rule.count);
+  }
+  if (fire) {
+    ++rule.fires;
+    InjectedCounter().Increment();
+    NIMBUS_LOG(kWarning) << "fault injected at '" << point << "' (hit #"
+                         << hit << ")";
+  }
+  return fire;
+}
+
+Status Configure(const std::string& spec) {
+  StatusOr<std::map<std::string, Rule>> rules = ParseSpec(spec);
+  if (!rules.ok()) {
+    return rules.status();
+  }
+  std::lock_guard<std::mutex> lock(Mutex());
+  Rules() = *std::move(rules);
+  g_armed.store(!Rules().empty(), std::memory_order_relaxed);
+  return OkStatus();
+}
+
+void Reset() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Rules().clear();
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+int64_t HitCount(const std::string& point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Rules().find(point);
+  return it == Rules().end() ? 0 : it->second.hits;
+}
+
+int64_t FireCount(const std::string& point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Rules().find(point);
+  return it == Rules().end() ? 0 : it->second.fires;
+}
+
+bool IsKnownPoint(const std::string& name) {
+  const std::vector<std::string>& points = KnownPoints();
+  return std::binary_search(points.begin(), points.end(), name);
+}
+
+const std::vector<std::string>& KnownPoints() {
+  static const std::vector<std::string>* points = [] {
+    auto* out = new std::vector<std::string>(std::begin(kFaultPointCatalog),
+                                             std::end(kFaultPointCatalog));
+    std::sort(out->begin(), out->end());
+    return out;
+  }();
+  return *points;
+}
+
+}  // namespace nimbus::fault

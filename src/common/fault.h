@@ -1,0 +1,70 @@
+#ifndef NIMBUS_COMMON_FAULT_H_
+#define NIMBUS_COMMON_FAULT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nimbus::fault {
+
+// Deterministic fault injection for recovery-path testing. Production
+// code marks the places where an induced failure is interesting with
+// FAULT_POINT("name"); tests (or an operator drill) arm points through
+// the NIMBUS_FAULTS environment variable or Configure(). Disarmed, a
+// fault point costs one relaxed atomic load — the same budget as a
+// disabled telemetry span — so the markers stay in release builds.
+//
+// Spec grammar (comma-separated clauses, one per point):
+//   point:nth            fire exactly on the nth hit (1-based)
+//   point:nth:count      fire on hits [nth, nth+count)
+//   point:nth:*          fire on every hit from the nth on
+//   point:p=0.25         fire each hit with probability 0.25 (seed 0)
+//   point:p=0.25:seed=7  same, seeded — the firing sequence is a pure
+//                        function of (point, p, seed), so probabilistic
+//                        drills are reproducible
+// Example: NIMBUS_FAULTS=journal.append:3,io.write:1:*
+//
+// Every point name must appear in the catalog in fault.cc
+// (scripts/check_fault_points.sh enforces the same statically); arming
+// an unknown point is an InvalidArgument. Every fire increments the
+// `fault_injected_total` telemetry counter and logs a warning.
+
+// True when the named point should fail this hit. Hits are counted per
+// point only while injection is armed.
+bool ShouldFail(const char* point);
+
+// Arms injection from a spec string (see grammar above). Replaces any
+// previous configuration; an empty spec disarms. Invalid clauses or
+// unknown point names leave the previous configuration in place.
+Status Configure(const std::string& spec);
+
+// Disarms all points and clears hit counters.
+void Reset();
+
+// Hits observed at `point` since the last Configure/Reset (armed runs
+// only; 0 for unknown points).
+int64_t HitCount(const std::string& point);
+
+// Fires delivered at `point` since the last Configure/Reset.
+int64_t FireCount(const std::string& point);
+
+// True when `name` is in the compiled-in fault-point catalog.
+bool IsKnownPoint(const std::string& name);
+
+// The compiled-in catalog, sorted (exposed for tests and tooling).
+const std::vector<std::string>& KnownPoints();
+
+}  // namespace nimbus::fault
+
+// Fails the enclosing Status/StatusOr-returning function with an
+// injected kInternal error when the named point is armed and due.
+#define FAULT_POINT(name)                                          \
+  do {                                                             \
+    if (::nimbus::fault::ShouldFail(name)) {                       \
+      return ::nimbus::InternalError(                              \
+          std::string("fault injected at '") + (name) + "'");      \
+    }                                                              \
+  } while (false)
+
+#endif  // NIMBUS_COMMON_FAULT_H_

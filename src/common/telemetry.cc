@@ -63,8 +63,15 @@ void WriteStringToFile(const char* path, const std::string& contents) {
     std::fprintf(stderr, "[telemetry] cannot open '%s' for writing\n", path);
     return;
   }
-  std::fwrite(contents.data(), 1, contents.size(), f);
-  std::fclose(f);
+  // Runs from an atexit hook, so failures can only be reported, not
+  // returned — but a short write or failed close must not pass silently.
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  bool ok = written == contents.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::fprintf(stderr, "[telemetry] short or failed write to '%s'\n", path);
+  }
 }
 
 void FlushAtExit() {

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace nimbus::data {
 namespace {
 
@@ -94,6 +96,7 @@ StatusOr<Dataset> ReadCsv(const std::string& path, Task task) {
 }
 
 Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  FAULT_POINT("io.write");
   std::ofstream file(path);
   if (!file) {
     return InvalidArgumentError("cannot create '" + path + "'");
@@ -105,6 +108,7 @@ Status WriteCsv(const Dataset& dataset, const std::string& path) {
     }
     file << e.target << '\n';
   }
+  file.flush();
   if (!file) {
     return InternalError("write to '" + path + "' failed");
   }

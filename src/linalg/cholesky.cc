@@ -1,10 +1,32 @@
 #include "linalg/cholesky.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace nimbus::linalg {
+namespace {
+
+telemetry::Counter& FallbackCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("solver_fallback_total");
+  return counter;
+}
+
+bool AllFinite(const Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 StatusOr<CholeskyFactorization> CholeskyFactorization::Compute(
     const Matrix& a) {
@@ -67,10 +89,78 @@ double CholeskyFactorization::LogDeterminant() const {
   return 2.0 * sum;
 }
 
-StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b) {
-  NIMBUS_ASSIGN_OR_RETURN(CholeskyFactorization chol,
-                          CholeskyFactorization::Compute(a));
-  return chol.Solve(b);
+StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b,
+                          SpdSolveDiagnostics* diagnostics) {
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("SolveSpd requires a square matrix");
+  }
+  const int n = a.rows();
+  if (static_cast<int>(b.size()) != n) {
+    return InvalidArgumentError("right-hand side has wrong dimension");
+  }
+  double max_abs_diag = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (!std::isfinite(a.At(i, j))) {
+        return InvalidArgumentError("SolveSpd: matrix entry (" +
+                                    std::to_string(i) + ", " +
+                                    std::to_string(j) + ") is not finite");
+      }
+    }
+    max_abs_diag = std::max(max_abs_diag, std::fabs(a.At(i, i)));
+  }
+  if (!AllFinite(b)) {
+    return InvalidArgumentError("SolveSpd: right-hand side is not finite");
+  }
+  if (diagnostics != nullptr) {
+    *diagnostics = SpdSolveDiagnostics{};
+  }
+  // Rung 0: the plain factorization — bit-identical to the historical
+  // solver whenever A is numerically SPD. (The fault point lets tests
+  // force the ladder without constructing a degenerate system.)
+  if (!fault::ShouldFail("solver.cholesky")) {
+    StatusOr<CholeskyFactorization> chol = CholeskyFactorization::Compute(a);
+    if (chol.ok()) {
+      Vector x = chol->Solve(b);
+      if (AllFinite(x)) {
+        return x;
+      }
+    }
+  }
+  // Fallback ladder: retry with an escalating ridge shift. The shift is
+  // relative to the diagonal scale so the ladder behaves identically
+  // across data scalings.
+  const double scale = max_abs_diag > 0.0 ? max_abs_diag : 1.0;
+  double ridge = 0.0;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    ridge = scale * 1e-12 * std::pow(100.0, attempt);  // 1e-10 .. 1.
+    Matrix shifted = a;
+    shifted.AddToDiagonal(ridge);
+    StatusOr<CholeskyFactorization> chol =
+        CholeskyFactorization::Compute(shifted);
+    if (!chol.ok()) {
+      continue;
+    }
+    Vector x = chol->Solve(b);
+    if (!AllFinite(x)) {
+      continue;
+    }
+    FallbackCounter().Increment();
+    NIMBUS_LOG(kWarning) << "SolveSpd degraded: order-" << n
+                         << " system solved with ridge " << ridge
+                         << " on attempt " << attempt;
+    if (diagnostics != nullptr) {
+      diagnostics->degraded = true;
+      diagnostics->attempts = attempt;
+      diagnostics->ridge = ridge;
+    }
+    return x;
+  }
+  return FailedPreconditionError(
+      "SolveSpd: order-" + std::to_string(n) +
+      " matrix is not positive definite even after ridge " +
+      std::to_string(ridge) + " (max |diag| " + std::to_string(max_abs_diag) +
+      ")");
 }
 
 StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {

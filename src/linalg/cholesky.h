@@ -30,8 +30,23 @@ class CholeskyFactorization {
   Matrix lower_;
 };
 
-// Convenience wrapper: solves the SPD system A x = b in one call.
-StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b);
+// Diagnostics surfaced by SolveSpd's degradation ladder.
+struct SpdSolveDiagnostics {
+  bool degraded = false;  // True when a fallback rung was needed.
+  int attempts = 0;       // Factorization retries beyond the first.
+  double ridge = 0.0;     // Diagonal shift of the successful attempt.
+};
+
+// Solves the SPD system A x = b with graceful numerical degradation:
+// a plain Cholesky first (bit-identical to the historical behaviour on
+// well-conditioned inputs), then — when the factorization fails or the
+// solution is non-finite — jittered-ridge retries with escalating
+// diagonal regularization, and finally kFailedPrecondition carrying
+// diagnostics instead of letting NaNs propagate. Non-finite inputs are
+// rejected up front with kInvalidArgument. Fallback solves are counted
+// in `solver_fallback_total` and reported through `diagnostics`.
+StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b,
+                          SpdSolveDiagnostics* diagnostics = nullptr);
 
 // Solves a general square linear system A x = b with partially pivoted
 // Gaussian elimination. Fails with kFailedPrecondition when A is singular.

@@ -1,8 +1,10 @@
 #include "market/broker.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/telemetry.h"
@@ -35,6 +37,12 @@ telemetry::Gauge& RevenueGauge() {
   static telemetry::Gauge& gauge =
       telemetry::Registry::Global().GetGauge("broker_revenue_collected");
   return gauge;
+}
+
+telemetry::Counter& BudgetCutCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("broker_curve_budget_cuts_total");
+  return counter;
 }
 
 }  // namespace
@@ -97,11 +105,31 @@ StatusOr<const pricing::ErrorCurve*> Broker::GetErrorCurve(
   const std::vector<double> grid =
       Linspace(options_.min_inverse_ncp, options_.max_inverse_ncp,
                options_.error_curve_points);
+  // Honor the draw budget by shrinking the per-point sample count — the
+  // deterministic analogue of a wall-clock deadline on curve builds.
+  int samples = options_.samples_per_curve_point;
+  bool budget_cut = false;
+  if (options_.curve_draw_budget > 0) {
+    const int64_t total =
+        static_cast<int64_t>(grid.size()) * static_cast<int64_t>(samples);
+    if (total > options_.curve_draw_budget) {
+      samples = static_cast<int>(std::max<int64_t>(
+          1, options_.curve_draw_budget / static_cast<int64_t>(grid.size())));
+      budget_cut = true;
+      BudgetCutCounter().Increment();
+      NIMBUS_LOG(kWarning)
+          << "broker: error-curve build for '" << report_loss_name
+          << "' degraded to " << samples << " samples/point to fit a budget of "
+          << options_.curve_draw_budget << " draws";
+    }
+  }
   NIMBUS_ASSIGN_OR_RETURN(
       pricing::ErrorCurve curve,
       pricing::ErrorCurve::Estimate(*mechanism_, optimal_model_, *loss,
-                                    split_.test, grid,
-                                    options_.samples_per_curve_point, rng_));
+                                    split_.test, grid, samples, rng_));
+  if (budget_cut) {
+    curve.MarkDegraded();
+  }
   auto [inserted, ok] =
       error_curves_.emplace(report_loss_name, std::move(curve));
   NIMBUS_CHECK(ok);
@@ -126,12 +154,14 @@ StatusOr<Broker::Purchase> Broker::QuoteAtInverseNcp(
   telemetry::TraceSpan span("broker.quote");
   telemetry::ScopedTimer timer(QuoteLatency());
   QuotesCounter().Increment();
+  FAULT_POINT("broker.quote");
   if (inverse_ncp < options_.min_inverse_ncp ||
       inverse_ncp > options_.max_inverse_ncp) {
     return OutOfRangeError("requested version is outside the supported "
                            "inverse-NCP range");
   }
   Purchase purchase;
+  purchase.degraded = curve.degraded();
   purchase.inverse_ncp = inverse_ncp;
   purchase.ncp = 1.0 / inverse_ncp;
   purchase.price = pricing_->PriceAtInverseNcp(inverse_ncp);

@@ -35,6 +35,13 @@ class Broker {
     int error_curve_points = 25;
     // Monte-Carlo draws per error-curve point (paper uses 2000).
     int samples_per_curve_point = 200;
+    // Deadline-style budget on curve construction, expressed as a cap on
+    // total Monte-Carlo draws (grid points x samples) so it stays
+    // deterministic. When a curve would exceed the cap, the per-point
+    // sample count is reduced to fit (floor 1) and the curve — and every
+    // quote served from it — is marked degraded instead of stalling the
+    // quote path. 0 = unlimited.
+    int64_t curve_draw_budget = 0;
     uint64_t seed = 20190642;
   };
 
@@ -88,6 +95,9 @@ class Broker {
     double ncp = 0.0;
     double inverse_ncp = 0.0;
     double expected_error = 0.0;
+    // True when the quote was served from a degraded error curve
+    // (budget-reduced sampling or patched non-finite points).
+    bool degraded = false;
   };
 
   // Option 1: buy the version at a specific point x = 1/δ of the curve.

@@ -1,0 +1,322 @@
+#include "market/journal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/logging.h"
+
+namespace nimbus::market {
+namespace {
+
+constexpr char kMagic[8] = {'N', 'I', 'M', 'B', 'U', 'S', 'J', '1'};
+constexpr size_t kRecordHeaderBytes = 8;  // u32 length + u32 crc.
+// A sale record is a few dozen bytes; anything near this bound is a
+// corrupted length field, not a real record.
+constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+void AppendRaw(std::string& out, const void* data, size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void AppendScalar(std::string& out, T value) {
+  AppendRaw(out, &value, sizeof(value));
+}
+
+template <typename T>
+bool ReadScalar(const std::string& in, size_t& offset, T* value) {
+  if (in.size() - offset < sizeof(T)) {
+    return false;
+  }
+  std::memcpy(value, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+StatusOr<LedgerEntry> DecodePayload(const std::string& payload) {
+  LedgerEntry entry;
+  size_t offset = 0;
+  uint8_t kind = 0;
+  uint32_t buyer_len = 0;
+  if (!ReadScalar(payload, offset, &entry.sequence) ||
+      !ReadScalar(payload, offset, &kind) ||
+      !ReadScalar(payload, offset, &entry.inverse_ncp) ||
+      !ReadScalar(payload, offset, &entry.price) ||
+      !ReadScalar(payload, offset, &entry.expected_error) ||
+      !ReadScalar(payload, offset, &buyer_len)) {
+    return InvalidArgumentError("journal payload shorter than fixed fields");
+  }
+  switch (static_cast<ml::ModelKind>(kind)) {
+    case ml::ModelKind::kLinearRegression:
+    case ml::ModelKind::kLogisticRegression:
+    case ml::ModelKind::kLinearSvm:
+    case ml::ModelKind::kPoissonRegression:
+      break;
+    default:
+      return InvalidArgumentError("journal payload has unknown model kind " +
+                                  std::to_string(kind));
+  }
+  entry.model = static_cast<ml::ModelKind>(kind);
+  if (payload.size() - offset != buyer_len) {
+    return InvalidArgumentError("journal payload buyer-id length mismatch");
+  }
+  entry.buyer_id = payload.substr(offset, buyer_len);
+  return entry;
+}
+
+}  // namespace
+
+uint32_t Journal::Crc32(const void* data, size_t size) {
+  // Standard reflected CRC-32 (polynomial 0xEDB88320), table built once.
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string Journal::EncodePayload(const LedgerEntry& entry) {
+  std::string payload;
+  payload.reserve(37 + entry.buyer_id.size());
+  AppendScalar(payload, entry.sequence);
+  AppendScalar(payload, static_cast<uint8_t>(entry.model));
+  AppendScalar(payload, entry.inverse_ncp);
+  AppendScalar(payload, entry.price);
+  AppendScalar(payload, entry.expected_error);
+  AppendScalar(payload, static_cast<uint32_t>(entry.buyer_id.size()));
+  AppendRaw(payload, entry.buyer_id.data(), entry.buyer_id.size());
+  return payload;
+}
+
+StatusOr<Journal> Journal::Open(const std::string& path, Options options) {
+  bool needs_header = true;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (probe) {
+      char magic[sizeof(kMagic)] = {};
+      probe.read(magic, sizeof(magic));
+      const auto got = probe.gcount();
+      if (got == 0) {
+        needs_header = true;  // Exists but empty (crash before header).
+      } else if (got < static_cast<std::streamsize>(sizeof(kMagic)) ||
+                 std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        return InvalidArgumentError("'" + path + "' is not a nimbus journal");
+      } else {
+        needs_header = false;
+      }
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open journal '" + path +
+                                "' for appending");
+  }
+  Journal journal(path, options, file);
+  if (needs_header) {
+    if (std::fwrite(kMagic, 1, sizeof(kMagic), file) != sizeof(kMagic)) {
+      return InternalError("cannot write journal header to '" + path + "'");
+    }
+    NIMBUS_RETURN_IF_ERROR(journal.Flush());
+  }
+  return journal;
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : path_(std::move(other.path_)),
+      options_(other.options_),
+      file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status Journal::Append(const LedgerEntry& entry) {
+  FAULT_POINT("journal.append");
+  if (file_ == nullptr) {
+    return FailedPreconditionError("journal '" + path_ + "' is closed");
+  }
+  const std::string payload = EncodePayload(entry);
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  AppendScalar(record, static_cast<uint32_t>(payload.size()));
+  AppendScalar(record, Crc32(payload.data(), payload.size()));
+  AppendRaw(record, payload.data(), payload.size());
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return InternalError("short write appending to journal '" + path_ + "'");
+  }
+  if (options_.fsync == FsyncPolicy::kEveryRecord) {
+    return Flush();
+  }
+  return OkStatus();
+}
+
+Status Journal::Flush() {
+  FAULT_POINT("journal.fsync");
+  if (file_ == nullptr) {
+    return FailedPreconditionError("journal '" + path_ + "' is closed");
+  }
+  if (std::fflush(file_) != 0) {
+    return InternalError("fflush failed on journal '" + path_ + "'");
+  }
+  if (options_.fsync == FsyncPolicy::kEveryRecord &&
+      ::fsync(fileno(file_)) != 0) {
+    return InternalError("fsync failed on journal '" + path_ + "'");
+  }
+  return OkStatus();
+}
+
+Status Journal::Close() {
+  if (file_ == nullptr) {
+    return OkStatus();
+  }
+  const Status flushed = Flush();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  NIMBUS_RETURN_IF_ERROR(flushed);
+  if (rc != 0) {
+    return InternalError("fclose failed on journal '" + path_ + "'");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<LedgerEntry>> Journal::Replay(const std::string& path,
+                                                   RecoveryReport* report) {
+  return Replay(path, report, ReplayOptions{});
+}
+
+StatusOr<std::vector<LedgerEntry>> Journal::Replay(const std::string& path,
+                                                   RecoveryReport* report,
+                                                   ReplayOptions options) {
+  RecoveryReport local;
+  RecoveryReport& rep = report != nullptr ? *report : local;
+  rep = RecoveryReport{};
+
+  std::string bytes;
+  {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      return NotFoundError("cannot open journal '" + path + "'");
+    }
+    std::ostringstream content;
+    content << file.rdbuf();
+    bytes = std::move(content).str();
+  }
+
+  std::vector<LedgerEntry> entries;
+  size_t offset = 0;
+  if (bytes.empty()) {
+    // A fresh (or fully truncated) journal: clean and empty, so Open can
+    // stamp the header and start appending.
+  } else if (bytes.size() < sizeof(kMagic)) {
+    // Crash mid-header write: nothing recoverable, but the file is a
+    // legitimate torn journal, not garbage.
+    rep.tail = TailState::kTorn;
+    rep.detail = "truncated journal header";
+  } else if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return InvalidArgumentError("'" + path + "' is not a nimbus journal");
+  } else {
+    offset = sizeof(kMagic);
+    while (offset < bytes.size()) {
+      const size_t remaining = bytes.size() - offset;
+      if (remaining < kRecordHeaderBytes) {
+        rep.tail = TailState::kTorn;
+        rep.detail = "partial record header at byte " + std::to_string(offset);
+        break;
+      }
+      uint32_t length = 0;
+      uint32_t crc = 0;
+      size_t cursor = offset;
+      ReadScalar(bytes, cursor, &length);
+      ReadScalar(bytes, cursor, &crc);
+      if (length > kMaxPayloadBytes) {
+        rep.tail = TailState::kCorrupt;
+        rep.detail = "implausible payload length " + std::to_string(length) +
+                     " at byte " + std::to_string(offset);
+        break;
+      }
+      if (remaining - kRecordHeaderBytes < length) {
+        rep.tail = TailState::kTorn;
+        rep.detail = "partial record payload at byte " + std::to_string(offset);
+        break;
+      }
+      const std::string payload = bytes.substr(cursor, length);
+      const uint32_t actual = Crc32(payload.data(), payload.size());
+      if (actual != crc) {
+        rep.tail = TailState::kCorrupt;
+        rep.detail = "CRC mismatch on record " +
+                     std::to_string(entries.size()) + " at byte " +
+                     std::to_string(offset) + " (stored " +
+                     std::to_string(crc) + ", computed " +
+                     std::to_string(actual) + ")";
+        break;
+      }
+      StatusOr<LedgerEntry> entry = DecodePayload(payload);
+      if (!entry.ok()) {
+        rep.tail = TailState::kCorrupt;
+        rep.detail = "undecodable record " + std::to_string(entries.size()) +
+                     " at byte " + std::to_string(offset) + ": " +
+                     entry.status().message();
+        break;
+      }
+      entries.push_back(*std::move(entry));
+      offset += kRecordHeaderBytes + length;
+    }
+  }
+
+  rep.recovered_records = static_cast<int64_t>(entries.size());
+  rep.valid_bytes = static_cast<int64_t>(offset);
+  rep.dropped_bytes = static_cast<int64_t>(bytes.size() - offset);
+  if (options.strict && rep.tail == TailState::kCorrupt) {
+    return InternalError("journal '" + path + "' is corrupt: " + rep.detail);
+  }
+  if (rep.tail == TailState::kTorn && options.truncate_torn_tail) {
+    if (::truncate(path.c_str(), static_cast<off_t>(rep.valid_bytes)) != 0) {
+      return InternalError("cannot truncate torn tail of journal '" + path +
+                           "'");
+    }
+    NIMBUS_LOG(kWarning) << "journal '" << path << "': truncated torn tail ("
+                         << rep.dropped_bytes << " bytes, " << rep.detail
+                         << ")";
+  } else if (rep.tail != TailState::kClean) {
+    NIMBUS_LOG(kWarning) << "journal '" << path << "': dropped "
+                         << rep.dropped_bytes << " trailing bytes ("
+                         << rep.detail << ")";
+  }
+  return entries;
+}
+
+}  // namespace nimbus::market

@@ -1,0 +1,120 @@
+#ifndef NIMBUS_MARKET_JOURNAL_H_
+#define NIMBUS_MARKET_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "market/ledger.h"
+
+namespace nimbus::market {
+
+// Append-only binary write-ahead log for the ledger — the durable copy
+// of the seller's audit trail. A journal file is an 8-byte magic header
+// ("NIMBUSJ1") followed by length-prefixed records:
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//
+// where the payload is one serialized LedgerEntry (fixed numeric fields
+// in native little-endian order plus a length-prefixed buyer id). The
+// CRC makes bit rot and torn writes detectable: replay accepts exactly
+// the longest valid record prefix and classifies whatever follows as a
+// torn tail (incomplete trailing record — the signature of a crash
+// mid-append) or corruption (a full-length record whose CRC or encoding
+// is wrong).
+class Journal {
+ public:
+  // When to force bytes to stable storage.
+  //   kNone:        leave flushing to the OS (fastest; a crash may lose
+  //                 the most recent records but never corrupts the
+  //                 prefix).
+  //   kEveryRecord: fflush + fsync after each append (group-commit-free
+  //                 durability; every acknowledged sale survives power
+  //                 loss).
+  enum class FsyncPolicy { kNone, kEveryRecord };
+
+  struct Options {
+    FsyncPolicy fsync = FsyncPolicy::kNone;
+  };
+
+  // Opens `path` for appending, creating it (with header) when absent.
+  // An existing file must start with the magic header; callers appending
+  // to a previously crashed journal should run Ledger::Recover first so
+  // any torn tail is truncated away.
+  static StatusOr<Journal> Open(const std::string& path, Options options);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  // Appends one record (write-through target of Ledger::Record). The
+  // entry is fully buffered into one fwrite so a crash between appends
+  // never interleaves partial records from this process.
+  Status Append(const LedgerEntry& entry);
+
+  // Flushes user-space buffers and, under kEveryRecord, fsyncs.
+  Status Flush();
+
+  // Flushes and closes the file; further appends fail. Idempotent.
+  Status Close();
+
+  const std::string& path() const { return path_; }
+
+  // How a replay ended.
+  enum class TailState {
+    kClean,    // File ends exactly on a record boundary.
+    kTorn,     // Trailing partial record (crash mid-append).
+    kCorrupt,  // Full-length record with a CRC/encoding mismatch.
+  };
+
+  struct RecoveryReport {
+    int64_t recovered_records = 0;
+    int64_t valid_bytes = 0;    // Header + longest valid record prefix.
+    int64_t dropped_bytes = 0;  // Bytes past the valid prefix.
+    TailState tail = TailState::kClean;
+    std::string detail;         // Human-readable tail diagnosis.
+  };
+
+  struct ReplayOptions {
+    // Fail with a precise kDataLoss-style Status (kInternal) on a
+    // CRC-corrupt record instead of returning the valid prefix.
+    bool strict = false;
+    // Physically truncate a torn tail so the file is append-clean again.
+    // Corrupt (CRC-mismatch) tails are never auto-truncated — they are
+    // evidence of bit rot, not of a crash — only reported.
+    bool truncate_torn_tail = true;
+  };
+
+  // Replays `path`, returning the longest valid prefix of records (never
+  // crashes on arbitrary bytes). `report`, when non-null, receives the
+  // tail diagnosis either way. The two-argument overload uses the
+  // default ReplayOptions (lenient, truncating torn tails).
+  static StatusOr<std::vector<LedgerEntry>> Replay(const std::string& path,
+                                                   RecoveryReport* report,
+                                                   ReplayOptions options);
+  static StatusOr<std::vector<LedgerEntry>> Replay(
+      const std::string& path, RecoveryReport* report = nullptr);
+
+  // CRC-32 (IEEE 802.3, reflected) of `size` bytes — the record checksum.
+  static uint32_t Crc32(const void* data, size_t size);
+
+  // Serializes one entry to the record payload format (exposed for
+  // tests constructing hand-corrupted journals).
+  static std::string EncodePayload(const LedgerEntry& entry);
+
+ private:
+  Journal(std::string path, Options options, std::FILE* file)
+      : path_(std::move(path)), options_(options), file_(file) {}
+
+  std::string path_;
+  Options options_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace nimbus::market
+
+#endif  // NIMBUS_MARKET_JOURNAL_H_

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "common/telemetry.h"
+#include "market/journal.h"
 
 namespace nimbus::market {
 namespace {
@@ -27,6 +31,12 @@ telemetry::Gauge& LedgerRevenueGauge() {
   return gauge;
 }
 
+telemetry::Counter& RecoveredRecordsCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("journal_recovered_records");
+  return counter;
+}
+
 std::string PricePointMetricName(double inverse_ncp) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.6g", inverse_ncp);
@@ -38,20 +48,154 @@ std::string PricePointMetricName(double inverse_ncp) {
   return name;
 }
 
+// RFC-4180 field quoting: fields containing the separator, quotes or
+// line breaks are wrapped in quotes with embedded quotes doubled, so a
+// buyer id like `mallory",,"0` cannot inject audit columns.
+std::string CsvField(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) {
+    return field;
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Splits RFC-4180 text into rows of fields, honoring quoted fields
+// (which may contain commas, doubled quotes, and line breaks).
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field_started || !field.empty()) {
+          return InvalidArgumentError(
+              "CSV quote opened mid-field at byte " + std::to_string(i));
+        }
+        in_quotes = true;
+        field_started = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') {
+          ++i;
+        }
+        end_row();
+        ++i;
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError("CSV ends inside a quoted field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+StatusOr<double> ParseDouble(const std::string& token, const char* what,
+                             size_t row) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    return InvalidArgumentError("bad " + std::string(what) + " '" + token +
+                                "' on CSV row " + std::to_string(row));
+  }
+  return value;
+}
+
 }  // namespace
+
+Ledger::Ledger() = default;
+Ledger::~Ledger() = default;
+Ledger::Ledger(Ledger&&) noexcept = default;
+Ledger& Ledger::operator=(Ledger&&) noexcept = default;
+
+Status Ledger::ValidateFields(const std::string& buyer_id, double inverse_ncp,
+                              double price, double expected_error) {
+  if (buyer_id.empty()) {
+    return InvalidArgumentError("buyer id must be non-empty");
+  }
+  if (!(inverse_ncp > 0.0) || !std::isfinite(inverse_ncp)) {
+    return InvalidArgumentError("inverse NCP must be positive and finite");
+  }
+  if (price < 0.0 || !std::isfinite(price)) {
+    return InvalidArgumentError("price must be non-negative and finite");
+  }
+  if (!std::isfinite(expected_error)) {
+    return InvalidArgumentError("expected error must be finite");
+  }
+  return OkStatus();
+}
+
+void Ledger::Commit(const LedgerEntry& entry) {
+  entries_.push_back(entry);
+  spend_by_buyer_[entry.buyer_id] += entry.price;
+  LedgerSalesCounter().Increment();
+  LedgerRevenueGauge().Add(entry.price);
+  telemetry::Registry::Global()
+      .GetCounter(PricePointMetricName(entry.inverse_ncp))
+      .Increment();
+}
 
 StatusOr<int64_t> Ledger::Record(const std::string& buyer_id,
                                  ml::ModelKind model, double inverse_ncp,
                                  double price, double expected_error) {
-  if (buyer_id.empty()) {
-    return InvalidArgumentError("buyer id must be non-empty");
-  }
-  if (!(inverse_ncp > 0.0)) {
-    return InvalidArgumentError("inverse NCP must be positive");
-  }
-  if (price < 0.0) {
-    return InvalidArgumentError("price must be non-negative");
-  }
+  NIMBUS_RETURN_IF_ERROR(
+      ValidateFields(buyer_id, inverse_ncp, price, expected_error));
   LedgerEntry entry;
   entry.sequence = static_cast<int64_t>(entries_.size());
   entry.buyer_id = buyer_id;
@@ -59,14 +203,49 @@ StatusOr<int64_t> Ledger::Record(const std::string& buyer_id,
   entry.inverse_ncp = inverse_ncp;
   entry.price = price;
   entry.expected_error = expected_error;
-  entries_.push_back(entry);
-  spend_by_buyer_[buyer_id] += price;
-  LedgerSalesCounter().Increment();
-  LedgerRevenueGauge().Add(price);
-  telemetry::Registry::Global()
-      .GetCounter(PricePointMetricName(inverse_ncp))
-      .Increment();
+  // Durability first: the sale is acknowledged only after the journal
+  // accepts it, so a crashed process never has acknowledged sales
+  // missing from the WAL and a failed append never half-records.
+  if (journal_ != nullptr) {
+    NIMBUS_RETURN_IF_ERROR(journal_->Append(entry));
+  }
+  Commit(entry);
   return entry.sequence;
+}
+
+Status Ledger::AttachJournal(std::unique_ptr<Journal> journal) {
+  if (journal == nullptr) {
+    return InvalidArgumentError("cannot attach a null journal");
+  }
+  journal_ = std::move(journal);
+  return OkStatus();
+}
+
+std::unique_ptr<Journal> Ledger::DetachJournal() {
+  return std::move(journal_);
+}
+
+StatusOr<Ledger> Ledger::Recover(const std::string& path) {
+  NIMBUS_ASSIGN_OR_RETURN(std::vector<LedgerEntry> entries,
+                          Journal::Replay(path));
+  NIMBUS_ASSIGN_OR_RETURN(Ledger ledger, FromEntries(entries));
+  RecoveredRecordsCounter().Increment(static_cast<int64_t>(entries.size()));
+  return ledger;
+}
+
+StatusOr<Ledger> Ledger::FromEntries(const std::vector<LedgerEntry>& entries) {
+  Ledger ledger;
+  for (const LedgerEntry& entry : entries) {
+    if (entry.sequence != ledger.size()) {
+      return FailedPreconditionError(
+          "journal sequence gap: expected " + std::to_string(ledger.size()) +
+          ", found " + std::to_string(entry.sequence));
+    }
+    NIMBUS_RETURN_IF_ERROR(ValidateFields(entry.buyer_id, entry.inverse_ncp,
+                                          entry.price, entry.expected_error));
+    ledger.Commit(entry);
+  }
+  return ledger;
 }
 
 std::map<double, int64_t> Ledger::SalesPerPricePoint() const {
@@ -128,11 +307,42 @@ std::string Ledger::ToCsv() const {
   out.precision(std::numeric_limits<double>::max_digits10);
   out << "sequence,buyer,model,inverse_ncp,price,expected_error\n";
   for (const LedgerEntry& e : entries_) {
-    out << e.sequence << ',' << e.buyer_id << ','
+    out << e.sequence << ',' << CsvField(e.buyer_id) << ','
         << ml::ModelKindToString(e.model) << ',' << e.inverse_ncp << ','
         << e.price << ',' << e.expected_error << '\n';
   }
   return out.str();
+}
+
+StatusOr<Ledger> Ledger::FromCsv(const std::string& text) {
+  NIMBUS_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                          ParseCsv(text));
+  if (rows.empty() || rows.front().size() != 6 ||
+      rows.front().front() != "sequence") {
+    return InvalidArgumentError("missing ledger CSV header");
+  }
+  std::vector<LedgerEntry> entries;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    if (row.size() != 6) {
+      return InvalidArgumentError("ledger CSV row " + std::to_string(r) +
+                                  " has " + std::to_string(row.size()) +
+                                  " fields, want 6");
+    }
+    LedgerEntry entry;
+    NIMBUS_ASSIGN_OR_RETURN(const double sequence,
+                            ParseDouble(row[0], "sequence", r));
+    entry.sequence = static_cast<int64_t>(sequence);
+    entry.buyer_id = row[1];
+    NIMBUS_ASSIGN_OR_RETURN(entry.model, ml::ModelKindFromString(row[2]));
+    NIMBUS_ASSIGN_OR_RETURN(entry.inverse_ncp,
+                            ParseDouble(row[3], "inverse_ncp", r));
+    NIMBUS_ASSIGN_OR_RETURN(entry.price, ParseDouble(row[4], "price", r));
+    NIMBUS_ASSIGN_OR_RETURN(entry.expected_error,
+                            ParseDouble(row[5], "expected_error", r));
+    entries.push_back(std::move(entry));
+  }
+  return FromEntries(entries);
 }
 
 }  // namespace nimbus::market

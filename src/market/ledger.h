@@ -2,6 +2,7 @@
 #define NIMBUS_MARKET_LEDGER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "ml/model.h"
 
 namespace nimbus::market {
+
+class Journal;  // market/journal.h
 
 // One completed transaction as recorded by the marketplace.
 struct LedgerEntry {
@@ -25,13 +28,44 @@ struct LedgerEntry {
 // break-downs, and feeds the CollusionMonitor with purchase histories.
 class Ledger {
  public:
-  Ledger() = default;
+  Ledger();
+  ~Ledger();
+  Ledger(Ledger&&) noexcept;
+  Ledger& operator=(Ledger&&) noexcept;
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
 
   // Appends one transaction; assigns and returns its sequence number.
-  // buyer_id must be non-empty, inverse_ncp > 0 and price >= 0.
+  // buyer_id must be non-empty, inverse_ncp > 0 and price >= 0 (both
+  // finite). With a journal attached the entry is made durable first:
+  // a failed append leaves the in-memory ledger untouched and surfaces
+  // the journal's Status.
   StatusOr<int64_t> Record(const std::string& buyer_id, ml::ModelKind model,
                            double inverse_ncp, double price,
                            double expected_error);
+
+  // ----- Durability ------------------------------------------------------
+  // Attaches a write-ahead journal (market/journal.h); every subsequent
+  // Record appends there before committing in memory. The journal must
+  // correspond to this ledger's current state — freshly opened for an
+  // empty ledger, or the recovered journal after Recover().
+  Status AttachJournal(std::unique_ptr<Journal> journal);
+  bool journaling() const { return journal_ != nullptr; }
+  // Detaches and returns the journal (e.g. to Close it explicitly).
+  std::unique_ptr<Journal> DetachJournal();
+
+  // Rebuilds a ledger from a journal file: replays the longest valid
+  // record prefix (truncating a torn tail so the file is append-clean),
+  // then revalidates every entry and the sequence numbering. The
+  // recovered ledger reproduces TotalRevenue/SalesPerPricePoint
+  // bit-identically. Counted in `journal_recovered_records`. The
+  // returned ledger has no journal attached; call AttachJournal (or use
+  // Marketplace::RestoreFromJournal) to resume journaling.
+  static StatusOr<Ledger> Recover(const std::string& path);
+
+  // Rebuilds a ledger from already-replayed entries (sequence numbers
+  // must be 0..n-1 in order; fields must satisfy Record's invariants).
+  static StatusOr<Ledger> FromEntries(const std::vector<LedgerEntry>& entries);
 
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
   const std::vector<LedgerEntry>& entries() const { return entries_; }
@@ -54,13 +88,25 @@ class Ledger {
   // All entries of one buyer, in purchase order.
   std::vector<LedgerEntry> EntriesForBuyer(const std::string& buyer_id) const;
 
-  // Serializes the ledger as CSV:
+  // Serializes the ledger as RFC-4180 CSV:
   //   sequence,buyer,model,inverse_ncp,price,expected_error
+  // Buyer ids containing commas, quotes, CR or LF are quoted (embedded
+  // quotes doubled) so hostile ids cannot forge audit rows.
   std::string ToCsv() const;
 
+  // Parses a ToCsv export back into a ledger (round-trip audit import).
+  static StatusOr<Ledger> FromCsv(const std::string& text);
+
  private:
+  // Validates Record's field invariants.
+  static Status ValidateFields(const std::string& buyer_id, double inverse_ncp,
+                               double price, double expected_error);
+  // Appends a validated entry and mirrors the audit telemetry.
+  void Commit(const LedgerEntry& entry);
+
   std::vector<LedgerEntry> entries_;
   std::map<std::string, double> spend_by_buyer_;
+  std::unique_ptr<Journal> journal_;
 };
 
 }  // namespace nimbus::market

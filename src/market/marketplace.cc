@@ -116,6 +116,46 @@ StatusOr<Broker::Purchase> Marketplace::BuyWithPriceBudget(
   return purchase;
 }
 
+Status Marketplace::EnableJournal(const std::string& path,
+                                  Journal::Options options) {
+  NIMBUS_ASSIGN_OR_RETURN(Journal journal, Journal::Open(path, options));
+  return ledger_.AttachJournal(std::make_unique<Journal>(std::move(journal)));
+}
+
+Status Marketplace::RestoreFromJournal(const std::string& path,
+                                       Journal::Options options) {
+  if (ledger_.size() != 0) {
+    return FailedPreconditionError(
+        "restore requires a fresh marketplace (ledger already has " +
+        std::to_string(ledger_.size()) + " sales)");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(Ledger recovered, Ledger::Recover(path));
+  // Replay the audit trail into the per-offering monitors and broker
+  // revenue counters so the restarted process reports the same totals
+  // and collusion assessments as the one that crashed.
+  for (const LedgerEntry& entry : recovered.entries()) {
+    auto monitor = monitors_.find(entry.model);
+    if (monitor == monitors_.end()) {
+      return FailedPreconditionError(
+          "journal records a sale of model '" +
+          std::string(ml::ModelKindToString(entry.model)) +
+          "' which is not offered by this marketplace");
+    }
+    NIMBUS_RETURN_IF_ERROR(monitor->second.RecordPurchase(
+        entry.buyer_id, entry.inverse_ncp, entry.price));
+    Broker::Purchase sale;
+    sale.price = entry.price;
+    sale.inverse_ncp = entry.inverse_ncp;
+    sale.ncp = 1.0 / entry.inverse_ncp;
+    sale.expected_error = entry.expected_error;
+    brokers_.at(entry.model).RecordSale(sale);
+  }
+  ledger_ = std::move(recovered);
+  // Re-attach for future appends: Recover already truncated any torn
+  // tail, so new records extend the valid prefix.
+  return EnableJournal(path, options);
+}
+
 StatusOr<const CollusionMonitor*> Marketplace::MonitorFor(
     ml::ModelKind kind) const {
   const auto it = monitors_.find(kind);

@@ -9,6 +9,7 @@
 #include "common/statusor.h"
 #include "market/broker.h"
 #include "market/collusion.h"
+#include "market/journal.h"
 #include "market/ledger.h"
 #include "ml/model.h"
 
@@ -70,6 +71,25 @@ class Marketplace {
 
   const Ledger& ledger() const { return ledger_; }
   double total_revenue() const { return ledger_.TotalRevenue(); }
+
+  // ----- Durability & crash recovery -------------------------------------
+  // Attaches a write-ahead journal at `path` (created when absent) so
+  // every sale is durable before it is acknowledged. Attach before the
+  // first sale for a complete audit trail.
+  Status EnableJournal(const std::string& path,
+                       Journal::Options options = Journal::Options{});
+
+  // Restores the marketplace's transactional state from a journal
+  // written by a previous process: replays the longest valid record
+  // prefix into the ledger (truncating a torn tail), rebuilds every
+  // offering's collusion-monitor history and broker revenue/sales
+  // counters, and re-attaches the journal so new sales append after the
+  // recovered prefix. Must be called after the same AddOffering sequence
+  // as the crashed process and before any sale; the restored
+  // TotalRevenue, sequence numbers, SalesPerPricePoint, and monitor
+  // assessments are bit-identical to the pre-crash marketplace.
+  Status RestoreFromJournal(const std::string& path,
+                            Journal::Options options = Journal::Options{});
 
   // Per-offering collusion monitor (versions of different models cannot
   // be combined, so histories are tracked per model).

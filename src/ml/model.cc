@@ -19,6 +19,18 @@ std::string_view ModelKindToString(ModelKind kind) {
   return "unknown";
 }
 
+StatusOr<ModelKind> ModelKindFromString(std::string_view name) {
+  for (ModelKind kind :
+       {ModelKind::kLinearRegression, ModelKind::kLogisticRegression,
+        ModelKind::kLinearSvm, ModelKind::kPoissonRegression}) {
+    if (name == ModelKindToString(kind)) {
+      return kind;
+    }
+  }
+  return InvalidArgumentError("unknown model kind '" + std::string(name) +
+                              "'");
+}
+
 StatusOr<ModelSpec> ModelSpec::Create(ModelKind kind, double ridge_mu) {
   if (ridge_mu < 0.0) {
     return InvalidArgumentError("ridge_mu must be non-negative");

@@ -22,6 +22,9 @@ enum class ModelKind {
 
 std::string_view ModelKindToString(ModelKind kind);
 
+// Inverse of ModelKindToString; kInvalidArgument for unknown names.
+StatusOr<ModelKind> ModelKindFromString(std::string_view name);
+
 // One entry of the broker's menu: an ML model together with its training
 // error function λ (Table 2, upper half) and the accuracy-report error
 // functions ε it supports (lower half). The hypothesis space H is R^d.

@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "common/fault.h"
+
 namespace nimbus::ml {
 namespace {
 
@@ -48,11 +50,13 @@ StatusOr<linalg::Vector> DeserializeWeights(const std::string& text) {
 }
 
 Status SaveWeights(const linalg::Vector& weights, const std::string& path) {
+  FAULT_POINT("io.write");
   std::ofstream file(path);
   if (!file) {
     return InvalidArgumentError("cannot create '" + path + "'");
   }
   file << SerializeWeights(weights);
+  file.flush();
   if (!file) {
     return InternalError("write to '" + path + "' failed");
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -20,6 +21,12 @@ telemetry::Histogram& GridPointLatency() {
   static telemetry::Histogram& histogram =
       telemetry::Registry::Global().GetHistogram("error_curve_point_latency_us");
   return histogram;
+}
+
+telemetry::Counter& DegradedCurvesCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("error_curve_degraded_total");
+  return counter;
 }
 
 // Pool-adjacent-violators pass enforcing a non-increasing sequence (the
@@ -107,12 +114,46 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
         mechanism, optimal_model, /*ncp=*/1.0 / grid[static_cast<size_t>(i)],
         report_loss, eval_data, samples_per_point, point_rng);
   });
+  // Graceful degradation: a degenerate model or loss can yield
+  // non-finite Monte-Carlo means at some grid points (overflowing
+  // exponentials, NaN targets). Rather than letting one bad point sink
+  // the whole curve — or worse, letting NaN flow into prices — patch it
+  // from the nearest finite neighbor and flag the curve as degraded.
+  int64_t patched = 0;
+  double last_finite = std::numeric_limits<double>::quiet_NaN();
+  for (double v : raw) {
+    if (std::isfinite(v)) {
+      last_finite = v;
+      break;
+    }
+  }
+  if (!std::isfinite(last_finite)) {
+    return FailedPreconditionError(
+        "error curve: every Monte-Carlo estimate is non-finite");
+  }
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (std::isfinite(raw[i])) {
+      last_finite = raw[i];
+    } else {
+      raw[i] = last_finite;
+      ++patched;
+    }
+  }
+  if (patched > 0) {
+    NIMBUS_LOG(kWarning) << "error curve degraded: patched " << patched
+                         << " non-finite grid point(s) from neighbors";
+    DegradedCurvesCounter().Increment();
+  }
   const std::vector<double> smoothed = IsotonicDecreasing(raw);
   std::vector<ErrorCurvePoint> points(grid.size());
   for (size_t i = 0; i < grid.size(); ++i) {
     points[i] = ErrorCurvePoint{grid[i], smoothed[i]};
   }
-  return FromSamples(std::move(points));
+  NIMBUS_ASSIGN_OR_RETURN(ErrorCurve curve, FromSamples(std::move(points)));
+  if (patched > 0) {
+    curve.MarkDegraded();
+  }
+  return curve;
 }
 
 double ErrorCurve::ErrorAtInverseNcp(double x) const {

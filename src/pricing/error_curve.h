@@ -53,6 +53,14 @@ class ErrorCurve {
 
   const std::vector<ErrorCurvePoint>& points() const { return points_; }
 
+  // True when the curve was produced in a degraded mode: non-finite
+  // Monte-Carlo estimates were patched from neighboring grid points, or
+  // the sample count was cut to honor a draw budget (see
+  // Broker::Options::curve_draw_budget). Quotes against a degraded
+  // curve carry Purchase::degraded = true.
+  bool degraded() const { return degraded_; }
+  void MarkDegraded() { degraded_ = true; }
+
   double min_inverse_ncp() const { return points_.front().inverse_ncp; }
   double max_inverse_ncp() const { return points_.back().inverse_ncp; }
 
@@ -72,6 +80,7 @@ class ErrorCurve {
       : points_(std::move(points)) {}
 
   std::vector<ErrorCurvePoint> points_;
+  bool degraded_ = false;
 };
 
 }  // namespace nimbus::pricing

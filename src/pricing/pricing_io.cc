@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace nimbus::pricing {
 namespace {
 
@@ -52,11 +54,13 @@ StatusOr<PiecewiseLinearPricing> DeserializePricingFunction(
 
 Status SavePricingFunction(const PiecewiseLinearPricing& pricing,
                            const std::string& path) {
+  FAULT_POINT("io.write");
   std::ofstream file(path);
   if (!file) {
     return InvalidArgumentError("cannot create '" + path + "'");
   }
   file << SerializePricingFunction(pricing);
+  file.flush();
   if (!file) {
     return InternalError("write to '" + path + "' failed");
   }

@@ -24,6 +24,12 @@ telemetry::Counter& InfeasibleCounter() {
   return counter;
 }
 
+telemetry::Counter& NonFiniteCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("revenue_nonfinite_guard_total");
+  return counter;
+}
+
 }  // namespace
 
 StatusOr<double> SubadditiveClosurePrice(const std::vector<BuyerPoint>& points,
@@ -117,7 +123,15 @@ StatusOr<BruteForceResult> OptimizeRevenueBruteForce(
       }
       prices[static_cast<size_t>(j)] = *price;
     }
-    mask_revenue[mask] = RevenueForPrices(points, prices);
+    const double revenue = RevenueForPrices(points, prices);
+    if (!std::isfinite(revenue)) {
+      // Degraded-mode guard: a pathological price vector must not let a
+      // NaN/inf win the arg-max and poison the seller's menu. The subset
+      // is skipped (revenue stays -inf) and counted.
+      NonFiniteCounter().Increment();
+      return;
+    }
+    mask_revenue[mask] = revenue;
   });
 
   BruteForceResult best;

@@ -26,9 +26,9 @@ Status ValidateBuyerPoints(const std::vector<BuyerPoint>& points,
   double prev_a = 0.0;
   double prev_v = -1.0;
   for (const BuyerPoint& p : points) {
-    if (!(p.a > prev_a)) {
+    if (!(p.a > prev_a) || !std::isfinite(p.a)) {
       return InvalidArgumentError(
-          "buyer parameters must be strictly increasing and positive");
+          "buyer parameters must be finite, strictly increasing and positive");
     }
     if (p.b < 0.0 || !std::isfinite(p.b)) {
       return InvalidArgumentError("demand masses must be finite and >= 0");

@@ -113,6 +113,13 @@ StatusOr<DpResult> OptimizeRevenueDp(const std::vector<BuyerPoint>& points) {
     }
   }
   result.revenue = opt[0][static_cast<size_t>(n)];
+  // Degraded-mode guard: surface a Status instead of tripping the
+  // reconstruction NIMBUS_CHECK below if a non-finite value ever crept
+  // through the table (e.g. overflowing b * z products).
+  if (!std::isfinite(result.revenue)) {
+    return FailedPreconditionError(
+        "DP revenue is non-finite; buyer curve is numerically degenerate");
+  }
 
   // Cross-check: the reconstructed prices must earn the DP's value.
   const double realized = RevenueForPrices(points, result.prices);

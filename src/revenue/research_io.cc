@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "common/fault.h"
+
 namespace nimbus::revenue {
 
 std::string SerializeBuyerPoints(const std::vector<BuyerPoint>& points) {
@@ -52,11 +54,13 @@ StatusOr<std::vector<BuyerPoint>> DeserializeBuyerPoints(
 
 Status SaveBuyerPoints(const std::vector<BuyerPoint>& points,
                        const std::string& path) {
+  FAULT_POINT("io.write");
   std::ofstream file(path);
   if (!file) {
     return InvalidArgumentError("cannot create '" + path + "'");
   }
   file << SerializeBuyerPoints(points);
+  file.flush();
   if (!file) {
     return InternalError("write to '" + path + "' failed");
   }

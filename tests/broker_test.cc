@@ -242,5 +242,39 @@ TEST(BrokerTest, ClassificationBrokerSupportsZeroOneCurve) {
   EXPECT_TRUE(IsNonIncreasing(errors, 1e-12));
 }
 
+TEST(BrokerTest, DrawBudgetDegradesCurveInsteadOfStalling) {
+  // A budget below grid x samples forces the per-point sample count down
+  // to budget / grid points; the curve and every quote served from it
+  // carry the degraded flag.
+  Broker::Options options = FastOptions();
+  options.curve_draw_budget =
+      static_cast<int64_t>(options.error_curve_points) * 10;
+  StatusOr<ml::ModelSpec> spec =
+      ml::ModelSpec::Create(ml::ModelKind::kLinearRegression, 0.0);
+  ASSERT_TRUE(spec.ok());
+  StatusOr<Broker> broker =
+      Broker::Create(MakeRegressionSplit(303), *std::move(spec),
+                     std::make_unique<mechanism::GaussianMechanism>(),
+                     options);
+  ASSERT_TRUE(broker.ok());
+  StatusOr<const pricing::ErrorCurve*> curve =
+      broker->GetErrorCurve("squared");
+  ASSERT_TRUE(curve.ok());
+  EXPECT_TRUE((*curve)->degraded());
+  StatusOr<Broker::Purchase> purchase =
+      broker->BuyAtInverseNcp(10.0, "squared");
+  ASSERT_TRUE(purchase.ok());
+  EXPECT_TRUE(purchase->degraded);
+}
+
+TEST(BrokerTest, UnlimitedBudgetLeavesQuotesUndegraded) {
+  StatusOr<Broker> broker = MakeBroker(304);
+  ASSERT_TRUE(broker.ok());
+  StatusOr<Broker::Purchase> purchase =
+      broker->BuyAtInverseNcp(10.0, "squared");
+  ASSERT_TRUE(purchase.ok());
+  EXPECT_FALSE(purchase->degraded);
+}
+
 }  // namespace
 }  // namespace nimbus::market

@@ -1,0 +1,163 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/statusor.h"
+#include "common/telemetry.h"
+#include "ml/model_io.h"
+
+namespace nimbus::fault {
+namespace {
+
+// Every test arms and disarms explicitly; the fixture guarantees no
+// configuration leaks across tests (or into other suites in the binary).
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Reset();
+    telemetry::Registry::Global().ResetForTest();
+  }
+  void TearDown() override { Reset(); }
+};
+
+TEST_F(FaultTest, DisarmedPointsNeverFire) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ShouldFail("journal.append"));
+  }
+  EXPECT_EQ(
+      telemetry::Registry::Global().GetCounter("fault_injected_total").Value(),
+      0);
+}
+
+TEST_F(FaultTest, CatalogIsSortedAndQueryable) {
+  const std::vector<std::string>& points = KnownPoints();
+  ASSERT_FALSE(points.empty());
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+  for (const std::string& p : points) {
+    EXPECT_TRUE(IsKnownPoint(p)) << p;
+  }
+  EXPECT_TRUE(IsKnownPoint("journal.append"));
+  EXPECT_TRUE(IsKnownPoint("solver.cholesky"));
+  EXPECT_FALSE(IsKnownPoint("no.such.point"));
+}
+
+TEST_F(FaultTest, RejectsBadSpecs) {
+  // Unknown point.
+  EXPECT_EQ(Configure("no.such.point:1").code(), StatusCode::kInvalidArgument);
+  // Missing clause body.
+  EXPECT_EQ(Configure("journal.append").code(), StatusCode::kInvalidArgument);
+  // Bad hit index (0-based, negative, garbage).
+  EXPECT_FALSE(Configure("journal.append:0").ok());
+  EXPECT_FALSE(Configure("journal.append:-3").ok());
+  EXPECT_FALSE(Configure("journal.append:soon").ok());
+  // Bad count.
+  EXPECT_FALSE(Configure("journal.append:1:0").ok());
+  EXPECT_FALSE(Configure("journal.append:1:x").ok());
+  // Bad probability.
+  EXPECT_FALSE(Configure("journal.append:p=0").ok());
+  EXPECT_FALSE(Configure("journal.append:p=1.5").ok());
+  EXPECT_FALSE(Configure("journal.append:p=").ok());
+  // Same point armed twice in one spec.
+  EXPECT_FALSE(Configure("journal.append:1,journal.append:2").ok());
+  // A failed Configure must not arm anything.
+  EXPECT_FALSE(ShouldFail("journal.append"));
+}
+
+TEST_F(FaultTest, FiresExactlyOnTheNthHit) {
+  ASSERT_TRUE(Configure("io.write:3").ok());
+  EXPECT_FALSE(ShouldFail("io.write"));
+  EXPECT_FALSE(ShouldFail("io.write"));
+  EXPECT_TRUE(ShouldFail("io.write"));
+  EXPECT_FALSE(ShouldFail("io.write"));  // Default count is one fire.
+  EXPECT_EQ(HitCount("io.write"), 4);
+  EXPECT_EQ(FireCount("io.write"), 1);
+  EXPECT_EQ(
+      telemetry::Registry::Global().GetCounter("fault_injected_total").Value(),
+      1);
+}
+
+TEST_F(FaultTest, CountWindowAndForever) {
+  ASSERT_TRUE(Configure("io.write:2:2").ok());
+  EXPECT_FALSE(ShouldFail("io.write"));
+  EXPECT_TRUE(ShouldFail("io.write"));
+  EXPECT_TRUE(ShouldFail("io.write"));
+  EXPECT_FALSE(ShouldFail("io.write"));
+  EXPECT_EQ(FireCount("io.write"), 2);
+
+  ASSERT_TRUE(Configure("io.write:2:*").ok());
+  EXPECT_FALSE(ShouldFail("io.write"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(ShouldFail("io.write"));
+  }
+  EXPECT_EQ(FireCount("io.write"), 10);
+}
+
+TEST_F(FaultTest, MultiplePointsAreIndependent) {
+  ASSERT_TRUE(Configure("journal.append:1,io.write:2").ok());
+  EXPECT_TRUE(ShouldFail("journal.append"));
+  EXPECT_FALSE(ShouldFail("io.write"));
+  EXPECT_TRUE(ShouldFail("io.write"));
+  // Unarmed-but-known points still count hits while injection is armed.
+  EXPECT_FALSE(ShouldFail("solver.cholesky"));
+  EXPECT_EQ(HitCount("solver.cholesky"), 1);
+  EXPECT_EQ(FireCount("solver.cholesky"), 0);
+}
+
+TEST_F(FaultTest, ProbabilisticModeIsReproducible) {
+  auto draw_sequence = [](const std::string& spec) {
+    Reset();
+    EXPECT_TRUE(Configure(spec).ok());
+    std::vector<bool> fires;
+    fires.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(ShouldFail("io.write"));
+    }
+    return fires;
+  };
+  const std::vector<bool> a = draw_sequence("io.write:p=0.25:seed=7");
+  const std::vector<bool> b = draw_sequence("io.write:p=0.25:seed=7");
+  EXPECT_EQ(a, b);  // Pure function of (point, p, seed).
+  const int64_t fires = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 200);
+  // A different seed gives a different (but still reproducible) drill.
+  const std::vector<bool> c = draw_sequence("io.write:p=0.25:seed=8");
+  EXPECT_NE(a, c);
+}
+
+TEST_F(FaultTest, ResetDisarmsAndClearsCounters) {
+  ASSERT_TRUE(Configure("io.write:1:*").ok());
+  EXPECT_TRUE(ShouldFail("io.write"));
+  Reset();
+  EXPECT_FALSE(ShouldFail("io.write"));
+  EXPECT_EQ(HitCount("io.write"), 0);
+  EXPECT_EQ(FireCount("io.write"), 0);
+  // An empty spec disarms too.
+  ASSERT_TRUE(Configure("io.write:1").ok());
+  ASSERT_TRUE(Configure("").ok());
+  EXPECT_FALSE(ShouldFail("io.write"));
+}
+
+// End-to-end through a production FAULT_POINT: the hardened writers turn
+// an armed io.write into a clean kInternal Status, and recover on retry.
+TEST_F(FaultTest, InjectedWriteFailsWithStatusAndRecovers) {
+  const linalg::Vector weights = {1.0, 2.0, 3.0};
+  const std::string path = ::testing::TempDir() + "/nimbus_fault_io.model";
+  ASSERT_TRUE(Configure("io.write:1").ok());
+  const Status failed = ml::SaveWeights(weights, path);
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_NE(failed.message().find("io.write"), std::string::npos);
+  // The very next attempt (hit #2, past the armed window) succeeds.
+  ASSERT_TRUE(ml::SaveWeights(weights, path).ok());
+  StatusOr<linalg::Vector> back = ml::LoadWeights(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, weights);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nimbus::fault

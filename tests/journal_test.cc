@@ -1,0 +1,540 @@
+#include "market/journal.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/random.h"
+#include "common/telemetry.h"
+#include "data/synthetic.h"
+#include "market/curves.h"
+#include "market/ledger.h"
+#include "market/market_simulator.h"
+#include "market/marketplace.h"
+
+namespace nimbus::market {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << path;
+  std::ostringstream content;
+  content << file.rdbuf();
+  return content.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(file.good()) << path;
+}
+
+std::vector<LedgerEntry> SampleEntries() {
+  std::vector<LedgerEntry> entries;
+  const char* buyers[] = {"alice", "bob,\"evil\"\nid", "carol", "dave",
+                          "alice"};
+  const double prices[] = {10.0, 30.5, 5.25, 30.5, 12.0};
+  const double xs[] = {2.0, 4.0, 1.0, 4.0, 2.0};
+  for (int i = 0; i < 5; ++i) {
+    LedgerEntry e;
+    e.sequence = i;
+    e.buyer_id = buyers[i];
+    e.model = i % 2 == 0 ? ml::ModelKind::kLogisticRegression
+                         : ml::ModelKind::kLinearSvm;
+    e.inverse_ncp = xs[i];
+    e.price = prices[i];
+    e.expected_error = 0.1 * (i + 1);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void WriteJournalWith(const std::string& path,
+                      const std::vector<LedgerEntry>& entries) {
+  std::remove(path.c_str());
+  StatusOr<Journal> journal = Journal::Open(path, Journal::Options{});
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  for (const LedgerEntry& e : entries) {
+    ASSERT_TRUE(journal->Append(e).ok());
+  }
+  ASSERT_TRUE(journal->Close().ok());
+}
+
+void ExpectSameEntry(const LedgerEntry& a, const LedgerEntry& b) {
+  EXPECT_EQ(a.sequence, b.sequence);
+  EXPECT_EQ(a.buyer_id, b.buyer_id);
+  EXPECT_EQ(a.model, b.model);
+  EXPECT_EQ(a.inverse_ncp, b.inverse_ncp);  // Bit-identical doubles.
+  EXPECT_EQ(a.price, b.price);
+  EXPECT_EQ(a.expected_error, b.expected_error);
+}
+
+// Byte offsets (and total spans) of each record in a journal image,
+// derived from the length prefixes; used to aim corruption precisely.
+std::vector<std::pair<size_t, size_t>> RecordSpans(const std::string& bytes) {
+  std::vector<std::pair<size_t, size_t>> spans;
+  size_t offset = 8;  // Magic header.
+  while (offset + 8 <= bytes.size()) {
+    uint32_t length = 0;
+    std::memcpy(&length, bytes.data() + offset, sizeof(length));
+    spans.emplace_back(offset, 8 + static_cast<size_t>(length));
+    offset += 8 + length;
+  }
+  EXPECT_EQ(offset, bytes.size()) << "journal fixture has a partial record";
+  return spans;
+}
+
+TEST(JournalTest, AppendReplayRoundTrip) {
+  const std::string path = TempPath("nimbus_journal_roundtrip.waj");
+  const std::vector<LedgerEntry> entries = SampleEntries();
+  WriteJournalWith(path, entries);
+
+  Journal::RecoveryReport report;
+  StatusOr<std::vector<LedgerEntry>> back = Journal::Replay(path, &report);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    ExpectSameEntry((*back)[i], entries[i]);
+  }
+  EXPECT_EQ(report.tail, Journal::TailState::kClean);
+  EXPECT_EQ(report.recovered_records, 5);
+  EXPECT_EQ(report.dropped_bytes, 0);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, ReopenAppendsAfterExistingRecords) {
+  const std::string path = TempPath("nimbus_journal_reopen.waj");
+  std::vector<LedgerEntry> entries = SampleEntries();
+  WriteJournalWith(path, entries);
+  {
+    StatusOr<Journal> journal = Journal::Open(path, Journal::Options{});
+    ASSERT_TRUE(journal.ok());
+    LedgerEntry extra;
+    extra.sequence = 5;
+    extra.buyer_id = "erin";
+    extra.inverse_ncp = 8.0;
+    extra.price = 64.0;
+    ASSERT_TRUE(journal->Append(extra).ok());
+    ASSERT_TRUE(journal->Close().ok());
+    entries.push_back(extra);
+  }
+  StatusOr<std::vector<LedgerEntry>> back = Journal::Replay(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 6u);
+  ExpectSameEntry(back->back(), entries.back());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, RejectsForeignAndMissingFiles) {
+  const std::string path = TempPath("nimbus_journal_foreign.waj");
+  WriteFileBytes(path, "this is certainly not a journal file, honest\n");
+  EXPECT_EQ(Journal::Replay(path).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Journal::Open(path, Journal::Options{}).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+  EXPECT_EQ(Journal::Replay(path).status().code(), StatusCode::kNotFound);
+}
+
+// The central crash-safety property: a journal truncated at EVERY byte
+// offset replays the longest valid record prefix without ever crashing
+// or erroring, and truncating the torn tail leaves an append-clean file.
+TEST(JournalTest, TruncationAtEveryByteOffsetRecoversLongestPrefix) {
+  const std::string gold_path = TempPath("nimbus_journal_gold.waj");
+  const std::vector<LedgerEntry> entries = SampleEntries();
+  WriteJournalWith(gold_path, entries);
+  const std::string bytes = ReadFileBytes(gold_path);
+  const std::vector<std::pair<size_t, size_t>> spans = RecordSpans(bytes);
+  ASSERT_EQ(spans.size(), entries.size());
+
+  const std::string path = TempPath("nimbus_journal_torn.waj");
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    WriteFileBytes(path, bytes.substr(0, cut));
+    Journal::RecoveryReport report;
+    StatusOr<std::vector<LedgerEntry>> back = Journal::Replay(path, &report);
+    ASSERT_TRUE(back.ok()) << "cut at byte " << cut << ": " << back.status();
+
+    // How many whole records fit below the cut.
+    size_t expect = 0;
+    while (expect < spans.size() &&
+           spans[expect].first + spans[expect].second <= cut) {
+      ++expect;
+    }
+    ASSERT_EQ(back->size(), expect) << "cut at byte " << cut;
+    for (size_t i = 0; i < expect; ++i) {
+      ExpectSameEntry((*back)[i], entries[i]);
+    }
+    // An empty file is a clean fresh journal; otherwise clean means the
+    // cut landed exactly on the header or a record boundary.
+    const bool on_boundary =
+        cut == 0 || cut == bytes.size() ||
+        (cut >= 8 && expect < spans.size() && cut == spans[expect].first);
+    EXPECT_EQ(report.tail == Journal::TailState::kClean, on_boundary)
+        << "cut at byte " << cut;
+    EXPECT_EQ(report.dropped_bytes,
+              static_cast<int64_t>(cut) - report.valid_bytes);
+
+    // Default replay truncates the torn tail: the file must now be
+    // append-clean and replay to the same prefix.
+    Journal::RecoveryReport clean_report;
+    StatusOr<std::vector<LedgerEntry>> again =
+        Journal::Replay(path, &clean_report);
+    ASSERT_TRUE(again.ok()) << "cut at byte " << cut;
+    EXPECT_EQ(again->size(), expect);
+    EXPECT_EQ(clean_report.tail, Journal::TailState::kClean)
+        << "cut at byte " << cut << ": " << clean_report.detail;
+  }
+  std::remove(path.c_str());
+  std::remove(gold_path.c_str());
+}
+
+// The bit-rot property: flipping a payload byte (or the stored CRC) of
+// ANY record yields the prefix before that record, a precise diagnosis,
+// and — unlike torn tails — no destructive truncation.
+TEST(JournalTest, CrcFlipOnEveryRecordRecoversPrefixAndDiagnoses) {
+  const std::string gold_path = TempPath("nimbus_journal_gold2.waj");
+  const std::vector<LedgerEntry> entries = SampleEntries();
+  WriteJournalWith(gold_path, entries);
+  const std::string bytes = ReadFileBytes(gold_path);
+  const std::vector<std::pair<size_t, size_t>> spans = RecordSpans(bytes);
+
+  const std::string path = TempPath("nimbus_journal_rot.waj");
+  for (size_t r = 0; r < spans.size(); ++r) {
+    for (const size_t victim :
+         {spans[r].first + 4 /* stored CRC */,
+          spans[r].first + 8 /* first payload byte */,
+          spans[r].first + spans[r].second - 1 /* last payload byte */}) {
+      std::string rotten = bytes;
+      rotten[victim] = static_cast<char>(rotten[victim] ^ 0x40);
+      WriteFileBytes(path, rotten);
+
+      Journal::RecoveryReport report;
+      StatusOr<std::vector<LedgerEntry>> back = Journal::Replay(path, &report);
+      ASSERT_TRUE(back.ok()) << "record " << r << " byte " << victim;
+      ASSERT_EQ(back->size(), r) << "record " << r << " byte " << victim;
+      for (size_t i = 0; i < r; ++i) {
+        ExpectSameEntry((*back)[i], entries[i]);
+      }
+      EXPECT_EQ(report.tail, Journal::TailState::kCorrupt);
+      EXPECT_NE(report.detail.find("record " + std::to_string(r)),
+                std::string::npos)
+          << report.detail;
+      // Corruption is evidence, not a crash artifact: never auto-pruned.
+      EXPECT_EQ(ReadFileBytes(path).size(), bytes.size());
+
+      // Strict replay surfaces the same diagnosis as a Status.
+      Journal::ReplayOptions strict;
+      strict.strict = true;
+      const Status status =
+          Journal::Replay(path, nullptr, strict).status();
+      EXPECT_EQ(status.code(), StatusCode::kInternal);
+      EXPECT_NE(status.message().find("corrupt"), std::string::npos);
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(gold_path.c_str());
+}
+
+TEST(JournalTest, ImplausibleLengthIsCorruptNotAllocated) {
+  const std::string path = TempPath("nimbus_journal_length.waj");
+  const std::vector<LedgerEntry> entries = SampleEntries();
+  WriteJournalWith(path, entries);
+  std::string bytes = ReadFileBytes(path);
+  // Stamp a ~4 GiB length into the first record's prefix.
+  const uint32_t huge = 0xFFFFFF00u;
+  std::memcpy(&bytes[8], &huge, sizeof(huge));
+  WriteFileBytes(path, bytes);
+  Journal::RecoveryReport report;
+  StatusOr<std::vector<LedgerEntry>> back = Journal::Replay(path, &report);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+  EXPECT_EQ(report.tail, Journal::TailState::kCorrupt);
+  EXPECT_NE(report.detail.find("implausible"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LedgerJournalTest, WriteThroughThenRecoverIsBitIdentical) {
+  telemetry::Registry::Global().ResetForTest();
+  const std::string path = TempPath("nimbus_ledger_journal.waj");
+  std::remove(path.c_str());
+
+  Ledger live;
+  {
+    StatusOr<Journal> journal = Journal::Open(path, Journal::Options{});
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(
+        live.AttachJournal(std::make_unique<Journal>(*std::move(journal)))
+            .ok());
+    EXPECT_TRUE(live.journaling());
+  }
+  for (const LedgerEntry& e : SampleEntries()) {
+    ASSERT_TRUE(live.Record(e.buyer_id, e.model, e.inverse_ncp, e.price,
+                            e.expected_error)
+                    .ok());
+  }
+  ASSERT_TRUE(live.DetachJournal()->Close().ok());
+
+  StatusOr<Ledger> recovered = Ledger::Recover(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->size(), live.size());
+  EXPECT_EQ(recovered->TotalRevenue(), live.TotalRevenue());
+  EXPECT_EQ(recovered->SalesPerPricePoint(), live.SalesPerPricePoint());
+  EXPECT_EQ(recovered->TopBuyers(10), live.TopBuyers(10));
+  EXPECT_EQ(recovered->ToCsv(), live.ToCsv());
+  EXPECT_FALSE(recovered->journaling());
+  EXPECT_EQ(telemetry::Registry::Global()
+                .GetCounter("journal_recovered_records")
+                .Value(),
+            live.size());
+  std::remove(path.c_str());
+}
+
+TEST(LedgerJournalTest, FailedAppendLeavesLedgerUntouched) {
+  fault::Reset();
+  const std::string path = TempPath("nimbus_ledger_faulted.waj");
+  std::remove(path.c_str());
+  Ledger ledger;
+  StatusOr<Journal> journal = Journal::Open(path, Journal::Options{});
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(
+      ledger.AttachJournal(std::make_unique<Journal>(*std::move(journal)))
+          .ok());
+
+  ASSERT_TRUE(fault::Configure("journal.append:1").ok());
+  const Status failed =
+      ledger.Record("alice", ml::ModelKind::kLinearSvm, 2.0, 10.0, 0.1)
+          .status();
+  fault::Reset();
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  // Durability-first: the rejected sale is in neither the ledger...
+  EXPECT_EQ(ledger.size(), 0);
+  EXPECT_EQ(ledger.TotalRevenue(), 0.0);
+  // ...nor the journal, and the next sale lands cleanly as sequence 0.
+  ASSERT_TRUE(
+      ledger.Record("bob", ml::ModelKind::kLinearSvm, 2.0, 10.0, 0.1).ok());
+  ASSERT_TRUE(ledger.DetachJournal()->Close().ok());
+  StatusOr<Ledger> recovered = Ledger::Recover(path);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->size(), 1);
+  EXPECT_EQ(recovered->entries()[0].buyer_id, "bob");
+  EXPECT_EQ(recovered->entries()[0].sequence, 0);
+  std::remove(path.c_str());
+}
+
+TEST(LedgerCsvTest, HostileBuyerIdsRoundTripThroughCsv) {
+  Ledger ledger;
+  const std::vector<std::string> hostile = {
+      "plain",
+      "comma,inside",
+      "quote\"inside",
+      "mallory\",,\"0",
+      "multi\nline",
+      "crlf\r\nid",
+      "9,evil_model,1,1000000,0",
+  };
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    ASSERT_TRUE(ledger
+                    .Record(hostile[i], ml::ModelKind::kLinearRegression,
+                            1.0 + static_cast<double>(i), 10.0, 0.5)
+                    .ok());
+  }
+  const std::string csv = ledger.ToCsv();
+  // The forged-row id must survive as data, not as an audit row.
+  EXPECT_NE(csv.find("\"9,evil_model,1,1000000,0\""), std::string::npos);
+
+  StatusOr<Ledger> back = Ledger::FromCsv(csv);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), ledger.size());
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_EQ(back->entries()[i].buyer_id, hostile[i]);
+    EXPECT_EQ(back->entries()[i].inverse_ncp, ledger.entries()[i].inverse_ncp);
+  }
+  EXPECT_EQ(back->TotalRevenue(), ledger.TotalRevenue());
+  EXPECT_EQ(back->ToCsv(), csv);
+
+  // Unquoted injection attempts and malformed exports are rejected.
+  EXPECT_FALSE(Ledger::FromCsv("no,header\n").ok());
+  EXPECT_FALSE(
+      Ledger::FromCsv("sequence,buyer,model,inverse_ncp,price,expected_error\n"
+                      "0,alice,linear_regression,1,10\n")
+          .ok());
+  EXPECT_FALSE(
+      Ledger::FromCsv("sequence,buyer,model,inverse_ncp,price,expected_error\n"
+                      "0,\"open quote,linear_regression,1,10,0\n")
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Marketplace-level recovery drills.
+
+data::TrainTestSplit ClassificationSplit(uint64_t seed) {
+  Rng rng(seed);
+  data::ClassificationSpec spec;
+  spec.num_examples = 260;
+  spec.num_features = 4;
+  spec.positive_prob = 0.92;
+  data::Dataset all = data::GenerateClassification(spec, rng);
+  return data::Split(all, 0.75, rng);
+}
+
+Broker::Options FastOptions() {
+  Broker::Options options;
+  options.error_curve_points = 6;
+  options.samples_per_curve_point = 40;
+  options.min_inverse_ncp = 1.0;
+  options.max_inverse_ncp = 50.0;
+  return options;
+}
+
+std::shared_ptr<const pricing::PricingFunction> SomeMbpPricing() {
+  auto points = MakeBuyerPoints(ValueShape::kConcave, DemandShape::kUniform,
+                                10, 1.0, 50.0, 80.0, 2.0);
+  Seller seller = *Seller::Create(*points);
+  return *seller.NegotiatePricing();
+}
+
+Marketplace MakeMarket(uint64_t seed) {
+  Marketplace market(ClassificationSplit(seed), FastOptions());
+  EXPECT_TRUE(market
+                  .AddOffering(ml::ModelKind::kLogisticRegression, 0.01,
+                               SomeMbpPricing())
+                  .ok());
+  EXPECT_TRUE(
+      market.AddOffering(ml::ModelKind::kLinearSvm, 0.05, SomeMbpPricing())
+          .ok());
+  return market;
+}
+
+void RunSales(Marketplace& market) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(market
+                    .Buy("carol", ml::ModelKind::kLogisticRegression, 10.0,
+                         "zero_one")
+                    .ok());
+  }
+  ASSERT_TRUE(
+      market.Buy("dan,\"ltd\"", ml::ModelKind::kLinearSvm, 5.0, "zero_one")
+          .ok());
+  ASSERT_TRUE(
+      market.Buy("erin", ml::ModelKind::kLinearSvm, 25.0, "zero_one").ok());
+}
+
+TEST(MarketplaceJournalTest, JournalingIsObservationOnlyAndRestores) {
+  const std::string path = TempPath("nimbus_marketplace.waj");
+  std::remove(path.c_str());
+
+  // Reference run, no journal.
+  Marketplace plain = MakeMarket(7);
+  RunSales(plain);
+
+  // Identical-seed run with write-ahead journaling enabled.
+  Marketplace journaled = MakeMarket(7);
+  ASSERT_TRUE(journaled.EnableJournal(path).ok());
+  RunSales(journaled);
+
+  // Journaling must not perturb the market: bit-identical output.
+  EXPECT_EQ(journaled.total_revenue(), plain.total_revenue());
+  EXPECT_EQ(journaled.ledger().ToCsv(), plain.ledger().ToCsv());
+
+  // "Crash": drop the journaled marketplace, then rebuild a fresh one
+  // with the same offering sequence and restore from the journal.
+  const double pre_crash_revenue = journaled.total_revenue();
+  const std::string pre_crash_csv = journaled.ledger().ToCsv();
+  const auto pre_crash_sales = journaled.ledger().SalesPerPricePoint();
+  { Marketplace dropped = std::move(journaled); }
+
+  Marketplace restored = MakeMarket(7);
+  ASSERT_TRUE(restored.RestoreFromJournal(path).ok());
+  EXPECT_EQ(restored.total_revenue(), pre_crash_revenue);
+  EXPECT_EQ(restored.ledger().ToCsv(), pre_crash_csv);
+  EXPECT_EQ(restored.ledger().SalesPerPricePoint(), pre_crash_sales);
+
+  // The collusion monitors were rebuilt from the replayed history.
+  StatusOr<const CollusionMonitor*> monitor =
+      restored.MonitorFor(ml::ModelKind::kLogisticRegression);
+  ASSERT_TRUE(monitor.ok());
+  StatusOr<CollusionMonitor::Assessment> assessment =
+      (*monitor)->Assess("carol");
+  ASSERT_TRUE(assessment.ok());
+  EXPECT_EQ(assessment->purchases, 4);
+
+  // The brokers' revenue counters agree with the recovered ledger.
+  StatusOr<Broker*> svm = restored.BrokerFor(ml::ModelKind::kLinearSvm);
+  ASSERT_TRUE(svm.ok());
+  EXPECT_EQ((*svm)->revenue_collected(),
+            restored.ledger().RevenueForModel(ml::ModelKind::kLinearSvm));
+  EXPECT_EQ((*svm)->sales_count(), 2);
+
+  // New sales append after the recovered prefix with continuous
+  // sequence numbers, and survive another recovery ("crash" again by
+  // dropping the marketplace, which closes and flushes its journal).
+  ASSERT_TRUE(
+      restored.Buy("frank", ml::ModelKind::kLinearSvm, 25.0, "zero_one").ok());
+  EXPECT_EQ(restored.ledger().entries().back().sequence, 6);
+  const double final_revenue = restored.total_revenue();
+  const std::string final_csv = restored.ledger().ToCsv();
+  { Marketplace dropped = std::move(restored); }
+
+  Marketplace restored2 = MakeMarket(7);
+  ASSERT_TRUE(restored2.RestoreFromJournal(path).ok());
+  EXPECT_EQ(restored2.ledger().ToCsv(), final_csv);
+  EXPECT_EQ(restored2.total_revenue(), final_revenue);
+  std::remove(path.c_str());
+}
+
+TEST(MarketplaceJournalTest, RestoreRejectsUnknownOfferingsAndNonEmptyState) {
+  const std::string path = TempPath("nimbus_marketplace_reject.waj");
+  std::remove(path.c_str());
+  {
+    Marketplace market = MakeMarket(9);
+    ASSERT_TRUE(market.EnableJournal(path).ok());
+    RunSales(market);
+  }
+  // Restoring into a marketplace missing one of the journal's offerings
+  // is a precondition failure, not silent data loss.
+  Marketplace partial(ClassificationSplit(9), FastOptions());
+  ASSERT_TRUE(partial
+                  .AddOffering(ml::ModelKind::kLogisticRegression, 0.01,
+                               SomeMbpPricing())
+                  .ok());
+  EXPECT_EQ(partial.RestoreFromJournal(path).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Restoring over sales already on the books is rejected too.
+  Marketplace busy = MakeMarket(9);
+  ASSERT_TRUE(
+      busy.Buy("carol", ml::ModelKind::kLinearSvm, 5.0, "zero_one").ok());
+  EXPECT_EQ(busy.RestoreFromJournal(path).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(MarketplaceJournalTest, FsyncEveryRecordSurvivesReplay) {
+  const std::string path = TempPath("nimbus_marketplace_fsync.waj");
+  std::remove(path.c_str());
+  Journal::Options durable;
+  durable.fsync = Journal::FsyncPolicy::kEveryRecord;
+  Marketplace market = MakeMarket(11);
+  ASSERT_TRUE(market.EnableJournal(path, durable).ok());
+  RunSales(market);
+  StatusOr<std::vector<LedgerEntry>> entries = Journal::Replay(path);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 6u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nimbus::market

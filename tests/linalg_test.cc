@@ -1,9 +1,12 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "common/math_util.h"
 #include "common/random.h"
+#include "common/telemetry.h"
 #include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 #include "linalg/vector_ops.h"
@@ -148,6 +151,120 @@ TEST(CholeskyTest, RandomSpdRoundTrip) {
   StatusOr<Vector> x = SolveSpd(spd, b);
   ASSERT_TRUE(x.ok());
   EXPECT_TRUE(AlmostEqual(*x, truth, 1e-7));
+}
+
+TEST(SolveSpdDegradedTest, RejectsBadShapesAsStatusNotCrash) {
+  Matrix rect(2, 3);
+  EXPECT_EQ(SolveSpd(rect, {1, 2}).status().code(),
+            StatusCode::kInvalidArgument);
+  Matrix square({{4, 2}, {2, 3}});
+  EXPECT_EQ(SolveSpd(square, {1, 2, 3}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SolveSpdDegradedTest, RejectsNonFiniteInputsWithCoordinates) {
+  Matrix a({{4, 2}, {2, 3}});
+  a.At(1, 0) = std::numeric_limits<double>::quiet_NaN();
+  const Status bad_matrix = SolveSpd(a, {6, 5}).status();
+  EXPECT_EQ(bad_matrix.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_matrix.message().find("(1, 0)"), std::string::npos);
+
+  Matrix ok({{4, 2}, {2, 3}});
+  const Status bad_rhs =
+      SolveSpd(ok, {6, std::numeric_limits<double>::infinity()}).status();
+  EXPECT_EQ(bad_rhs.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_rhs.message().find("right-hand side"), std::string::npos);
+}
+
+TEST(SolveSpdDegradedTest, NearSingularSolvesViaRidgeLadder) {
+  telemetry::Registry::Global().ResetForTest();
+  // Rank-1-plus-epsilon Gram matrix: plain Cholesky hits a tiny negative
+  // pivot from round-off territory; the ladder's ridge restores it.
+  Matrix a({{1.0, 1.0}, {1.0, 1.0 + 1e-16}});
+  SpdSolveDiagnostics diag;
+  StatusOr<Vector> x = SolveSpd(a, {2.0, 2.0}, &diag);
+  ASSERT_TRUE(x.ok()) << x.status();
+  EXPECT_TRUE(std::isfinite((*x)[0]) && std::isfinite((*x)[1]));
+  // The solution still reproduces b to within the ridge perturbation.
+  const Vector b_hat = a.MatVec(*x);
+  EXPECT_NEAR(b_hat[0], 2.0, 1e-6);
+  EXPECT_NEAR(b_hat[1], 2.0, 1e-6);
+  if (diag.degraded) {
+    EXPECT_GE(diag.attempts, 1);
+    EXPECT_GT(diag.ridge, 0.0);
+    EXPECT_EQ(telemetry::Registry::Global()
+                  .GetCounter("solver_fallback_total")
+                  .Value(),
+              1);
+  }
+}
+
+TEST(SolveSpdDegradedTest, IndefiniteMatrixClimbsTheFullLadder) {
+  telemetry::Registry::Global().ResetForTest();
+  // Eigenvalues 3 and -1: indefinite, but max |diag| = 1 so the final
+  // rung's ridge (1.0) lifts the smallest eigenvalue to exactly 0 — and
+  // the one-past rung of round-off makes this solvable only at the top.
+  Matrix a({{1.0, 2.0}, {2.0, 1.0}});
+  SpdSolveDiagnostics diag;
+  StatusOr<Vector> x = SolveSpd(a, {1.0, 1.0}, &diag);
+  if (x.ok()) {
+    // Ladder succeeded: must be flagged degraded with a large ridge.
+    EXPECT_TRUE(diag.degraded);
+    EXPECT_GT(diag.ridge, 0.01);
+  } else {
+    // Or the ladder ran dry: a precise Status, never a NaN solution.
+    EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(x.status().message().find("ridge"), std::string::npos);
+  }
+}
+
+TEST(SolveSpdDegradedTest, HopelessMatrixFailsWithDiagnostics) {
+  // Strongly indefinite relative to its diagonal: every rung fails.
+  Matrix a({{0.0, 100.0}, {100.0, 0.0}});
+  a.At(0, 0) = 1e-30;
+  a.At(1, 1) = 1e-30;
+  SpdSolveDiagnostics diag;
+  const Status status = SolveSpd(a, {1.0, 1.0}, &diag).status();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("order-2"), std::string::npos);
+  EXPECT_FALSE(diag.degraded);
+}
+
+TEST(SolveSpdDegradedTest, WellConditionedPathIsUnchangedByTheLadder) {
+  telemetry::Registry::Global().ResetForTest();
+  Matrix a({{4, 2}, {2, 3}});
+  SpdSolveDiagnostics diag;
+  StatusOr<Vector> x = SolveSpd(a, {6, 5}, &diag);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AlmostEqual(*x, {1, 1}, 1e-9));
+  EXPECT_FALSE(diag.degraded);
+  EXPECT_EQ(diag.attempts, 0);
+  EXPECT_EQ(diag.ridge, 0.0);
+  EXPECT_EQ(telemetry::Registry::Global()
+                .GetCounter("solver_fallback_total")
+                .Value(),
+            0);
+}
+
+TEST(SolveSpdDegradedTest, FaultPointForcesTheFallbackRung) {
+  telemetry::Registry::Global().ResetForTest();
+  fault::Reset();
+  ASSERT_TRUE(fault::Configure("solver.cholesky:1").ok());
+  Matrix a({{4, 2}, {2, 3}});
+  SpdSolveDiagnostics diag;
+  StatusOr<Vector> x = SolveSpd(a, {6, 5}, &diag);
+  fault::Reset();
+  ASSERT_TRUE(x.ok()) << x.status();
+  // Rung 0 was skipped by the injected fault, so the first ridge rung
+  // solved it — close to [1, 1] but flagged degraded.
+  EXPECT_TRUE(AlmostEqual(*x, {1, 1}, 1e-6));
+  EXPECT_TRUE(diag.degraded);
+  EXPECT_EQ(diag.attempts, 1);
+  EXPECT_GT(diag.ridge, 0.0);
+  EXPECT_EQ(telemetry::Registry::Global()
+                .GetCounter("solver_fallback_total")
+                .Value(),
+            1);
 }
 
 TEST(LinearSystemTest, SolvesWithPivoting) {
