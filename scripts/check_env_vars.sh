@@ -1,0 +1,40 @@
+#!/bin/sh
+# Every NIMBUS_* environment variable the code actually reads must be
+# documented in DESIGN.md or bench/README.md. An undocumented knob is a
+# support trap: an operator cannot discover it, and a documented-but-
+# removed one (checked in reverse by doc drift review) misleads. Catch
+# the forward direction statically on every build. Run from anywhere;
+# takes the repo root as optional $1.
+set -eu
+
+root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+
+docs="$root/DESIGN.md $root/bench/README.md"
+for doc in $docs; do
+    if [ ! -f "$doc" ]; then
+        echo "check_env_vars: missing $doc" >&2
+        exit 1
+    fi
+done
+
+# Every env var read in production/bench code: getenv("NIMBUS_...").
+used=$(grep -rhoE 'getenv\("NIMBUS_[A-Z_]+"\)' "$root/src" "$root/bench" \
+       2>/dev/null | sed -E 's/getenv\("([^"]+)"\)/\1/' | sort -u)
+
+status=0
+for name in $used; do
+    # shellcheck disable=SC2086
+    if ! grep -qw "$name" $docs; then
+        echo "error: env var '$name' is read by the code but documented" \
+             "in neither DESIGN.md nor bench/README.md" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "check_env_vars: FAILED (document the variables above)" >&2
+else
+    n_used=$(printf '%s\n' "$used" | grep -c . || true)
+    echo "check_env_vars: OK ($n_used documented env vars)"
+fi
+exit "$status"

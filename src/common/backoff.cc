@@ -1,0 +1,66 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace nimbus {
+
+Backoff::Backoff(const BackoffOptions& options, Rng rng)
+    : options_(options),
+      rng_(std::move(rng)),
+      base_(options.initial_delay_seconds) {}
+
+double Backoff::NextDelaySeconds() {
+  const double base = std::min(base_, options_.max_delay_seconds);
+  base_ = std::min(base_ * options_.multiplier, options_.max_delay_seconds);
+  ++delays_issued_;
+  double jitter = std::clamp(options_.jitter, 0.0, 1.0);
+  return base * (1.0 - jitter * rng_.Uniform());
+}
+
+bool IsRetryableStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInternal:
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status RetryWithBackoff(const BackoffOptions& options, Rng rng, Clock& clock,
+                        const CancelToken* cancel,
+                        const std::function<Status()>& op, int* attempts_out) {
+  const int max_attempts = std::max(options.max_attempts, 1);
+  Backoff backoff(options, std::move(rng));
+  Status last = OkStatus();
+  int attempts = 0;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    last = CancelToken::Check(cancel, "retry loop");
+    if (!last.ok()) {
+      break;
+    }
+    ++attempts;
+    last = op();
+    if (last.ok() || !IsRetryableStatusCode(last.code()) ||
+        attempt == max_attempts) {
+      break;
+    }
+    const double delay = backoff.NextDelaySeconds();
+    if (cancel != nullptr && cancel->RemainingSeconds() < delay) {
+      // The deadline would expire mid-sleep; fail now with the real
+      // reason (the pending retryable error) wrapped as an expiry.
+      last = DeadlineExceededError("deadline expired backing off after: " +
+                                   last.ToString());
+      break;
+    }
+    clock.SleepSeconds(delay);
+  }
+  if (attempts_out != nullptr) {
+    *attempts_out = attempts;
+  }
+  return last;
+}
+
+}  // namespace nimbus

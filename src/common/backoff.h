@@ -1,0 +1,68 @@
+#ifndef NIMBUS_COMMON_BACKOFF_H_
+#define NIMBUS_COMMON_BACKOFF_H_
+
+#include <functional>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace nimbus {
+
+// Exponential backoff with deterministic jitter, shared by the serving
+// layer's retry paths. The jitter stream comes from an Rng the caller
+// seeds (typically Rng::Fork of a request-scoped stream), so a retry
+// schedule — like everything else in Nimbus — is a pure function of its
+// seed: drills replay with the same sleeps, and tests can assert the
+// exact schedule.
+struct BackoffOptions {
+  // Total tries including the first (1 = no retries). <= 0 behaves as 1.
+  int max_attempts = 4;
+  double initial_delay_seconds = 1e-4;
+  double multiplier = 2.0;
+  double max_delay_seconds = 0.05;
+  // Fraction of each delay that is randomized: the k-th delay is
+  // base_k * (1 - jitter * u) with u ~ Uniform[0, 1), keeping retries
+  // from different workers out of lockstep without ever exceeding the
+  // deterministic envelope base_k.
+  double jitter = 0.5;
+};
+
+// Produces the delay sequence for one retried operation.
+class Backoff {
+ public:
+  Backoff(const BackoffOptions& options, Rng rng);
+
+  // Delay to sleep before the next retry. Grows by `multiplier` per
+  // call, capped at max_delay_seconds, then jittered downward.
+  double NextDelaySeconds();
+
+  int delays_issued() const { return delays_issued_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  double base_;
+  int delays_issued_ = 0;
+};
+
+// True for status codes that mark transient failures worth retrying:
+// kInternal (injected/infrastructure faults), kUnavailable (overload,
+// open breaker) and kResourceExhausted. Caller errors (kInvalidArgument,
+// kOutOfRange, kInfeasible, ...) and kDeadlineExceeded are final.
+bool IsRetryableStatusCode(StatusCode code);
+
+// Runs `op` until it returns OK, a non-retryable status, or the attempt
+// budget is exhausted; sleeps the jittered backoff on `clock` between
+// tries. A cancelled/expired `cancel` token (optional) stops the loop
+// before the next attempt — and pre-empts a sleep that could not finish
+// before the deadline. `attempts_out` (optional) receives the number of
+// attempts actually made. Returns the last attempt's status.
+Status RetryWithBackoff(const BackoffOptions& options, Rng rng, Clock& clock,
+                        const CancelToken* cancel,
+                        const std::function<Status()>& op,
+                        int* attempts_out = nullptr);
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_COMMON_BACKOFF_H_

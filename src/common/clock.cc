@@ -1,0 +1,63 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <limits>
+#include <string>
+#include <thread>
+
+namespace nimbus {
+
+SystemClock* SystemClock::Get() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+int64_t SystemClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepSeconds(double seconds) {
+  if (seconds <= 0.0) {
+    return;
+  }
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(static_cast<int64_t>(seconds * 1e9)));
+}
+
+CancelToken::CancelToken(const Clock* clock, double deadline_seconds) {
+  if (clock != nullptr && deadline_seconds > 0.0) {
+    clock_ = clock;
+    deadline_ns_ =
+        clock->NowNanos() + static_cast<int64_t>(deadline_seconds * 1e9);
+  }
+}
+
+bool CancelToken::Expired() const {
+  return clock_ != nullptr && clock_->NowNanos() >= deadline_ns_;
+}
+
+Status CancelToken::Check(const char* what) const {
+  if (Cancelled()) {
+    return UnavailableError(std::string("request cancelled during ") + what);
+  }
+  if (Expired()) {
+    return DeadlineExceededError(std::string("deadline expired during ") +
+                                 what);
+  }
+  return OkStatus();
+}
+
+Status CancelToken::Check(const CancelToken* token, const char* what) {
+  return token == nullptr ? OkStatus() : token->Check(what);
+}
+
+double CancelToken::RemainingSeconds() const {
+  if (clock_ == nullptr) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(deadline_ns_ - clock_->NowNanos()) * 1e-9;
+}
+
+}  // namespace nimbus

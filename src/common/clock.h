@@ -1,0 +1,108 @@
+#ifndef NIMBUS_COMMON_CLOCK_H_
+#define NIMBUS_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace nimbus {
+
+// Time source abstraction for the serving layer. Everything that makes a
+// time-based decision (deadlines, retry backoff sleeps, circuit-breaker
+// cooldowns) reads the clock through this interface so tests can swap in
+// a ManualClock and drive the state machines deterministically — a
+// breaker cooldown or a deadline expiry becomes a pure function of the
+// advanced virtual time instead of a scheduler race.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic nanoseconds since an arbitrary (per-clock) epoch.
+  virtual int64_t NowNanos() const = 0;
+
+  // Blocks the caller for `seconds` of this clock's time. The manual
+  // clock implements this by advancing itself, so code that "sleeps"
+  // between retries runs instantly — and reproducibly — under test.
+  virtual void SleepSeconds(double seconds) = 0;
+};
+
+// Wall time via std::chrono::steady_clock. Stateless; the process-wide
+// instance from Get() is what production code uses by default.
+class SystemClock : public Clock {
+ public:
+  static SystemClock* Get();
+
+  int64_t NowNanos() const override;
+  void SleepSeconds(double seconds) override;
+};
+
+// Virtual time that only moves when told to. SleepSeconds advances the
+// clock (so a retry loop's backoff schedule plays out instantly), and
+// AdvanceSeconds lets a test step a breaker or deadline across a
+// threshold exactly. Thread-safe: time is a single atomic.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_nanos = 0) : now_ns_(start_nanos) {}
+
+  int64_t NowNanos() const override {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+  void SleepSeconds(double seconds) override { AdvanceSeconds(seconds); }
+
+  void AdvanceNanos(int64_t nanos) {
+    now_ns_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+  void AdvanceSeconds(double seconds) {
+    AdvanceNanos(static_cast<int64_t>(seconds * 1e9));
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_;
+};
+
+// Cooperative cancellation handle carried by one in-flight request: a
+// deadline on some Clock plus a manual cancel bit. Work loops check the
+// token at natural boundaries (admission, each quote attempt, each
+// error-curve grid point) and unwind with a typed Status instead of
+// being killed — a slow Monte-Carlo estimate cannot wedge a worker
+// forever. Checking is two relaxed atomic loads; thread-safe.
+class CancelToken {
+ public:
+  // A token that never expires and is not cancelled.
+  CancelToken() = default;
+
+  // Expires `deadline_seconds` from now on `clock` (which must outlive
+  // the token). deadline_seconds <= 0 means no deadline.
+  CancelToken(const Clock* clock, double deadline_seconds);
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Flags the token cancelled (idempotent; safe from any thread).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  bool Expired() const;
+
+  // OK while live; kUnavailable after Cancel(), kDeadlineExceeded once
+  // the deadline passed. `what` names the interrupted work in the
+  // message. Passing a null `token` is allowed and always OK, so call
+  // sites can thread an optional token without branching.
+  Status Check(const char* what) const;
+  static Status Check(const CancelToken* token, const char* what);
+
+  // Seconds until expiry: +inf without a deadline, <= 0 once expired.
+  double RemainingSeconds() const;
+
+ private:
+  const Clock* clock_ = nullptr;
+  int64_t deadline_ns_ = 0;  // Absolute on clock_; meaningless when null.
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_COMMON_CLOCK_H_

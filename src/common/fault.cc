@@ -24,6 +24,8 @@ constexpr const char* kFaultPointCatalog[] = {
     "io.write",
     "journal.append",
     "journal.fsync",
+    "service.enqueue",
+    "service.execute",
     "solver.cholesky",
 };
 // FAULT-POINT-CATALOG-END
@@ -174,14 +176,7 @@ StatusOr<std::map<std::string, Rule>> ParseSpec(const std::string& spec) {
 // explicit setup.
 void EnsureInitialized() {
   static const bool initialized = [] {
-    if (const char* spec = std::getenv("NIMBUS_FAULTS");
-        spec != nullptr && *spec != '\0') {
-      const Status status = Configure(spec);
-      if (!status.ok()) {
-        NIMBUS_LOG(kWarning) << "ignoring NIMBUS_FAULTS: "
-                             << status.ToString();
-      }
-    }
+    ArmFromEnvOrDie();
     return true;
   }();
   (void)initialized;
@@ -218,6 +213,20 @@ bool ShouldFail(const char* point) {
                          << hit << ")";
   }
   return fire;
+}
+
+void ArmFromEnvOrDie() {
+  const char* spec = std::getenv("NIMBUS_FAULTS");
+  if (spec == nullptr || *spec == '\0') {
+    return;
+  }
+  const Status status = Configure(spec);
+  if (!status.ok()) {
+    // Fail fast: an operator who armed a drill with a typo'd point name
+    // would otherwise run a chaos exercise that silently tests nothing.
+    NIMBUS_LOG(kFatal) << "invalid NIMBUS_FAULTS spec '" << spec
+                       << "': " << status.ToString();
+  }
 }
 
 Status Configure(const std::string& spec) {

@@ -39,6 +39,14 @@ bool ShouldFail(const char* point);
 // unknown point names leave the previous configuration in place.
 Status Configure(const std::string& spec);
 
+// Applies the NIMBUS_FAULTS environment variable (no-op when unset or
+// empty). Unlike Configure, an invalid spec here is FATAL: a drill whose
+// spec names an unknown point (or cannot be parsed) must not silently
+// run with injection disarmed, so this logs the precise parse error and
+// aborts. Called automatically on first fault-point use; exposed for
+// tests and for binaries that want the env applied eagerly.
+void ArmFromEnvOrDie();
+
 // Disarms all points and clears hit counters.
 void Reset();
 

@@ -24,6 +24,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "INFEASIBLE";
     case StatusCode::kUnbounded:
       return "UNBOUNDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -78,6 +82,14 @@ Status InfeasibleError(std::string message) {
 
 Status UnboundedError(std::string message) {
   return Status(StatusCode::kUnbounded, std::move(message));
+}
+
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace nimbus

@@ -21,6 +21,8 @@ enum class StatusCode {
   kResourceExhausted = 7,
   kInfeasible = 8,   // Optimization problem has no feasible solution.
   kUnbounded = 9,    // Optimization problem is unbounded.
+  kUnavailable = 10,       // Transient overload/shedding; safe to retry.
+  kDeadlineExceeded = 11,  // The request's deadline expired.
 };
 
 // Returns the canonical spelling of `code`, e.g. "INVALID_ARGUMENT".
@@ -75,6 +77,8 @@ Status UnimplementedError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InfeasibleError(std::string message);
 Status UnboundedError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 }  // namespace nimbus
 

@@ -94,7 +94,7 @@ void Broker::SetPricingFunction(
 }
 
 StatusOr<const pricing::ErrorCurve*> Broker::GetErrorCurve(
-    const std::string& report_loss_name) {
+    const std::string& report_loss_name, const CancelToken* cancel) {
   auto it = error_curves_.find(report_loss_name);
   if (it != error_curves_.end()) {
     return &it->second;
@@ -126,7 +126,7 @@ StatusOr<const pricing::ErrorCurve*> Broker::GetErrorCurve(
   NIMBUS_ASSIGN_OR_RETURN(
       pricing::ErrorCurve curve,
       pricing::ErrorCurve::Estimate(*mechanism_, optimal_model_, *loss,
-                                    split_.test, grid, samples, rng_));
+                                    split_.test, grid, samples, rng_, cancel));
   if (budget_cut) {
     curve.MarkDegraded();
   }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/statusor.h"
 #include "data/dataset.h"
@@ -76,8 +77,12 @@ class Broker {
 
   // Error-transformation curve for one of the model's report losses
   // (ε name as in ml::Loss::name()); computed lazily and cached.
+  // `cancel` (optional) aborts a cold-cache Monte-Carlo build at the
+  // next grid-point boundary when the requesting caller's deadline
+  // expires; cache hits never consult it. A cancelled build is not
+  // cached, so the next caller retries it.
   StatusOr<const pricing::ErrorCurve*> GetErrorCurve(
-      const std::string& report_loss_name);
+      const std::string& report_loss_name, const CancelToken* cancel = nullptr);
 
   // One row of the price-error curve shown to buyers (Figure 2d).
   struct PriceErrorPoint {

@@ -141,7 +141,9 @@ StatusOr<Journal> Journal::Open(const std::string& path, Options options) {
 Journal::Journal(Journal&& other) noexcept
     : path_(std::move(other.path_)),
       options_(other.options_),
-      file_(other.file_) {
+      file_(other.file_),
+      buffered_sequence_(other.buffered_sequence_),
+      poisoned_(other.poisoned_) {
   other.file_ = nullptr;
 }
 
@@ -153,6 +155,8 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     path_ = std::move(other.path_);
     options_ = other.options_;
     file_ = other.file_;
+    buffered_sequence_ = other.buffered_sequence_;
+    poisoned_ = other.poisoned_;
     other.file_ = nullptr;
   }
   return *this;
@@ -169,18 +173,33 @@ Status Journal::Append(const LedgerEntry& entry) {
   if (file_ == nullptr) {
     return FailedPreconditionError("journal '" + path_ + "' is closed");
   }
-  const std::string payload = EncodePayload(entry);
-  std::string record;
-  record.reserve(kRecordHeaderBytes + payload.size());
-  AppendScalar(record, static_cast<uint32_t>(payload.size()));
-  AppendScalar(record, Crc32(payload.data(), payload.size()));
-  AppendRaw(record, payload.data(), payload.size());
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
-    return InternalError("short write appending to journal '" + path_ + "'");
+  if (poisoned_) {
+    return FailedPreconditionError(
+        "journal '" + path_ +
+        "' poisoned by an earlier short write; recover before appending");
+  }
+  // Idempotent retry: the previous attempt for this very sequence
+  // already buffered its bytes and failed only at the flush/fsync stage
+  // — re-flushing is all that is left. Re-buffering here would duplicate
+  // the record and break replay's dense-sequence invariant.
+  if (buffered_sequence_ != entry.sequence) {
+    const std::string payload = EncodePayload(entry);
+    std::string record;
+    record.reserve(kRecordHeaderBytes + payload.size());
+    AppendScalar(record, static_cast<uint32_t>(payload.size()));
+    AppendScalar(record, Crc32(payload.data(), payload.size()));
+    AppendRaw(record, payload.data(), payload.size());
+    if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+      poisoned_ = true;
+      return InternalError("short write appending to journal '" + path_ +
+                           "' (journal poisoned; recovery required)");
+    }
+    buffered_sequence_ = entry.sequence;
   }
   if (options_.fsync == FsyncPolicy::kEveryRecord) {
-    return Flush();
+    NIMBUS_RETURN_IF_ERROR(Flush());
   }
+  buffered_sequence_ = -1;
   return OkStatus();
 }
 

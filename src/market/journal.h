@@ -54,6 +54,15 @@ class Journal {
   // Appends one record (write-through target of Ledger::Record). The
   // entry is fully buffered into one fwrite so a crash between appends
   // never interleaves partial records from this process.
+  //
+  // Append is idempotent across failed attempts of the SAME sequence
+  // number: when an append got its bytes buffered but failed at the
+  // flush/fsync stage, retrying Append(entry) re-flushes instead of
+  // re-buffering the payload, so a retrying caller (the serving layer's
+  // journal retry policy) can never duplicate a record. A short write
+  // mid-record poisons the journal — the in-process buffer may hold a
+  // torn record, so further appends fail with kFailedPrecondition
+  // (non-retryable) until the file is recovered.
   Status Append(const LedgerEntry& entry);
 
   // Flushes user-space buffers and, under kEveryRecord, fsyncs.
@@ -113,6 +122,10 @@ class Journal {
   std::string path_;
   Options options_;
   std::FILE* file_ = nullptr;
+  // Retry bookkeeping: sequence whose bytes are buffered but not yet
+  // acknowledged (flush failed), and the short-write poison flag.
+  int64_t buffered_sequence_ = -1;
+  bool poisoned_ = false;
 };
 
 }  // namespace nimbus::market

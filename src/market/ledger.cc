@@ -225,6 +225,10 @@ std::unique_ptr<Journal> Ledger::DetachJournal() {
   return std::move(journal_);
 }
 
+Status Ledger::FlushJournal() {
+  return journal_ == nullptr ? OkStatus() : journal_->Flush();
+}
+
 StatusOr<Ledger> Ledger::Recover(const std::string& path) {
   NIMBUS_ASSIGN_OR_RETURN(std::vector<LedgerEntry> entries,
                           Journal::Replay(path));

@@ -54,6 +54,11 @@ class Ledger {
   // Detaches and returns the journal (e.g. to Close it explicitly).
   std::unique_ptr<Journal> DetachJournal();
 
+  // Flushes the attached journal's buffers (fsync under kEveryRecord);
+  // OK when no journal is attached. The serving layer calls this as the
+  // last step of a graceful drain.
+  Status FlushJournal();
+
   // Rebuilds a ledger from a journal file: replays the longest valid
   // record prefix (truncating a torn tail so the file is append-clean),
   // then revalidates every entry and the sequence numbering. The

@@ -116,6 +116,30 @@ StatusOr<Broker::Purchase> Marketplace::BuyWithPriceBudget(
   return purchase;
 }
 
+StatusOr<int64_t> Marketplace::RecordQuotedSale(
+    const std::string& buyer_id, ml::ModelKind kind,
+    const Broker::Purchase& purchase) {
+  if (buyer_id.empty()) {
+    return InvalidArgumentError("buyer id must be non-empty");
+  }
+  auto it = brokers_.find(kind);
+  if (it == brokers_.end()) {
+    return NotFoundError("model '" +
+                         std::string(ml::ModelKindToString(kind)) +
+                         "' is not offered");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(
+      int64_t sequence,
+      ledger_.Record(buyer_id, kind, purchase.inverse_ncp, purchase.price,
+                     purchase.expected_error));
+  NIMBUS_RETURN_IF_ERROR(monitors_.at(kind).RecordPurchase(
+      buyer_id, purchase.inverse_ncp, purchase.price));
+  it->second.RecordSale(purchase);
+  return sequence;
+}
+
+Status Marketplace::FlushJournal() { return ledger_.FlushJournal(); }
+
 Status Marketplace::EnableJournal(const std::string& path,
                                   Journal::Options options) {
   NIMBUS_ASSIGN_OR_RETURN(Journal journal, Journal::Open(path, options));

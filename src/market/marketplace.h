@@ -69,6 +69,21 @@ class Marketplace {
       const std::string& buyer_id, ml::ModelKind kind, double price_budget,
       const std::string& report_loss_name);
 
+  // Books a quote produced by Broker::QuoteAtInverseNcp: journals and
+  // records the ledger entry, updates the offering's collusion monitor
+  // and the broker's revenue counters, and returns the ledger sequence.
+  // This is the commit half of the serving layer's quote/commit split —
+  // quotes run concurrently, commits are serialized by the caller (the
+  // service's sequencer). Safe to retry after a kInternal journal
+  // failure: Ledger::Record leaves memory untouched on failure and
+  // Journal::Append is idempotent per sequence.
+  StatusOr<int64_t> RecordQuotedSale(const std::string& buyer_id,
+                                     ml::ModelKind kind,
+                                     const Broker::Purchase& purchase);
+
+  // Flushes the ledger's journal (OK when journaling is off).
+  Status FlushJournal();
+
   const Ledger& ledger() const { return ledger_; }
   double total_revenue() const { return ledger_.TotalRevenue(); }
 

@@ -1,6 +1,7 @@
 #include "pricing/error_curve.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -90,7 +91,7 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
     const mechanism::NoiseMechanism& mechanism,
     const linalg::Vector& optimal_model, const ml::Loss& report_loss,
     const data::Dataset& eval_data, const std::vector<double>& inverse_ncp_grid,
-    int samples_per_point, Rng& rng) {
+    int samples_per_point, Rng& rng, const CancelToken* cancel) {
   if (inverse_ncp_grid.size() < 2) {
     return InvalidArgumentError("need at least two grid points");
   }
@@ -99,6 +100,8 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
   if (grid.front() <= 0.0) {
     return InvalidArgumentError("inverse NCP grid must be positive");
   }
+  NIMBUS_RETURN_IF_ERROR(
+      CancelToken::Check(cancel, "error-curve estimation"));
   telemetry::TraceSpan span("error_curve.estimate");
   CurveEstimatesCounter().Increment();
   // Grid points are embarrassingly parallel: each draws its own child
@@ -106,7 +109,17 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
   // bit-identical at every NIMBUS_THREADS setting.
   const Rng base = rng.Fork();
   std::vector<double> raw(grid.size());
+  std::atomic<bool> interrupted{false};
   ParallelFor(0, static_cast<int64_t>(grid.size()), [&](int64_t i) {
+    // Cooperative cancellation at the grid-point boundary: remaining
+    // points become cheap no-ops once the request's deadline expires.
+    if (interrupted.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (cancel != nullptr && !cancel->Check("error-curve grid point").ok()) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return;
+    }
     telemetry::TraceSpan point_span("error_curve.point");
     telemetry::ScopedTimer point_timer(GridPointLatency());
     Rng point_rng = base.Fork(static_cast<uint64_t>(i));
@@ -114,6 +127,9 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
         mechanism, optimal_model, /*ncp=*/1.0 / grid[static_cast<size_t>(i)],
         report_loss, eval_data, samples_per_point, point_rng);
   });
+  if (interrupted.load(std::memory_order_relaxed)) {
+    return CancelToken::Check(cancel, "error-curve estimation");
+  }
   // Graceful degradation: a degenerate model or loss can yield
   // non-finite Monte-Carlo means at some grid points (overflowing
   // exponentials, NaN targets). Rather than letting one bad point sink

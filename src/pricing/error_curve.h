@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/statusor.h"
 #include "data/dataset.h"
@@ -45,11 +46,16 @@ class ErrorCurve {
   // Grid points are estimated in parallel (NIMBUS_THREADS wide), each on
   // its own Rng::Fork(i) child stream; `rng` is advanced exactly once and
   // the resulting curve is bit-identical at every thread count.
+  //
+  // `cancel` (optional) is checked at every grid-point boundary so a
+  // serving worker with an expired request deadline unwinds with
+  // kDeadlineExceeded instead of finishing thousands of Monte-Carlo
+  // draws nobody is waiting for.
   static StatusOr<ErrorCurve> Estimate(
       const mechanism::NoiseMechanism& mechanism,
       const linalg::Vector& optimal_model, const ml::Loss& report_loss,
       const data::Dataset& eval_data, const std::vector<double>& inverse_ncp_grid,
-      int samples_per_point, Rng& rng);
+      int samples_per_point, Rng& rng, const CancelToken* cancel = nullptr);
 
   const std::vector<ErrorCurvePoint>& points() const { return points_; }
 

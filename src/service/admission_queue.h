@@ -1,0 +1,83 @@
+#ifndef NIMBUS_SERVICE_ADMISSION_QUEUE_H_
+#define NIMBUS_SERVICE_ADMISSION_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace nimbus::service {
+
+// Bounded MPMC admission queue for the serving layer. Producers never
+// block: a push against a full (or closed) queue fails immediately with
+// a typed kUnavailable so overload turns into explicit load shedding
+// instead of unbounded latency — rejected work is always visible to the
+// caller, never silently dropped. Consumers block in Pop until an item
+// arrives or the queue is closed and drained.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Admits `item` or sheds it: kUnavailable when the queue is at
+  // capacity (overload) or closed (draining). Never blocks.
+  Status TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return UnavailableError("admission queue is closed (draining)");
+    }
+    if (items_.size() >= capacity_) {
+      return UnavailableError("admission queue is full (load shed)");
+    }
+    items_.push_back(std::move(item));
+    cv_.notify_one();
+    return OkStatus();
+  }
+
+  // Blocks until an item is available (FIFO) or the queue is closed and
+  // empty (returns nullopt — the consumer should exit).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Stops admissions; queued items still drain through Pop. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace nimbus::service
+
+#endif  // NIMBUS_SERVICE_ADMISSION_QUEUE_H_

@@ -1,0 +1,170 @@
+#include "service/circuit_breaker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/telemetry.h"
+
+namespace nimbus::service {
+namespace {
+
+// Registry mirrors aggregated across every breaker instance (per-breaker
+// detail stays on the instance; names are dynamic, metric names must be
+// literals for the lint).
+telemetry::Counter& OpenedCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("breaker_opened_total");
+  return counter;
+}
+
+telemetry::Counter& ClosedCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("breaker_closed_total");
+  return counter;
+}
+
+telemetry::Counter& HalfOpenCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("breaker_half_open_total");
+  return counter;
+}
+
+telemetry::Counter& RejectedCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("breaker_rejected_total");
+  return counter;
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(std::string name, CircuitBreakerOptions options)
+    : name_(std::move(name)),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : SystemClock::Get()) {}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::TransitionLocked(State next) {
+  if (state_ == next) {
+    return;
+  }
+  NIMBUS_LOG(kWarning) << "breaker '" << name_ << "': " << StateName(state_)
+                       << " -> " << StateName(next);
+  state_ = next;
+  switch (next) {
+    case State::kOpen:
+      ++opened_count_;
+      OpenedCounter().Increment();
+      open_until_ns_ =
+          clock_->NowNanos() +
+          static_cast<int64_t>(std::max(options_.open_seconds, 0.0) * 1e9);
+      break;
+    case State::kHalfOpen:
+      HalfOpenCounter().Increment();
+      half_open_successes_ = 0;
+      probes_in_flight_ = 0;
+      break;
+    case State::kClosed:
+      ClosedCounter().Increment();
+      consecutive_failures_ = 0;
+      break;
+  }
+}
+
+void CircuitBreaker::MaybeHalfOpenLocked() {
+  if (state_ == State::kOpen && clock_->NowNanos() >= open_until_ns_) {
+    TransitionLocked(State::kHalfOpen);
+  }
+}
+
+Status CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeHalfOpenLocked();
+  switch (state_) {
+    case State::kClosed:
+      return OkStatus();
+    case State::kOpen:
+      ++rejected_count_;
+      RejectedCounter().Increment();
+      return UnavailableError("breaker '" + name_ + "' is open");
+    case State::kHalfOpen:
+      if (probes_in_flight_ >= std::max(options_.half_open_max_probes, 1)) {
+        ++rejected_count_;
+        RejectedCounter().Increment();
+        return UnavailableError("breaker '" + name_ +
+                                "' is half-open (probe quota in flight)");
+      }
+      ++probes_in_flight_;
+      return OkStatus();
+  }
+  return InternalError("breaker '" + name_ + "' in impossible state");
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      probes_in_flight_ = std::max(probes_in_flight_ - 1, 0);
+      if (++half_open_successes_ >=
+          std::max(options_.half_open_successes, 1)) {
+        TransitionLocked(State::kClosed);
+      }
+      break;
+    case State::kOpen:
+      // A success racing the open transition (its Allow predated the
+      // trip) carries no new information; ignore it.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= std::max(options_.failure_threshold, 1)) {
+        TransitionLocked(State::kOpen);
+      }
+      break;
+    case State::kHalfOpen:
+      probes_in_flight_ = std::max(probes_in_flight_ - 1, 0);
+      // The downstream is still sick: re-open and restart the cooldown.
+      TransitionLocked(State::kOpen);
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Surface the cooldown expiry to observers too, not just to Allow.
+  auto* self = const_cast<CircuitBreaker*>(this);
+  self->MaybeHalfOpenLocked();
+  return state_;
+}
+
+int64_t CircuitBreaker::opened_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opened_count_;
+}
+
+int64_t CircuitBreaker::rejected_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_count_;
+}
+
+}  // namespace nimbus::service

@@ -1,0 +1,88 @@
+#ifndef NIMBUS_SERVICE_CIRCUIT_BREAKER_H_
+#define NIMBUS_SERVICE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace nimbus::service {
+
+struct CircuitBreakerOptions {
+  // Consecutive failures that trip the breaker open (<= 0 behaves as 1).
+  int failure_threshold = 5;
+  // Cooldown after opening before a half-open probe is allowed.
+  double open_seconds = 1.0;
+  // Consecutive probe successes in half-open required to close again.
+  int half_open_successes = 1;
+  // Probes allowed in flight while half-open; extra callers are
+  // rejected so a recovering downstream is not stampeded.
+  int half_open_max_probes = 1;
+  // Time source; nullptr = the process SystemClock. Tests pass a
+  // ManualClock so every transition is a pure function of virtual time.
+  const Clock* clock = nullptr;
+};
+
+// Classic three-state circuit breaker guarding one downstream (broker
+// quotes, journal appends). Closed counts consecutive failures and
+// opens at the threshold; open rejects calls with kUnavailable until the
+// cooldown elapses; half-open admits a bounded number of probes and
+// closes on enough consecutive successes (any probe failure re-opens
+// and restarts the cooldown). Fully deterministic under a ManualClock:
+// given the same call/outcome sequence and clock readings, the state
+// trajectory is identical. Thread-safe; every call is one short
+// critical section.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(std::string name, CircuitBreakerOptions options);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  // Gate before each attempt: OK admits the call (and, in half-open,
+  // reserves a probe slot the caller MUST release via RecordSuccess or
+  // RecordFailure); kUnavailable means the breaker is open (or the
+  // half-open probe quota is taken) and the caller should shed or back
+  // off.
+  Status Allow();
+
+  // Outcome of an admitted call.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  const std::string& name() const { return name_; }
+
+  // Monotone transition counters (for tests and drain reports; the
+  // telemetry registry mirrors them across all breakers).
+  int64_t opened_count() const;
+  int64_t rejected_count() const;
+
+  static const char* StateName(State state);
+
+ private:
+  // Moves open -> half-open once the cooldown elapsed. Caller holds mu_.
+  void MaybeHalfOpenLocked();
+  void TransitionLocked(State next);
+
+  const std::string name_;
+  const CircuitBreakerOptions options_;
+  const Clock* clock_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int probes_in_flight_ = 0;
+  int64_t open_until_ns_ = 0;
+  int64_t opened_count_ = 0;
+  int64_t rejected_count_ = 0;
+};
+
+}  // namespace nimbus::service
+
+#endif  // NIMBUS_SERVICE_CIRCUIT_BREAKER_H_

@@ -1,0 +1,368 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/telemetry.h"
+
+namespace nimbus::service {
+namespace {
+
+telemetry::Counter& SubmittedCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("service_submitted_total");
+  return counter;
+}
+
+telemetry::Counter& ShedCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("service_shed_total");
+  return counter;
+}
+
+telemetry::Counter& CompletedCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("service_completed_total");
+  return counter;
+}
+
+telemetry::Counter& FailedCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("service_failed_total");
+  return counter;
+}
+
+telemetry::Counter& DeadlineCounter() {
+  static telemetry::Counter& counter = telemetry::Registry::Global().GetCounter(
+      "service_deadline_exceeded_total");
+  return counter;
+}
+
+telemetry::Counter& RetryCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("service_retry_total");
+  return counter;
+}
+
+telemetry::Gauge& QueueDepthGauge() {
+  static telemetry::Gauge& gauge =
+      telemetry::Registry::Global().GetGauge("service_queue_depth");
+  return gauge;
+}
+
+telemetry::Histogram& LatencyHistogram() {
+  static telemetry::Histogram& histogram =
+      telemetry::Registry::Global().GetHistogram("service_request_latency_us");
+  return histogram;
+}
+
+// Per-ticket RNG stream ids under the service master seed. Keeping the
+// purposes on disjoint strides makes every stream a pure function of
+// (seed, ticket, purpose) — independent of scheduling and retries.
+constexpr uint64_t kQuoteStream = 0;
+constexpr uint64_t kQuoteBackoffStream = 1;
+constexpr uint64_t kJournalBackoffStream = 2;
+constexpr uint64_t kStreamsPerTicket = 4;
+
+uint64_t StreamId(int64_t ticket, uint64_t purpose) {
+  return static_cast<uint64_t>(ticket) * kStreamsPerTicket + purpose;
+}
+
+}  // namespace
+
+MarketService::MarketService(market::Marketplace* market,
+                             ServiceOptions options)
+    : market_(market),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : SystemClock::Get()),
+      base_rng_(options.seed),
+      queue_(static_cast<size_t>(std::max(options.queue_capacity, 1))),
+      quote_breaker_("broker.quote", [&] {
+        CircuitBreakerOptions breaker = options.quote_breaker;
+        if (breaker.clock == nullptr) breaker.clock = clock_;
+        return breaker;
+      }()),
+      journal_breaker_("journal.append", [&] {
+        CircuitBreakerOptions breaker = options.journal_breaker;
+        if (breaker.clock == nullptr) breaker.clock = clock_;
+        return breaker;
+      }()) {
+  options_.num_workers = std::max(options_.num_workers, 1);
+}
+
+MarketService::~MarketService() {
+  if (started_.load(std::memory_order_acquire)) {
+    const Status status = Drain();
+    if (!status.ok()) {
+      NIMBUS_LOG(kWarning) << "service drain in destructor failed: "
+                           << status.ToString();
+    }
+  }
+}
+
+Status MarketService::Start() {
+  if (started_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("service already started");
+  }
+  if (market_ == nullptr) {
+    return InvalidArgumentError("service needs a marketplace");
+  }
+  // Prewarm every offering's error curves so the workers only ever hit
+  // the (stable-address) cache; a cold build failing here is a
+  // configuration error better surfaced at startup than per-request.
+  for (ml::ModelKind kind : market_->Offerings()) {
+    NIMBUS_ASSIGN_OR_RETURN(market::Broker * broker, market_->BrokerFor(kind));
+    for (const auto& loss : broker->model().report_losses()) {
+      NIMBUS_RETURN_IF_ERROR(broker->GetErrorCurve(loss->name()).status());
+    }
+  }
+  started_.store(true, std::memory_order_release);
+  // The pool is N-wide counting the calling thread, so the runner thread
+  // itself drains the queue alongside num_workers - 1 pool workers.
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  runner_ = std::thread([this] {
+    pool_->ParallelFor(
+        0, options_.num_workers, [this](int64_t) { WorkerLoop(); },
+        options_.num_workers);
+  });
+  return OkStatus();
+}
+
+std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
+  std::promise<PurchaseResult> reject;
+  std::future<PurchaseResult> reject_future = reject.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  SubmittedCounter().Increment();
+
+  PurchaseResult result;
+  if (!started_.load(std::memory_order_acquire)) {
+    result.status = FailedPreconditionError("service is not started");
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    FailedCounter().Increment();
+    reject.set_value(std::move(result));
+    return reject_future;
+  }
+  if (request.buyer_id.empty()) {
+    result.status = InvalidArgumentError("buyer id must be non-empty");
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    FailedCounter().Increment();
+    reject.set_value(std::move(result));
+    return reject_future;
+  }
+
+  Item item;
+  item.request = std::move(request);
+  item.promise = std::move(reject);
+  item.submit_ns = clock_->NowNanos();
+  const double deadline = item.request.deadline_seconds > 0.0
+                              ? item.request.deadline_seconds
+                              : options_.default_deadline_seconds;
+  item.cancel = std::make_shared<CancelToken>(clock_, deadline);
+
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    Status admit = OkStatus();
+    if (fault::ShouldFail("service.enqueue")) {
+      admit = UnavailableError("fault injected at 'service.enqueue'");
+    } else if (draining_.load(std::memory_order_acquire)) {
+      admit = UnavailableError("service is draining");
+    } else {
+      item.ticket = next_ticket_;
+      admit = queue_.TryPush(std::move(item));
+    }
+    if (admit.ok()) {
+      ++next_ticket_;
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+      return reject_future;
+    }
+    // TryPush only consumes `item` on success, but it was moved-from
+    // regardless; rebuild the promise path for the shed result.
+    result.status = std::move(admit);
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  ShedCounter().Increment();
+  std::promise<PurchaseResult> shed_promise;
+  std::future<PurchaseResult> shed_future = shed_promise.get_future();
+  shed_promise.set_value(std::move(result));
+  return shed_future;
+}
+
+StatusOr<std::pair<market::Broker*, const pricing::ErrorCurve*>>
+MarketService::ResolveTarget(const PurchaseRequest& request,
+                             const CancelToken* cancel) {
+  NIMBUS_ASSIGN_OR_RETURN(market::Broker * broker,
+                          market_->BrokerFor(request.model));
+  std::string loss_name = request.report_loss_name;
+  if (loss_name.empty()) {
+    loss_name = broker->model().report_losses().front()->name();
+  }
+  const pricing::ErrorCurve* curve = nullptr;
+  {
+    // GetErrorCurve mutates the broker's cache on a cold miss; Start
+    // prewarms so this is normally a read-only hit, but a request for an
+    // unknown loss (or a cancelled prewarm retry) still needs the lock.
+    std::lock_guard<std::mutex> lock(curve_mu_);
+    NIMBUS_ASSIGN_OR_RETURN(curve, broker->GetErrorCurve(loss_name, cancel));
+  }
+  return std::make_pair(broker, curve);
+}
+
+void MarketService::ExecuteQuote(const Item& item, PurchaseResult& result) {
+  const CancelToken* cancel = item.cancel.get();
+  result.status = CancelToken::Check(cancel, "admission-to-execution");
+  if (!result.status.ok()) {
+    return;
+  }
+  auto target = ResolveTarget(item.request, cancel);
+  if (!target.ok()) {
+    result.status = target.status();
+    return;
+  }
+  market::Broker* broker = target->first;
+  const pricing::ErrorCurve* curve = target->second;
+
+  auto attempt = [&]() -> Status {
+    if (fault::ShouldFail("service.execute")) {
+      return InternalError("fault injected at 'service.execute'");
+    }
+    NIMBUS_RETURN_IF_ERROR(quote_breaker_.Allow());
+    // A fresh fork per attempt: a retried quote redraws the exact same
+    // noise, so retries cannot perturb the ledger bytes.
+    Rng rng = base_rng_.Fork(StreamId(item.ticket, kQuoteStream));
+    StatusOr<market::Broker::Purchase> quote =
+        broker->QuoteAtInverseNcp(item.request.inverse_ncp, *curve, rng);
+    if (quote.ok()) {
+      quote_breaker_.RecordSuccess();
+      result.purchase = std::move(*quote);
+      return OkStatus();
+    }
+    if (quote.status().code() == StatusCode::kInternal) {
+      quote_breaker_.RecordFailure();
+    } else {
+      // The downstream answered; a caller error is not broker sickness.
+      quote_breaker_.RecordSuccess();
+    }
+    return quote.status();
+  };
+  result.status = RetryWithBackoff(
+      options_.quote_retry,
+      base_rng_.Fork(StreamId(item.ticket, kQuoteBackoffStream)), *clock_,
+      cancel, attempt, &result.quote_attempts);
+}
+
+void MarketService::CommitInOrder(Item& item, PurchaseResult& result) {
+  std::unique_lock<std::mutex> lock(seq_mu_);
+  seq_cv_.wait(lock, [&] { return next_commit_ == item.ticket; });
+
+  if (result.status.ok()) {
+    auto attempt = [&]() -> Status {
+      NIMBUS_RETURN_IF_ERROR(journal_breaker_.Allow());
+      StatusOr<int64_t> sequence = market_->RecordQuotedSale(
+          item.request.buyer_id, item.request.model, result.purchase);
+      if (sequence.ok()) {
+        journal_breaker_.RecordSuccess();
+        result.sequence = *sequence;
+        return OkStatus();
+      }
+      if (sequence.status().code() == StatusCode::kInternal) {
+        journal_breaker_.RecordFailure();
+      } else {
+        journal_breaker_.RecordSuccess();
+      }
+      return sequence.status();
+    };
+    // Deliberately NOT bounded by the request deadline: once the quote
+    // succeeded the commit must land or fail on its own merits —
+    // abandoning a half-committed sale on a buyer timeout would fork the
+    // ledger from the books.
+    result.status = RetryWithBackoff(
+        options_.journal_retry,
+        base_rng_.Fork(StreamId(item.ticket, kJournalBackoffStream)), *clock_,
+        /*cancel=*/nullptr, attempt, &result.journal_attempts);
+  }
+
+  ++next_commit_;
+  seq_cv_.notify_all();
+}
+
+void MarketService::Finish(Item& item, PurchaseResult result) {
+  const int extra = std::max(result.quote_attempts - 1, 0) +
+                    std::max(result.journal_attempts - 1, 0);
+  if (extra > 0) {
+    retries_.fetch_add(extra, std::memory_order_relaxed);
+    RetryCounter().Increment(extra);
+  }
+  if (result.status.ok()) {
+    succeeded_.fetch_add(1, std::memory_order_relaxed);
+    CompletedCounter().Increment();
+  } else {
+    if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      DeadlineCounter().Increment();
+    }
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    FailedCounter().Increment();
+  }
+  LatencyHistogram().Observe(
+      static_cast<double>(clock_->NowNanos() - item.submit_ns) / 1000.0);
+  item.promise.set_value(std::move(result));
+}
+
+void MarketService::WorkerLoop() {
+  while (true) {
+    std::optional<Item> popped = queue_.Pop();
+    if (!popped.has_value()) {
+      return;  // Closed and drained.
+    }
+    QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+    Item item = std::move(*popped);
+    PurchaseResult result;
+    result.ticket = item.ticket;
+    ExecuteQuote(item, result);
+    CommitInOrder(item, result);
+    Finish(item, std::move(result));
+  }
+}
+
+Status MarketService::Drain() {
+  if (!started_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("service was never started");
+  }
+  draining_.store(true, std::memory_order_release);
+  queue_.Close();
+  // Concurrent drains serialize here; the first one does the work and
+  // later ones return its status.
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  if (drained_.load(std::memory_order_acquire)) {
+    return drain_status_;
+  }
+  if (runner_.joinable()) {
+    runner_.join();
+  }
+  pool_.reset();
+  // Flush under the journal retry policy: a transient fsync fault at
+  // shutdown should not lose the tail of the books.
+  Rng flush_rng(options_.seed ^ 0x9e3779b97f4a7c15ull);
+  drain_status_ = RetryWithBackoff(
+      options_.journal_retry, std::move(flush_rng), *clock_,
+      /*cancel=*/nullptr, [&] { return market_->FlushJournal(); });
+  drained_.store(true, std::memory_order_release);
+  return drain_status_;
+}
+
+MarketService::Stats MarketService::stats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.succeeded = succeeded_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace nimbus::service

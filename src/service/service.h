@@ -1,0 +1,203 @@
+#ifndef NIMBUS_SERVICE_SERVICE_H_
+#define NIMBUS_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/statusor.h"
+#include "market/marketplace.h"
+#include "service/admission_queue.h"
+#include "service/circuit_breaker.h"
+
+namespace nimbus::service {
+
+// Tuning for one MarketService instance. The defaults are sized for the
+// chaos soak; a real deployment scales queue_capacity and num_workers
+// with the offered load.
+struct ServiceOptions {
+  // Worker width (calling-thread-inclusive, like ThreadPool).
+  int num_workers = 4;
+  // Admission queue bound; pushes beyond it are shed with kUnavailable.
+  int queue_capacity = 256;
+  // Deadline applied to requests that do not carry their own
+  // (seconds; <= 0 = no deadline).
+  double default_deadline_seconds = 0.0;
+  // Retry policies wrapped around the two downstreams.
+  BackoffOptions quote_retry;
+  BackoffOptions journal_retry;
+  // Breakers guarding those downstreams. Thresholds high enough to
+  // never trip make the service deterministic under counted faults
+  // (every injected failure is absorbed by a retry).
+  CircuitBreakerOptions quote_breaker;
+  CircuitBreakerOptions journal_breaker;
+  // Master seed: request `ticket` quotes with the pure child stream
+  // Fork(4*ticket) of Rng(seed), so results are independent of worker
+  // count, scheduling, and retry count.
+  uint64_t seed = 20190642;
+  // Time source for deadlines, backoff sleeps and breaker cooldowns;
+  // nullptr = SystemClock. Tests pass a ManualClock.
+  Clock* clock = nullptr;
+};
+
+// One buyer request: purchase the version at `inverse_ncp` of `model`.
+struct PurchaseRequest {
+  std::string buyer_id;
+  ml::ModelKind model = ml::ModelKind::kLinearRegression;
+  double inverse_ncp = 0.0;
+  std::string report_loss_name;
+  // Overrides ServiceOptions::default_deadline_seconds when > 0.
+  double deadline_seconds = 0.0;
+};
+
+// Terminal outcome of one submitted request, delivered via the future
+// returned by Submit. Every submission gets exactly one result — shed
+// and failed requests carry the typed non-OK status, never a silent
+// drop.
+struct PurchaseResult {
+  // Admission ticket (commit order); -1 for requests shed at admission.
+  int64_t ticket = -1;
+  Status status;
+  market::Broker::Purchase purchase;  // Valid only when status.ok().
+  int64_t sequence = -1;              // Ledger sequence when ok.
+  int quote_attempts = 0;
+  int journal_attempts = 0;
+};
+
+// Concurrent quote/purchase front end over one Marketplace — the layer
+// that lets the in-process broker survive real traffic: a bounded
+// admission queue with explicit load shedding, a worker pool (built on
+// common/parallel.h) running the quote phase concurrently, per-request
+// deadlines with cooperative cancellation down to the error-curve
+// grid-point boundary, retry-with-backoff around the fault points from
+// the recovery substrate, per-downstream circuit breakers, and a
+// graceful drain that finishes in-flight work and flushes the journal.
+//
+// Determinism contract (the chaos soak's headline property): quotes are
+// pure per-ticket functions of the master seed, and commits are
+// serialized in ticket order by an internal sequencer. As long as
+// admission order is deterministic (single submitter) and no request
+// exhausts its retry budget, the final ledger — and therefore the
+// journal and everything recovered from it — is byte-identical at every
+// worker count, even with counted fault injection armed.
+class MarketService {
+ public:
+  // `market` must outlive the service. Offerings must be installed (and
+  // the journal attached, if desired) before Start.
+  MarketService(market::Marketplace* market, ServiceOptions options);
+  ~MarketService();  // Drains (best effort) when still running.
+
+  MarketService(const MarketService&) = delete;
+  MarketService& operator=(const MarketService&) = delete;
+
+  // Pre-builds every offering's error curves (so worker threads hit
+  // read-only brokers) and launches the worker pool.
+  Status Start();
+
+  // Admits the request or sheds it; always returns a future that will
+  // hold the typed outcome. Sheds (queue full, draining, injected
+  // 'service.enqueue' fault) resolve immediately with kUnavailable;
+  // malformed requests with kInvalidArgument. Thread-safe.
+  std::future<PurchaseResult> Submit(PurchaseRequest request);
+
+  // Graceful shutdown: stops admissions (subsequent Submits are shed),
+  // lets the workers finish every admitted request, then flushes the
+  // marketplace journal (retried under the journal policy). Idempotent;
+  // returns the flush status.
+  Status Drain();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  // Monotone service-level counters (mirrored into the telemetry
+  // registry under service_*).
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t admitted = 0;
+    int64_t shed = 0;
+    int64_t succeeded = 0;
+    int64_t failed = 0;  // Admitted but not booked (includes deadlines).
+    int64_t deadline_exceeded = 0;
+    int64_t retries = 0;  // Extra attempts beyond the first, both stages.
+  };
+  Stats stats() const;
+
+  const CircuitBreaker& quote_breaker() const { return quote_breaker_; }
+  const CircuitBreaker& journal_breaker() const { return journal_breaker_; }
+
+ private:
+  struct Item {
+    int64_t ticket = 0;
+    PurchaseRequest request;
+    std::promise<PurchaseResult> promise;
+    std::shared_ptr<CancelToken> cancel;
+    int64_t submit_ns = 0;
+  };
+
+  void WorkerLoop();
+  // Quote phase (concurrent): resolves the broker/curve and runs the
+  // retried, breaker-gated quote. Fills result.status/purchase.
+  void ExecuteQuote(const Item& item, PurchaseResult& result);
+  // Commit phase: waits for the sequencer turn of `ticket`, then (for
+  // successful quotes) books the sale with the retried, breaker-gated
+  // journal append.
+  void CommitInOrder(Item& item, PurchaseResult& result);
+  void Finish(Item& item, PurchaseResult result);
+
+  StatusOr<std::pair<market::Broker*, const pricing::ErrorCurve*>>
+  ResolveTarget(const PurchaseRequest& request, const CancelToken* cancel);
+
+  market::Marketplace* market_;
+  ServiceOptions options_;
+  Clock* clock_;
+  const Rng base_rng_;
+
+  BoundedQueue<Item> queue_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread runner_;
+
+  CircuitBreaker quote_breaker_;
+  CircuitBreaker journal_breaker_;
+
+  // Admission: ticket assignment must be atomic with the queue push so
+  // admitted tickets are dense (the sequencer relies on it).
+  std::mutex submit_mu_;
+  int64_t next_ticket_ = 0;
+
+  // Sequencer: commits strictly in ticket order.
+  std::mutex seq_mu_;
+  std::condition_variable seq_cv_;
+  int64_t next_commit_ = 0;
+
+  // Error-curve resolution is serialized: Broker::GetErrorCurve mutates
+  // its cache, and concurrent cold builds would race.
+  std::mutex curve_mu_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::mutex drain_mu_;  // Serializes concurrent Drain calls.
+  std::atomic<bool> drained_{false};
+  Status drain_status_;  // Guarded by drain_mu_ + drained_ flag.
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> succeeded_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> retries_{0};
+};
+
+}  // namespace nimbus::service
+
+#endif  // NIMBUS_SERVICE_SERVICE_H_

@@ -1,0 +1,195 @@
+#include "common/backoff.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace nimbus {
+namespace {
+
+TEST(BackoffTest, DelaysGrowGeometricallyAndCap) {
+  BackoffOptions options;
+  options.initial_delay_seconds = 0.01;
+  options.multiplier = 2.0;
+  options.max_delay_seconds = 0.05;
+  options.jitter = 0.0;  // Exact envelope, no randomization.
+  Backoff backoff(options, Rng(1));
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.01);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.02);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.04);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.05);  // Capped.
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.05);
+  EXPECT_EQ(backoff.delays_issued(), 5);
+}
+
+TEST(BackoffTest, JitterStaysInsideEnvelopeAndIsDeterministic) {
+  BackoffOptions options;
+  options.initial_delay_seconds = 0.01;
+  options.multiplier = 2.0;
+  options.max_delay_seconds = 1.0;
+  options.jitter = 0.5;
+  Backoff a(options, Rng(42));
+  Backoff b(options, Rng(42));
+  double base = options.initial_delay_seconds;
+  for (int i = 0; i < 6; ++i) {
+    const double delay_a = a.NextDelaySeconds();
+    const double delay_b = b.NextDelaySeconds();
+    // Same seed, same schedule: the jitter stream is pure.
+    EXPECT_DOUBLE_EQ(delay_a, delay_b);
+    // Jittered downward only, never below half the base.
+    EXPECT_LE(delay_a, base);
+    EXPECT_GE(delay_a, base * (1.0 - options.jitter));
+    base = std::min(base * options.multiplier, options.max_delay_seconds);
+  }
+}
+
+TEST(BackoffTest, RetryableCodes) {
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kInternal));
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kNotFound));
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  ManualClock clock;
+  BackoffOptions options;
+  options.max_attempts = 4;
+  int calls = 0;
+  int attempts = 0;
+  const Status status = RetryWithBackoff(
+      options, Rng(7), clock, /*cancel=*/nullptr,
+      [&]() -> Status {
+        ++calls;
+        return calls < 3 ? InternalError("transient") : OkStatus();
+      },
+      &attempts);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+  // Two sleeps happened on the virtual clock.
+  EXPECT_GT(clock.NowNanos(), 0);
+}
+
+TEST(RetryTest, NonRetryableStopsImmediately) {
+  ManualClock clock;
+  BackoffOptions options;
+  options.max_attempts = 5;
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(options, Rng(7), clock, nullptr, [&]() -> Status {
+        ++calls;
+        return InvalidArgumentError("caller bug");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.NowNanos(), 0);  // Never slept.
+}
+
+TEST(RetryTest, AttemptBudgetExhaustedReturnsLastStatus) {
+  ManualClock clock;
+  BackoffOptions options;
+  options.max_attempts = 3;
+  int calls = 0;
+  int attempts = 0;
+  const Status status = RetryWithBackoff(
+      options, Rng(7), clock, nullptr,
+      [&]() -> Status {
+        ++calls;
+        return UnavailableError("still overloaded");
+      },
+      &attempts);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(RetryTest, CancelledTokenStopsBeforeNextAttempt) {
+  ManualClock clock;
+  CancelToken cancel;
+  BackoffOptions options;
+  options.max_attempts = 10;
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(options, Rng(7), clock, &cancel, [&]() -> Status {
+        ++calls;
+        cancel.Cancel();  // E.g. the client went away mid-attempt.
+        return InternalError("transient");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, DeadlinePreemptsSleepItCannotFinish) {
+  ManualClock clock;
+  CancelToken cancel(&clock, /*deadline_seconds=*/0.5);
+  BackoffOptions options;
+  options.max_attempts = 10;
+  options.initial_delay_seconds = 1.0;  // First sleep alone blows the budget.
+  options.max_delay_seconds = 10.0;
+  options.jitter = 0.0;
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(options, Rng(7), clock, &cancel, [&]() -> Status {
+        ++calls;
+        return InternalError("transient");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+  // The doomed sleep was not taken: virtual time never advanced.
+  EXPECT_EQ(clock.NowNanos(), 0);
+}
+
+TEST(CancelTokenTest, DefaultTokenNeverExpires) {
+  CancelToken token;
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_FALSE(token.Expired());
+  EXPECT_TRUE(token.Check("work").ok());
+  EXPECT_TRUE(std::isinf(token.RemainingSeconds()));
+}
+
+TEST(CancelTokenTest, NullTokenIsAlwaysOk) {
+  EXPECT_TRUE(CancelToken::Check(nullptr, "work").ok());
+}
+
+TEST(CancelTokenTest, CancelIsUnavailable) {
+  CancelToken token;
+  token.Cancel();
+  const Status status = token.Check("quote attempt");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("quote attempt"), std::string::npos);
+}
+
+TEST(CancelTokenTest, DeadlineExpiresOnVirtualClock) {
+  ManualClock clock;
+  CancelToken token(&clock, /*deadline_seconds=*/1.0);
+  EXPECT_TRUE(token.Check("work").ok());
+  EXPECT_NEAR(token.RemainingSeconds(), 1.0, 1e-9);
+  clock.AdvanceSeconds(0.25);
+  EXPECT_NEAR(token.RemainingSeconds(), 0.75, 1e-9);
+  clock.AdvanceSeconds(1.0);
+  EXPECT_TRUE(token.Expired());
+  const Status status = token.Check("error-curve estimation");
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("error-curve estimation"),
+            std::string::npos);
+  EXPECT_LE(token.RemainingSeconds(), 0.0);
+}
+
+TEST(CancelTokenTest, NonPositiveDeadlineMeansNone) {
+  ManualClock clock;
+  CancelToken token(&clock, 0.0);
+  clock.AdvanceSeconds(1e9);
+  EXPECT_FALSE(token.Expired());
+  EXPECT_TRUE(token.Check("work").ok());
+}
+
+}  // namespace
+}  // namespace nimbus

@@ -1,0 +1,145 @@
+#include "service/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace nimbus::service {
+namespace {
+
+CircuitBreakerOptions TestOptions(const Clock* clock) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_seconds = 10.0;
+  options.half_open_successes = 2;
+  options.half_open_max_probes = 1;
+  options.clock = clock;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  ManualClock clock;
+  CircuitBreaker breaker("test", TestOptions(&clock));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow().ok());
+  // A success resets the consecutive-failure count.
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.opened_count(), 0);
+}
+
+TEST(CircuitBreakerTest, OpensAtThresholdAndRejects) {
+  ManualClock clock;
+  CircuitBreaker breaker("test", TestOptions(&clock));
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opened_count(), 1);
+  const Status rejected = breaker.Allow();
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.message().find("open"), std::string::npos);
+  EXPECT_EQ(breaker.rejected_count(), 1);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterCooldownAndLimitsProbes) {
+  ManualClock clock;
+  CircuitBreaker breaker("test", TestOptions(&clock));
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  clock.AdvanceSeconds(9.9);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.AdvanceSeconds(0.2);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // One probe slot; the second concurrent caller is rejected.
+  EXPECT_TRUE(breaker.Allow().ok());
+  const Status second = breaker.Allow();
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable);
+  EXPECT_NE(second.message().find("half-open"), std::string::npos);
+  // The probe finishing releases the slot.
+  breaker.RecordSuccess();
+  EXPECT_TRUE(breaker.Allow().ok());
+}
+
+TEST(CircuitBreakerTest, ClosesAfterEnoughProbeSuccesses) {
+  ManualClock clock;
+  CircuitBreaker breaker("test", TestOptions(&clock));
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  clock.AdvanceSeconds(10.1);
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);  // Needs 2.
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow().ok());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsCooldown) {
+  ManualClock clock;
+  CircuitBreaker breaker("test", TestOptions(&clock));
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  clock.AdvanceSeconds(10.1);
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opened_count(), 2);
+  // Cooldown restarted from the re-open, not the first open.
+  clock.AdvanceSeconds(5.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.AdvanceSeconds(5.2);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, TrajectoryIsDeterministicUnderManualClock) {
+  // Same outcome sequence and clock readings on two instances: the
+  // observable state trajectory is identical at every step.
+  ManualClock clock_a;
+  ManualClock clock_b;
+  CircuitBreaker a("a", TestOptions(&clock_a));
+  CircuitBreaker b("b", TestOptions(&clock_b));
+  const double steps[] = {0.0, 3.0, 3.0, 3.0, 10.5, 0.0, 0.0};
+  const bool failures[] = {true, true, false, true, true, true, true};
+  for (int i = 0; i < 7; ++i) {
+    clock_a.AdvanceSeconds(steps[i]);
+    clock_b.AdvanceSeconds(steps[i]);
+    const Status allow_a = a.Allow();
+    const Status allow_b = b.Allow();
+    EXPECT_EQ(allow_a.code(), allow_b.code()) << "step " << i;
+    if (allow_a.ok()) {
+      if (failures[i]) {
+        a.RecordFailure();
+        b.RecordFailure();
+      } else {
+        a.RecordSuccess();
+        b.RecordSuccess();
+      }
+    }
+    EXPECT_EQ(a.state(), b.state()) << "step " << i;
+    EXPECT_EQ(a.opened_count(), b.opened_count()) << "step " << i;
+    EXPECT_EQ(a.rejected_count(), b.rejected_count()) << "step " << i;
+  }
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kOpen),
+               "open");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+}  // namespace
+}  // namespace nimbus::service

@@ -1,6 +1,7 @@
 #include "common/fault.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,8 @@ TEST_F(FaultTest, CatalogIsSortedAndQueryable) {
   }
   EXPECT_TRUE(IsKnownPoint("journal.append"));
   EXPECT_TRUE(IsKnownPoint("solver.cholesky"));
+  EXPECT_TRUE(IsKnownPoint("service.enqueue"));
+  EXPECT_TRUE(IsKnownPoint("service.execute"));
   EXPECT_FALSE(IsKnownPoint("no.such.point"));
 }
 
@@ -140,6 +143,35 @@ TEST_F(FaultTest, ResetDisarmsAndClearsCounters) {
   ASSERT_TRUE(Configure("io.write:1").ok());
   ASSERT_TRUE(Configure("").ok());
   EXPECT_FALSE(ShouldFail("io.write"));
+}
+
+// A chaos drill whose env spec is misspelled must not run with injection
+// silently disarmed: the env path is fail-fast fatal, unlike Configure.
+TEST_F(FaultTest, InvalidEnvSpecDiesInsteadOfDisarming) {
+  EXPECT_DEATH(
+      {
+        setenv("NIMBUS_FAULTS", "no.such.point:1", 1);
+        ArmFromEnvOrDie();
+      },
+      "invalid NIMBUS_FAULTS");
+  EXPECT_DEATH(
+      {
+        setenv("NIMBUS_FAULTS", "journal.append:soon", 1);
+        ArmFromEnvOrDie();
+      },
+      "invalid NIMBUS_FAULTS");
+}
+
+TEST_F(FaultTest, ValidOrEmptyEnvSpecArms) {
+  setenv("NIMBUS_FAULTS", "", 1);
+  ArmFromEnvOrDie();  // Empty spec: no-op, no death.
+  EXPECT_FALSE(ShouldFail("io.write"));
+
+  setenv("NIMBUS_FAULTS", "io.write:2", 1);
+  ArmFromEnvOrDie();
+  EXPECT_FALSE(ShouldFail("io.write"));  // Hit 1: not yet.
+  EXPECT_TRUE(ShouldFail("io.write"));   // Hit 2: fires.
+  unsetenv("NIMBUS_FAULTS");
 }
 
 // End-to-end through a production FAULT_POINT: the hardened writers turn

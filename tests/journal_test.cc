@@ -377,6 +377,76 @@ TEST(LedgerCsvTest, HostileBuyerIdsRoundTripThroughCsv) {
           .ok());
 }
 
+// Property test: randomized buyer ids drawn from an RFC-4180-hostile
+// alphabet (quotes, commas, bare LF, CR, CRLF, quote runs) must survive
+// ToCsv -> FromCsv byte-for-byte — every field equal AND the re-export
+// identical down to the last byte, for every seed.
+TEST(LedgerCsvTest, AdversarialRoundTripProperty) {
+  const std::string alphabet = "ab,\"\n\r\"\",z";
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(1000 + seed);
+    Ledger ledger;
+    const int rows = 1 + static_cast<int>(rng.UniformInt(30));
+    for (int i = 0; i < rows; ++i) {
+      const int length = static_cast<int>(rng.UniformInt(12));
+      std::string buyer = "b";  // Non-empty even when length == 0.
+      for (int c = 0; c < length; ++c) {
+        buyer += alphabet[rng.UniformInt(alphabet.size())];
+      }
+      const ml::ModelKind kind = rng.UniformInt(2) == 0
+                                     ? ml::ModelKind::kLinearRegression
+                                     : ml::ModelKind::kLinearSvm;
+      // Full-precision doubles: round-trip must not lose a single bit.
+      ASSERT_TRUE(ledger
+                      .Record(buyer, kind, rng.Uniform(1.0, 100.0),
+                              rng.Uniform(0.0, 1e6), rng.Uniform())
+                      .ok());
+    }
+    const std::string csv = ledger.ToCsv();
+    StatusOr<Ledger> back = Ledger::FromCsv(csv);
+    ASSERT_TRUE(back.ok()) << "seed " << seed << ": " << back.status();
+    ASSERT_EQ(back->size(), ledger.size()) << "seed " << seed;
+    for (int64_t i = 0; i < ledger.size(); ++i) {
+      ExpectSameEntry(back->entries()[i], ledger.entries()[i]);
+    }
+    EXPECT_EQ(back->ToCsv(), csv) << "seed " << seed;
+  }
+}
+
+// Retry safety of the write-ahead path: when the append's fsync stage
+// fails after the record was buffered, retrying the same sequence must
+// not write the bytes twice. The skip-rewrite makes Ledger::Record +
+// RetryWithBackoff safe to compose without duplicating audit rows.
+TEST(JournalTest, AppendIsIdempotentPerSequenceAcrossFsyncRetries) {
+  fault::Reset();
+  const std::string path = TempPath("nimbus_journal_idempotent.waj");
+  std::remove(path.c_str());
+  Journal::Options options;
+  options.fsync = Journal::FsyncPolicy::kEveryRecord;
+  StatusOr<Journal> journal = Journal::Open(path, options);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+
+  LedgerEntry entry = SampleEntries()[0];
+  ASSERT_TRUE(fault::Configure("journal.fsync:1:1").ok());
+  const Status failed = journal->Append(entry);
+  fault::Reset();
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  // The retry must skip the rewrite (same sequence is still buffered)
+  // and only redo the fsync.
+  ASSERT_TRUE(journal->Append(entry).ok());
+  // A different sequence afterwards appends normally.
+  LedgerEntry next = SampleEntries()[1];
+  ASSERT_TRUE(journal->Append(next).ok());
+  ASSERT_TRUE(journal->Close().ok());
+
+  StatusOr<std::vector<LedgerEntry>> back = Journal::Replay(path, nullptr);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 2u);  // No duplicate record 0.
+  ExpectSameEntry((*back)[0], entry);
+  ExpectSameEntry((*back)[1], next);
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Marketplace-level recovery drills.
 

@@ -36,6 +36,16 @@ TEST(StatusTest, FactoryHelpersProduceMatchingCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(InfeasibleError("x").code(), StatusCode::kInfeasible);
   EXPECT_EQ(UnboundedError("x").code(), StatusCode::kUnbounded);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, ServingCodesPrintTheirNames) {
+  EXPECT_NE(UnavailableError("shed").ToString().find("UNAVAILABLE"),
+            std::string::npos);
+  EXPECT_NE(
+      DeadlineExceededError("late").ToString().find("DEADLINE_EXCEEDED"),
+      std::string::npos);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
