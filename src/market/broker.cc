@@ -123,10 +123,18 @@ StatusOr<const pricing::ErrorCurve*> Broker::GetErrorCurve(
           << options_.curve_draw_budget << " draws";
     }
   }
+  // Estimate advances the rng it is handed (one Fork per build). Run it
+  // on a copy and commit the advance only on success: a deadline-
+  // cancelled build must leave rng_ untouched so the retried build draws
+  // the same noise — otherwise the byte-identical-ledger determinism
+  // contract breaks whenever a deadline fires during a cold build.
+  Rng build_rng = rng_;
   NIMBUS_ASSIGN_OR_RETURN(
       pricing::ErrorCurve curve,
       pricing::ErrorCurve::Estimate(*mechanism_, optimal_model_, *loss,
-                                    split_.test, grid, samples, rng_, cancel));
+                                    split_.test, grid, samples, build_rng,
+                                    cancel));
+  rng_ = build_rng;
   if (budget_cut) {
     curve.MarkDegraded();
   }

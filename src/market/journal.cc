@@ -143,6 +143,8 @@ Journal::Journal(Journal&& other) noexcept
       options_(other.options_),
       file_(other.file_),
       buffered_sequence_(other.buffered_sequence_),
+      buffered_payload_size_(other.buffered_payload_size_),
+      buffered_payload_crc_(other.buffered_payload_crc_),
       poisoned_(other.poisoned_) {
   other.file_ = nullptr;
 }
@@ -156,6 +158,8 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     options_ = other.options_;
     file_ = other.file_;
     buffered_sequence_ = other.buffered_sequence_;
+    buffered_payload_size_ = other.buffered_payload_size_;
+    buffered_payload_crc_ = other.buffered_payload_crc_;
     poisoned_ = other.poisoned_;
     other.file_ = nullptr;
   }
@@ -178,16 +182,31 @@ Status Journal::Append(const LedgerEntry& entry) {
         "journal '" + path_ +
         "' poisoned by an earlier short write; recover before appending");
   }
-  // Idempotent retry: the previous attempt for this very sequence
-  // already buffered its bytes and failed only at the flush/fsync stage
-  // — re-flushing is all that is left. Re-buffering here would duplicate
-  // the record and break replay's dense-sequence invariant.
-  if (buffered_sequence_ != entry.sequence) {
-    const std::string payload = EncodePayload(entry);
+  const std::string payload = EncodePayload(entry);
+  const uint32_t payload_crc = Crc32(payload.data(), payload.size());
+  if (buffered_sequence_ == entry.sequence) {
+    // Idempotent retry: the previous attempt for this very record
+    // already buffered its bytes and failed only at the flush/fsync
+    // stage — re-flushing is all that is left. Re-buffering here would
+    // duplicate the record and break replay's dense-sequence invariant.
+    // The retry must be the SAME record, though: a sequence number can
+    // be reused by the ledger after a retry-exhausted (abandoned)
+    // append, and the abandoned bytes already sit in the write buffer.
+    // Accepting a different payload under that sequence would flush the
+    // stale record and silently diverge journal and ledger.
+    if (payload.size() != buffered_payload_size_ ||
+        payload_crc != buffered_payload_crc_) {
+      poisoned_ = true;
+      return FailedPreconditionError(
+          "journal '" + path_ + "' holds an abandoned record for sequence " +
+          std::to_string(entry.sequence) +
+          " with a different payload (journal poisoned; recovery required)");
+    }
+  } else {
     std::string record;
     record.reserve(kRecordHeaderBytes + payload.size());
     AppendScalar(record, static_cast<uint32_t>(payload.size()));
-    AppendScalar(record, Crc32(payload.data(), payload.size()));
+    AppendScalar(record, payload_crc);
     AppendRaw(record, payload.data(), payload.size());
     if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
       poisoned_ = true;
@@ -195,6 +214,8 @@ Status Journal::Append(const LedgerEntry& entry) {
                            "' (journal poisoned; recovery required)");
     }
     buffered_sequence_ = entry.sequence;
+    buffered_payload_size_ = static_cast<uint32_t>(payload.size());
+    buffered_payload_crc_ = payload_crc;
   }
   if (options_.fsync == FsyncPolicy::kEveryRecord) {
     NIMBUS_RETURN_IF_ERROR(Flush());

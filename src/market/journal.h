@@ -55,14 +55,21 @@ class Journal {
   // entry is fully buffered into one fwrite so a crash between appends
   // never interleaves partial records from this process.
   //
-  // Append is idempotent across failed attempts of the SAME sequence
-  // number: when an append got its bytes buffered but failed at the
-  // flush/fsync stage, retrying Append(entry) re-flushes instead of
-  // re-buffering the payload, so a retrying caller (the serving layer's
-  // journal retry policy) can never duplicate a record. A short write
-  // mid-record poisons the journal — the in-process buffer may hold a
-  // torn record, so further appends fail with kFailedPrecondition
-  // (non-retryable) until the file is recovered.
+  // Append is idempotent across failed attempts of the SAME record:
+  // when an append got its bytes buffered but failed at the flush/fsync
+  // stage, retrying Append(entry) with the identical payload re-flushes
+  // instead of re-buffering, so a retrying caller (the serving layer's
+  // journal retry policy) can never duplicate a record. The retry must
+  // carry the same payload, not just the same sequence number: if a
+  // caller abandons a buffered-but-unacknowledged record (retry budget
+  // exhausted) and later reuses its sequence for a DIFFERENT sale, the
+  // abandoned bytes are already in the write buffer and cannot be
+  // recalled, so accepting the new entry would silently diverge journal
+  // and ledger. Append detects the payload mismatch, poisons the
+  // journal, and fails with kFailedPrecondition instead. A short write
+  // mid-record likewise poisons the journal — the in-process buffer may
+  // hold a torn record — so further appends fail with
+  // kFailedPrecondition (non-retryable) until the file is recovered.
   Status Append(const LedgerEntry& entry);
 
   // Flushes user-space buffers and, under kEveryRecord, fsyncs.
@@ -122,9 +129,12 @@ class Journal {
   std::string path_;
   Options options_;
   std::FILE* file_ = nullptr;
-  // Retry bookkeeping: sequence whose bytes are buffered but not yet
-  // acknowledged (flush failed), and the short-write poison flag.
+  // Retry bookkeeping: identity (sequence + payload length/CRC) of the
+  // record whose bytes are buffered but not yet acknowledged (flush
+  // failed), and the poison flag for short writes / abandoned records.
   int64_t buffered_sequence_ = -1;
+  uint32_t buffered_payload_size_ = 0;
+  uint32_t buffered_payload_crc_ = 0;
   bool poisoned_ = false;
 };
 

@@ -118,7 +118,6 @@ Status MarketService::Start() {
       NIMBUS_RETURN_IF_ERROR(broker->GetErrorCurve(loss->name()).status());
     }
   }
-  started_.store(true, std::memory_order_release);
   // The pool is N-wide counting the calling thread, so the runner thread
   // itself drains the queue alongside num_workers - 1 pool workers.
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
@@ -127,6 +126,10 @@ Status MarketService::Start() {
         0, options_.num_workers, [this](int64_t) { WorkerLoop(); },
         options_.num_workers);
   });
+  // Publish started_ last: Drain and the destructor gate on it before
+  // touching pool_/runner_, so the release store must not happen while
+  // either is still being constructed (data race on runner_ otherwise).
+  started_.store(true, std::memory_order_release);
   return OkStatus();
 }
 

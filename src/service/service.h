@@ -126,7 +126,11 @@ class MarketService {
     int64_t admitted = 0;
     int64_t shed = 0;
     int64_t succeeded = 0;
-    int64_t failed = 0;  // Admitted but not booked (includes deadlines).
+    // Terminal non-OK results: admitted requests that did not book
+    // (including deadline expiries) plus submissions rejected before
+    // admission (service not started, malformed request). Sheds are
+    // counted separately and never here.
+    int64_t failed = 0;
     int64_t deadline_exceeded = 0;
     int64_t retries = 0;  // Extra attempts beyond the first, both stages.
   };

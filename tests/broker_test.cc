@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "common/clock.h"
 #include "common/math_util.h"
 #include "common/random.h"
 #include "data/synthetic.h"
@@ -265,6 +268,68 @@ TEST(BrokerTest, DrawBudgetDegradesCurveInsteadOfStalling) {
       broker->BuyAtInverseNcp(10.0, "squared");
   ASSERT_TRUE(purchase.ok());
   EXPECT_TRUE(purchase->degraded);
+}
+
+// Advances by one step on every read, so a deadline expires after a
+// deterministic number of CancelToken checks instead of a wall-clock
+// race.
+class SteppingClock : public Clock {
+ public:
+  explicit SteppingClock(int64_t step_ns) : step_ns_(step_ns) {}
+  int64_t NowNanos() const override {
+    return now_ns_.fetch_add(step_ns_, std::memory_order_relaxed) + step_ns_;
+  }
+  void SleepSeconds(double) override {}
+
+ private:
+  const int64_t step_ns_;
+  mutable std::atomic<int64_t> now_ns_{0};
+};
+
+TEST(BrokerTest, CancelledCurveBuildDoesNotPerturbRngStream) {
+  // A deadline firing in the middle of a cold curve build must not
+  // consume the broker's rng stream: the retried build has to produce
+  // the same curve — and later sales the same noise draws — as a broker
+  // that was never cancelled, or the serving layer's byte-identical
+  // ledger contract breaks whenever a deadline hits a cold cache.
+  StatusOr<Broker> control = MakeBroker(505);
+  StatusOr<Broker> cancelled = MakeBroker(505);
+  ASSERT_TRUE(control.ok());
+  ASSERT_TRUE(cancelled.ok());
+
+  // Token construction reads the clock once (t = 1 step) and the
+  // deadline is 1.5 steps, so Estimate's entry check (t = 2 steps)
+  // passes and the first grid-point check (t >= 3 steps) expires —
+  // cancellation lands inside the build, after the old code had already
+  // forked the broker rng.
+  SteppingClock clock(/*step_ns=*/1000000);
+  CancelToken token(&clock, /*deadline_seconds=*/0.0015);
+  StatusOr<const pricing::ErrorCurve*> interrupted =
+      cancelled->GetErrorCurve("squared", &token);
+  ASSERT_EQ(interrupted.status().code(), StatusCode::kDeadlineExceeded)
+      << interrupted.status();
+
+  StatusOr<const pricing::ErrorCurve*> want = control->GetErrorCurve("squared");
+  StatusOr<const pricing::ErrorCurve*> got =
+      cancelled->GetErrorCurve("squared");
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ((*want)->points().size(), (*got)->points().size());
+  for (size_t i = 0; i < (*want)->points().size(); ++i) {
+    EXPECT_EQ((*want)->points()[i].inverse_ncp,
+              (*got)->points()[i].inverse_ncp);
+    EXPECT_EQ((*want)->points()[i].expected_error,
+              (*got)->points()[i].expected_error);
+  }
+  // The post-build stream position matches too: the next sale draws
+  // bit-identical noise on both brokers.
+  StatusOr<Broker::Purchase> want_sale =
+      control->BuyAtInverseNcp(10.0, "squared");
+  StatusOr<Broker::Purchase> got_sale =
+      cancelled->BuyAtInverseNcp(10.0, "squared");
+  ASSERT_TRUE(want_sale.ok());
+  ASSERT_TRUE(got_sale.ok());
+  EXPECT_EQ(linalg::SquaredDistance(want_sale->model, got_sale->model), 0.0);
 }
 
 TEST(BrokerTest, UnlimitedBudgetLeavesQuotesUndegraded) {

@@ -447,6 +447,41 @@ TEST(JournalTest, AppendIsIdempotentPerSequenceAcrossFsyncRetries) {
   std::remove(path.c_str());
 }
 
+// The idempotent retry must key on record identity, not the sequence
+// number alone: when a caller abandons a buffered-but-unacknowledged
+// record (retry budget exhausted) the ledger reuses its sequence for the
+// next sale. Flushing the abandoned bytes as if they were the new sale
+// would silently diverge journal and ledger — Append must refuse and
+// poison instead.
+TEST(JournalTest, ReusedSequenceWithDifferentPayloadPoisonsJournal) {
+  fault::Reset();
+  const std::string path = TempPath("nimbus_journal_reused_seq.waj");
+  std::remove(path.c_str());
+  Journal::Options options;
+  options.fsync = Journal::FsyncPolicy::kEveryRecord;
+  StatusOr<Journal> journal = Journal::Open(path, options);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+
+  // The first sale buffers its bytes but is never acknowledged (every
+  // fsync fails), so its caller eventually gives up.
+  LedgerEntry abandoned = SampleEntries()[0];
+  ASSERT_TRUE(fault::Configure("journal.fsync:1:*").ok());
+  EXPECT_EQ(journal->Append(abandoned).code(), StatusCode::kInternal);
+  EXPECT_EQ(journal->Append(abandoned).code(), StatusCode::kInternal);
+  fault::Reset();
+
+  // A different sale arriving under the reused sequence must fail
+  // loudly, not return OK on the stale buffered record.
+  LedgerEntry reused = SampleEntries()[1];
+  reused.sequence = abandoned.sequence;
+  EXPECT_EQ(journal->Append(reused).code(), StatusCode::kFailedPrecondition);
+  // The buffer still holds the abandoned record, so the journal stays
+  // poisoned — even the original entry is refused until recovery.
+  EXPECT_EQ(journal->Append(abandoned).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Marketplace-level recovery drills.
 
