@@ -27,11 +27,24 @@
 //                       points, sized to stay inside retry budgets)
 //   --fast              ctest-sized run: 600 requests, workers {1,4}
 //   --metrics           print the telemetry snapshot after each phase
+//   --metrics=PATH      also write the final snapshot as JSON to PATH
+//   --slo-report        print each run's SLO report (availability and
+//                       fast/slow burn rates); the SLO invariants are
+//                       asserted either way (fault-free phases must burn
+//                       zero budget; overload must burn when it sheds)
+//   --bench-json=PATH   write per-run throughput/latency/SLO numbers as
+//                       JSON to PATH (the committed BENCH_soak.json)
+//   --admin-port=P      after the phases, serve the live admin endpoint
+//                       (/metrics /healthz /tracez /flightz) on
+//                       127.0.0.1:P under steady traffic for
+//                       --serve-seconds (default 5) — the CI smoke
+//                       target
 //
 // NIMBUS_FAULTS (the env var) also works — it is applied on first
 // fault-point use and, being unknown-point fatal, misspelled drills
 // abort instead of soaking with injection silently disarmed.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -44,11 +57,13 @@
 
 #include "common/fault.h"
 #include "common/random.h"
+#include "common/slo_tracker.h"
 #include "common/telemetry.h"
 #include "data/synthetic.h"
 #include "market/curves.h"
 #include "market/market_simulator.h"
 #include "market/marketplace.h"
+#include "service/admin_server.h"
 #include "service/service.h"
 
 namespace {
@@ -65,6 +80,82 @@ using nimbus::service::PurchaseResult;
 using nimbus::service::ServiceOptions;
 
 int g_violations = 0;
+bool g_slo_report = false;
+
+// One serving run's headline numbers, for --bench-json.
+struct RunReport {
+  const char* phase = "";
+  int workers = 0;
+  int64_t submitted = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double availability = 1.0;
+  double fast_burn_rate = 0.0;
+  double slow_burn_rate = 0.0;
+};
+std::vector<RunReport> g_reports;
+
+// Per-run request-latency quantiles out of the shared registry; callers
+// ResetForTest() at run start so the histogram covers one run only.
+void FillLatencyQuantiles(RunReport& report) {
+  for (const auto& entry : nimbus::telemetry::Registry::Global().Snapshot()) {
+    if (entry.name == "service_request_latency_us") {
+      report.p50_us = entry.histogram.Quantile(0.50);
+      report.p95_us = entry.histogram.Quantile(0.95);
+      report.p99_us = entry.histogram.Quantile(0.99);
+    }
+  }
+}
+
+void ReportSlo(const MarketService& service, RunReport& report,
+               const char* phase, int workers) {
+  const nimbus::telemetry::SloTracker::Report slo =
+      service.slo_tracker().Snapshot();
+  report.availability = slo.slow_availability;
+  report.fast_burn_rate = slo.fast_burn_rate;
+  report.slow_burn_rate = slo.slow_burn_rate;
+  if (g_slo_report) {
+    std::printf(
+        "   slo(%s,w=%d): availability=%.6f fast_burn=%.3f slow_burn=%.3f "
+        "(fast %lld/%lld bad, slow %lld/%lld bad)\n",
+        phase, workers, slo.slow_availability, slo.fast_burn_rate,
+        slo.slow_burn_rate, static_cast<long long>(slo.fast_bad),
+        static_cast<long long>(slo.fast_bad + slo.fast_good),
+        static_cast<long long>(slo.slow_bad),
+        static_cast<long long>(slo.slow_bad + slo.slow_good));
+  }
+}
+
+void AppendReportJson(std::string& out, const RunReport& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"phase\":\"%s\",\"workers\":%d,\"submitted\":%lld,\"ok\":%lld,"
+      "\"shed\":%lld,\"wall_seconds\":%.6g,\"requests_per_second\":%.6g,"
+      "\"p50_us\":%.6g,\"p95_us\":%.6g,\"p99_us\":%.6g,"
+      "\"availability\":%.6g,\"fast_burn_rate\":%.6g,"
+      "\"slow_burn_rate\":%.6g}",
+      r.phase, r.workers, static_cast<long long>(r.submitted),
+      static_cast<long long>(r.ok), static_cast<long long>(r.shed),
+      r.wall_seconds, r.requests_per_second, r.p50_us, r.p95_us, r.p99_us,
+      r.availability, r.fast_burn_rate, r.slow_burn_rate);
+  out += buf;
+}
+
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = written == body.size() && std::fclose(f) == 0;
+  return ok;
+}
 
 #define SOAK_CHECK(condition, ...)                    \
   do {                                                \
@@ -223,6 +314,10 @@ void RunDeterminismPhase(int requests, uint64_t seed,
     const Status started = service.Start();
     SOAK_CHECK(started.ok(), "det: Start failed: %s",
                started.ToString().c_str());
+    // Per-run latency quantiles: zero the shared registry now (workers
+    // are idle between Start and the first Submit, so nothing races).
+    nimbus::telemetry::Registry::Global().ResetForTest();
+    const auto run_start = std::chrono::steady_clock::now();
 
     std::vector<std::future<PurchaseResult>> futures;
     futures.reserve(requests);
@@ -239,8 +334,14 @@ void RunDeterminismPhase(int requests, uint64_t seed,
         SOAK_CHECK(false, "det(w=%d): request %d failed: %s", workers, i,
                    result.status.ToString().c_str());
       }
+      SOAK_CHECK(result.trace_id != 0, "det(w=%d): request %d has no trace id",
+                 workers, i);
       retries_seen += (result.quote_attempts - 1) + (result.journal_attempts - 1);
     }
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
     const Status drained = service.Drain();
     SOAK_CHECK(drained.ok(), "det(w=%d): Drain failed: %s", workers,
                drained.ToString().c_str());
@@ -253,10 +354,34 @@ void RunDeterminismPhase(int requests, uint64_t seed,
     CheckRestore(path, market, seed, "det");
     nimbus::fault::Reset();
 
+    RunReport report;
+    report.phase = "determinism";
+    report.workers = workers;
+    report.submitted = stats.submitted;
+    report.ok = ok_count;
+    report.shed = stats.shed;
+    report.wall_seconds = wall_seconds;
+    report.requests_per_second =
+        wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds : 0.0;
+    FillLatencyQuantiles(report);
+    ReportSlo(service, report, "det", workers);
+    // A fault-free-by-absorption run must not burn error budget: every
+    // injected fault was retried away, so the SLO sees only successes.
+    SOAK_CHECK(report.availability == 1.0,
+               "det(w=%d): SLO availability %.6f != 1.0", workers,
+               report.availability);
+    SOAK_CHECK(report.fast_burn_rate == 0.0 && report.slow_burn_rate == 0.0,
+               "det(w=%d): SLO burn rate nonzero (fast %.3f slow %.3f)",
+               workers, report.fast_burn_rate, report.slow_burn_rate);
+    g_reports.push_back(report);
+
     csvs.push_back(market.ledger().ToCsv());
-    std::printf("   workers=%d: ok=%lld retries=%lld revenue=%.6f\n", workers,
-                static_cast<long long>(ok_count),
-                static_cast<long long>(retries_seen), market.total_revenue());
+    std::printf(
+        "   workers=%d: ok=%lld retries=%lld revenue=%.6f (%.0f req/s, "
+        "p99 %.0f us)\n",
+        workers, static_cast<long long>(ok_count),
+        static_cast<long long>(retries_seen), market.total_revenue(),
+        report.requests_per_second, report.p99_us);
     std::remove(path.c_str());
   }
   for (size_t i = 1; i < csvs.size(); ++i) {
@@ -291,6 +416,8 @@ void RunOverloadPhase(int requests, uint64_t seed, int queue_capacity,
                         SoakServiceOptions(seed, workers, queue_capacity));
   const Status started = service.Start();
   SOAK_CHECK(started.ok(), "overload: Start failed");
+  nimbus::telemetry::Registry::Global().ResetForTest();
+  const auto run_start = std::chrono::steady_clock::now();
 
   // Submit in bursts of 4x queue capacity per submitter: a thread only
   // starts its next burst after every future of the last one resolved,
@@ -328,6 +455,10 @@ void RunOverloadPhase(int requests, uint64_t seed, int queue_capacity,
   for (auto& thread : threads) {
     thread.join();
   }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
   const Status drained = service.Drain();
   SOAK_CHECK(drained.ok(), "overload: Drain failed: %s",
              drained.ToString().c_str());
@@ -371,10 +502,81 @@ void RunOverloadPhase(int requests, uint64_t seed, int queue_capacity,
   CheckLedgerInvariants(market, ok_count, "overload");
   CheckRestore(path, market, seed, "overload");
   nimbus::fault::Reset();
+
+  RunReport report;
+  report.phase = "overload";
+  report.workers = workers;
+  report.submitted = total;
+  report.ok = ok_count;
+  report.shed = shed_count;
+  report.wall_seconds = wall_seconds;
+  report.requests_per_second =
+      wall_seconds > 0.0 ? static_cast<double>(total) / wall_seconds : 0.0;
+  FillLatencyQuantiles(report);
+  ReportSlo(service, report, "overload", workers);
+  // Sheds are bad outcomes: a run that shed must show budget burning,
+  // and the availability arithmetic must match the service's counters.
+  if (shed_count > 0) {
+    SOAK_CHECK(report.slow_burn_rate > 0.0,
+               "overload: shed %lld requests but SLO burn rate is 0",
+               static_cast<long long>(shed_count));
+    SOAK_CHECK(report.availability < 1.0,
+               "overload: shed requests but SLO availability is 1.0");
+  }
+  g_reports.push_back(report);
+
   std::printf("   submitted=%lld ok=%lld shed=%lld (rate %.3f) queue<=%d\n",
               static_cast<long long>(total), static_cast<long long>(ok_count),
               static_cast<long long>(shed_count), shed_rate, queue_capacity);
   std::remove(path.c_str());
+}
+
+// Phase 3 (optional, --admin-port): keep a service under steady traffic
+// while the admin endpoint serves scrapes — the CI smoke target and a
+// hands-on curl playground (see bench/README.md).
+void RunAdminServeWindow(uint64_t seed, int port, double seconds) {
+  std::printf("== phase 3: live admin window (port %d, %.1f s)\n", port,
+              seconds);
+  Marketplace market = MakeMarket(seed);
+  MarketService service(&market, SoakServiceOptions(seed, 2, 256));
+  const Status started = service.Start();
+  SOAK_CHECK(started.ok(), "admin: Start failed: %s",
+             started.ToString().c_str());
+  nimbus::service::AdminServerOptions admin_options;
+  admin_options.port = port;
+  admin_options.slow_us = 1e5;
+  nimbus::service::AdminServer admin(&service, admin_options);
+  const Status serving = admin.Start();
+  SOAK_CHECK(serving.ok(), "admin: server Start failed: %s",
+             serving.ToString().c_str());
+  if (!serving.ok()) {
+    return;
+  }
+  std::printf("   admin listening on http://127.0.0.1:%d (metrics healthz "
+              "tracez flightz)\n",
+              admin.port());
+  std::fflush(stdout);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+  int i = 0;
+  std::vector<std::future<PurchaseResult>> futures;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int burst = 0; burst < 32; ++burst) {
+      futures.push_back(service.Submit(MakeRequest(i++)));
+    }
+    for (auto& future : futures) {
+      future.get();
+    }
+    futures.clear();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const Status drained = service.Drain();
+  SOAK_CHECK(drained.ok(), "admin: Drain failed: %s",
+             drained.ToString().c_str());
+  // Serve a beat longer so a scraper can watch /healthz flip to 503.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  admin.Stop();
+  std::printf("   served %d requests during the window\n", i);
 }
 
 }  // namespace
@@ -393,6 +595,12 @@ int main(int argc, char** argv) {
       StringFlag(argc, argv, "faults",
                  std::getenv("NIMBUS_FAULTS") != nullptr ? "" : default_faults);
   const bool metrics = BoolFlag(argc, argv, "metrics");
+  const std::string metrics_path = StringFlag(argc, argv, "metrics", "");
+  const std::string bench_json = StringFlag(argc, argv, "bench-json", "");
+  g_slo_report = BoolFlag(argc, argv, "slo-report");
+  const int admin_port = IntFlag(argc, argv, "admin-port", -1);
+  const double serve_seconds =
+      static_cast<double>(IntFlag(argc, argv, "serve-seconds", 5));
 
   std::vector<int> worker_counts = fast ? std::vector<int>{1, 4}
                                         : std::vector<int>{1, 4, 8};
@@ -407,6 +615,35 @@ int main(int argc, char** argv) {
     std::printf("%s\n", nimbus::telemetry::SnapshotToText(
                             nimbus::telemetry::Registry::Global().Snapshot())
                             .c_str());
+  }
+  if (admin_port >= 0) {
+    RunAdminServeWindow(seed + 2, admin_port, serve_seconds);
+  }
+
+  if (!metrics_path.empty()) {
+    const std::string json = nimbus::telemetry::SnapshotToJson(
+        nimbus::telemetry::Registry::Global().Snapshot());
+    if (!WriteFile(metrics_path, json + "\n")) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
+  if (!bench_json.empty()) {
+    std::string out = "{\n  \"benchmark\": \"bench_soak\",\n  \"requests\": " +
+                      std::to_string(requests) + ",\n  \"runs\": [\n";
+    for (size_t i = 0; i < g_reports.size(); ++i) {
+      AppendReportJson(out, g_reports[i]);
+      out += i + 1 < g_reports.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    if (!WriteFile(bench_json, out)) {
+      std::fprintf(stderr, "cannot write bench json to '%s'\n",
+                   bench_json.c_str());
+      return 2;
+    }
+    std::printf("bench report written to %s\n", bench_json.c_str());
   }
 
   if (g_violations > 0) {

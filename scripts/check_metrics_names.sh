@@ -22,8 +22,22 @@ for name in $dupes; do
     status=1
 done
 
+# Every production (src/) registration must appear in DESIGN.md's
+# metrics table so operators can look up what a scrape exports. Tests
+# and benches may register throwaway names; they are exempt.
+src_names=$(grep -rhoE 'Get(Counter|Gauge|Histogram)\("[^"]+"' \
+    "$root/src" 2>/dev/null |
+    sed -E 's/Get(Counter|Gauge|Histogram)\("([^"]+)"/\2/' |
+    sort -u)
+for name in $src_names; do
+    if ! grep -q "\`$name\`" "$root/DESIGN.md"; then
+        echo "error: metric '$name' is registered in src/ but missing from DESIGN.md's metrics table" >&2
+        status=1
+    fi
+done
+
 if [ "$status" -ne 0 ]; then
-    echo "check_metrics_names: FAILED (fix the kind clash above)" >&2
+    echo "check_metrics_names: FAILED (fix the kind clash / missing doc rows above)" >&2
 else
     count=$(printf '%s\n' "$pairs" | grep -c . || true)
     echo "check_metrics_names: OK ($count distinct metric registrations)"

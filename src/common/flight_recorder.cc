@@ -1,0 +1,202 @@
+#include "common/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/telemetry.h"
+
+namespace nimbus::telemetry {
+namespace {
+
+constexpr uint32_t kFlagDegraded = 1u << 0;
+constexpr uint32_t kFlagShed = 1u << 1;
+
+Counter& IncidentsCounter() {
+  static Counter& counter =
+      Registry::Global().GetCounter("flight_incidents_total");
+  return counter;
+}
+
+Counter& DumpsCounter() {
+  static Counter& counter = Registry::Global().GetCounter("flight_dumps_total");
+  return counter;
+}
+
+void AppendJsonDouble(std::ostringstream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : slots_(kCapacity) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked, like the metric registry: incident dumps can fire from
+  // worker threads during process teardown.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Record(const FlightRecord& record) {
+  const int64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<size_t>(seq) % kCapacity];
+  uint64_t version = slot.version.load(std::memory_order_relaxed);
+  if (version % 2 != 0 ||
+      !slot.version.compare_exchange_strong(version, version + 1,
+                                            std::memory_order_acquire)) {
+    // Another writer lapped the ring onto this very slot mid-write;
+    // losing one black-box record beats blocking the request path.
+    skipped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.trace_id.store(record.trace_id, std::memory_order_relaxed);
+  slot.ticket.store(record.ticket, std::memory_order_relaxed);
+  slot.status_code.store(record.status_code, std::memory_order_relaxed);
+  slot.queue_us.store(record.queue_us, std::memory_order_relaxed);
+  slot.execute_us.store(record.execute_us, std::memory_order_relaxed);
+  slot.commit_us.store(record.commit_us, std::memory_order_relaxed);
+  slot.total_us.store(record.total_us, std::memory_order_relaxed);
+  slot.quote_attempts.store(record.quote_attempts, std::memory_order_relaxed);
+  slot.journal_attempts.store(record.journal_attempts,
+                              std::memory_order_relaxed);
+  uint32_t flags = 0;
+  if (record.degraded) flags |= kFlagDegraded;
+  if (record.shed) flags |= kFlagShed;
+  slot.flags.store(flags, std::memory_order_relaxed);
+  slot.version.store(version + 2, std::memory_order_release);
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  struct Ordered {
+    int64_t seq;
+    FlightRecord record;
+  };
+  std::vector<Ordered> collected;
+  collected.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const uint64_t before = slot.version.load(std::memory_order_acquire);
+    if (before == 0 || before % 2 != 0) {
+      continue;  // Never written, or a writer owns it right now.
+    }
+    Ordered item;
+    item.seq = slot.seq.load(std::memory_order_relaxed);
+    item.record.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    item.record.ticket = slot.ticket.load(std::memory_order_relaxed);
+    item.record.status_code = slot.status_code.load(std::memory_order_relaxed);
+    item.record.queue_us = slot.queue_us.load(std::memory_order_relaxed);
+    item.record.execute_us = slot.execute_us.load(std::memory_order_relaxed);
+    item.record.commit_us = slot.commit_us.load(std::memory_order_relaxed);
+    item.record.total_us = slot.total_us.load(std::memory_order_relaxed);
+    item.record.quote_attempts =
+        slot.quote_attempts.load(std::memory_order_relaxed);
+    item.record.journal_attempts =
+        slot.journal_attempts.load(std::memory_order_relaxed);
+    const uint32_t flags = slot.flags.load(std::memory_order_relaxed);
+    item.record.degraded = (flags & kFlagDegraded) != 0;
+    item.record.shed = (flags & kFlagShed) != 0;
+    const uint64_t after = slot.version.load(std::memory_order_acquire);
+    if (after != before) {
+      continue;  // Overwritten while we read; drop the torn view.
+    }
+    collected.push_back(std::move(item));
+  }
+  std::sort(collected.begin(), collected.end(),
+            [](const Ordered& a, const Ordered& b) { return a.seq < b.seq; });
+  std::vector<FlightRecord> records;
+  records.reserve(collected.size());
+  for (Ordered& item : collected) {
+    records.push_back(item.record);
+  }
+  return records;
+}
+
+int64_t FlightRecorder::TotalRecorded() const {
+  return next_.load(std::memory_order_relaxed);
+}
+
+std::string FlightRecorder::ToJson() const {
+  const std::vector<FlightRecord> records = Snapshot();
+  std::ostringstream out;
+  out << "{\"flight_records\":[";
+  bool first = true;
+  for (const FlightRecord& r : records) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << "{\"trace_id\":" << r.trace_id << ",\"ticket\":" << r.ticket
+        << ",\"status_code\":" << r.status_code << ",\"queue_us\":";
+    AppendJsonDouble(out, r.queue_us);
+    out << ",\"execute_us\":";
+    AppendJsonDouble(out, r.execute_us);
+    out << ",\"commit_us\":";
+    AppendJsonDouble(out, r.commit_us);
+    out << ",\"total_us\":";
+    AppendJsonDouble(out, r.total_us);
+    out << ",\"quote_attempts\":" << r.quote_attempts
+        << ",\"journal_attempts\":" << r.journal_attempts
+        << ",\"degraded\":" << (r.degraded ? "true" : "false")
+        << ",\"shed\":" << (r.shed ? "true" : "false") << '}';
+  }
+  out << "],\"total_recorded\":" << TotalRecorded()
+      << ",\"capacity\":" << kCapacity << '}';
+  return out.str();
+}
+
+bool FlightRecorder::DumpToPath(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    NIMBUS_LOG(kWarning) << "flight recorder: cannot open '" << path
+                         << "' for writing";
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    NIMBUS_LOG(kWarning) << "flight recorder: short or failed write to '"
+                         << path << "'";
+  }
+  return ok;
+}
+
+void FlightRecorder::DumpOnIncident(const char* reason) {
+  IncidentsCounter().Increment();
+  const char* path = std::getenv("NIMBUS_FLIGHT_RECORDER");
+  if (path == nullptr || *path == '\0') {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    if (!dumped_reasons_.insert(reason).second) {
+      return;  // This reason already dumped; keep drills cheap.
+    }
+  }
+  NIMBUS_LOG(kWarning) << "flight recorder: incident '" << reason
+                       << "' — dumping " << kCapacity << "-slot ring to '"
+                       << path << "'";
+  if (DumpToPath(path)) {
+    DumpsCounter().Increment();
+  }
+}
+
+void FlightRecorder::ClearForTest() {
+  for (Slot& slot : slots_) {
+    slot.version.store(0, std::memory_order_relaxed);
+    slot.seq.store(-1, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+  skipped_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(dump_mu_);
+  dumped_reasons_.clear();
+}
+
+}  // namespace nimbus::telemetry

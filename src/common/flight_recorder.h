@@ -1,0 +1,113 @@
+#ifndef NIMBUS_COMMON_FLIGHT_RECORDER_H_
+#define NIMBUS_COMMON_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nimbus::telemetry {
+
+// One per-request black-box record filed by the serving layer at the
+// request's terminal outcome. Everything an operator needs to answer
+// "why was this quote slow / shed / degraded" without a debugger:
+// request identity, the typed outcome, phase latencies, and the retry /
+// degradation flags.
+struct FlightRecord {
+  uint64_t trace_id = 0;  // Matches the request's spans in the trace.
+  int64_t ticket = -1;    // -1 for requests shed at admission.
+  int32_t status_code = 0;  // nimbus::StatusCode as an int; 0 = OK.
+  double queue_us = 0.0;    // Admission -> dequeue.
+  double execute_us = 0.0;  // Quote phase (incl. retries).
+  double commit_us = 0.0;   // Sequencer wait + journal commit.
+  double total_us = 0.0;    // Submit -> terminal outcome.
+  int32_t quote_attempts = 0;
+  int32_t journal_attempts = 0;
+  bool degraded = false;  // Quote served from a degraded error curve.
+  bool shed = false;      // Rejected at admission (kUnavailable).
+};
+
+// Bounded lock-free ring of the most recent FlightRecords — the
+// service's flight recorder. Writers claim a slot with one fetch_add
+// and publish through a per-slot version word (odd = write in
+// progress); every payload field is a relaxed atomic, so concurrent
+// record/snapshot is data-race-free (TSan-clean) and a reader simply
+// skips slots that are mid-write. When the ring wraps, the oldest
+// records are overwritten — it is a black box, not a log.
+//
+// Dumps: DumpOnIncident("reason") appends nothing in normal operation;
+// when the NIMBUS_FLIGHT_RECORDER environment variable names a path,
+// the first incident of each distinct reason rewrites that path with
+// ToJson() (rate-limited per reason so a fault drill does not hammer
+// the filesystem). The admin endpoint serves the same JSON at /flightz.
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 1024;
+
+  static FlightRecorder& Global();
+
+  void Record(const FlightRecord& record);
+
+  // Published records, oldest first (at most kCapacity). Slots being
+  // overwritten concurrently are skipped.
+  std::vector<FlightRecord> Snapshot() const;
+
+  // Records ever filed (>= Snapshot().size(); the excess was
+  // overwritten by wraparound).
+  int64_t TotalRecorded() const;
+
+  // {"flight_records":[...],"total_recorded":N,"capacity":N} — records
+  // oldest first.
+  std::string ToJson() const;
+
+  // Files an incident (counted in `flight_incidents_total`) and, when
+  // NIMBUS_FLIGHT_RECORDER=<path> is set and this `reason` has not
+  // dumped before, writes ToJson() to <path> (counted in
+  // `flight_dumps_total`). `reason` must be a string literal-ish stable
+  // name: "deadline-exceeded", "fault", "journal-poisoned".
+  void DumpOnIncident(const char* reason);
+
+  // Explicit dump, unconditionally (the /flightz handler and tests).
+  // Returns false when the file could not be written.
+  bool DumpToPath(const std::string& path) const;
+
+  // Resets the ring, counters and per-reason dump latches. Test-only;
+  // not safe concurrently with Record.
+  void ClearForTest();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  FlightRecorder();
+
+  // One ring slot; `version` is the seqlock word (odd while a writer
+  // owns the slot) and `seq` the global record index for ordering.
+  struct Slot {
+    std::atomic<uint64_t> version{0};
+    std::atomic<int64_t> seq{-1};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<int64_t> ticket{-1};
+    std::atomic<int32_t> status_code{0};
+    std::atomic<double> queue_us{0.0};
+    std::atomic<double> execute_us{0.0};
+    std::atomic<double> commit_us{0.0};
+    std::atomic<double> total_us{0.0};
+    std::atomic<int32_t> quote_attempts{0};
+    std::atomic<int32_t> journal_attempts{0};
+    std::atomic<uint32_t> flags{0};  // bit 0 degraded, bit 1 shed.
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<int64_t> next_{0};
+  std::atomic<int64_t> skipped_{0};  // Writer collisions (slot busy).
+
+  mutable std::mutex dump_mu_;
+  std::set<std::string> dumped_reasons_;
+};
+
+}  // namespace nimbus::telemetry
+
+#endif  // NIMBUS_COMMON_FLIGHT_RECORDER_H_

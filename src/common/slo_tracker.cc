@@ -1,0 +1,127 @@
+#include "common/slo_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/telemetry.h"
+
+namespace nimbus::telemetry {
+namespace {
+
+Gauge& AvailabilityGauge() {
+  static Gauge& gauge = Registry::Global().GetGauge("slo_availability");
+  return gauge;
+}
+
+Gauge& FastBurnGauge() {
+  static Gauge& gauge = Registry::Global().GetGauge("slo_fast_burn_rate");
+  return gauge;
+}
+
+Gauge& SlowBurnGauge() {
+  static Gauge& gauge = Registry::Global().GetGauge("slo_slow_burn_rate");
+  return gauge;
+}
+
+Gauge& WindowRequestsGauge() {
+  static Gauge& gauge = Registry::Global().GetGauge("slo_window_requests");
+  return gauge;
+}
+
+}  // namespace
+
+SloTracker::SloTracker(SloOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : SystemClock::Get()) {
+  if (!(options_.bucket_seconds > 0.0)) {
+    options_.bucket_seconds = 1.0;
+  }
+  options_.fast_window_seconds =
+      std::max(options_.fast_window_seconds, options_.bucket_seconds);
+  options_.slow_window_seconds =
+      std::max(options_.slow_window_seconds, options_.fast_window_seconds);
+  options_.target_availability =
+      std::min(std::max(options_.target_availability, 0.0), 1.0 - 1e-9);
+  bucket_ns_ = static_cast<int64_t>(options_.bucket_seconds * 1e9);
+  fast_buckets_ = static_cast<int64_t>(
+      std::ceil(options_.fast_window_seconds / options_.bucket_seconds));
+  slow_buckets_ = static_cast<int64_t>(
+      std::ceil(options_.slow_window_seconds / options_.bucket_seconds));
+  // One spare slot so the bucket being overwritten "now" never aliases
+  // the oldest bucket still inside the slow window.
+  ring_.assign(static_cast<size_t>(slow_buckets_ + 1), Bucket{});
+}
+
+int64_t SloTracker::EpochNow() const {
+  return clock_->NowNanos() / bucket_ns_;
+}
+
+void SloTracker::RecordRequest(bool ok, double latency_us) {
+  const bool good =
+      ok && !(options_.slow_request_us > 0.0 &&
+              latency_us > options_.slow_request_us);
+  const int64_t epoch = EpochNow();
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = ring_[static_cast<size_t>(
+      epoch % static_cast<int64_t>(ring_.size()))];
+  if (bucket.epoch != epoch) {
+    bucket.epoch = epoch;
+    bucket.good = 0;
+    bucket.bad = 0;
+  }
+  (good ? bucket.good : bucket.bad) += 1;
+}
+
+SloTracker::Report SloTracker::Snapshot() const {
+  Report report;
+  report.error_budget = 1.0 - options_.target_availability;
+  const int64_t epoch = EpochNow();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Bucket& bucket : ring_) {
+      if (bucket.epoch < 0 || bucket.epoch > epoch) {
+        continue;
+      }
+      const int64_t age = epoch - bucket.epoch;
+      if (age >= slow_buckets_) {
+        continue;  // Aged out of even the slow window.
+      }
+      report.slow_good += bucket.good;
+      report.slow_bad += bucket.bad;
+      if (age < fast_buckets_) {
+        report.fast_good += bucket.good;
+        report.fast_bad += bucket.bad;
+      }
+    }
+  }
+  const int64_t fast_total = report.fast_good + report.fast_bad;
+  const int64_t slow_total = report.slow_good + report.slow_bad;
+  if (fast_total > 0) {
+    report.fast_availability =
+        static_cast<double>(report.fast_good) / static_cast<double>(fast_total);
+    report.fast_burn_rate =
+        (static_cast<double>(report.fast_bad) /
+         static_cast<double>(fast_total)) /
+        report.error_budget;
+  }
+  if (slow_total > 0) {
+    report.slow_availability =
+        static_cast<double>(report.slow_good) / static_cast<double>(slow_total);
+    report.slow_burn_rate =
+        (static_cast<double>(report.slow_bad) /
+         static_cast<double>(slow_total)) /
+        report.error_budget;
+  }
+  return report;
+}
+
+void SloTracker::ExportGauges() const {
+  const Report report = Snapshot();
+  AvailabilityGauge().Set(report.slow_availability);
+  FastBurnGauge().Set(report.fast_burn_rate);
+  SlowBurnGauge().Set(report.slow_burn_rate);
+  WindowRequestsGauge().Set(
+      static_cast<double>(report.slow_good + report.slow_bad));
+}
+
+}  // namespace nimbus::telemetry

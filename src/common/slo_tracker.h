@@ -1,0 +1,103 @@
+#ifndef NIMBUS_COMMON_SLO_TRACKER_H_
+#define NIMBUS_COMMON_SLO_TRACKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace nimbus::telemetry {
+
+// Tuning for one SloTracker. The defaults express "99.9% of requests
+// succeed, judged over a 1-minute fast window and a 10-minute slow
+// window" — the classic multi-window burn-rate alerting setup, scaled
+// down to soak-harness time horizons.
+struct SloOptions {
+  // Objective: the fraction of requests that must be good. The error
+  // budget is 1 - target_availability.
+  double target_availability = 0.999;
+  // > 0: a request slower than this (microseconds) counts against the
+  // budget even when it succeeded — the latency half of the SLO.
+  // 0 disables the latency component.
+  double slow_request_us = 0.0;
+  // Window widths. The fast window catches sharp burns (page now), the
+  // slow window catches slow leaks (ticket tomorrow).
+  double fast_window_seconds = 60.0;
+  double slow_window_seconds = 600.0;
+  // Ring resolution; windows are quantized to whole buckets.
+  double bucket_seconds = 1.0;
+  // Time source; nullptr = the process SystemClock. Tests pass a
+  // ManualClock, making every window edge a pure function of virtual
+  // time.
+  const Clock* clock = nullptr;
+};
+
+// Windowed availability / error-budget tracker. RecordRequest files
+// each terminal request outcome into a time-bucketed ring sized to the
+// slow window; Snapshot computes availability and burn rate over both
+// windows. Burn rate is the standard SRE quantity
+//
+//   burn = (bad / total) / (1 - target_availability)
+//
+// i.e. how many times faster than "exactly on budget" the error budget
+// is being spent: 0 = no errors, 1 = burning exactly at budget, >> 1 =
+// incident. Thread-safe (one short mutex hold per call); deterministic
+// under a ManualClock.
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions options);
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  // Files one terminal outcome. `ok` is the request's status; a slow
+  // success still burns budget when slow_request_us is configured.
+  void RecordRequest(bool ok, double latency_us);
+
+  struct Report {
+    int64_t fast_good = 0;
+    int64_t fast_bad = 0;
+    int64_t slow_good = 0;
+    int64_t slow_bad = 0;
+    // good / total per window; 1.0 when the window is empty (no traffic
+    // is not an outage).
+    double fast_availability = 1.0;
+    double slow_availability = 1.0;
+    // Budget spend speed per window; 0.0 when the window is empty.
+    double fast_burn_rate = 0.0;
+    double slow_burn_rate = 0.0;
+    double error_budget = 0.0;  // 1 - target_availability.
+  };
+  Report Snapshot() const;
+
+  // Mirrors the report into the registry gauges `slo_availability`
+  // (slow window), `slo_fast_burn_rate` and `slo_slow_burn_rate`, plus
+  // `slo_window_requests` (slow-window traffic) so a scrape can tell
+  // "healthy" from "idle".
+  void ExportGauges() const;
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    int64_t epoch = -1;  // NowNanos / bucket width; -1 = never used.
+    int64_t good = 0;
+    int64_t bad = 0;
+  };
+
+  int64_t EpochNow() const;
+
+  SloOptions options_;
+  const Clock* clock_;
+  int64_t bucket_ns_ = 0;
+  int64_t fast_buckets_ = 0;
+  int64_t slow_buckets_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<Bucket> ring_;
+};
+
+}  // namespace nimbus::telemetry
+
+#endif  // NIMBUS_COMMON_SLO_TRACKER_H_

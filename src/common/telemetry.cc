@@ -1,6 +1,7 @@
 #include "common/telemetry.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -42,6 +43,12 @@ struct TraceEvent {
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
   uint32_t tid = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  const char* notes[TraceSpan::kMaxNotes] = {nullptr, nullptr, nullptr,
+                                             nullptr};
+  int note_count = 0;
 };
 
 constexpr size_t kTraceCapacity = size_t{1} << 16;
@@ -49,6 +56,31 @@ constexpr size_t kTraceCapacity = size_t{1} << 16;
 std::atomic<bool> g_tracing_enabled{false};
 std::atomic<int64_t> g_trace_next{0};
 std::atomic<int64_t> g_trace_dropped{0};
+std::atomic<bool> g_trace_drop_warned{false};
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+
+// Registry mirror of TraceDroppedCount() so a scrape explains a
+// truncated chrome-tracing export without reading process internals.
+Counter& TraceDroppedCounter() {
+  static Counter& counter =
+      Registry::Global().GetCounter("telemetry_trace_dropped_total");
+  return counter;
+}
+
+// Accounts one dropped span: registry counter, in-process counter, and
+// a single warning the first time drops start (per ClearTraceForTest
+// epoch) so logs stay quiet under sustained overflow.
+void RecordTraceDrop() {
+  g_trace_dropped.fetch_add(1, std::memory_order_relaxed);
+  TraceDroppedCounter().Increment();
+  if (!g_trace_drop_warned.exchange(true, std::memory_order_relaxed)) {
+    NIMBUS_LOG(kWarning)
+        << "telemetry: trace buffer full (" << kTraceCapacity
+        << " events); further spans are dropped and the chrome-tracing "
+           "export is truncated (see telemetry_trace_dropped_total)";
+  }
+}
 
 TraceEvent* TraceBuffer() {
   // Allocated once, on the first call (SetTracingEnabled(true) forces it
@@ -365,11 +397,43 @@ std::string SnapshotToText(const std::vector<Registry::SnapshotEntry>& snap) {
   return out.str();
 }
 
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus exposition floats: the text format spells non-finite
+// values "+Inf"/"-Inf"/"NaN" (AppendDouble's "%.17g" would emit "inf").
+void AppendPrometheusDouble(std::ostringstream& out, double value) {
+  if (std::isnan(value)) {
+    out << "NaN";
+  } else if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+  } else {
+    AppendDouble(out, value);
+  }
+}
+
+}  // namespace
+
 std::string SnapshotToPrometheus(
     const std::vector<Registry::SnapshotEntry>& snap) {
   std::ostringstream out;
   for (const Registry::SnapshotEntry& e : snap) {
-    const std::string name = "nimbus_" + e.name;
+    const std::string name = "nimbus_" + SanitizeMetricName(e.name);
+    out << "# HELP " << name << " Nimbus " << MetricKindName(e.kind) << " '"
+        << SanitizeMetricName(e.name) << "'.\n";
     out << "# TYPE " << name << ' ' << MetricKindName(e.kind) << '\n';
     switch (e.kind) {
       case MetricKind::kCounter:
@@ -377,7 +441,7 @@ std::string SnapshotToPrometheus(
         break;
       case MetricKind::kGauge:
         out << name << ' ';
-        AppendDouble(out, e.gauge_value);
+        AppendPrometheusDouble(out, e.gauge_value);
         out << '\n';
         break;
       case MetricKind::kHistogram: {
@@ -391,7 +455,7 @@ std::string SnapshotToPrometheus(
         }
         out << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
         out << name << "_sum ";
-        AppendDouble(out, h.sum);
+        AppendPrometheusDouble(out, h.sum);
         out << '\n';
         out << name << "_count " << h.count << '\n';
         break;
@@ -399,6 +463,10 @@ std::string SnapshotToPrometheus(
     }
   }
   return out.str();
+}
+
+void ExportPrometheus(std::string* out) {
+  *out += SnapshotToPrometheus(Registry::Global().Snapshot());
 }
 
 std::string SnapshotToJson(const std::vector<Registry::SnapshotEntry>& snap) {
@@ -465,10 +533,35 @@ void SetTracingEnabled(bool enabled) {
   g_tracing_enabled.store(enabled, std::memory_order_release);
 }
 
-TraceSpan::TraceSpan(const char* name) : name_(name) {
+TraceContext NewTraceContext() {
+  TraceContext ctx;
+  ctx.trace_id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  return ctx;
+}
+
+TraceSpan::TraceSpan(const char* name) : TraceSpan(name, nullptr) {}
+
+TraceSpan::TraceSpan(const char* name, const TraceContext* parent)
+    : name_(name) {
+  if (parent != nullptr) {
+    context_ = *parent;
+  }
   if (TracingEnabled()) {
     active_ = true;
     start_ns_ = MonotonicNowNs();
+    if (context_.valid()) {
+      context_.parent_span_id = context_.span_id;
+      context_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Tracing disabled: the parent context passes through untouched, so
+  // trace ids still reach downstream consumers (flight recorder) at the
+  // two-relaxed-loads disabled-span cost.
+}
+
+void TraceSpan::Annotate(const char* note) {
+  if (note_count_ < kMaxNotes) {
+    notes_[note_count_++] = note;
   }
 }
 
@@ -479,7 +572,7 @@ TraceSpan::~TraceSpan() {
   const uint64_t end_ns = MonotonicNowNs();
   const int64_t slot = g_trace_next.fetch_add(1, std::memory_order_relaxed);
   if (slot >= static_cast<int64_t>(kTraceCapacity)) {
-    g_trace_dropped.fetch_add(1, std::memory_order_relaxed);
+    RecordTraceDrop();
     return;
   }
   TraceEvent& event = TraceBuffer()[slot];
@@ -487,6 +580,46 @@ TraceSpan::~TraceSpan() {
   event.start_ns = start_ns_ - TraceEpochNs();
   event.duration_ns = end_ns - start_ns_;
   event.tid = CurrentThreadId();
+  event.trace_id = context_.trace_id;
+  event.span_id = context_.span_id;
+  event.parent_span_id = context_.parent_span_id;
+  event.note_count = note_count_;
+  for (int i = 0; i < kMaxNotes; ++i) {
+    event.notes[i] = i < note_count_ ? notes_[i] : nullptr;
+  }
+  event.ready.store(1, std::memory_order_release);
+}
+
+void TraceInstant(const char* name, const TraceContext* ctx,
+                  const char* note) {
+  if (!TracingEnabled()) {
+    return;
+  }
+  const uint64_t now_ns = MonotonicNowNs();
+  const int64_t slot = g_trace_next.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= static_cast<int64_t>(kTraceCapacity)) {
+    RecordTraceDrop();
+    return;
+  }
+  TraceEvent& event = TraceBuffer()[slot];
+  event.name = name;
+  event.start_ns = now_ns - TraceEpochNs();
+  event.duration_ns = 0;
+  event.tid = CurrentThreadId();
+  if (ctx != nullptr && ctx->valid()) {
+    event.trace_id = ctx->trace_id;
+    event.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    event.parent_span_id = ctx->span_id;
+  } else {
+    event.trace_id = 0;
+    event.span_id = 0;
+    event.parent_span_id = 0;
+  }
+  event.notes[0] = note;
+  for (int i = 1; i < TraceSpan::kMaxNotes; ++i) {
+    event.notes[i] = nullptr;
+  }
+  event.note_count = note != nullptr ? 1 : 0;
   event.ready.store(1, std::memory_order_release);
 }
 
@@ -516,17 +649,73 @@ std::string TraceToJson() {
     }
     first = false;
     // Complete ("X") events with microsecond timestamps, the format
-    // chrome://tracing and Perfetto ingest directly.
+    // chrome://tracing and Perfetto ingest directly. Request-scoped
+    // spans carry their context in "args" so a trace viewer (or grep)
+    // can reassemble one request's span tree by trace_id.
     out << "{\"name\":\"" << JsonEscape(event.name != nullptr ? event.name
                                                               : "?")
         << "\",\"cat\":\"nimbus\",\"ph\":\"X\",\"ts\":";
     AppendDouble(out, static_cast<double>(event.start_ns) * 1e-3);
     out << ",\"dur\":";
     AppendDouble(out, static_cast<double>(event.duration_ns) * 1e-3);
-    out << ",\"pid\":1,\"tid\":" << event.tid << '}';
+    out << ",\"pid\":1,\"tid\":" << event.tid;
+    if (event.trace_id != 0 || event.note_count > 0) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      if (event.trace_id != 0) {
+        out << "\"trace_id\":" << event.trace_id
+            << ",\"span_id\":" << event.span_id
+            << ",\"parent_span_id\":" << event.parent_span_id;
+        first_arg = false;
+      }
+      if (event.note_count > 0) {
+        if (!first_arg) {
+          out << ',';
+        }
+        out << "\"notes\":\"";
+        for (int k = 0; k < event.note_count; ++k) {
+          if (k > 0) {
+            out << ';';
+          }
+          out << JsonEscape(event.notes[k] != nullptr ? event.notes[k] : "?");
+        }
+        out << '"';
+      }
+      out << '}';
+    }
+    out << '}';
   }
   out << "]}";
   return out.str();
+}
+
+std::vector<TraceEventView> SnapshotTraceEvents(uint64_t trace_id) {
+  const int64_t n = TraceEventCount();
+  std::vector<TraceEventView> views;
+  for (int64_t i = 0; i < n; ++i) {
+    const TraceEvent& event = TraceBuffer()[i];
+    if (event.ready.load(std::memory_order_acquire) == 0) {
+      continue;
+    }
+    if (trace_id != 0 && event.trace_id != trace_id) {
+      continue;
+    }
+    TraceEventView view;
+    view.name = event.name != nullptr ? event.name : "?";
+    view.start_us = static_cast<double>(event.start_ns) * 1e-3;
+    view.duration_us = static_cast<double>(event.duration_ns) * 1e-3;
+    view.trace_id = event.trace_id;
+    view.span_id = event.span_id;
+    view.parent_span_id = event.parent_span_id;
+    view.tid = event.tid;
+    for (int k = 0; k < event.note_count; ++k) {
+      if (event.notes[k] != nullptr) {
+        view.notes.emplace_back(event.notes[k]);
+      }
+    }
+    views.push_back(std::move(view));
+  }
+  return views;
 }
 
 void ClearTraceForTest() {
@@ -536,6 +725,7 @@ void ClearTraceForTest() {
   }
   g_trace_next.store(0, std::memory_order_relaxed);
   g_trace_dropped.store(0, std::memory_order_relaxed);
+  g_trace_drop_warned.store(false, std::memory_order_relaxed);
 }
 
 std::string JsonEscape(const std::string& in) {

@@ -171,9 +171,19 @@ class Registry {
 
 // Human-readable one-metric-per-line dump.
 std::string SnapshotToText(const std::vector<Registry::SnapshotEntry>& snap);
-// Prometheus exposition text (metric names get a "nimbus_" prefix).
+// Prometheus exposition text (metric names get a "nimbus_" prefix and
+// are sanitized to the exposition charset; histograms render as
+// _bucket/_sum/_count families with cumulative le="" buckets).
 std::string SnapshotToPrometheus(
     const std::vector<Registry::SnapshotEntry>& snap);
+// Maps an arbitrary metric name onto the Prometheus name charset
+// [a-zA-Z0-9_:] (invalid characters become '_'; a leading digit gets a
+// '_' prefix).
+std::string SanitizeMetricName(const std::string& name);
+// Appends the global registry's current state in Prometheus text
+// exposition format to `*out` — the scrape body served by the admin
+// endpoint's /metrics.
+void ExportPrometheus(std::string* out);
 // Single JSON object {"metrics": {...}} for embedding in bench output.
 std::string SnapshotToJson(const std::vector<Registry::SnapshotEntry>& snap);
 
@@ -197,36 +207,100 @@ class ScopedTimer {
 // JSON. Disabled by default (spans cost two relaxed atomic loads);
 // enabled at startup when NIMBUS_TRACE is set, or explicitly via
 // SetTracingEnabled. When the buffer (64K events) fills, further spans
-// are dropped and counted in TraceDroppedCount().
+// are dropped, counted in TraceDroppedCount() and in the
+// `telemetry_trace_dropped_total` registry counter, and announced with
+// one rate-limited warning so a truncated export is explainable.
 
 bool TracingEnabled();
 void SetTracingEnabled(bool enabled);
 
-// RAII span: records {name, begin, duration, thread id} into the trace
-// buffer on destruction. `name` must be a string literal (the pointer is
-// stored, not the characters).
+// Request-scoped trace identity, minted once per service ticket and
+// carried explicitly down the serving stack (broker quote, error-curve
+// build, journal append) so every span nests under its request. Ids are
+// dense process-unique counters — nothing here reads an RNG stream, so
+// propagation cannot perturb market output. trace_id 0 means "no
+// request context" (anonymous spans, the pre-PR-5 behavior).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;         // Span that currently owns the context.
+  uint64_t parent_span_id = 0;  // Owner's parent (0 at the root).
+
+  bool valid() const { return trace_id != 0; }
+};
+
+// Mints a fresh root context (new trace_id, no spans yet). Cheap: one
+// relaxed atomic increment.
+TraceContext NewTraceContext();
+
+// RAII span: records {name, begin, duration, thread id, trace context,
+// annotations} into the trace buffer on destruction. `name` and every
+// annotation must be string literals (the pointer is stored, not the
+// characters).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
+  // Child span: adopts `parent`'s trace_id and records parent's span_id
+  // as its parent. nullptr (or an invalid context) degrades to the
+  // anonymous form above. While tracing is disabled the parent context
+  // is passed through untouched, so trace ids still flow to consumers
+  // like the flight recorder.
+  TraceSpan(const char* name, const TraceContext* parent);
   ~TraceSpan();
+
+  // Context to hand to callees that should nest under this span.
+  const TraceContext& context() const { return context_; }
+
+  // Attaches a typed annotation ("shed", "breaker-open", "degraded",
+  // "fault:<point>", ...). Up to 4 per span; extras are ignored.
+  void Annotate(const char* note);
+
+  static constexpr int kMaxNotes = 4;
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
   const char* name_;
+  TraceContext context_;
+  const char* notes_[kMaxNotes] = {nullptr, nullptr, nullptr, nullptr};
+  int note_count_ = 0;
   uint64_t start_ns_ = 0;
   bool active_ = false;
 };
+
+// Records a zero-duration instant event (e.g. a load shed, which has no
+// span to hang an annotation on). `name` and `note` must be literals;
+// `ctx` (optional) attaches the event to a request trace.
+void TraceInstant(const char* name, const TraceContext* ctx,
+                  const char* note = nullptr);
 
 // Number of spans recorded / dropped since the last ClearTraceForTest.
 int64_t TraceEventCount();
 int64_t TraceDroppedCount();
 
 // Chrome-tracing JSON ({"traceEvents": [...]}, "X" complete events with
-// microsecond timestamps relative to process start). Call from a
-// quiescent point — spans still in flight may be omitted.
+// microsecond timestamps relative to process start; request-scoped
+// spans carry {trace_id, span_id, parent_span_id, notes} in "args").
+// Call from a quiescent point — spans still in flight may be omitted.
 std::string TraceToJson();
+
+// Decoded view of one recorded span, for live endpoints (/tracez) that
+// need structured access rather than the chrome JSON blob.
+struct TraceEventView {
+  std::string name;
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  uint32_t tid = 0;
+  std::vector<std::string> notes;
+};
+
+// Published spans, oldest first. `trace_id` != 0 filters to one request
+// trace. Safe to call concurrently with recording (in-flight slots are
+// skipped).
+std::vector<TraceEventView> SnapshotTraceEvents(uint64_t trace_id = 0);
 
 // Resets the trace buffer. Test-only; not safe concurrently with spans.
 void ClearTraceForTest();

@@ -94,12 +94,13 @@ void Broker::SetPricingFunction(
 }
 
 StatusOr<const pricing::ErrorCurve*> Broker::GetErrorCurve(
-    const std::string& report_loss_name, const CancelToken* cancel) {
+    const std::string& report_loss_name, const CancelToken* cancel,
+    const telemetry::TraceContext* trace) {
   auto it = error_curves_.find(report_loss_name);
   if (it != error_curves_.end()) {
     return &it->second;
   }
-  telemetry::TraceSpan span("broker.build_error_curve");
+  telemetry::TraceSpan span("broker.build_error_curve", trace);
   NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const ml::Loss> loss,
                           model_.FindReportLoss(report_loss_name));
   const std::vector<double> grid =
@@ -133,10 +134,11 @@ StatusOr<const pricing::ErrorCurve*> Broker::GetErrorCurve(
       pricing::ErrorCurve curve,
       pricing::ErrorCurve::Estimate(*mechanism_, optimal_model_, *loss,
                                     split_.test, grid, samples, build_rng,
-                                    cancel));
+                                    cancel, &span.context()));
   rng_ = build_rng;
   if (budget_cut) {
     curve.MarkDegraded();
+    span.Annotate("budget-cut");
   }
   auto [inserted, ok] =
       error_curves_.emplace(report_loss_name, std::move(curve));
@@ -158,8 +160,9 @@ StatusOr<std::vector<Broker::PriceErrorPoint>> Broker::PriceErrorCurve(
 }
 
 StatusOr<Broker::Purchase> Broker::QuoteAtInverseNcp(
-    double inverse_ncp, const pricing::ErrorCurve& curve, Rng& rng) const {
-  telemetry::TraceSpan span("broker.quote");
+    double inverse_ncp, const pricing::ErrorCurve& curve, Rng& rng,
+    const telemetry::TraceContext* trace) const {
+  telemetry::TraceSpan span("broker.quote", trace);
   telemetry::ScopedTimer timer(QuoteLatency());
   QuotesCounter().Increment();
   FAULT_POINT("broker.quote");
@@ -170,6 +173,9 @@ StatusOr<Broker::Purchase> Broker::QuoteAtInverseNcp(
   }
   Purchase purchase;
   purchase.degraded = curve.degraded();
+  if (purchase.degraded) {
+    span.Annotate("degraded");
+  }
   purchase.inverse_ncp = inverse_ncp;
   purchase.ncp = 1.0 / inverse_ncp;
   purchase.price = pricing_->PriceAtInverseNcp(inverse_ncp);

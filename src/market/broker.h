@@ -80,9 +80,11 @@ class Broker {
   // `cancel` (optional) aborts a cold-cache Monte-Carlo build at the
   // next grid-point boundary when the requesting caller's deadline
   // expires; cache hits never consult it. A cancelled build is not
-  // cached, so the next caller retries it.
+  // cached, so the next caller retries it. `trace` (optional) nests a
+  // cold build's spans under the requesting operation.
   StatusOr<const pricing::ErrorCurve*> GetErrorCurve(
-      const std::string& report_loss_name, const CancelToken* cancel = nullptr);
+      const std::string& report_loss_name, const CancelToken* cancel = nullptr,
+      const telemetry::TraceContext* trace = nullptr);
 
   // One row of the price-error curve shown to buyers (Figure 2d).
   struct PriceErrorPoint {
@@ -124,9 +126,10 @@ class Broker {
   // error curve, drawing noise from the caller-supplied `rng` and leaving
   // the ledger untouched — safe to call from many threads at once. The
   // caller books accepted quotes with RecordSale (single-threaded).
-  StatusOr<Purchase> QuoteAtInverseNcp(double inverse_ncp,
-                                       const pricing::ErrorCurve& curve,
-                                       Rng& rng) const;
+  // `trace` (optional) nests the quote span under the caller's request.
+  StatusOr<Purchase> QuoteAtInverseNcp(
+      double inverse_ncp, const pricing::ErrorCurve& curve, Rng& rng,
+      const telemetry::TraceContext* trace = nullptr) const;
   void RecordSale(const Purchase& purchase);
 
   // Derives an independent child stream from the broker's master RNG

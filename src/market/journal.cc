@@ -172,12 +172,15 @@ Journal::~Journal() {
   }
 }
 
-Status Journal::Append(const LedgerEntry& entry) {
+Status Journal::Append(const LedgerEntry& entry,
+                       const telemetry::TraceContext* trace) {
+  telemetry::TraceSpan span("journal.append", trace);
   FAULT_POINT("journal.append");
   if (file_ == nullptr) {
     return FailedPreconditionError("journal '" + path_ + "' is closed");
   }
   if (poisoned_) {
+    span.Annotate("poisoned");
     return FailedPreconditionError(
         "journal '" + path_ +
         "' poisoned by an earlier short write; recover before appending");
@@ -185,6 +188,7 @@ Status Journal::Append(const LedgerEntry& entry) {
   const std::string payload = EncodePayload(entry);
   const uint32_t payload_crc = Crc32(payload.data(), payload.size());
   if (buffered_sequence_ == entry.sequence) {
+    span.Annotate("retry-reflush");
     // Idempotent retry: the previous attempt for this very record
     // already buffered its bytes and failed only at the flush/fsync
     // stage — re-flushing is all that is left. Re-buffering here would
@@ -197,6 +201,7 @@ Status Journal::Append(const LedgerEntry& entry) {
     if (payload.size() != buffered_payload_size_ ||
         payload_crc != buffered_payload_crc_) {
       poisoned_ = true;
+      span.Annotate("poisoned");
       return FailedPreconditionError(
           "journal '" + path_ + "' holds an abandoned record for sequence " +
           std::to_string(entry.sequence) +
@@ -210,6 +215,7 @@ Status Journal::Append(const LedgerEntry& entry) {
     AppendRaw(record, payload.data(), payload.size());
     if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
       poisoned_ = true;
+      span.Annotate("poisoned");
       return InternalError("short write appending to journal '" + path_ +
                            "' (journal poisoned; recovery required)");
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/telemetry.h"
 #include "market/ledger.h"
 
 namespace nimbus::market {
@@ -70,7 +71,10 @@ class Journal {
   // mid-record likewise poisons the journal — the in-process buffer may
   // hold a torn record — so further appends fail with
   // kFailedPrecondition (non-retryable) until the file is recovered.
-  Status Append(const LedgerEntry& entry);
+  // `trace` (optional) nests the append span under the committing
+  // request, annotated "retry-reflush" / "poisoned" as applicable.
+  Status Append(const LedgerEntry& entry,
+                const telemetry::TraceContext* trace = nullptr);
 
   // Flushes user-space buffers and, under kEveryRecord, fsyncs.
   Status Flush();

@@ -193,7 +193,8 @@ void Ledger::Commit(const LedgerEntry& entry) {
 
 StatusOr<int64_t> Ledger::Record(const std::string& buyer_id,
                                  ml::ModelKind model, double inverse_ncp,
-                                 double price, double expected_error) {
+                                 double price, double expected_error,
+                                 const telemetry::TraceContext* trace) {
   NIMBUS_RETURN_IF_ERROR(
       ValidateFields(buyer_id, inverse_ncp, price, expected_error));
   LedgerEntry entry;
@@ -207,7 +208,7 @@ StatusOr<int64_t> Ledger::Record(const std::string& buyer_id,
   // accepts it, so a crashed process never has acknowledged sales
   // missing from the WAL and a failed append never half-records.
   if (journal_ != nullptr) {
-    NIMBUS_RETURN_IF_ERROR(journal_->Append(entry));
+    NIMBUS_RETURN_IF_ERROR(journal_->Append(entry, trace));
   }
   Commit(entry);
   return entry.sequence;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/telemetry.h"
 #include "ml/model.h"
 
 namespace nimbus::market {
@@ -39,10 +40,12 @@ class Ledger {
   // buyer_id must be non-empty, inverse_ncp > 0 and price >= 0 (both
   // finite). With a journal attached the entry is made durable first:
   // a failed append leaves the in-memory ledger untouched and surfaces
-  // the journal's Status.
+  // the journal's Status. `trace` (optional) nests the durable append
+  // under the committing request's span tree.
   StatusOr<int64_t> Record(const std::string& buyer_id, ml::ModelKind model,
                            double inverse_ncp, double price,
-                           double expected_error);
+                           double expected_error,
+                           const telemetry::TraceContext* trace = nullptr);
 
   // ----- Durability ------------------------------------------------------
   // Attaches a write-ahead journal (market/journal.h); every subsequent

@@ -118,7 +118,7 @@ StatusOr<Broker::Purchase> Marketplace::BuyWithPriceBudget(
 
 StatusOr<int64_t> Marketplace::RecordQuotedSale(
     const std::string& buyer_id, ml::ModelKind kind,
-    const Broker::Purchase& purchase) {
+    const Broker::Purchase& purchase, const telemetry::TraceContext* trace) {
   if (buyer_id.empty()) {
     return InvalidArgumentError("buyer id must be non-empty");
   }
@@ -131,7 +131,7 @@ StatusOr<int64_t> Marketplace::RecordQuotedSale(
   NIMBUS_ASSIGN_OR_RETURN(
       int64_t sequence,
       ledger_.Record(buyer_id, kind, purchase.inverse_ncp, purchase.price,
-                     purchase.expected_error));
+                     purchase.expected_error, trace));
   NIMBUS_RETURN_IF_ERROR(monitors_.at(kind).RecordPurchase(
       buyer_id, purchase.inverse_ncp, purchase.price));
   it->second.RecordSale(purchase);

@@ -76,10 +76,12 @@ class Marketplace {
   // quotes run concurrently, commits are serialized by the caller (the
   // service's sequencer). Safe to retry after a kInternal journal
   // failure: Ledger::Record leaves memory untouched on failure and
-  // Journal::Append is idempotent per sequence.
-  StatusOr<int64_t> RecordQuotedSale(const std::string& buyer_id,
-                                     ml::ModelKind kind,
-                                     const Broker::Purchase& purchase);
+  // Journal::Append is idempotent per sequence. `trace` (optional) nests
+  // the durable journal append under the committing request's spans.
+  StatusOr<int64_t> RecordQuotedSale(
+      const std::string& buyer_id, ml::ModelKind kind,
+      const Broker::Purchase& purchase,
+      const telemetry::TraceContext* trace = nullptr);
 
   // Flushes the ledger's journal (OK when journaling is off).
   Status FlushJournal();

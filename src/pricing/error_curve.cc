@@ -91,7 +91,8 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
     const mechanism::NoiseMechanism& mechanism,
     const linalg::Vector& optimal_model, const ml::Loss& report_loss,
     const data::Dataset& eval_data, const std::vector<double>& inverse_ncp_grid,
-    int samples_per_point, Rng& rng, const CancelToken* cancel) {
+    int samples_per_point, Rng& rng, const CancelToken* cancel,
+    const telemetry::TraceContext* trace) {
   if (inverse_ncp_grid.size() < 2) {
     return InvalidArgumentError("need at least two grid points");
   }
@@ -102,7 +103,7 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
   }
   NIMBUS_RETURN_IF_ERROR(
       CancelToken::Check(cancel, "error-curve estimation"));
-  telemetry::TraceSpan span("error_curve.estimate");
+  telemetry::TraceSpan span("error_curve.estimate", trace);
   CurveEstimatesCounter().Increment();
   // Grid points are embarrassingly parallel: each draws its own child
   // stream Fork(i) from a once-advanced base, so the curve is
@@ -120,7 +121,7 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
       interrupted.store(true, std::memory_order_relaxed);
       return;
     }
-    telemetry::TraceSpan point_span("error_curve.point");
+    telemetry::TraceSpan point_span("error_curve.point", &span.context());
     telemetry::ScopedTimer point_timer(GridPointLatency());
     Rng point_rng = base.Fork(static_cast<uint64_t>(i));
     raw[static_cast<size_t>(i)] = mechanism::EstimateExpectedError(
@@ -128,6 +129,7 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
         report_loss, eval_data, samples_per_point, point_rng);
   });
   if (interrupted.load(std::memory_order_relaxed)) {
+    span.Annotate("deadline-cancelled");
     return CancelToken::Check(cancel, "error-curve estimation");
   }
   // Graceful degradation: a degenerate model or loss can yield
@@ -159,6 +161,7 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
     NIMBUS_LOG(kWarning) << "error curve degraded: patched " << patched
                          << " non-finite grid point(s) from neighbors";
     DegradedCurvesCounter().Increment();
+    span.Annotate("degraded");
   }
   const std::vector<double> smoothed = IsotonicDecreasing(raw);
   std::vector<ErrorCurvePoint> points(grid.size());

@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/statusor.h"
+#include "common/telemetry.h"
 #include "data/dataset.h"
 #include "linalg/vector_ops.h"
 #include "mechanism/noise_mechanism.h"
@@ -51,11 +52,16 @@ class ErrorCurve {
   // serving worker with an expired request deadline unwinds with
   // kDeadlineExceeded instead of finishing thousands of Monte-Carlo
   // draws nobody is waiting for.
+  //
+  // `trace` (optional) nests the estimate's spans under the requesting
+  // operation, so a cold curve build shows up inside its request in the
+  // chrome-tracing export instead of as an orphan.
   static StatusOr<ErrorCurve> Estimate(
       const mechanism::NoiseMechanism& mechanism,
       const linalg::Vector& optimal_model, const ml::Loss& report_loss,
       const data::Dataset& eval_data, const std::vector<double>& inverse_ncp_grid,
-      int samples_per_point, Rng& rng, const CancelToken* cancel = nullptr);
+      int samples_per_point, Rng& rng, const CancelToken* cancel = nullptr,
+      const telemetry::TraceContext* trace = nullptr);
 
   const std::vector<ErrorCurvePoint>& points() const { return points_; }
 

@@ -1,0 +1,270 @@
+#include "service/admin_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "common/logging.h"
+#include "common/telemetry.h"
+
+namespace nimbus::service {
+namespace {
+
+telemetry::Counter& ScrapesCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("admin_requests_total");
+  return counter;
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << code << ' ' << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+void AppendJsonDouble(std::ostringstream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(MarketService* service, AdminServerOptions options)
+    : service_(service), options_(options) {
+  options_.max_traces = std::max(options_.max_traces, 1);
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("admin server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError("admin server: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return UnavailableError("admin server: cannot bind 127.0.0.1:" +
+                            std::to_string(options_.port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return UnavailableError("admin server: listen() failed");
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    ::close(fd);
+    return UnavailableError("admin server: getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  NIMBUS_LOG(kInfo) << "admin server listening on 127.0.0.1:" << port_;
+  return OkStatus();
+}
+
+void AdminServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wake the blocking accept; the loop sees running_ == false and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void AdminServer::ServeLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) {
+        return;  // Stop() shut the listener down.
+      }
+      continue;  // Transient (EINTR, aborted connection).
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::HandleConnection(int fd) const {
+  // Bound both the read and the client: a stalled scraper must not
+  // wedge the admin thread forever.
+  timeval timeout;
+  timeout.tv_sec = 2;
+  timeout.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  // "GET <path> HTTP/1.1" — anything else is a 400/405.
+  std::string response;
+  const size_t line_end = request.find("\r\n");
+  std::istringstream line(request.substr(0, line_end));
+  std::string method, path;
+  line >> method >> path;
+  if (method.empty() || path.empty()) {
+    response = HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
+                            "bad request\n");
+  } else if (method != "GET") {
+    response = HttpResponse(405, "Method Not Allowed",
+                            "text/plain; charset=utf-8",
+                            "only GET is supported\n");
+  } else {
+    // Strip a query string; the endpoints take no parameters.
+    const size_t query = path.find('?');
+    if (query != std::string::npos) {
+      path.resize(query);
+    }
+    response = HandlePath(path);
+  }
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent, 0);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string AdminServer::MetricsBody() const {
+  if (service_ != nullptr) {
+    // Refresh the SLO gauges so every scrape sees current burn rates.
+    service_->slo_tracker().ExportGauges();
+  }
+  std::string body;
+  telemetry::ExportPrometheus(&body);
+  return body;
+}
+
+std::string AdminServer::TracezBody() const {
+  const std::vector<telemetry::FlightRecord> records =
+      telemetry::FlightRecorder::Global().Snapshot();
+  // Newest interesting requests first: errored always qualifies; slow
+  // successes qualify when a slow_us threshold is configured.
+  std::vector<const telemetry::FlightRecord*> picked;
+  for (auto it = records.rbegin();
+       it != records.rend() &&
+       picked.size() < static_cast<size_t>(options_.max_traces);
+       ++it) {
+    const bool errored = it->status_code != 0;
+    const bool slow = options_.slow_us > 0.0 && it->total_us >= options_.slow_us;
+    if (errored || slow) {
+      picked.push_back(&*it);
+    }
+  }
+  std::ostringstream out;
+  out << "{\"tracez\":[";
+  bool first = true;
+  for (const telemetry::FlightRecord* r : picked) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << "{\"trace_id\":" << r->trace_id << ",\"ticket\":" << r->ticket
+        << ",\"status_code\":" << r->status_code << ",\"total_us\":";
+    AppendJsonDouble(out, r->total_us);
+    out << ",\"shed\":" << (r->shed ? "true" : "false") << ",\"spans\":[";
+    bool first_span = true;
+    for (const telemetry::TraceEventView& span :
+         telemetry::SnapshotTraceEvents(r->trace_id)) {
+      if (!first_span) {
+        out << ',';
+      }
+      first_span = false;
+      out << "{\"name\":\"" << telemetry::JsonEscape(span.name)
+          << "\",\"span_id\":" << span.span_id
+          << ",\"parent_span_id\":" << span.parent_span_id
+          << ",\"duration_us\":";
+      AppendJsonDouble(out, span.duration_us);
+      out << ",\"notes\":[";
+      for (size_t i = 0; i < span.notes.size(); ++i) {
+        if (i > 0) {
+          out << ',';
+        }
+        out << '"' << telemetry::JsonEscape(span.notes[i]) << '"';
+      }
+      out << "]}";
+    }
+    out << "]}";
+  }
+  out << "],\"tracing_enabled\":"
+      << (telemetry::TracingEnabled() ? "true" : "false") << '}';
+  return out.str();
+}
+
+std::string AdminServer::HandlePath(const std::string& path) const {
+  ScrapesCounter().Increment();
+  if (path == "/metrics") {
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                        MetricsBody());
+  }
+  if (path == "/healthz") {
+    const bool healthy = service_ == nullptr || service_->Healthy();
+    if (healthy) {
+      return HttpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
+    }
+    return HttpResponse(503, "Service Unavailable",
+                        "text/plain; charset=utf-8", "draining\n");
+  }
+  if (path == "/tracez") {
+    return HttpResponse(200, "OK", "application/json", TracezBody());
+  }
+  if (path == "/flightz") {
+    return HttpResponse(200, "OK", "application/json",
+                        telemetry::FlightRecorder::Global().ToJson());
+  }
+  if (path == "/") {
+    return HttpResponse(200, "OK", "text/plain; charset=utf-8",
+                        "nimbus admin endpoint\n"
+                        "  /metrics  Prometheus exposition\n"
+                        "  /healthz  liveness (503 while draining)\n"
+                        "  /tracez   recent errored/slow request traces\n"
+                        "  /flightz  flight-recorder ring dump\n");
+  }
+  return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
+                      "not found\n");
+}
+
+}  // namespace nimbus::service

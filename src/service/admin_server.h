@@ -1,0 +1,83 @@
+#ifndef NIMBUS_SERVICE_ADMIN_SERVER_H_
+#define NIMBUS_SERVICE_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "service/service.h"
+
+namespace nimbus::service {
+
+struct AdminServerOptions {
+  // TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  // back with port() after Start — this is what tests and the soak
+  // harness use to avoid collisions).
+  int port = 0;
+  // /tracez returns at most this many request summaries.
+  int max_traces = 16;
+  // > 0: a request slower than this (microseconds) qualifies for
+  // /tracez even when it succeeded. Errored requests always qualify.
+  double slow_us = 0.0;
+};
+
+// Minimal blocking HTTP/1.1 admin endpoint over POSIX sockets — no
+// third-party dependencies, one accept thread, one connection at a
+// time (scrapes are rare and tiny; concurrent scrapers just queue in
+// the listen backlog). Serves:
+//
+//   /metrics  Prometheus text exposition of the global registry (the
+//             service's SLO gauges are refreshed per scrape).
+//   /healthz  200 "ok" while the service is live; 503 once draining or
+//             a downstream breaker is stuck open.
+//   /tracez   JSON summaries of the most recent errored/slow requests,
+//             with their spans when tracing is enabled.
+//   /flightz  The flight recorder's ring as JSON (same payload as an
+//             incident dump).
+//   /         Plain-text index of the endpoints above.
+//
+// The server only ever *reads* service and telemetry state; it cannot
+// perturb market output.
+class AdminServer {
+ public:
+  // `service` may be nullptr (metrics/flightz still work; /healthz
+  // reports 200 and /tracez serves whatever the recorder holds).
+  AdminServer(MarketService* service, AdminServerOptions options);
+  ~AdminServer();  // Stops the server if still running.
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Binds 127.0.0.1:<port>, starts the accept loop. Fails with
+  // kUnavailable when the port cannot be bound.
+  Status Start();
+
+  // Wakes the accept loop and joins it. Idempotent.
+  void Stop();
+
+  // Bound port (after Start); 0 before.
+  int port() const { return port_; }
+
+  // Builds the full HTTP response for `path` — the request handler,
+  // exposed so tests can validate payloads without a socket.
+  std::string HandlePath(const std::string& path) const;
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd) const;
+
+  std::string MetricsBody() const;
+  std::string TracezBody() const;
+
+  MarketService* service_;
+  AdminServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace nimbus::service
+
+#endif  // NIMBUS_SERVICE_ADMIN_SERVER_H_

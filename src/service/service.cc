@@ -78,6 +78,11 @@ MarketService::MarketService(market::Marketplace* market,
       options_(options),
       clock_(options.clock != nullptr ? options.clock : SystemClock::Get()),
       base_rng_(options.seed),
+      slo_([&] {
+        telemetry::SloOptions slo = options.slo;
+        if (slo.clock == nullptr) slo.clock = clock_;
+        return slo;
+      }()),
       queue_(static_cast<size_t>(std::max(options.queue_capacity, 1))),
       quote_breaker_("broker.quote", [&] {
         CircuitBreakerOptions breaker = options.quote_breaker;
@@ -139,11 +144,20 @@ std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   SubmittedCounter().Increment();
 
+  // One trace context per submission, minted from an atomic counter (no
+  // RNG involved, so the ledger-determinism contract is untouched). The
+  // id outlives the request: it keys spans, the flight record, and the
+  // PurchaseResult the buyer sees.
+  const telemetry::TraceContext trace = telemetry::NewTraceContext();
+  const int64_t submit_ns = clock_->NowNanos();
+
   PurchaseResult result;
+  result.trace_id = trace.trace_id;
   if (!started_.load(std::memory_order_acquire)) {
     result.status = FailedPreconditionError("service is not started");
     failed_.fetch_add(1, std::memory_order_relaxed);
     FailedCounter().Increment();
+    RecordRejected(trace.trace_id, result.status, /*shed=*/false, submit_ns);
     reject.set_value(std::move(result));
     return reject_future;
   }
@@ -151,6 +165,7 @@ std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
     result.status = InvalidArgumentError("buyer id must be non-empty");
     failed_.fetch_add(1, std::memory_order_relaxed);
     FailedCounter().Increment();
+    RecordRejected(trace.trace_id, result.status, /*shed=*/false, submit_ns);
     reject.set_value(std::move(result));
     return reject_future;
   }
@@ -158,22 +173,29 @@ std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
   Item item;
   item.request = std::move(request);
   item.promise = std::move(reject);
-  item.submit_ns = clock_->NowNanos();
+  item.submit_ns = submit_ns;
+  item.trace = trace;
   const double deadline = item.request.deadline_seconds > 0.0
                               ? item.request.deadline_seconds
                               : options_.default_deadline_seconds;
   item.cancel = std::make_shared<CancelToken>(clock_, deadline);
 
+  const char* shed_reason = nullptr;
   {
     std::lock_guard<std::mutex> lock(submit_mu_);
     Status admit = OkStatus();
     if (fault::ShouldFail("service.enqueue")) {
       admit = UnavailableError("fault injected at 'service.enqueue'");
+      shed_reason = "fault:service.enqueue";
     } else if (draining_.load(std::memory_order_acquire)) {
       admit = UnavailableError("service is draining");
+      shed_reason = "draining";
     } else {
       item.ticket = next_ticket_;
       admit = queue_.TryPush(std::move(item));
+      if (!admit.ok()) {
+        shed_reason = "queue-full";
+      }
     }
     if (admit.ok()) {
       ++next_ticket_;
@@ -187,15 +209,31 @@ std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
   }
   shed_.fetch_add(1, std::memory_order_relaxed);
   ShedCounter().Increment();
+  telemetry::TraceInstant("service.shed", &trace, shed_reason);
+  RecordRejected(trace.trace_id, result.status, /*shed=*/true, submit_ns);
   std::promise<PurchaseResult> shed_promise;
   std::future<PurchaseResult> shed_future = shed_promise.get_future();
   shed_promise.set_value(std::move(result));
   return shed_future;
 }
 
+void MarketService::RecordRejected(uint64_t trace_id, const Status& status,
+                                   bool shed, int64_t submit_ns) {
+  telemetry::FlightRecord flight;
+  flight.trace_id = trace_id;
+  flight.ticket = -1;
+  flight.status_code = static_cast<int>(status.code());
+  flight.total_us =
+      static_cast<double>(clock_->NowNanos() - submit_ns) / 1000.0;
+  flight.shed = shed;
+  telemetry::FlightRecorder::Global().Record(flight);
+  slo_.RecordRequest(/*ok=*/false, flight.total_us);
+}
+
 StatusOr<std::pair<market::Broker*, const pricing::ErrorCurve*>>
 MarketService::ResolveTarget(const PurchaseRequest& request,
-                             const CancelToken* cancel) {
+                             const CancelToken* cancel,
+                             const telemetry::TraceContext* trace) {
   NIMBUS_ASSIGN_OR_RETURN(market::Broker * broker,
                           market_->BrokerFor(request.model));
   std::string loss_name = request.report_loss_name;
@@ -208,7 +246,8 @@ MarketService::ResolveTarget(const PurchaseRequest& request,
     // prewarms so this is normally a read-only hit, but a request for an
     // unknown loss (or a cancelled prewarm retry) still needs the lock.
     std::lock_guard<std::mutex> lock(curve_mu_);
-    NIMBUS_ASSIGN_OR_RETURN(curve, broker->GetErrorCurve(loss_name, cancel));
+    NIMBUS_ASSIGN_OR_RETURN(curve,
+                            broker->GetErrorCurve(loss_name, cancel, trace));
   }
   return std::make_pair(broker, curve);
 }
@@ -219,7 +258,7 @@ void MarketService::ExecuteQuote(const Item& item, PurchaseResult& result) {
   if (!result.status.ok()) {
     return;
   }
-  auto target = ResolveTarget(item.request, cancel);
+  auto target = ResolveTarget(item.request, cancel, &item.trace);
   if (!target.ok()) {
     result.status = target.status();
     return;
@@ -228,15 +267,22 @@ void MarketService::ExecuteQuote(const Item& item, PurchaseResult& result) {
   const pricing::ErrorCurve* curve = target->second;
 
   auto attempt = [&]() -> Status {
+    // One child span per attempt, so a retried request shows each try —
+    // and why it failed — as a sibling under the request's root span.
+    telemetry::TraceSpan span("service.quote.attempt", &item.trace);
     if (fault::ShouldFail("service.execute")) {
+      span.Annotate("fault:service.execute");
       return InternalError("fault injected at 'service.execute'");
     }
-    NIMBUS_RETURN_IF_ERROR(quote_breaker_.Allow());
+    if (Status allowed = quote_breaker_.Allow(); !allowed.ok()) {
+      span.Annotate("breaker-open");
+      return allowed;
+    }
     // A fresh fork per attempt: a retried quote redraws the exact same
     // noise, so retries cannot perturb the ledger bytes.
     Rng rng = base_rng_.Fork(StreamId(item.ticket, kQuoteStream));
-    StatusOr<market::Broker::Purchase> quote =
-        broker->QuoteAtInverseNcp(item.request.inverse_ncp, *curve, rng);
+    StatusOr<market::Broker::Purchase> quote = broker->QuoteAtInverseNcp(
+        item.request.inverse_ncp, *curve, rng, &span.context());
     if (quote.ok()) {
       quote_breaker_.RecordSuccess();
       result.purchase = std::move(*quote);
@@ -244,6 +290,10 @@ void MarketService::ExecuteQuote(const Item& item, PurchaseResult& result) {
     }
     if (quote.status().code() == StatusCode::kInternal) {
       quote_breaker_.RecordFailure();
+      if (quote.status().message().find("fault injected") !=
+          std::string::npos) {
+        span.Annotate("fault:broker.quote");
+      }
     } else {
       // The downstream answered; a caller error is not broker sickness.
       quote_breaker_.RecordSuccess();
@@ -262,9 +312,14 @@ void MarketService::CommitInOrder(Item& item, PurchaseResult& result) {
 
   if (result.status.ok()) {
     auto attempt = [&]() -> Status {
-      NIMBUS_RETURN_IF_ERROR(journal_breaker_.Allow());
-      StatusOr<int64_t> sequence = market_->RecordQuotedSale(
-          item.request.buyer_id, item.request.model, result.purchase);
+      telemetry::TraceSpan span("service.commit.attempt", &item.trace);
+      if (Status allowed = journal_breaker_.Allow(); !allowed.ok()) {
+        span.Annotate("breaker-open");
+        return allowed;
+      }
+      StatusOr<int64_t> sequence =
+          market_->RecordQuotedSale(item.request.buyer_id, item.request.model,
+                                    result.purchase, &span.context());
       if (sequence.ok()) {
         journal_breaker_.RecordSuccess();
         result.sequence = *sequence;
@@ -272,6 +327,10 @@ void MarketService::CommitInOrder(Item& item, PurchaseResult& result) {
       }
       if (sequence.status().code() == StatusCode::kInternal) {
         journal_breaker_.RecordFailure();
+        if (sequence.status().message().find("fault injected") !=
+            std::string::npos) {
+          span.Annotate("fault:journal.append");
+        }
       } else {
         journal_breaker_.RecordSuccess();
       }
@@ -291,7 +350,8 @@ void MarketService::CommitInOrder(Item& item, PurchaseResult& result) {
   seq_cv_.notify_all();
 }
 
-void MarketService::Finish(Item& item, PurchaseResult result) {
+void MarketService::Finish(Item& item, PurchaseResult result,
+                           telemetry::FlightRecord flight) {
   const int extra = std::max(result.quote_attempts - 1, 0) +
                     std::max(result.journal_attempts - 1, 0);
   if (extra > 0) {
@@ -309,8 +369,32 @@ void MarketService::Finish(Item& item, PurchaseResult result) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     FailedCounter().Increment();
   }
-  LatencyHistogram().Observe(
-      static_cast<double>(clock_->NowNanos() - item.submit_ns) / 1000.0);
+  const double total_us =
+      static_cast<double>(clock_->NowNanos() - item.submit_ns) / 1000.0;
+  LatencyHistogram().Observe(total_us);
+
+  flight.status_code = static_cast<int32_t>(result.status.code());
+  flight.total_us = total_us;
+  flight.quote_attempts = result.quote_attempts;
+  flight.journal_attempts = result.journal_attempts;
+  flight.degraded = result.purchase.degraded;
+  telemetry::FlightRecorder::Global().Record(flight);
+  slo_.RecordRequest(result.status.ok(), total_us);
+
+  // Black-box auto-dump on the terminal outcomes an operator would page
+  // on. Absorbed (retried-away) faults never land here — only faults
+  // that survived the retry budget reach a terminal status.
+  if (!result.status.ok()) {
+    if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      telemetry::FlightRecorder::Global().DumpOnIncident("deadline-exceeded");
+    } else if (result.status.code() == StatusCode::kFailedPrecondition &&
+               result.status.message().find("poisoned") != std::string::npos) {
+      telemetry::FlightRecorder::Global().DumpOnIncident("journal-poisoned");
+    } else if (result.status.message().find("fault injected") !=
+               std::string::npos) {
+      telemetry::FlightRecorder::Global().DumpOnIncident("fault");
+    }
+  }
   item.promise.set_value(std::move(result));
 }
 
@@ -324,9 +408,36 @@ void MarketService::WorkerLoop() {
     Item item = std::move(*popped);
     PurchaseResult result;
     result.ticket = item.ticket;
-    ExecuteQuote(item, result);
-    CommitInOrder(item, result);
-    Finish(item, std::move(result));
+    result.trace_id = item.trace.trace_id;
+    telemetry::FlightRecord flight;
+    flight.trace_id = item.trace.trace_id;
+    flight.ticket = item.ticket;
+    const int64_t dequeue_ns = clock_->NowNanos();
+    flight.queue_us =
+        static_cast<double>(dequeue_ns - item.submit_ns) / 1000.0;
+    {
+      // Root span of the request's trace tree; every downstream span
+      // (curve build, quote attempts, journal append) parents here.
+      telemetry::TraceSpan root("service.request", &item.trace);
+      item.trace = root.context();
+      const int64_t execute_start_ns = clock_->NowNanos();
+      ExecuteQuote(item, result);
+      const int64_t execute_end_ns = clock_->NowNanos();
+      flight.execute_us =
+          static_cast<double>(execute_end_ns - execute_start_ns) / 1000.0;
+      CommitInOrder(item, result);
+      flight.commit_us =
+          static_cast<double>(clock_->NowNanos() - execute_end_ns) / 1000.0;
+      if (result.status.code() == StatusCode::kDeadlineExceeded) {
+        root.Annotate("deadline-exceeded");
+      } else if (!result.status.ok()) {
+        root.Annotate("failed");
+      }
+      if (result.purchase.degraded) {
+        root.Annotate("degraded");
+      }
+    }
+    Finish(item, std::move(result), flight);
   }
 }
 

@@ -12,9 +12,12 @@
 
 #include "common/backoff.h"
 #include "common/clock.h"
+#include "common/flight_recorder.h"
 #include "common/parallel.h"
 #include "common/random.h"
+#include "common/slo_tracker.h"
 #include "common/statusor.h"
+#include "common/telemetry.h"
 #include "market/marketplace.h"
 #include "service/admission_queue.h"
 #include "service/circuit_breaker.h"
@@ -47,6 +50,9 @@ struct ServiceOptions {
   // Time source for deadlines, backoff sleeps and breaker cooldowns;
   // nullptr = SystemClock. Tests pass a ManualClock.
   Clock* clock = nullptr;
+  // Service-level objective tracked per terminal outcome (availability
+  // plus optional latency half); clock defaults to the service clock.
+  telemetry::SloOptions slo;
 };
 
 // One buyer request: purchase the version at `inverse_ncp` of `model`.
@@ -66,6 +72,9 @@ struct PurchaseRequest {
 struct PurchaseResult {
   // Admission ticket (commit order); -1 for requests shed at admission.
   int64_t ticket = -1;
+  // Trace id minted at submission — the key for correlating this result
+  // with its spans (telemetry::SnapshotTraceEvents) and flight record.
+  uint64_t trace_id = 0;
   Status status;
   market::Broker::Purchase purchase;  // Valid only when status.ok().
   int64_t sequence = -1;              // Ledger sequence when ok.
@@ -139,6 +148,19 @@ class MarketService {
   const CircuitBreaker& quote_breaker() const { return quote_breaker_; }
   const CircuitBreaker& journal_breaker() const { return journal_breaker_; }
 
+  // Windowed availability / burn-rate tracker fed with every terminal
+  // outcome (successes, failures, sheds, pre-admission rejects). The
+  // admin endpoint exports its gauges; the soak harness asserts on it.
+  const telemetry::SloTracker& slo_tracker() const { return slo_; }
+
+  // Liveness summary for /healthz: started, not draining, and neither
+  // downstream breaker stuck open.
+  bool Healthy() const {
+    return started_.load(std::memory_order_acquire) && !draining() &&
+           quote_breaker_.state() != CircuitBreaker::State::kOpen &&
+           journal_breaker_.state() != CircuitBreaker::State::kOpen;
+  }
+
  private:
   struct Item {
     int64_t ticket = 0;
@@ -146,6 +168,10 @@ class MarketService {
     std::promise<PurchaseResult> promise;
     std::shared_ptr<CancelToken> cancel;
     int64_t submit_ns = 0;
+    // Request-scoped trace context: minted at submission, re-parented to
+    // the worker's root span so every downstream span (curve build,
+    // quote attempt, journal append) lands in one tree.
+    telemetry::TraceContext trace;
   };
 
   void WorkerLoop();
@@ -156,15 +182,22 @@ class MarketService {
   // successful quotes) books the sale with the retried, breaker-gated
   // journal append.
   void CommitInOrder(Item& item, PurchaseResult& result);
-  void Finish(Item& item, PurchaseResult result);
+  void Finish(Item& item, PurchaseResult result,
+              telemetry::FlightRecord flight);
+  // Files a terminal outcome that never reached a worker (shed or
+  // pre-admission reject) into the flight recorder and SLO tracker.
+  void RecordRejected(uint64_t trace_id, const Status& status, bool shed,
+                      int64_t submit_ns);
 
   StatusOr<std::pair<market::Broker*, const pricing::ErrorCurve*>>
-  ResolveTarget(const PurchaseRequest& request, const CancelToken* cancel);
+  ResolveTarget(const PurchaseRequest& request, const CancelToken* cancel,
+                const telemetry::TraceContext* trace);
 
   market::Marketplace* market_;
   ServiceOptions options_;
   Clock* clock_;
   const Rng base_rng_;
+  telemetry::SloTracker slo_;
 
   BoundedQueue<Item> queue_;
   std::unique_ptr<ThreadPool> pool_;

@@ -1,0 +1,385 @@
+#include "service/admin_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/flight_recorder.h"
+#include "common/random.h"
+#include "common/telemetry.h"
+#include "data/synthetic.h"
+#include "market/curves.h"
+#include "market/market_simulator.h"
+#include "market/marketplace.h"
+#include "service/service.h"
+
+namespace nimbus::service {
+namespace {
+
+using market::Marketplace;
+
+data::TrainTestSplit ClassificationSplit(uint64_t seed) {
+  Rng rng(seed);
+  data::ClassificationSpec spec;
+  spec.num_examples = 260;
+  spec.num_features = 4;
+  spec.positive_prob = 0.92;
+  data::Dataset all = data::GenerateClassification(spec, rng);
+  return data::Split(all, 0.75, rng);
+}
+
+market::Broker::Options FastOptions() {
+  market::Broker::Options options;
+  options.error_curve_points = 6;
+  options.samples_per_curve_point = 40;
+  options.min_inverse_ncp = 1.0;
+  options.max_inverse_ncp = 50.0;
+  return options;
+}
+
+std::shared_ptr<const pricing::PricingFunction> SomeMbpPricing() {
+  auto points = market::MakeBuyerPoints(market::ValueShape::kConcave,
+                                        market::DemandShape::kUniform, 10, 1.0,
+                                        50.0, 80.0, 2.0);
+  market::Seller seller = *market::Seller::Create(*points);
+  return *seller.NegotiatePricing();
+}
+
+Marketplace MakeMarket(uint64_t seed) {
+  Marketplace market(ClassificationSplit(seed), FastOptions());
+  EXPECT_TRUE(market
+                  .AddOffering(ml::ModelKind::kLogisticRegression, 0.01,
+                               SomeMbpPricing())
+                  .ok());
+  return market;
+}
+
+PurchaseRequest MakeRequest(int i) {
+  PurchaseRequest request;
+  request.buyer_id = "buyer-" + std::to_string(i % 5);
+  request.model = ml::ModelKind::kLogisticRegression;
+  request.inverse_ncp = 2.0 + static_cast<double>(i % 10);
+  return request;
+}
+
+// Sends one raw HTTP request to 127.0.0.1:port and returns everything
+// the server wrote back (the server closes after one response).
+std::string HttpRaw(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& path) {
+  return HttpRaw(port, "GET " + path +
+                           " HTTP/1.1\r\nHost: localhost\r\n"
+                           "Connection: close\r\n\r\n");
+}
+
+// Body = everything after the blank line separating headers.
+std::string Body(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+// One Prometheus exposition line is a comment ("# HELP ...", "# TYPE
+// ...") or a sample: name{labels} value, where the value parses as a
+// double. Anything else would break a real scraper.
+bool IsValidPrometheusLine(const std::string& line) {
+  if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+    return true;
+  }
+  size_t i = 0;
+  if (i >= line.size() ||
+      !(std::isalpha(static_cast<unsigned char>(line[i])) || line[i] == '_')) {
+    return false;
+  }
+  while (i < line.size() && (std::isalnum(static_cast<unsigned char>(line[i])) ||
+                             line[i] == '_' || line[i] == ':')) {
+    ++i;
+  }
+  if (i < line.size() && line[i] == '{') {
+    const size_t close = line.find('}', i);
+    if (close == std::string::npos) {
+      return false;
+    }
+    i = close + 1;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    return false;
+  }
+  char* end = nullptr;
+  std::strtod(line.c_str() + i + 1, &end);
+  return end != nullptr && *end == '\0';
+}
+
+class AdminServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Reset();
+    telemetry::FlightRecorder::Global().ClearForTest();
+  }
+  void TearDown() override {
+    fault::Reset();
+    telemetry::SetTracingEnabled(false);
+  }
+};
+
+TEST_F(AdminServerTest, ServesIndexAndUnknownPathsOnEphemeralPort) {
+  AdminServer server(nullptr, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.port(), 0);
+  // Double-start is a typed error, not a second listener.
+  EXPECT_EQ(server.Start().code(), StatusCode::kFailedPrecondition);
+
+  const std::string index = HttpGet(server.port(), "/");
+  EXPECT_NE(index.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(index.find("nimbus admin endpoint"), std::string::npos);
+  EXPECT_NE(index.find("/metrics"), std::string::npos);
+
+  const std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404 Not Found"), std::string::npos);
+
+  // Query strings are stripped, not treated as part of the path.
+  const std::string with_query = HttpGet(server.port(), "/healthz?verbose=1");
+  EXPECT_NE(with_query.find("HTTP/1.1 200 OK"), std::string::npos);
+
+  server.Stop();
+  server.Stop();  // Idempotent.
+}
+
+TEST_F(AdminServerTest, RejectsNonGetAndGarbageRequests) {
+  AdminServer server(nullptr, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const std::string post =
+      HttpRaw(server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405 Method Not Allowed"), std::string::npos);
+  const std::string garbage = HttpRaw(server.port(), "\r\n\r\n");
+  EXPECT_NE(garbage.find("HTTP/1.1 400 Bad Request"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, MetricsScrapeIsValidPrometheusLineByLine) {
+  Marketplace market = MakeMarket(31);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 64;
+  MarketService service(&market, options);
+  ASSERT_TRUE(service.Start().ok());
+  std::vector<std::future<PurchaseResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.Submit(MakeRequest(i)));
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.get().status.ok());
+  }
+
+  AdminServer server(&service, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+
+  const std::string body = Body(response);
+  std::istringstream lines(body);
+  std::string line;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    EXPECT_TRUE(IsValidPrometheusLine(line)) << "bad line: " << line;
+    if (line[0] != '#') {
+      ++samples;
+    }
+  }
+  EXPECT_GT(samples, 10);
+  // The serving counters and the SLO gauges must both be exported.
+  EXPECT_NE(body.find("nimbus_service_submitted_total"), std::string::npos);
+  EXPECT_NE(body.find("nimbus_service_request_latency_us_bucket"),
+            std::string::npos);
+  EXPECT_NE(body.find("nimbus_slo_availability"), std::string::npos);
+  EXPECT_NE(body.find("nimbus_slo_fast_burn_rate"), std::string::npos);
+  EXPECT_NE(body.find("nimbus_admin_requests_total"), std::string::npos);
+
+  server.Stop();
+  EXPECT_TRUE(service.Drain().ok());
+}
+
+TEST_F(AdminServerTest, HealthzFlipsToUnavailableAcrossDrain) {
+  Marketplace market = MakeMarket(32);
+  ServiceOptions options;
+  options.num_workers = 1;
+  MarketService service(&market, options);
+  ASSERT_TRUE(service.Start().ok());
+  AdminServer server(&service, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string response = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(Body(response).find("ok"), std::string::npos);
+
+  ASSERT_TRUE(service.Drain().ok());
+  response = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 503 Service Unavailable"),
+            std::string::npos);
+  EXPECT_NE(Body(response).find("draining"), std::string::npos);
+
+  // Without a service to consult, /healthz stays optimistic.
+  AdminServer bare(nullptr, AdminServerOptions{});
+  ASSERT_TRUE(bare.Start().ok());
+  EXPECT_NE(HttpGet(bare.port(), "/healthz").find("HTTP/1.1 200 OK"),
+            std::string::npos);
+}
+
+TEST_F(AdminServerTest, TracezSurfacesErroredRequestWithSpans) {
+  telemetry::SetTracingEnabled(true);
+  telemetry::ClearTraceForTest();
+  Marketplace market = MakeMarket(33);
+  ServiceOptions options;
+  options.num_workers = 1;
+  MarketService service(&market, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // An offering that does not exist fails in the worker, so the trace
+  // has a full service.request span tree and a nonzero status code.
+  PurchaseRequest unknown = MakeRequest(0);
+  unknown.model = ml::ModelKind::kLinearSvm;
+  const PurchaseResult failed = service.Submit(std::move(unknown)).get();
+  EXPECT_EQ(failed.status.code(), StatusCode::kNotFound);
+  EXPECT_NE(failed.trace_id, 0u);
+
+  AdminServer server(&service, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const std::string body = Body(HttpGet(server.port(), "/tracez"));
+  EXPECT_NE(body.find("\"trace_id\":" + std::to_string(failed.trace_id)),
+            std::string::npos);
+  EXPECT_NE(body.find("\"status_code\":" +
+                      std::to_string(static_cast<int>(StatusCode::kNotFound))),
+            std::string::npos);
+  EXPECT_NE(body.find("service.request"), std::string::npos);
+  EXPECT_NE(body.find("\"notes\":"), std::string::npos);
+  EXPECT_NE(body.find("\"tracing_enabled\":true"), std::string::npos);
+
+  server.Stop();
+  EXPECT_TRUE(service.Drain().ok());
+}
+
+TEST_F(AdminServerTest, FlightzServesTheRing) {
+  telemetry::FlightRecord record;
+  record.trace_id = 4242;
+  record.ticket = 7;
+  telemetry::FlightRecorder::Global().Record(record);
+
+  AdminServer server(nullptr, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = HttpGet(server.port(), "/flightz");
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  const std::string body = Body(response);
+  EXPECT_NE(body.find("\"flight_records\":["), std::string::npos);
+  EXPECT_NE(body.find("\"trace_id\":4242"), std::string::npos);
+  EXPECT_NE(body.find("\"capacity\":1024"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, ConcurrentScrapesDuringLiveTraffic) {
+  Marketplace market = MakeMarket(34);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 256;
+  MarketService service(&market, options);
+  ASSERT_TRUE(service.Start().ok());
+  AdminServer server(&service, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int port = server.port();
+  std::atomic<int> bad_responses{0};
+  std::vector<std::thread> scrapers;
+  const char* paths[] = {"/metrics", "/healthz", "/tracez", "/flightz"};
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&, t] {
+      for (int i = 0; i < 10; ++i) {
+        const std::string response = HttpGet(port, paths[(t + i) % 4]);
+        if (response.rfind("HTTP/1.1 ", 0) != 0) {
+          bad_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<std::future<PurchaseResult>> futures;
+  for (int i = 0; i < 60; ++i) {
+    futures.push_back(service.Submit(MakeRequest(i)));
+  }
+  int ok_count = 0;
+  for (auto& f : futures) {
+    ok_count += f.get().status.ok() ? 1 : 0;
+  }
+  for (std::thread& t : scrapers) {
+    t.join();
+  }
+  EXPECT_EQ(bad_responses.load(), 0);
+  EXPECT_GT(ok_count, 0);
+
+  server.Stop();
+  EXPECT_TRUE(service.Drain().ok());
+}
+
+TEST_F(AdminServerTest, HandlePathRoutesWithoutASocket) {
+  AdminServer server(nullptr, AdminServerOptions{});
+  EXPECT_NE(server.HandlePath("/metrics").find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  EXPECT_NE(server.HandlePath("/healthz").find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  EXPECT_NE(server.HandlePath("/tracez").find("application/json"),
+            std::string::npos);
+  EXPECT_NE(server.HandlePath("/flightz").find("application/json"),
+            std::string::npos);
+  EXPECT_NE(server.HandlePath("/missing").find("HTTP/1.1 404 Not Found"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nimbus::service

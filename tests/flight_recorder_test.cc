@@ -1,0 +1,212 @@
+#include "common/flight_recorder.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nimbus::telemetry {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+FlightRecord MakeRecord(uint64_t i) {
+  FlightRecord record;
+  record.trace_id = 1000 + i;
+  record.ticket = static_cast<int64_t>(i);
+  record.status_code = static_cast<int32_t>(i % 12);
+  record.queue_us = 1.0 + static_cast<double>(i);
+  record.execute_us = 2.0 + static_cast<double>(i);
+  record.commit_us = 3.0 + static_cast<double>(i);
+  record.total_us = 6.0 + 3.0 * static_cast<double>(i);
+  record.quote_attempts = static_cast<int32_t>(1 + i % 3);
+  record.journal_attempts = 1;
+  record.degraded = (i % 2) == 0;
+  record.shed = (i % 5) == 0;
+  return record;
+}
+
+// The recorder is a process singleton shared by every test in this
+// binary; each test starts from a cleared ring.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("NIMBUS_FLIGHT_RECORDER");
+    FlightRecorder::Global().ClearForTest();
+  }
+  void TearDown() override {
+    ::unsetenv("NIMBUS_FLIGHT_RECORDER");
+    FlightRecorder::Global().ClearForTest();
+  }
+};
+
+TEST_F(FlightRecorderTest, RecordSnapshotRoundtripsEveryField) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const FlightRecord in = MakeRecord(7);
+  recorder.Record(in);
+  const std::vector<FlightRecord> snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const FlightRecord& out = snapshot[0];
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  EXPECT_EQ(out.ticket, in.ticket);
+  EXPECT_EQ(out.status_code, in.status_code);
+  EXPECT_DOUBLE_EQ(out.queue_us, in.queue_us);
+  EXPECT_DOUBLE_EQ(out.execute_us, in.execute_us);
+  EXPECT_DOUBLE_EQ(out.commit_us, in.commit_us);
+  EXPECT_DOUBLE_EQ(out.total_us, in.total_us);
+  EXPECT_EQ(out.quote_attempts, in.quote_attempts);
+  EXPECT_EQ(out.journal_attempts, in.journal_attempts);
+  EXPECT_EQ(out.degraded, in.degraded);
+  EXPECT_EQ(out.shed, in.shed);
+  EXPECT_EQ(recorder.TotalRecorded(), 1);
+}
+
+TEST_F(FlightRecorderTest, WraparoundKeepsNewestOldestFirst) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const size_t total = FlightRecorder::kCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    FlightRecord record;
+    record.trace_id = i + 1;  // 0 would be indistinguishable from empty.
+    record.ticket = static_cast<int64_t>(i);
+    recorder.Record(record);
+  }
+  EXPECT_EQ(recorder.TotalRecorded(), static_cast<int64_t>(total));
+  const std::vector<FlightRecord> snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), FlightRecorder::kCapacity);
+  // The 100 oldest records were overwritten; the survivors come back
+  // oldest first in record order.
+  EXPECT_EQ(snapshot.front().ticket, 100);
+  EXPECT_EQ(snapshot.back().ticket, static_cast<int64_t>(total) - 1);
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_EQ(snapshot[i].ticket, snapshot[i - 1].ticket + 1);
+  }
+}
+
+TEST_F(FlightRecorderTest, ToJsonShape) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Record(MakeRecord(1));
+  recorder.Record(MakeRecord(2));
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"flight_records\":["), std::string::npos);
+  EXPECT_NE(json.find("\"total_recorded\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\":1024"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":1001"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":1002"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, DumpOnIncidentWritesOncePerReason) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const std::string path = TempPath("flight_dump.json");
+  std::remove(path.c_str());
+  ASSERT_EQ(::setenv("NIMBUS_FLIGHT_RECORDER", path.c_str(), 1), 0);
+
+  recorder.Record(MakeRecord(1));
+  recorder.DumpOnIncident("fault");
+  ASSERT_TRUE(FileExists(path));
+  EXPECT_NE(ReadFile(path).find("\"flight_records\":["), std::string::npos);
+
+  // A second incident with the same reason is rate-limited: the dump
+  // file is not rewritten.
+  std::remove(path.c_str());
+  recorder.DumpOnIncident("fault");
+  EXPECT_FALSE(FileExists(path));
+
+  // A distinct reason gets its own dump.
+  recorder.DumpOnIncident("deadline-exceeded");
+  EXPECT_TRUE(FileExists(path));
+
+  // ClearForTest resets the per-reason latches.
+  std::remove(path.c_str());
+  recorder.ClearForTest();
+  recorder.DumpOnIncident("fault");
+  EXPECT_TRUE(FileExists(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, DumpOnIncidentIsNoopWithoutEnvVar) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const std::string path = TempPath("flight_dump_unset.json");
+  std::remove(path.c_str());
+  recorder.Record(MakeRecord(1));
+  recorder.DumpOnIncident("fault");
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST_F(FlightRecorderTest, DumpToPathIsUnconditional) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Record(MakeRecord(3));
+  const std::string path = TempPath("flight_explicit.json");
+  ASSERT_TRUE(recorder.DumpToPath(path));
+  EXPECT_NE(ReadFile(path).find("\"trace_id\":1003"), std::string::npos);
+  EXPECT_FALSE(recorder.DumpToPath("/nonexistent-dir/flight.json"));
+  std::remove(path.c_str());
+}
+
+// Concurrent record/snapshot is the ring's reason to exist: writers on
+// every worker thread, readers on the admin thread. The seqlock must
+// never surface a torn record — each slot's fields were written
+// together, so trace_id and ticket must stay consistent.
+TEST_F(FlightRecorderTest, ConcurrentWritersAndReadersSeeNoTornRecords) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> torn{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const FlightRecord& record : recorder.Snapshot()) {
+        if (record.trace_id != static_cast<uint64_t>(record.ticket) + 1) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const int64_t id = static_cast<int64_t>(w) * kPerWriter + i;
+        FlightRecord record;
+        record.ticket = id;
+        record.trace_id = static_cast<uint64_t>(id) + 1;
+        record.total_us = static_cast<double>(id);
+        recorder.Record(record);
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(recorder.TotalRecorded(), kWriters * kPerWriter);
+  const std::vector<FlightRecord> snapshot = recorder.Snapshot();
+  EXPECT_LE(snapshot.size(), FlightRecorder::kCapacity);
+  EXPECT_FALSE(snapshot.empty());
+}
+
+}  // namespace
+}  // namespace nimbus::telemetry

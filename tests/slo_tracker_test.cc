@@ -1,0 +1,161 @@
+#include "common/slo_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/telemetry.h"
+
+namespace nimbus::telemetry {
+namespace {
+
+// target 0.9 makes the error budget a round 0.1, so every expected burn
+// rate below is exact in double arithmetic.
+SloOptions TestOptions(const Clock* clock) {
+  SloOptions options;
+  options.target_availability = 0.9;
+  options.fast_window_seconds = 60.0;
+  options.slow_window_seconds = 600.0;
+  options.bucket_seconds = 1.0;
+  options.clock = clock;
+  return options;
+}
+
+TEST(SloTrackerTest, EmptyWindowsAreHealthyNotUnknown) {
+  ManualClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  const SloTracker::Report report = tracker.Snapshot();
+  EXPECT_EQ(report.fast_good + report.fast_bad, 0);
+  EXPECT_EQ(report.slow_good + report.slow_bad, 0);
+  // No traffic is not an outage: availability 1.0, burn 0.0.
+  EXPECT_DOUBLE_EQ(report.fast_availability, 1.0);
+  EXPECT_DOUBLE_EQ(report.slow_availability, 1.0);
+  EXPECT_DOUBLE_EQ(report.fast_burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(report.slow_burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(report.error_budget, 0.1);
+}
+
+TEST(SloTrackerTest, BurnRateMatchesSreFormula) {
+  ManualClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  for (int i = 0; i < 8; ++i) {
+    tracker.RecordRequest(true, 100.0);
+  }
+  tracker.RecordRequest(false, 100.0);
+  tracker.RecordRequest(false, 100.0);
+  const SloTracker::Report report = tracker.Snapshot();
+  EXPECT_EQ(report.fast_good, 8);
+  EXPECT_EQ(report.fast_bad, 2);
+  EXPECT_DOUBLE_EQ(report.fast_availability, 0.8);
+  // burn = (bad/total) / (1 - target) = 0.2 / 0.1 = 2x budget speed.
+  EXPECT_DOUBLE_EQ(report.fast_burn_rate, 2.0);
+  EXPECT_DOUBLE_EQ(report.slow_availability, 0.8);
+  EXPECT_DOUBLE_EQ(report.slow_burn_rate, 2.0);
+}
+
+TEST(SloTrackerTest, SlowSuccessBurnsTheLatencyBudget) {
+  ManualClock clock;
+  SloOptions options = TestOptions(&clock);
+  options.slow_request_us = 1000.0;
+  SloTracker tracker(options);
+  tracker.RecordRequest(true, 999.0);   // Fast success: good.
+  tracker.RecordRequest(true, 1000.0);  // Exactly on threshold: good.
+  tracker.RecordRequest(true, 1001.0);  // Slow success: burns budget.
+  tracker.RecordRequest(false, 1.0);    // Fast failure: still bad.
+  const SloTracker::Report report = tracker.Snapshot();
+  EXPECT_EQ(report.fast_good, 2);
+  EXPECT_EQ(report.fast_bad, 2);
+  EXPECT_DOUBLE_EQ(report.fast_availability, 0.5);
+  EXPECT_DOUBLE_EQ(report.fast_burn_rate, 5.0);
+}
+
+TEST(SloTrackerTest, FastWindowExpiresAtExactEdge) {
+  ManualClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  tracker.RecordRequest(false, 100.0);  // Lands in bucket epoch 0.
+
+  // 59s later the bucket's age (59) is still < 60 fast buckets.
+  clock.AdvanceSeconds(59.0);
+  SloTracker::Report report = tracker.Snapshot();
+  EXPECT_EQ(report.fast_bad, 1);
+  EXPECT_GT(report.fast_burn_rate, 0.0);
+
+  // One more second and age == fast window: the failure leaves the
+  // fast window but must remain visible in the slow window.
+  clock.AdvanceSeconds(1.0);
+  report = tracker.Snapshot();
+  EXPECT_EQ(report.fast_bad, 0);
+  EXPECT_DOUBLE_EQ(report.fast_availability, 1.0);
+  EXPECT_DOUBLE_EQ(report.fast_burn_rate, 0.0);
+  EXPECT_EQ(report.slow_bad, 1);
+  EXPECT_GT(report.slow_burn_rate, 0.0);
+}
+
+TEST(SloTrackerTest, SlowWindowExpiresAtExactEdge) {
+  ManualClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  tracker.RecordRequest(false, 100.0);
+
+  clock.AdvanceSeconds(599.0);
+  SloTracker::Report report = tracker.Snapshot();
+  EXPECT_EQ(report.slow_bad, 1);
+
+  clock.AdvanceSeconds(1.0);
+  report = tracker.Snapshot();
+  EXPECT_EQ(report.slow_bad, 0);
+  EXPECT_DOUBLE_EQ(report.slow_availability, 1.0);
+  EXPECT_DOUBLE_EQ(report.slow_burn_rate, 0.0);
+}
+
+TEST(SloTrackerTest, RingWraparoundDropsAliasedBucket) {
+  ManualClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  tracker.RecordRequest(true, 100.0);  // Epoch 0.
+
+  // The ring holds slow_buckets + 1 = 601 slots, so epoch 601 reuses
+  // epoch 0's slot. The new outcome must replace the stale bucket, not
+  // accumulate into it, and the stale one is past the slow window.
+  clock.AdvanceSeconds(601.0);
+  tracker.RecordRequest(false, 100.0);
+  const SloTracker::Report report = tracker.Snapshot();
+  EXPECT_EQ(report.slow_good, 0);
+  EXPECT_EQ(report.slow_bad, 1);
+  EXPECT_DOUBLE_EQ(report.slow_availability, 0.0);
+  EXPECT_DOUBLE_EQ(report.slow_burn_rate, 10.0);  // 1.0 / 0.1.
+}
+
+TEST(SloTrackerTest, ExportGaugesMirrorsSnapshot) {
+  Registry::Global().ResetForTest();
+  ManualClock clock;
+  SloTracker tracker(TestOptions(&clock));
+  tracker.RecordRequest(true, 100.0);
+  tracker.RecordRequest(false, 100.0);
+  tracker.ExportGauges();
+  EXPECT_DOUBLE_EQ(Registry::Global().GetGauge("slo_availability").Value(),
+                   0.5);
+  EXPECT_DOUBLE_EQ(Registry::Global().GetGauge("slo_fast_burn_rate").Value(),
+                   5.0);
+  EXPECT_DOUBLE_EQ(Registry::Global().GetGauge("slo_slow_burn_rate").Value(),
+                   5.0);
+  EXPECT_DOUBLE_EQ(Registry::Global().GetGauge("slo_window_requests").Value(),
+                   2.0);
+}
+
+TEST(SloTrackerTest, OptionsAreSanitized) {
+  ManualClock clock;
+  SloOptions raw;
+  raw.clock = &clock;
+  raw.bucket_seconds = 0.0;        // Degenerate: coerced to 1s.
+  raw.fast_window_seconds = 0.25;  // Below one bucket: raised.
+  raw.slow_window_seconds = 0.5;   // Below the fast window: raised.
+  raw.target_availability = 1.5;   // Clamped below 1 so the budget > 0.
+  SloTracker tracker(raw);
+  const SloOptions& options = tracker.options();
+  EXPECT_DOUBLE_EQ(options.bucket_seconds, 1.0);
+  EXPECT_GE(options.fast_window_seconds, options.bucket_seconds);
+  EXPECT_GE(options.slow_window_seconds, options.fast_window_seconds);
+  EXPECT_LT(options.target_availability, 1.0);
+  EXPECT_GT(tracker.Snapshot().error_budget, 0.0);
+}
+
+}  // namespace
+}  // namespace nimbus::telemetry
