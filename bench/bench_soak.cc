@@ -44,6 +44,8 @@
 // fault-point use and, being unknown-point fatal, misspelled drills
 // abort instead of soaking with injection silently disarmed.
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -201,10 +203,13 @@ bool BoolFlag(int argc, char** argv, const char* name) {
 std::string TempJournalPath(const std::string& tag) {
   const char* tmp = std::getenv("TMPDIR");
   std::string dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
-  return dir + "/nimbus_soak_" + tag + ".waj";
+  // Process-unique so soak_fast and soak_fast_tsan (two registrations
+  // of this binary) can run concurrently under ctest -j.
+  return dir + "/nimbus_soak_" + std::to_string(::getpid()) + "_" + tag +
+         ".waj";
 }
 
-Marketplace MakeMarket(uint64_t seed) {
+Marketplace MakeMarket(uint64_t seed, bool use_curve_cache = true) {
   Rng rng(seed);
   nimbus::data::ClassificationSpec spec;
   spec.num_examples = 300;
@@ -216,6 +221,7 @@ Marketplace MakeMarket(uint64_t seed) {
   options.samples_per_curve_point = 50;
   options.min_inverse_ncp = 1.0;
   options.max_inverse_ncp = 50.0;
+  options.use_curve_cache = use_curve_cache;
   Marketplace market(nimbus::data::Split(all, 0.75, rng), options);
   auto points = nimbus::market::MakeBuyerPoints(
       nimbus::market::ValueShape::kConcave,
@@ -240,10 +246,12 @@ PurchaseRequest MakeRequest(int i) {
   return request;
 }
 
-ServiceOptions SoakServiceOptions(uint64_t seed, int workers, int queue) {
+ServiceOptions SoakServiceOptions(uint64_t seed, int workers, int queue,
+                                  int max_quote_batch = 16) {
   ServiceOptions options;
   options.num_workers = workers;
   options.queue_capacity = queue;
+  options.max_quote_batch = max_quote_batch;
   options.seed = seed;
   options.quote_retry.max_attempts = 6;
   options.quote_retry.initial_delay_seconds = 1e-6;
@@ -287,13 +295,27 @@ void CheckRestore(const std::string& path, const Marketplace& live,
 }
 
 // Phase 1: same seed + stream at several worker counts, faults armed.
+// Each worker count runs twice — curve cache + batched quoting on (the
+// default serving configuration) and both off (the request-at-a-time
+// control) — and every ledger must be byte-identical to every other:
+// the hot-path machinery may only change speed, never what is sold.
 void RunDeterminismPhase(int requests, uint64_t seed,
                          const std::string& fault_spec,
                          const std::vector<int>& worker_counts) {
   std::printf("== phase 1: determinism under faults (%d requests, faults '%s')\n",
               requests, fault_spec.c_str());
-  std::vector<std::string> csvs;
+  struct RunConfig {
+    int workers = 1;
+    bool use_cache = true;
+  };
+  std::vector<RunConfig> configs;
   for (int workers : worker_counts) {
+    configs.push_back({workers, true});
+    configs.push_back({workers, false});
+  }
+  std::vector<std::string> csvs;
+  for (const RunConfig& config : configs) {
+    const int workers = config.workers;
     if (!fault_spec.empty()) {
       const Status armed = nimbus::fault::Configure(fault_spec);
       if (!armed.ok()) {
@@ -303,14 +325,16 @@ void RunDeterminismPhase(int requests, uint64_t seed,
       }
     }
     const std::string path =
-        TempJournalPath("det_w" + std::to_string(workers));
+        TempJournalPath("det_w" + std::to_string(workers) +
+                        (config.use_cache ? "_cache" : "_nocache"));
     std::remove(path.c_str());
-    Marketplace market = MakeMarket(seed);
+    Marketplace market = MakeMarket(seed, config.use_cache);
     if (!market.EnableJournal(path, Journal::Options{}).ok()) {
       std::exit(2);
     }
-    MarketService service(&market,
-                          SoakServiceOptions(seed, workers, requests));
+    MarketService service(
+        &market, SoakServiceOptions(seed, workers, requests,
+                                    config.use_cache ? 16 : 1));
     const Status started = service.Start();
     SOAK_CHECK(started.ok(), "det: Start failed: %s",
                started.ToString().c_str());
@@ -355,7 +379,7 @@ void RunDeterminismPhase(int requests, uint64_t seed,
     nimbus::fault::Reset();
 
     RunReport report;
-    report.phase = "determinism";
+    report.phase = config.use_cache ? "determinism" : "determinism_cache_off";
     report.workers = workers;
     report.submitted = stats.submitted;
     report.ok = ok_count;
@@ -377,20 +401,25 @@ void RunDeterminismPhase(int requests, uint64_t seed,
 
     csvs.push_back(market.ledger().ToCsv());
     std::printf(
-        "   workers=%d: ok=%lld retries=%lld revenue=%.6f (%.0f req/s, "
-        "p99 %.0f us)\n",
-        workers, static_cast<long long>(ok_count),
+        "   workers=%d cache=%s: ok=%lld retries=%lld revenue=%.6f "
+        "(%.0f req/s, p99 %.0f us)\n",
+        workers, config.use_cache ? "on" : "off",
+        static_cast<long long>(ok_count),
         static_cast<long long>(retries_seen), market.total_revenue(),
         report.requests_per_second, report.p99_us);
     std::remove(path.c_str());
   }
   for (size_t i = 1; i < csvs.size(); ++i) {
     SOAK_CHECK(csvs[i] == csvs[0],
-               "det: ledger at workers=%d differs from workers=%d byte-wise",
-               worker_counts[i], worker_counts[0]);
+               "det: ledger at workers=%d cache=%s differs from workers=%d "
+               "cache=%s byte-wise",
+               configs[i].workers, configs[i].use_cache ? "on" : "off",
+               configs[0].workers, configs[0].use_cache ? "on" : "off");
   }
-  std::printf("   ledger byte-identical across %zu worker counts: %s\n",
-              csvs.size(), g_violations == 0 ? "yes" : "NO");
+  std::printf(
+      "   ledger byte-identical across %zu runs (workers x cache on/off): "
+      "%s\n",
+      csvs.size(), g_violations == 0 ? "yes" : "NO");
 }
 
 // Phase 2: more offered load than the queue can hold, multi-threaded

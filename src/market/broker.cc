@@ -45,6 +45,24 @@ telemetry::Counter& BudgetCutCounter() {
   return counter;
 }
 
+telemetry::Counter& BatchesCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("quote_batch_batches_total");
+  return counter;
+}
+
+telemetry::Counter& BatchItemsCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("quote_batch_items_total");
+  return counter;
+}
+
+telemetry::Histogram& BatchLatency() {
+  static telemetry::Histogram& histogram =
+      telemetry::Registry::Global().GetHistogram("quote_batch_latency_us");
+  return histogram;
+}
+
 }  // namespace
 
 StatusOr<Broker> Broker::Create(
@@ -85,6 +103,10 @@ Broker::Broker(data::TrainTestSplit split, ml::ModelSpec model,
       optimal_model_(std::move(optimal_model)),
       pricing_(std::make_shared<pricing::LinearPricing>(
           1.0, std::numeric_limits<double>::infinity(), "placeholder")),
+      curve_cache_(options.use_curve_cache ? std::make_shared<CurveCache>()
+                                           : nullptr),
+      eval_fingerprint_(FingerprintDataset(split_.test)),
+      build_mu_(std::make_unique<std::mutex>()),
       rng_(options.seed) {}
 
 void Broker::SetPricingFunction(
@@ -93,46 +115,73 @@ void Broker::SetPricingFunction(
   pricing_ = std::move(pricing);
 }
 
-StatusOr<const pricing::ErrorCurve*> Broker::GetErrorCurve(
-    const std::string& report_loss_name, const CancelToken* cancel,
-    const telemetry::TraceContext* trace) {
-  auto it = error_curves_.find(report_loss_name);
-  if (it != error_curves_.end()) {
-    return &it->second;
+void Broker::AttachCurveCache(std::shared_ptr<CurveCache> cache) {
+  NIMBUS_CHECK(cache != nullptr);
+  curve_cache_ = std::move(cache);
+}
+
+int Broker::EffectiveSamplesPerPoint() const {
+  int samples = options_.samples_per_curve_point;
+  if (options_.curve_draw_budget > 0) {
+    const int64_t grid_points =
+        static_cast<int64_t>(options_.error_curve_points);
+    const int64_t total = grid_points * static_cast<int64_t>(samples);
+    if (total > options_.curve_draw_budget) {
+      samples = static_cast<int>(
+          std::max<int64_t>(1, options_.curve_draw_budget / grid_points));
+    }
   }
+  return samples;
+}
+
+CurveKey Broker::CurveKeyFor(const std::string& report_loss_name) const {
+  CurveKey key;
+  key.dataset_fingerprint = eval_fingerprint_;
+  key.model = std::string(ml::ModelKindToString(model_.kind()));
+  key.mechanism = mechanism_->name();
+  key.loss = report_loss_name;
+  key.seed = options_.seed;
+  key.min_inverse_ncp = options_.min_inverse_ncp;
+  key.max_inverse_ncp = options_.max_inverse_ncp;
+  key.grid_points = options_.error_curve_points;
+  // The budget-reduced count, not the configured one: two brokers whose
+  // budgets imply different sampling must never share a curve.
+  key.samples_per_point = EffectiveSamplesPerPoint();
+  return key;
+}
+
+StatusOr<pricing::ErrorCurve> Broker::BuildErrorCurve(
+    const ml::Loss& loss, const CancelToken* cancel,
+    const telemetry::TraceContext* trace) {
   telemetry::TraceSpan span("broker.build_error_curve", trace);
-  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const ml::Loss> loss,
-                          model_.FindReportLoss(report_loss_name));
   const std::vector<double> grid =
       Linspace(options_.min_inverse_ncp, options_.max_inverse_ncp,
                options_.error_curve_points);
   // Honor the draw budget by shrinking the per-point sample count — the
   // deterministic analogue of a wall-clock deadline on curve builds.
-  int samples = options_.samples_per_curve_point;
-  bool budget_cut = false;
-  if (options_.curve_draw_budget > 0) {
-    const int64_t total =
-        static_cast<int64_t>(grid.size()) * static_cast<int64_t>(samples);
-    if (total > options_.curve_draw_budget) {
-      samples = static_cast<int>(std::max<int64_t>(
-          1, options_.curve_draw_budget / static_cast<int64_t>(grid.size())));
-      budget_cut = true;
-      BudgetCutCounter().Increment();
-      NIMBUS_LOG(kWarning)
-          << "broker: error-curve build for '" << report_loss_name
-          << "' degraded to " << samples << " samples/point to fit a budget of "
-          << options_.curve_draw_budget << " draws";
-    }
+  const int samples = EffectiveSamplesPerPoint();
+  const bool budget_cut = samples != options_.samples_per_curve_point;
+  if (budget_cut) {
+    BudgetCutCounter().Increment();
+    NIMBUS_LOG(kWarning)
+        << "broker: error-curve build for '" << loss.name()
+        << "' degraded to " << samples << " samples/point to fit a budget of "
+        << options_.curve_draw_budget << " draws";
   }
   // Estimate advances the rng it is handed (one Fork per build). Run it
   // on a copy and commit the advance only on success: a deadline-
   // cancelled build must leave rng_ untouched so the retried build draws
   // the same noise — otherwise the byte-identical-ledger determinism
   // contract breaks whenever a deadline fires during a cold build.
+  // build_mu_ extends the same discipline to concurrent builds of
+  // different losses: copy, estimate, and commit are one critical
+  // section, so the stream advances once per successful build in a
+  // well-defined order.
+  std::lock_guard<std::mutex> lock(*build_mu_);
   Rng build_rng = rng_;
   NIMBUS_ASSIGN_OR_RETURN(
       pricing::ErrorCurve curve,
-      pricing::ErrorCurve::Estimate(*mechanism_, optimal_model_, *loss,
+      pricing::ErrorCurve::Estimate(*mechanism_, optimal_model_, loss,
                                     split_.test, grid, samples, build_rng,
                                     cancel, &span.context()));
   rng_ = build_rng;
@@ -140,15 +189,38 @@ StatusOr<const pricing::ErrorCurve*> Broker::GetErrorCurve(
     curve.MarkDegraded();
     span.Annotate("budget-cut");
   }
-  auto [inserted, ok] =
-      error_curves_.emplace(report_loss_name, std::move(curve));
-  NIMBUS_CHECK(ok);
-  return &inserted->second;
+  return curve;
+}
+
+StatusOr<std::shared_ptr<const pricing::ErrorCurve>> Broker::GetErrorCurve(
+    const std::string& report_loss_name, const CancelToken* cancel,
+    const telemetry::TraceContext* trace) {
+  // Resolve the loss before touching the cache: unknown names fail fast
+  // with kNotFound and never occupy a cache slot.
+  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const ml::Loss> loss,
+                          model_.FindReportLoss(report_loss_name));
+  if (!curve_cache_enabled()) {
+    auto it = error_curves_.find(report_loss_name);
+    if (it != error_curves_.end()) {
+      return it->second;
+    }
+    NIMBUS_ASSIGN_OR_RETURN(pricing::ErrorCurve curve,
+                            BuildErrorCurve(*loss, cancel, trace));
+    auto [inserted, ok] = error_curves_.emplace(
+        report_loss_name,
+        std::make_shared<const pricing::ErrorCurve>(std::move(curve)));
+    NIMBUS_CHECK(ok);
+    return inserted->second;
+  }
+  return curve_cache_->GetOrBuild(
+      CurveKeyFor(report_loss_name),
+      [&] { return BuildErrorCurve(*loss, cancel, trace); },
+      StalePolicy::kWait, cancel);
 }
 
 StatusOr<std::vector<Broker::PriceErrorPoint>> Broker::PriceErrorCurve(
     const std::string& report_loss_name) {
-  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const pricing::ErrorCurve> curve,
                           GetErrorCurve(report_loss_name));
   std::vector<PriceErrorPoint> out;
   out.reserve(curve->points().size());
@@ -184,6 +256,57 @@ StatusOr<Broker::Purchase> Broker::QuoteAtInverseNcp(
   return purchase;
 }
 
+void Broker::QuoteBatch(const pricing::ErrorCurve& curve,
+                        std::span<const QuoteBatchItem> items,
+                        std::span<StatusOr<Purchase>> results,
+                        const telemetry::TraceContext* trace) const {
+  NIMBUS_CHECK(items.size() == results.size());
+  if (items.empty()) {
+    return;
+  }
+  telemetry::TraceSpan span("broker.quote_batch", trace);
+  telemetry::ScopedTimer timer(BatchLatency());
+  BatchesCounter().Increment();
+  BatchItemsCounter().Increment(static_cast<int64_t>(items.size()));
+  QuotesCounter().Increment(static_cast<int64_t>(items.size()));
+  const bool degraded = curve.degraded();
+  if (degraded) {
+    span.Annotate("degraded");
+  }
+  // One pass over the piecewise-linear tables for the whole batch; the
+  // per-item bits are identical to a lone ErrorAtInverseNcp call.
+  std::vector<double> xs(items.size());
+  std::vector<double> errors(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    xs[i] = items[i].inverse_ncp;
+  }
+  curve.ErrorAtInverseNcpBatch(xs, errors);
+  for (size_t i = 0; i < items.size(); ++i) {
+    // Same failure order as QuoteAtInverseNcp: fault point first, then
+    // the range check. A faulted item's rng is left untouched, exactly
+    // as the single path leaves it.
+    if (fault::ShouldFail("broker.quote")) {
+      results[i] = InternalError("fault injected at 'broker.quote'");
+      continue;
+    }
+    const double x = items[i].inverse_ncp;
+    if (x < options_.min_inverse_ncp || x > options_.max_inverse_ncp) {
+      results[i] = OutOfRangeError(
+          "requested version is outside the supported inverse-NCP range");
+      continue;
+    }
+    Purchase purchase;
+    purchase.degraded = degraded;
+    purchase.inverse_ncp = x;
+    purchase.ncp = 1.0 / x;
+    purchase.price = pricing_->PriceAtInverseNcp(x);
+    purchase.expected_error = errors[i];
+    purchase.model =
+        mechanism_->Perturb(optimal_model_, purchase.ncp, *items[i].rng);
+    results[i] = std::move(purchase);
+  }
+}
+
 void Broker::RecordSale(const Purchase& purchase) {
   revenue_collected_ += purchase.price;
   ++sales_count_;
@@ -206,14 +329,14 @@ StatusOr<Broker::Purchase> Broker::BuyAtInverseNcp(
     return OutOfRangeError("requested version is outside the supported "
                            "inverse-NCP range");
   }
-  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const pricing::ErrorCurve> curve,
                           GetErrorCurve(report_loss_name));
   return CompleteSale(inverse_ncp, *curve);
 }
 
 StatusOr<Broker::Purchase> Broker::BuyWithErrorBudget(
     double error_budget, const std::string& report_loss_name) {
-  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const pricing::ErrorCurve> curve,
                           GetErrorCurve(report_loss_name));
   // Price is monotone in x, so the cheapest qualifying version is the
   // smallest x meeting the budget — exactly the broker's optimization
@@ -228,7 +351,7 @@ StatusOr<Broker::Purchase> Broker::BuyWithPriceBudget(
   if (price_budget < 0.0) {
     return InvalidArgumentError("price budget must be non-negative");
   }
-  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const pricing::ErrorCurve> curve,
                           GetErrorCurve(report_loss_name));
   // Expected error decreases with x while price increases, so the best
   // affordable version is the largest x with price <= budget (option

@@ -3,6 +3,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "common/statusor.h"
 #include "data/dataset.h"
 #include "linalg/vector_ops.h"
+#include "market/curve_cache.h"
 #include "mechanism/noise_mechanism.h"
 #include "ml/model.h"
 #include "pricing/error_curve.h"
@@ -44,6 +47,12 @@ class Broker {
     // quote path. 0 = unlimited.
     int64_t curve_draw_budget = 0;
     uint64_t seed = 20190642;
+    // Serve error curves through the shared, versioned CurveCache
+    // (single-flight cold builds, concurrency-safe hits). Off = the
+    // legacy per-broker map, which needs external serialization; kept
+    // so the soak can prove cache-on and cache-off ledgers are
+    // byte-identical.
+    bool use_curve_cache = true;
   };
 
   // Trains the optimal model on `split.train` and prepares the broker.
@@ -76,15 +85,38 @@ class Broker {
   }
 
   // Error-transformation curve for one of the model's report losses
-  // (ε name as in ml::Loss::name()); computed lazily and cached.
+  // (ε name as in ml::Loss::name()); computed lazily and cached. The
+  // returned curve is immutable and shared — callers may quote against
+  // it from any thread, and it stays alive across cache invalidations.
+  // With Options::use_curve_cache (the default) lookups go through the
+  // shared CurveCache: hits are a lock-free-ish shared_ptr copy, cold
+  // builds are single-flight, and concurrent callers for the same curve
+  // wait on the one in-flight build instead of racing their own.
   // `cancel` (optional) aborts a cold-cache Monte-Carlo build at the
   // next grid-point boundary when the requesting caller's deadline
   // expires; cache hits never consult it. A cancelled build is not
   // cached, so the next caller retries it. `trace` (optional) nests a
   // cold build's spans under the requesting operation.
-  StatusOr<const pricing::ErrorCurve*> GetErrorCurve(
+  StatusOr<std::shared_ptr<const pricing::ErrorCurve>> GetErrorCurve(
       const std::string& report_loss_name, const CancelToken* cancel = nullptr,
       const telemetry::TraceContext* trace = nullptr);
+
+  // Replaces the broker's (default, private) curve cache with a shared
+  // one, so every offering of a marketplace shares one cache instance.
+  // Keys embed the per-offering seed / model / dataset fingerprint, so
+  // sharing never aliases distinct curves. Call before the first
+  // GetErrorCurve.
+  void AttachCurveCache(std::shared_ptr<CurveCache> cache);
+
+  bool curve_cache_enabled() const {
+    return options_.use_curve_cache && curve_cache_ != nullptr;
+  }
+  // The cache serving this broker (nullptr when use_curve_cache is off).
+  const CurveCache* curve_cache() const { return curve_cache_.get(); }
+
+  // Cache identity of one report loss's curve: everything the build
+  // depends on, including the budget-reduced effective sample count.
+  CurveKey CurveKeyFor(const std::string& report_loss_name) const;
 
   // One row of the price-error curve shown to buyers (Figure 2d).
   struct PriceErrorPoint {
@@ -130,6 +162,28 @@ class Broker {
   StatusOr<Purchase> QuoteAtInverseNcp(
       double inverse_ncp, const pricing::ErrorCurve& curve, Rng& rng,
       const telemetry::TraceContext* trace = nullptr) const;
+
+  // One request of a batched quote: the version to price and the
+  // caller-owned noise stream to draw it from (per-ticket streams keep
+  // batched output bit-identical to the single-quote path).
+  struct QuoteBatchItem {
+    double inverse_ncp = 0.0;
+    Rng* rng = nullptr;
+  };
+
+  // Batched QuoteAtInverseNcp against one shared curve: amortizes the
+  // span/telemetry overhead across the batch and evaluates the
+  // piecewise-linear curve in one pass (ErrorAtInverseNcpBatch). Each
+  // item gets exactly the purchase — same bits — that a lone
+  // QuoteAtInverseNcp with the same rng would produce, including the
+  // per-item 'broker.quote' fault check, so the serving layer can mix
+  // batched and single quoting freely. results[i] carries item i's
+  // outcome; requires results.size() == items.size() and non-null rngs.
+  void QuoteBatch(const pricing::ErrorCurve& curve,
+                  std::span<const QuoteBatchItem> items,
+                  std::span<StatusOr<Purchase>> results,
+                  const telemetry::TraceContext* trace = nullptr) const;
+
   void RecordSale(const Purchase& purchase);
 
   // Derives an independent child stream from the broker's master RNG
@@ -148,13 +202,31 @@ class Broker {
   StatusOr<Purchase> CompleteSale(double inverse_ncp,
                                   const pricing::ErrorCurve& curve);
 
+  // Budget-reduced per-point sample count (Options::curve_draw_budget);
+  // part of the curve's cache identity.
+  int EffectiveSamplesPerPoint() const;
+
+  // One Monte-Carlo curve build with the RNG commit discipline: copies
+  // rng_, runs Estimate, and commits the advance only on success, under
+  // build_mu_ so concurrent builds of different losses never race the
+  // stream. This is the CurveCache builder callback.
+  StatusOr<pricing::ErrorCurve> BuildErrorCurve(
+      const ml::Loss& loss, const CancelToken* cancel,
+      const telemetry::TraceContext* trace);
+
   data::TrainTestSplit split_;
   ml::ModelSpec model_;
   std::unique_ptr<mechanism::NoiseMechanism> mechanism_;
   Options options_;
   linalg::Vector optimal_model_;
   std::shared_ptr<const pricing::PricingFunction> pricing_;
-  std::map<std::string, pricing::ErrorCurve> error_curves_;
+  // Cache-off fallback storage; the cache-on path lives in curve_cache_.
+  std::map<std::string, std::shared_ptr<const pricing::ErrorCurve>>
+      error_curves_;
+  std::shared_ptr<CurveCache> curve_cache_;
+  uint64_t eval_fingerprint_ = 0;
+  // Heap-held so the broker stays movable (std::mutex is not).
+  std::unique_ptr<std::mutex> build_mu_;
   Rng rng_;
   double revenue_collected_ = 0.0;
   int sales_count_ = 0;

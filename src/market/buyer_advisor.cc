@@ -9,7 +9,7 @@ StatusOr<PurchaseRecommendation> RecommendPurchase(
     return InvalidArgumentError(
         "value_per_error_reduction must be positive");
   }
-  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const pricing::ErrorCurve> curve,
                           broker.GetErrorCurve(report_loss_name));
   const double worst_error = curve->points().front().expected_error;
   PurchaseRecommendation best;

@@ -60,7 +60,7 @@ StatusOr<SimulationResult> SimulateMarket(
 
   // Force the error curve once up front so the parallel quotes below hit
   // a read-only broker.
-  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const pricing::ErrorCurve> curve,
                           broker.GetErrorCurve(report_loss_name));
 
   // Phase 1 (parallel): price every buyer point and quote the affordable

@@ -34,6 +34,14 @@ Status Marketplace::AddOffering(
                      std::make_unique<mechanism::GaussianMechanism>(),
                      options));
   broker.SetPricingFunction(pricing);
+  // All offerings share one cache; per-offering seeds (and model names)
+  // keep their curve keys disjoint.
+  if (options.use_curve_cache) {
+    if (curve_cache_ == nullptr) {
+      curve_cache_ = std::make_shared<CurveCache>();
+    }
+    broker.AttachCurveCache(curve_cache_);
+  }
   brokers_.emplace(kind, std::move(broker));
   pricing_.emplace(kind, pricing);
   monitors_.emplace(kind, CollusionMonitor(pricing));
@@ -61,7 +69,7 @@ StatusOr<std::vector<Marketplace::CatalogRow>> Marketplace::Catalog() {
     NIMBUS_ASSIGN_OR_RETURN(Broker * broker, BrokerFor(kind));
     const std::string loss_name =
         broker->model().report_losses().front()->name();
-    NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+    NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const pricing::ErrorCurve> curve,
                             broker->GetErrorCurve(loss_name));
     CatalogRow row;
     row.model = kind;

@@ -115,9 +115,17 @@ class Marketplace {
   // Buyers flagged by any offering's monitor, sorted and deduplicated.
   std::vector<std::string> SuspiciousBuyers() const;
 
+  // The error-curve cache shared by every offering's broker (nullptr
+  // when Broker::Options::use_curve_cache is off). Exposed so the
+  // serving layer and the soak can assert on hit/miss/single-flight
+  // telemetry.
+  const CurveCache* curve_cache() const { return curve_cache_.get(); }
+
  private:
   data::TrainTestSplit split_;
   Broker::Options options_;
+  // Created lazily by the first AddOffering with use_curve_cache set.
+  std::shared_ptr<CurveCache> curve_cache_;
   std::vector<ml::ModelKind> offering_order_;
   std::map<ml::ModelKind, Broker> brokers_;
   std::map<ml::ModelKind, std::shared_ptr<const pricing::PricingFunction>>

@@ -66,7 +66,7 @@ StatusOr<PopulationOutcome> RunPopulation(Broker& broker,
                                           Rng& rng) {
   NIMBUS_RETURN_IF_ERROR(ValidateSpec(spec));
   // Resolve the error curve up front so failures surface before sales.
-  NIMBUS_ASSIGN_OR_RETURN(const pricing::ErrorCurve* curve,
+  NIMBUS_ASSIGN_OR_RETURN(std::shared_ptr<const pricing::ErrorCurve> curve,
                           broker.GetErrorCurve(report_loss_name));
 
   PopulationOutcome outcome;

@@ -175,22 +175,73 @@ StatusOr<ErrorCurve> ErrorCurve::Estimate(
   return curve;
 }
 
-double ErrorCurve::ErrorAtInverseNcp(double x) const {
-  if (x <= points_.front().inverse_ncp) {
-    return points_.front().expected_error;
+ErrorCurve::ErrorCurve(std::vector<ErrorCurvePoint> points)
+    : points_(std::move(points)) {
+  xs_.reserve(points_.size());
+  errs_.reserve(points_.size());
+  for (const ErrorCurvePoint& p : points_) {
+    xs_.push_back(p.inverse_ncp);
+    errs_.push_back(p.expected_error);
   }
-  if (x >= points_.back().inverse_ncp) {
-    return points_.back().expected_error;
-  }
-  for (size_t i = 1; i < points_.size(); ++i) {
-    if (x <= points_[i].inverse_ncp) {
-      const ErrorCurvePoint& lo = points_[i - 1];
-      const ErrorCurvePoint& hi = points_[i];
-      const double t = (x - lo.inverse_ncp) / (hi.inverse_ncp - lo.inverse_ncp);
-      return lo.expected_error + t * (hi.expected_error - lo.expected_error);
+  // Linspace grids (the broker's only producer) are uniform up to
+  // rounding; detect that once so the hot path can index directly. The
+  // tolerance keeps the direct guess within one segment of the truth,
+  // which the SegmentFor fixup then closes exactly.
+  const size_t n = xs_.size();
+  const double span = xs_.back() - xs_.front();
+  if (n >= 2 && span > 0.0) {
+    const double step = span / static_cast<double>(n - 1);
+    double max_dev = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double ideal = xs_.front() + static_cast<double>(i) * step;
+      max_dev = std::max(max_dev, std::abs(xs_[i] - ideal));
+    }
+    if (max_dev <= 0.25 * step) {
+      uniform_grid_ = true;
+      inv_step_ = 1.0 / step;
     }
   }
-  return points_.back().expected_error;
+}
+
+size_t ErrorCurve::SegmentFor(double x) const {
+  const size_t n = xs_.size();
+  size_t i;
+  if (uniform_grid_) {
+    const double guess = (x - xs_.front()) * inv_step_;
+    i = 1 + std::min(static_cast<size_t>(std::max(guess, 0.0)), n - 2);
+    // The guess is within one segment; nudge to the first i with
+    // x <= xs_[i] so the chosen segment matches a linear scan exactly.
+    while (x > xs_[i]) {
+      ++i;
+    }
+    while (i > 1 && x <= xs_[i - 1]) {
+      --i;
+    }
+  } else {
+    i = static_cast<size_t>(
+        std::lower_bound(xs_.begin() + 1, xs_.end(), x) - xs_.begin());
+  }
+  return i;
+}
+
+double ErrorCurve::ErrorAtInverseNcp(double x) const {
+  if (x <= xs_.front()) {
+    return errs_.front();
+  }
+  if (x >= xs_.back()) {
+    return errs_.back();
+  }
+  const size_t i = SegmentFor(x);
+  const double t = (x - xs_[i - 1]) / (xs_[i] - xs_[i - 1]);
+  return errs_[i - 1] + t * (errs_[i] - errs_[i - 1]);
+}
+
+void ErrorCurve::ErrorAtInverseNcpBatch(std::span<const double> xs,
+                                        std::span<double> out) const {
+  NIMBUS_CHECK(xs.size() == out.size());
+  for (size_t j = 0; j < xs.size(); ++j) {
+    out[j] = ErrorAtInverseNcp(xs[j]);
+  }
 }
 
 StatusOr<double> ErrorCurve::MinInverseNcpForErrorBudget(
@@ -198,27 +249,31 @@ StatusOr<double> ErrorCurve::MinInverseNcpForErrorBudget(
   if (error_budget < 0.0) {
     return InvalidArgumentError("error budget must be non-negative");
   }
-  if (points_.back().expected_error > error_budget) {
+  if (errs_.back() > error_budget) {
     return InfeasibleError(
         "no supported version achieves the requested error budget");
   }
-  if (points_.front().expected_error <= error_budget) {
-    return points_.front().inverse_ncp;
+  if (errs_.front() <= error_budget) {
+    return xs_.front();
   }
-  // Walk to the first point meeting the budget and interpolate back.
-  for (size_t i = 1; i < points_.size(); ++i) {
-    if (points_[i].expected_error <= error_budget) {
-      const ErrorCurvePoint& lo = points_[i - 1];
-      const ErrorCurvePoint& hi = points_[i];
-      if (lo.expected_error == hi.expected_error) {
-        return hi.inverse_ncp;
-      }
-      const double t = (lo.expected_error - error_budget) /
-                       (lo.expected_error - hi.expected_error);
-      return lo.inverse_ncp + t * (hi.inverse_ncp - lo.inverse_ncp);
-    }
+  // errs_ is non-increasing (FromSamples contract), so the first point
+  // meeting the budget is a binary search: the first element that is not
+  // greater than the budget. Interpolate back into its segment with the
+  // same arithmetic a scan would use.
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(errs_.begin(), errs_.end(), error_budget,
+                       std::greater<double>()) -
+      errs_.begin());
+  if (i >= errs_.size()) {
+    return InternalError("unreachable: budget feasibility already checked");
   }
-  return InternalError("unreachable: budget feasibility already checked");
+  const double lo_err = errs_[i - 1];
+  const double hi_err = errs_[i];
+  if (lo_err == hi_err) {
+    return xs_[i];
+  }
+  const double t = (lo_err - error_budget) / (lo_err - hi_err);
+  return xs_[i - 1] + t * (xs_[i] - xs_[i - 1]);
 }
 
 }  // namespace nimbus::pricing

@@ -1,6 +1,8 @@
 #ifndef NIMBUS_PRICING_ERROR_CURVE_H_
 #define NIMBUS_PRICING_ERROR_CURVE_H_
 
+#include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,21 +79,47 @@ class ErrorCurve {
   double max_inverse_ncp() const { return points_.back().inverse_ncp; }
 
   // Expected error at inverse NCP x (piecewise-linear interpolation,
-  // clamped to the sampled range).
+  // clamped to the sampled range). Quote-hot-path fast: segment lookup
+  // is O(1) direct indexing on the (Linspace) uniform grid — with a
+  // one-step fixup so the selected segment, and therefore every output
+  // bit, matches a plain scan — and O(log n) binary search otherwise.
   double ErrorAtInverseNcp(double x) const;
+
+  // Batched evaluation for Broker::QuoteBatch: fills out[i] with
+  // ErrorAtInverseNcp(xs[i]). One tight loop over the precomputed
+  // tables, no per-call dispatch; requires out.size() == xs.size().
+  void ErrorAtInverseNcpBatch(std::span<const double> xs,
+                              std::span<double> out) const;
 
   // The error-inverse φ: the smallest sampled-range x whose expected
   // error is <= `error_budget`. This is exactly what the broker needs for
   // the buyer's error-budget purchase option (§3.2): price increases with
   // x, so the cheapest version meeting the budget is the smallest such x.
   // Fails with kInfeasible when even the largest x exceeds the budget.
+  // Served from the precomputed inverse-φ table (the expected errors are
+  // non-increasing, so the qualifying point is a binary search away).
   StatusOr<double> MinInverseNcpForErrorBudget(double error_budget) const;
 
  private:
-  explicit ErrorCurve(std::vector<ErrorCurvePoint> points)
-      : points_(std::move(points)) {}
+  explicit ErrorCurve(std::vector<ErrorCurvePoint> points);
+
+  // Index i in [1, n) of the segment (points_[i-1], points_[i]] covering
+  // x; requires points_.front().inverse_ncp < x < points_.back().inverse_ncp.
+  // Chooses exactly the segment a front-to-back scan would (the first i
+  // with x <= points_[i].inverse_ncp) so interpolation stays bit-stable.
+  size_t SegmentFor(double x) const;
 
   std::vector<ErrorCurvePoint> points_;
+  // Flat lookup tables mirroring points_, built once at construction so
+  // the quote hot path touches contiguous doubles instead of walking
+  // structs: xs_ (grid), errs_ (the inverse-φ table — non-increasing by
+  // the FromSamples contract).
+  std::vector<double> xs_;
+  std::vector<double> errs_;
+  // Direct-indexing support when the grid is (near-)uniform: the first
+  // guess (x - xs_[0]) * inv_step_ is within one segment of the truth.
+  bool uniform_grid_ = false;
+  double inv_step_ = 0.0;
   bool degraded_ = false;
 };
 

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -51,6 +52,22 @@ class BoundedQueue {
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
+  }
+
+  // Blocks like Pop for the first item, then drains up to `max_items`
+  // total without further blocking, all under one lock hold — the
+  // returned items are one contiguous FIFO run (for the service's dense
+  // tickets: consecutive), so a consumer can commit them with a single
+  // sequencer rendezvous. Empty result = closed and drained.
+  std::vector<T> PopBatch(size_t max_items) {
+    std::vector<T> out;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    while (!items_.empty() && out.size() < max_items) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
   }
 
   // Stops admissions; queued items still drain through Pop. Idempotent.

@@ -230,7 +230,7 @@ void MarketService::RecordRejected(uint64_t trace_id, const Status& status,
   slo_.RecordRequest(/*ok=*/false, flight.total_us);
 }
 
-StatusOr<std::pair<market::Broker*, const pricing::ErrorCurve*>>
+StatusOr<std::pair<market::Broker*, std::shared_ptr<const pricing::ErrorCurve>>>
 MarketService::ResolveTarget(const PurchaseRequest& request,
                              const CancelToken* cancel,
                              const telemetry::TraceContext* trace) {
@@ -240,16 +240,20 @@ MarketService::ResolveTarget(const PurchaseRequest& request,
   if (loss_name.empty()) {
     loss_name = broker->model().report_losses().front()->name();
   }
-  const pricing::ErrorCurve* curve = nullptr;
-  {
-    // GetErrorCurve mutates the broker's cache on a cold miss; Start
-    // prewarms so this is normally a read-only hit, but a request for an
-    // unknown loss (or a cancelled prewarm retry) still needs the lock.
+  std::shared_ptr<const pricing::ErrorCurve> curve;
+  if (broker->curve_cache_enabled()) {
+    // The CurveCache is concurrency-safe (hits are shared-lock lookups,
+    // cold builds single-flight), so the hot path takes no service lock.
+    NIMBUS_ASSIGN_OR_RETURN(curve,
+                            broker->GetErrorCurve(loss_name, cancel, trace));
+  } else {
+    // Legacy cache-off path: GetErrorCurve mutates the broker's private
+    // map on a cold miss, so resolution is serialized.
     std::lock_guard<std::mutex> lock(curve_mu_);
     NIMBUS_ASSIGN_OR_RETURN(curve,
                             broker->GetErrorCurve(loss_name, cancel, trace));
   }
-  return std::make_pair(broker, curve);
+  return std::make_pair(broker, std::move(curve));
 }
 
 void MarketService::ExecuteQuote(const Item& item, PurchaseResult& result) {
@@ -263,10 +267,23 @@ void MarketService::ExecuteQuote(const Item& item, PurchaseResult& result) {
     result.status = target.status();
     return;
   }
-  market::Broker* broker = target->first;
-  const pricing::ErrorCurve* curve = target->second;
+  RunQuoteRetries(item, result, target->first, *target->second,
+                  /*first_attempt=*/nullptr);
+}
 
+void MarketService::RunQuoteRetries(const Item& item, PurchaseResult& result,
+                                    market::Broker* broker,
+                                    const pricing::ErrorCurve& curve,
+                                    const Status* first_attempt) {
+  bool replay_first = first_attempt != nullptr;
   auto attempt = [&]() -> Status {
+    if (replay_first) {
+      // The batched path already executed (and accounted) attempt one;
+      // hand its outcome to the retry loop so budgets and backoff line
+      // up with request-at-a-time draining.
+      replay_first = false;
+      return *first_attempt;
+    }
     // One child span per attempt, so a retried request shows each try —
     // and why it failed — as a sibling under the request's root span.
     telemetry::TraceSpan span("service.quote.attempt", &item.trace);
@@ -282,7 +299,7 @@ void MarketService::ExecuteQuote(const Item& item, PurchaseResult& result) {
     // noise, so retries cannot perturb the ledger bytes.
     Rng rng = base_rng_.Fork(StreamId(item.ticket, kQuoteStream));
     StatusOr<market::Broker::Purchase> quote = broker->QuoteAtInverseNcp(
-        item.request.inverse_ncp, *curve, rng, &span.context());
+        item.request.inverse_ncp, curve, rng, &span.context());
     if (quote.ok()) {
       quote_breaker_.RecordSuccess();
       result.purchase = std::move(*quote);
@@ -303,13 +320,120 @@ void MarketService::ExecuteQuote(const Item& item, PurchaseResult& result) {
   result.status = RetryWithBackoff(
       options_.quote_retry,
       base_rng_.Fork(StreamId(item.ticket, kQuoteBackoffStream)), *clock_,
-      cancel, attempt, &result.quote_attempts);
+      item.cancel.get(), attempt, &result.quote_attempts);
 }
 
-void MarketService::CommitInOrder(Item& item, PurchaseResult& result) {
-  std::unique_lock<std::mutex> lock(seq_mu_);
-  seq_cv_.wait(lock, [&] { return next_commit_ == item.ticket; });
+void MarketService::ExecuteQuoteBatch(std::vector<Item>& items,
+                                      std::vector<PurchaseResult>& results) {
+  const size_t n = items.size();
+  // Per-item admission checks and target resolution. Distinct items may
+  // name distinct models (brokers), so targets are tracked per item.
+  struct Target {
+    market::Broker* broker = nullptr;
+    std::shared_ptr<const pricing::ErrorCurve> curve;
+    bool pending = false;  // Still needs its first quote attempt.
+  };
+  std::vector<Target> targets(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Item& item = items[i];
+    results[i].status =
+        CancelToken::Check(item.cancel.get(), "admission-to-execution");
+    if (!results[i].status.ok()) {
+      continue;
+    }
+    auto target = ResolveTarget(item.request, item.cancel.get(), &item.trace);
+    if (!target.ok()) {
+      results[i].status = target.status();
+      continue;
+    }
+    targets[i].broker = target->first;
+    targets[i].curve = std::move(target->second);
+    targets[i].pending = true;
+  }
+  // First attempt, batched: one Broker::QuoteBatch per contiguous run of
+  // items sharing a (broker, curve). Per-item service.execute fault and
+  // breaker checks mirror the single path's attempt preamble.
+  for (size_t begin = 0; begin < n;) {
+    if (!targets[begin].pending) {
+      ++begin;
+      continue;
+    }
+    size_t end = begin + 1;
+    while (end < n && targets[end].pending &&
+           targets[end].broker == targets[begin].broker &&
+           targets[end].curve == targets[begin].curve) {
+      ++end;
+    }
+    telemetry::TraceSpan span("service.quote.batch_attempt",
+                              &items[begin].trace);
+    std::vector<size_t> quoted;             // Items that reach the broker.
+    std::vector<Rng> rngs;                  // Stable storage for item rngs.
+    quoted.reserve(end - begin);
+    rngs.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      if (fault::ShouldFail("service.execute")) {
+        span.Annotate("fault:service.execute");
+        results[i].status = InternalError("fault injected at 'service.execute'");
+        continue;
+      }
+      if (Status allowed = quote_breaker_.Allow(); !allowed.ok()) {
+        span.Annotate("breaker-open");
+        results[i].status = std::move(allowed);
+        continue;
+      }
+      quoted.push_back(i);
+      rngs.push_back(base_rng_.Fork(StreamId(items[i].ticket, kQuoteStream)));
+    }
+    if (!quoted.empty()) {
+      std::vector<market::Broker::QuoteBatchItem> batch(quoted.size());
+      std::vector<StatusOr<market::Broker::Purchase>> outcomes(
+          quoted.size(), StatusOr<market::Broker::Purchase>(
+                             InternalError("quote batch slot not filled")));
+      for (size_t j = 0; j < quoted.size(); ++j) {
+        batch[j].inverse_ncp = items[quoted[j]].request.inverse_ncp;
+        batch[j].rng = &rngs[j];
+      }
+      targets[begin].broker->QuoteBatch(*targets[begin].curve, batch, outcomes,
+                                        &span.context());
+      for (size_t j = 0; j < quoted.size(); ++j) {
+        const size_t i = quoted[j];
+        if (outcomes[j].ok()) {
+          quote_breaker_.RecordSuccess();
+          results[i].purchase = std::move(*outcomes[j]);
+          results[i].status = OkStatus();
+          results[i].quote_attempts = 1;
+          targets[i].pending = false;
+          continue;
+        }
+        if (outcomes[j].status().code() == StatusCode::kInternal) {
+          quote_breaker_.RecordFailure();
+          if (outcomes[j].status().message().find("fault injected") !=
+              std::string::npos) {
+            span.Annotate("fault:broker.quote");
+          }
+        } else {
+          quote_breaker_.RecordSuccess();
+        }
+        results[i].status = outcomes[j].status();
+      }
+    }
+    begin = end;
+  }
+  // Items whose batched first attempt failed re-enter the standard retry
+  // loop with that outcome replayed as attempt one — budgets, backoff
+  // delays, and deadline handling are byte-for-byte the single path's
+  // (fresh per-ticket forks redraw identical noise on real retries).
+  for (size_t i = 0; i < n; ++i) {
+    if (!targets[i].pending || results[i].status.ok()) {
+      continue;
+    }
+    const Status first_attempt = std::move(results[i].status);
+    RunQuoteRetries(items[i], results[i], targets[i].broker, *targets[i].curve,
+                    &first_attempt);
+  }
+}
 
+void MarketService::CommitOne(Item& item, PurchaseResult& result) {
   if (result.status.ok()) {
     auto attempt = [&]() -> Status {
       telemetry::TraceSpan span("service.commit.attempt", &item.trace);
@@ -345,8 +469,32 @@ void MarketService::CommitInOrder(Item& item, PurchaseResult& result) {
         base_rng_.Fork(StreamId(item.ticket, kJournalBackoffStream)), *clock_,
         /*cancel=*/nullptr, attempt, &result.journal_attempts);
   }
+}
 
+void MarketService::CommitInOrder(Item& item, PurchaseResult& result) {
+  std::unique_lock<std::mutex> lock(seq_mu_);
+  seq_cv_.wait(lock, [&] { return next_commit_ == item.ticket; });
+  CommitOne(item, result);
   ++next_commit_;
+  seq_cv_.notify_all();
+}
+
+void MarketService::CommitBatchInOrder(std::vector<Item>& items,
+                                       std::vector<PurchaseResult>& results) {
+  if (items.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(seq_mu_);
+  // PopBatch guarantees the batch is one consecutive ticket run, so one
+  // rendezvous on the first ticket covers the whole batch — and one
+  // notify_all at the end replaces the per-request wakeup storm that
+  // made every waiting worker recheck its predicate n times per n
+  // commits.
+  seq_cv_.wait(lock, [&] { return next_commit_ == items.front().ticket; });
+  for (size_t i = 0; i < items.size(); ++i) {
+    CommitOne(items[i], results[i]);
+    ++next_commit_;
+  }
   seq_cv_.notify_all();
 }
 
@@ -399,45 +547,59 @@ void MarketService::Finish(Item& item, PurchaseResult result,
 }
 
 void MarketService::WorkerLoop() {
+  const size_t max_batch =
+      static_cast<size_t>(std::max(options_.max_quote_batch, 1));
   while (true) {
-    std::optional<Item> popped = queue_.Pop();
-    if (!popped.has_value()) {
+    std::vector<Item> batch = queue_.PopBatch(max_batch);
+    if (batch.empty()) {
       return;  // Closed and drained.
     }
     QueueDepthGauge().Set(static_cast<double>(queue_.size()));
-    Item item = std::move(*popped);
-    PurchaseResult result;
-    result.ticket = item.ticket;
-    result.trace_id = item.trace.trace_id;
-    telemetry::FlightRecord flight;
-    flight.trace_id = item.trace.trace_id;
-    flight.ticket = item.ticket;
+    const size_t n = batch.size();
+    std::vector<PurchaseResult> results(n);
+    std::vector<telemetry::FlightRecord> flights(n);
+    // Root span of each request's trace tree; every downstream span
+    // (curve build, quote attempts, journal append) parents here.
+    // unique_ptr because TraceSpan is pinned (non-movable).
+    std::vector<std::unique_ptr<telemetry::TraceSpan>> roots(n);
     const int64_t dequeue_ns = clock_->NowNanos();
-    flight.queue_us =
-        static_cast<double>(dequeue_ns - item.submit_ns) / 1000.0;
-    {
-      // Root span of the request's trace tree; every downstream span
-      // (curve build, quote attempts, journal append) parents here.
-      telemetry::TraceSpan root("service.request", &item.trace);
-      item.trace = root.context();
-      const int64_t execute_start_ns = clock_->NowNanos();
-      ExecuteQuote(item, result);
-      const int64_t execute_end_ns = clock_->NowNanos();
-      flight.execute_us =
-          static_cast<double>(execute_end_ns - execute_start_ns) / 1000.0;
-      CommitInOrder(item, result);
-      flight.commit_us =
-          static_cast<double>(clock_->NowNanos() - execute_end_ns) / 1000.0;
-      if (result.status.code() == StatusCode::kDeadlineExceeded) {
-        root.Annotate("deadline-exceeded");
-      } else if (!result.status.ok()) {
-        root.Annotate("failed");
-      }
-      if (result.purchase.degraded) {
-        root.Annotate("degraded");
-      }
+    for (size_t i = 0; i < n; ++i) {
+      results[i].ticket = batch[i].ticket;
+      results[i].trace_id = batch[i].trace.trace_id;
+      flights[i].trace_id = batch[i].trace.trace_id;
+      flights[i].ticket = batch[i].ticket;
+      flights[i].queue_us =
+          static_cast<double>(dequeue_ns - batch[i].submit_ns) / 1000.0;
+      roots[i] = std::make_unique<telemetry::TraceSpan>("service.request",
+                                                        &batch[i].trace);
+      batch[i].trace = roots[i]->context();
     }
-    Finish(item, std::move(result), flight);
+    const int64_t execute_start_ns = clock_->NowNanos();
+    ExecuteQuoteBatch(batch, results);
+    const int64_t execute_end_ns = clock_->NowNanos();
+    CommitBatchInOrder(batch, results);
+    const int64_t commit_end_ns = clock_->NowNanos();
+    // Phase timings are batch-level: each request in the batch reports
+    // the batch's execute/commit window (the flight record's per-request
+    // split is for attribution, not accounting).
+    const double execute_us =
+        static_cast<double>(execute_end_ns - execute_start_ns) / 1000.0;
+    const double commit_us =
+        static_cast<double>(commit_end_ns - execute_end_ns) / 1000.0;
+    for (size_t i = 0; i < n; ++i) {
+      flights[i].execute_us = execute_us;
+      flights[i].commit_us = commit_us;
+      if (results[i].status.code() == StatusCode::kDeadlineExceeded) {
+        roots[i]->Annotate("deadline-exceeded");
+      } else if (!results[i].status.ok()) {
+        roots[i]->Annotate("failed");
+      }
+      if (results[i].purchase.degraded) {
+        roots[i]->Annotate("degraded");
+      }
+      roots[i].reset();  // Close the root span before filing the result.
+      Finish(batch[i], std::move(results[i]), flights[i]);
+    }
   }
 }
 

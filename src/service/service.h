@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/backoff.h"
 #include "common/clock.h"
@@ -43,6 +44,13 @@ struct ServiceOptions {
   // (every injected failure is absorbed by a retry).
   CircuitBreakerOptions quote_breaker;
   CircuitBreakerOptions journal_breaker;
+  // Upper bound on how many admitted quote-only requests one worker
+  // drains per queue rendezvous. Batching amortizes queue and sequencer
+  // synchronization (one wait + one wakeup per batch instead of per
+  // request) and quotes each batch through Broker::QuoteBatch. 1 =
+  // request-at-a-time draining. Ledger bytes are identical at every
+  // setting: quotes stay pure per-ticket functions of the master seed.
+  int max_quote_batch = 16;
   // Master seed: request `ticket` quotes with the pure child stream
   // Fork(4*ticket) of Rng(seed), so results are independent of worker
   // count, scheduling, and retry count.
@@ -178,10 +186,34 @@ class MarketService {
   // Quote phase (concurrent): resolves the broker/curve and runs the
   // retried, breaker-gated quote. Fills result.status/purchase.
   void ExecuteQuote(const Item& item, PurchaseResult& result);
+  // Batched quote phase over one PopBatch run: per-item admission/fault/
+  // breaker checks, then one Broker::QuoteBatch per contiguous run of
+  // items sharing a (broker, curve). An item whose batched first attempt
+  // fails re-enters the standard retry loop with that outcome replayed
+  // as attempt one, so attempt budgets, backoff delays, deadline expiry
+  // — and ledger bytes — match request-at-a-time draining exactly.
+  void ExecuteQuoteBatch(std::vector<Item>& items,
+                         std::vector<PurchaseResult>& results);
+  // The retried, breaker-gated quote loop shared by both paths. When
+  // `first_attempt` is non-null its status is served as attempt one
+  // (the already-executed batched attempt) instead of re-quoting.
+  void RunQuoteRetries(const Item& item, PurchaseResult& result,
+                       market::Broker* broker,
+                       const pricing::ErrorCurve& curve,
+                       const Status* first_attempt);
+  // Books one successful quote (retried, breaker-gated journal append).
+  // Caller holds the sequencer turn for the item's ticket.
+  void CommitOne(Item& item, PurchaseResult& result);
   // Commit phase: waits for the sequencer turn of `ticket`, then (for
   // successful quotes) books the sale with the retried, breaker-gated
   // journal append.
   void CommitInOrder(Item& item, PurchaseResult& result);
+  // Batch commit: one sequencer wait for the batch's first ticket, then
+  // commits the (consecutive) tickets in order with a single wakeup at
+  // the end — the per-request condvar thundering herd this replaces is
+  // what made the soak scale negatively with workers.
+  void CommitBatchInOrder(std::vector<Item>& items,
+                          std::vector<PurchaseResult>& results);
   void Finish(Item& item, PurchaseResult result,
               telemetry::FlightRecord flight);
   // Files a terminal outcome that never reached a worker (shed or
@@ -189,7 +221,7 @@ class MarketService {
   void RecordRejected(uint64_t trace_id, const Status& status, bool shed,
                       int64_t submit_ns);
 
-  StatusOr<std::pair<market::Broker*, const pricing::ErrorCurve*>>
+  StatusOr<std::pair<market::Broker*, std::shared_ptr<const pricing::ErrorCurve>>>
   ResolveTarget(const PurchaseRequest& request, const CancelToken* cancel,
                 const telemetry::TraceContext* trace);
 
@@ -216,8 +248,10 @@ class MarketService {
   std::condition_variable seq_cv_;
   int64_t next_commit_ = 0;
 
-  // Error-curve resolution is serialized: Broker::GetErrorCurve mutates
-  // its cache, and concurrent cold builds would race.
+  // Serializes error-curve resolution only for cache-off brokers, whose
+  // legacy curve map is not concurrency-safe. Cache-on brokers (the
+  // default) resolve through the single-flight CurveCache and never
+  // take this lock.
   std::mutex curve_mu_;
 
   std::atomic<bool> started_{false};

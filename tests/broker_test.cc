@@ -70,7 +70,7 @@ TEST(BrokerTest, TrainsOptimalModelOnce) {
 TEST(BrokerTest, ErrorCurveIsMonotoneAndCached) {
   StatusOr<Broker> broker = MakeBroker();
   ASSERT_TRUE(broker.ok());
-  StatusOr<const pricing::ErrorCurve*> curve =
+  StatusOr<std::shared_ptr<const pricing::ErrorCurve>> curve =
       broker->GetErrorCurve("squared");
   ASSERT_TRUE(curve.ok());
   std::vector<double> errors;
@@ -79,7 +79,7 @@ TEST(BrokerTest, ErrorCurveIsMonotoneAndCached) {
   }
   EXPECT_TRUE(IsNonIncreasing(errors, 1e-12));
   // Second call returns the same cached object.
-  StatusOr<const pricing::ErrorCurve*> again =
+  StatusOr<std::shared_ptr<const pricing::ErrorCurve>> again =
       broker->GetErrorCurve("squared");
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(*curve, *again);
@@ -149,7 +149,7 @@ TEST(BrokerTest, PurchasedModelQualityTracksPricePaid) {
 TEST(BrokerTest, BuyWithErrorBudget) {
   StatusOr<Broker> broker = MakeBroker();
   ASSERT_TRUE(broker.ok());
-  StatusOr<const pricing::ErrorCurve*> curve =
+  StatusOr<std::shared_ptr<const pricing::ErrorCurve>> curve =
       broker->GetErrorCurve("squared");
   ASSERT_TRUE(curve.ok());
   const double mid_error = (*curve)->ErrorAtInverseNcp(10.0);
@@ -203,7 +203,7 @@ TEST(BrokerTest, PoissonBrokerErrorCurveIsMonotone) {
                      std::make_unique<mechanism::GaussianMechanism>(),
                      options);
   ASSERT_TRUE(broker.ok());
-  StatusOr<const pricing::ErrorCurve*> curve =
+  StatusOr<std::shared_ptr<const pricing::ErrorCurve>> curve =
       broker->GetErrorCurve("poisson");
   ASSERT_TRUE(curve.ok());
   std::vector<double> errors;
@@ -233,7 +233,7 @@ TEST(BrokerTest, ClassificationBrokerSupportsZeroOneCurve) {
                      std::make_unique<mechanism::GaussianMechanism>(),
                      FastOptions());
   ASSERT_TRUE(broker.ok());
-  StatusOr<const pricing::ErrorCurve*> curve =
+  StatusOr<std::shared_ptr<const pricing::ErrorCurve>> curve =
       broker->GetErrorCurve("zero_one");
   ASSERT_TRUE(curve.ok());
   std::vector<double> errors;
@@ -260,7 +260,7 @@ TEST(BrokerTest, DrawBudgetDegradesCurveInsteadOfStalling) {
                      std::make_unique<mechanism::GaussianMechanism>(),
                      options);
   ASSERT_TRUE(broker.ok());
-  StatusOr<const pricing::ErrorCurve*> curve =
+  StatusOr<std::shared_ptr<const pricing::ErrorCurve>> curve =
       broker->GetErrorCurve("squared");
   ASSERT_TRUE(curve.ok());
   EXPECT_TRUE((*curve)->degraded());
@@ -304,13 +304,13 @@ TEST(BrokerTest, CancelledCurveBuildDoesNotPerturbRngStream) {
   // forked the broker rng.
   SteppingClock clock(/*step_ns=*/1000000);
   CancelToken token(&clock, /*deadline_seconds=*/0.0015);
-  StatusOr<const pricing::ErrorCurve*> interrupted =
+  StatusOr<std::shared_ptr<const pricing::ErrorCurve>> interrupted =
       cancelled->GetErrorCurve("squared", &token);
   ASSERT_EQ(interrupted.status().code(), StatusCode::kDeadlineExceeded)
       << interrupted.status();
 
-  StatusOr<const pricing::ErrorCurve*> want = control->GetErrorCurve("squared");
-  StatusOr<const pricing::ErrorCurve*> got =
+  StatusOr<std::shared_ptr<const pricing::ErrorCurve>> want = control->GetErrorCurve("squared");
+  StatusOr<std::shared_ptr<const pricing::ErrorCurve>> got =
       cancelled->GetErrorCurve("squared");
   ASSERT_TRUE(want.ok());
   ASSERT_TRUE(got.ok());

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <unistd.h>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -25,7 +26,9 @@ namespace nimbus::market {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Process-unique so the plain and _tsan ctest registrations of this
+  // binary can run concurrently without clobbering each other's files.
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 std::string ReadFileBytes(const std::string& path) {
