@@ -17,6 +17,8 @@
 //   --seed=N                 master seed (default 20190642)
 //   --fast                   ctest-sized run: 20000 quotes, 3 cold builds
 //   --bench-json=PATH        write the numbers as JSON (BENCH_quote.json)
+//   --profile=PATH           sample the CPU over the whole run (199 Hz)
+//                            and write folded stacks to PATH
 //   --check-warm-p50-us=X    exit non-zero when the warm-quote p50
 //                            exceeds X microseconds — the CI perf gate
 //                            that catches a quote path regressing back
@@ -32,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/profiler.h"
 #include "common/random.h"
 #include "data/synthetic.h"
 #include "market/curves.h"
@@ -178,6 +181,17 @@ int main(int argc, char** argv) {
   const std::string bench_json = StringFlag(argc, argv, "bench-json", "");
   const double warm_p50_gate =
       DoubleFlag(argc, argv, "check-warm-p50-us", 0.0);
+  const std::string profile_path = StringFlag(argc, argv, "profile", "");
+
+  if (!profile_path.empty()) {
+    const nimbus::Status prof_started =
+        nimbus::prof::CpuProfiler::Global().Start();
+    if (!prof_started.ok()) {
+      std::fprintf(stderr, "cannot start CPU profiler: %s\n",
+                   prof_started.ToString().c_str());
+      return 2;
+    }
+  }
 
   std::vector<ModeReport> reports;
 
@@ -282,6 +296,27 @@ int main(int argc, char** argv) {
     }
     reports.push_back(Summarize("batched", std::move(samples_us), calls,
                                 ElapsedUs(run_start) * 1e-6));
+  }
+
+  if (!profile_path.empty()) {
+    auto& profiler = nimbus::prof::CpuProfiler::Global();
+    const nimbus::Status prof_stopped = profiler.Stop();
+    if (!prof_stopped.ok()) {
+      std::fprintf(stderr, "profiler Stop failed: %s\n",
+                   prof_stopped.ToString().c_str());
+      return 2;
+    }
+    if (!WriteFile(profile_path, profiler.FoldedText())) {
+      std::fprintf(stderr, "cannot write profile to '%s'\n",
+                   profile_path.c_str());
+      return 2;
+    }
+    std::printf(
+        "cpu profile written to %s (%lld samples, handler overhead %.4f%% "
+        "of process CPU)\n",
+        profile_path.c_str(),
+        static_cast<long long>(profiler.SampleCount()),
+        profiler.last_overhead_ratio() * 100.0);
   }
 
   std::printf("bench_quote (quotes=%d, batch=%d, checksum=%.3f)\n", quotes,

@@ -34,6 +34,11 @@
 //                       zero budget; overload must burn when it sheds)
 //   --bench-json=PATH   write per-run throughput/latency/SLO numbers as
 //                       JSON to PATH (the committed BENCH_soak.json)
+//   --profile=PATH      sample the CPU for the whole run (199 Hz) and
+//                       write folded stacks to PATH — feed the file to
+//                       a flamegrapher or speedscope. The profiler's
+//                       own overhead is printed (and must stay tiny:
+//                       see BENCH_profile.json)
 //   --admin-port=P      after the phases, serve the live admin endpoint
 //                       (/metrics /healthz /tracez /flightz) on
 //                       127.0.0.1:P under steady traffic for
@@ -58,6 +63,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/profiler.h"
 #include "common/random.h"
 #include "common/slo_tracker.h"
 #include "common/telemetry.h"
@@ -630,6 +636,16 @@ int main(int argc, char** argv) {
   const int admin_port = IntFlag(argc, argv, "admin-port", -1);
   const double serve_seconds =
       static_cast<double>(IntFlag(argc, argv, "serve-seconds", 5));
+  const std::string profile_path = StringFlag(argc, argv, "profile", "");
+
+  if (!profile_path.empty()) {
+    const Status prof_started = nimbus::prof::CpuProfiler::Global().Start();
+    if (!prof_started.ok()) {
+      std::fprintf(stderr, "cannot start CPU profiler: %s\n",
+                   prof_started.ToString().c_str());
+      return 2;
+    }
+  }
 
   std::vector<int> worker_counts = fast ? std::vector<int>{1, 4}
                                         : std::vector<int>{1, 4, 8};
@@ -647,6 +663,28 @@ int main(int argc, char** argv) {
   }
   if (admin_port >= 0) {
     RunAdminServeWindow(seed + 2, admin_port, serve_seconds);
+  }
+
+  if (!profile_path.empty()) {
+    auto& profiler = nimbus::prof::CpuProfiler::Global();
+    const Status prof_stopped = profiler.Stop();
+    if (!prof_stopped.ok()) {
+      std::fprintf(stderr, "profiler Stop failed: %s\n",
+                   prof_stopped.ToString().c_str());
+      return 2;
+    }
+    const std::string folded = profiler.FoldedText();
+    if (!WriteFile(profile_path, folded)) {
+      std::fprintf(stderr, "cannot write profile to '%s'\n",
+                   profile_path.c_str());
+      return 2;
+    }
+    std::printf(
+        "cpu profile written to %s (%lld samples, handler overhead %.4f%% "
+        "of process CPU)\n",
+        profile_path.c_str(),
+        static_cast<long long>(profiler.SampleCount()),
+        profiler.last_overhead_ratio() * 100.0);
   }
 
   if (!metrics_path.empty()) {

@@ -1,34 +1,50 @@
 #!/bin/sh
 # Static companion to Registry::GetOrCreate's runtime kind check: scans
-# every Get{Counter,Gauge,Histogram}("literal") call site and fails the
-# build if the same metric name is requested with two different kinds
-# (which would NIMBUS_CHECK-fail at runtime on whichever path runs
-# second). Run from anywhere; takes the repo root as optional $1.
+# every Get{Counter,Gauge,Histogram}("literal") and
+# Get{Counter,Gauge,Histogram}Vec("literal", "label_key") call site and
+# fails the build if the same metric name is requested with two
+# different kinds or two different label keys (either would
+# NIMBUS_CHECK-fail at runtime on whichever path runs second). Run from
+# anywhere; takes the repo root as optional $1.
 set -eu
 
 root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
 
-# Emit "name kind" pairs for every registration with a literal name.
-pairs=$(grep -rhoE 'Get(Counter|Gauge|Histogram)\("[^"]+"' \
-    "$root/src" "$root/bench" "$root/tests" "$root/examples" 2>/dev/null |
-    sed -E 's/Get(Counter|Gauge|Histogram)\("([^"]+)"/\2 \1/' |
-    sort -u)
+# Flatten each source file to one line so registrations split across
+# lines by clang-format ("GetCounterVec(\"name\",\n  \"key\")") still
+# match, then emit one "name signature" pair per registration:
+#   scalar:  name Counter
+#   labeled: name CounterVec:label_key
+scan() {
+    for dir in "$@"; do
+        [ -d "$dir" ] || continue
+        find "$dir" \( -name '*.cc' -o -name '*.h' \) -print
+    done | while IFS= read -r f; do
+        tr '\n' ' ' < "$f"
+        printf '\n'
+    done | {
+        grep -oE 'Get(Counter|Gauge|Histogram)(Vec)?\( *"[^"]+"(, *"[^"]+")?' || true
+    } | sed -E \
+        -e 's/Get(Counter|Gauge|Histogram)Vec\( *"([^"]+)", *"([^"]+)"/\2 \1Vec:\3/' \
+        -e 's/Get(Counter|Gauge|Histogram)\( *"([^"]+)".*/\2 \1/' |
+      grep -vE 'Vec\( *"' | sort -u
+}
+
+pairs=$(scan "$root/src" "$root/bench" "$root/tests" "$root/examples")
 
 status=0
 dupes=$(printf '%s\n' "$pairs" | awk '{print $1}' | sort | uniq -d)
 for name in $dupes; do
-    echo "error: metric '$name' is registered with multiple kinds:" >&2
+    echo "error: metric '$name' is registered with multiple kinds/label keys:" >&2
     printf '%s\n' "$pairs" | awk -v n="$name" '$1 == n {print "  " $2}' >&2
     status=1
 done
 
-# Every production (src/) registration must appear in DESIGN.md's
-# metrics table so operators can look up what a scrape exports. Tests
-# and benches may register throwaway names; they are exempt.
-src_names=$(grep -rhoE 'Get(Counter|Gauge|Histogram)\("[^"]+"' \
-    "$root/src" 2>/dev/null |
-    sed -E 's/Get(Counter|Gauge|Histogram)\("([^"]+)"/\2/' |
-    sort -u)
+# Every production (src/) registration — scalar or labeled family —
+# must appear in DESIGN.md's metrics table so operators can look up
+# what a scrape exports. Tests and benches may register throwaway
+# names; they are exempt.
+src_names=$(scan "$root/src" | awk '{print $1}' | sort -u)
 for name in $src_names; do
     if ! grep -q "\`$name\`" "$root/DESIGN.md"; then
         echo "error: metric '$name' is registered in src/ but missing from DESIGN.md's metrics table" >&2

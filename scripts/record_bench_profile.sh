@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_profile.json (repo root): the committed evidence
+# behind two claims the continuous-profiling PR makes —
+#
+#   1. Arming the 199 Hz CPU sampler for a whole chaos soak costs a
+#      negligible slice of process CPU: the profiler's self-measured
+#      handler-time / process-CPU-time ratio must come in under 2%.
+#      (The per-run throughput deltas are recorded too, but on a busy
+#      or single-core box run-to-run scheduling noise swamps a
+#      sub-percent effect, so the ratio is the asserted number.)
+#   2. Profiling is observation-only: the soak's booked outcomes (ok
+#      counts, retries, revenue per run — everything but wall-clock)
+#      must be identical with the profiler off and on. The soak already
+#      byte-compares ledger CSVs across workers {1,4,8} x cache on/off
+#      within each run; comparing the fingerprints across the two runs
+#      extends that to profiler off vs on.
+#
+# Usage: scripts/record_bench_profile.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SOAK="$BUILD/bench/bench_soak"
+if [ ! -x "$SOAK" ]; then
+  echo "error: $SOAK not built (cmake -B $BUILD -S . && cmake --build $BUILD -j)" >&2
+  exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run_soak() { # $1 = tag, remaining args = extra soak flags
+  local tag="$1"
+  shift
+  "$SOAK" --bench-json="$tmp/$tag.json" "$@" | tee "$tmp/$tag.out"
+  # Determinism fingerprint: the booked per-run outcomes with every
+  # timing field stripped (the "(... req/s, p99 ...)" suffix).
+  grep -E 'workers=[0-9]+ cache=' "$tmp/$tag.out" | sed -E 's/ *\(.*//' \
+    > "$tmp/$tag.fingerprint"
+}
+
+echo "== soak, profiler off"
+run_soak off
+echo "== soak, profiler on (--profile)"
+run_soak on --profile="$tmp/on.folded"
+
+if ! diff -u "$tmp/off.fingerprint" "$tmp/on.fingerprint"; then
+  echo "FAIL: profiler changed booked market output" >&2
+  exit 1
+fi
+echo "ok: booked outcomes identical with profiler off/on"
+
+if [ ! -s "$tmp/on.folded" ]; then
+  echo "FAIL: profiled soak produced an empty folded capture" >&2
+  exit 1
+fi
+
+overhead="$(sed -nE 's/.*handler overhead ([0-9.]+)% of process CPU.*/\1/p' \
+  "$tmp/on.out" | head -1)"
+if [ -z "$overhead" ]; then
+  echo "FAIL: no self-measured overhead line in the profiled run" >&2
+  exit 1
+fi
+
+python3 - "$tmp/off.json" "$tmp/on.json" "$overhead" > BENCH_profile.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    off = json.load(f)
+with open(sys.argv[2]) as f:
+    on = json.load(f)
+overhead_pct = float(sys.argv[3])
+
+def by_key(report):
+    return {(r["phase"], r["workers"]): r for r in report["runs"]}
+
+off_runs, on_runs = by_key(off), by_key(on)
+rows = []
+for key in off_runs:
+    if key not in on_runs:
+        continue
+    rps_off = off_runs[key]["requests_per_second"]
+    rps_on = on_runs[key]["requests_per_second"]
+    rows.append({
+        "phase": key[0],
+        "workers": key[1],
+        "requests_per_second_profiler_off": rps_off,
+        "requests_per_second_profiler_on": rps_on,
+        "throughput_delta_pct":
+            round(100.0 * (rps_on - rps_off) / rps_off, 2) if rps_off else 0.0,
+    })
+rows.sort(key=lambda r: (r["phase"], r["workers"]))
+
+out = {
+    "benchmark": "bench_profile",
+    "description": "Full chaos soak with the 199 Hz CPU sampling "
+                   "profiler off vs on (--profile). Booked market output "
+                   "is identical in both runs (checked by the harness); "
+                   "self_measured_overhead_pct is handler CPU time over "
+                   "process CPU time for the profiled run and is asserted "
+                   "< 2%. Throughput deltas are recorded for context; "
+                   "run-to-run scheduling noise dominates them.",
+    "requests": off.get("requests"),
+    "self_measured_overhead_pct": overhead_pct,
+    "overhead_budget_pct": 2.0,
+    "runs": rows,
+}
+json.dump(out, sys.stdout, indent=2)
+print()
+
+if overhead_pct >= 2.0:
+    print(f"FAIL: profiler overhead {overhead_pct}% >= 2%", file=sys.stderr)
+    sys.exit(1)
+PY
+
+echo "ok: profiler overhead ${overhead}% < 2%"
+echo "BENCH_profile.json written"

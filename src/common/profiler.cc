@@ -1,0 +1,884 @@
+#include "common/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace nimbus::prof {
+namespace {
+
+uint64_t MonotonicNowNs() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+uint64_t ProcessCpuNs() {
+  timespec ts;
+  if (::clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// ---------------------------------------------------------------------------
+// Sample ring. Slots are claimed with one relaxed fetch_add and
+// published with a release store on `ready`, the same discipline as the
+// telemetry trace buffer — the folder (acquire) never reads a
+// half-written stack. Everything the handler touches is preallocated.
+
+constexpr int kMaxFrames = 48;
+constexpr int64_t kMaxSamples = int64_t{1} << 14;  // 16Ki stacks / window.
+
+struct RawSample {
+  std::atomic<uint32_t> ready{0};
+  int32_t depth = 0;
+  void* pcs[kMaxFrames];
+};
+
+RawSample* g_ring = nullptr;  // Allocated on first Start, leaked.
+std::atomic<int64_t> g_next{0};
+std::atomic<int64_t> g_dropped{0};
+std::atomic<int64_t> g_handler_ns{0};
+// Gate read by the handler: set only while the timer is armed, so a
+// late-delivered SIGPROF after Stop is a no-op.
+std::atomic<bool> g_armed{false};
+bool g_handler_installed = false;  // Guarded by the profiler control_mu_.
+timer_t g_timer;
+bool g_timer_active = false;    // Guarded by control_mu_.
+bool g_itimer_active = false;   // setitimer fallback armed instead.
+
+// Async-signal-safe by construction: clock_gettime, one atomic claim,
+// backtrace() into preallocated storage (primed at Start so the
+// unwinder's lazy initialization never runs here), a release store.
+// errno is saved/restored around everything.
+void ProfilerSignalHandler(int, siginfo_t*, void*) {
+  if (!g_armed.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const int saved_errno = errno;
+  const uint64_t t0 = MonotonicNowNs();
+  const int64_t slot = g_next.fetch_add(1, std::memory_order_relaxed);
+  if (slot < kMaxSamples) {
+    RawSample& s = g_ring[slot];
+    s.depth = ::backtrace(s.pcs, kMaxFrames);
+    s.ready.store(1, std::memory_order_release);
+  } else {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  g_handler_ns.fetch_add(static_cast<int64_t>(MonotonicNowNs() - t0),
+                         std::memory_order_relaxed);
+  errno = saved_errno;
+}
+
+// ---------------------------------------------------------------------------
+// Off-path symbolization, cached per program counter.
+
+std::string SymbolizePc(void* pc) {
+  // Backtrace records return addresses; step one byte back so a call at
+  // the end of a function does not symbolize to its successor.
+  void* lookup = static_cast<char*>(pc) - 1;
+  Dl_info info;
+  std::memset(&info, 0, sizeof(info));
+  if (::dladdr(lookup, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    return name;
+  }
+  char buf[64];
+  if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    std::snprintf(buf, sizeof(buf), "%s+0x%zx", base,
+                  static_cast<size_t>(static_cast<char*>(pc) -
+                                      static_cast<char*>(info.dli_fbase)));
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "0x%zx", reinterpret_cast<size_t>(pc));
+  return buf;
+}
+
+const std::string& CachedSymbol(void* pc) {
+  static std::mutex mu;
+  static auto* cache = new std::unordered_map<void*, std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(pc);
+  if (it == cache->end()) {
+    it = cache->emplace(pc, SymbolizePc(pc)).first;
+  }
+  return it->second;
+}
+
+// Frames are leaf-first and start inside the signal machinery (the
+// handler itself, then the kernel's sigreturn trampoline). Fold from
+// just past the deepest frame that symbolizes to either, so the
+// interrupted code is the leaf of the folded stack.
+int SignalFrameSkip(const std::vector<const std::string*>& names) {
+  int skip = 0;
+  const int probe = std::min<int>(static_cast<int>(names.size()), 6);
+  for (int i = 0; i < probe; ++i) {
+    if (names[i]->find("ProfilerSignalHandler") != std::string::npos ||
+        names[i]->find("__restore_rt") != std::string::npos) {
+      skip = i + 1;
+    }
+  }
+  return skip;
+}
+
+telemetry::Counter& WindowsCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("profiler_windows_total");
+  return counter;
+}
+
+telemetry::Counter& SamplesCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("profiler_samples_total");
+  return counter;
+}
+
+telemetry::Counter& DroppedSamplesCounter() {
+  static telemetry::Counter& counter = telemetry::Registry::Global().GetCounter(
+      "profiler_samples_dropped_total");
+  return counter;
+}
+
+telemetry::Gauge& OverheadGauge() {
+  static telemetry::Gauge& gauge =
+      telemetry::Registry::Global().GetGauge("profiler_overhead_ratio");
+  return gauge;
+}
+
+}  // namespace
+
+CpuProfiler& CpuProfiler::Global() {
+  static CpuProfiler* profiler = new CpuProfiler();
+  return *profiler;
+}
+
+Status CpuProfiler::Start(int hz) {
+  if (hz < 1 || hz > 1000) {
+    return InvalidArgumentError("profiler rate must be in [1, 1000] Hz");
+  }
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("cpu profiler already running");
+  }
+  if (g_ring == nullptr) {
+    g_ring = new RawSample[kMaxSamples];
+  }
+  const int64_t used =
+      std::min(g_next.load(std::memory_order_relaxed), kMaxSamples);
+  for (int64_t i = 0; i < used; ++i) {
+    g_ring[i].ready.store(0, std::memory_order_relaxed);
+  }
+  g_next.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_handler_ns.store(0, std::memory_order_relaxed);
+
+  // Prime the unwinder outside signal context: glibc's backtrace lazily
+  // loads libgcc on first use, which is not async-signal-safe.
+  void* prime[4];
+  ::backtrace(prime, 4);
+
+  if (!g_handler_installed) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = &ProfilerSignalHandler;
+    // SA_RESTART: profiled syscalls restart instead of failing EINTR —
+    // sampling must never change program behavior.
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (::sigaction(SIGPROF, &sa, nullptr) != 0) {
+      return InternalError("profiler: sigaction(SIGPROF) failed");
+    }
+    // Left installed for the process lifetime: restoring a SIG_DFL
+    // disposition while one last SIGPROF is pending would kill the
+    // process (SIGPROF's default action terminates).
+    g_handler_installed = true;
+  }
+  g_armed.store(true, std::memory_order_release);
+
+  const long interval_ns = std::max(1000000L, 1000000000L / hz);
+  itimerspec spec;
+  spec.it_interval.tv_sec = interval_ns / 1000000000L;
+  spec.it_interval.tv_nsec = interval_ns % 1000000000L;
+  spec.it_value = spec.it_interval;
+  // Preferred source: a POSIX timer on the process CPU clock (fires per
+  // consumed CPU-second, the classic profiling cadence). Some kernels
+  // reject signal-notified CPU-clock timers; fall back to the
+  // equivalent setitimer(ITIMER_PROF).
+  sigevent sev;
+  std::memset(&sev, 0, sizeof(sev));
+  sev.sigev_notify = SIGEV_SIGNAL;
+  sev.sigev_signo = SIGPROF;
+  if (::timer_create(CLOCK_PROCESS_CPUTIME_ID, &sev, &g_timer) == 0) {
+    if (::timer_settime(g_timer, 0, &spec, nullptr) != 0) {
+      ::timer_delete(g_timer);
+      g_armed.store(false, std::memory_order_release);
+      return InternalError("profiler: timer_settime failed");
+    }
+    g_timer_active = true;
+  } else {
+    itimerval val;
+    val.it_interval.tv_sec = interval_ns / 1000000000L;
+    val.it_interval.tv_usec = (interval_ns % 1000000000L) / 1000;
+    val.it_value = val.it_interval;
+    if (::setitimer(ITIMER_PROF, &val, nullptr) != 0) {
+      g_armed.store(false, std::memory_order_release);
+      return InternalError("profiler: timer_create and setitimer failed");
+    }
+    g_itimer_active = true;
+  }
+  window_cpu_start_ns_ = ProcessCpuNs();
+  running_.store(true, std::memory_order_release);
+  return OkStatus();
+}
+
+Status CpuProfiler::Stop() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (!running_.load(std::memory_order_acquire)) {
+    return OkStatus();
+  }
+  g_armed.store(false, std::memory_order_release);
+  if (g_timer_active) {
+    ::timer_delete(g_timer);
+    g_timer_active = false;
+  }
+  if (g_itimer_active) {
+    itimerval off;
+    std::memset(&off, 0, sizeof(off));
+    ::setitimer(ITIMER_PROF, &off, nullptr);
+    g_itimer_active = false;
+  }
+  const uint64_t cpu_ns =
+      std::max<uint64_t>(1, ProcessCpuNs() - window_cpu_start_ns_);
+  const double overhead =
+      static_cast<double>(g_handler_ns.load(std::memory_order_relaxed)) /
+      static_cast<double>(cpu_ns);
+  last_overhead_.store(overhead, std::memory_order_relaxed);
+  OverheadGauge().Set(overhead);
+  WindowsCounter().Increment();
+  SamplesCounter().Increment(
+      std::min(g_next.load(std::memory_order_relaxed), kMaxSamples));
+  DroppedSamplesCounter().Increment(g_dropped.load(std::memory_order_relaxed));
+  running_.store(false, std::memory_order_release);
+  return OkStatus();
+}
+
+int64_t CpuProfiler::SampleCount() const {
+  return std::min(g_next.load(std::memory_order_relaxed), kMaxSamples);
+}
+
+double CpuProfiler::last_overhead_ratio() const {
+  return last_overhead_.load(std::memory_order_relaxed);
+}
+
+std::string CpuProfiler::FoldedText() {
+  const int64_t n = std::min(g_next.load(std::memory_order_acquire),
+                             kMaxSamples);
+  std::map<std::string, int64_t> folded;
+  std::vector<const std::string*> names;
+  for (int64_t i = 0; i < n; ++i) {
+    RawSample& s = g_ring[i];
+    if (s.ready.load(std::memory_order_acquire) == 0) {
+      continue;  // Claimed but unwritten (in-flight at Stop).
+    }
+    const int depth = std::min<int>(s.depth, kMaxFrames);
+    if (depth <= 0) {
+      continue;
+    }
+    names.clear();
+    for (int f = 0; f < depth; ++f) {
+      names.push_back(&CachedSymbol(s.pcs[f]));
+    }
+    const int skip = SignalFrameSkip(names);
+    if (skip >= depth) {
+      continue;
+    }
+    // Leaf-first storage, root-first folded output.
+    std::string key;
+    for (int f = depth - 1; f >= skip; --f) {
+      if (!key.empty()) {
+        key += ';';
+      }
+      key += *names[f];
+    }
+    ++folded[key];
+  }
+  std::ostringstream out;
+  for (const auto& [stack, count] : folded) {
+    out << stack << ' ' << count << '\n';
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Profile windows (the /profilez and --profile entry point).
+
+namespace {
+
+std::atomic<bool> g_window_busy{false};
+
+struct WindowGuard {
+  ~WindowGuard() { g_window_busy.store(false, std::memory_order_release); }
+};
+
+void SleepWindow(double seconds, const std::atomic<bool>* abort) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (abort != nullptr && abort->load(std::memory_order_acquire)) {
+      return;
+    }
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(
+        std::min<std::chrono::steady_clock::duration>(
+            remaining, std::chrono::milliseconds(50)));
+  }
+}
+
+const telemetry::Registry::SnapshotEntry* FindEntry(
+    const std::vector<telemetry::Registry::SnapshotEntry>& snap,
+    const std::string& name) {
+  for (const auto& e : snap) {
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+int64_t SeriesCounterValue(const telemetry::Registry::SnapshotEntry* entry,
+                           const std::string& label) {
+  if (entry == nullptr) {
+    return 0;
+  }
+  for (const auto& v : entry->series) {
+    if (v.label == label) {
+      return v.counter_value;
+    }
+  }
+  return 0;
+}
+
+const telemetry::HistogramSnapshot* SeriesHistogram(
+    const telemetry::Registry::SnapshotEntry* entry,
+    const std::string& label) {
+  if (entry == nullptr) {
+    return nullptr;
+  }
+  for (const auto& v : entry->series) {
+    if (v.label == label) {
+      return &v.histogram;
+    }
+  }
+  return nullptr;
+}
+
+// after - before, bucket-wise; quantiles of the difference describe the
+// window alone. min/max are taken from `after` (clamped bounds only).
+telemetry::HistogramSnapshot DiffHistogram(
+    const telemetry::HistogramSnapshot* before,
+    const telemetry::HistogramSnapshot& after) {
+  telemetry::HistogramSnapshot d = after;
+  if (before != nullptr && before->buckets.size() == after.buckets.size()) {
+    d.count -= before->count;
+    d.sum -= before->sum;
+    for (size_t i = 0; i < d.buckets.size(); ++i) {
+      d.buckets[i] -= before->buckets[i];
+    }
+  }
+  d.min = 0.0;
+  return d;
+}
+
+void AppendHistogramColumns(std::ostringstream& out, const char* prefix,
+                            const telemetry::HistogramSnapshot& h) {
+  char buf[64];
+  out << ' ' << prefix << "_count=" << h.count;
+  std::snprintf(buf, sizeof(buf), " %s_total_us=%.1f", prefix, h.sum);
+  out << buf;
+  std::snprintf(buf, sizeof(buf), " %s_p50_us=%.2f", prefix,
+                h.Quantile(0.50));
+  out << buf;
+  std::snprintf(buf, sizeof(buf), " %s_p95_us=%.2f", prefix,
+                h.Quantile(0.95));
+  out << buf;
+  std::snprintf(buf, sizeof(buf), " %s_p99_us=%.2f", prefix,
+                h.Quantile(0.99));
+  out << buf;
+}
+
+std::string ContentionReport(
+    const std::vector<telemetry::Registry::SnapshotEntry>& before,
+    const std::vector<telemetry::Registry::SnapshotEntry>& after,
+    double seconds) {
+  const auto* acq_before = FindEntry(before, "mutex_acquisitions_total");
+  const auto* acq_after = FindEntry(after, "mutex_acquisitions_total");
+  const auto* con_before = FindEntry(before, "mutex_contention_total");
+  const auto* con_after = FindEntry(after, "mutex_contention_total");
+  const auto* wait_before = FindEntry(before, "mutex_wait_us");
+  const auto* wait_after = FindEntry(after, "mutex_wait_us");
+  const auto* hold_before = FindEntry(before, "mutex_hold_us");
+  const auto* hold_after = FindEntry(after, "mutex_hold_us");
+
+  std::ostringstream out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  out << "# nimbus contention profile window_s=" << buf << '\n';
+  if (acq_after == nullptr || acq_after->series.empty()) {
+    out << "# no profiled mutexes registered\n";
+    return out.str();
+  }
+  for (const auto& series : acq_after->series) {
+    const std::string& name = series.label;
+    const int64_t acquisitions =
+        series.counter_value - SeriesCounterValue(acq_before, name);
+    const int64_t contended = SeriesCounterValue(con_after, name) -
+                              SeriesCounterValue(con_before, name);
+    out << "mutex=" << name << " acquisitions=" << acquisitions
+        << " contended=" << contended;
+    if (const auto* h = SeriesHistogram(wait_after, name)) {
+      AppendHistogramColumns(out, "wait",
+                             DiffHistogram(SeriesHistogram(wait_before, name),
+                                           *h));
+    }
+    if (const auto* h = SeriesHistogram(hold_after, name)) {
+      AppendHistogramColumns(out, "hold",
+                             DiffHistogram(SeriesHistogram(hold_before, name),
+                                           *h));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string AllocReport(
+    const AllocStats& before_global,
+    const std::vector<telemetry::Registry::SnapshotEntry>& before,
+    const std::vector<telemetry::Registry::SnapshotEntry>& after,
+    double seconds) {
+  const AllocStats g = GlobalAllocStats();
+  std::ostringstream out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  out << "# nimbus alloc profile window_s=" << buf << " tracking="
+      << (AllocTrackingEnabled() ? "enabled" : "disabled (sanitizer build)")
+      << '\n';
+  out << "global allocs=" << (g.allocs - before_global.allocs)
+      << " alloc_bytes=" << (g.alloc_bytes - before_global.alloc_bytes)
+      << " frees=" << (g.frees - before_global.frees)
+      << " freed_bytes=" << (g.freed_bytes - before_global.freed_bytes)
+      << '\n';
+  const auto* site_allocs_before = FindEntry(before, "alloc_site_allocs_total");
+  const auto* site_allocs_after = FindEntry(after, "alloc_site_allocs_total");
+  const auto* site_bytes_before = FindEntry(before, "alloc_site_bytes_total");
+  const auto* site_bytes_after = FindEntry(after, "alloc_site_bytes_total");
+  if (site_allocs_after != nullptr) {
+    for (const auto& series : site_allocs_after->series) {
+      const int64_t allocs =
+          series.counter_value -
+          SeriesCounterValue(site_allocs_before, series.label);
+      const int64_t bytes =
+          SeriesCounterValue(site_bytes_after, series.label) -
+          SeriesCounterValue(site_bytes_before, series.label);
+      out << "site=" << series.label << " allocs=" << allocs
+          << " bytes=" << bytes << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+StatusOr<ProfileType> ParseProfileType(const std::string& name) {
+  if (name == "cpu") {
+    return ProfileType::kCpu;
+  }
+  if (name == "contention") {
+    return ProfileType::kContention;
+  }
+  if (name == "alloc") {
+    return ProfileType::kAlloc;
+  }
+  return InvalidArgumentError("unknown profile type '" + name +
+                              "' (want cpu|contention|alloc)");
+}
+
+StatusOr<std::string> CollectProfile(ProfileType type, double seconds, int hz,
+                                     const std::atomic<bool>* abort) {
+  if (!(seconds > 0.0) || seconds > 300.0) {
+    return InvalidArgumentError("profile window must be in (0, 300] seconds");
+  }
+  if (g_window_busy.exchange(true, std::memory_order_acq_rel)) {
+    return UnavailableError("a profile window is already in progress");
+  }
+  WindowGuard guard;
+  switch (type) {
+    case ProfileType::kCpu: {
+      NIMBUS_RETURN_IF_ERROR(CpuProfiler::Global().Start(hz));
+      SleepWindow(seconds, abort);
+      NIMBUS_RETURN_IF_ERROR(CpuProfiler::Global().Stop());
+      return CpuProfiler::Global().FoldedText();
+    }
+    case ProfileType::kContention: {
+      const auto before = telemetry::Registry::Global().Snapshot();
+      SleepWindow(seconds, abort);
+      const auto after = telemetry::Registry::Global().Snapshot();
+      return ContentionReport(before, after, seconds);
+    }
+    case ProfileType::kAlloc: {
+      const AllocStats before_global = GlobalAllocStats();
+      const auto before = telemetry::Registry::Global().Snapshot();
+      SleepWindow(seconds, abort);
+      const auto after = telemetry::Registry::Global().Snapshot();
+      return AllocReport(before_global, before, after, seconds);
+    }
+  }
+  return InvalidArgumentError("unknown profile type");
+}
+
+// ---------------------------------------------------------------------------
+// ProfiledMutex.
+
+namespace {
+
+telemetry::CounterVec& MutexAcquisitionsVec() {
+  static telemetry::CounterVec& vec =
+      telemetry::Registry::Global().GetCounterVec("mutex_acquisitions_total",
+                                                  "mutex");
+  return vec;
+}
+
+telemetry::CounterVec& MutexContentionVec() {
+  static telemetry::CounterVec& vec =
+      telemetry::Registry::Global().GetCounterVec("mutex_contention_total",
+                                                  "mutex");
+  return vec;
+}
+
+telemetry::HistogramVec& MutexWaitVec() {
+  static telemetry::HistogramVec& vec =
+      telemetry::Registry::Global().GetHistogramVec("mutex_wait_us", "mutex");
+  return vec;
+}
+
+telemetry::HistogramVec& MutexHoldVec() {
+  static telemetry::HistogramVec& vec =
+      telemetry::Registry::Global().GetHistogramVec("mutex_hold_us", "mutex");
+  return vec;
+}
+
+}  // namespace
+
+ProfiledMutex::ProfiledMutex(const char* name)
+    : name_(name),
+      acquisitions_(&MutexAcquisitionsVec().WithLabel(name)),
+      contended_(&MutexContentionVec().WithLabel(name)),
+      wait_us_(&MutexWaitVec().WithLabel(name)),
+      hold_us_(&MutexHoldVec().WithLabel(name)) {}
+
+void ProfiledMutex::lock() {
+  acquisitions_->Increment();
+  if (mu_.try_lock()) {
+    locked_at_ns_ = MonotonicNowNs();
+    return;
+  }
+  contended_->Increment();
+  const uint64_t wait_start = MonotonicNowNs();
+  mu_.lock();
+  const uint64_t acquired = MonotonicNowNs();
+  wait_us_->Observe(static_cast<double>(acquired - wait_start) * 1e-3);
+  locked_at_ns_ = acquired;
+}
+
+bool ProfiledMutex::try_lock() {
+  if (mu_.try_lock()) {
+    acquisitions_->Increment();
+    locked_at_ns_ = MonotonicNowNs();
+    return true;
+  }
+  return false;
+}
+
+void ProfiledMutex::unlock() {
+  hold_us_->Observe(static_cast<double>(MonotonicNowNs() - locked_at_ns_) *
+                    1e-3);
+  mu_.unlock();
+}
+
+// ---------------------------------------------------------------------------
+// Allocation accounting.
+
+namespace {
+
+struct ThreadAllocCounters {
+  int64_t allocs = 0;
+  int64_t alloc_bytes = 0;
+  int64_t frees = 0;
+  int64_t freed_bytes = 0;
+};
+
+// Trivially-initialized so reads from operator new during thread start
+// and teardown are safe.
+thread_local ThreadAllocCounters tl_alloc;
+
+std::atomic<int64_t> g_allocs{0};
+std::atomic<int64_t> g_alloc_bytes{0};
+std::atomic<int64_t> g_frees{0};
+std::atomic<int64_t> g_freed_bytes{0};
+
+}  // namespace
+
+namespace internal {
+
+// Called from the operator new/delete replacements below — plain
+// thread-local adds plus relaxed global adds; never allocates, never
+// locks, never touches the registry (operator new re-entering the
+// registry would recurse).
+void NoteAlloc(size_t bytes) {
+  tl_alloc.allocs += 1;
+  tl_alloc.alloc_bytes += static_cast<int64_t>(bytes);
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(static_cast<int64_t>(bytes),
+                          std::memory_order_relaxed);
+}
+
+void NoteFree(size_t bytes) {
+  tl_alloc.frees += 1;
+  tl_alloc.freed_bytes += static_cast<int64_t>(bytes);
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  if (bytes > 0) {
+    g_freed_bytes.fetch_add(static_cast<int64_t>(bytes),
+                            std::memory_order_relaxed);
+  }
+}
+
+}  // namespace internal
+
+bool AllocTrackingEnabled() {
+#ifdef NIMBUS_ALLOC_TRACKING
+  return true;
+#else
+  return false;
+#endif
+}
+
+AllocStats ThreadAllocStats() {
+  AllocStats s;
+  s.allocs = tl_alloc.allocs;
+  s.alloc_bytes = tl_alloc.alloc_bytes;
+  s.frees = tl_alloc.frees;
+  s.freed_bytes = tl_alloc.freed_bytes;
+  return s;
+}
+
+AllocStats GlobalAllocStats() {
+  AllocStats s;
+  s.allocs = g_allocs.load(std::memory_order_relaxed);
+  s.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  s.frees = g_frees.load(std::memory_order_relaxed);
+  s.freed_bytes = g_freed_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+
+telemetry::CounterVec& SiteAllocsVec() {
+  static telemetry::CounterVec& vec =
+      telemetry::Registry::Global().GetCounterVec("alloc_site_allocs_total",
+                                                  "site");
+  return vec;
+}
+
+telemetry::CounterVec& SiteBytesVec() {
+  static telemetry::CounterVec& vec =
+      telemetry::Registry::Global().GetCounterVec("alloc_site_bytes_total",
+                                                  "site");
+  return vec;
+}
+
+}  // namespace
+
+ScopedAllocSample::ScopedAllocSample(const char* site)
+    : allocs_(&SiteAllocsVec().WithLabel(site)),
+      bytes_(&SiteBytesVec().WithLabel(site)),
+      start_(ThreadAllocStats()) {}
+
+ScopedAllocSample::~ScopedAllocSample() {
+  const AllocStats end = ThreadAllocStats();
+  allocs_->Increment(end.allocs - start_.allocs);
+  bytes_->Increment(end.alloc_bytes - start_.alloc_bytes);
+}
+
+void PublishMetrics() {
+  const AllocStats g = GlobalAllocStats();
+  telemetry::Registry& registry = telemetry::Registry::Global();
+  // Gauges, not counters: the tallies live in process globals (operator
+  // new cannot call into the registry) and are mirrored whole per
+  // scrape.
+  registry.GetGauge("alloc_allocs_total").Set(static_cast<double>(g.allocs));
+  registry.GetGauge("alloc_bytes_total")
+      .Set(static_cast<double>(g.alloc_bytes));
+  registry.GetGauge("alloc_frees_total").Set(static_cast<double>(g.frees));
+  registry.GetGauge("alloc_freed_bytes_total")
+      .Set(static_cast<double>(g.freed_bytes));
+  registry.GetGauge("alloc_tracking_enabled")
+      .Set(AllocTrackingEnabled() ? 1.0 : 0.0);
+}
+
+}  // namespace nimbus::prof
+
+#ifdef NIMBUS_ALLOC_TRACKING
+
+// Global operator new/delete replacements: the full C++17 set (scalar,
+// array, aligned, nothrow) so every allocation in the process — ours,
+// gtest's, libstdc++'s — is tallied. malloc/posix_memalign-backed, so
+// interposed allocators (e.g. for future sanitizer use) still see the
+// underlying calls; disabled entirely under sanitizer builds, which
+// interpose operator new themselves.
+
+namespace {
+
+void* TrackedAlloc(std::size_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  void* p = std::malloc(size);
+  while (p == nullptr) {
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) {
+      throw std::bad_alloc();
+    }
+    handler();
+    p = std::malloc(size);
+  }
+  nimbus::prof::internal::NoteAlloc(size);
+  return p;
+}
+
+void* TrackedAllocAligned(std::size_t size, std::size_t alignment) {
+  if (size == 0) {
+    size = 1;
+  }
+  if (alignment < sizeof(void*)) {
+    alignment = sizeof(void*);
+  }
+  void* p = nullptr;
+  while (::posix_memalign(&p, alignment, size) != 0) {
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) {
+      throw std::bad_alloc();
+    }
+    handler();
+  }
+  nimbus::prof::internal::NoteAlloc(size);
+  return p;
+}
+
+void TrackedFree(void* p, std::size_t size) noexcept {
+  if (p == nullptr) {
+    return;
+  }
+  nimbus::prof::internal::NoteFree(size);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return TrackedAlloc(size); }
+void* operator new[](std::size_t size) { return TrackedAlloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return TrackedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return TrackedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return TrackedAllocAligned(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return TrackedAllocAligned(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return TrackedAllocAligned(size, static_cast<std::size_t>(alignment));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return TrackedAllocAligned(size, static_cast<std::size_t>(alignment));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { TrackedFree(p, 0); }
+void operator delete[](void* p) noexcept { TrackedFree(p, 0); }
+void operator delete(void* p, std::size_t size) noexcept {
+  TrackedFree(p, size);
+}
+void operator delete[](void* p, std::size_t size) noexcept {
+  TrackedFree(p, size);
+}
+void operator delete(void* p, std::align_val_t) noexcept { TrackedFree(p, 0); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  TrackedFree(p, 0);
+}
+void operator delete(void* p, std::size_t size, std::align_val_t) noexcept {
+  TrackedFree(p, size);
+}
+void operator delete[](void* p, std::size_t size, std::align_val_t) noexcept {
+  TrackedFree(p, size);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  TrackedFree(p, 0);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  TrackedFree(p, 0);
+}
+
+#endif  // NIMBUS_ALLOC_TRACKING

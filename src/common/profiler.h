@@ -1,0 +1,190 @@
+#ifndef NIMBUS_COMMON_PROFILER_H_
+#define NIMBUS_COMMON_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/statusor.h"
+#include "common/telemetry.h"
+
+namespace nimbus::prof {
+
+// In-process continuous profiling for the serving stack: an on-demand
+// CPU sampling profiler (SIGPROF + POSIX timer, async-signal-safe
+// backtrace ring, symbolized off the hot path into folded-stack text),
+// an instrumented mutex wrapper feeding per-lock contention metrics,
+// and process-wide allocation accounting. Everything here is strictly
+// observation-only — no RNG streams, no reduction orders — so profiled
+// runs produce bit-identical market output to unprofiled runs (asserted
+// by bench_soak's determinism phase with --profile).
+
+// ---------------------------------------------------------------------------
+// CPU sampling profiler.
+//
+// One process-wide sampler: Start arms a CLOCK_PROCESS_CPUTIME_ID POSIX
+// timer delivering SIGPROF at `hz` per consumed CPU-second; the handler
+// (async-signal-safe: a slot claim, one backtrace() into preallocated
+// storage, a release store) appends raw program counters to a fixed
+// ring. Nothing is symbolized, allocated, or locked on the hot path —
+// dladdr + demangling run in FoldedText() after Stop. The handler is
+// installed with SA_RESTART so profiled syscalls restart instead of
+// surfacing spurious EINTRs (the admin server's write loop additionally
+// retries EINTR for the cases SA_RESTART does not cover).
+//
+// Self-measured overhead: the handler times itself (clock_gettime is
+// async-signal-safe) and Stop publishes handler-time / process-CPU-time
+// for the window as the `profiler_overhead_ratio` gauge, alongside
+// profiler_{windows,samples,samples_dropped}_total.
+class CpuProfiler {
+ public:
+  static constexpr int kDefaultHz = 199;  // Prime: avoids phase-locking.
+
+  static CpuProfiler& Global();
+
+  // Arms the sampler. kFailedPrecondition when already running;
+  // kInternal when the signal handler or timer cannot be installed.
+  Status Start(int hz = kDefaultHz);
+
+  // Disarms the timer and publishes the window's metrics. Idempotent:
+  // stopping a stopped profiler is a no-op returning OK, so
+  // start/stop/start cycles never wedge on an unpaired call.
+  Status Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Samples captured since the last Start (ring capacity bound).
+  int64_t SampleCount() const;
+
+  // handler-time / process-CPU-time of the last completed window.
+  double last_overhead_ratio() const;
+
+  // Folded-stack text of the captured window, one line per distinct
+  // stack: "root;caller;...;leaf <count>\n" — the format flamegraph.pl
+  // and speedscope ingest directly. Symbolization (dladdr + demangle,
+  // cached per pc) happens here, off the sampling path. Call after
+  // Stop; calling mid-window folds whatever has been published so far.
+  std::string FoldedText();
+
+  CpuProfiler(const CpuProfiler&) = delete;
+  CpuProfiler& operator=(const CpuProfiler&) = delete;
+
+ private:
+  CpuProfiler() = default;
+
+  std::mutex control_mu_;  // Serializes Start/Stop pairs.
+  std::atomic<bool> running_{false};
+  uint64_t window_cpu_start_ns_ = 0;  // Guarded by control_mu_.
+  // Written by Stop (under control_mu_), read lock-free by scrapers.
+  std::atomic<double> last_overhead_{0.0};
+};
+
+enum class ProfileType { kCpu, kContention, kAlloc };
+
+// One-shot profile window, the body behind /profilez and the benches'
+// --profile flag: arms the matching collector for `seconds` (kCpu: the
+// sampling profiler; kContention / kAlloc: a registry snapshot pair
+// whose deltas are rendered as a text report) and returns the profile
+// text. Single-flight process-wide: a second concurrent window fails
+// with kUnavailable (the admin endpoint maps it to 503). `abort`
+// (optional) ends the window early — checked every 50 ms — so shutdown
+// never waits out a long window.
+StatusOr<std::string> CollectProfile(ProfileType type, double seconds,
+                                     int hz = CpuProfiler::kDefaultHz,
+                                     const std::atomic<bool>* abort = nullptr);
+
+// Parses "cpu" | "contention" | "alloc" (kInvalidArgument otherwise).
+StatusOr<ProfileType> ParseProfileType(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Instrumented mutex: a drop-in BasicLockable whose lock/unlock feed
+// per-mutex labeled metrics — mutex_acquisitions_total{mutex=...},
+// mutex_contention_total (lock() found the mutex held),
+// mutex_wait_us (contended acquisition wait), mutex_hold_us (time held,
+// every unlock). Pair with std::condition_variable_any; each condvar
+// re-acquisition is accounted like any other lock(), which is exactly
+// what makes sequencer convoys visible in /profilez?type=contention.
+//
+// Cost: one relaxed counter bump on the uncontended fast path plus two
+// clock reads per lock/unlock cycle (~tens of ns) — cheap enough for
+// the admission queue and commit sequencer, whose waits it measures.
+class ProfiledMutex {
+ public:
+  // `name` must be a string literal (stored, not copied) — the label
+  // value of this mutex's metric series.
+  explicit ProfiledMutex(const char* name);
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  const char* name() const { return name_; }
+
+  ProfiledMutex(const ProfiledMutex&) = delete;
+  ProfiledMutex& operator=(const ProfiledMutex&) = delete;
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+  telemetry::Counter* acquisitions_;
+  telemetry::Counter* contended_;
+  telemetry::Histogram* wait_us_;
+  telemetry::Histogram* hold_us_;
+  uint64_t locked_at_ns_ = 0;  // Guarded by mu_ (written by the holder).
+};
+
+using profiled_mutex = ProfiledMutex;
+
+// ---------------------------------------------------------------------------
+// Allocation accounting. When the build has tracking compiled in
+// (NIMBUS_ALLOC_TRACKING, set for non-sanitizer builds — sanitizers
+// bring their own allocator interposition), the global operator
+// new/delete replacements bump thread-local and process-wide
+// byte/count tallies; both are plain/relaxed integer adds, so the
+// accounting adds a few nanoseconds per allocation and touches no
+// locks. Sanitizer builds compile the API to zeros.
+
+struct AllocStats {
+  int64_t allocs = 0;
+  int64_t alloc_bytes = 0;
+  int64_t frees = 0;
+  int64_t freed_bytes = 0;  // Sized deletes only — a lower bound.
+};
+
+// True when the operator new/delete replacements are compiled in.
+bool AllocTrackingEnabled();
+
+// Calling thread's allocation tally since thread start.
+AllocStats ThreadAllocStats();
+
+// Process-wide tally since process start.
+AllocStats GlobalAllocStats();
+
+// RAII call-site attribution at the telemetry layer's usual call-site
+// granularity: diffs the calling thread's tally across the scope and
+// adds it to the labeled families alloc_site_allocs_total{site=...} /
+// alloc_site_bytes_total{site=...}. `site` must be a string literal.
+class ScopedAllocSample {
+ public:
+  explicit ScopedAllocSample(const char* site);
+  ~ScopedAllocSample();
+
+  ScopedAllocSample(const ScopedAllocSample&) = delete;
+  ScopedAllocSample& operator=(const ScopedAllocSample&) = delete;
+
+ private:
+  telemetry::Counter* allocs_;
+  telemetry::Counter* bytes_;
+  AllocStats start_;
+};
+
+// Mirrors the process-wide allocation tally and the profiler overhead
+// gauge into the registry (alloc_allocs_total etc. are gauges refreshed
+// here rather than counters bumped per allocation — operator new cannot
+// touch the registry). The admin endpoint calls this per scrape.
+void PublishMetrics();
+
+}  // namespace nimbus::prof
+
+#endif  // NIMBUS_COMMON_PROFILER_H_

@@ -270,8 +270,95 @@ const char* MetricKindName(MetricKind kind) {
       return "gauge";
     case MetricKind::kHistogram:
       return "histogram";
+    case MetricKind::kCounterVec:
+      return "counter_vec";
+    case MetricKind::kGaugeVec:
+      return "gauge_vec";
+    case MetricKind::kHistogramVec:
+      return "histogram_vec";
   }
   return "?";
+}
+
+MetricKind MetricBaseKind(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounterVec:
+      return MetricKind::kCounter;
+    case MetricKind::kGaugeVec:
+      return MetricKind::kGauge;
+    case MetricKind::kHistogramVec:
+      return MetricKind::kHistogram;
+    default:
+      return kind;
+  }
+}
+
+// Find-or-intern, identical across the three vec types: label values
+// beyond kMaxSeries collapse into the overflow series so a
+// high-cardinality label can never grow the registry without bound.
+Counter& CounterVec::WithLabel(const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(label_value);
+  if (it == series_.end()) {
+    const std::string& key =
+        series_.size() < kMaxSeries ? label_value : kOverflowLabel;
+    it = series_.find(key);
+    if (it == series_.end()) {
+      it = series_.emplace(key, std::unique_ptr<Counter>(new Counter()))
+               .first;
+    }
+  }
+  return *it->second;
+}
+
+void CounterVec::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [label, counter] : series_) {
+    counter->Reset();
+  }
+}
+
+Gauge& GaugeVec::WithLabel(const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(label_value);
+  if (it == series_.end()) {
+    const std::string& key =
+        series_.size() < kMaxSeries ? label_value : kOverflowLabel;
+    it = series_.find(key);
+    if (it == series_.end()) {
+      it = series_.emplace(key, std::unique_ptr<Gauge>(new Gauge())).first;
+    }
+  }
+  return *it->second;
+}
+
+void GaugeVec::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [label, gauge] : series_) {
+    gauge->Reset();
+  }
+}
+
+Histogram& HistogramVec::WithLabel(const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(label_value);
+  if (it == series_.end()) {
+    const std::string& key =
+        series_.size() < kMaxSeries ? label_value : kOverflowLabel;
+    it = series_.find(key);
+    if (it == series_.end()) {
+      it = series_.emplace(key, std::unique_ptr<Histogram>(new Histogram()))
+               .first;
+    }
+  }
+  return *it->second;
+}
+
+void HistogramVec::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [label, histogram] : series_) {
+    histogram->Reset();
+  }
 }
 
 Registry& Registry::Global() {
@@ -283,7 +370,8 @@ Registry& Registry::Global() {
 }
 
 Registry::Entry& Registry::GetOrCreate(const std::string& name,
-                                       MetricKind kind) {
+                                       MetricKind kind,
+                                       const std::string& label_key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
@@ -298,6 +386,15 @@ Registry::Entry& Registry::GetOrCreate(const std::string& name,
         break;
       case MetricKind::kHistogram:
         entry.histogram.reset(new Histogram());
+        break;
+      case MetricKind::kCounterVec:
+        entry.counter_vec.reset(new CounterVec(label_key));
+        break;
+      case MetricKind::kGaugeVec:
+        entry.gauge_vec.reset(new GaugeVec(label_key));
+        break;
+      case MetricKind::kHistogramVec:
+        entry.histogram_vec.reset(new HistogramVec(label_key));
         break;
     }
     it = metrics_.emplace(name, std::move(entry)).first;
@@ -321,6 +418,36 @@ Histogram& Registry::GetHistogram(const std::string& name) {
   return *GetOrCreate(name, MetricKind::kHistogram).histogram;
 }
 
+CounterVec& Registry::GetCounterVec(const std::string& name,
+                                    const std::string& label_key) {
+  CounterVec& vec =
+      *GetOrCreate(name, MetricKind::kCounterVec, label_key).counter_vec;
+  NIMBUS_CHECK(vec.label_key() == label_key)
+      << "metric '" << name << "' registered with label key '"
+      << vec.label_key() << "' but requested with '" << label_key << "'";
+  return vec;
+}
+
+GaugeVec& Registry::GetGaugeVec(const std::string& name,
+                                const std::string& label_key) {
+  GaugeVec& vec =
+      *GetOrCreate(name, MetricKind::kGaugeVec, label_key).gauge_vec;
+  NIMBUS_CHECK(vec.label_key() == label_key)
+      << "metric '" << name << "' registered with label key '"
+      << vec.label_key() << "' but requested with '" << label_key << "'";
+  return vec;
+}
+
+HistogramVec& Registry::GetHistogramVec(const std::string& name,
+                                        const std::string& label_key) {
+  HistogramVec& vec =
+      *GetOrCreate(name, MetricKind::kHistogramVec, label_key).histogram_vec;
+  NIMBUS_CHECK(vec.label_key() == label_key)
+      << "metric '" << name << "' registered with label key '"
+      << vec.label_key() << "' but requested with '" << label_key << "'";
+  return vec;
+}
+
 std::vector<Registry::SnapshotEntry> Registry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<SnapshotEntry> snap;
@@ -341,6 +468,42 @@ std::vector<Registry::SnapshotEntry> Registry::Snapshot() const {
       case MetricKind::kHistogram:
         e.histogram = entry.histogram->Snapshot();
         break;
+      case MetricKind::kCounterVec: {
+        CounterVec& vec = *entry.counter_vec;
+        e.label_key = vec.label_key();
+        std::lock_guard<std::mutex> series_lock(vec.mu_);
+        for (const auto& [label, counter] : vec.series_) {
+          LabeledValue v;
+          v.label = label;
+          v.counter_value = counter->Value();
+          e.series.push_back(std::move(v));
+        }
+        break;
+      }
+      case MetricKind::kGaugeVec: {
+        GaugeVec& vec = *entry.gauge_vec;
+        e.label_key = vec.label_key();
+        std::lock_guard<std::mutex> series_lock(vec.mu_);
+        for (const auto& [label, gauge] : vec.series_) {
+          LabeledValue v;
+          v.label = label;
+          v.gauge_value = gauge->Value();
+          e.series.push_back(std::move(v));
+        }
+        break;
+      }
+      case MetricKind::kHistogramVec: {
+        HistogramVec& vec = *entry.histogram_vec;
+        e.label_key = vec.label_key();
+        std::lock_guard<std::mutex> series_lock(vec.mu_);
+        for (const auto& [label, histogram] : vec.series_) {
+          LabeledValue v;
+          v.label = label;
+          v.histogram = histogram->Snapshot();
+          e.series.push_back(std::move(v));
+        }
+        break;
+      }
     }
     snap.push_back(std::move(e));
   }
@@ -360,39 +523,97 @@ void Registry::ResetForTest() {
       case MetricKind::kHistogram:
         entry.histogram->Reset();
         break;
+      case MetricKind::kCounterVec:
+        entry.counter_vec->Reset();
+        break;
+      case MetricKind::kGaugeVec:
+        entry.gauge_vec->Reset();
+        break;
+      case MetricKind::kHistogramVec:
+        entry.histogram_vec->Reset();
+        break;
     }
   }
 }
 
+namespace {
+
+// Escapes a label VALUE for the Prometheus exposition format (inside
+// the double quotes of `name{key="value"}`).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AppendHistogramText(std::ostringstream& out, const HistogramSnapshot& h) {
+  out << "count=" << h.count << " sum=";
+  AppendDouble(out, h.sum);
+  out << " min=";
+  AppendDouble(out, h.min);
+  out << " max=";
+  AppendDouble(out, h.max);
+  out << " p50=";
+  AppendDouble(out, h.Quantile(0.50));
+  out << " p95=";
+  AppendDouble(out, h.Quantile(0.95));
+  out << " p99=";
+  AppendDouble(out, h.Quantile(0.99));
+}
+
+}  // namespace
+
 std::string SnapshotToText(const std::vector<Registry::SnapshotEntry>& snap) {
   std::ostringstream out;
   for (const Registry::SnapshotEntry& e : snap) {
-    out << MetricKindName(e.kind) << ' ' << e.name << ' ';
     switch (e.kind) {
       case MetricKind::kCounter:
-        out << e.counter_value;
+        out << MetricKindName(e.kind) << ' ' << e.name << ' '
+            << e.counter_value << '\n';
         break;
       case MetricKind::kGauge:
+        out << MetricKindName(e.kind) << ' ' << e.name << ' ';
         AppendDouble(out, e.gauge_value);
+        out << '\n';
         break;
-      case MetricKind::kHistogram: {
-        const HistogramSnapshot& h = e.histogram;
-        out << "count=" << h.count << " sum=";
-        AppendDouble(out, h.sum);
-        out << " min=";
-        AppendDouble(out, h.min);
-        out << " max=";
-        AppendDouble(out, h.max);
-        out << " p50=";
-        AppendDouble(out, h.Quantile(0.50));
-        out << " p95=";
-        AppendDouble(out, h.Quantile(0.95));
-        out << " p99=";
-        AppendDouble(out, h.Quantile(0.99));
+      case MetricKind::kHistogram:
+        out << MetricKindName(e.kind) << ' ' << e.name << ' ';
+        AppendHistogramText(out, e.histogram);
+        out << '\n';
         break;
-      }
+      case MetricKind::kCounterVec:
+      case MetricKind::kGaugeVec:
+      case MetricKind::kHistogramVec:
+        // One line per series, the label rendered Prometheus-style.
+        for (const Registry::LabeledValue& v : e.series) {
+          out << MetricKindName(e.kind) << ' ' << e.name << '{' << e.label_key
+              << "=\"" << EscapeLabelValue(v.label) << "\"} ";
+          if (e.kind == MetricKind::kCounterVec) {
+            out << v.counter_value;
+          } else if (e.kind == MetricKind::kGaugeVec) {
+            AppendDouble(out, v.gauge_value);
+          } else {
+            AppendHistogramText(out, v.histogram);
+          }
+          out << '\n';
+        }
+        break;
     }
-    out << '\n';
   }
   return out.str();
 }
@@ -427,14 +648,50 @@ void AppendPrometheusDouble(std::ostringstream& out, double value) {
 
 }  // namespace
 
+namespace {
+
+// Renders one histogram's _bucket/_sum/_count family. `labels` is either
+// empty or a pre-rendered `key="value"` pair to merge ahead of `le`.
+void AppendPrometheusHistogram(std::ostringstream& out,
+                               const std::string& name,
+                               const std::string& labels,
+                               const HistogramSnapshot& h) {
+  const std::string prefix = labels.empty() ? "" : labels + ",";
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < h.boundaries.size(); ++i) {
+    cumulative += h.buckets[i];
+    out << name << "_bucket{" << prefix << "le=\"";
+    AppendDouble(out, h.boundaries[i]);
+    out << "\"} " << cumulative << '\n';
+  }
+  out << name << "_bucket{" << prefix << "le=\"+Inf\"} " << h.count << '\n';
+  out << name << "_sum";
+  if (!labels.empty()) {
+    out << '{' << labels << '}';
+  }
+  out << ' ';
+  AppendPrometheusDouble(out, h.sum);
+  out << '\n';
+  out << name << "_count";
+  if (!labels.empty()) {
+    out << '{' << labels << '}';
+  }
+  out << ' ' << h.count << '\n';
+}
+
+}  // namespace
+
 std::string SnapshotToPrometheus(
     const std::vector<Registry::SnapshotEntry>& snap) {
   std::ostringstream out;
   for (const Registry::SnapshotEntry& e : snap) {
     const std::string name = "nimbus_" + SanitizeMetricName(e.name);
+    // Labeled families advertise their base kind: a CounterVec is, to a
+    // Prometheus scraper, just a counter with labeled samples.
+    const char* type_name = MetricKindName(MetricBaseKind(e.kind));
     out << "# HELP " << name << " Nimbus " << MetricKindName(e.kind) << " '"
         << SanitizeMetricName(e.name) << "'.\n";
-    out << "# TYPE " << name << ' ' << MetricKindName(e.kind) << '\n';
+    out << "# TYPE " << name << ' ' << type_name << '\n';
     switch (e.kind) {
       case MetricKind::kCounter:
         out << name << ' ' << e.counter_value << '\n';
@@ -444,20 +701,26 @@ std::string SnapshotToPrometheus(
         AppendPrometheusDouble(out, e.gauge_value);
         out << '\n';
         break;
-      case MetricKind::kHistogram: {
-        const HistogramSnapshot& h = e.histogram;
-        int64_t cumulative = 0;
-        for (size_t i = 0; i < h.boundaries.size(); ++i) {
-          cumulative += h.buckets[i];
-          out << name << "_bucket{le=\"";
-          AppendDouble(out, h.boundaries[i]);
-          out << "\"} " << cumulative << '\n';
+      case MetricKind::kHistogram:
+        AppendPrometheusHistogram(out, name, "", e.histogram);
+        break;
+      case MetricKind::kCounterVec:
+      case MetricKind::kGaugeVec:
+      case MetricKind::kHistogramVec: {
+        const std::string key = SanitizeMetricName(e.label_key);
+        for (const Registry::LabeledValue& v : e.series) {
+          const std::string labels =
+              key + "=\"" + EscapeLabelValue(v.label) + "\"";
+          if (e.kind == MetricKind::kCounterVec) {
+            out << name << '{' << labels << "} " << v.counter_value << '\n';
+          } else if (e.kind == MetricKind::kGaugeVec) {
+            out << name << '{' << labels << "} ";
+            AppendPrometheusDouble(out, v.gauge_value);
+            out << '\n';
+          } else {
+            AppendPrometheusHistogram(out, name, labels, v.histogram);
+          }
         }
-        out << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
-        out << name << "_sum ";
-        AppendPrometheusDouble(out, h.sum);
-        out << '\n';
-        out << name << "_count " << h.count << '\n';
         break;
       }
     }
@@ -468,6 +731,25 @@ std::string SnapshotToPrometheus(
 void ExportPrometheus(std::string* out) {
   *out += SnapshotToPrometheus(Registry::Global().Snapshot());
 }
+
+namespace {
+
+void AppendHistogramJson(std::ostringstream& out, const HistogramSnapshot& h) {
+  out << "\"count\":" << h.count << ",\"sum\":";
+  AppendDouble(out, h.sum);
+  out << ",\"min\":";
+  AppendDouble(out, h.min);
+  out << ",\"max\":";
+  AppendDouble(out, h.max);
+  out << ",\"p50\":";
+  AppendDouble(out, h.Quantile(0.50));
+  out << ",\"p95\":";
+  AppendDouble(out, h.Quantile(0.95));
+  out << ",\"p99\":";
+  AppendDouble(out, h.Quantile(0.99));
+}
+
+}  // namespace
 
 std::string SnapshotToJson(const std::vector<Registry::SnapshotEntry>& snap) {
   std::ostringstream out;
@@ -488,20 +770,32 @@ std::string SnapshotToJson(const std::vector<Registry::SnapshotEntry>& snap) {
         out << "\"value\":";
         AppendDouble(out, e.gauge_value);
         break;
-      case MetricKind::kHistogram: {
-        const HistogramSnapshot& h = e.histogram;
-        out << "\"count\":" << h.count << ",\"sum\":";
-        AppendDouble(out, h.sum);
-        out << ",\"min\":";
-        AppendDouble(out, h.min);
-        out << ",\"max\":";
-        AppendDouble(out, h.max);
-        out << ",\"p50\":";
-        AppendDouble(out, h.Quantile(0.50));
-        out << ",\"p95\":";
-        AppendDouble(out, h.Quantile(0.95));
-        out << ",\"p99\":";
-        AppendDouble(out, h.Quantile(0.99));
+      case MetricKind::kHistogram:
+        AppendHistogramJson(out, e.histogram);
+        break;
+      case MetricKind::kCounterVec:
+      case MetricKind::kGaugeVec:
+      case MetricKind::kHistogramVec: {
+        out << "\"label_key\":\"" << JsonEscape(e.label_key)
+            << "\",\"series\":{";
+        bool first_series = true;
+        for (const Registry::LabeledValue& v : e.series) {
+          if (!first_series) {
+            out << ',';
+          }
+          first_series = false;
+          out << '"' << JsonEscape(v.label) << "\":{";
+          if (e.kind == MetricKind::kCounterVec) {
+            out << "\"value\":" << v.counter_value;
+          } else if (e.kind == MetricKind::kGaugeVec) {
+            out << "\"value\":";
+            AppendDouble(out, v.gauge_value);
+          } else {
+            AppendHistogramJson(out, v.histogram);
+          }
+          out << '}';
+        }
+        out << '}';
         break;
       }
     }

@@ -43,6 +43,7 @@ class Counter {
 
  private:
   friend class Registry;
+  friend class CounterVec;
   Counter() = default;
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -64,6 +65,7 @@ class Gauge {
 
  private:
   friend class Registry;
+  friend class GaugeVec;
   Gauge() = default;
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
@@ -101,6 +103,7 @@ class Histogram {
 
  private:
   friend class Registry;
+  friend class HistogramVec;
   Histogram();
   void Reset();
 
@@ -111,16 +114,108 @@ class Histogram {
   std::vector<std::atomic<int64_t>> buckets_;  // boundaries + overflow.
 };
 
-enum class MetricKind { kCounter, kGauge, kHistogram };
+// ---------------------------------------------------------------------------
+// Labeled metric families ("vectors"): one registered name fanning out
+// into a small set of series keyed by a single low-cardinality label
+// (e.g. per-offering counters keyed by model kind). The label key is
+// fixed at registration; label VALUES are interned on first use into a
+// bounded per-family set — once a family holds kMaxSeries distinct
+// values, further new values collapse into the kOverflowLabel series so
+// an unbounded label (a buyer id, say) can never grow the registry
+// without bound. WithLabel is a locked map lookup; hot paths cache the
+// returned reference per label value, exactly like scalar metrics:
+//
+//   static telemetry::CounterVec& quotes =
+//       telemetry::Registry::Global().GetCounterVec(
+//           "broker_quotes_total", "offering");
+//   static telemetry::Counter& logistic = quotes.WithLabel("logistic");
+//   logistic.Increment();
+
+class CounterVec {
+ public:
+  static constexpr size_t kMaxSeries = 64;
+  static constexpr const char* kOverflowLabel = "__other__";
+
+  Counter& WithLabel(const std::string& label_value);
+  const std::string& label_key() const { return label_key_; }
+
+  CounterVec(const CounterVec&) = delete;
+  CounterVec& operator=(const CounterVec&) = delete;
+
+ private:
+  friend class Registry;
+  explicit CounterVec(std::string label_key)
+      : label_key_(std::move(label_key)) {}
+  void Reset();
+
+  const std::string label_key_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> series_;
+};
+
+class GaugeVec {
+ public:
+  static constexpr size_t kMaxSeries = 64;
+  static constexpr const char* kOverflowLabel = "__other__";
+
+  Gauge& WithLabel(const std::string& label_value);
+  const std::string& label_key() const { return label_key_; }
+
+  GaugeVec(const GaugeVec&) = delete;
+  GaugeVec& operator=(const GaugeVec&) = delete;
+
+ private:
+  friend class Registry;
+  explicit GaugeVec(std::string label_key) : label_key_(std::move(label_key)) {}
+  void Reset();
+
+  const std::string label_key_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Gauge>> series_;
+};
+
+class HistogramVec {
+ public:
+  static constexpr size_t kMaxSeries = 64;
+  static constexpr const char* kOverflowLabel = "__other__";
+
+  Histogram& WithLabel(const std::string& label_value);
+  const std::string& label_key() const { return label_key_; }
+
+  HistogramVec(const HistogramVec&) = delete;
+  HistogramVec& operator=(const HistogramVec&) = delete;
+
+ private:
+  friend class Registry;
+  explicit HistogramVec(std::string label_key)
+      : label_key_(std::move(label_key)) {}
+  void Reset();
+
+  const std::string label_key_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Histogram>> series_;
+};
+
+enum class MetricKind {
+  kCounter,
+  kGauge,
+  kHistogram,
+  kCounterVec,
+  kGaugeVec,
+  kHistogramVec,
+};
 
 const char* MetricKindName(MetricKind kind);
+// The unlabeled kind a vec fans out from (identity for scalar kinds) —
+// what the Prometheus # TYPE line advertises.
+MetricKind MetricBaseKind(MetricKind kind);
 
 // Process-wide metric registry. Metrics are created on first Get* and
 // live for the process lifetime, so call sites cache the reference:
 //
-//   static telemetry::Counter& quotes =
-//       telemetry::Registry::Global().GetCounter("broker_quotes_total");
-//   quotes.Increment();
+//   static telemetry::Counter& submitted =
+//       telemetry::Registry::Global().GetCounter("service_submitted_total");
+//   submitted.Increment();
 //
 // Requesting an existing name with a different kind is a programming
 // error and fails a NIMBUS_CHECK (scripts/check_metrics_names.sh lints
@@ -133,12 +228,33 @@ class Registry {
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
 
+  // Labeled families. The label key is part of the registration: asking
+  // for an existing family with a different key (or a scalar name as a
+  // vec, or vice versa) fails a NIMBUS_CHECK, same as a kind clash.
+  CounterVec& GetCounterVec(const std::string& name,
+                            const std::string& label_key);
+  GaugeVec& GetGaugeVec(const std::string& name, const std::string& label_key);
+  HistogramVec& GetHistogramVec(const std::string& name,
+                                const std::string& label_key);
+
+  // One series of a labeled family at snapshot time.
+  struct LabeledValue {
+    std::string label;  // The series' label value.
+    int64_t counter_value = 0;
+    double gauge_value = 0.0;
+    HistogramSnapshot histogram;
+  };
+
   struct SnapshotEntry {
     std::string name;
     MetricKind kind = MetricKind::kCounter;
     int64_t counter_value = 0;
     double gauge_value = 0.0;
     HistogramSnapshot histogram;
+    // Vec kinds only: the family's label key and its series, sorted by
+    // label value (deterministic like the name ordering).
+    std::string label_key;
+    std::vector<LabeledValue> series;
   };
 
   // Consistent-enough view of every registered metric, sorted by name —
@@ -161,9 +277,13 @@ class Registry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<CounterVec> counter_vec;
+    std::unique_ptr<GaugeVec> gauge_vec;
+    std::unique_ptr<HistogramVec> histogram_vec;
   };
 
-  Entry& GetOrCreate(const std::string& name, MetricKind kind);
+  Entry& GetOrCreate(const std::string& name, MetricKind kind,
+                     const std::string& label_key = std::string());
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> metrics_;

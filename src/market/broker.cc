@@ -13,30 +13,37 @@ namespace nimbus::market {
 namespace {
 
 // Request-path telemetry (see DESIGN.md, "Observability"): quote volume
-// and latency, booked sales, and revenue to date. References are cached
-// once so the hot path pays only relaxed atomic updates.
-telemetry::Counter& QuotesCounter() {
-  static telemetry::Counter& counter =
-      telemetry::Registry::Global().GetCounter("broker_quotes_total");
-  return counter;
+// and latency, booked sales, and revenue to date, each a labeled family
+// keyed by offering (the broker's model kind) — the rollup surface a
+// sharded catalog reports into. Brokers cache their offering's series
+// references at construction so the hot path still pays only relaxed
+// atomic updates.
+telemetry::CounterVec& QuotesVec() {
+  static telemetry::CounterVec& vec =
+      telemetry::Registry::Global().GetCounterVec("broker_quotes_total",
+                                                  "offering");
+  return vec;
 }
 
-telemetry::Histogram& QuoteLatency() {
-  static telemetry::Histogram& histogram =
-      telemetry::Registry::Global().GetHistogram("broker_quote_latency_us");
-  return histogram;
+telemetry::HistogramVec& QuoteLatencyVec() {
+  static telemetry::HistogramVec& vec =
+      telemetry::Registry::Global().GetHistogramVec("broker_quote_latency_us",
+                                                    "offering");
+  return vec;
 }
 
-telemetry::Counter& SalesCounter() {
-  static telemetry::Counter& counter =
-      telemetry::Registry::Global().GetCounter("broker_sales_total");
-  return counter;
+telemetry::CounterVec& SalesVec() {
+  static telemetry::CounterVec& vec =
+      telemetry::Registry::Global().GetCounterVec("broker_sales_total",
+                                                  "offering");
+  return vec;
 }
 
-telemetry::Gauge& RevenueGauge() {
-  static telemetry::Gauge& gauge =
-      telemetry::Registry::Global().GetGauge("broker_revenue_collected");
-  return gauge;
+telemetry::GaugeVec& RevenueVec() {
+  static telemetry::GaugeVec& vec =
+      telemetry::Registry::Global().GetGaugeVec("broker_revenue_collected",
+                                                "offering");
+  return vec;
 }
 
 telemetry::Counter& BudgetCutCounter() {
@@ -107,7 +114,13 @@ Broker::Broker(data::TrainTestSplit split, ml::ModelSpec model,
                                            : nullptr),
       eval_fingerprint_(FingerprintDataset(split_.test)),
       build_mu_(std::make_unique<std::mutex>()),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  const std::string offering(ml::ModelKindToString(model_.kind()));
+  quotes_counter_ = &QuotesVec().WithLabel(offering);
+  quote_latency_ = &QuoteLatencyVec().WithLabel(offering);
+  sales_counter_ = &SalesVec().WithLabel(offering);
+  revenue_gauge_ = &RevenueVec().WithLabel(offering);
+}
 
 void Broker::SetPricingFunction(
     std::shared_ptr<const pricing::PricingFunction> pricing) {
@@ -235,8 +248,8 @@ StatusOr<Broker::Purchase> Broker::QuoteAtInverseNcp(
     double inverse_ncp, const pricing::ErrorCurve& curve, Rng& rng,
     const telemetry::TraceContext* trace) const {
   telemetry::TraceSpan span("broker.quote", trace);
-  telemetry::ScopedTimer timer(QuoteLatency());
-  QuotesCounter().Increment();
+  telemetry::ScopedTimer timer(*quote_latency_);
+  quotes_counter_->Increment();
   FAULT_POINT("broker.quote");
   if (inverse_ncp < options_.min_inverse_ncp ||
       inverse_ncp > options_.max_inverse_ncp) {
@@ -268,7 +281,7 @@ void Broker::QuoteBatch(const pricing::ErrorCurve& curve,
   telemetry::ScopedTimer timer(BatchLatency());
   BatchesCounter().Increment();
   BatchItemsCounter().Increment(static_cast<int64_t>(items.size()));
-  QuotesCounter().Increment(static_cast<int64_t>(items.size()));
+  quotes_counter_->Increment(static_cast<int64_t>(items.size()));
   const bool degraded = curve.degraded();
   if (degraded) {
     span.Annotate("degraded");
@@ -310,8 +323,8 @@ void Broker::QuoteBatch(const pricing::ErrorCurve& curve,
 void Broker::RecordSale(const Purchase& purchase) {
   revenue_collected_ += purchase.price;
   ++sales_count_;
-  SalesCounter().Increment();
-  RevenueGauge().Add(purchase.price);
+  sales_counter_->Increment();
+  revenue_gauge_->Add(purchase.price);
 }
 
 StatusOr<Broker::Purchase> Broker::CompleteSale(

@@ -227,6 +227,13 @@ class Broker {
   uint64_t eval_fingerprint_ = 0;
   // Heap-held so the broker stays movable (std::mutex is not).
   std::unique_ptr<std::mutex> build_mu_;
+  // This offering's series in the per-offering labeled families
+  // (broker_*{offering=<model kind>}), interned once at construction —
+  // registry-owned, so plain pointers keep the broker movable.
+  telemetry::Counter* quotes_counter_ = nullptr;
+  telemetry::Histogram* quote_latency_ = nullptr;
+  telemetry::Counter* sales_counter_ = nullptr;
+  telemetry::Gauge* revenue_gauge_ = nullptr;
   Rng rng_;
   double revenue_collected_ = 0.0;
   int sales_count_ = 0;

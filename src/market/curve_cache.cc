@@ -149,7 +149,7 @@ StatusOr<std::shared_ptr<const pricing::ErrorCurve>> CurveCache::GetOrBuild(
     const CurveKey& key, const Builder& build, StalePolicy policy,
     const CancelToken* cancel) {
   Slot* slot = GetSlot(key);
-  std::unique_lock<std::mutex> lock(slot->mu);
+  std::unique_lock<prof::ProfiledMutex> lock(slot->mu);
   bool counted_wait = false;
   while (true) {
     if (slot->version == slot->target_version && slot->curve != nullptr) {
@@ -233,7 +233,7 @@ void CurveCache::Invalidate(const CurveKey& key) {
     }
     slot = it->second.get();
   }
-  std::lock_guard<std::mutex> lock(slot->mu);
+  std::lock_guard<prof::ProfiledMutex> lock(slot->mu);
   if (slot->target_version == slot->version) {
     ++slot->target_version;
   }
@@ -248,7 +248,7 @@ int64_t CurveCache::VersionOf(const CurveKey& key) const {
   if (it == slots_.end()) {
     return 0;
   }
-  std::lock_guard<std::mutex> slot_lock(it->second->mu);
+  std::lock_guard<prof::ProfiledMutex> slot_lock(it->second->mu);
   return it->second->version;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/profiler.h"
 #include "common/statusor.h"
 #include "data/dataset.h"
 #include "pricing/error_curve.h"
@@ -119,8 +120,13 @@ class CurveCache {
 
  private:
   struct Slot {
-    std::mutex mu;
-    std::condition_variable cv;
+    // Instrumented (mutex_*{mutex="curve_cache_slot"}): waiter convoys
+    // behind an in-flight build are visible in the contention profile.
+    // The outer map_mu_ shared_mutex stays plain — ProfiledMutex models
+    // exclusive locking only, and the map lock is touched once per
+    // lookup versus the slot's per-quote traffic.
+    prof::ProfiledMutex mu{"curve_cache_slot"};
+    std::condition_variable_any cv;
     std::shared_ptr<const pricing::ErrorCurve> curve;  // Last committed.
     int64_t version = 0;         // Version of `curve` (0 = none yet).
     int64_t target_version = 1;  // What a fresh build would commit as.

@@ -145,7 +145,8 @@ Journal::Journal(Journal&& other) noexcept
       buffered_sequence_(other.buffered_sequence_),
       buffered_payload_size_(other.buffered_payload_size_),
       buffered_payload_crc_(other.buffered_payload_crc_),
-      poisoned_(other.poisoned_) {
+      poisoned_(other.poisoned_),
+      mu_(std::move(other.mu_)) {
   other.file_ = nullptr;
 }
 
@@ -161,6 +162,7 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     buffered_payload_size_ = other.buffered_payload_size_;
     buffered_payload_crc_ = other.buffered_payload_crc_;
     poisoned_ = other.poisoned_;
+    mu_ = std::move(other.mu_);
     other.file_ = nullptr;
   }
   return *this;
@@ -176,6 +178,10 @@ Status Journal::Append(const LedgerEntry& entry,
                        const telemetry::TraceContext* trace) {
   telemetry::TraceSpan span("journal.append", trace);
   FAULT_POINT("journal.append");
+  if (mu_ == nullptr) {  // Moved-from shell.
+    return FailedPreconditionError("journal '" + path_ + "' is closed");
+  }
+  std::lock_guard<prof::ProfiledMutex> lock(*mu_);
   if (file_ == nullptr) {
     return FailedPreconditionError("journal '" + path_ + "' is closed");
   }
@@ -224,13 +230,21 @@ Status Journal::Append(const LedgerEntry& entry,
     buffered_payload_crc_ = payload_crc;
   }
   if (options_.fsync == FsyncPolicy::kEveryRecord) {
-    NIMBUS_RETURN_IF_ERROR(Flush());
+    NIMBUS_RETURN_IF_ERROR(FlushLocked());
   }
   buffered_sequence_ = -1;
   return OkStatus();
 }
 
 Status Journal::Flush() {
+  if (mu_ == nullptr) {  // Moved-from shell.
+    return FailedPreconditionError("journal '" + path_ + "' is closed");
+  }
+  std::lock_guard<prof::ProfiledMutex> lock(*mu_);
+  return FlushLocked();
+}
+
+Status Journal::FlushLocked() {
   FAULT_POINT("journal.fsync");
   if (file_ == nullptr) {
     return FailedPreconditionError("journal '" + path_ + "' is closed");
@@ -246,10 +260,14 @@ Status Journal::Flush() {
 }
 
 Status Journal::Close() {
+  if (mu_ == nullptr) {  // Moved-from shell.
+    return OkStatus();
+  }
+  std::lock_guard<prof::ProfiledMutex> lock(*mu_);
   if (file_ == nullptr) {
     return OkStatus();
   }
-  const Status flushed = Flush();
+  const Status flushed = FlushLocked();
   const int rc = std::fclose(file_);
   file_ = nullptr;
   NIMBUS_RETURN_IF_ERROR(flushed);

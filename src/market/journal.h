@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/profiler.h"
 #include "common/statusor.h"
 #include "common/telemetry.h"
 #include "market/ledger.h"
@@ -128,7 +130,14 @@ class Journal {
 
  private:
   Journal(std::string path, Options options, std::FILE* file)
-      : path_(std::move(path)), options_(options), file_(file) {}
+      : path_(std::move(path)),
+        options_(options),
+        file_(file),
+        mu_(std::make_unique<prof::ProfiledMutex>("journal")) {}
+
+  // Flush body without taking mu_ (Append and Close call it while
+  // already holding the lock).
+  Status FlushLocked();
 
   std::string path_;
   Options options_;
@@ -140,6 +149,11 @@ class Journal {
   uint32_t buffered_payload_size_ = 0;
   uint32_t buffered_payload_crc_ = 0;
   bool poisoned_ = false;
+  // Serializes Append/Flush/Close and feeds mutex_*{mutex="journal"} —
+  // fsync-policy stalls under the lock are visible in the contention
+  // profile. unique_ptr keeps Journal movable (same pattern as the
+  // broker's build_mu_); null only in a moved-from shell.
+  std::unique_ptr<prof::ProfiledMutex> mu_;
 };
 
 }  // namespace nimbus::market

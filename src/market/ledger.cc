@@ -17,18 +17,22 @@ namespace {
 
 // Audit counters mirrored into the telemetry registry on every Record,
 // so benches and the metrics snapshot report revenue without re-walking
-// the ledger. Per-price-point counters are keyed by the formatted
-// inverse-NCP (cardinality is bounded by the broker's version grid).
-telemetry::Counter& LedgerSalesCounter() {
-  static telemetry::Counter& counter =
-      telemetry::Registry::Global().GetCounter("ledger_sales_total");
-  return counter;
+// the ledger — labeled per offering (the entry's model kind), matching
+// the broker's per-offering families. Per-price-point counters are
+// keyed by the formatted inverse-NCP (cardinality is bounded by the
+// broker's version grid).
+telemetry::CounterVec& LedgerSalesVec() {
+  static telemetry::CounterVec& vec =
+      telemetry::Registry::Global().GetCounterVec("ledger_sales_total",
+                                                  "offering");
+  return vec;
 }
 
-telemetry::Gauge& LedgerRevenueGauge() {
-  static telemetry::Gauge& gauge =
-      telemetry::Registry::Global().GetGauge("ledger_revenue_total");
-  return gauge;
+telemetry::GaugeVec& LedgerRevenueVec() {
+  static telemetry::GaugeVec& vec =
+      telemetry::Registry::Global().GetGaugeVec("ledger_revenue_total",
+                                                "offering");
+  return vec;
 }
 
 telemetry::Counter& RecoveredRecordsCounter() {
@@ -184,8 +188,9 @@ Status Ledger::ValidateFields(const std::string& buyer_id, double inverse_ncp,
 void Ledger::Commit(const LedgerEntry& entry) {
   entries_.push_back(entry);
   spend_by_buyer_[entry.buyer_id] += entry.price;
-  LedgerSalesCounter().Increment();
-  LedgerRevenueGauge().Add(entry.price);
+  const std::string offering(ml::ModelKindToString(entry.model));
+  LedgerSalesVec().WithLabel(offering).Increment();
+  LedgerRevenueVec().WithLabel(offering).Add(entry.price);
   telemetry::Registry::Global()
       .GetCounter(PricePointMetricName(entry.inverse_ncp))
       .Increment();

@@ -7,13 +7,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <vector>
 
 #include "common/flight_recorder.h"
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "common/telemetry.h"
 
 namespace nimbus::service {
@@ -40,6 +43,25 @@ void AppendJsonDouble(std::ostringstream& out, double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   out << buf;
+}
+
+// "seconds=2&type=cpu" → value of `key`, or `fallback` when absent.
+std::string QueryParam(const std::string& query, const std::string& key,
+                       const std::string& fallback) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) {
+      amp = query.size();
+    }
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return fallback;
 }
 
 }  // namespace
@@ -84,6 +106,7 @@ Status AdminServer::Start() {
   }
   listen_fd_ = fd;
   port_ = static_cast<int>(ntohs(bound.sin_port));
+  abort_profiles_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { ServeLoop(); });
   NIMBUS_LOG(kInfo) << "admin server listening on 127.0.0.1:" << port_;
@@ -94,10 +117,18 @@ void AdminServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     return;
   }
-  // Wake the blocking accept; the loop sees running_ == false and exits.
+  // Unwind a mid-window /profilez (checked every 50 ms), then wake the
+  // blocking accept; the loop sees running_ == false and exits.
+  abort_profiles_.store(true, std::memory_order_release);
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (thread_.joinable()) {
     thread_.join();
+  }
+  // Handler threads are bounded: socket ops time out at 2 s and the
+  // profile window aborts, so the count drains promptly.
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
   }
   ::close(listen_fd_);
   listen_fd_ = -1;
@@ -112,25 +143,48 @@ void AdminServer::ServeLoop() {
       }
       continue;  // Transient (EINTR, aborted connection).
     }
-    HandleConnection(fd);
-    ::close(fd);
+    // One short-lived thread per connection so a slow handler (a
+    // multi-second /profilez window) never blocks the next scrape —
+    // which is also what lets a second /profilez observe the
+    // single-flight 503 while the first is still running.
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++active_connections_;
+    }
+    std::thread([this, fd] {
+      HandleConnection(fd);
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (--active_connections_ == 0) {
+        conn_cv_.notify_all();
+      }
+    }).detach();
   }
 }
 
 void AdminServer::HandleConnection(int fd) const {
   // Bound both the read and the client: a stalled scraper must not
-  // wedge the admin thread forever.
+  // wedge the handler forever. (Note: timeouts make recv/send return
+  // EINTR even under SA_RESTART — see signal(7) — so the I/O loops
+  // below retry it explicitly; the profiler's SIGPROF lands here.)
   timeval timeout;
   timeout.tv_sec = 2;
   timeout.tv_usec = 0;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  if (options_.sndbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                 sizeof(options_.sndbuf_bytes));
+  }
 
   std::string request;
   char buf[2048];
   while (request.size() < 16 * 1024 &&
          request.find("\r\n\r\n") == std::string::npos) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
     if (n <= 0) {
       break;
     }
@@ -140,9 +194,9 @@ void AdminServer::HandleConnection(int fd) const {
   std::string response;
   const size_t line_end = request.find("\r\n");
   std::istringstream line(request.substr(0, line_end));
-  std::string method, path;
-  line >> method >> path;
-  if (method.empty() || path.empty()) {
+  std::string method, target;
+  line >> method >> target;
+  if (method.empty() || target.empty()) {
     response = HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
                             "bad request\n");
   } else if (method != "GET") {
@@ -150,19 +204,21 @@ void AdminServer::HandleConnection(int fd) const {
                             "text/plain; charset=utf-8",
                             "only GET is supported\n");
   } else {
-    // Strip a query string; the endpoints take no parameters.
-    const size_t query = path.find('?');
-    if (query != std::string::npos) {
-      path.resize(query);
-    }
-    response = HandlePath(path);
+    response = HandlePath(target);
   }
+  // Loop over partial writes AND EINTR: a large /tracez or /profilez
+  // body against a small send buffer takes many send()s, and a signal
+  // (SIGPROF during a profile window) can interrupt any of them.
+  // MSG_NOSIGNAL turns a hung-up scraper into EPIPE, not process death.
   size_t sent = 0;
   while (sent < response.size()) {
-    const ssize_t n =
-        ::send(fd, response.data() + sent, response.size() - sent, 0);
+    const ssize_t n = ::send(fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
     if (n <= 0) {
-      break;
+      break;  // Timed out or peer hung up; drop the rest.
     }
     sent += static_cast<size_t>(n);
   }
@@ -173,6 +229,9 @@ std::string AdminServer::MetricsBody() const {
     // Refresh the SLO gauges so every scrape sees current burn rates.
     service_->slo_tracker().ExportGauges();
   }
+  // Mirror the process-wide allocation tallies (kept outside the
+  // registry — operator new cannot re-enter it) into the alloc_* gauges.
+  prof::PublishMetrics();
   std::string body;
   telemetry::ExportPrometheus(&body);
   return body;
@@ -234,8 +293,46 @@ std::string AdminServer::TracezBody() const {
   return out.str();
 }
 
-std::string AdminServer::HandlePath(const std::string& path) const {
+std::string AdminServer::ProfilezResponse(const std::string& query) const {
+  const std::string type_name = QueryParam(query, "type", "cpu");
+  const StatusOr<prof::ProfileType> type = prof::ParseProfileType(type_name);
+  if (!type.ok()) {
+    return HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
+                        type.status().message() + "\n");
+  }
+  const std::string seconds_text = QueryParam(query, "seconds", "2");
+  char* end = nullptr;
+  const double seconds = std::strtod(seconds_text.c_str(), &end);
+  if (end == seconds_text.c_str() || *end != '\0' || !(seconds > 0.0) ||
+      seconds > 300.0) {
+    return HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
+                        "seconds must be a number in (0, 300]\n");
+  }
+  const StatusOr<std::string> profile = prof::CollectProfile(
+      *type, seconds, prof::CpuProfiler::kDefaultHz, &abort_profiles_);
+  if (!profile.ok()) {
+    if (profile.status().code() == StatusCode::kUnavailable) {
+      // Single-flight: one window at a time, process-wide.
+      return HttpResponse(503, "Service Unavailable",
+                          "text/plain; charset=utf-8",
+                          profile.status().message() + "\n");
+    }
+    return HttpResponse(500, "Internal Server Error",
+                        "text/plain; charset=utf-8",
+                        profile.status().message() + "\n");
+  }
+  return HttpResponse(200, "OK", "text/plain; charset=utf-8", *profile);
+}
+
+std::string AdminServer::HandlePath(const std::string& target) const {
   ScrapesCounter().Increment();
+  std::string path = target;
+  std::string query;
+  const size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    path = target.substr(0, qpos);
+    query = target.substr(qpos + 1);
+  }
   if (path == "/metrics") {
     return HttpResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
                         MetricsBody());
@@ -255,13 +352,17 @@ std::string AdminServer::HandlePath(const std::string& path) const {
     return HttpResponse(200, "OK", "application/json",
                         telemetry::FlightRecorder::Global().ToJson());
   }
+  if (path == "/profilez") {
+    return ProfilezResponse(query);
+  }
   if (path == "/") {
     return HttpResponse(200, "OK", "text/plain; charset=utf-8",
                         "nimbus admin endpoint\n"
-                        "  /metrics  Prometheus exposition\n"
-                        "  /healthz  liveness (503 while draining)\n"
-                        "  /tracez   recent errored/slow request traces\n"
-                        "  /flightz  flight-recorder ring dump\n");
+                        "  /metrics   Prometheus exposition\n"
+                        "  /healthz   liveness (503 while draining)\n"
+                        "  /tracez    recent errored/slow request traces\n"
+                        "  /flightz   flight-recorder ring dump\n"
+                        "  /profilez  ?seconds=N&type=cpu|contention|alloc\n");
   }
   return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
                       "not found\n");

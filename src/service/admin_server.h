@@ -2,6 +2,8 @@
 #define NIMBUS_SERVICE_ADMIN_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -20,22 +22,33 @@ struct AdminServerOptions {
   // > 0: a request slower than this (microseconds) qualifies for
   // /tracez even when it succeeded. Errored requests always qualify.
   double slow_us = 0.0;
+  // > 0: shrink each accepted connection's SO_SNDBUF to this many
+  // bytes. A test knob: forces large responses through many partial
+  // send()s so the write loop's partial/EINTR handling is exercised.
+  int sndbuf_bytes = 0;
 };
 
 // Minimal blocking HTTP/1.1 admin endpoint over POSIX sockets — no
-// third-party dependencies, one accept thread, one connection at a
-// time (scrapes are rare and tiny; concurrent scrapers just queue in
-// the listen backlog). Serves:
+// third-party dependencies. One accept thread dispatches each
+// connection to a short-lived handler thread, so a multi-second
+// /profilez window never blocks a concurrent /metrics scrape; Stop
+// waits for in-flight handlers (profile windows abort early). Serves:
 //
-//   /metrics  Prometheus text exposition of the global registry (the
-//             service's SLO gauges are refreshed per scrape).
-//   /healthz  200 "ok" while the service is live; 503 once draining or
-//             a downstream breaker is stuck open.
-//   /tracez   JSON summaries of the most recent errored/slow requests,
-//             with their spans when tracing is enabled.
-//   /flightz  The flight recorder's ring as JSON (same payload as an
-//             incident dump).
-//   /         Plain-text index of the endpoints above.
+//   /metrics   Prometheus text exposition of the global registry (the
+//              service's SLO gauges and the allocation tallies are
+//              refreshed per scrape).
+//   /healthz   200 "ok" while the service is live; 503 once draining
+//              or a downstream breaker is stuck open.
+//   /tracez    JSON summaries of the most recent errored/slow
+//              requests, with their spans when tracing is enabled.
+//   /flightz   The flight recorder's ring as JSON (same payload as an
+//              incident dump).
+//   /profilez  On-demand profile window:
+//              ?seconds=N&type=cpu|contention|alloc (defaults 2, cpu).
+//              cpu returns folded stacks (flamegraph/speedscope
+//              input); contention/alloc return windowed text reports.
+//              Single-flight: a concurrent window answers 503.
+//   /          Plain-text index of the endpoints above.
 //
 // The server only ever *reads* service and telemetry state; it cannot
 // perturb market output.
@@ -53,15 +66,17 @@ class AdminServer {
   // kUnavailable when the port cannot be bound.
   Status Start();
 
-  // Wakes the accept loop and joins it. Idempotent.
+  // Wakes the accept loop, aborts any in-flight profile window, and
+  // joins the accept thread and all handler threads. Idempotent.
   void Stop();
 
   // Bound port (after Start); 0 before.
   int port() const { return port_; }
 
-  // Builds the full HTTP response for `path` — the request handler,
-  // exposed so tests can validate payloads without a socket.
-  std::string HandlePath(const std::string& path) const;
+  // Builds the full HTTP response for `target` (path plus optional
+  // ?query) — the request handler, exposed so tests can validate
+  // payloads without a socket. Note /profilez blocks for its window.
+  std::string HandlePath(const std::string& target) const;
 
  private:
   void ServeLoop();
@@ -69,6 +84,7 @@ class AdminServer {
 
   std::string MetricsBody() const;
   std::string TracezBody() const;
+  std::string ProfilezResponse(const std::string& query) const;
 
   MarketService* service_;
   AdminServerOptions options_;
@@ -76,6 +92,15 @@ class AdminServer {
   int port_ = 0;
   std::thread thread_;
   std::atomic<bool> running_{false};
+  // Set by Stop before joining so a mid-window /profilez unwinds
+  // within ~50 ms instead of sleeping out its full window.
+  std::atomic<bool> abort_profiles_{false};
+  // Handler-thread accounting: threads detach themselves, Stop blocks
+  // until the count drains (handlers are bounded by the 2 s socket
+  // timeouts plus the aborted profile window, so this terminates).
+  mutable std::mutex conn_mu_;
+  mutable std::condition_variable conn_cv_;
+  mutable int active_connections_ = 0;
 };
 
 }  // namespace nimbus::service

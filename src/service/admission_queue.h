@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/profiler.h"
 #include "common/status.h"
 
 namespace nimbus::service {
@@ -29,7 +30,7 @@ class BoundedQueue {
   // Admits `item` or sheds it: kUnavailable when the queue is at
   // capacity (overload) or closed (draining). Never blocks.
   Status TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::ProfiledMutex> lock(mu_);
     if (closed_) {
       return UnavailableError("admission queue is closed (draining)");
     }
@@ -44,7 +45,7 @@ class BoundedQueue {
   // Blocks until an item is available (FIFO) or the queue is closed and
   // empty (returns nullopt — the consumer should exit).
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<prof::ProfiledMutex> lock(mu_);
     cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) {
       return std::nullopt;
@@ -61,7 +62,7 @@ class BoundedQueue {
   // sequencer rendezvous. Empty result = closed and drained.
   std::vector<T> PopBatch(size_t max_items) {
     std::vector<T> out;
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<prof::ProfiledMutex> lock(mu_);
     cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
     while (!items_.empty() && out.size() < max_items) {
       out.push_back(std::move(items_.front()));
@@ -72,25 +73,29 @@ class BoundedQueue {
 
   // Stops admissions; queued items still drain through Pop. Idempotent.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::ProfiledMutex> lock(mu_);
     closed_ = true;
     cv_.notify_all();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::ProfiledMutex> lock(mu_);
     return items_.size();
   }
   size_t capacity() const { return capacity_; }
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::ProfiledMutex> lock(mu_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // Instrumented (mutex_*{mutex="admission_queue"}): producer/consumer
+  // convoys on the queue lock show up in /profilez?type=contention.
+  // condition_variable_any pairs with the wrapper; consumer wakeups
+  // re-acquiring a held lock are counted as contention, by design.
+  mutable prof::ProfiledMutex mu_{"admission_queue"};
+  std::condition_variable_any cv_;
   std::deque<T> items_;
   bool closed_ = false;
 };

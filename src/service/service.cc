@@ -16,6 +16,16 @@ telemetry::Counter& SubmittedCounter() {
   return counter;
 }
 
+// Per-offering admission volume — the serving-layer face of the
+// broker's labeled quote/sale/revenue families. Label values are model
+// kinds (bounded, low-cardinality).
+telemetry::CounterVec& OfferingRequestsVec() {
+  static telemetry::CounterVec& vec =
+      telemetry::Registry::Global().GetCounterVec(
+          "service_offering_requests_total", "offering");
+  return vec;
+}
+
 telemetry::Counter& ShedCounter() {
   static telemetry::Counter& counter =
       telemetry::Registry::Global().GetCounter("service_shed_total");
@@ -143,6 +153,9 @@ std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
   std::future<PurchaseResult> reject_future = reject.get_future();
   submitted_.fetch_add(1, std::memory_order_relaxed);
   SubmittedCounter().Increment();
+  OfferingRequestsVec()
+      .WithLabel(std::string(ml::ModelKindToString(request.model)))
+      .Increment();
 
   // One trace context per submission, minted from an atomic counter (no
   // RNG involved, so the ledger-determinism contract is untouched). The
@@ -472,7 +485,7 @@ void MarketService::CommitOne(Item& item, PurchaseResult& result) {
 }
 
 void MarketService::CommitInOrder(Item& item, PurchaseResult& result) {
-  std::unique_lock<std::mutex> lock(seq_mu_);
+  std::unique_lock<prof::ProfiledMutex> lock(seq_mu_);
   seq_cv_.wait(lock, [&] { return next_commit_ == item.ticket; });
   CommitOne(item, result);
   ++next_commit_;
@@ -484,7 +497,7 @@ void MarketService::CommitBatchInOrder(std::vector<Item>& items,
   if (items.empty()) {
     return;
   }
-  std::unique_lock<std::mutex> lock(seq_mu_);
+  std::unique_lock<prof::ProfiledMutex> lock(seq_mu_);
   // PopBatch guarantees the batch is one consecutive ticket run, so one
   // rendezvous on the first ticket covers the whole batch — and one
   // notify_all at the end replaces the per-request wakeup storm that

@@ -15,6 +15,7 @@
 #include "common/clock.h"
 #include "common/flight_recorder.h"
 #include "common/parallel.h"
+#include "common/profiler.h"
 #include "common/random.h"
 #include "common/slo_tracker.h"
 #include "common/statusor.h"
@@ -243,9 +244,12 @@ class MarketService {
   std::mutex submit_mu_;
   int64_t next_ticket_ = 0;
 
-  // Sequencer: commits strictly in ticket order.
-  std::mutex seq_mu_;
-  std::condition_variable seq_cv_;
+  // Sequencer: commits strictly in ticket order. Instrumented
+  // (mutex_*{mutex="commit_sequencer"}) — the PR 6 wakeup convoy lives
+  // here, and /profilez?type=contention now shows it: every out-of-turn
+  // worker's condvar re-acquisition counts as a contended acquisition.
+  prof::ProfiledMutex seq_mu_{"commit_sequencer"};
+  std::condition_variable_any seq_cv_;
   int64_t next_commit_ = 0;
 
   // Serializes error-curve resolution only for cache-off brokers, whose

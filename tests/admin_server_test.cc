@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -18,6 +19,7 @@
 
 #include "common/fault.h"
 #include "common/flight_recorder.h"
+#include "common/profiler.h"
 #include "common/random.h"
 #include "common/telemetry.h"
 #include "data/synthetic.h"
@@ -365,6 +367,129 @@ TEST_F(AdminServerTest, ConcurrentScrapesDuringLiveTraffic) {
 
   server.Stop();
   EXPECT_TRUE(service.Drain().ok());
+}
+
+TEST_F(AdminServerTest, LargeResponseSurvivesTinySendBuffer) {
+  // Regression: the response writer used to assume one send() takes the
+  // whole body. With SO_SNDBUF shrunk to its floor, a /metrics payload
+  // (tens of KB once the labeled families exist) needs many partial
+  // send()s — a truncated scrape here means the write loop regressed.
+  Marketplace market = MakeMarket(35);
+  ServiceOptions options;
+  options.num_workers = 2;
+  MarketService service(&market, options);
+  ASSERT_TRUE(service.Start().ok());
+  std::vector<std::future<PurchaseResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.Submit(MakeRequest(i)));
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.get().status.ok());
+  }
+
+  AdminServerOptions small_buf;
+  small_buf.sndbuf_bytes = 128;  // Kernel clamps to its minimum (~2 KB).
+  AdminServer server(&service, small_buf);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string expected = server.HandlePath("/metrics");
+  ASSERT_GT(expected.size(), 4096u);  // Must actually exceed the buffer.
+  for (int i = 0; i < 3; ++i) {
+    const std::string got = HttpGet(server.port(), "/metrics");
+    // Byte-for-byte complete (modulo counters moving between builds:
+    // compare sizes loosely and the tail exactly — a truncated write
+    // loses the end first).
+    EXPECT_GT(got.size(), expected.size() / 2);
+    EXPECT_EQ(got.substr(got.size() - 1), "\n");
+    EXPECT_NE(got.find("nimbus_service_submitted_total"), std::string::npos);
+    // The Content-Length header must match the body actually received.
+    const size_t header_at = got.find("Content-Length: ");
+    ASSERT_NE(header_at, std::string::npos);
+    const long long advertised =
+        std::atoll(got.c_str() + header_at + std::strlen("Content-Length: "));
+    EXPECT_EQ(static_cast<long long>(Body(got).size()), advertised);
+  }
+
+  server.Stop();
+  EXPECT_TRUE(service.Drain().ok());
+}
+
+TEST_F(AdminServerTest, ProfilezServesCpuWindow) {
+  AdminServer server(nullptr, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  // A short window over a near-idle process: 200 with a folded-stack
+  // (possibly empty) body is the contract; symbol content is covered by
+  // profiler_test where a spinner guarantees samples.
+  const std::string response =
+      HttpGet(server.port(), "/profilez?type=cpu&seconds=0.2");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(AdminServerTest, ProfilezRejectsBadParameters) {
+  AdminServer server(nullptr, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(HttpGet(server.port(), "/profilez?type=heap")
+                .find("HTTP/1.1 400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/profilez?seconds=0")
+                .find("HTTP/1.1 400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/profilez?seconds=bogus")
+                .find("HTTP/1.1 400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/profilez?seconds=9999")
+                .find("HTTP/1.1 400 Bad Request"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST_F(AdminServerTest, ConcurrentProfilezAnswers503) {
+  AdminServer server(nullptr, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+  auto slow = std::async(std::launch::async, [port] {
+    return HttpGet(port, "/profilez?type=cpu&seconds=2");
+  });
+  // Wait for the first window to arm the sampler, then collide with it.
+  for (int i = 0; i < 1000 && !prof::CpuProfiler::Global().running(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(prof::CpuProfiler::Global().running());
+  const std::string second =
+      HttpGet(port, "/profilez?type=contention&seconds=0.1");
+  EXPECT_NE(second.find("HTTP/1.1 503 Service Unavailable"),
+            std::string::npos)
+      << second;
+  const std::string first = slow.get();
+  EXPECT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(AdminServerTest, StopAbortsInFlightProfileWindow) {
+  AdminServer server(nullptr, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+  auto slow = std::async(std::launch::async, [port] {
+    return HttpGet(port, "/profilez?type=cpu&seconds=30");
+  });
+  for (int i = 0; i < 1000 && !prof::CpuProfiler::Global().running(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(prof::CpuProfiler::Global().running());
+  // Stop must not wait out the 30 s window.
+  const auto stop_start = std::chrono::steady_clock::now();
+  server.Stop();
+  const double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    stop_start)
+          .count();
+  EXPECT_LT(stop_seconds, 10.0);
+  // The aborted request still got a well-formed response (the window
+  // returns early with whatever it captured).
+  const std::string response = slow.get();
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
 }
 
 TEST_F(AdminServerTest, HandlePathRoutesWithoutASocket) {

@@ -63,10 +63,18 @@ TEST(LedgerTest, RecordAndQueries) {
   EXPECT_EQ(per_point.at(2.0), 1);
   EXPECT_EQ(per_point.at(4.0), 2);
 
-  // Every Record is mirrored into the telemetry registry for audit.
+  // Every Record is mirrored into the telemetry registry for audit,
+  // labeled by offering (the entry's model kind).
   auto& registry = telemetry::Registry::Global();
-  EXPECT_EQ(registry.GetCounter("ledger_sales_total").Value(), 4);
-  EXPECT_DOUBLE_EQ(registry.GetGauge("ledger_revenue_total").Value(), 75.0);
+  const std::string svm(ml::ModelKindToString(ml::ModelKind::kLinearSvm));
+  const std::string logistic(
+      ml::ModelKindToString(ml::ModelKind::kLogisticRegression));
+  auto& sales_vec = registry.GetCounterVec("ledger_sales_total", "offering");
+  EXPECT_EQ(sales_vec.WithLabel(svm).Value(), 3);
+  EXPECT_EQ(sales_vec.WithLabel(logistic).Value(), 1);
+  auto& revenue_vec = registry.GetGaugeVec("ledger_revenue_total", "offering");
+  EXPECT_DOUBLE_EQ(revenue_vec.WithLabel(svm).Value(), 65.0);
+  EXPECT_DOUBLE_EQ(revenue_vec.WithLabel(logistic).Value(), 10.0);
   EXPECT_EQ(registry.GetCounter("ledger_sales_point_4").Value(), 2);
   EXPECT_DOUBLE_EQ(ledger.RevenueForModel(ml::ModelKind::kLinearSvm), 65.0);
   EXPECT_DOUBLE_EQ(

@@ -277,6 +277,128 @@ TEST(RegistryTest, ResetKeepsCachedReferencesValid) {
   EXPECT_EQ(Registry::Global().GetCounter("test_reset_total").Value(), 1);
 }
 
+TEST(VecTest, WithLabelInternsOnceAndAccumulates) {
+  CounterVec& vec =
+      Registry::Global().GetCounterVec("vec_intern_total", "offering");
+  Counter& logistic = vec.WithLabel("logistic");
+  logistic.Increment(2);
+  // Same label value -> the same series object.
+  EXPECT_EQ(&vec.WithLabel("logistic"), &logistic);
+  vec.WithLabel("svm").Increment();
+  // Re-fetching the family by name returns the same family.
+  EXPECT_EQ(&Registry::Global().GetCounterVec("vec_intern_total", "offering"),
+            &vec);
+
+  const auto snap = Registry::Global().Snapshot();
+  bool found = false;
+  for (const auto& e : snap) {
+    if (e.name != "vec_intern_total") {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(e.kind, MetricKind::kCounterVec);
+    EXPECT_EQ(e.label_key, "offering");
+    ASSERT_EQ(e.series.size(), 2u);
+    // Series are sorted by label value, deterministically.
+    EXPECT_EQ(e.series[0].label, "logistic");
+    EXPECT_EQ(e.series[0].counter_value, 2);
+    EXPECT_EQ(e.series[1].label, "svm");
+    EXPECT_EQ(e.series[1].counter_value, 1);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VecTest, UnboundedLabelsCollapseIntoOverflowSeries) {
+  CounterVec& vec =
+      Registry::Global().GetCounterVec("vec_overflow_total", "buyer");
+  for (int i = 0; i < 200; ++i) {
+    vec.WithLabel("buyer-" + std::to_string(i)).Increment();
+  }
+  const auto snap = Registry::Global().Snapshot();
+  for (const auto& e : snap) {
+    if (e.name != "vec_overflow_total") {
+      continue;
+    }
+    // The family is bounded: at most kMaxSeries plus the overflow
+    // bucket, never 200 series.
+    EXPECT_LE(e.series.size(), CounterVec::kMaxSeries + 1);
+    int64_t total = 0;
+    int64_t overflow = -1;
+    for (const auto& v : e.series) {
+      total += v.counter_value;
+      if (v.label == CounterVec::kOverflowLabel) {
+        overflow = v.counter_value;
+      }
+    }
+    EXPECT_EQ(total, 200);  // No increment is lost, only relabeled.
+    EXPECT_GT(overflow, 0);
+  }
+}
+
+TEST(VecTest, GaugeAndHistogramFamiliesTrackPerLabelState) {
+  GaugeVec& gauges =
+      Registry::Global().GetGaugeVec("vec_revenue_gauge", "offering");
+  gauges.WithLabel("logistic").Set(12.5);
+  gauges.WithLabel("svm").Add(4.0);
+
+  HistogramVec& histograms =
+      Registry::Global().GetHistogramVec("vec_latency_us", "offering");
+  histograms.WithLabel("logistic").Observe(10.0);
+  histograms.WithLabel("logistic").Observe(30.0);
+
+  const auto snap = Registry::Global().Snapshot();
+  for (const auto& e : snap) {
+    if (e.name == "vec_revenue_gauge") {
+      ASSERT_EQ(e.series.size(), 2u);
+      EXPECT_DOUBLE_EQ(e.series[0].gauge_value, 12.5);
+      EXPECT_DOUBLE_EQ(e.series[1].gauge_value, 4.0);
+    }
+    if (e.name == "vec_latency_us") {
+      ASSERT_EQ(e.series.size(), 1u);
+      EXPECT_EQ(e.series[0].histogram.count, 2);
+      EXPECT_DOUBLE_EQ(e.series[0].histogram.sum, 40.0);
+    }
+  }
+}
+
+TEST(VecTest, PrometheusRendersLabeledSeries) {
+  Registry::Global().ResetForTest();
+  CounterVec& vec =
+      Registry::Global().GetCounterVec("vec_prom_total", "offering");
+  vec.WithLabel("logistic").Increment(3);
+  vec.WithLabel("with\"quote\\and\nnewline").Increment();
+  Registry::Global()
+      .GetHistogramVec("vec_prom_us", "offering")
+      .WithLabel("logistic")
+      .Observe(5.0);
+
+  const std::string prom =
+      SnapshotToPrometheus(Registry::Global().Snapshot());
+  // The TYPE line advertises the base kind, not an invented "vec" type.
+  EXPECT_NE(prom.find("# TYPE nimbus_vec_prom_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("nimbus_vec_prom_total{offering=\"logistic\"} 3"),
+            std::string::npos)
+      << prom;
+  // Label values are escaped per the exposition format.
+  EXPECT_NE(
+      prom.find(
+          "nimbus_vec_prom_total{offering=\"with\\\"quote\\\\and\\nnewline\"}"),
+      std::string::npos)
+      << prom;
+  // Histogram series render the full _bucket/_sum/_count family with
+  // the series label alongside le.
+  EXPECT_NE(prom.find("# TYPE nimbus_vec_prom_us histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("nimbus_vec_prom_us_count{offering=\"logistic\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+
+  const std::string json = SnapshotToJson(Registry::Global().Snapshot());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
 #if defined(__SANITIZE_THREAD__)
 #define NIMBUS_UNDER_TSAN 1
 #elif defined(__has_feature)
@@ -530,17 +652,24 @@ TEST(TelemetryRegressionTest, InstrumentationIsObservationOnly) {
 
   // The instrumented hot paths actually fired, and the audit counters
   // agree with the market outcome.
+  // The broker families are labeled per offering; sum across series.
   const auto snap = Registry::Global().Snapshot();
   int64_t quotes = 0;
   int64_t sales = 0;
   double revenue = 0.0;
   for (const Registry::SnapshotEntry& e : snap) {
     if (e.name == "broker_quotes_total") {
-      quotes = e.counter_value;
+      for (const auto& series : e.series) {
+        quotes += series.counter_value;
+      }
     } else if (e.name == "broker_sales_total") {
-      sales = e.counter_value;
+      for (const auto& series : e.series) {
+        sales += series.counter_value;
+      }
     } else if (e.name == "broker_revenue_collected") {
-      revenue = e.gauge_value;
+      for (const auto& series : e.series) {
+        revenue += series.gauge_value;
+      }
     }
   }
   EXPECT_GT(quotes, 0);
