@@ -17,6 +17,17 @@
 //   burst-geometry bound, dense ledger sequences and, again, a
 //   bit-identical journal restore.
 //
+//   Phase 4 (crash drill): checkpointed traffic at each worker count
+//   with snapshot faults tearing some cadence checkpoints, then a
+//   SIGKILL-shaped death (journal flushed, drain checkpoint torn).
+//   Recovery from the snapshot chain must be byte-identical, and must
+//   STAY byte-identical after the newest snapshot is bit-rotted (the
+//   ladder falls back a generation).
+//
+//   Phase 5 (O(delta) sweep): restore time from the checkpoint chain
+//   must stay flat as history grows 10x (the journal tail is constant),
+//   while the journal-only control's full replay scales linearly.
+//
 // Any violated invariant prints VIOLATION and the binary exits
 // non-zero. Flags:
 //   --requests=N        total requests per phase (default 10000)
@@ -34,6 +45,9 @@
 //                       zero budget; overload must burn when it sheds)
 //   --bench-json=PATH   write per-run throughput/latency/SLO numbers as
 //                       JSON to PATH (the committed BENCH_soak.json)
+//   --bench-recovery-json=PATH
+//                       write the phase-5 O(delta) recovery sweep as
+//                       JSON to PATH (the committed BENCH_recovery.json)
 //   --profile=PATH      sample the CPU for the whole run (199 Hz) and
 //                       write folded stacks to PATH — feed the file to
 //                       a flamegrapher or speedscope. The profiler's
@@ -51,6 +65,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -64,6 +79,8 @@
 
 #include "common/fault.h"
 #include "common/profiler.h"
+#include "market/checkpointer.h"
+#include "market/snapshot.h"
 #include "common/random.h"
 #include "common/slo_tracker.h"
 #include "common/telemetry.h"
@@ -80,6 +97,7 @@ using nimbus::Rng;
 using nimbus::Status;
 using nimbus::StatusCode;
 using nimbus::market::Broker;
+using nimbus::market::CheckpointPolicy;
 using nimbus::market::Journal;
 using nimbus::market::Marketplace;
 using nimbus::service::MarketService;
@@ -566,6 +584,360 @@ void RunOverloadPhase(int requests, uint64_t seed, int queue_capacity,
   std::remove(path.c_str());
 }
 
+// Removes every durability artifact a checkpointed run leaves behind:
+// the journal, the `.prev` rotation segment, the snapshot manifest, and
+// all snapshot generations (including torn `.tmp` leftovers).
+void RemoveRecoveryFiles(const std::string& journal_path) {
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".prev").c_str());
+  const std::string manifest =
+      nimbus::market::snapshot::ManifestPath(journal_path);
+  std::remove(manifest.c_str());
+  std::remove((manifest + ".tmp").c_str());
+  for (int64_t generation = 1; generation <= 256; ++generation) {
+    const std::string snap =
+        nimbus::market::snapshot::SnapshotPath(journal_path, generation);
+    std::remove(snap.c_str());
+    std::remove((snap + ".tmp").c_str());
+  }
+}
+
+// Flips one byte in the middle of `path` (bit-rot emulation for the
+// recovery-ladder drill).
+bool FlipByteInFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size <= 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, size / 2, SEEK_SET);
+  int byte = std::fgetc(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0x20, f);
+  return std::fclose(f) == 0;
+}
+
+// One recovery measurement, for --bench-recovery-json.
+struct RecoveryRow {
+  const char* mode = "";    // "checkpoint" or "full_replay"
+  int64_t history = 0;      // Total committed records.
+  int64_t tail = 0;         // Records replayed from the journal.
+  double restore_ms = 0.0;  // Best-of-reps restore wall time.
+};
+std::vector<RecoveryRow> g_recovery_rows;
+
+// Phase 4: crash-recovery drill. Runs checkpointed traffic at each
+// worker count with counted snapshot faults armed (some cadence
+// checkpoints tear mid-write and are absorbed), then emulates SIGKILL
+// at the worst moment: the journal is flushed but the drain-time
+// checkpoint is forced to fail, exactly what a process killed between
+// its last commit and its shutdown snapshot leaves on disk. A fresh
+// marketplace must recover from the newest surviving cadence
+// checkpoint plus the journal tail, byte-identical to the live ledger.
+// Then the newest snapshot is bit-flipped and recovery must fall back
+// a generation — still byte-identical — proving the ladder at soak
+// scale, not just in unit tests.
+void RunCrashRecoveryDrill(int requests, uint64_t seed,
+                           const std::vector<int>& worker_counts) {
+  std::printf("== phase 4: crash-recovery drill (%d requests, workers", requests);
+  for (int workers : worker_counts) {
+    std::printf(" %d", workers);
+  }
+  std::printf(")\n");
+  for (int workers : worker_counts) {
+    const std::string path =
+        TempJournalPath("crash_w" + std::to_string(workers));
+    RemoveRecoveryFiles(path);
+    // Counted tears: a few cadence snapshots fail mid-write/fsync and
+    // must be absorbed without failing a single sale.
+    const Status armed =
+        nimbus::fault::Configure("snapshot.write:3:1,snapshot.fsync:5:1");
+    SOAK_CHECK(armed.ok(), "crash: fault arm failed");
+    Marketplace market = MakeMarket(seed);
+    if (!market.EnableJournal(path, Journal::Options{}).ok()) {
+      std::exit(2);
+    }
+    CheckpointPolicy policy;
+    policy.every_records = std::max(requests / 8, 16);
+    const Status enabled = market.EnableCheckpoints(policy);
+    SOAK_CHECK(enabled.ok(), "crash: EnableCheckpoints failed: %s",
+               enabled.ToString().c_str());
+    MarketService service(&market,
+                          SoakServiceOptions(seed, workers, requests));
+    SOAK_CHECK(service.Start().ok(), "crash: Start failed");
+    std::vector<std::future<PurchaseResult>> futures;
+    futures.reserve(requests);
+    for (int i = 0; i < requests; ++i) {
+      futures.push_back(service.Submit(MakeRequest(i)));
+    }
+    int64_t ok_count = 0;
+    for (int i = 0; i < requests; ++i) {
+      const PurchaseResult result = futures[i].get();
+      SOAK_CHECK(result.status.ok(), "crash(w=%d): request %d failed: %s",
+                 workers, i, result.status.ToString().c_str());
+      ok_count += result.status.ok() ? 1 : 0;
+    }
+    // The kill point: everything committed is journaled (flush), then
+    // the process dies before its shutdown checkpoint can land — the
+    // drain-time snapshot tears and Drain reports it.
+    SOAK_CHECK(market.FlushJournal().ok(), "crash: flush failed");
+    nimbus::fault::Reset();
+    SOAK_CHECK(nimbus::fault::Configure("snapshot.write:1:*").ok(),
+               "crash: kill-window arm failed");
+    const Status drained = service.Drain();
+    SOAK_CHECK(!drained.ok(),
+               "crash(w=%d): drain checkpoint should have torn", workers);
+    nimbus::fault::Reset();
+    const auto stats = market.CheckpointStats();
+    SOAK_CHECK(stats.ok() && stats->checkpoints >= 1,
+               "crash(w=%d): no cadence checkpoint survived", workers);
+    const std::string live_csv = market.ledger().ToCsv();
+    const double live_revenue = market.total_revenue();
+
+    // Recovery 1: newest surviving generation + O(delta) journal tail.
+    Marketplace after_crash = MakeMarket(seed);
+    Marketplace::RestoreReport report;
+    const Status recovered = after_crash.RestoreFromCheckpoint(
+        path, Marketplace::RestoreOptions{}, &report);
+    SOAK_CHECK(recovered.ok(), "crash(w=%d): recovery failed: %s", workers,
+               recovered.ToString().c_str());
+    if (recovered.ok()) {
+      SOAK_CHECK(report.source == Marketplace::RestoreReport::Source::kSnapshot,
+                 "crash(w=%d): expected newest-snapshot recovery", workers);
+      SOAK_CHECK(report.snapshot_records + report.tail_records == ok_count,
+                 "crash(w=%d): recovery covers %lld of %lld sales", workers,
+                 static_cast<long long>(report.snapshot_records +
+                                        report.tail_records),
+                 static_cast<long long>(ok_count));
+      SOAK_CHECK(after_crash.ledger().ToCsv() == live_csv,
+                 "crash(w=%d): recovered ledger differs byte-wise", workers);
+      SOAK_CHECK(after_crash.total_revenue() == live_revenue,
+                 "crash(w=%d): recovered revenue differs", workers);
+    }
+
+    // Recovery 2: bit-rot the newest snapshot; the ladder must fall
+    // back (previous generation or full replay) and still restore
+    // byte-identically.
+    const std::string newest =
+        nimbus::market::snapshot::SnapshotPath(path, report.generation);
+    SOAK_CHECK(FlipByteInFile(newest), "crash: could not corrupt %s",
+               newest.c_str());
+    Marketplace fallback = MakeMarket(seed);
+    Marketplace::RestoreReport fb_report;
+    const Status fb = fallback.RestoreFromCheckpoint(
+        path, Marketplace::RestoreOptions{}, &fb_report);
+    SOAK_CHECK(fb.ok(), "crash(w=%d): ladder fallback failed: %s", workers,
+               fb.ToString().c_str());
+    if (fb.ok()) {
+      SOAK_CHECK(
+          fb_report.source != Marketplace::RestoreReport::Source::kSnapshot,
+          "crash(w=%d): corrupt newest snapshot was not rejected", workers);
+      SOAK_CHECK(fb_report.snapshots_rejected >= 1,
+                 "crash(w=%d): rejection not reported", workers);
+      SOAK_CHECK(fallback.ledger().ToCsv() == live_csv,
+                 "crash(w=%d): fallback ledger differs byte-wise", workers);
+    }
+    std::printf(
+        "   workers=%d: ok=%lld ckpts=%lld gen=%lld snapshot=%lld tail=%lld "
+        "fallback=%s\n",
+        workers, static_cast<long long>(ok_count),
+        static_cast<long long>(stats.ok() ? stats->checkpoints : -1),
+        static_cast<long long>(report.generation),
+        static_cast<long long>(report.snapshot_records),
+        static_cast<long long>(report.tail_records),
+        fb_report.source == Marketplace::RestoreReport::Source::kFullReplay
+            ? "full_replay"
+            : "previous_snapshot");
+    RemoveRecoveryFiles(path);
+  }
+}
+
+// Phase 5: O(delta) recovery sweep. Two marketplaces per history size H
+// — one checkpointed at a fixed record cadence D, one journal-only —
+// each fed H + D/2 sales. Restore time from the checkpoint chain must
+// track the constant tail (delta = D/2), staying flat as H grows 10x,
+// while full-journal replay tracks H and grows with it. That flat-vs-
+// linear split is the whole point of the snapshot subsystem; this phase
+// measures it (writing --bench-recovery-json) and asserts it.
+void RunRecoverySweep(bool fast, uint64_t seed,
+                      const std::string& bench_recovery_json) {
+  const int64_t cadence = fast ? 64 : 256;
+  const int64_t tail = cadence / 2;
+  const int64_t base_history = fast ? 512 : 2560;
+  const std::vector<int64_t> histories = {base_history, 10 * base_history};
+  const int reps = 3;
+  std::printf("== phase 5: O(delta) recovery sweep (delta=%lld, history %lldx10)\n",
+              static_cast<long long>(tail),
+              static_cast<long long>(base_history));
+
+  // Feeds `n` sales through the full Buy path (quote + ledger + journal
+  // + monitors + cadence checkpoints).
+  const auto feed = [&](Marketplace& market, int64_t n) {
+    Broker* broker = *market.BrokerFor(
+        nimbus::ml::ModelKind::kLogisticRegression);
+    const std::string loss = broker->model().report_losses().front()->name();
+    for (int64_t i = 0; i < n; ++i) {
+      const auto purchase = market.Buy(
+          "buyer-" + std::to_string(i % 97),
+          nimbus::ml::ModelKind::kLogisticRegression,
+          1.5 + static_cast<double>(i % 37), loss);
+      if (!purchase.ok()) {
+        std::fprintf(stderr, "sweep: Buy %lld failed: %s\n",
+                     static_cast<long long>(i),
+                     purchase.status().ToString().c_str());
+        std::exit(2);
+      }
+    }
+  };
+
+  double ckpt_ms[2] = {0.0, 0.0};
+  double full_ms[2] = {0.0, 0.0};
+  for (size_t h = 0; h < histories.size(); ++h) {
+    const int64_t history = histories[h];
+    // Checkpointed lineage: cadence snapshots during the feed, so the
+    // newest generation sits exactly `tail` records behind the head.
+    const std::string ckpt_path =
+        TempJournalPath("sweep_ckpt_h" + std::to_string(history));
+    RemoveRecoveryFiles(ckpt_path);
+    Marketplace ckpt_market = MakeMarket(seed);
+    if (!ckpt_market.EnableJournal(ckpt_path, Journal::Options{}).ok()) {
+      std::exit(2);
+    }
+    CheckpointPolicy policy;
+    policy.every_records = cadence;
+    SOAK_CHECK(ckpt_market.EnableCheckpoints(policy).ok(),
+               "sweep: EnableCheckpoints failed");
+    feed(ckpt_market, history + tail);
+    SOAK_CHECK(ckpt_market.FlushJournal().ok(), "sweep: flush failed");
+    const std::string ckpt_csv = ckpt_market.ledger().ToCsv();
+
+    // Journal-only lineage: the linear-replay control.
+    const std::string full_path =
+        TempJournalPath("sweep_full_h" + std::to_string(history));
+    RemoveRecoveryFiles(full_path);
+    Marketplace full_market = MakeMarket(seed);
+    if (!full_market.EnableJournal(full_path, Journal::Options{}).ok()) {
+      std::exit(2);
+    }
+    feed(full_market, history + tail);
+    SOAK_CHECK(full_market.FlushJournal().ok(), "sweep: flush failed");
+    const std::string full_csv = full_market.ledger().ToCsv();
+
+    double best_ckpt = 0.0;
+    double best_full = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Marketplace restored = MakeMarket(seed);
+      Marketplace::RestoreOptions options;
+      options.hydrate = false;  // O(delta): defer the entry-log load.
+      Marketplace::RestoreReport report;
+      const auto t0 = std::chrono::steady_clock::now();
+      const Status status =
+          restored.RestoreFromCheckpoint(ckpt_path, options, &report);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      SOAK_CHECK(status.ok(), "sweep: checkpoint restore failed: %s",
+                 status.ToString().c_str());
+      SOAK_CHECK(report.tail_records == tail,
+                 "sweep: tail %lld != delta %lld",
+                 static_cast<long long>(report.tail_records),
+                 static_cast<long long>(tail));
+      best_ckpt = rep == 0 ? ms : std::min(best_ckpt, ms);
+      if (rep == 0) {
+        // Aggregates restore without the row log; hydration brings the
+        // rows back bit-identically.
+        SOAK_CHECK(restored.total_revenue() == ckpt_market.total_revenue(),
+                   "sweep: deferred-hydration revenue differs");
+        SOAK_CHECK(restored.HydrateLedger().ok(), "sweep: hydrate failed");
+        SOAK_CHECK(restored.ledger().ToCsv() == ckpt_csv,
+                   "sweep: checkpoint-restored ledger differs byte-wise");
+      }
+
+      Marketplace replayed = MakeMarket(seed);
+      const auto t1 = std::chrono::steady_clock::now();
+      const Status replay_status =
+          replayed.RestoreFromJournal(full_path, Journal::Options{});
+      const double replay_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t1)
+              .count();
+      SOAK_CHECK(replay_status.ok(), "sweep: full replay failed: %s",
+                 replay_status.ToString().c_str());
+      best_full = rep == 0 ? replay_ms : std::min(best_full, replay_ms);
+      if (rep == 0) {
+        SOAK_CHECK(replayed.ledger().ToCsv() == full_csv,
+                   "sweep: replayed ledger differs byte-wise");
+      }
+    }
+    ckpt_ms[h] = best_ckpt;
+    full_ms[h] = best_full;
+    g_recovery_rows.push_back(
+        {"checkpoint", history + tail, tail, best_ckpt});
+    g_recovery_rows.push_back(
+        {"full_replay", history + tail, history + tail, best_full});
+    std::printf(
+        "   history=%lld(+%lld tail): checkpoint restore %.3f ms, "
+        "full replay %.3f ms\n",
+        static_cast<long long>(history), static_cast<long long>(tail),
+        best_ckpt, best_full);
+    RemoveRecoveryFiles(ckpt_path);
+    RemoveRecoveryFiles(full_path);
+  }
+
+  // The headline claim: 10x more history must NOT mean 10x slower
+  // checkpoint recovery (the tail is constant), while full replay is
+  // expected to scale with history. Thresholds leave slack for noisy
+  // machines without letting a linear checkpoint restore sneak through.
+  const double ckpt_ratio = ckpt_ms[0] > 0.0 ? ckpt_ms[1] / ckpt_ms[0] : 0.0;
+  const double full_ratio = full_ms[0] > 0.0 ? full_ms[1] / full_ms[0] : 0.0;
+  SOAK_CHECK(ckpt_ratio < 5.0,
+             "sweep: checkpoint restore scaled %.2fx across 10x history "
+             "(expected flat)",
+             ckpt_ratio);
+  SOAK_CHECK(full_ratio > 3.0,
+             "sweep: full replay scaled only %.2fx across 10x history "
+             "(control should be linear)",
+             full_ratio);
+  std::printf("   10x history: checkpoint restore %.2fx, full replay %.2fx\n",
+              ckpt_ratio, full_ratio);
+
+  if (!bench_recovery_json.empty()) {
+    std::string out =
+        "{\n  \"benchmark\": \"bench_recovery\",\n  \"delta\": " +
+        std::to_string(tail) + ",\n  \"runs\": [\n";
+    for (size_t i = 0; i < g_recovery_rows.size(); ++i) {
+      const RecoveryRow& r = g_recovery_rows[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"mode\":\"%s\",\"history\":%lld,\"tail\":%lld,"
+                    "\"restore_ms\":%.6g}",
+                    r.mode, static_cast<long long>(r.history),
+                    static_cast<long long>(r.tail), r.restore_ms);
+      out += buf;
+      out += i + 1 < g_recovery_rows.size() ? ",\n" : "\n";
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  ],\n  \"checkpoint_scale_10x\": %.6g,\n"
+                  "  \"full_replay_scale_10x\": %.6g\n}\n",
+                  ckpt_ratio, full_ratio);
+    out += buf;
+    if (!WriteFile(bench_recovery_json, out)) {
+      std::fprintf(stderr, "cannot write recovery bench to '%s'\n",
+                   bench_recovery_json.c_str());
+      std::exit(2);
+    }
+    std::printf("recovery bench written to %s\n",
+                bench_recovery_json.c_str());
+  }
+}
+
 // Phase 3 (optional, --admin-port): keep a service under steady traffic
 // while the admin endpoint serves scrapes — the CI smoke target and a
 // hands-on curl playground (see bench/README.md).
@@ -632,6 +1004,8 @@ int main(int argc, char** argv) {
   const bool metrics = BoolFlag(argc, argv, "metrics");
   const std::string metrics_path = StringFlag(argc, argv, "metrics", "");
   const std::string bench_json = StringFlag(argc, argv, "bench-json", "");
+  const std::string bench_recovery_json =
+      StringFlag(argc, argv, "bench-recovery-json", "");
   g_slo_report = BoolFlag(argc, argv, "slo-report");
   const int admin_port = IntFlag(argc, argv, "admin-port", -1);
   const double serve_seconds =
@@ -656,6 +1030,13 @@ int main(int argc, char** argv) {
                             .c_str());
   }
   RunOverloadPhase(requests, seed + 1, queue, fast ? 2 : 4, 4);
+  if (metrics) {
+    std::printf("%s\n", nimbus::telemetry::SnapshotToText(
+                            nimbus::telemetry::Registry::Global().Snapshot())
+                            .c_str());
+  }
+  RunCrashRecoveryDrill(requests, seed + 3, worker_counts);
+  RunRecoverySweep(fast, seed + 4, bench_recovery_json);
   if (metrics) {
     std::printf("%s\n", nimbus::telemetry::SnapshotToText(
                             nimbus::telemetry::Registry::Global().Snapshot())

@@ -49,6 +49,16 @@ for name in $used; do
     fi
 done
 
+# Reverse direction: a cataloged point with no call site is dead — a
+# drill arming it would silently inject nothing and pass vacuously.
+for name in $catalog; do
+    if ! printf '%s\n' "$used" | grep -qxF "$name"; then
+        echo "error: fault point '$name' is cataloged but never used" \
+             "(no FAULT_POINT/ShouldFail call site in src|bench|examples)" >&2
+        status=1
+    fi
+done
+
 if [ "$status" -ne 0 ]; then
     echo "check_fault_points: FAILED (fix the catalog drift above)" >&2
 else

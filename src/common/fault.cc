@@ -21,11 +21,17 @@ namespace {
 // FAULT-POINT-CATALOG-BEGIN
 constexpr const char* kFaultPointCatalog[] = {
     "broker.quote",
+    "io.read",
     "io.write",
     "journal.append",
     "journal.fsync",
+    "journal.replay",
+    "journal.rotate",
     "service.enqueue",
     "service.execute",
+    "snapshot.fsync",
+    "snapshot.rename",
+    "snapshot.write",
     "solver.cholesky",
 };
 // FAULT-POINT-CATALOG-END

@@ -327,6 +327,22 @@ void Broker::RecordSale(const Purchase& purchase) {
   revenue_gauge_->Add(purchase.price);
 }
 
+Status Broker::RestoreSaleCounters(int64_t sales_count,
+                                   double revenue_collected) {
+  if (sales_count < 0 || revenue_collected < 0.0) {
+    return InvalidArgumentError("restored sale counters must be >= 0");
+  }
+  if (sales_count_ != 0 || revenue_collected_ != 0.0) {
+    return FailedPreconditionError(
+        "broker already booked sales (restore requires a fresh broker)");
+  }
+  sales_count_ = static_cast<int>(sales_count);
+  revenue_collected_ = revenue_collected;
+  sales_counter_->Increment(sales_count);
+  revenue_gauge_->Add(revenue_collected);
+  return OkStatus();
+}
+
 StatusOr<Broker::Purchase> Broker::CompleteSale(
     double inverse_ncp, const pricing::ErrorCurve& curve) {
   NIMBUS_ASSIGN_OR_RETURN(Purchase purchase,

@@ -186,6 +186,12 @@ class Broker {
 
   void RecordSale(const Purchase& purchase);
 
+  // Snapshot restore: installs the accumulated sale counters exactly as
+  // captured (bit-identical revenue, no per-sale replay) and mirrors
+  // the per-offering telemetry in bulk. The broker must not have booked
+  // any sale yet.
+  Status RestoreSaleCounters(int64_t sales_count, double revenue_collected);
+
   // Derives an independent child stream from the broker's master RNG
   // (advancing it once); used to seed deterministic per-buyer streams.
   Rng ForkRng() { return rng_.Fork(); }

@@ -38,6 +38,25 @@ Status CollusionMonitor::RecordPurchase(const std::string& buyer_id,
   return OkStatus();
 }
 
+Status CollusionMonitor::RestoreHistory(const std::string& buyer_id,
+                                        const BuyerHistory& history) {
+  if (buyer_id.empty()) {
+    return InvalidArgumentError("buyer id must be non-empty");
+  }
+  if (history.purchases < 0 || !(history.combined_inverse_ncp >= 0.0) ||
+      history.total_paid < 0.0) {
+    return InvalidArgumentError("restored history for '" + buyer_id +
+                                "' has negative accumulators");
+  }
+  if (history_.count(buyer_id) > 0) {
+    return FailedPreconditionError(
+        "monitor already tracks buyer '" + buyer_id +
+        "' (restore requires a fresh monitor)");
+  }
+  history_.emplace(buyer_id, history);
+  return OkStatus();
+}
+
 StatusOr<CollusionMonitor::Assessment> CollusionMonitor::Assess(
     const std::string& buyer_id, double tol) const {
   const auto it = history_.find(buyer_id);

@@ -52,13 +52,27 @@ class CollusionMonitor {
 
   int known_buyers() const { return static_cast<int>(history_.size()); }
 
- private:
+  // Accumulated per-buyer history. Public so the checkpointer can
+  // capture it verbatim (and restore it bit-identically).
   struct BuyerHistory {
     int purchases = 0;
     double combined_inverse_ncp = 0.0;
     double total_paid = 0.0;
   };
 
+  // Snapshot capture: every tracked buyer's accumulated history.
+  const std::map<std::string, BuyerHistory>& history() const {
+    return history_;
+  }
+
+  // Snapshot restore: installs one buyer's accumulated history exactly
+  // as captured (no re-derivation — the doubles are accumulator states,
+  // so copying them preserves bit-identical assessments). The monitor
+  // must not already know the buyer.
+  Status RestoreHistory(const std::string& buyer_id,
+                        const BuyerHistory& history);
+
+ private:
   std::shared_ptr<const pricing::PricingFunction> pricing_;
   std::map<std::string, BuyerHistory> history_;
 };

@@ -1,5 +1,6 @@
 #include "market/journal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -14,7 +15,11 @@ namespace nimbus::market {
 namespace {
 
 constexpr char kMagic[8] = {'N', 'I', 'M', 'B', 'U', 'S', 'J', '1'};
-constexpr size_t kRecordHeaderBytes = 8;  // u32 length + u32 crc.
+// Rotated-segment magic: followed by u64 base_sequence + u32 crc32 of
+// those 8 bytes (see the class comment).
+constexpr char kMagic2[8] = {'N', 'I', 'M', 'B', 'U', 'S', 'J', '2'};
+constexpr size_t kSegmentHeaderExtra = 12;  // u64 base + u32 crc.
+constexpr size_t kRecordHeaderBytes = 8;    // u32 length + u32 crc.
 // A sale record is a few dozen bytes; anything near this bound is a
 // corrupted length field, not a real record.
 constexpr uint32_t kMaxPayloadBytes = 1u << 20;
@@ -38,7 +43,44 @@ bool ReadScalar(const std::string& in, size_t& offset, T* value) {
   return true;
 }
 
-StatusOr<LedgerEntry> DecodePayload(const std::string& payload) {
+// The segment header bytes for a file whose first record has
+// `base_sequence` (the bare J1 magic when it is 0).
+std::string SegmentHeader(int64_t base_sequence) {
+  std::string header;
+  if (base_sequence == 0) {
+    AppendRaw(header, kMagic, sizeof(kMagic));
+    return header;
+  }
+  AppendRaw(header, kMagic2, sizeof(kMagic2));
+  const auto base = static_cast<uint64_t>(base_sequence);
+  AppendScalar(header, base);
+  AppendScalar(header, Journal::Crc32(&base, sizeof(base)));
+  return header;
+}
+
+// Makes a rename in the journal's directory durable.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos
+          ? "."
+          : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return InternalError("cannot open parent directory of '" + path +
+                         "' for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return InternalError("cannot fsync parent directory of '" + path + "'");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<LedgerEntry> Journal::DecodePayload(const std::string& payload) {
   LedgerEntry entry;
   size_t offset = 0;
   uint8_t kind = 0;
@@ -68,8 +110,6 @@ StatusOr<LedgerEntry> DecodePayload(const std::string& payload) {
   entry.buyer_id = payload.substr(offset, buyer_len);
   return entry;
 }
-
-}  // namespace
 
 uint32_t Journal::Crc32(const void* data, size_t size) {
   // Standard reflected CRC-32 (polynomial 0xEDB88320), table built once.
@@ -106,22 +146,39 @@ std::string Journal::EncodePayload(const LedgerEntry& entry) {
 }
 
 StatusOr<Journal> Journal::Open(const std::string& path, Options options) {
+  if (options.create_base_sequence < 0) {
+    return InvalidArgumentError("create_base_sequence must be >= 0");
+  }
   bool needs_header = true;
+  int64_t base_sequence = options.create_base_sequence;
+  int64_t existing_bytes = 0;
   {
     std::ifstream probe(path, std::ios::binary);
     if (probe) {
-      char magic[sizeof(kMagic)] = {};
-      probe.read(magic, sizeof(magic));
-      const auto got = probe.gcount();
-      if (got == 0) {
-        needs_header = true;  // Exists but empty (crash before header).
-      } else if (got < static_cast<std::streamsize>(sizeof(kMagic)) ||
-                 std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-        return InvalidArgumentError("'" + path + "' is not a nimbus journal");
-      } else {
-        needs_header = false;
-      }
+      probe.seekg(0, std::ios::end);
+      existing_bytes = static_cast<int64_t>(probe.tellg());
     }
+  }
+  if (existing_bytes > 0) {
+    // Structurally validate the whole file before appending: a previous
+    // crash can leave a torn (or bit-rotted) tail, and appending past it
+    // would bury the damage behind fresh records — replay would then
+    // drop acknowledged history silently. Refuse loudly instead.
+    RecoveryReport report;
+    ReplayOptions scan;
+    scan.truncate_torn_tail = false;
+    NIMBUS_RETURN_IF_ERROR(Replay(path, &report, scan).status());
+    if (report.tail != TailState::kClean) {
+      return FailedPreconditionError(
+          "journal '" + path + "' has an invalid tail (" + report.detail +
+          "; " + std::to_string(report.dropped_bytes) +
+          " bytes past the valid prefix): recover it first — "
+          "Journal::Replay truncates a torn tail, and "
+          "Marketplace::RestoreFromJournal/RestoreFromCheckpoint run that "
+          "recovery before re-opening");
+    }
+    needs_header = false;
+    base_sequence = report.base_sequence;
   }
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
@@ -129,19 +186,30 @@ StatusOr<Journal> Journal::Open(const std::string& path, Options options) {
                                 "' for appending");
   }
   Journal journal(path, options, file);
+  journal.base_sequence_ = base_sequence;
+  journal.live_bytes_.store(existing_bytes, std::memory_order_relaxed);
   if (needs_header) {
-    if (std::fwrite(kMagic, 1, sizeof(kMagic), file) != sizeof(kMagic)) {
+    const std::string header = SegmentHeader(base_sequence);
+    if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
       return InternalError("cannot write journal header to '" + path + "'");
     }
+    journal.live_bytes_.store(static_cast<int64_t>(header.size()),
+                              std::memory_order_relaxed);
     NIMBUS_RETURN_IF_ERROR(journal.Flush());
   }
   return journal;
+}
+
+int64_t Journal::live_bytes() const {
+  return live_bytes_.load(std::memory_order_relaxed);
 }
 
 Journal::Journal(Journal&& other) noexcept
     : path_(std::move(other.path_)),
       options_(other.options_),
       file_(other.file_),
+      base_sequence_(other.base_sequence_),
+      live_bytes_(other.live_bytes_.load(std::memory_order_relaxed)),
       buffered_sequence_(other.buffered_sequence_),
       buffered_payload_size_(other.buffered_payload_size_),
       buffered_payload_crc_(other.buffered_payload_crc_),
@@ -158,6 +226,9 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     path_ = std::move(other.path_);
     options_ = other.options_;
     file_ = other.file_;
+    base_sequence_ = other.base_sequence_;
+    live_bytes_.store(other.live_bytes_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     buffered_sequence_ = other.buffered_sequence_;
     buffered_payload_size_ = other.buffered_payload_size_;
     buffered_payload_crc_ = other.buffered_payload_crc_;
@@ -228,6 +299,10 @@ Status Journal::Append(const LedgerEntry& entry,
     buffered_sequence_ = entry.sequence;
     buffered_payload_size_ = static_cast<uint32_t>(payload.size());
     buffered_payload_crc_ = payload_crc;
+    // Counted at buffering: even when the flush below fails, the bytes
+    // are in the write buffer and will reach the file.
+    live_bytes_.fetch_add(static_cast<int64_t>(record.size()),
+                          std::memory_order_relaxed);
   }
   if (options_.fsync == FsyncPolicy::kEveryRecord) {
     NIMBUS_RETURN_IF_ERROR(FlushLocked());
@@ -277,6 +352,105 @@ Status Journal::Close() {
   return OkStatus();
 }
 
+Status Journal::Rotate(int64_t new_base_sequence) {
+  if (mu_ == nullptr) {  // Moved-from shell.
+    return FailedPreconditionError("journal '" + path_ + "' is closed");
+  }
+  std::lock_guard<prof::ProfiledMutex> lock(*mu_);
+  if (file_ == nullptr) {
+    return FailedPreconditionError("journal '" + path_ + "' is closed");
+  }
+  if (poisoned_) {
+    return FailedPreconditionError(
+        "journal '" + path_ + "' poisoned by an earlier short write; "
+        "recover before rotating");
+  }
+  if (new_base_sequence < base_sequence_) {
+    return InvalidArgumentError(
+        "cannot rotate journal '" + path_ + "' backwards (base " +
+        std::to_string(base_sequence_) + " -> " +
+        std::to_string(new_base_sequence) + ")");
+  }
+  NIMBUS_RETURN_IF_ERROR(FlushLocked());
+  FAULT_POINT("journal.rotate");
+  if (new_base_sequence == base_sequence_) {
+    return OkStatus();  // Nothing to truncate.
+  }
+  // Re-read the (flushed) live segment and keep only the tail. Strict
+  // replay: Open validated the file and every append since was CRC'd,
+  // so any damage found here is fresh bit rot — refuse to rotate it
+  // away. Re-encoding reproduces the original record bytes exactly
+  // (fixed-width raw fields), so surviving records keep their CRCs.
+  RecoveryReport report;
+  ReplayOptions scan;
+  scan.strict = true;
+  scan.truncate_torn_tail = false;
+  NIMBUS_ASSIGN_OR_RETURN(const std::vector<LedgerEntry> entries,
+                          Replay(path_, &report, scan));
+  if (report.tail != TailState::kClean) {
+    return InternalError("journal '" + path_ +
+                         "' has an invalid tail mid-rotation: " +
+                         report.detail);
+  }
+  std::string image = SegmentHeader(new_base_sequence);
+  for (const LedgerEntry& entry : entries) {
+    if (entry.sequence < new_base_sequence) {
+      continue;
+    }
+    const std::string payload = EncodePayload(entry);
+    AppendScalar(image, static_cast<uint32_t>(payload.size()));
+    AppendScalar(image, Crc32(payload.data(), payload.size()));
+    AppendRaw(image, payload.data(), payload.size());
+  }
+  const std::string tmp = path_ + ".rotate.tmp";
+  {
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) {
+      return InternalError("cannot open '" + tmp + "' for rotation");
+    }
+    if (std::fwrite(image.data(), 1, image.size(), out) != image.size() ||
+        std::fflush(out) != 0 || ::fsync(fileno(out)) != 0) {
+      std::fclose(out);
+      return InternalError("cannot write rotated segment '" + tmp + "'");
+    }
+    if (std::fclose(out) != 0) {
+      return InternalError("fclose failed on '" + tmp + "'");
+    }
+  }
+  // Swap the filtered segment in. The retained predecessor (.prev) is
+  // the fallback recovery rung's tail; a crash between the two renames
+  // leaves only .prev, which restore treats as the live segment.
+  const std::string prev = path_ + ".prev";
+  if (std::rename(path_.c_str(), prev.c_str()) != 0) {
+    return InternalError("cannot retire '" + path_ + "' to '" + prev + "'");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    // Best-effort rollback so the live path does not stay missing.
+    if (std::rename(prev.c_str(), path_.c_str()) != 0) {
+      poisoned_ = true;
+      return InternalError("rotation of '" + path_ +
+                           "' failed mid-swap and could not roll back; "
+                           "recover from '" + prev + "'");
+    }
+    return InternalError("cannot install rotated segment over '" + path_ +
+                         "'");
+  }
+  NIMBUS_RETURN_IF_ERROR(SyncParentDir(path_));
+  // The old handle still points at the retired inode; reopen the live
+  // segment for appending.
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    poisoned_ = true;
+    return InternalError("cannot re-open rotated journal '" + path_ + "'");
+  }
+  base_sequence_ = new_base_sequence;
+  live_bytes_.store(static_cast<int64_t>(image.size()),
+                    std::memory_order_relaxed);
+  buffered_sequence_ = -1;
+  return OkStatus();
+}
+
 StatusOr<std::vector<LedgerEntry>> Journal::Replay(const std::string& path,
                                                    RecoveryReport* report) {
   return Replay(path, report, ReplayOptions{});
@@ -285,12 +459,14 @@ StatusOr<std::vector<LedgerEntry>> Journal::Replay(const std::string& path,
 StatusOr<std::vector<LedgerEntry>> Journal::Replay(const std::string& path,
                                                    RecoveryReport* report,
                                                    ReplayOptions options) {
+  FAULT_POINT("journal.replay");
   RecoveryReport local;
   RecoveryReport& rep = report != nullptr ? *report : local;
   rep = RecoveryReport{};
 
   std::string bytes;
   {
+    FAULT_POINT("io.read");
     std::ifstream file(path, std::ios::binary);
     if (!file) {
       return NotFoundError("cannot open journal '" + path + "'");
@@ -302,6 +478,7 @@ StatusOr<std::vector<LedgerEntry>> Journal::Replay(const std::string& path,
 
   std::vector<LedgerEntry> entries;
   size_t offset = 0;
+  bool scan_records = false;
   if (bytes.empty()) {
     // A fresh (or fully truncated) journal: clean and empty, so Open can
     // stamp the header and start appending.
@@ -310,10 +487,34 @@ StatusOr<std::vector<LedgerEntry>> Journal::Replay(const std::string& path,
     // legitimate torn journal, not garbage.
     rep.tail = TailState::kTorn;
     rep.detail = "truncated journal header";
-  } else if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    return InvalidArgumentError("'" + path + "' is not a nimbus journal");
-  } else {
+  } else if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0) {
     offset = sizeof(kMagic);
+    scan_records = true;
+  } else if (std::memcmp(bytes.data(), kMagic2, sizeof(kMagic2)) == 0) {
+    // Rotated segment: the base sequence rides in the header, CRC'd so
+    // a bit flip there cannot silently renumber the whole tail.
+    if (bytes.size() < sizeof(kMagic2) + kSegmentHeaderExtra) {
+      rep.tail = TailState::kTorn;
+      rep.detail = "truncated segment header";
+    } else {
+      uint64_t base = 0;
+      uint32_t crc = 0;
+      size_t cursor = sizeof(kMagic2);
+      ReadScalar(bytes, cursor, &base);
+      ReadScalar(bytes, cursor, &crc);
+      if (Crc32(&base, sizeof(base)) != crc) {
+        rep.tail = TailState::kCorrupt;
+        rep.detail = "segment header CRC mismatch";
+      } else {
+        rep.base_sequence = static_cast<int64_t>(base);
+        offset = cursor;
+        scan_records = true;
+      }
+    }
+  } else {
+    return InvalidArgumentError("'" + path + "' is not a nimbus journal");
+  }
+  if (scan_records) {
     while (offset < bytes.size()) {
       const size_t remaining = bytes.size() - offset;
       if (remaining < kRecordHeaderBytes) {

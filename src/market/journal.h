@@ -1,6 +1,7 @@
 #ifndef NIMBUS_MARKET_JOURNAL_H_
 #define NIMBUS_MARKET_JOURNAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -27,6 +28,16 @@ namespace nimbus::market {
 // torn tail (incomplete trailing record — the signature of a crash
 // mid-append) or corruption (a full-length record whose CRC or encoding
 // is wrong).
+//
+// Rotated segments (produced by Rotate after a checkpoint truncates
+// history) carry the "NIMBUSJ2" magic followed by
+//
+//   u64 base_sequence | u32 crc32(base_sequence)
+//
+// before the first record: the segment holds only records with
+// sequence >= base_sequence, the earlier prefix being covered by a
+// snapshot (market/snapshot.h). A J1 file is simply a segment with base
+// sequence 0; both magics replay through the same code path.
 class Journal {
  public:
   // When to force bytes to stable storage.
@@ -40,12 +51,19 @@ class Journal {
 
   struct Options {
     FsyncPolicy fsync = FsyncPolicy::kNone;
+    // Base sequence stamped into the header when Open CREATES the file
+    // (> 0 writes a J2 segment header). Ignored for existing files,
+    // whose base comes from their own header.
+    int64_t create_base_sequence = 0;
   };
 
   // Opens `path` for appending, creating it (with header) when absent.
-  // An existing file must start with the magic header; callers appending
-  // to a previously crashed journal should run Ledger::Recover first so
-  // any torn tail is truncated away.
+  // An existing file must be a structurally valid journal ending on a
+  // record boundary: Open scans it and fails with kFailedPrecondition on
+  // a torn or corrupt tail, because appending past one would bury the
+  // damage behind fresh records and silently diverge replay from the
+  // acknowledged history. Run Journal::Replay (which truncates torn
+  // tails) — or the marketplace's restore path — first, then re-open.
   static StatusOr<Journal> Open(const std::string& path, Options options);
 
   Journal(Journal&& other) noexcept;
@@ -84,7 +102,24 @@ class Journal {
   // Flushes and closes the file; further appends fail. Idempotent.
   Status Close();
 
+  // Rotates this journal after a checkpoint: rewrites the live file so
+  // it holds only records with sequence >= `new_base_sequence` under a
+  // J2 segment header, renaming the pre-rotation file to `path + ".prev"`
+  // (one retained predecessor segment — the fallback rung's tail) before
+  // atomically installing the filtered segment. The journal stays open
+  // for appending throughout; a failed rotation leaves the original file
+  // intact and appendable. Fault point: `journal.rotate`.
+  Status Rotate(int64_t new_base_sequence);
+
   const std::string& path() const { return path_; }
+
+  // First sequence this segment can hold (0 for an unrotated J1 file).
+  int64_t base_sequence() const { return base_sequence_; }
+
+  // Current size of the live segment in bytes (header + appended
+  // records, including any not-yet-flushed tail) — the checkpointer's
+  // bytes-cadence input.
+  int64_t live_bytes() const;
 
   // How a replay ended.
   enum class TailState {
@@ -97,6 +132,7 @@ class Journal {
     int64_t recovered_records = 0;
     int64_t valid_bytes = 0;    // Header + longest valid record prefix.
     int64_t dropped_bytes = 0;  // Bytes past the valid prefix.
+    int64_t base_sequence = 0;  // From the segment header (0 for J1).
     TailState tail = TailState::kClean;
     std::string detail;         // Human-readable tail diagnosis.
   };
@@ -114,7 +150,8 @@ class Journal {
   // Replays `path`, returning the longest valid prefix of records (never
   // crashes on arbitrary bytes). `report`, when non-null, receives the
   // tail diagnosis either way. The two-argument overload uses the
-  // default ReplayOptions (lenient, truncating torn tails).
+  // default ReplayOptions (lenient, truncating torn tails). Fault point:
+  // `journal.replay`.
   static StatusOr<std::vector<LedgerEntry>> Replay(const std::string& path,
                                                    RecoveryReport* report,
                                                    ReplayOptions options);
@@ -127,6 +164,10 @@ class Journal {
   // Serializes one entry to the record payload format (exposed for
   // tests constructing hand-corrupted journals).
   static std::string EncodePayload(const LedgerEntry& entry);
+
+  // Inverse of EncodePayload (the snapshot's LEDG section shares the
+  // record codec).
+  static StatusOr<LedgerEntry> DecodePayload(const std::string& payload);
 
  private:
   Journal(std::string path, Options options, std::FILE* file)
@@ -142,6 +183,11 @@ class Journal {
   std::string path_;
   Options options_;
   std::FILE* file_ = nullptr;
+  int64_t base_sequence_ = 0;
+  // Size of the live segment (header + records, buffered included),
+  // maintained in-memory so the checkpointer's cadence check never
+  // stats the file. Atomic so live_bytes() needs no lock.
+  std::atomic<int64_t> live_bytes_{0};
   // Retry bookkeeping: identity (sequence + payload length/CRC) of the
   // record whose bytes are buffered but not yet acknowledged (flush
   // failed), and the poison flag for short writes / abandoned records.

@@ -5,10 +5,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 #include <sstream>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/telemetry.h"
 #include "market/journal.h"
 
@@ -187,7 +189,12 @@ Status Ledger::ValidateFields(const std::string& buyer_id, double inverse_ncp,
 
 void Ledger::Commit(const LedgerEntry& entry) {
   entries_.push_back(entry);
+  ++next_sequence_;
+  total_revenue_ += entry.price;
   spend_by_buyer_[entry.buyer_id] += entry.price;
+  ++sales_per_price_point_[entry.inverse_ncp];
+  revenue_by_model_[entry.model] += entry.price;
+  ++sales_by_model_[entry.model];
   const std::string offering(ml::ModelKindToString(entry.model));
   LedgerSalesVec().WithLabel(offering).Increment();
   LedgerRevenueVec().WithLabel(offering).Add(entry.price);
@@ -203,7 +210,7 @@ StatusOr<int64_t> Ledger::Record(const std::string& buyer_id,
   NIMBUS_RETURN_IF_ERROR(
       ValidateFields(buyer_id, inverse_ncp, price, expected_error));
   LedgerEntry entry;
-  entry.sequence = static_cast<int64_t>(entries_.size());
+  entry.sequence = next_sequence_;
   entry.buyer_id = buyer_id;
   entry.model = model;
   entry.inverse_ncp = inverse_ncp;
@@ -258,30 +265,104 @@ StatusOr<Ledger> Ledger::FromEntries(const std::vector<LedgerEntry>& entries) {
   return ledger;
 }
 
-std::map<double, int64_t> Ledger::SalesPerPricePoint() const {
-  std::map<double, int64_t> counts;
-  for (const LedgerEntry& e : entries_) {
-    ++counts[e.inverse_ncp];
+StatusOr<Ledger> Ledger::FromRecoveredState(
+    int64_t count, double total_revenue,
+    std::map<std::string, double> spend_by_buyer,
+    std::map<double, int64_t> sales_per_price_point,
+    std::map<ml::ModelKind, double> revenue_by_model,
+    std::map<ml::ModelKind, int64_t> sales_by_model, EntryLoader loader) {
+  if (count < 0) {
+    return InvalidArgumentError("recovered entry count must be >= 0");
   }
-  return counts;
+  if (count > 0 && loader == nullptr) {
+    return InvalidArgumentError(
+        "a recovered ledger covering entries needs an entry loader");
+  }
+  Ledger ledger;
+  ledger.next_sequence_ = count;
+  ledger.entries_base_ = count;
+  ledger.base_loader_ = count > 0 ? std::move(loader) : nullptr;
+  ledger.total_revenue_ = total_revenue;
+  ledger.spend_by_buyer_ = std::move(spend_by_buyer);
+  ledger.sales_per_price_point_ = std::move(sales_per_price_point);
+  ledger.revenue_by_model_ = std::move(revenue_by_model);
+  ledger.sales_by_model_ = std::move(sales_by_model);
+  // Bulk-mirror the audit telemetry the per-commit path would have
+  // produced, so scraped totals survive the restart.
+  for (const auto& [model, sales] : ledger.sales_by_model_) {
+    LedgerSalesVec()
+        .WithLabel(std::string(ml::ModelKindToString(model)))
+        .Increment(sales);
+  }
+  for (const auto& [model, revenue] : ledger.revenue_by_model_) {
+    LedgerRevenueVec()
+        .WithLabel(std::string(ml::ModelKindToString(model)))
+        .Add(revenue);
+  }
+  for (const auto& [inverse_ncp, sales] : ledger.sales_per_price_point_) {
+    telemetry::Registry::Global()
+        .GetCounter(PricePointMetricName(inverse_ncp))
+        .Increment(sales);
+  }
+  return ledger;
 }
 
-double Ledger::TotalRevenue() const {
-  double total = 0.0;
-  for (const LedgerEntry& e : entries_) {
-    total += e.price;
+Status Ledger::ApplyRecovered(const LedgerEntry& entry) {
+  if (entry.sequence != next_sequence_) {
+    return FailedPreconditionError(
+        "journal sequence gap: expected " + std::to_string(next_sequence_) +
+        ", found " + std::to_string(entry.sequence));
   }
-  return total;
+  NIMBUS_RETURN_IF_ERROR(ValidateFields(entry.buyer_id, entry.inverse_ncp,
+                                        entry.price, entry.expected_error));
+  Commit(entry);
+  return OkStatus();
 }
+
+Status Ledger::Hydrate() {
+  if (entries_base_ == 0) {
+    return OkStatus();
+  }
+  NIMBUS_ASSIGN_OR_RETURN(std::vector<LedgerEntry> base, base_loader_());
+  if (static_cast<int64_t>(base.size()) != entries_base_) {
+    return InternalError("hydration loader returned " +
+                         std::to_string(base.size()) + " entries, want " +
+                         std::to_string(entries_base_));
+  }
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (base[i].sequence != static_cast<int64_t>(i)) {
+      return InternalError("hydration loader entry " + std::to_string(i) +
+                           " carries sequence " +
+                           std::to_string(base[i].sequence));
+    }
+    NIMBUS_RETURN_IF_ERROR(ValidateFields(base[i].buyer_id,
+                                          base[i].inverse_ncp, base[i].price,
+                                          base[i].expected_error));
+  }
+  base.insert(base.end(), std::make_move_iterator(entries_.begin()),
+              std::make_move_iterator(entries_.end()));
+  entries_ = std::move(base);
+  entries_base_ = 0;
+  base_loader_ = nullptr;
+  return OkStatus();
+}
+
+const std::vector<LedgerEntry>& Ledger::entries() const {
+  NIMBUS_CHECK(hydrated())
+      << "ledger entry rows accessed before Hydrate() on a "
+         "hydration-deferred restore";
+  return entries_;
+}
+
+std::map<double, int64_t> Ledger::SalesPerPricePoint() const {
+  return sales_per_price_point_;
+}
+
+double Ledger::TotalRevenue() const { return total_revenue_; }
 
 double Ledger::RevenueForModel(ml::ModelKind model) const {
-  double total = 0.0;
-  for (const LedgerEntry& e : entries_) {
-    if (e.model == model) {
-      total += e.price;
-    }
-  }
-  return total;
+  const auto it = revenue_by_model_.find(model);
+  return it == revenue_by_model_.end() ? 0.0 : it->second;
 }
 
 std::vector<std::pair<std::string, double>> Ledger::TopBuyers(
@@ -304,7 +385,7 @@ std::vector<std::pair<std::string, double>> Ledger::TopBuyers(
 std::vector<LedgerEntry> Ledger::EntriesForBuyer(
     const std::string& buyer_id) const {
   std::vector<LedgerEntry> out;
-  for (const LedgerEntry& e : entries_) {
+  for (const LedgerEntry& e : entries()) {
     if (e.buyer_id == buyer_id) {
       out.push_back(e);
     }
@@ -316,7 +397,7 @@ std::string Ledger::ToCsv() const {
   std::ostringstream out;
   out.precision(std::numeric_limits<double>::max_digits10);
   out << "sequence,buyer,model,inverse_ncp,price,expected_error\n";
-  for (const LedgerEntry& e : entries_) {
+  for (const LedgerEntry& e : entries()) {
     out << e.sequence << ',' << CsvField(e.buyer_id) << ','
         << ml::ModelKindToString(e.model) << ',' << e.inverse_ncp << ','
         << e.price << ',' << e.expected_error << '\n';

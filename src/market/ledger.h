@@ -1,6 +1,7 @@
 #ifndef NIMBUS_MARKET_LEDGER_H_
 #define NIMBUS_MARKET_LEDGER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +28,22 @@ struct LedgerEntry {
 // Append-only transaction log with simple reporting queries. The ledger
 // is the seller's audit trail: it backs revenue accounting, per-model
 // break-downs, and feeds the CollusionMonitor with purchase histories.
+//
+// Reporting queries (TotalRevenue, RevenueForModel, SalesPerPricePoint,
+// TopBuyers) are served from aggregates accumulated at commit time in
+// commit order — never by re-walking the entry log — so they cost O(1)
+// in history AND stay bit-identical across a snapshot restore (the
+// snapshot stores the accumulated doubles verbatim; floating-point
+// addition order is preserved by construction).
+//
+// A ledger restored from a checkpoint may start UNHYDRATED: aggregates
+// and sequence counters are live, but the entry rows covered by the
+// snapshot are represented by a loader instead of being decoded up
+// front. That is what makes recovery O(delta): the timed restore path
+// touches only the post-snapshot journal tail. Row-level audit queries
+// (entries(), ToCsv, EntriesForBuyer) require hydration;
+// Marketplace::RestoreFromCheckpoint hydrates eagerly by default and
+// defers only when explicitly asked.
 class Ledger {
  public:
   Ledger();
@@ -56,6 +73,10 @@ class Ledger {
   bool journaling() const { return journal_ != nullptr; }
   // Detaches and returns the journal (e.g. to Close it explicitly).
   std::unique_ptr<Journal> DetachJournal();
+  // The attached journal (nullptr when journaling is off) — the
+  // checkpointer rotates it after a successful snapshot.
+  Journal* journal() { return journal_.get(); }
+  const Journal* journal() const { return journal_.get(); }
 
   // Flushes the attached journal's buffers (fsync under kEveryRecord);
   // OK when no journal is attached. The serving layer calls this as the
@@ -75,8 +96,44 @@ class Ledger {
   // must be 0..n-1 in order; fields must satisfy Record's invariants).
   static StatusOr<Ledger> FromEntries(const std::vector<LedgerEntry>& entries);
 
-  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
-  const std::vector<LedgerEntry>& entries() const { return entries_; }
+  // ----- Checkpoint restore ----------------------------------------------
+  // Loads the entry rows [0, entries_base) of a hydration-deferred
+  // ledger; the ledger owns no copy until then (see EntryLoader below).
+  using EntryLoader = std::function<StatusOr<std::vector<LedgerEntry>>()>;
+
+  // Rebuilds a ledger from snapshot aggregates without decoding the
+  // covered entry rows: `count` entries are accounted for, queries serve
+  // from the given accumulators, and `loader` (required when count > 0)
+  // supplies rows [0, count) on Hydrate(). Mirrors the audit telemetry
+  // in bulk so /metrics matches the pre-crash process. Aggregate doubles
+  // are installed verbatim — bit-identical restore is the caller's
+  // contract, not a recomputation.
+  static StatusOr<Ledger> FromRecoveredState(
+      int64_t count, double total_revenue,
+      std::map<std::string, double> spend_by_buyer,
+      std::map<double, int64_t> sales_per_price_point,
+      std::map<ml::ModelKind, double> revenue_by_model,
+      std::map<ml::ModelKind, int64_t> sales_by_model, EntryLoader loader);
+
+  // Commits one journal-tail entry during recovery: validates fields and
+  // that `entry.sequence` is exactly the next sequence, then applies it
+  // through the normal commit path (aggregates + telemetry).
+  Status ApplyRecovered(const LedgerEntry& entry);
+
+  // Whether every entry row is resident. Always true except after
+  // FromRecoveredState with a deferred loader.
+  bool hydrated() const { return entries_base_ == 0; }
+
+  // Loads the snapshot-covered rows via the deferred loader, verifying
+  // count and sequence density. Idempotent; kFailedPrecondition-free on
+  // an already-hydrated ledger.
+  Status Hydrate();
+
+  int64_t size() const { return next_sequence_; }
+  // Full entry log. The ledger must be hydrated — audit row access on a
+  // deferred restore without Hydrate() is a programming error and
+  // crashes with a diagnostic rather than returning partial history.
+  const std::vector<LedgerEntry>& entries() const;
 
   // Number of recorded sales (same as size(); named for audit reports).
   int64_t SaleCount() const { return size(); }
@@ -106,14 +163,32 @@ class Ledger {
   static StatusOr<Ledger> FromCsv(const std::string& text);
 
  private:
+  friend class Marketplace;  // CaptureSnapshotState reads the aggregates.
+
   // Validates Record's field invariants.
   static Status ValidateFields(const std::string& buyer_id, double inverse_ncp,
                                double price, double expected_error);
   // Appends a validated entry and mirrors the audit telemetry.
   void Commit(const LedgerEntry& entry);
 
+  // Entry rows from sequence `entries_base_` on. 0 except on a
+  // hydration-deferred restore, where rows [0, entries_base_) live
+  // behind `base_loader_` until Hydrate().
   std::vector<LedgerEntry> entries_;
+  int64_t entries_base_ = 0;
+  EntryLoader base_loader_;
+
+  // Next sequence to assign == total committed rows (resident or not).
+  int64_t next_sequence_ = 0;
+
+  // Reporting aggregates, accumulated in commit order (see class
+  // comment for the bit-identity argument).
+  double total_revenue_ = 0.0;
   std::map<std::string, double> spend_by_buyer_;
+  std::map<double, int64_t> sales_per_price_point_;
+  std::map<ml::ModelKind, double> revenue_by_model_;
+  std::map<ml::ModelKind, int64_t> sales_by_model_;
+
   std::unique_ptr<Journal> journal_;
 };
 

@@ -1,11 +1,248 @@
 #include "market/marketplace.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/telemetry.h"
 #include "mechanism/noise_mechanism.h"
 
 namespace nimbus::market {
+namespace {
+
+telemetry::Counter& RecoveryRestoresCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("recovery_restores_total");
+  return counter;
+}
+
+telemetry::Counter& RecoverySnapshotsRejectedCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter(
+          "recovery_snapshots_rejected_total");
+  return counter;
+}
+
+telemetry::Counter& RecoveryFullReplaysCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("recovery_full_replays_total");
+  return counter;
+}
+
+telemetry::Counter& RecoveryTailRecordsCounter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::Global().GetCounter("recovery_tail_records");
+  return counter;
+}
+
+telemetry::Histogram& RecoveryLatency() {
+  static telemetry::Histogram& histogram =
+      telemetry::Registry::Global().GetHistogram("recovery_latency_us");
+  return histogram;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return false;
+  }
+  std::fclose(file);
+  return true;
+}
+
+// Clears the marketplace's "recovering" flag on every exit path.
+struct RecoveringGuard {
+  std::shared_ptr<std::atomic<bool>> flag;
+  explicit RecoveringGuard(std::shared_ptr<std::atomic<bool>> f)
+      : flag(std::move(f)) {
+    flag->store(true, std::memory_order_release);
+  }
+  ~RecoveringGuard() { flag->store(false, std::memory_order_release); }
+};
+
+// A snapshot generation together with the journal tail past it, fully
+// validated BEFORE any marketplace state mutates — the recovery ladder
+// rejects a candidate and falls back a rung without side effects.
+struct RestoreCandidate {
+  snapshot::State state;                  // Shallow (aggregates only).
+  std::vector<LedgerEntry> base_entries;  // Loaded iff options.hydrate.
+  std::vector<LedgerEntry> tail;          // Dense from state.sequence.
+};
+
+Status CheckOffered(const std::map<ml::ModelKind, Broker>& brokers,
+                    ml::ModelKind kind, const char* what) {
+  if (brokers.count(kind) == 0) {
+    return FailedPreconditionError(
+        std::string(what) + " references model '" +
+        std::string(ml::ModelKindToString(kind)) +
+        "' which is not offered by this marketplace");
+  }
+  return OkStatus();
+}
+
+// Mirrors the invariants Ledger::ApplyRecovered and the monitor/broker
+// restore hooks enforce, so every checkable failure mode surfaces while
+// the candidate can still be rejected cleanly.
+Status ValidateTailEntry(const LedgerEntry& entry, int64_t expected_sequence) {
+  if (entry.sequence != expected_sequence) {
+    return InternalError(
+        "journal tail has a sequence gap: expected " +
+        std::to_string(expected_sequence) + ", found " +
+        std::to_string(entry.sequence));
+  }
+  if (entry.buyer_id.empty() || !std::isfinite(entry.inverse_ncp) ||
+      entry.inverse_ncp <= 0.0 || !std::isfinite(entry.price) ||
+      entry.price < 0.0 || !std::isfinite(entry.expected_error)) {
+    return InternalError("journal tail entry " +
+                         std::to_string(entry.sequence) +
+                         " fails field validation");
+  }
+  return OkStatus();
+}
+
+// Collects the journal records with sequence >= `min_sequence`, merging
+// the live segment with the `.prev` segment a rotation (or a crash
+// inside one) may have left behind:
+//   - live segment base <= min_sequence: the live segment alone covers
+//     the tail (the steady state — rotation keeps the live base at the
+//     PREVIOUS checkpoint's sequence).
+//   - live base > min_sequence: the `.prev` segment must bridge
+//     [min_sequence, live_base).
+//   - live segment missing: a crash hit the window between Rotate's two
+//     renames; `.prev` (the complete pre-rotation file) is authoritative.
+// A torn live tail is truncated here (crash healing), so the later
+// re-attach Open() finds an append-clean file. Density is NOT checked
+// here — the caller validates the merged tail entry by entry.
+StatusOr<std::vector<LedgerEntry>> CollectTailEntries(
+    const std::string& journal_path, int64_t min_sequence) {
+  const std::string prev_path = journal_path + ".prev";
+  const bool live_exists = FileExists(journal_path);
+  const bool prev_exists = FileExists(prev_path);
+  std::vector<LedgerEntry> out;
+  if (live_exists) {
+    Journal::RecoveryReport live_report;
+    NIMBUS_ASSIGN_OR_RETURN(std::vector<LedgerEntry> live,
+                            Journal::Replay(journal_path, &live_report));
+    if (live_report.base_sequence > min_sequence) {
+      if (!prev_exists) {
+        return InternalError(
+            "live journal segment starts at sequence " +
+            std::to_string(live_report.base_sequence) +
+            " but the restore needs records from " +
+            std::to_string(min_sequence) + " and no .prev segment exists");
+      }
+      Journal::ReplayOptions read_only;
+      read_only.truncate_torn_tail = false;
+      Journal::RecoveryReport prev_report;
+      NIMBUS_ASSIGN_OR_RETURN(
+          std::vector<LedgerEntry> prev,
+          Journal::Replay(prev_path, &prev_report, read_only));
+      if (prev_report.base_sequence > min_sequence) {
+        return InternalError(
+            ".prev journal segment starts at sequence " +
+            std::to_string(prev_report.base_sequence) +
+            " and cannot bridge back to " + std::to_string(min_sequence));
+      }
+      for (LedgerEntry& entry : prev) {
+        if (entry.sequence >= min_sequence &&
+            entry.sequence < live_report.base_sequence) {
+          out.push_back(std::move(entry));
+        }
+      }
+    }
+    for (LedgerEntry& entry : live) {
+      if (entry.sequence >= min_sequence) {
+        out.push_back(std::move(entry));
+      }
+    }
+    return out;
+  }
+  if (prev_exists) {
+    Journal::ReplayOptions read_only;
+    read_only.truncate_torn_tail = false;
+    Journal::RecoveryReport prev_report;
+    NIMBUS_ASSIGN_OR_RETURN(
+        std::vector<LedgerEntry> prev,
+        Journal::Replay(prev_path, &prev_report, read_only));
+    if (prev_report.base_sequence > min_sequence) {
+      return InternalError(
+          "live journal segment is missing and the .prev segment starts "
+          "at sequence " +
+          std::to_string(prev_report.base_sequence) +
+          ", past the needed " + std::to_string(min_sequence));
+    }
+    for (LedgerEntry& entry : prev) {
+      if (entry.sequence >= min_sequence) {
+        out.push_back(std::move(entry));
+      }
+    }
+  }
+  return out;  // Neither file: empty tail (caller decides if that's OK).
+}
+
+// Validates one snapshot generation end to end (structure, model kinds,
+// accumulator sanity, journal-tail coverage and density) without
+// touching marketplace state.
+StatusOr<RestoreCandidate> BuildCandidate(
+    const std::string& snapshot_file, const std::string& journal_path,
+    bool hydrate, const std::map<ml::ModelKind, Broker>& brokers) {
+  RestoreCandidate candidate;
+  NIMBUS_ASSIGN_OR_RETURN(candidate.state, snapshot::Read(snapshot_file));
+  for (const auto& [kind, monitor_state] : candidate.state.monitors) {
+    NIMBUS_RETURN_IF_ERROR(CheckOffered(brokers, kind, "snapshot monitor"));
+    for (const auto& [buyer, history] : monitor_state.buyers) {
+      if (buyer.empty() || history.purchases < 0 ||
+          !std::isfinite(history.combined_inverse_ncp) ||
+          history.combined_inverse_ncp < 0.0 ||
+          !std::isfinite(history.total_paid) || history.total_paid < 0.0) {
+        return InternalError("snapshot monitor history for model '" +
+                             std::string(ml::ModelKindToString(kind)) +
+                             "' fails field validation");
+      }
+    }
+  }
+  for (const auto& [kind, broker_state] : candidate.state.brokers) {
+    NIMBUS_RETURN_IF_ERROR(CheckOffered(brokers, kind, "snapshot broker"));
+    if (broker_state.sales_count < 0 ||
+        !std::isfinite(broker_state.revenue_collected) ||
+        broker_state.revenue_collected < 0.0) {
+      return InternalError("snapshot broker counters for model '" +
+                           std::string(ml::ModelKindToString(kind)) +
+                           "' fail field validation");
+    }
+  }
+  for (const auto& [kind, revenue] : candidate.state.revenue_by_model) {
+    (void)revenue;
+    NIMBUS_RETURN_IF_ERROR(
+        CheckOffered(brokers, kind, "snapshot revenue aggregate"));
+  }
+  for (const auto& [kind, sales] : candidate.state.sales_by_model) {
+    (void)sales;
+    NIMBUS_RETURN_IF_ERROR(
+        CheckOffered(brokers, kind, "snapshot sales aggregate"));
+  }
+  NIMBUS_ASSIGN_OR_RETURN(
+      candidate.tail,
+      CollectTailEntries(journal_path, candidate.state.sequence));
+  for (size_t i = 0; i < candidate.tail.size(); ++i) {
+    const LedgerEntry& entry = candidate.tail[i];
+    NIMBUS_RETURN_IF_ERROR(ValidateTailEntry(
+        entry, candidate.state.sequence + static_cast<int64_t>(i)));
+    NIMBUS_RETURN_IF_ERROR(CheckOffered(brokers, entry.model, "journal tail"));
+  }
+  if (hydrate && candidate.state.sequence > 0) {
+    // Eager hydration: load + CRC-verify the entry log now, so a rotted
+    // LEDG payload rejects this candidate instead of failing later.
+    NIMBUS_ASSIGN_OR_RETURN(candidate.base_entries,
+                            snapshot::ReadEntries(snapshot_file));
+  }
+  return candidate;
+}
+
+}  // namespace
 
 Marketplace::Marketplace(data::TrainTestSplit split, Broker::Options options)
     : split_(std::move(split)), options_(options) {}
@@ -102,6 +339,7 @@ StatusOr<Broker::Purchase> Marketplace::Buy(
                              .status());
   NIMBUS_RETURN_IF_ERROR(monitors_.at(kind).RecordPurchase(
       buyer_id, purchase.inverse_ncp, purchase.price));
+  NIMBUS_RETURN_IF_ERROR(MaybeCheckpoint());
   return purchase;
 }
 
@@ -121,6 +359,7 @@ StatusOr<Broker::Purchase> Marketplace::BuyWithPriceBudget(
                              .status());
   NIMBUS_RETURN_IF_ERROR(monitors_.at(kind).RecordPurchase(
       buyer_id, purchase.inverse_ncp, purchase.price));
+  NIMBUS_RETURN_IF_ERROR(MaybeCheckpoint());
   return purchase;
 }
 
@@ -143,6 +382,9 @@ StatusOr<int64_t> Marketplace::RecordQuotedSale(
   NIMBUS_RETURN_IF_ERROR(monitors_.at(kind).RecordPurchase(
       buyer_id, purchase.inverse_ncp, purchase.price));
   it->second.RecordSale(purchase);
+  // Commit callers are serialized (service sequencer), so the cadence
+  // check and the snapshot both observe a quiescent ledger.
+  NIMBUS_RETURN_IF_ERROR(MaybeCheckpoint());
   return sequence;
 }
 
@@ -161,6 +403,7 @@ Status Marketplace::RestoreFromJournal(const std::string& path,
         "restore requires a fresh marketplace (ledger already has " +
         std::to_string(ledger_.size()) + " sales)");
   }
+  RecoveringGuard recovering(recovering_);
   NIMBUS_ASSIGN_OR_RETURN(Ledger recovered, Ledger::Recover(path));
   // Replay the audit trail into the per-offering monitors and broker
   // revenue counters so the restarted process reports the same totals
@@ -186,6 +429,233 @@ Status Marketplace::RestoreFromJournal(const std::string& path,
   // Re-attach for future appends: Recover already truncated any torn
   // tail, so new records extend the valid prefix.
   return EnableJournal(path, options);
+}
+
+Status Marketplace::EnableCheckpoints(CheckpointPolicy policy) {
+  if (!ledger_.journaling()) {
+    return FailedPreconditionError(
+        "checkpoints need a journal: call EnableJournal or "
+        "RestoreFromCheckpoint first");
+  }
+  auto checkpointer =
+      std::make_unique<Checkpointer>(ledger_.journal()->path(), policy);
+  NIMBUS_RETURN_IF_ERROR(checkpointer->Init());
+  checkpointer_ = std::move(checkpointer);
+  return OkStatus();
+}
+
+StatusOr<Checkpointer::Stats> Marketplace::CheckpointStats() const {
+  if (checkpointer_ == nullptr) {
+    return FailedPreconditionError("checkpoints are not enabled");
+  }
+  return checkpointer_->stats();
+}
+
+StatusOr<snapshot::State> Marketplace::CaptureSnapshotState() {
+  // A hydration-deferred ledger must load its covered rows before they
+  // can be re-serialized into the next snapshot's LEDG section.
+  NIMBUS_RETURN_IF_ERROR(ledger_.Hydrate());
+  snapshot::State state;
+  state.sequence = ledger_.size();
+  state.total_revenue = ledger_.total_revenue_;
+  state.spend_by_buyer = ledger_.spend_by_buyer_;
+  state.sales_per_price_point = ledger_.sales_per_price_point_;
+  state.revenue_by_model = ledger_.revenue_by_model_;
+  state.sales_by_model = ledger_.sales_by_model_;
+  for (const auto& [kind, monitor] : monitors_) {
+    if (monitor.history().empty()) {
+      continue;
+    }
+    snapshot::MonitorState& monitor_state = state.monitors[kind];
+    for (const auto& [buyer, history] : monitor.history()) {
+      snapshot::BuyerHistoryState& buyer_state = monitor_state.buyers[buyer];
+      buyer_state.purchases = history.purchases;
+      buyer_state.combined_inverse_ncp = history.combined_inverse_ncp;
+      buyer_state.total_paid = history.total_paid;
+    }
+  }
+  for (const auto& [kind, broker] : brokers_) {
+    if (broker.sales_count() == 0 && broker.revenue_collected() == 0.0) {
+      continue;
+    }
+    snapshot::BrokerState& broker_state = state.brokers[kind];
+    broker_state.sales_count = broker.sales_count();
+    broker_state.revenue_collected = broker.revenue_collected();
+  }
+  state.entries = ledger_.entries();
+  state.entries_loaded = true;
+  return state;
+}
+
+StatusOr<int64_t> Marketplace::CheckpointNow() {
+  if (checkpointer_ == nullptr) {
+    return FailedPreconditionError("checkpoints are not enabled");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(snapshot::State state, CaptureSnapshotState());
+  return checkpointer_->Commit(std::move(state), ledger_.journal());
+}
+
+Status Marketplace::MaybeCheckpoint() {
+  if (checkpointer_ == nullptr) {
+    return OkStatus();
+  }
+  const Journal* journal = ledger_.journal();
+  const int64_t live_bytes = journal != nullptr ? journal->live_bytes() : 0;
+  if (!checkpointer_->Due(ledger_.size(), live_bytes)) {
+    return OkStatus();
+  }
+  const StatusOr<int64_t> generation = CheckpointNow();
+  if (!generation.ok()) {
+    // Absorbed by design: a sale must never fail because a snapshot
+    // could not be written — the journal still holds the full tail, so
+    // durability is unaffected; only recovery time degrades.
+    NIMBUS_LOG(kWarning) << "cadence checkpoint failed ("
+                         << generation.status().message()
+                         << "); serving continues, journal keeps the "
+                            "full tail";
+  }
+  return OkStatus();
+}
+
+Status Marketplace::RestoreFromCheckpoint(const std::string& path,
+                                          RestoreOptions options,
+                                          RestoreReport* report_out) {
+  if (ledger_.size() != 0) {
+    return FailedPreconditionError(
+        "restore requires a fresh marketplace (ledger already has " +
+        std::to_string(ledger_.size()) + " sales)");
+  }
+  RestoreReport local_report;
+  RestoreReport& report = report_out != nullptr ? *report_out : local_report;
+  report = RestoreReport{};
+  RecoveringGuard recovering(recovering_);
+  telemetry::ScopedTimer timer(RecoveryLatency());
+  RecoveryRestoresCounter().Increment();
+
+  // Applies a fully validated candidate. All checkable failure modes
+  // were rejected by BuildCandidate, so a failure here is an internal
+  // inconsistency and aborts the restore rather than trying a deeper
+  // rung against half-mutated monitors/brokers.
+  const auto apply = [&](RestoreCandidate candidate,
+                         const std::string& snapshot_file) -> Status {
+    Ledger::EntryLoader loader;
+    if (candidate.state.sequence > 0) {
+      if (options.hydrate) {
+        auto rows = std::make_shared<std::vector<LedgerEntry>>(
+            std::move(candidate.base_entries));
+        loader = [rows]() -> StatusOr<std::vector<LedgerEntry>> {
+          return std::move(*rows);
+        };
+      } else {
+        loader = [snapshot_file]() {
+          return snapshot::ReadEntries(snapshot_file);
+        };
+      }
+    }
+    NIMBUS_ASSIGN_OR_RETURN(
+        Ledger restored,
+        Ledger::FromRecoveredState(
+            candidate.state.sequence, candidate.state.total_revenue,
+            std::move(candidate.state.spend_by_buyer),
+            std::move(candidate.state.sales_per_price_point),
+            std::move(candidate.state.revenue_by_model),
+            std::move(candidate.state.sales_by_model), std::move(loader)));
+    for (const auto& [kind, monitor_state] : candidate.state.monitors) {
+      CollusionMonitor& monitor = monitors_.at(kind);
+      for (const auto& [buyer, history] : monitor_state.buyers) {
+        CollusionMonitor::BuyerHistory restored_history;
+        restored_history.purchases = history.purchases;
+        restored_history.combined_inverse_ncp = history.combined_inverse_ncp;
+        restored_history.total_paid = history.total_paid;
+        NIMBUS_RETURN_IF_ERROR(
+            monitor.RestoreHistory(buyer, restored_history));
+      }
+    }
+    for (const auto& [kind, broker_state] : candidate.state.brokers) {
+      NIMBUS_RETURN_IF_ERROR(brokers_.at(kind).RestoreSaleCounters(
+          broker_state.sales_count, broker_state.revenue_collected));
+    }
+    for (const LedgerEntry& entry : candidate.tail) {
+      NIMBUS_RETURN_IF_ERROR(restored.ApplyRecovered(entry));
+      NIMBUS_RETURN_IF_ERROR(monitors_.at(entry.model).RecordPurchase(
+          entry.buyer_id, entry.inverse_ncp, entry.price));
+      Broker::Purchase sale;
+      sale.price = entry.price;
+      sale.inverse_ncp = entry.inverse_ncp;
+      sale.ncp = 1.0 / entry.inverse_ncp;
+      sale.expected_error = entry.expected_error;
+      brokers_.at(entry.model).RecordSale(sale);
+    }
+    if (options.hydrate) {
+      NIMBUS_RETURN_IF_ERROR(restored.Hydrate());
+    }
+    report.snapshot_records = candidate.state.sequence;
+    report.tail_records = static_cast<int64_t>(candidate.tail.size());
+    ledger_ = std::move(restored);
+    return OkStatus();
+  };
+
+  const auto attach = [&]() -> Status {
+    // Heal-and-reopen: a torn live tail was truncated while collecting
+    // the tail; a live segment lost in Rotate's rename window is
+    // recreated here with the restored sequence as its base.
+    Journal::Options journal_options = options.journal;
+    journal_options.create_base_sequence = ledger_.size();
+    return EnableJournal(path, journal_options);
+  };
+
+  const std::vector<int64_t> generations = snapshot::ListGenerations(path);
+  for (size_t i = 0; i < generations.size(); ++i) {
+    const int64_t generation = generations[i];
+    const std::string snapshot_file = snapshot::SnapshotPath(path, generation);
+    StatusOr<RestoreCandidate> candidate =
+        BuildCandidate(snapshot_file, path, options.hydrate, brokers_);
+    if (candidate.ok()) {
+      NIMBUS_RETURN_IF_ERROR(apply(std::move(*candidate), snapshot_file));
+      report.source = i == 0 ? RestoreReport::Source::kSnapshot
+                             : RestoreReport::Source::kPreviousSnapshot;
+      report.generation = generation;
+      RecoveryTailRecordsCounter().Increment(report.tail_records);
+      return attach();
+    }
+    NIMBUS_LOG(kWarning) << "recovery: snapshot generation " << generation
+                         << " (" << snapshot_file << ") rejected: "
+                         << candidate.status().message()
+                         << "; falling back a rung";
+    ++report.snapshots_rejected;
+    RecoverySnapshotsRejectedCounter().Increment();
+  }
+
+  // Last rung: no usable snapshot — replay the whole journal chain.
+  if (!FileExists(path) && !FileExists(path + ".prev")) {
+    return NotFoundError("no usable snapshot and no journal at '" + path +
+                         "'");
+  }
+  NIMBUS_ASSIGN_OR_RETURN(std::vector<LedgerEntry> entries,
+                          CollectTailEntries(path, 0));
+  for (size_t i = 0; i < entries.size(); ++i) {
+    NIMBUS_RETURN_IF_ERROR(
+        ValidateTailEntry(entries[i], static_cast<int64_t>(i)));
+    NIMBUS_RETURN_IF_ERROR(
+        CheckOffered(brokers_, entries[i].model, "journal"));
+  }
+  NIMBUS_ASSIGN_OR_RETURN(Ledger replayed, Ledger::FromEntries(entries));
+  for (const LedgerEntry& entry : entries) {
+    NIMBUS_RETURN_IF_ERROR(monitors_.at(entry.model).RecordPurchase(
+        entry.buyer_id, entry.inverse_ncp, entry.price));
+    Broker::Purchase sale;
+    sale.price = entry.price;
+    sale.inverse_ncp = entry.inverse_ncp;
+    sale.ncp = 1.0 / entry.inverse_ncp;
+    sale.expected_error = entry.expected_error;
+    brokers_.at(entry.model).RecordSale(sale);
+  }
+  ledger_ = std::move(replayed);
+  report.source = RestoreReport::Source::kFullReplay;
+  report.tail_records = static_cast<int64_t>(entries.size());
+  RecoveryFullReplaysCounter().Increment();
+  RecoveryTailRecordsCounter().Increment(report.tail_records);
+  return attach();
 }
 
 StatusOr<const CollusionMonitor*> Marketplace::MonitorFor(

@@ -1,6 +1,7 @@
 #ifndef NIMBUS_MARKET_MARKETPLACE_H_
 #define NIMBUS_MARKET_MARKETPLACE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -8,9 +9,11 @@
 
 #include "common/statusor.h"
 #include "market/broker.h"
+#include "market/checkpointer.h"
 #include "market/collusion.h"
 #include "market/journal.h"
 #include "market/ledger.h"
+#include "market/snapshot.h"
 #include "ml/model.h"
 
 namespace nimbus::market {
@@ -89,6 +92,11 @@ class Marketplace {
   const Ledger& ledger() const { return ledger_; }
   double total_revenue() const { return ledger_.TotalRevenue(); }
 
+  // Loads the entry rows a deferred-hydration restore left behind the
+  // snapshot loader (no-op on a hydrated ledger). Row-level audit
+  // queries (ledger().entries(), ToCsv) require this first.
+  Status HydrateLedger() { return ledger_.Hydrate(); }
+
   // ----- Durability & crash recovery -------------------------------------
   // Attaches a write-ahead journal at `path` (created when absent) so
   // every sale is durable before it is acknowledged. Attach before the
@@ -107,6 +115,87 @@ class Marketplace {
   // assessments are bit-identical to the pre-crash marketplace.
   Status RestoreFromJournal(const std::string& path,
                             Journal::Options options = Journal::Options{});
+
+  // ----- Checkpointing (snapshot + journal compaction) -------------------
+  // Turns on checkpointing for the attached journal (EnableJournal /
+  // RestoreFromCheckpoint must have run first). Resumes generation
+  // numbering from the on-disk manifest. After this, commits trigger
+  // MaybeCheckpoint per `policy`, and CheckpointNow / checkpoint-on-drain
+  // work on demand.
+  Status EnableCheckpoints(CheckpointPolicy policy);
+  bool checkpoints_enabled() const { return checkpointer_ != nullptr; }
+  // Stats of the active checkpointer; kFailedPrecondition when
+  // checkpointing is off.
+  StatusOr<Checkpointer::Stats> CheckpointStats() const;
+
+  // Captures the full transactional state (hydrating the ledger's entry
+  // log first if this marketplace was restored with deferred hydration).
+  StatusOr<snapshot::State> CaptureSnapshotState();
+
+  // Takes a checkpoint unconditionally (subject to the checkpointer's
+  // no-op-when-unchanged rule) and returns the committed generation.
+  StatusOr<int64_t> CheckpointNow();
+
+  // Takes a checkpoint iff the policy says one is due. Called at the end
+  // of every successful commit (RecordQuotedSale / Buy); callers are
+  // serialized by the service's commit sequencer, so snapshots observe a
+  // quiescent ledger. Checkpoint failures are absorbed into telemetry
+  // and a warning — serving never fails because a snapshot could not be
+  // written (the journal still holds the full tail).
+  Status MaybeCheckpoint();
+
+  // Restores from the newest VALID snapshot generation plus the journal
+  // tail past it — O(delta) in the records since that snapshot, not in
+  // total history. The recovery ladder: for each generation, newest
+  // first, structurally validate the snapshot (footer + per-section
+  // CRCs), collect the journal tail [snapshot.sequence, end) from the
+  // live segment (and the `.prev` segment left by a rotation crash
+  // window), and verify the tail is gap-free; the first generation that
+  // passes is applied — aggregates and monitor/broker counters install
+  // directly from the snapshot, only the tail replays through the
+  // ledger. A torn or corrupt snapshot falls back to the previous
+  // generation, and when no generation is usable, to a full journal
+  // replay (RestoreFromJournal semantics) — never silent data loss.
+  // Preconditions match RestoreFromJournal: same AddOffering sequence as
+  // the crashed process, no sales yet. Re-attaches the journal (healing
+  // a torn tail, recreating a segment lost in the rotation crash
+  // window) so new sales append after the recovered prefix.
+  struct RestoreOptions {
+    // Applied when re-attaching the journal after restore.
+    Journal::Options journal;
+    // Load + CRC-verify the snapshot's full entry log during restore
+    // (audit queries need it). Off = defer hydration: restore stays
+    // O(delta) and the entry log loads on first Hydrate()/entries() use.
+    bool hydrate = true;
+  };
+  struct RestoreReport {
+    enum class Source {
+      kSnapshot,          // Newest generation was valid.
+      kPreviousSnapshot,  // Fell back at least one generation.
+      kFullReplay,        // No usable snapshot; replayed whole journal.
+    };
+    Source source = Source::kFullReplay;
+    int64_t generation = 0;        // Generation applied (0 = full replay).
+    int64_t snapshot_records = 0;  // Records covered by the snapshot.
+    int64_t tail_records = 0;      // Records replayed from the journal.
+    int snapshots_rejected = 0;    // Generations rejected before success.
+  };
+  Status RestoreFromCheckpoint(const std::string& path,
+                               RestoreOptions options,
+                               RestoreReport* report = nullptr);
+  // Defaulted-options overload (an in-class default argument cannot use
+  // RestoreOptions{} before the struct's initializers are complete).
+  Status RestoreFromCheckpoint(const std::string& path) {
+    return RestoreFromCheckpoint(path, RestoreOptions{});
+  }
+
+  // True while RestoreFromCheckpoint/RestoreFromJournal is rebuilding
+  // state. The serving layer's health checks report "recovering" (not
+  // healthy) until restore completes.
+  bool recovering() const {
+    return recovering_ != nullptr &&
+           recovering_->load(std::memory_order_acquire);
+  }
 
   // Per-offering collusion monitor (versions of different models cannot
   // be combined, so histories are tracked per model).
@@ -132,6 +221,11 @@ class Marketplace {
       pricing_;
   std::map<ml::ModelKind, CollusionMonitor> monitors_;
   Ledger ledger_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+  // Heap-allocated so the marketplace stays movable (std::atomic is
+  // not); shared with nothing — the indirection is purely for moves.
+  std::shared_ptr<std::atomic<bool>> recovering_ =
+      std::make_shared<std::atomic<bool>>(false);
 };
 
 }  // namespace nimbus::market

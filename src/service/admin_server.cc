@@ -342,8 +342,11 @@ std::string AdminServer::HandlePath(const std::string& target) const {
     if (healthy) {
       return HttpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
     }
+    // Distinguish the two expected unhealthy states so orchestrators
+    // can tell a restart-in-recovery from a shutdown-in-progress.
+    const char* body = service_->recovering() ? "recovering\n" : "draining\n";
     return HttpResponse(503, "Service Unavailable",
-                        "text/plain; charset=utf-8", "draining\n");
+                        "text/plain; charset=utf-8", body);
   }
   if (path == "/tracez") {
     return HttpResponse(200, "OK", "application/json", TracezBody());
@@ -359,7 +362,8 @@ std::string AdminServer::HandlePath(const std::string& target) const {
     return HttpResponse(200, "OK", "text/plain; charset=utf-8",
                         "nimbus admin endpoint\n"
                         "  /metrics   Prometheus exposition\n"
-                        "  /healthz   liveness (503 while draining)\n"
+                        "  /healthz   liveness (503 while draining or "
+                        "recovering)\n"
                         "  /tracez    recent errored/slow request traces\n"
                         "  /flightz   flight-recorder ring dump\n"
                         "  /profilez  ?seconds=N&type=cpu|contention|alloc\n");

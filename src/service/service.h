@@ -162,10 +162,16 @@ class MarketService {
   // admin endpoint exports its gauges; the soak harness asserts on it.
   const telemetry::SloTracker& slo_tracker() const { return slo_; }
 
-  // Liveness summary for /healthz: started, not draining, and neither
-  // downstream breaker stuck open.
+  // True while the marketplace is rebuilding state from a checkpoint or
+  // journal (Marketplace::RestoreFromCheckpoint). /healthz reports
+  // "recovering" so orchestrators hold traffic until restore completes.
+  bool recovering() const;
+
+  // Liveness summary for /healthz: started, not draining, not mid-
+  // recovery, and neither downstream breaker stuck open.
   bool Healthy() const {
     return started_.load(std::memory_order_acquire) && !draining() &&
+           !recovering() &&
            quote_breaker_.state() != CircuitBreaker::State::kOpen &&
            journal_breaker_.state() != CircuitBreaker::State::kOpen;
   }

@@ -630,6 +630,152 @@ TEST(MarketplaceJournalTest, RestoreRejectsUnknownOfferingsAndNonEmptyState) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Open-on-crashed-file regression: appending past a damaged tail would
+// bury the damage behind fresh records, so Open must refuse loudly.
+
+TEST(JournalTest, OpenOnTornTailFailsWithActionableError) {
+  const std::string path = TempPath("nimbus_journal_open_torn.waj");
+  WriteJournalWith(path, SampleEntries());
+  const std::string bytes = ReadFileBytes(path);
+  // Chop the last record in half: the classic crash-mid-append tail.
+  const auto spans = RecordSpans(bytes);
+  const size_t torn_size = spans.back().first + spans.back().second / 2;
+  WriteFileBytes(path, bytes.substr(0, torn_size));
+
+  StatusOr<Journal> reopened = Journal::Open(path, Journal::Options{});
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+  // The message must tell the operator what happened and what to do.
+  EXPECT_NE(reopened.status().message().find("invalid tail"),
+            std::string::npos)
+      << reopened.status();
+  EXPECT_NE(reopened.status().message().find("recover it first"),
+            std::string::npos)
+      << reopened.status();
+  // The refused Open must not have modified the file.
+  EXPECT_EQ(ReadFileBytes(path).size(), torn_size);
+
+  // Replay heals the torn tail; after that, Open succeeds and appends
+  // extend the valid prefix.
+  Journal::RecoveryReport report;
+  ASSERT_TRUE(Journal::Replay(path, &report).ok());
+  EXPECT_EQ(report.tail, Journal::TailState::kTorn);
+  StatusOr<Journal> healed = Journal::Open(path, Journal::Options{});
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  LedgerEntry next = SampleEntries()[4];
+  next.sequence = 4;  // Replay dropped the torn record 4; reuse its slot.
+  EXPECT_TRUE(healed->Append(next).ok());
+  EXPECT_TRUE(healed->Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, OpenOnCorruptTailFailsAndNeverAutoTruncates) {
+  const std::string path = TempPath("nimbus_journal_open_corrupt.waj");
+  WriteJournalWith(path, SampleEntries());
+  std::string bytes = ReadFileBytes(path);
+  const auto spans = RecordSpans(bytes);
+  bytes[spans.back().first + 4] ^= 0x01;  // Flip a CRC bit (last record).
+  WriteFileBytes(path, bytes);
+
+  StatusOr<Journal> reopened = Journal::Open(path, Journal::Options{});
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+  // Corrupt (bit-rot) tails are evidence: even Replay must not truncate
+  // them, so the bytes survive both the Open probe and a replay.
+  ASSERT_TRUE(Journal::Replay(path).ok());
+  EXPECT_EQ(ReadFileBytes(path).size(), bytes.size());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Rotation: post-checkpoint compaction into a J2 segment.
+
+TEST(JournalTest, RotateCompactsToJ2SegmentAndKeepsPrev) {
+  const std::string path = TempPath("nimbus_journal_rotate.waj");
+  const std::vector<LedgerEntry> entries = SampleEntries();
+  WriteJournalWith(path, entries);
+
+  StatusOr<Journal> journal = Journal::Open(path, Journal::Options{});
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  EXPECT_EQ(journal->base_sequence(), 0);
+  const int64_t bytes_before = journal->live_bytes();
+  ASSERT_TRUE(journal->Rotate(3).ok());
+  EXPECT_EQ(journal->base_sequence(), 3);
+  EXPECT_LT(journal->live_bytes(), bytes_before);
+
+  // The journal stays open for appending across the rotation.
+  LedgerEntry next = entries[0];
+  next.sequence = 5;
+  ASSERT_TRUE(journal->Append(next).ok());
+  ASSERT_TRUE(journal->Close().ok());
+
+  // Live segment: J2 header with base 3, records 3..5 byte-identical.
+  Journal::RecoveryReport live_report;
+  StatusOr<std::vector<LedgerEntry>> live =
+      Journal::Replay(path, &live_report);
+  ASSERT_TRUE(live.ok()) << live.status();
+  EXPECT_EQ(live_report.base_sequence, 3);
+  ASSERT_EQ(live->size(), 3u);
+  ExpectSameEntry((*live)[0], entries[3]);
+  ExpectSameEntry((*live)[1], entries[4]);
+  ExpectSameEntry((*live)[2], next);
+
+  // The pre-rotation file survives as `.prev` (the fallback rung).
+  Journal::RecoveryReport prev_report;
+  StatusOr<std::vector<LedgerEntry>> prev =
+      Journal::Replay(path + ".prev", &prev_report);
+  ASSERT_TRUE(prev.ok()) << prev.status();
+  EXPECT_EQ(prev_report.base_sequence, 0);
+  ASSERT_EQ(prev->size(), entries.size());
+
+  // Rotating backwards is refused.
+  StatusOr<Journal> reopened = Journal::Open(path, Journal::Options{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->base_sequence(), 3);
+  EXPECT_EQ(reopened->Rotate(1).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+}
+
+TEST(JournalTest, RotateFaultLeavesJournalIntactAndAppendable) {
+  const std::string path = TempPath("nimbus_journal_rotate_fault.waj");
+  const std::vector<LedgerEntry> entries = SampleEntries();
+  WriteJournalWith(path, entries);
+  StatusOr<Journal> journal = Journal::Open(path, Journal::Options{});
+  ASSERT_TRUE(journal.ok()) << journal.status();
+
+  ASSERT_TRUE(fault::Configure("journal.rotate:1:*").ok());
+  EXPECT_EQ(journal->Rotate(3).code(), StatusCode::kInternal);
+  fault::Reset();
+
+  EXPECT_EQ(journal->base_sequence(), 0);
+  LedgerEntry next = entries[0];
+  next.sequence = 5;
+  EXPECT_TRUE(journal->Append(next).ok());
+  EXPECT_TRUE(journal->Close().ok());
+  StatusOr<std::vector<LedgerEntry>> back = Journal::Replay(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, ReplayAndIoReadFaultPointsInject) {
+  const std::string path = TempPath("nimbus_journal_replay_fault.waj");
+  WriteJournalWith(path, SampleEntries());
+
+  ASSERT_TRUE(fault::Configure("journal.replay:1:*").ok());
+  EXPECT_EQ(Journal::Replay(path).status().code(), StatusCode::kInternal);
+  fault::Reset();
+
+  ASSERT_TRUE(fault::Configure("io.read:1:*").ok());
+  EXPECT_EQ(Journal::Replay(path).status().code(), StatusCode::kInternal);
+  fault::Reset();
+
+  EXPECT_TRUE(Journal::Replay(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(MarketplaceJournalTest, FsyncEveryRecordSurvivesReplay) {
   const std::string path = TempPath("nimbus_marketplace_fsync.waj");
   std::remove(path.c_str());
