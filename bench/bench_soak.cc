@@ -79,6 +79,7 @@
 
 #include "common/fault.h"
 #include "common/profiler.h"
+#include "market/catalog.h"
 #include "market/checkpointer.h"
 #include "market/snapshot.h"
 #include "common/random.h"
@@ -938,6 +939,320 @@ void RunRecoverySweep(bool fast, uint64_t seed,
   }
 }
 
+// Phase 6: sharded chaos soak. A bulkheaded catalog of N products (12
+// in --fast, 100 otherwise), each shard checkpointed, replayed at each
+// worker count in three waves:
+//
+//   wave 1 (healthy):  every product transacts; all requests succeed.
+//   wave 2 (blast):    `journal.append@<victim>:1:enospc` is armed. The
+//                      victim's next commit tears, poisons its journal,
+//                      and quarantines exactly that shard; every other
+//                      product's requests keep succeeding. A scoped
+//                      snapshot fault is also armed against a second
+//                      shard, whose next cadence checkpoint tears —
+//                      degrading (never quarantining) it.
+//   wave 3 (healed):   the background recovery loop re-admits the
+//                      victim (snapshot + O(delta) journal tail — the
+//                      tail must not exceed the checkpoint cadence);
+//                      all products, victim included, transact again.
+//
+// After draining, per-product ledgers must be byte-identical across
+// worker counts, fault-free shards must have shed/failed nothing (zero
+// per-shard SLO burn), and spot-checked shards must restore from their
+// own directories byte-identically.
+void RunShardedChaosPhase(uint64_t seed, bool fast,
+                          const std::vector<int>& worker_counts) {
+  const int num_products = fast ? 12 : 100;
+  const int w1 = 12;  // Healthy wave, per product (> cadence: snapshots land).
+  const int w2 = 2;   // Blast wave, per non-victim product.
+  const int w3 = 6;   // Healed wave, per product.
+  const int64_t cadence = 8;
+  const auto product_name = [](int p) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "product-%03d", p);
+    return std::string(buf);
+  };
+  const auto product_seed = [seed](int p) {
+    return seed + 131 * static_cast<uint64_t>(p);
+  };
+  const std::string victim = product_name(3);
+  const std::string degraded = product_name(7 % num_products);
+  std::printf(
+      "== phase 6: sharded chaos soak (%d products, victim %s, workers",
+      num_products, victim.c_str());
+  for (int workers : worker_counts) {
+    std::printf(" %d", workers);
+  }
+  std::printf(")\n");
+
+  using nimbus::market::Catalog;
+  using nimbus::market::CatalogOptions;
+  using nimbus::market::Shard;
+  using nimbus::market::ShardState;
+
+  // csvs[run][product]: per-product ledger CSV after the run drained.
+  std::vector<std::vector<std::string>> csvs;
+  for (int workers : worker_counts) {
+    nimbus::fault::Reset();
+    nimbus::telemetry::Registry::Global().ResetForTest();
+    const std::string root =
+        TempJournalPath("shards_w" + std::to_string(workers)) + ".d";
+
+    CatalogOptions catalog_options;
+    catalog_options.root_dir = root;
+    catalog_options.shard_defaults.enable_checkpoints = true;
+    catalog_options.shard_defaults.checkpoint_policy.every_records = cadence;
+    catalog_options.recovery_interval_seconds = 0.005;
+    catalog_options.recovery_backoff_base_seconds = 0.005;
+    Catalog catalog(catalog_options);
+    for (int p = 0; p < num_products; ++p) {
+      const uint64_t mseed = product_seed(p);
+      const Status added = catalog.AddProduct(
+          product_name(p),
+          [mseed]() -> nimbus::StatusOr<Marketplace> { return MakeMarket(mseed); });
+      SOAK_CHECK(added.ok(), "shards(w=%d): AddProduct %d failed: %s", workers,
+                 p, added.ToString().c_str());
+    }
+    MarketService service(
+        &catalog,
+        SoakServiceOptions(seed, workers, num_products * (w1 + 1)));
+    SOAK_CHECK(service.Start().ok(), "shards(w=%d): Start failed", workers);
+    const auto run_start = std::chrono::steady_clock::now();
+    int64_t submitted = 0;
+    int64_t ok_count = 0;
+
+    // Submits `per_product` requests to every product except that
+    // `only_one_for` (the victim mid-blast) gets exactly one — keeping
+    // its lane-ticket stream identical across worker counts, since a
+    // shed request consumes no ticket but an admitted-then-failed one
+    // does. Each product sees its own deterministic request stream
+    // (`base + i`), independent of every other product.
+    const auto run_wave = [&](int per_product, int base,
+                              const std::string& only_one_for,
+                              const auto& on_result) {
+      std::vector<std::future<PurchaseResult>> futures;
+      std::vector<int> products;
+      futures.reserve(static_cast<size_t>(per_product) * num_products);
+      products.reserve(futures.capacity());
+      for (int i = 0; i < per_product; ++i) {
+        for (int p = 0; p < num_products; ++p) {
+          if (i > 0 && product_name(p) == only_one_for) {
+            continue;
+          }
+          PurchaseRequest request = MakeRequest(base + i);
+          request.product_id = product_name(p);
+          futures.push_back(service.Submit(std::move(request)));
+          products.push_back(p);
+        }
+      }
+      submitted += static_cast<int64_t>(futures.size());
+      for (size_t i = 0; i < futures.size(); ++i) {
+        on_result(products[i], futures[i].get());
+      }
+    };
+
+    // Wave 1: all healthy.
+    run_wave(w1, 0, "", [&](int p, const PurchaseResult& result) {
+      SOAK_CHECK(result.status.ok(), "shards(w=%d): wave1 product %d: %s",
+                 workers, p, result.status.ToString().c_str());
+      ok_count += result.status.ok() ? 1 : 0;
+    });
+
+    // Wave 2: scoped blast. The victim's single request tears its
+    // journal mid-append and fails; nobody else notices.
+    // The victim's journal tears once; the degraded shard's snapshot
+    // writes fail persistently (`:1:*`) — otherwise the commit after a
+    // torn checkpoint immediately retries, lands, and self-heals before
+    // the post-wave assertion can observe the degraded window.
+    SOAK_CHECK(nimbus::fault::Configure("journal.append@" + victim +
+                                        ":1:enospc,snapshot.write@" +
+                                        degraded + ":1:*")
+                   .ok(),
+               "shards(w=%d): blast arm failed", workers);
+    int64_t victim_failures = 0;
+    run_wave(w2, w1, victim, [&](int p, const PurchaseResult& result) {
+      if (product_name(p) == victim) {
+        SOAK_CHECK(!result.status.ok(),
+                   "shards(w=%d): victim wave2 request unexpectedly ok",
+                   workers);
+        victim_failures += result.status.ok() ? 0 : 1;
+      } else {
+        SOAK_CHECK(result.status.ok(), "shards(w=%d): wave2 product %d: %s",
+                   workers, p, result.status.ToString().c_str());
+        ok_count += result.status.ok() ? 1 : 0;
+      }
+    });
+    SOAK_CHECK(victim_failures == 1,
+               "shards(w=%d): expected exactly 1 victim failure, got %lld",
+               workers, static_cast<long long>(victim_failures));
+
+    // Blast radius: exactly the victim is quarantined.
+    for (int p = 0; p < num_products; ++p) {
+      Shard* shard = catalog.Find(product_name(p));
+      if (product_name(p) == victim) {
+        SOAK_CHECK(shard->state() == ShardState::kQuarantined,
+                   "shards(w=%d): victim not quarantined (%s)", workers,
+                   nimbus::market::ShardStateName(shard->state()));
+      } else {
+        SOAK_CHECK(shard->state() == ShardState::kServing,
+                   "shards(w=%d): healthy product %d left serving (%s)",
+                   workers, p,
+                   nimbus::market::ShardStateName(shard->state()));
+      }
+    }
+
+    // The background loop re-admits the victim. (Started only now, so
+    // the wave-2 quarantine window is deterministic.)
+    catalog.StartRecoveryLoop();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    Shard* victim_shard = catalog.Find(victim);
+    while (victim_shard->state() != ShardState::kServing &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    SOAK_CHECK(victim_shard->state() == ShardState::kServing,
+               "shards(w=%d): victim never re-admitted (%s: %s)", workers,
+               nimbus::market::ShardStateName(victim_shard->state()),
+               victim_shard->state_detail().c_str());
+    const Marketplace::RestoreReport restore =
+        victim_shard->last_restore_report();
+    SOAK_CHECK(restore.source == Marketplace::RestoreReport::Source::kSnapshot,
+               "shards(w=%d): victim recovery skipped the snapshot chain",
+               workers);
+    SOAK_CHECK(restore.tail_records <= cadence,
+               "shards(w=%d): victim tail replay %lld exceeds cadence %lld "
+               "(not O(delta))",
+               workers, static_cast<long long>(restore.tail_records),
+               static_cast<long long>(cadence));
+    SOAK_CHECK(restore.snapshot_records + restore.tail_records == w1,
+               "shards(w=%d): victim recovery covers %lld of %d sales",
+               workers,
+               static_cast<long long>(restore.snapshot_records +
+                                      restore.tail_records),
+               w1);
+
+    // Wave 3: everyone (victim included) transacts again. The degraded
+    // shard's cadence checkpoint tears here — it must keep serving.
+    run_wave(w3, w1 + w2, "", [&](int p, const PurchaseResult& result) {
+      SOAK_CHECK(result.status.ok(), "shards(w=%d): wave3 product %d: %s",
+                 workers, p, result.status.ToString().c_str());
+      ok_count += result.status.ok() ? 1 : 0;
+    });
+    Shard* degraded_shard = catalog.Find(degraded);
+    SOAK_CHECK(degraded_shard->state() == ShardState::kDegraded,
+               "shards(w=%d): snapshot-torn shard is %s, expected degraded",
+               workers,
+               nimbus::market::ShardStateName(degraded_shard->state()));
+    SOAK_CHECK(degraded_shard->stats().quarantines == 0,
+               "shards(w=%d): snapshot fault must degrade, never quarantine",
+               workers);
+    nimbus::fault::Reset();
+
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
+    catalog.StopRecoveryLoop();
+    const Status drained = service.Drain();
+    SOAK_CHECK(drained.ok(), "shards(w=%d): Drain failed: %s", workers,
+               drained.ToString().c_str());
+
+    // Per-shard SLO burn: every fault-free lane shed and failed nothing.
+    int64_t victim_bad = 0;
+    for (const MarketService::ShardView& view : service.ShardViews()) {
+      if (view.product_id == victim) {
+        victim_bad = view.shed + view.failed;
+        SOAK_CHECK(view.shard_stats.quarantines == 1,
+                   "shards(w=%d): victim quarantined %lld times", workers,
+                   static_cast<long long>(view.shard_stats.quarantines));
+        SOAK_CHECK(view.shard_stats.recoveries == 1,
+                   "shards(w=%d): victim recovered %lld times", workers,
+                   static_cast<long long>(view.shard_stats.recoveries));
+      } else {
+        SOAK_CHECK(view.shed == 0 && view.failed == 0,
+                   "shards(w=%d): fault-free %s burned SLO (shed %lld, "
+                   "failed %lld)",
+                   workers, view.product_id.c_str(),
+                   static_cast<long long>(view.shed),
+                   static_cast<long long>(view.failed));
+      }
+    }
+    SOAK_CHECK(victim_bad == 1, "shards(w=%d): victim bad outcomes %lld != 1",
+               workers, static_cast<long long>(victim_bad));
+
+    // Collect per-product ledgers; spot-check that shard directories
+    // restore byte-identically (victim, the degraded shard, product 0).
+    std::vector<std::string> run_csvs;
+    for (int p = 0; p < num_products; ++p) {
+      Shard* shard = catalog.Find(product_name(p));
+      const std::shared_ptr<Marketplace> market = shard->market();
+      const int expected =
+          product_name(p) == victim ? w1 + w3 : w1 + w2 + w3;
+      CheckLedgerInvariants(*market, expected, "shards");
+      run_csvs.push_back(market->ledger().ToCsv());
+      if (p == 0 || product_name(p) == victim || product_name(p) == degraded) {
+        Marketplace probe = MakeMarket(product_seed(p));
+        const Status restored = probe.RestoreFromCheckpoint(
+            shard->journal_path(), Marketplace::RestoreOptions{}, nullptr);
+        SOAK_CHECK(restored.ok(), "shards(w=%d): product %d restore: %s",
+                   workers, p, restored.ToString().c_str());
+        SOAK_CHECK(restored.ok() &&
+                       probe.ledger().ToCsv() == run_csvs.back(),
+                   "shards(w=%d): product %d restores differently", workers,
+                   p);
+      }
+    }
+    csvs.push_back(std::move(run_csvs));
+
+    RunReport report;
+    report.phase = "sharded_chaos";
+    report.workers = workers;
+    report.submitted = submitted;
+    report.ok = ok_count;
+    report.shed = 0;
+    report.wall_seconds = wall_seconds;
+    report.requests_per_second =
+        wall_seconds > 0.0 ? static_cast<double>(submitted) / wall_seconds
+                           : 0.0;
+    FillLatencyQuantiles(report);
+    ReportSlo(service, report, "shards", workers);
+    g_reports.push_back(report);
+    std::printf(
+        "   workers=%d: products=%d ok=%lld victim tail=%lld/%lld "
+        "(%.0f req/s, p99 %.0f us)\n",
+        workers, num_products, static_cast<long long>(ok_count),
+        static_cast<long long>(restore.tail_records),
+        static_cast<long long>(cadence), report.requests_per_second,
+        report.p99_us);
+
+    // Best-effort cleanup of the per-shard tree.
+    for (int p = 0; p < num_products; ++p) {
+      const std::string dir = root + "/shards/" + product_name(p);
+      RemoveRecoveryFiles(dir + "/journal");
+      ::rmdir(dir.c_str());
+    }
+    ::rmdir((root + "/shards").c_str());
+    ::rmdir(root.c_str());
+  }
+
+  // The bulkhead seam may change speed, never what is sold: every
+  // product's ledger must be byte-identical across worker counts.
+  int mismatches = 0;
+  for (size_t run = 1; run < csvs.size(); ++run) {
+    for (int p = 0; p < num_products; ++p) {
+      mismatches += csvs[run][p] == csvs[0][p] ? 0 : 1;
+      SOAK_CHECK(csvs[run][p] == csvs[0][p],
+                 "shards: product %d ledger differs between workers=%d and "
+                 "workers=%d",
+                 p, worker_counts[run], worker_counts[0]);
+    }
+  }
+  std::printf(
+      "   per-product ledgers byte-identical across %zu worker counts: %s\n",
+      csvs.size(), mismatches == 0 ? "yes" : "NO");
+}
+
 // Phase 3 (optional, --admin-port): keep a service under steady traffic
 // while the admin endpoint serves scrapes — the CI smoke target and a
 // hands-on curl playground (see bench/README.md).
@@ -1037,6 +1352,7 @@ int main(int argc, char** argv) {
   }
   RunCrashRecoveryDrill(requests, seed + 3, worker_counts);
   RunRecoverySweep(fast, seed + 4, bench_recovery_json);
+  RunShardedChaosPhase(seed + 5, fast, worker_counts);
   if (metrics) {
     std::printf("%s\n", nimbus::telemetry::SnapshotToText(
                             nimbus::telemetry::Registry::Global().Snapshot())

@@ -16,6 +16,17 @@
 //     acknowledged sale, duplicated tail record, aggregate drift —
 //     fails the byte comparison and exits non-zero.
 //
+// Sharded variants of the same halves (`--root=DIR --shards=N`
+// replacing `--journal=PATH`) drive a bulkheaded Catalog instead: each
+// product shard owns its journal + snapshot chain under
+// `DIR/shards/product-NNN/`, sales round-robin across products, and
+// the recover half restores every shard and byte-compares each against
+// its own deterministic oracle. `--corrupt-newest-snapshot=PRODUCT`
+// flips a byte in that shard's newest snapshot before the restart, so
+// CI can assert the damaged shard falls down the recovery ladder
+// (previous snapshot / full replay) while the untouched shards restore
+// byte-identically from their own directories.
+//
 // The pair gives CI a real external-kill oracle: no cooperation from
 // the dying process, only its fsync'd artifacts.
 
@@ -28,20 +39,27 @@
 #include "common/random.h"
 #include "common/statusor.h"
 #include "data/synthetic.h"
+#include "market/catalog.h"
 #include "market/checkpointer.h"
 #include "market/curves.h"
 #include "market/journal.h"
 #include "market/market_simulator.h"
 #include "market/marketplace.h"
+#include "market/snapshot.h"
 
 namespace {
 
 using nimbus::Rng;
 using nimbus::Status;
+using nimbus::StatusOr;
 using nimbus::market::Broker;
+using nimbus::market::Catalog;
+using nimbus::market::CatalogOptions;
 using nimbus::market::CheckpointPolicy;
 using nimbus::market::Journal;
 using nimbus::market::Marketplace;
+using nimbus::market::Shard;
+using nimbus::market::ShardState;
 
 int IntFlag(int argc, char** argv, const char* name, int fallback) {
   const std::string prefix = std::string("--") + name + "=";
@@ -202,20 +220,246 @@ int Recover(const std::string& path, int requests, uint64_t seed) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// Sharded halves: the same serve/kill/recover oracle over a bulkheaded
+// Catalog, one journal + snapshot chain per product shard.
+
+std::string ProductName(int p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "product-%03d", p);
+  return std::string(buf);
+}
+
+CatalogOptions DrillCatalogOptions(const std::string& root, int num_shards,
+                                   int requests) {
+  CatalogOptions options;
+  options.root_dir = root;
+  // Per-record fsync: a SIGKILL can tear at most the record being
+  // written in each shard; everything acknowledged is on disk.
+  options.shard_defaults.journal.fsync = Journal::FsyncPolicy::kEveryRecord;
+  options.shard_defaults.enable_checkpoints = true;
+  const int per_shard = requests / (num_shards > 0 ? num_shards : 1);
+  options.shard_defaults.checkpoint_policy.every_records =
+      per_shard >= 512 ? per_shard / 64 : 8;
+  return options;
+}
+
+void PopulateCatalog(Catalog& catalog, int num_shards, uint64_t seed) {
+  for (int p = 0; p < num_shards; ++p) {
+    const uint64_t mseed = seed + 131 * static_cast<uint64_t>(p);
+    const Status added = catalog.AddProduct(
+        ProductName(p),
+        [mseed]() -> StatusOr<Marketplace> { return MakeMarket(mseed); });
+    if (!added.ok()) {
+      std::fprintf(stderr, "AddProduct %d failed: %s\n", p,
+                   added.ToString().c_str());
+      std::exit(2);
+    }
+  }
+}
+
+int ServeSharded(const std::string& root, int num_shards, int requests,
+                 uint64_t seed) {
+  Catalog catalog(DrillCatalogOptions(root, num_shards, requests));
+  PopulateCatalog(catalog, num_shards, seed);
+  std::printf("serving %d sales round-robin over %d shards under %s\n",
+              requests, num_shards, root.c_str());
+  std::fflush(stdout);
+  for (int64_t i = 0; i < requests; ++i) {
+    Shard* shard = catalog.Find(ProductName(static_cast<int>(i) % num_shards));
+    StatusOr<std::shared_ptr<Marketplace>> market = shard->Serve();
+    if (!market.ok()) {
+      std::fprintf(stderr, "shard %s refused sale %lld: %s\n",
+                   shard->product_id().c_str(), static_cast<long long>(i),
+                   market.status().ToString().c_str());
+      return 2;
+    }
+    const Status status = FeedOne(**market, i);
+    if (!status.ok()) {
+      std::fprintf(stderr, "sale %lld failed: %s\n",
+                   static_cast<long long>(i), status.ToString().c_str());
+      return 2;
+    }
+  }
+  std::printf("served all %d sales without being killed\n", requests);
+  return 0;
+}
+
+// Flips one byte in the middle of `path` (bit-rot emulation aimed at a
+// shard's newest snapshot before the recovery restart).
+bool FlipByteInFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size <= 0) {
+    std::fclose(f);
+    return false;
+  }
+  const long at = size / 2;
+  std::fseek(f, at, SEEK_SET);
+  const int byte = std::fgetc(f);
+  if (byte == EOF) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, at, SEEK_SET);
+  std::fputc(byte ^ 0x5a, f);
+  return std::fclose(f) == 0;
+}
+
+// Finds and corrupts the newest committed snapshot generation of the
+// shard at `dir`. Returns the corrupted generation, or 0 when the kill
+// landed before this shard's first checkpoint (nothing to corrupt —
+// recovery is a full journal replay either way).
+int64_t CorruptNewestSnapshot(const std::string& dir) {
+  const std::string journal = dir + "/journal";
+  int64_t newest = 0;
+  for (int64_t generation = 1; generation <= 4096; ++generation) {
+    const std::string snap =
+        nimbus::market::snapshot::SnapshotPath(journal, generation);
+    std::FILE* f = std::fopen(snap.c_str(), "rb");
+    if (f != nullptr) {
+      std::fclose(f);
+      newest = generation;
+    }
+  }
+  if (newest == 0) {
+    return 0;
+  }
+  const std::string snap =
+      nimbus::market::snapshot::SnapshotPath(journal, newest);
+  if (!FlipByteInFile(snap)) {
+    std::fprintf(stderr, "cannot corrupt %s\n", snap.c_str());
+    std::exit(2);
+  }
+  return newest;
+}
+
+int RecoverSharded(const std::string& root, int num_shards, int requests,
+                   uint64_t seed, const std::string& corrupt_product) {
+  if (!corrupt_product.empty()) {
+    const std::string dir = root + "/shards/" + corrupt_product;
+    const int64_t generation = CorruptNewestSnapshot(dir);
+    if (generation > 0) {
+      std::printf("corrupted newest snapshot (generation %lld) of %s\n",
+                  static_cast<long long>(generation),
+                  corrupt_product.c_str());
+    } else {
+      std::printf("no snapshot of %s to corrupt (kill preceded its first "
+                  "checkpoint); recovery replays the journal\n",
+                  corrupt_product.c_str());
+    }
+  }
+
+  // Opening the catalog IS the restart: every shard runs the restore
+  // ladder against whatever the killed process left in its directory.
+  Catalog catalog(DrillCatalogOptions(root, num_shards, requests));
+  PopulateCatalog(catalog, num_shards, seed);
+
+  int64_t total = 0;
+  for (int p = 0; p < num_shards; ++p) {
+    Shard* shard = catalog.Find(ProductName(p));
+    if (shard->state() != ShardState::kServing) {
+      std::fprintf(stderr, "VIOLATION: shard %s restarted into %s (%s)\n",
+                   shard->product_id().c_str(),
+                   nimbus::market::ShardStateName(shard->state()),
+                   shard->state_detail().c_str());
+      return 1;
+    }
+    const Marketplace::RestoreReport report = shard->last_restore_report();
+    const char* source =
+        report.source == Marketplace::RestoreReport::Source::kSnapshot
+            ? "snapshot"
+        : report.source ==
+                Marketplace::RestoreReport::Source::kPreviousSnapshot
+            ? "previous_snapshot"
+            : "full_replay";
+    const std::shared_ptr<Marketplace> market = shard->market();
+    const int64_t count = static_cast<int64_t>(market->ledger().size());
+    total += count;
+    std::printf(
+        "shard %s: recovered %lld sales (source=%s generation=%lld "
+        "snapshot=%lld tail=%lld rejected=%d)\n",
+        shard->product_id().c_str(), static_cast<long long>(count), source,
+        static_cast<long long>(report.generation),
+        static_cast<long long>(report.snapshot_records),
+        static_cast<long long>(report.tail_records),
+        report.snapshots_rejected);
+    if (shard->product_id() == corrupt_product) {
+      // The corrupted shard must have taken the ladder, not the (now
+      // bit-rotted) newest snapshot: either a generation was rejected
+      // by its checksum, or there was no snapshot and the journal
+      // replayed in full.
+      const bool ladder_engaged =
+          report.snapshots_rejected >= 1 ||
+          report.source != Marketplace::RestoreReport::Source::kSnapshot;
+      if (!ladder_engaged) {
+        std::fprintf(stderr,
+                     "VIOLATION: corrupted shard %s restored from its "
+                     "newest snapshot unchallenged\n",
+                     corrupt_product.c_str());
+        return 1;
+      }
+      std::printf("shard %s: ladder engaged (%d generation(s) rejected, "
+                  "source=%s)\n",
+                  corrupt_product.c_str(), report.snapshots_rejected, source);
+    }
+    // Independent oracle: shard p's j-th sale is global sale j*N+p, a
+    // pure function of (seed, index) — re-feed it into a pristine
+    // marketplace and demand byte equality.
+    Marketplace oracle = MakeMarket(seed + 131 * static_cast<uint64_t>(p));
+    for (int64_t j = 0; j < count; ++j) {
+      const Status fed = FeedOne(oracle, j * num_shards + p);
+      if (!fed.ok()) {
+        std::fprintf(stderr, "oracle sale %lld of shard %s failed: %s\n",
+                     static_cast<long long>(j),
+                     shard->product_id().c_str(), fed.ToString().c_str());
+        return 2;
+      }
+    }
+    if (market->ledger().ToCsv() != oracle.ledger().ToCsv() ||
+        market->total_revenue() != oracle.total_revenue()) {
+      std::fprintf(stderr,
+                   "VIOLATION: shard %s ledger differs from its %lld-sale "
+                   "oracle re-feed\n",
+                   shard->product_id().c_str(), static_cast<long long>(count));
+      return 1;
+    }
+  }
+  std::printf(
+      "all %d shards serving; %lld recovered sales byte-identical to their "
+      "per-shard oracles\n",
+      num_shards, static_cast<long long>(total));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string path = StringFlag(argc, argv, "journal", "");
+  const std::string root = StringFlag(argc, argv, "root", "");
+  const int shards = IntFlag(argc, argv, "shards", 0);
   const int requests = IntFlag(argc, argv, "requests", 2000);
   const uint64_t seed =
       static_cast<uint64_t>(IntFlag(argc, argv, "seed", 20190642));
-  if (path.empty() ||
-      BoolFlag(argc, argv, "serve") == BoolFlag(argc, argv, "recover")) {
+  const std::string corrupt_product =
+      StringFlag(argc, argv, "corrupt-newest-snapshot", "");
+  const bool serve = BoolFlag(argc, argv, "serve");
+  if (serve == BoolFlag(argc, argv, "recover") ||
+      (path.empty() == (root.empty() || shards <= 0))) {
     std::fprintf(stderr,
-                 "usage: recovery_drill --journal=PATH (--serve|--recover) "
-                 "[--requests=N] [--seed=S]\n");
+                 "usage: recovery_drill (--journal=PATH | --root=DIR "
+                 "--shards=N) (--serve|--recover) [--requests=N] [--seed=S] "
+                 "[--corrupt-newest-snapshot=PRODUCT]\n");
     return 2;
   }
-  return BoolFlag(argc, argv, "serve") ? Serve(path, requests, seed)
-                                       : Recover(path, requests, seed);
+  if (!root.empty()) {
+    return serve ? ServeSharded(root, shards, requests, seed)
+                 : RecoverSharded(root, shards, requests, seed,
+                                  corrupt_product);
+  }
+  return serve ? Serve(path, requests, seed) : Recover(path, requests, seed);
 }

@@ -32,13 +32,14 @@ for name in $dupes; do
     status=1
 done
 
-# Every literal call-site name. fault.{h,cc} are excluded: the header's
+# Every literal call-site name (FAULT_POINT macro, plain ShouldFail, or
+# the mode-aware fault::Check). fault.{h,cc} are excluded: the header's
 # usage docs and the catalog itself would self-match. Tests are excluded
 # too — they probe unknown names on purpose.
 used=$(grep -rhoE --exclude=fault.h --exclude=fault.cc \
-    '(FAULT_POINT|ShouldFail)\("[^"]+"\)' \
+    '(FAULT_POINT|ShouldFail|fault::Check)\("[^"]+"\)' \
     "$root/src" "$root/bench" "$root/examples" 2>/dev/null |
-    sed -E 's/(FAULT_POINT|ShouldFail)\("([^"]+)"\)/\2/' |
+    sed -E 's/(FAULT_POINT|ShouldFail|fault::Check)\("([^"]+)"\)/\2/' |
     sort -u)
 
 for name in $used; do

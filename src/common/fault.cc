@@ -49,12 +49,16 @@ struct Rule {
   int64_t nth = 0;
   int64_t count = 1;
   double probability = 0.0;
+  Mode mode = Mode::kStatus;
   std::unique_ptr<Rng> rng;
   int64_t hits = 0;
   int64_t fires = 0;
 };
 
 std::atomic<bool> g_armed{false};
+
+// Thread-local fault scope set by ScopedFaultScope ("" = unscoped).
+thread_local std::string t_scope;
 
 std::mutex& Mutex() {
   static std::mutex* mu = new std::mutex();
@@ -82,8 +86,14 @@ uint64_t HashName(const std::string& name) {
 }
 
 StatusOr<Rule> ParseClauseBody(const std::string& point,
-                               const std::vector<std::string>& tokens) {
+                               std::vector<std::string> tokens) {
   Rule rule;
+  // A trailing mode token applies to either clause form:
+  // `point:3:enospc`, `point:3:2:enospc`, `point:p=0.5:enospc`.
+  if (!tokens.empty() && tokens.back() == "enospc") {
+    rule.mode = Mode::kEnospc;
+    tokens.pop_back();
+  }
   if (tokens.empty()) {
     return InvalidArgumentError("fault clause '" + point +
                                 "' needs ':nth' or ':p=<prob>'");
@@ -161,18 +171,25 @@ StatusOr<std::map<std::string, Rule>> ParseSpec(const std::string& spec) {
       }
       pos = colon + 1;
     }
-    const std::string point = tokens.front();
+    // The rule key is the full `point` or `point@scope` token; only the
+    // base point name must exist in the catalog.
+    const std::string key = tokens.front();
     tokens.erase(tokens.begin());
+    const size_t at = key.find('@');
+    const std::string point = key.substr(0, at);
     if (!IsKnownPoint(point)) {
       return InvalidArgumentError("unknown fault point '" + point +
                                   "' (see the catalog in common/fault.cc)");
     }
-    if (rules.count(point) > 0) {
-      return InvalidArgumentError("fault point '" + point +
+    if (at != std::string::npos && at + 1 >= key.size()) {
+      return InvalidArgumentError("empty scope in fault clause '" + key + "'");
+    }
+    if (rules.count(key) > 0) {
+      return InvalidArgumentError("fault point '" + key +
                                   "' armed twice in one spec");
     }
-    NIMBUS_ASSIGN_OR_RETURN(Rule rule, ParseClauseBody(point, tokens));
-    rules.emplace(point, std::move(rule));
+    NIMBUS_ASSIGN_OR_RETURN(Rule rule, ParseClauseBody(key, std::move(tokens)));
+    rules.emplace(key, std::move(rule));
   }
   return rules;
 }
@@ -188,22 +205,8 @@ void EnsureInitialized() {
   (void)initialized;
 }
 
-}  // namespace
-
-bool ShouldFail(const char* point) {
-  EnsureInitialized();
-  if (!g_armed.load(std::memory_order_relaxed)) {
-    return false;
-  }
-  std::lock_guard<std::mutex> lock(Mutex());
-  auto it = Rules().find(point);
-  if (it == Rules().end()) {
-    // Count hits at unarmed-but-known points too, so a drill can see
-    // which recovery paths were exercised without arming them.
-    ++Rules()[point].hits;
-    return false;
-  }
-  Rule& rule = it->second;
+// Evaluates one armed rule against its next hit; logs and counts fires.
+bool EvaluateRuleLocked(const std::string& key, Rule& rule) {
   const int64_t hit = ++rule.hits;
   bool fire = false;
   if (rule.rng != nullptr) {
@@ -215,11 +218,58 @@ bool ShouldFail(const char* point) {
   if (fire) {
     ++rule.fires;
     InjectedCounter().Increment();
-    NIMBUS_LOG(kWarning) << "fault injected at '" << point << "' (hit #"
+    NIMBUS_LOG(kWarning) << "fault injected at '" << key << "' (hit #"
                          << hit << ")";
   }
   return fire;
 }
+
+}  // namespace
+
+Injection Check(const char* point) {
+  EnsureInitialized();
+  Injection result;
+  if (!g_armed.load(std::memory_order_relaxed)) {
+    return result;
+  }
+  std::lock_guard<std::mutex> lock(Mutex());
+  // An unscoped clause applies on every thread; a `point@scope` clause
+  // only on threads inside a matching ScopedFaultScope. Both count
+  // their hits independently (the scoped rule only counts scoped hits,
+  // so `journal.append@shard-7:3` means shard-7's third append).
+  auto it = Rules().find(point);
+  if (it != Rules().end()) {
+    if (EvaluateRuleLocked(it->first, it->second)) {
+      result.fire = true;
+      result.mode = it->second.mode;
+    }
+  } else {
+    // Count hits at unarmed-but-known points too, so a drill can see
+    // which recovery paths were exercised without arming them.
+    ++Rules()[point].hits;
+  }
+  if (!t_scope.empty()) {
+    const std::string scoped_key = std::string(point) + "@" + t_scope;
+    auto scoped = Rules().find(scoped_key);
+    if (scoped != Rules().end() &&
+        EvaluateRuleLocked(scoped->first, scoped->second)) {
+      result.fire = true;
+      result.mode = scoped->second.mode;
+    }
+  }
+  return result;
+}
+
+bool ShouldFail(const char* point) { return Check(point).fire; }
+
+ScopedFaultScope::ScopedFaultScope(const std::string& scope)
+    : previous_(t_scope) {
+  t_scope = scope;
+}
+
+ScopedFaultScope::~ScopedFaultScope() { t_scope = previous_; }
+
+const std::string& CurrentFaultScope() { return t_scope; }
 
 void ArmFromEnvOrDie() {
   const char* spec = std::getenv("NIMBUS_FAULTS");

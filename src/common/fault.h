@@ -25,14 +25,67 @@ namespace nimbus::fault {
 //                        drills are reproducible
 // Example: NIMBUS_FAULTS=journal.append:3,io.write:1:*
 //
+// Two orthogonal extensions:
+//
+//   point@scope:...      the clause only counts hits (and fires) on
+//                        threads whose current fault scope equals
+//                        `scope` (see ScopedFaultScope below). Shards
+//                        set their product id as the scope around
+//                        quote/commit/recovery work, so a drill can
+//                        poison exactly one shard's journal while the
+//                        rest of the catalog runs fault-free.
+//   ...:enospc           trailing mode token: instead of the clean
+//                        injected kInternal Status, the call site
+//                        simulates a disk-full condition — an
+//                        errno-shaped short write (ENOSPC) that leaves
+//                        a torn record behind, exactly like a real full
+//                        disk. Only call sites that query Check()
+//                        honor the mode; FAULT_POINT sites treat it as
+//                        a plain failure.
+// Example: NIMBUS_FAULTS=journal.append@shard-7:5:enospc
+//
 // Every point name must appear in the catalog in fault.cc
 // (scripts/check_fault_points.sh enforces the same statically); arming
 // an unknown point is an InvalidArgument. Every fire increments the
 // `fault_injected_total` telemetry counter and logs a warning.
 
+// How an armed clause asks the call site to fail.
+enum class Mode {
+  kStatus,  // return the usual injected kInternal Status
+  kEnospc,  // simulate a disk-full short write (errno-shaped ENOSPC)
+};
+
+// Result of consulting a fault point: whether to fail this hit, and how.
+struct Injection {
+  bool fire = false;
+  Mode mode = Mode::kStatus;
+};
+
 // True when the named point should fail this hit. Hits are counted per
 // point only while injection is armed.
 bool ShouldFail(const char* point);
+
+// Like ShouldFail, but also reports the clause's failure mode so call
+// sites that know how to fake a disk-full condition can do so.
+Injection Check(const char* point);
+
+// RAII thread-local fault scope. While alive, clauses armed as
+// `point@scope` with a matching scope apply on this thread (unscoped
+// clauses always apply). Scopes nest; the destructor restores the
+// previous scope.
+class ScopedFaultScope {
+ public:
+  explicit ScopedFaultScope(const std::string& scope);
+  ~ScopedFaultScope();
+  ScopedFaultScope(const ScopedFaultScope&) = delete;
+  ScopedFaultScope& operator=(const ScopedFaultScope&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+// The current thread's fault scope ("" when none is set).
+const std::string& CurrentFaultScope();
 
 // Arms injection from a spec string (see grammar above). Replaces any
 // previous configuration; an empty spec disarms. Invalid clauses or
@@ -51,7 +104,8 @@ void ArmFromEnvOrDie();
 void Reset();
 
 // Hits observed at `point` since the last Configure/Reset (armed runs
-// only; 0 for unknown points).
+// only; 0 for unknown points). Scoped clauses count under their full
+// key, e.g. HitCount("journal.append@shard-7").
 int64_t HitCount(const std::string& point);
 
 // Fires delivered at `point` since the last Configure/Reset.

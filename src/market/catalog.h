@@ -1,0 +1,128 @@
+#ifndef NIMBUS_MARKET_CATALOG_H_
+#define NIMBUS_MARKET_CATALOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "market/shard.h"
+
+namespace nimbus::market {
+
+struct CatalogOptions {
+  // Root directory; each shard's durable state lives under
+  // `<root_dir>/shards/<product-id>/`.
+  std::string root_dir;
+  // Applied to every shard (per-shard overrides via AddProduct).
+  ShardOptions shard_defaults;
+  // Virtual nodes per shard on the consistent-hash ring. More points
+  // smooth the key distribution; the assignment of a key is stable
+  // under shard additions except for keys whose arc moved.
+  int ring_replicas = 32;
+  // Cadence of the background re-recovery loop.
+  double recovery_interval_seconds = 0.05;
+  // Exponential backoff between recovery attempts for the same shard:
+  // base * 2^failures, capped.
+  double recovery_backoff_base_seconds = 0.05;
+  double recovery_backoff_cap_seconds = 2.0;
+};
+
+// The multi-product catalog: a vector of bulkheaded Shards plus
+// routing. A product id routes to its own shard when it names one
+// (the common case — every product IS a shard) and otherwise falls to
+// the consistent-hash ring, so arbitrary routing keys (replicated
+// offerings, load-spreading benches) get a stable shard assignment.
+//
+// The background recovery loop scans for quarantined shards and walks
+// each through validate → RestoreFromCheckpoint ladder → re-admit with
+// per-shard exponential backoff, without stopping the world: the
+// catalog stays fully readable and every other shard keeps serving
+// while a recovery runs.
+class Catalog {
+ public:
+  explicit Catalog(CatalogOptions options);
+  ~Catalog();  // Stops the recovery loop; shards drain with the owner.
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Registers and opens one product shard under
+  // `<root_dir>/shards/<product_id>/` using the catalog's default shard
+  // options. Call before Start()/routing; not thread-safe with Route.
+  Status AddProduct(const std::string& product_id,
+                    MarketplaceFactory factory);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Shard* shard(int index) { return shards_[index].get(); }
+  const std::vector<std::unique_ptr<Shard>>& shards() const {
+    return shards_;
+  }
+
+  // Exact product match first, then the consistent-hash ring; nullptr
+  // only when the catalog is empty.
+  Shard* Route(const std::string& key);
+
+  // Exact-match lookup (nullptr when `product_id` names no shard).
+  Shard* Find(const std::string& product_id);
+
+  // Background re-recovery loop. Start is idempotent; Stop joins the
+  // thread and is called by the destructor.
+  void StartRecoveryLoop();
+  void StopRecoveryLoop();
+  bool recovery_loop_running() const;
+
+  // One synchronous recovery pass over every quarantined shard whose
+  // backoff window has elapsed (`force` ignores backoff). Returns the
+  // number of shards re-admitted. The loop calls this; tests and
+  // drills call it directly for deterministic orchestration.
+  int RecoverQuarantined(bool force = false);
+
+  // Cross-shard rollup for telemetry and the /shardz admin view.
+  struct Rollup {
+    double total_revenue = 0.0;
+    int64_t total_sales = 0;
+    int serving = 0;
+    int degraded = 0;
+    int recovering = 0;
+    int quarantined = 0;
+  };
+  Rollup GetRollup() const;
+
+ private:
+  struct RingPoint {
+    uint64_t hash = 0;
+    int shard_index = 0;
+  };
+
+  void RecoveryLoop();
+
+  const CatalogOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::string, int> by_product_;
+  std::vector<RingPoint> ring_;  // Sorted by hash.
+
+  // Per-shard recovery backoff state (indexed like shards_).
+  struct BackoffState {
+    int failures = 0;
+    std::chrono::steady_clock::time_point next_attempt{};
+  };
+  std::vector<BackoffState> backoff_;
+
+  mutable std::mutex loop_mu_;
+  std::condition_variable loop_cv_;
+  bool loop_stop_ = false;
+  bool loop_running_ = false;
+  std::thread loop_;
+};
+
+}  // namespace nimbus::market
+
+#endif  // NIMBUS_MARKET_CATALOG_H_

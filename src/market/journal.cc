@@ -248,7 +248,10 @@ Journal::~Journal() {
 Status Journal::Append(const LedgerEntry& entry,
                        const telemetry::TraceContext* trace) {
   telemetry::TraceSpan span("journal.append", trace);
-  FAULT_POINT("journal.append");
+  const fault::Injection inject = fault::Check("journal.append");
+  if (inject.fire && inject.mode == fault::Mode::kStatus) {
+    return InternalError("fault injected at 'journal.append'");
+  }
   if (mu_ == nullptr) {  // Moved-from shell.
     return FailedPreconditionError("journal '" + path_ + "' is closed");
   }
@@ -284,17 +287,36 @@ Status Journal::Append(const LedgerEntry& entry,
           std::to_string(entry.sequence) +
           " with a different payload (journal poisoned; recovery required)");
     }
+    if (inject.fire) {
+      // Injected ENOSPC on a reflush retry: the record is already
+      // buffered intact, so this models the flush stage running out of
+      // disk — retryable, no poisoning.
+      return InternalError("write to journal '" + path_ +
+                           "' failed: No space left on device (injected)");
+    }
   } else {
     std::string record;
     record.reserve(kRecordHeaderBytes + payload.size());
     AppendScalar(record, static_cast<uint32_t>(payload.size()));
     AppendScalar(record, payload_crc);
     AppendRaw(record, payload.data(), payload.size());
-    if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    size_t to_write = record.size();
+    if (inject.fire) {
+      // Injected ENOSPC (kEnospc mode): emulate a full disk — only the
+      // first half of the record reaches the stream before the write
+      // fails errno-style, leaving the same torn tail a real out-of-
+      // space append would.
+      to_write = record.size() / 2;
+    }
+    if (std::fwrite(record.data(), 1, to_write, file_) != to_write ||
+        inject.fire) {
       poisoned_ = true;
       span.Annotate("poisoned");
+      const std::string detail =
+          inject.fire ? ": No space left on device (injected)" : "";
       return InternalError("short write appending to journal '" + path_ +
-                           "' (journal poisoned; recovery required)");
+                           "'" + detail +
+                           " (journal poisoned; recovery required)");
     }
     buffered_sequence_ = entry.sequence;
     buffered_payload_size_ = static_cast<uint32_t>(payload.size());
@@ -352,6 +374,26 @@ Status Journal::Close() {
   return OkStatus();
 }
 
+void Journal::Discard() {
+  if (mu_ == nullptr) {  // Moved-from shell.
+    return;
+  }
+  std::lock_guard<prof::ProfiledMutex> lock(*mu_);
+  if (file_ == nullptr) {
+    return;
+  }
+  // Best-effort flush: committed-but-buffered records must reach disk
+  // for recovery to replay them. The buffer may end in a torn record —
+  // that is exactly the shape the recovery ladder truncates, so writing
+  // it out is safe as long as this happens before recovery re-opens the
+  // path (the shard state machine orders quarantine before recovery).
+  // Errors are swallowed: on a real full disk the tail is simply lost.
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  poisoned_ = true;  // Belt and braces: this handle must never append again.
+}
+
 Status Journal::Rotate(int64_t new_base_sequence) {
   if (mu_ == nullptr) {  // Moved-from shell.
     return FailedPreconditionError("journal '" + path_ + "' is closed");
@@ -372,7 +414,10 @@ Status Journal::Rotate(int64_t new_base_sequence) {
         std::to_string(new_base_sequence) + ")");
   }
   NIMBUS_RETURN_IF_ERROR(FlushLocked());
-  FAULT_POINT("journal.rotate");
+  const fault::Injection inject = fault::Check("journal.rotate");
+  if (inject.fire && inject.mode == fault::Mode::kStatus) {
+    return InternalError("fault injected at 'journal.rotate'");
+  }
   if (new_base_sequence == base_sequence_) {
     return OkStatus();  // Nothing to truncate.
   }
@@ -408,10 +453,21 @@ Status Journal::Rotate(int64_t new_base_sequence) {
     if (out == nullptr) {
       return InternalError("cannot open '" + tmp + "' for rotation");
     }
-    if (std::fwrite(image.data(), 1, image.size(), out) != image.size() ||
-        std::fflush(out) != 0 || ::fsync(fileno(out)) != 0) {
+    size_t to_write = image.size();
+    if (inject.fire) {
+      // Injected ENOSPC (kEnospc mode): the rotated segment runs out of
+      // disk halfway, leaving a partial .rotate.tmp behind. The live
+      // segment is untouched and stays appendable — rotation failure is
+      // absorbed upstream as a retryable rotation_failure.
+      to_write = image.size() / 2;
+    }
+    if (std::fwrite(image.data(), 1, to_write, out) != to_write ||
+        std::fflush(out) != 0 || ::fsync(fileno(out)) != 0 || inject.fire) {
       std::fclose(out);
-      return InternalError("cannot write rotated segment '" + tmp + "'");
+      const std::string detail =
+          inject.fire ? ": No space left on device (injected)" : "";
+      return InternalError("cannot write rotated segment '" + tmp + "'" +
+                           detail);
     }
     if (std::fclose(out) != 0) {
       return InternalError("fclose failed on '" + tmp + "'");

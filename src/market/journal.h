@@ -102,6 +102,17 @@ class Journal {
   // Flushes and closes the file; further appends fail. Idempotent.
   Status Close();
 
+  // Retires this handle for out-of-band recovery: best-effort flush of
+  // whatever is buffered (committed records AND, possibly, a torn tail
+  // — the recovery ladder truncates torn tails, so landing them on disk
+  // is safe), then closes and permanently poisons the handle so a later
+  // destructor cannot flush stale bytes over the repaired file. Unlike
+  // Close, flush errors are swallowed: on a genuinely full disk the
+  // buffered tail is already lost, and recovery replays what reached
+  // the file. Must be called BEFORE recovery re-opens the path.
+  // Idempotent.
+  void Discard();
+
   // Rotates this journal after a checkpoint: rewrites the live file so
   // it holds only records with sequence >= `new_base_sequence` under a
   // J2 segment header, renaming the pre-rotation file to `path + ".prev"`

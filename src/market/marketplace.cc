@@ -390,6 +390,19 @@ StatusOr<int64_t> Marketplace::RecordQuotedSale(
 
 Status Marketplace::FlushJournal() { return ledger_.FlushJournal(); }
 
+void Marketplace::AbandonJournal() {
+  // Discard in place and keep the poisoned handle attached: a detached
+  // journal would leave the ledger journal-free, and a late commit on
+  // this retired instance would then "succeed" purely in memory — an
+  // acknowledged sale the recovered shard could never replay. With the
+  // poisoned journal still attached, Ledger::Record fails typed
+  // (kFailedPrecondition) and leaves memory untouched.
+  Journal* journal = ledger_.journal();
+  if (journal != nullptr) {
+    journal->Discard();
+  }
+}
+
 Status Marketplace::EnableJournal(const std::string& path,
                                   Journal::Options options) {
   NIMBUS_ASSIGN_OR_RETURN(Journal journal, Journal::Open(path, options));

@@ -89,6 +89,15 @@ class Marketplace {
   // Flushes the ledger's journal (OK when journaling is off).
   Status FlushJournal();
 
+  // Retires the attached journal in place (Journal::Discard): buffered
+  // bytes are best-effort flushed, the file is closed, and the handle
+  // is permanently poisoned — but it stays ATTACHED, so any late
+  // Record on this retired instance fails kFailedPrecondition instead
+  // of silently committing an unjournaled sale that the replacement
+  // marketplace (which re-opens the same path after shard quarantine)
+  // would never see. No-op when journaling is off.
+  void AbandonJournal();
+
   const Ledger& ledger() const { return ledger_; }
   double total_revenue() const { return ledger_.TotalRevenue(); }
 

@@ -409,9 +409,15 @@ Status CommitBytes(const std::string& path, const std::string& bytes) {
   }
   size_t to_write = bytes.size();
   Status injected = OkStatus();
-  if (fault::ShouldFail("snapshot.write")) {
+  const fault::Injection inject = fault::Check("snapshot.write");
+  if (inject.fire) {
     to_write = bytes.size() / 2;
-    injected = InternalError("fault injected at 'snapshot.write'");
+    // kEnospc shapes the error like a real full disk; either way only
+    // half the image reaches the temp file.
+    injected = inject.mode == fault::Mode::kEnospc
+                   ? InternalError("short write to '" + tmp +
+                                   "': No space left on device (injected)")
+                   : InternalError("fault injected at 'snapshot.write'");
   }
   if (std::fwrite(bytes.data(), 1, to_write, file) != to_write) {
     std::fclose(file);

@@ -293,6 +293,35 @@ std::string AdminServer::TracezBody() const {
   return out.str();
 }
 
+std::string AdminServer::ShardzBody() const {
+  std::ostringstream out;
+  out << "{\"shards\":[";
+  if (service_ != nullptr) {
+    bool first = true;
+    for (const MarketService::ShardView& view : service_->ShardViews()) {
+      if (!first) {
+        out << ',';
+      }
+      first = false;
+      out << "{\"product\":\"" << telemetry::JsonEscape(view.product_id)
+          << "\",\"state\":\"" << market::ShardStateName(view.state)
+          << "\",\"detail\":\"" << telemetry::JsonEscape(view.state_detail)
+          << "\",\"revenue\":";
+      AppendJsonDouble(out, view.revenue);
+      out << ",\"sales\":" << view.sales << ",\"submitted\":" << view.submitted
+          << ",\"shed\":" << view.shed << ",\"succeeded\":" << view.succeeded
+          << ",\"failed\":" << view.failed
+          << ",\"quarantines\":" << view.shard_stats.quarantines
+          << ",\"recoveries\":" << view.shard_stats.recoveries
+          << ",\"recovery_failures\":" << view.shard_stats.recovery_failures
+          << ",\"restore_tail_records\":" << view.last_restore.tail_records
+          << ",\"restore_generation\":" << view.last_restore.generation << '}';
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
 std::string AdminServer::ProfilezResponse(const std::string& query) const {
   const std::string type_name = QueryParam(query, "type", "cpu");
   const StatusOr<prof::ProfileType> type = prof::ParseProfileType(type_name);
@@ -338,15 +367,27 @@ std::string AdminServer::HandlePath(const std::string& target) const {
                         MetricsBody());
   }
   if (path == "/healthz") {
-    const bool healthy = service_ == nullptr || service_->Healthy();
-    if (healthy) {
+    if (service_ == nullptr) {
       return HttpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
     }
-    // Distinguish the two expected unhealthy states so orchestrators
-    // can tell a restart-in-recovery from a shutdown-in-progress.
-    const char* body = service_->recovering() ? "recovering\n" : "draining\n";
+    // The body enumerates every unhealthy component — "shard wine-7:
+    // quarantined (...)", "service: draining" — so an orchestrator (or
+    // the CI curl smoke) can tell exactly which bulkhead tripped
+    // instead of reading an opaque 503. A healthy service with degraded
+    // components still answers 200 but lists them.
+    const MarketService::HealthReport report = service_->GetHealthReport();
+    std::string body = report.healthy ? "ok\n" : "unhealthy\n";
+    for (const std::string& problem : report.problems) {
+      body += problem + "\n";
+    }
+    if (report.healthy) {
+      return HttpResponse(200, "OK", "text/plain; charset=utf-8", body);
+    }
     return HttpResponse(503, "Service Unavailable",
                         "text/plain; charset=utf-8", body);
+  }
+  if (path == "/shardz") {
+    return HttpResponse(200, "OK", "application/json", ShardzBody());
   }
   if (path == "/tracez") {
     return HttpResponse(200, "OK", "application/json", TracezBody());
@@ -362,8 +403,10 @@ std::string AdminServer::HandlePath(const std::string& target) const {
     return HttpResponse(200, "OK", "text/plain; charset=utf-8",
                         "nimbus admin endpoint\n"
                         "  /metrics   Prometheus exposition\n"
-                        "  /healthz   liveness (503 while draining or "
-                        "recovering)\n"
+                        "  /healthz   liveness; body lists unhealthy "
+                        "components (shards, breakers, drain)\n"
+                        "  /shardz    per-shard health/traffic/revenue "
+                        "rollup (JSON)\n"
                         "  /tracez    recent errored/slow request traces\n"
                         "  /flightz   flight-recorder ring dump\n"
                         "  /profilez  ?seconds=N&type=cpu|contention|alloc\n");

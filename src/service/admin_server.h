@@ -37,8 +37,12 @@ struct AdminServerOptions {
 //   /metrics   Prometheus text exposition of the global registry (the
 //              service's SLO gauges and the allocation tallies are
 //              refreshed per scrape).
-//   /healthz   200 "ok" while the service is live; 503 once draining
-//              or a downstream breaker is stuck open.
+//   /healthz   200 while the service is live, 503 otherwise; the body
+//              enumerates every unhealthy component by name (draining,
+//              quarantined/recovering shards, stuck-open breakers) so
+//              callers can see which bulkhead tripped.
+//   /shardz    Per-shard catalog rollup as JSON: state, quarantine and
+//              recovery counts, traffic, revenue, last restore.
 //   /tracez    JSON summaries of the most recent errored/slow
 //              requests, with their spans when tracing is enabled.
 //   /flightz   The flight recorder's ring as JSON (same payload as an
@@ -84,6 +88,7 @@ class AdminServer {
 
   std::string MetricsBody() const;
   std::string TracezBody() const;
+  std::string ShardzBody() const;
   std::string ProfilezResponse(const std::string& query) const;
 
   MarketService* service_;

@@ -68,9 +68,10 @@ telemetry::Histogram& LatencyHistogram() {
   return histogram;
 }
 
-// Per-ticket RNG stream ids under the service master seed. Keeping the
-// purposes on disjoint strides makes every stream a pure function of
-// (seed, ticket, purpose) — independent of scheduling and retries.
+// Per-ticket RNG stream ids under the lane seed. Keeping the purposes
+// on disjoint strides makes every stream a pure function of
+// (lane seed, lane ticket, purpose) — independent of scheduling,
+// retries, and every other lane's traffic.
 constexpr uint64_t kQuoteStream = 0;
 constexpr uint64_t kQuoteBackoffStream = 1;
 constexpr uint64_t kJournalBackoffStream = 2;
@@ -80,32 +81,83 @@ uint64_t StreamId(int64_t ticket, uint64_t purpose) {
   return static_cast<uint64_t>(ticket) * kStreamsPerTicket + purpose;
 }
 
+// FNV-1a — folds a product id into the master seed so each shard lane
+// draws from its own stream family.
+uint64_t Fnv64(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Non-owning shared_ptr over a caller-owned marketplace (legacy lane):
+// the aliasing constructor with an empty control block never deletes.
+std::shared_ptr<market::Marketplace> Unowned(market::Marketplace* market) {
+  return std::shared_ptr<market::Marketplace>(
+      std::shared_ptr<market::Marketplace>(), market);
+}
+
 }  // namespace
 
 MarketService::MarketService(market::Marketplace* market,
-                             ServiceOptions options)
+                             market::Catalog* catalog, ServiceOptions options)
     : market_(market),
+      catalog_(catalog),
       options_(options),
       clock_(options.clock != nullptr ? options.clock : SystemClock::Get()),
-      base_rng_(options.seed),
       slo_([&] {
         telemetry::SloOptions slo = options.slo;
         if (slo.clock == nullptr) slo.clock = clock_;
         return slo;
       }()),
-      queue_(static_cast<size_t>(std::max(options.queue_capacity, 1))),
-      quote_breaker_("broker.quote", [&] {
-        CircuitBreakerOptions breaker = options.quote_breaker;
-        if (breaker.clock == nullptr) breaker.clock = clock_;
-        return breaker;
-      }()),
-      journal_breaker_("journal.append", [&] {
-        CircuitBreakerOptions breaker = options.journal_breaker;
-        if (breaker.clock == nullptr) breaker.clock = clock_;
-        return breaker;
-      }()) {
+      queue_(static_cast<size_t>(std::max(options.queue_capacity, 1))) {
   options_.num_workers = std::max(options_.num_workers, 1);
+  auto make_breaker = [&](const std::string& name,
+                          CircuitBreakerOptions breaker) {
+    if (breaker.clock == nullptr) breaker.clock = clock_;
+    return std::make_unique<CircuitBreaker>(name, breaker);
+  };
+  auto add_lane = [&](const std::string& product_id, market::Shard* shard,
+                      market::Marketplace* fixed_market) {
+    auto lane = std::make_unique<Lane>();
+    lane->index = static_cast<int>(lanes_.size());
+    lane->product_id = product_id;
+    lane->shard = shard;
+    lane->fixed_market = fixed_market;
+    // The legacy lane keeps the raw master seed (and the undecorated
+    // breaker names), so single-marketplace behavior — ledger bytes
+    // included — is bit-identical to the pre-sharding service.
+    lane->seed = product_id.empty() ? options_.seed
+                                    : options_.seed ^ Fnv64(product_id);
+    lane->base_rng = Rng(lane->seed);
+    const std::string suffix =
+        product_id.empty() ? std::string() : "@" + product_id;
+    lane->quote_breaker =
+        make_breaker("broker.quote" + suffix, options_.quote_breaker);
+    lane->journal_breaker =
+        make_breaker("journal.append" + suffix, options_.journal_breaker);
+    if (shard != nullptr) {
+      lane_by_shard_.emplace(shard, lane->index);
+    }
+    lanes_.push_back(std::move(lane));
+  };
+  if (catalog_ != nullptr) {
+    for (const std::unique_ptr<market::Shard>& shard : catalog_->shards()) {
+      add_lane(shard->product_id(), shard.get(), nullptr);
+    }
+  } else {
+    add_lane("", nullptr, market_);
+  }
 }
+
+MarketService::MarketService(market::Marketplace* market,
+                             ServiceOptions options)
+    : MarketService(market, /*catalog=*/nullptr, options) {}
+
+MarketService::MarketService(market::Catalog* catalog, ServiceOptions options)
+    : MarketService(/*market=*/nullptr, catalog, options) {}
 
 MarketService::~MarketService() {
   if (started_.load(std::memory_order_acquire)) {
@@ -121,16 +173,36 @@ Status MarketService::Start() {
   if (started_.load(std::memory_order_acquire)) {
     return FailedPreconditionError("service already started");
   }
-  if (market_ == nullptr) {
-    return InvalidArgumentError("service needs a marketplace");
+  if (market_ == nullptr && catalog_ == nullptr) {
+    return InvalidArgumentError("service needs a marketplace or a catalog");
   }
-  // Prewarm every offering's error curves so the workers only ever hit
-  // the (stable-address) cache; a cold build failing here is a
+  if (catalog_ != nullptr && lanes_.empty()) {
+    return InvalidArgumentError(
+        "catalog has no shards (add products before constructing the "
+        "service)");
+  }
+  // Prewarm every serving marketplace's error curves so the workers only
+  // ever hit the (stable-address) cache; a cold build failing here is a
   // configuration error better surfaced at startup than per-request.
-  for (ml::ModelKind kind : market_->Offerings()) {
-    NIMBUS_ASSIGN_OR_RETURN(market::Broker * broker, market_->BrokerFor(kind));
-    for (const auto& loss : broker->model().report_losses()) {
-      NIMBUS_RETURN_IF_ERROR(broker->GetErrorCurve(loss->name()).status());
+  // Quarantined shards are skipped — their lanes shed until the
+  // recovery loop re-admits them (and recovery rebuilds curves cold).
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    market::Marketplace* market = lane->fixed_market;
+    std::shared_ptr<market::Marketplace> held;
+    if (lane->shard != nullptr) {
+      StatusOr<std::shared_ptr<market::Marketplace>> serve =
+          lane->shard->Serve();
+      if (!serve.ok()) {
+        continue;
+      }
+      held = *std::move(serve);
+      market = held.get();
+    }
+    for (ml::ModelKind kind : market->Offerings()) {
+      NIMBUS_ASSIGN_OR_RETURN(market::Broker * broker, market->BrokerFor(kind));
+      for (const auto& loss : broker->model().report_losses()) {
+        NIMBUS_RETURN_IF_ERROR(broker->GetErrorCurve(loss->name()).status());
+      }
     }
   }
   // The pool is N-wide counting the calling thread, so the runner thread
@@ -146,6 +218,24 @@ Status MarketService::Start() {
   // either is still being constructed (data race on runner_ otherwise).
   started_.store(true, std::memory_order_release);
   return OkStatus();
+}
+
+MarketService::Lane* MarketService::RouteLane(const PurchaseRequest& request,
+                                              Status* status) {
+  if (catalog_ == nullptr) {
+    if (!request.product_id.empty()) {
+      *status = InvalidArgumentError(
+          "product_id set on a single-marketplace service (no catalog)");
+      return nullptr;
+    }
+    return lanes_.front().get();
+  }
+  market::Shard* shard = catalog_->Route(request.product_id);
+  if (shard == nullptr) {
+    *status = UnavailableError("catalog has no shards");
+    return nullptr;
+  }
+  return lanes_[lane_by_shard_.at(shard)].get();
 }
 
 std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
@@ -166,6 +256,7 @@ std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
 
   PurchaseResult result;
   result.trace_id = trace.trace_id;
+  result.product_id = request.product_id;
   if (!started_.load(std::memory_order_acquire)) {
     result.status = FailedPreconditionError("service is not started");
     failed_.fetch_add(1, std::memory_order_relaxed);
@@ -183,7 +274,20 @@ std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
     return reject_future;
   }
 
+  Status route_status = OkStatus();
+  Lane* lane = RouteLane(request, &route_status);
+  if (lane == nullptr) {
+    result.status = std::move(route_status);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    FailedCounter().Increment();
+    RecordRejected(trace.trace_id, result.status, /*shed=*/false, submit_ns);
+    reject.set_value(std::move(result));
+    return reject_future;
+  }
+  lane->submitted.fetch_add(1, std::memory_order_relaxed);
+
   Item item;
+  item.lane = lane->index;
   item.request = std::move(request);
   item.promise = std::move(reject);
   item.submit_ns = submit_ns;
@@ -193,10 +297,27 @@ std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
                               : options_.default_deadline_seconds;
   item.cancel = std::make_shared<CancelToken>(clock_, deadline);
 
+  // Resolve the lane's marketplace up front. On a shard lane this is the
+  // bulkhead gate: a quarantined/recovering shard sheds here with the
+  // typed kUnavailable naming the shard, and an admitted item pins the
+  // instance it was admitted against (a concurrent recovery swap cannot
+  // pull the marketplace out from under the worker).
   const char* shed_reason = nullptr;
-  {
+  Status admit = OkStatus();
+  if (lane->shard != nullptr) {
+    StatusOr<std::shared_ptr<market::Marketplace>> serve = lane->shard->Serve();
+    if (serve.ok()) {
+      item.market = *std::move(serve);
+    } else {
+      admit = serve.status();
+      shed_reason = "shard-unavailable";
+    }
+  } else {
+    item.market = Unowned(lane->fixed_market);
+  }
+
+  if (admit.ok()) {
     std::lock_guard<std::mutex> lock(submit_mu_);
-    Status admit = OkStatus();
     if (fault::ShouldFail("service.enqueue")) {
       admit = UnavailableError("fault injected at 'service.enqueue'");
       shed_reason = "fault:service.enqueue";
@@ -204,23 +325,24 @@ std::future<PurchaseResult> MarketService::Submit(PurchaseRequest request) {
       admit = UnavailableError("service is draining");
       shed_reason = "draining";
     } else {
-      item.ticket = next_ticket_;
+      item.ticket = lane->next_ticket;
       admit = queue_.TryPush(std::move(item));
       if (!admit.ok()) {
         shed_reason = "queue-full";
       }
     }
     if (admit.ok()) {
-      ++next_ticket_;
+      ++lane->next_ticket;
       admitted_.fetch_add(1, std::memory_order_relaxed);
       QueueDepthGauge().Set(static_cast<double>(queue_.size()));
       return reject_future;
     }
-    // TryPush only consumes `item` on success, but it was moved-from
-    // regardless; rebuild the promise path for the shed result.
-    result.status = std::move(admit);
   }
+  // TryPush only consumes `item` on success, but it was moved-from
+  // regardless; rebuild the promise path for the shed result.
+  result.status = std::move(admit);
   shed_.fetch_add(1, std::memory_order_relaxed);
+  lane->shed.fetch_add(1, std::memory_order_relaxed);
   ShedCounter().Increment();
   telemetry::TraceInstant("service.shed", &trace, shed_reason);
   RecordRejected(trace.trace_id, result.status, /*shed=*/true, submit_ns);
@@ -244,11 +366,12 @@ void MarketService::RecordRejected(uint64_t trace_id, const Status& status,
 }
 
 StatusOr<std::pair<market::Broker*, std::shared_ptr<const pricing::ErrorCurve>>>
-MarketService::ResolveTarget(const PurchaseRequest& request,
+MarketService::ResolveTarget(market::Marketplace* market,
+                             const PurchaseRequest& request,
                              const CancelToken* cancel,
                              const telemetry::TraceContext* trace) {
   NIMBUS_ASSIGN_OR_RETURN(market::Broker * broker,
-                          market_->BrokerFor(request.model));
+                          market->BrokerFor(request.model));
   std::string loss_name = request.report_loss_name;
   if (loss_name.empty()) {
     loss_name = broker->model().report_losses().front()->name();
@@ -275,7 +398,11 @@ void MarketService::ExecuteQuote(const Item& item, PurchaseResult& result) {
   if (!result.status.ok()) {
     return;
   }
-  auto target = ResolveTarget(item.request, cancel, &item.trace);
+  // Injected faults scoped to this lane's product ('point@product'
+  // clauses) fire for this request and no other lane's.
+  fault::ScopedFaultScope fault_scope(lanes_[item.lane]->product_id);
+  auto target =
+      ResolveTarget(item.market.get(), item.request, cancel, &item.trace);
   if (!target.ok()) {
     result.status = target.status();
     return;
@@ -288,6 +415,7 @@ void MarketService::RunQuoteRetries(const Item& item, PurchaseResult& result,
                                     market::Broker* broker,
                                     const pricing::ErrorCurve& curve,
                                     const Status* first_attempt) {
+  Lane& lane = *lanes_[item.lane];
   bool replay_first = first_attempt != nullptr;
   auto attempt = [&]() -> Status {
     if (replay_first) {
@@ -300,39 +428,39 @@ void MarketService::RunQuoteRetries(const Item& item, PurchaseResult& result,
     // One child span per attempt, so a retried request shows each try —
     // and why it failed — as a sibling under the request's root span.
     telemetry::TraceSpan span("service.quote.attempt", &item.trace);
-    if (fault::ShouldFail("service.execute")) {
+    if (fault::Check("service.execute").fire) {
       span.Annotate("fault:service.execute");
       return InternalError("fault injected at 'service.execute'");
     }
-    if (Status allowed = quote_breaker_.Allow(); !allowed.ok()) {
+    if (Status allowed = lane.quote_breaker->Allow(); !allowed.ok()) {
       span.Annotate("breaker-open");
       return allowed;
     }
     // A fresh fork per attempt: a retried quote redraws the exact same
     // noise, so retries cannot perturb the ledger bytes.
-    Rng rng = base_rng_.Fork(StreamId(item.ticket, kQuoteStream));
+    Rng rng = lane.base_rng.Fork(StreamId(item.ticket, kQuoteStream));
     StatusOr<market::Broker::Purchase> quote = broker->QuoteAtInverseNcp(
         item.request.inverse_ncp, curve, rng, &span.context());
     if (quote.ok()) {
-      quote_breaker_.RecordSuccess();
+      lane.quote_breaker->RecordSuccess();
       result.purchase = std::move(*quote);
       return OkStatus();
     }
     if (quote.status().code() == StatusCode::kInternal) {
-      quote_breaker_.RecordFailure();
+      lane.quote_breaker->RecordFailure();
       if (quote.status().message().find("fault injected") !=
           std::string::npos) {
         span.Annotate("fault:broker.quote");
       }
     } else {
       // The downstream answered; a caller error is not broker sickness.
-      quote_breaker_.RecordSuccess();
+      lane.quote_breaker->RecordSuccess();
     }
     return quote.status();
   };
   result.status = RetryWithBackoff(
       options_.quote_retry,
-      base_rng_.Fork(StreamId(item.ticket, kQuoteBackoffStream)), *clock_,
+      lane.base_rng.Fork(StreamId(item.ticket, kQuoteBackoffStream)), *clock_,
       item.cancel.get(), attempt, &result.quote_attempts);
 }
 
@@ -340,7 +468,8 @@ void MarketService::ExecuteQuoteBatch(std::vector<Item>& items,
                                       std::vector<PurchaseResult>& results) {
   const size_t n = items.size();
   // Per-item admission checks and target resolution. Distinct items may
-  // name distinct models (brokers), so targets are tracked per item.
+  // name distinct models (brokers) or lanes (marketplaces), so targets
+  // are tracked per item.
   struct Target {
     market::Broker* broker = nullptr;
     std::shared_ptr<const pricing::ErrorCurve> curve;
@@ -354,7 +483,9 @@ void MarketService::ExecuteQuoteBatch(std::vector<Item>& items,
     if (!results[i].status.ok()) {
       continue;
     }
-    auto target = ResolveTarget(item.request, item.cancel.get(), &item.trace);
+    fault::ScopedFaultScope fault_scope(lanes_[item.lane]->product_id);
+    auto target = ResolveTarget(item.market.get(), item.request,
+                                item.cancel.get(), &item.trace);
     if (!target.ok()) {
       results[i].status = target.status();
       continue;
@@ -364,8 +495,10 @@ void MarketService::ExecuteQuoteBatch(std::vector<Item>& items,
     targets[i].pending = true;
   }
   // First attempt, batched: one Broker::QuoteBatch per contiguous run of
-  // items sharing a (broker, curve). Per-item service.execute fault and
-  // breaker checks mirror the single path's attempt preamble.
+  // items sharing a (broker, curve) — runs never span lanes, because
+  // each lane's marketplace owns distinct brokers. Per-item
+  // service.execute fault and breaker checks mirror the single path's
+  // attempt preamble.
   for (size_t begin = 0; begin < n;) {
     if (!targets[begin].pending) {
       ++begin;
@@ -377,6 +510,8 @@ void MarketService::ExecuteQuoteBatch(std::vector<Item>& items,
            targets[end].curve == targets[begin].curve) {
       ++end;
     }
+    Lane& lane = *lanes_[items[begin].lane];
+    fault::ScopedFaultScope fault_scope(lane.product_id);
     telemetry::TraceSpan span("service.quote.batch_attempt",
                               &items[begin].trace);
     std::vector<size_t> quoted;             // Items that reach the broker.
@@ -384,18 +519,18 @@ void MarketService::ExecuteQuoteBatch(std::vector<Item>& items,
     quoted.reserve(end - begin);
     rngs.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
-      if (fault::ShouldFail("service.execute")) {
+      if (fault::Check("service.execute").fire) {
         span.Annotate("fault:service.execute");
         results[i].status = InternalError("fault injected at 'service.execute'");
         continue;
       }
-      if (Status allowed = quote_breaker_.Allow(); !allowed.ok()) {
+      if (Status allowed = lane.quote_breaker->Allow(); !allowed.ok()) {
         span.Annotate("breaker-open");
         results[i].status = std::move(allowed);
         continue;
       }
       quoted.push_back(i);
-      rngs.push_back(base_rng_.Fork(StreamId(items[i].ticket, kQuoteStream)));
+      rngs.push_back(lane.base_rng.Fork(StreamId(items[i].ticket, kQuoteStream)));
     }
     if (!quoted.empty()) {
       std::vector<market::Broker::QuoteBatchItem> batch(quoted.size());
@@ -411,7 +546,7 @@ void MarketService::ExecuteQuoteBatch(std::vector<Item>& items,
       for (size_t j = 0; j < quoted.size(); ++j) {
         const size_t i = quoted[j];
         if (outcomes[j].ok()) {
-          quote_breaker_.RecordSuccess();
+          lane.quote_breaker->RecordSuccess();
           results[i].purchase = std::move(*outcomes[j]);
           results[i].status = OkStatus();
           results[i].quote_attempts = 1;
@@ -419,13 +554,13 @@ void MarketService::ExecuteQuoteBatch(std::vector<Item>& items,
           continue;
         }
         if (outcomes[j].status().code() == StatusCode::kInternal) {
-          quote_breaker_.RecordFailure();
+          lane.quote_breaker->RecordFailure();
           if (outcomes[j].status().message().find("fault injected") !=
               std::string::npos) {
             span.Annotate("fault:broker.quote");
           }
         } else {
-          quote_breaker_.RecordSuccess();
+          lane.quote_breaker->RecordSuccess();
         }
         results[i].status = outcomes[j].status();
       }
@@ -440,6 +575,7 @@ void MarketService::ExecuteQuoteBatch(std::vector<Item>& items,
     if (!targets[i].pending || results[i].status.ok()) {
       continue;
     }
+    fault::ScopedFaultScope fault_scope(lanes_[items[i].lane]->product_id);
     const Status first_attempt = std::move(results[i].status);
     RunQuoteRetries(items[i], results[i], targets[i].broker, *targets[i].curve,
                     &first_attempt);
@@ -447,29 +583,31 @@ void MarketService::ExecuteQuoteBatch(std::vector<Item>& items,
 }
 
 void MarketService::CommitOne(Item& item, PurchaseResult& result) {
+  Lane& lane = *lanes_[item.lane];
   if (result.status.ok()) {
+    fault::ScopedFaultScope fault_scope(lane.product_id);
     auto attempt = [&]() -> Status {
       telemetry::TraceSpan span("service.commit.attempt", &item.trace);
-      if (Status allowed = journal_breaker_.Allow(); !allowed.ok()) {
+      if (Status allowed = lane.journal_breaker->Allow(); !allowed.ok()) {
         span.Annotate("breaker-open");
         return allowed;
       }
-      StatusOr<int64_t> sequence =
-          market_->RecordQuotedSale(item.request.buyer_id, item.request.model,
-                                    result.purchase, &span.context());
+      StatusOr<int64_t> sequence = item.market->RecordQuotedSale(
+          item.request.buyer_id, item.request.model, result.purchase,
+          &span.context());
       if (sequence.ok()) {
-        journal_breaker_.RecordSuccess();
+        lane.journal_breaker->RecordSuccess();
         result.sequence = *sequence;
         return OkStatus();
       }
       if (sequence.status().code() == StatusCode::kInternal) {
-        journal_breaker_.RecordFailure();
+        lane.journal_breaker->RecordFailure();
         if (sequence.status().message().find("fault injected") !=
             std::string::npos) {
           span.Annotate("fault:journal.append");
         }
       } else {
-        journal_breaker_.RecordSuccess();
+        lane.journal_breaker->RecordSuccess();
       }
       return sequence.status();
     };
@@ -479,17 +617,33 @@ void MarketService::CommitOne(Item& item, PurchaseResult& result) {
     // ledger from the books.
     result.status = RetryWithBackoff(
         options_.journal_retry,
-        base_rng_.Fork(StreamId(item.ticket, kJournalBackoffStream)), *clock_,
-        /*cancel=*/nullptr, attempt, &result.journal_attempts);
+        lane.base_rng.Fork(StreamId(item.ticket, kJournalBackoffStream)),
+        *clock_, /*cancel=*/nullptr, attempt, &result.journal_attempts);
+  }
+  // Bulkhead triage: the shard inspects every terminal commit outcome.
+  // Successes refresh its revenue rollup and checkpoint health; a
+  // failure implicating durable state (poisoned journal, short write,
+  // ENOSPC) quarantines exactly this shard — the other lanes never see
+  // anything.
+  if (lane.shard != nullptr) {
+    lane.shard->ReportCommitOutcome(result.status);
+  } else if (lane.fixed_market != nullptr && result.status.ok()) {
+    // Refresh the legacy lane's booked-total cache while this thread
+    // still owns the commit sequencer slot (the only safe ledger read).
+    lane.booked_revenue.store(lane.fixed_market->total_revenue(),
+                              std::memory_order_relaxed);
+    lane.booked_sales.store(lane.fixed_market->ledger().SaleCount(),
+                            std::memory_order_relaxed);
   }
 }
 
 void MarketService::CommitInOrder(Item& item, PurchaseResult& result) {
-  std::unique_lock<prof::ProfiledMutex> lock(seq_mu_);
-  seq_cv_.wait(lock, [&] { return next_commit_ == item.ticket; });
+  Lane& lane = *lanes_[item.lane];
+  std::unique_lock<prof::ProfiledMutex> lock(lane.seq_mu);
+  lane.seq_cv.wait(lock, [&] { return lane.next_commit == item.ticket; });
   CommitOne(item, result);
-  ++next_commit_;
-  seq_cv_.notify_all();
+  ++lane.next_commit;
+  lane.seq_cv.notify_all();
 }
 
 void MarketService::CommitBatchInOrder(std::vector<Item>& items,
@@ -497,22 +651,44 @@ void MarketService::CommitBatchInOrder(std::vector<Item>& items,
   if (items.empty()) {
     return;
   }
-  std::unique_lock<prof::ProfiledMutex> lock(seq_mu_);
-  // PopBatch guarantees the batch is one consecutive ticket run, so one
-  // rendezvous on the first ticket covers the whole batch — and one
-  // notify_all at the end replaces the per-request wakeup storm that
-  // made every waiting worker recheck its predicate n times per n
-  // commits.
-  seq_cv_.wait(lock, [&] { return next_commit_ == items.front().ticket; });
+  // Group the batch by lane, in order of first appearance. The queue is
+  // globally FIFO and lane tickets are dense, so each lane's
+  // subsequence of this contiguous batch is one consecutive run of that
+  // lane's tickets: one sequencer rendezvous per lane per batch, one
+  // wakeup at the end. Deadlock-free across workers: a group's first
+  // ticket only ever waits on runs admitted strictly earlier, so the
+  // wait-for graph between batches is acyclic.
+  std::vector<int> order;                    // Lane ids, first-appearance.
+  std::vector<std::vector<size_t>> groups;   // Item indices per lane.
   for (size_t i = 0; i < items.size(); ++i) {
-    CommitOne(items[i], results[i]);
-    ++next_commit_;
+    const int lane = items[i].lane;
+    size_t g = 0;
+    while (g < order.size() && order[g] != lane) {
+      ++g;
+    }
+    if (g == order.size()) {
+      order.push_back(lane);
+      groups.emplace_back();
+    }
+    groups[g].push_back(i);
   }
-  seq_cv_.notify_all();
+  for (size_t g = 0; g < order.size(); ++g) {
+    Lane& lane = *lanes_[order[g]];
+    std::unique_lock<prof::ProfiledMutex> lock(lane.seq_mu);
+    lane.seq_cv.wait(lock, [&] {
+      return lane.next_commit == items[groups[g].front()].ticket;
+    });
+    for (size_t i : groups[g]) {
+      CommitOne(items[i], results[i]);
+      ++lane.next_commit;
+    }
+    lane.seq_cv.notify_all();
+  }
 }
 
 void MarketService::Finish(Item& item, PurchaseResult result,
                            telemetry::FlightRecord flight) {
+  Lane& lane = *lanes_[item.lane];
   const int extra = std::max(result.quote_attempts - 1, 0) +
                     std::max(result.journal_attempts - 1, 0);
   if (extra > 0) {
@@ -521,6 +697,7 @@ void MarketService::Finish(Item& item, PurchaseResult result,
   }
   if (result.status.ok()) {
     succeeded_.fetch_add(1, std::memory_order_relaxed);
+    lane.succeeded.fetch_add(1, std::memory_order_relaxed);
     CompletedCounter().Increment();
   } else {
     if (result.status.code() == StatusCode::kDeadlineExceeded) {
@@ -528,6 +705,7 @@ void MarketService::Finish(Item& item, PurchaseResult result,
       DeadlineCounter().Increment();
     }
     failed_.fetch_add(1, std::memory_order_relaxed);
+    lane.failed.fetch_add(1, std::memory_order_relaxed);
     FailedCounter().Increment();
   }
   const double total_us =
@@ -578,6 +756,9 @@ void MarketService::WorkerLoop() {
     const int64_t dequeue_ns = clock_->NowNanos();
     for (size_t i = 0; i < n; ++i) {
       results[i].ticket = batch[i].ticket;
+      results[i].product_id = lanes_[batch[i].lane]->product_id.empty()
+                                  ? batch[i].request.product_id
+                                  : lanes_[batch[i].lane]->product_id;
       results[i].trace_id = batch[i].trace.trace_id;
       flights[i].trace_id = batch[i].trace.trace_id;
       flights[i].ticket = batch[i].ticket;
@@ -616,6 +797,47 @@ void MarketService::WorkerLoop() {
   }
 }
 
+Status MarketService::FlushLaneJournal(Lane& lane) {
+  market::Marketplace* market = lane.fixed_market;
+  std::shared_ptr<market::Marketplace> held;
+  if (lane.shard != nullptr) {
+    StatusOr<std::shared_ptr<market::Marketplace>> serve = lane.shard->Serve();
+    if (!serve.ok()) {
+      // Quarantined/recovering shards have nothing flushable: the
+      // poisoned journal's buffer was already discarded, and durability
+      // is the recovery ladder's job now. Not a drain error.
+      return OkStatus();
+    }
+    held = *std::move(serve);
+    market = held.get();
+  }
+  fault::ScopedFaultScope fault_scope(lane.product_id);
+  // Flush under the journal retry policy: a transient fsync fault at
+  // shutdown should not lose the tail of the books.
+  Rng flush_rng(lane.seed ^ 0x9e3779b97f4a7c15ull);
+  Status status = RetryWithBackoff(
+      options_.journal_retry, std::move(flush_rng), *clock_,
+      /*cancel=*/nullptr, [&] { return market->FlushJournal(); });
+  // Checkpoint-on-drain: with the queue closed and the pool joined the
+  // ledger is quiescent, so a graceful shutdown leaves a fresh snapshot
+  // behind and the next start recovers in O(delta) over an empty tail.
+  // (No-op when the last cadence checkpoint already covers everything.)
+  if (status.ok() && market->checkpoints_enabled()) {
+    const StatusOr<int64_t> generation = market->CheckpointNow();
+    if (!generation.ok()) {
+      // Durability is intact (the flush above succeeded); surface the
+      // failure so operators notice the degraded restart cost.
+      NIMBUS_LOG(kWarning) << "checkpoint on drain failed"
+                           << (lane.product_id.empty()
+                                   ? std::string()
+                                   : " (shard '" + lane.product_id + "')")
+                           << ": " << generation.status().message();
+      status = generation.status();
+    }
+  }
+  return status;
+}
+
 Status MarketService::Drain() {
   if (!started_.load(std::memory_order_acquire)) {
     return FailedPreconditionError("service was never started");
@@ -632,31 +854,113 @@ Status MarketService::Drain() {
     runner_.join();
   }
   pool_.reset();
-  // Flush under the journal retry policy: a transient fsync fault at
-  // shutdown should not lose the tail of the books.
-  Rng flush_rng(options_.seed ^ 0x9e3779b97f4a7c15ull);
-  drain_status_ = RetryWithBackoff(
-      options_.journal_retry, std::move(flush_rng), *clock_,
-      /*cancel=*/nullptr, [&] { return market_->FlushJournal(); });
-  // Checkpoint-on-drain: with the queue closed and the pool joined the
-  // ledger is quiescent, so a graceful shutdown leaves a fresh snapshot
-  // behind and the next start recovers in O(delta) over an empty tail.
-  // (No-op when the last cadence checkpoint already covers everything.)
-  if (drain_status_.ok() && market_->checkpoints_enabled()) {
-    const StatusOr<int64_t> generation = market_->CheckpointNow();
-    if (!generation.ok()) {
-      // Durability is intact (the flush above succeeded); surface the
-      // failure so operators notice the degraded restart cost.
-      NIMBUS_LOG(kWarning) << "checkpoint on drain failed: "
-                           << generation.status().message();
-      drain_status_ = generation.status();
+  // Every serving lane flushes (and checkpoints) independently; the
+  // first failure is reported, but no lane's flush is skipped because a
+  // sibling's failed — drains are bulkheaded like everything else.
+  drain_status_ = OkStatus();
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    const Status status = FlushLaneJournal(*lane);
+    if (!status.ok() && drain_status_.ok()) {
+      drain_status_ = status;
     }
   }
   drained_.store(true, std::memory_order_release);
   return drain_status_;
 }
 
-bool MarketService::recovering() const { return market_->recovering(); }
+const CircuitBreaker& MarketService::quote_breaker() const {
+  return *lanes_.front()->quote_breaker;
+}
+
+const CircuitBreaker& MarketService::journal_breaker() const {
+  return *lanes_.front()->journal_breaker;
+}
+
+bool MarketService::recovering() const {
+  if (market_ != nullptr) {
+    return market_->recovering();
+  }
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    if (lane->shard != nullptr &&
+        lane->shard->state() == market::ShardState::kRecovering) {
+      return true;
+    }
+  }
+  return false;
+}
+
+MarketService::HealthReport MarketService::GetHealthReport() const {
+  HealthReport report;
+  report.healthy = true;
+  if (!started_.load(std::memory_order_acquire)) {
+    report.healthy = false;
+    report.problems.push_back("service: not started");
+  }
+  if (draining()) {
+    report.healthy = false;
+    report.problems.push_back("service: draining");
+  }
+  if (market_ != nullptr && market_->recovering()) {
+    report.healthy = false;
+    report.problems.push_back("marketplace: recovering");
+  }
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    const std::string name =
+        lane->product_id.empty() ? "default" : lane->product_id;
+    if (lane->shard != nullptr) {
+      const market::ShardState state = lane->shard->state();
+      if (state != market::ShardState::kServing) {
+        const std::string detail = lane->shard->state_detail();
+        report.problems.push_back(
+            "shard " + name + ": " + market::ShardStateName(state) +
+            (detail.empty() ? "" : " (" + detail + ")"));
+        // Degraded shards still serve (journal tail intact); only a
+        // quarantined or mid-recovery bulkhead flips the liveness bit.
+        if (state != market::ShardState::kDegraded) {
+          report.healthy = false;
+        }
+      }
+    }
+    if (lane->quote_breaker->state() == CircuitBreaker::State::kOpen) {
+      report.healthy = false;
+      report.problems.push_back("lane " + name + ": quote breaker open");
+    }
+    if (lane->journal_breaker->state() == CircuitBreaker::State::kOpen) {
+      report.healthy = false;
+      report.problems.push_back("lane " + name + ": journal breaker open");
+    }
+  }
+  return report;
+}
+
+std::vector<MarketService::ShardView> MarketService::ShardViews() const {
+  std::vector<ShardView> views;
+  views.reserve(lanes_.size());
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    ShardView view;
+    view.product_id = lane->product_id;
+    view.submitted = lane->submitted.load(std::memory_order_relaxed);
+    view.shed = lane->shed.load(std::memory_order_relaxed);
+    view.succeeded = lane->succeeded.load(std::memory_order_relaxed);
+    view.failed = lane->failed.load(std::memory_order_relaxed);
+    // Booked totals come from caches maintained on the serialized
+    // commit path — /shardz may be scraped while workers are mid-commit
+    // and must never read the live ledger from this thread.
+    if (lane->shard != nullptr) {
+      view.state = lane->shard->state();
+      view.state_detail = lane->shard->state_detail();
+      view.shard_stats = lane->shard->stats();
+      view.last_restore = lane->shard->last_restore_report();
+      view.revenue = view.shard_stats.revenue;
+      view.sales = view.shard_stats.sales;
+    } else if (lane->fixed_market != nullptr) {
+      view.revenue = lane->booked_revenue.load(std::memory_order_relaxed);
+      view.sales = lane->booked_sales.load(std::memory_order_relaxed);
+    }
+    views.push_back(std::move(view));
+  }
+  return views;
+}
 
 MarketService::Stats MarketService::stats() const {
   Stats stats;

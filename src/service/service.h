@@ -2,12 +2,14 @@
 #define NIMBUS_SERVICE_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -20,7 +22,9 @@
 #include "common/slo_tracker.h"
 #include "common/statusor.h"
 #include "common/telemetry.h"
+#include "market/catalog.h"
 #include "market/marketplace.h"
+#include "market/shard.h"
 #include "service/admission_queue.h"
 #include "service/circuit_breaker.h"
 
@@ -72,6 +76,10 @@ struct PurchaseRequest {
   std::string report_loss_name;
   // Overrides ServiceOptions::default_deadline_seconds when > 0.
   double deadline_seconds = 0.0;
+  // Which product to buy from. Routed by the catalog (exact product
+  // match, then consistent hash) in sharded mode; must be empty for a
+  // single-marketplace service.
+  std::string product_id;
 };
 
 // Terminal outcome of one submitted request, delivered via the future
@@ -79,8 +87,11 @@ struct PurchaseRequest {
 // and failed requests carry the typed non-OK status, never a silent
 // drop.
 struct PurchaseResult {
-  // Admission ticket (commit order); -1 for requests shed at admission.
+  // Admission ticket (commit order within the routed shard's lane);
+  // -1 for requests shed at admission.
   int64_t ticket = -1;
+  // Product the request routed to ("" in single-marketplace mode).
+  std::string product_id;
   // Trace id minted at submission — the key for correlating this result
   // with its spans (telemetry::SnapshotTraceEvents) and flight record.
   uint64_t trace_id = 0;
@@ -107,11 +118,26 @@ struct PurchaseResult {
 // exhausts its retry budget, the final ledger — and therefore the
 // journal and everything recovered from it — is byte-identical at every
 // worker count, even with counted fault injection armed.
+//
+// Sharded mode (catalog constructor): every request routes by its
+// product id to one bulkheaded Shard lane. The request pipeline gains a
+// product dimension end to end — per-lane dense admission tickets,
+// per-lane commit sequencers (a contiguous FIFO batch's per-lane
+// subsequence is automatically a consecutive lane-ticket run, so batch
+// commits need one rendezvous per lane per batch), per-lane circuit
+// breakers, and per-lane RNG roots (seed ^ fnv(product)) so each
+// shard's ledger is byte-identical at every worker count independently.
+// A quarantined shard sheds its requests with a typed kUnavailable
+// naming the shard while every other lane keeps serving.
 class MarketService {
  public:
   // `market` must outlive the service. Offerings must be installed (and
   // the journal attached, if desired) before Start.
   MarketService(market::Marketplace* market, ServiceOptions options);
+  // Sharded catalog mode: routes per-product requests to bulkheaded
+  // shards. `catalog` must outlive the service, and every product must
+  // be added before constructing the service (lanes are built here).
+  MarketService(market::Catalog* catalog, ServiceOptions options);
   ~MarketService();  // Drains (best effort) when still running.
 
   MarketService(const MarketService&) = delete;
@@ -154,39 +180,110 @@ class MarketService {
   };
   Stats stats() const;
 
-  const CircuitBreaker& quote_breaker() const { return quote_breaker_; }
-  const CircuitBreaker& journal_breaker() const { return journal_breaker_; }
+  // The first lane's breakers (the only lane in single-marketplace
+  // mode). Sharded mode has one breaker pair per lane; see ShardViews.
+  const CircuitBreaker& quote_breaker() const;
+  const CircuitBreaker& journal_breaker() const;
 
   // Windowed availability / burn-rate tracker fed with every terminal
   // outcome (successes, failures, sheds, pre-admission rejects). The
   // admin endpoint exports its gauges; the soak harness asserts on it.
   const telemetry::SloTracker& slo_tracker() const { return slo_; }
 
-  // True while the marketplace is rebuilding state from a checkpoint or
-  // journal (Marketplace::RestoreFromCheckpoint). /healthz reports
-  // "recovering" so orchestrators hold traffic until restore completes.
+  // True while any marketplace (or shard) is rebuilding state from a
+  // checkpoint or journal. /healthz reports the recovering components
+  // so orchestrators hold traffic until restore completes.
   bool recovering() const;
 
-  // Liveness summary for /healthz: started, not draining, not mid-
-  // recovery, and neither downstream breaker stuck open.
-  bool Healthy() const {
-    return started_.load(std::memory_order_acquire) && !draining() &&
-           !recovering() &&
-           quote_breaker_.state() != CircuitBreaker::State::kOpen &&
-           journal_breaker_.state() != CircuitBreaker::State::kOpen;
-  }
+  // Per-component liveness for /healthz and /shardz: `healthy` is the
+  // 200/503 bit; `problems` enumerates every unhealthy component
+  // ("shard shard-7: quarantined (...)", "service: draining", ...) so
+  // an operator — or the CI curl smoke — can see exactly which bulkhead
+  // tripped instead of an opaque global 503.
+  struct HealthReport {
+    bool healthy = false;
+    std::vector<std::string> problems;
+  };
+  HealthReport GetHealthReport() const;
+
+  // Liveness summary for /healthz: started, not draining, no component
+  // mid-recovery or quarantined, and no lane breaker stuck open.
+  bool Healthy() const { return GetHealthReport().healthy; }
+
+  // One row per lane for /shardz and blast-radius assertions: shard
+  // identity/health plus this service's per-lane traffic counters.
+  struct ShardView {
+    std::string product_id;
+    market::ShardState state = market::ShardState::kServing;
+    std::string state_detail;
+    double revenue = 0.0;
+    int64_t sales = 0;
+    int64_t submitted = 0;
+    int64_t shed = 0;
+    int64_t succeeded = 0;
+    int64_t failed = 0;
+    market::Shard::Stats shard_stats;
+    market::Marketplace::RestoreReport last_restore;
+  };
+  std::vector<ShardView> ShardViews() const;
 
  private:
+  // Common constructor both public forms delegate to (exactly one of
+  // `market` / `catalog` is non-null).
+  MarketService(market::Marketplace* market, market::Catalog* catalog,
+                ServiceOptions options);
+
   struct Item {
-    int64_t ticket = 0;
+    int64_t ticket = 0;  // Dense per lane.
+    int lane = 0;
     PurchaseRequest request;
     std::promise<PurchaseResult> promise;
     std::shared_ptr<CancelToken> cancel;
     int64_t submit_ns = 0;
+    // The marketplace instance this item quotes against, resolved from
+    // the lane at execution (keeps the instance alive across a
+    // concurrent shard recovery swap).
+    std::shared_ptr<market::Marketplace> market;
     // Request-scoped trace context: minted at submission, re-parented to
     // the worker's root span so every downstream span (curve build,
     // quote attempt, journal append) lands in one tree.
     telemetry::TraceContext trace;
+  };
+
+  // One product lane: the routing target of the sharded pipeline. The
+  // single-marketplace constructor builds exactly one lane with a fixed
+  // marketplace and an empty product id, which reproduces the legacy
+  // behavior (and RNG streams) bit for bit.
+  struct Lane {
+    int index = 0;
+    std::string product_id;              // "" on the legacy lane.
+    market::Shard* shard = nullptr;      // Null on the legacy lane.
+    market::Marketplace* fixed_market = nullptr;  // Legacy lane only.
+    // Lane seed: the master seed on the legacy lane (byte-compat),
+    // seed ^ fnv(product_id) on shard lanes — each shard's ledger is a
+    // pure function of (master seed, product, its own request order).
+    uint64_t seed = 0;
+    Rng base_rng{0};
+    std::unique_ptr<CircuitBreaker> quote_breaker;
+    std::unique_ptr<CircuitBreaker> journal_breaker;
+    // Admission tickets are dense per lane; guarded by submit_mu_.
+    int64_t next_ticket = 0;
+    // Per-lane commit sequencer. Same instrumented name on every lane:
+    // contention aggregates across the catalog.
+    prof::ProfiledMutex seq_mu{"commit_sequencer"};
+    std::condition_variable_any seq_cv;
+    int64_t next_commit = 0;
+    // Per-lane outcome counters (blast-radius accounting).
+    std::atomic<int64_t> submitted{0};
+    std::atomic<int64_t> shed{0};
+    std::atomic<int64_t> succeeded{0};
+    std::atomic<int64_t> failed{0};
+    // Legacy-lane booked totals, stored by the committing worker (the
+    // sequencer serializes commits) so ShardViews can report revenue
+    // without reading the live ledger off-thread. Shard lanes keep the
+    // equivalent cache in Shard::Stats, which also survives recovery.
+    std::atomic<double> booked_revenue{0.0};
+    std::atomic<int64_t> booked_sales{0};
   };
 
   void WorkerLoop();
@@ -228,35 +325,41 @@ class MarketService {
   void RecordRejected(uint64_t trace_id, const Status& status, bool shed,
                       int64_t submit_ns);
 
+  // Routes a request to its lane (the single lane in legacy mode; by
+  // product id through the catalog in sharded mode). Returns nullptr
+  // with a typed status — kUnavailable naming the shard for quarantined
+  // lanes, kInvalidArgument for malformed routing — when unroutable.
+  Lane* RouteLane(const PurchaseRequest& request, Status* status);
+
   StatusOr<std::pair<market::Broker*, std::shared_ptr<const pricing::ErrorCurve>>>
-  ResolveTarget(const PurchaseRequest& request, const CancelToken* cancel,
+  ResolveTarget(market::Marketplace* market, const PurchaseRequest& request,
+                const CancelToken* cancel,
                 const telemetry::TraceContext* trace);
 
-  market::Marketplace* market_;
+  // Journal flush (retried under the journal policy) for one lane's
+  // marketplace — the per-lane half of Drain.
+  Status FlushLaneJournal(Lane& lane);
+
+  market::Marketplace* market_;            // Legacy mode; null if sharded.
+  market::Catalog* catalog_ = nullptr;     // Sharded mode; null if legacy.
   ServiceOptions options_;
   Clock* clock_;
-  const Rng base_rng_;
   telemetry::SloTracker slo_;
+
+  // Lanes are built in the constructor and never resized afterwards, so
+  // lookups are lock-free. lane index == shard index in sharded mode.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unordered_map<const market::Shard*, int> lane_by_shard_;
 
   BoundedQueue<Item> queue_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread runner_;
 
-  CircuitBreaker quote_breaker_;
-  CircuitBreaker journal_breaker_;
-
   // Admission: ticket assignment must be atomic with the queue push so
-  // admitted tickets are dense (the sequencer relies on it).
+  // each lane's admitted tickets are dense (the sequencers rely on it).
+  // The queue is globally FIFO, which makes the per-lane subsequence of
+  // any contiguous batch a consecutive run of that lane's tickets.
   std::mutex submit_mu_;
-  int64_t next_ticket_ = 0;
-
-  // Sequencer: commits strictly in ticket order. Instrumented
-  // (mutex_*{mutex="commit_sequencer"}) — the PR 6 wakeup convoy lives
-  // here, and /profilez?type=contention now shows it: every out-of-turn
-  // worker's condvar re-acquisition counts as a contended acquisition.
-  prof::ProfiledMutex seq_mu_{"commit_sequencer"};
-  std::condition_variable_any seq_cv_;
-  int64_t next_commit_ = 0;
 
   // Serializes error-curve resolution only for cache-off brokers, whose
   // legacy curve map is not concurrency-safe. Cache-on brokers (the

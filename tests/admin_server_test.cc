@@ -23,6 +23,7 @@
 #include "common/random.h"
 #include "common/telemetry.h"
 #include "data/synthetic.h"
+#include "market/catalog.h"
 #include "market/curves.h"
 #include "market/market_simulator.h"
 #include "market/marketplace.h"
@@ -275,6 +276,63 @@ TEST_F(AdminServerTest, HealthzFlipsToUnavailableAcrossDrain) {
   ASSERT_TRUE(bare.Start().ok());
   EXPECT_NE(HttpGet(bare.port(), "/healthz").find("HTTP/1.1 200 OK"),
             std::string::npos);
+}
+
+// The CI curl smoke needs to know WHICH shard is down, not just that
+// something is: /healthz enumerates unhealthy components by name, and
+// /shardz serves the full per-shard rollup.
+TEST_F(AdminServerTest, HealthzNamesSickShardAndShardzReportsRollup) {
+  static int counter = 0;
+  market::CatalogOptions catalog_options;
+  catalog_options.root_dir = ::testing::TempDir() + "/admin_shards_" +
+                             std::to_string(::getpid()) + "_" +
+                             std::to_string(counter++);
+  market::Catalog catalog(catalog_options);
+  auto factory = []() -> StatusOr<Marketplace> { return MakeMarket(47); };
+  ASSERT_TRUE(catalog.AddProduct("wine", factory).ok());
+  ASSERT_TRUE(catalog.AddProduct("cheese", factory).ok());
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  MarketService service(&catalog, options);
+  ASSERT_TRUE(service.Start().ok());
+  AdminServer server(&service, AdminServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // All shards serving: 200 with a bare "ok" body.
+  std::string response = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(Body(response), "ok\n");
+
+  // Quarantine one shard (operator drill) and re-probe: 503, and the
+  // body names exactly the sick shard — the healthy one is absent.
+  catalog.Find("wine")->Quarantine("drill: journal poisoned");
+  response = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 503 Service Unavailable"),
+            std::string::npos);
+  const std::string body = Body(response);
+  EXPECT_NE(body.find("unhealthy"), std::string::npos) << body;
+  EXPECT_NE(body.find("shard wine: quarantined"), std::string::npos) << body;
+  EXPECT_EQ(body.find("cheese"), std::string::npos) << body;
+
+  // /shardz carries the per-shard rollup for both shards either way.
+  const std::string shardz = Body(HttpGet(server.port(), "/shardz"));
+  EXPECT_NE(shardz.find("\"product\":\"wine\""), std::string::npos) << shardz;
+  EXPECT_NE(shardz.find("\"state\":\"quarantined\""), std::string::npos);
+  EXPECT_NE(shardz.find("\"product\":\"cheese\""), std::string::npos);
+  EXPECT_NE(shardz.find("\"state\":\"serving\""), std::string::npos);
+  EXPECT_NE(shardz.find("\"quarantines\":1"), std::string::npos) << shardz;
+
+  // The index advertises the rollup view.
+  EXPECT_NE(HttpGet(server.port(), "/").find("/shardz"), std::string::npos);
+
+  // Recovery re-admits the shard and /healthz goes green again.
+  EXPECT_EQ(catalog.RecoverQuarantined(/*force=*/true), 1);
+  response = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+
+  server.Stop();
+  EXPECT_TRUE(service.Drain().ok());
 }
 
 TEST_F(AdminServerTest, TracezSurfacesErroredRequestWithSpans) {

@@ -174,6 +174,91 @@ TEST_F(FaultTest, ValidOrEmptyEnvSpecArms) {
   unsetenv("NIMBUS_FAULTS");
 }
 
+TEST_F(FaultTest, EnospcModeParsesAndReportsThroughCheck) {
+  ASSERT_TRUE(Configure("journal.append:2:enospc").ok());
+  EXPECT_FALSE(Check("journal.append").fire);  // Hit 1: not yet.
+  const Injection fired = Check("journal.append");
+  EXPECT_TRUE(fired.fire);
+  EXPECT_EQ(fired.mode, Mode::kEnospc);
+  EXPECT_FALSE(Check("journal.append").fire);  // Window closed.
+
+  // The mode token composes with a count window...
+  ASSERT_TRUE(Configure("io.write:1:2:enospc").ok());
+  for (int i = 0; i < 2; ++i) {
+    const Injection inject = Check("io.write");
+    EXPECT_TRUE(inject.fire);
+    EXPECT_EQ(inject.mode, Mode::kEnospc);
+  }
+  EXPECT_FALSE(Check("io.write").fire);
+
+  // ...and ShouldFail callers (FAULT_POINT sites) still see a plain
+  // failure: the mode only changes HOW Check() callers fail.
+  ASSERT_TRUE(Configure("io.write:1:enospc").ok());
+  EXPECT_TRUE(ShouldFail("io.write"));
+
+  // Without the token, Check() reports the clean kStatus mode.
+  ASSERT_TRUE(Configure("io.write:1").ok());
+  const Injection plain = Check("io.write");
+  EXPECT_TRUE(plain.fire);
+  EXPECT_EQ(plain.mode, Mode::kStatus);
+}
+
+TEST_F(FaultTest, ScopedClauseFiresOnlyInMatchingScope) {
+  ASSERT_TRUE(Configure("journal.append@wine:1:enospc").ok());
+  // Unscoped thread: the scoped rule neither counts nor fires.
+  EXPECT_FALSE(Check("journal.append").fire);
+  {
+    ScopedFaultScope scope("cheese");
+    EXPECT_FALSE(Check("journal.append").fire);
+  }
+  EXPECT_EQ(HitCount("journal.append@wine"), 0);
+  {
+    ScopedFaultScope scope("wine");
+    const Injection inject = Check("journal.append");
+    EXPECT_TRUE(inject.fire);
+    EXPECT_EQ(inject.mode, Mode::kEnospc);
+  }
+  // Scoped hits and fires count under the full `point@scope` key.
+  EXPECT_EQ(HitCount("journal.append@wine"), 1);
+  EXPECT_EQ(FireCount("journal.append@wine"), 1);
+}
+
+TEST_F(FaultTest, UnscopedClauseAppliesInsideAnyScope) {
+  ASSERT_TRUE(Configure("io.write:1").ok());
+  ScopedFaultScope scope("wine");
+  EXPECT_TRUE(ShouldFail("io.write"));
+}
+
+TEST_F(FaultTest, ScopedFaultScopeNestsAndRestores) {
+  EXPECT_EQ(CurrentFaultScope(), "");
+  {
+    ScopedFaultScope outer("wine");
+    EXPECT_EQ(CurrentFaultScope(), "wine");
+    {
+      ScopedFaultScope inner("cheese");
+      EXPECT_EQ(CurrentFaultScope(), "cheese");
+    }
+    EXPECT_EQ(CurrentFaultScope(), "wine");
+  }
+  EXPECT_EQ(CurrentFaultScope(), "");
+}
+
+TEST_F(FaultTest, RejectsBadScopedAndModeSpecs) {
+  // Empty scope.
+  EXPECT_FALSE(Configure("journal.append@:1").ok());
+  // The point part of a scoped key must still be in the catalog.
+  EXPECT_FALSE(Configure("no.such.point@wine:1").ok());
+  // A bare mode token is not a clause body.
+  EXPECT_FALSE(Configure("journal.append:enospc").ok());
+  // Same scoped key armed twice in one spec.
+  EXPECT_FALSE(
+      Configure("journal.append@wine:1,journal.append@wine:2").ok());
+  // Distinct scopes of one point are independent clauses and coexist.
+  EXPECT_TRUE(
+      Configure("journal.append:5,journal.append@wine:1,journal.append@rye:2")
+          .ok());
+}
+
 // End-to-end through a production FAULT_POINT: the hardened writers turn
 // an armed io.write into a clean kInternal Status, and recover on retry.
 TEST_F(FaultTest, InjectedWriteFailsWithStatusAndRecovers) {

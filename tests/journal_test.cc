@@ -760,6 +760,100 @@ TEST(JournalTest, RotateFaultLeavesJournalIntactAndAppendable) {
   std::remove(path.c_str());
 }
 
+// The disk-full drill: an armed `journal.append:N:enospc` clause makes
+// the Nth append fail errno-style after landing only half the record —
+// the same torn tail a real out-of-space fwrite leaves. The journal
+// poisons itself, Discard lands the buffered prefix (and the torn tail)
+// on disk, and Replay truncates the tail so the file is append-clean.
+TEST(JournalTest, EnospcAppendLeavesTornTailAndRecoveryTruncates) {
+  fault::Reset();
+  const std::string path = TempPath("nimbus_journal_enospc.waj");
+  std::remove(path.c_str());
+  const std::vector<LedgerEntry> entries = SampleEntries();
+
+  StatusOr<Journal> journal = Journal::Open(path, Journal::Options{});
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(journal->Append(entries[i]).ok());
+  }
+
+  ASSERT_TRUE(fault::Configure("journal.append:1:enospc").ok());
+  const Status full = journal->Append(entries[3]);
+  fault::Reset();
+  EXPECT_EQ(full.code(), StatusCode::kInternal);
+  EXPECT_NE(full.message().find("short write"), std::string::npos) << full;
+  EXPECT_NE(full.message().find("No space left on device"), std::string::npos)
+      << full;
+
+  // The handle is poisoned: further appends fail typed, non-retryably.
+  const Status poisoned = journal->Append(entries[4]);
+  EXPECT_EQ(poisoned.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(poisoned.message().find("poisoned"), std::string::npos);
+
+  // Retire the handle the way a shard quarantine does: Discard flushes
+  // the three committed records AND the torn half-record to disk.
+  journal->Discard();
+
+  Journal::RecoveryReport report;
+  StatusOr<std::vector<LedgerEntry>> back = Journal::Replay(path, &report);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(report.tail, Journal::TailState::kTorn);
+  EXPECT_GT(report.dropped_bytes, 0);
+  ASSERT_EQ(back->size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    ExpectSameEntry((*back)[i], entries[i]);
+  }
+
+  // Replay truncated the torn tail, so the file re-opens append-clean
+  // and the interrupted sale can be re-committed.
+  StatusOr<Journal> reopened = Journal::Open(path, Journal::Options{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  ASSERT_TRUE(reopened->Append(entries[3]).ok());
+  ASSERT_TRUE(reopened->Close().ok());
+  StatusOr<std::vector<LedgerEntry>> healed = Journal::Replay(path);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed->size(), 4u);
+  std::remove(path.c_str());
+}
+
+// Disk-full during rotation: the filtered segment's .rotate.tmp runs out
+// of space halfway. The live segment must be untouched and appendable —
+// rotation failure is retryable, never data loss.
+TEST(JournalTest, EnospcRotateLeavesLiveSegmentAppendable) {
+  fault::Reset();
+  const std::string path = TempPath("nimbus_journal_rotate_enospc.waj");
+  const std::vector<LedgerEntry> entries = SampleEntries();
+  WriteJournalWith(path, entries);
+  StatusOr<Journal> journal = Journal::Open(path, Journal::Options{});
+  ASSERT_TRUE(journal.ok()) << journal.status();
+
+  ASSERT_TRUE(fault::Configure("journal.rotate:1:enospc").ok());
+  const Status full = journal->Rotate(3);
+  fault::Reset();
+  EXPECT_EQ(full.code(), StatusCode::kInternal);
+  EXPECT_NE(full.message().find("No space left on device"), std::string::npos)
+      << full;
+
+  // Live segment untouched: base unchanged, still appendable, and the
+  // next (disarmed) rotation succeeds.
+  EXPECT_EQ(journal->base_sequence(), 0);
+  LedgerEntry next = entries[0];
+  next.sequence = 5;
+  ASSERT_TRUE(journal->Append(next).ok());
+  ASSERT_TRUE(journal->Rotate(3).ok());
+  EXPECT_EQ(journal->base_sequence(), 3);
+  ASSERT_TRUE(journal->Close().ok());
+
+  Journal::RecoveryReport report;
+  StatusOr<std::vector<LedgerEntry>> back = Journal::Replay(path, &report);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(report.base_sequence, 3);
+  EXPECT_EQ(back->size(), 3u);  // Sequences 3, 4, 5.
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+  std::remove((path + ".rotate.tmp").c_str());
+}
+
 TEST(JournalTest, ReplayAndIoReadFaultPointsInject) {
   const std::string path = TempPath("nimbus_journal_replay_fault.waj");
   WriteJournalWith(path, SampleEntries());

@@ -200,5 +200,58 @@ TEST(MarketplaceTest, MbpPricingKeepsMonitorsQuiet) {
             StatusCode::kNotFound);
 }
 
+// The shard layer moves marketplaces around (StatusOr unwrap, recovery
+// swap). The defaulted move operations are only sound because no member
+// stores a pointer back into the owning Marketplace: brokers copy the
+// split by value, the checkpointer keeps only the journal path, the
+// curve cache is shared, and builder callbacks are call-local (never
+// stored). This test pins that invariant — if someone adds a
+// self-referential member, the moved-to instance breaks here first.
+TEST(MarketplaceTest, DefaultedMoveKeepsJournalingAndQuotingIntact) {
+  const std::string path = ::testing::TempDir() + "/nimbus_marketplace_move_" +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           ".waj";
+  std::remove(path.c_str());
+
+  Marketplace original(ClassificationSplit(21), FastOptions());
+  ASSERT_TRUE(original
+                  .AddOffering(ml::ModelKind::kLogisticRegression, 0.01,
+                               SomeMbpPricing())
+                  .ok());
+  ASSERT_TRUE(original.EnableJournal(path, Journal::Options{}).ok());
+  Broker* broker = *original.BrokerFor(ml::ModelKind::kLogisticRegression);
+  const std::string loss = broker->model().report_losses().front()->name();
+  ASSERT_TRUE(
+      original.Buy("alice", ml::ModelKind::kLogisticRegression, 2.0, loss)
+          .ok());
+  const double revenue_before = original.total_revenue();
+  ASSERT_GT(revenue_before, 0.0);
+
+  // Move-construct mid-life and keep transacting on the new home.
+  Marketplace moved(std::move(original));
+  EXPECT_DOUBLE_EQ(moved.total_revenue(), revenue_before);
+  ASSERT_TRUE(
+      moved.Buy("bob", ml::ModelKind::kLogisticRegression, 4.0, loss).ok());
+
+  // Move-assign into yet another home; quoting and journaling follow.
+  Marketplace assigned(ClassificationSplit(22), FastOptions());
+  assigned = std::move(moved);
+  ASSERT_TRUE(
+      assigned.Buy("carol", ml::ModelKind::kLogisticRegression, 1.0, loss)
+          .ok());
+  EXPECT_EQ(assigned.ledger().SaleCount(), 3);
+  EXPECT_GT(assigned.total_revenue(), revenue_before);
+  ASSERT_TRUE(assigned.FlushJournal().ok());
+
+  // Every sale — before and after both moves — reached the one journal.
+  StatusOr<std::vector<LedgerEntry>> replayed = Journal::Replay(path);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  ASSERT_EQ(replayed->size(), 3u);
+  EXPECT_EQ((*replayed)[0].buyer_id, "alice");
+  EXPECT_EQ((*replayed)[1].buyer_id, "bob");
+  EXPECT_EQ((*replayed)[2].buyer_id, "carol");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace nimbus::market

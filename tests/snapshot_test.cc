@@ -283,6 +283,28 @@ TEST(SnapshotTest, WriteFaultsLeaveNoCommittedFile) {
   std::remove((path + ".tmp").c_str());
 }
 
+// The disk-full drill: `snapshot.write:1:enospc` shapes the failure like
+// a real full disk (errno text, half-written temp file). Commit-by-
+// rename means the damage never reaches the committed snapshot path.
+TEST(SnapshotTest, EnospcWriteFailsErrnoShapedAndLeavesNoCommittedFile) {
+  const std::string path = TempPath("nimbus_snapshot_enospc.snap");
+  const snapshot::State state = SampleState();
+
+  ASSERT_TRUE(fault::Configure("snapshot.write:1:enospc").ok());
+  const Status full = snapshot::Write(path, state).status();
+  fault::Reset();
+  ASSERT_FALSE(full.ok());
+  EXPECT_NE(full.message().find("No space left on device"), std::string::npos)
+      << full;
+  EXPECT_FALSE(snapshot::Read(path).ok());
+
+  // Once space is back, the same Write commits over the torn temp file.
+  ASSERT_TRUE(snapshot::Write(path, state).ok());
+  EXPECT_TRUE(snapshot::Read(path).ok());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Marketplace-level recovery-ladder drills: corruption of the newest
 // generation falls back to the previous one (or to full replay) with
