@@ -48,6 +48,10 @@
 //   --bench-recovery-json=PATH
 //                       write the phase-5 O(delta) recovery sweep as
 //                       JSON to PATH (the committed BENCH_recovery.json)
+//   --bench-audit-json=PATH
+//                       write the phase-7 economic-audit overhead and
+//                       drill outcome as JSON to PATH (the committed
+//                       BENCH_audit.json)
 //   --profile=PATH      sample the CPU for the whole run (199 Hz) and
 //                       write folded stacks to PATH — feed the file to
 //                       a flamegrapher or speedscope. The profiler's
@@ -78,7 +82,9 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/flight_recorder.h"
 #include "common/profiler.h"
+#include "market/auditor.h"
 #include "market/catalog.h"
 #include "market/checkpointer.h"
 #include "market/snapshot.h"
@@ -1253,6 +1259,286 @@ void RunShardedChaosPhase(uint64_t seed, bool fast,
       csvs.size(), mismatches == 0 ? "yes" : "NO");
 }
 
+int64_t RegistryCounterValue(const char* name) {
+  for (const auto& entry : nimbus::telemetry::Registry::Global().Snapshot()) {
+    if (entry.name == name) {
+      return entry.counter_value;
+    }
+  }
+  return 0;
+}
+
+// Phase 7 (economic audit), two halves:
+//
+//   (a) Fault-free overhead + non-perturbation: the determinism stream
+//   replayed at each worker count with the auditor off, then on (loop
+//   running, every commit sampled). The auditor must find zero
+//   violations, and the ledger must be byte-identical across every run
+//   — auditor on or off, at every worker count. Throughput and p50 for
+//   both arms land in --bench-audit-json so the <2% overhead budget is
+//   tracked in BENCH_audit.json.
+//
+//   (b) Detection drill: `audit.verify` armed as a counted fault, which
+//   corrupts the price of exactly one SAMPLED COPY (the ledger is
+//   untouched). The next audit pass must detect exactly one mispricing
+//   violation, attribute it to the right offering and ticket, flip the
+//   health report, auto-dump the flight ring exactly once, and surface
+//   the first-failure timestamp at /auditz.
+void RunAuditPhase(int requests, uint64_t seed,
+                   const std::vector<int>& worker_counts,
+                   const std::string& bench_audit_json) {
+  std::printf("== phase 7: economic audit (%d requests)\n", requests);
+  using nimbus::market::Auditor;
+  using nimbus::market::AuditorOptions;
+
+  struct AuditRun {
+    int workers = 0;
+    bool audited = false;
+    double requests_per_second = 0.0;
+    double p50_us = 0.0;
+  };
+  std::vector<AuditRun> audit_runs;
+  std::vector<std::string> csvs;
+  int64_t audited_commits = 0;
+
+  // --- (a) fault-free: auditor off vs on, per worker count. ---
+  for (int workers : worker_counts) {
+    for (int arm = 0; arm < 2; ++arm) {
+      const bool audited = arm == 1;
+      AuditorOptions auditor_options;
+      auditor_options.pass_interval_seconds = 0.005;
+      Auditor auditor(auditor_options);
+      Marketplace market = MakeMarket(seed);
+      ServiceOptions service_options =
+          SoakServiceOptions(seed, workers, requests);
+      if (audited) {
+        service_options.auditor = &auditor;
+        auditor.Start();
+      }
+      MarketService service(&market, service_options);
+      SOAK_CHECK(service.Start().ok(), "audit: Start failed");
+      nimbus::telemetry::Registry::Global().ResetForTest();
+      const auto run_start = std::chrono::steady_clock::now();
+      std::vector<std::future<PurchaseResult>> futures;
+      futures.reserve(requests);
+      for (int i = 0; i < requests; ++i) {
+        futures.push_back(service.Submit(MakeRequest(i)));
+      }
+      int64_t ok_count = 0;
+      for (auto& future : futures) {
+        ok_count += future.get().status.ok() ? 1 : 0;
+      }
+      const double wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        run_start)
+              .count();
+      SOAK_CHECK(service.Drain().ok(), "audit(w=%d): Drain failed", workers);
+      SOAK_CHECK(ok_count == requests, "audit(w=%d): %lld/%d ok", workers,
+                 static_cast<long long>(ok_count), requests);
+      if (audited) {
+        auditor.Stop();
+        auditor.RunPass();  // Drain whatever the loop had not consumed.
+        const Auditor::Status status = auditor.GetStatus();
+        SOAK_CHECK(status.violations == 0,
+                   "audit(w=%d): %lld violations on a clean run", workers,
+                   static_cast<long long>(status.violations));
+        SOAK_CHECK(status.commits_observed == ok_count,
+                   "audit(w=%d): observed %lld of %lld commits", workers,
+                   static_cast<long long>(status.commits_observed),
+                   static_cast<long long>(ok_count));
+        audited_commits += status.samples_audited;
+      }
+      AuditRun run;
+      run.workers = workers;
+      run.audited = audited;
+      run.requests_per_second =
+          wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds
+                             : 0.0;
+      RunReport quantiles;
+      FillLatencyQuantiles(quantiles);
+      run.p50_us = quantiles.p50_us;
+      audit_runs.push_back(run);
+      // The headline non-perturbation claim: ledger bytes do not depend
+      // on whether the auditor watched.
+      csvs.push_back(market.ledger().ToCsv());
+      std::printf("   workers=%d auditor=%s: ok=%lld (%.0f req/s, p50 %.0f us)\n",
+                  workers, audited ? "on" : "off",
+                  static_cast<long long>(ok_count), run.requests_per_second,
+                  run.p50_us);
+    }
+  }
+  int ledger_mismatches = 0;
+  for (size_t i = 1; i < csvs.size(); ++i) {
+    ledger_mismatches += csvs[i] == csvs[0] ? 0 : 1;
+    SOAK_CHECK(csvs[i] == csvs[0],
+               "audit: ledger differs between run 0 and run %zu "
+               "(auditor must be observation-only)",
+               i);
+  }
+  std::printf(
+      "   ledgers byte-identical across %zu runs (auditor on/off x workers): "
+      "%s; %lld samples audited\n",
+      csvs.size(), ledger_mismatches == 0 ? "yes" : "NO",
+      static_cast<long long>(audited_commits));
+
+  // --- (b) detection drill. ---
+  const int drill_requests = std::min(requests, 200);
+  const int fault_nth = 5;  // Corrupt the 5th sampled commit's copy.
+  const std::string dump_path = TempJournalPath("audit_dump");
+  std::remove(dump_path.c_str());
+  ::setenv("NIMBUS_FLIGHT_RECORDER", dump_path.c_str(), 1);
+  nimbus::telemetry::FlightRecorder::Global().ClearForTest();
+  const int64_t dumps_before = RegistryCounterValue("flight_dumps_total");
+  bool drill_detected = false;
+  int64_t drill_violations = 0;
+  std::string drill_offering;
+  int64_t drill_ticket = -1;
+  {
+    Auditor auditor(AuditorOptions{});  // No loop: passes run on demand.
+    Marketplace market = MakeMarket(seed);
+    ServiceOptions service_options = SoakServiceOptions(seed, 2, requests);
+    service_options.auditor = &auditor;
+    MarketService service(&market, service_options);
+    SOAK_CHECK(service.Start().ok(), "audit drill: Start failed");
+    const Status armed = nimbus::fault::Configure(
+        "audit.verify:" + std::to_string(fault_nth) + ":1");
+    SOAK_CHECK(armed.ok(), "audit drill: fault arm failed");
+    std::vector<std::future<PurchaseResult>> futures;
+    for (int i = 0; i < drill_requests; ++i) {
+      futures.push_back(service.Submit(MakeRequest(i)));
+    }
+    for (auto& future : futures) {
+      const PurchaseResult result = future.get();
+      SOAK_CHECK(result.status.ok(), "audit drill: request failed: %s",
+                 result.status.ToString().c_str());
+    }
+    SOAK_CHECK(service.Drain().ok(), "audit drill: Drain failed");
+    nimbus::fault::Reset();
+    auditor.RunPass();
+    const Auditor::Status status = auditor.GetStatus();
+    drill_violations = status.violations;
+    SOAK_CHECK(status.violations == 1,
+               "audit drill: %lld violations, expected exactly 1",
+               static_cast<long long>(status.violations));
+    SOAK_CHECK(status.first_violation_t_ns > 0,
+               "audit drill: first-violation timestamp missing");
+    if (!status.recent.empty()) {
+      const Auditor::Violation& v = status.recent.front();
+      drill_detected =
+          v.invariant == nimbus::market::AuditInvariant::kMispricing;
+      drill_offering = v.offering;
+      drill_ticket = v.ticket;
+      SOAK_CHECK(drill_detected, "audit drill: wrong invariant '%s'",
+                 nimbus::market::AuditInvariantName(v.invariant));
+      SOAK_CHECK(v.offering == "logistic_regression",
+                 "audit drill: offering '%s'", v.offering.c_str());
+      // Counted fault + full sampling + per-lane commit order: the
+      // corrupted copy is exactly the (nth)th commit, ticket nth-1 —
+      // detection is deterministic, within one pass of the injection.
+      SOAK_CHECK(v.ticket == fault_nth - 1,
+                 "audit drill: flagged ticket %lld, expected %d",
+                 static_cast<long long>(v.ticket), fault_nth - 1);
+      SOAK_CHECK(v.trace_id != 0, "audit drill: violation lost its trace id");
+    }
+    // The ledger itself must be clean — the fault corrupted only the
+    // auditor's sampled copy, so conservation and re-priced ledger rows
+    // still hold (exactly one violation total proves it).
+    CheckLedgerInvariants(market, drill_requests, "audit drill");
+    // Health report: a detected violation is quarantine-grade.
+    const MarketService::HealthReport health = service.GetHealthReport();
+    SOAK_CHECK(!health.healthy,
+               "audit drill: health report still healthy after violation");
+    bool annotated = false;
+    for (const std::string& problem : health.problems) {
+      annotated = annotated ||
+                  problem.find("audit violation") != std::string::npos;
+    }
+    SOAK_CHECK(annotated, "audit drill: no audit annotation in health report");
+    // /auditz surfaces the verdict with its first-failure timestamp.
+    nimbus::service::AdminServer admin(&service,
+                                       nimbus::service::AdminServerOptions{});
+    const std::string auditz = admin.HandlePath("/auditz");
+    SOAK_CHECK(auditz.find("\"enabled\":true") != std::string::npos &&
+                   auditz.find("mispricing") != std::string::npos,
+               "audit drill: /auditz does not show the violation");
+    SOAK_CHECK(auditz.find("first_failure_t_seconds") != std::string::npos,
+               "audit drill: /auditz missing first-failure timestamp");
+    if (!bench_audit_json.empty()) {
+      // Keep the raw /auditz response next to the bench JSON so a CI
+      // failure ships the auditor's own verdict as an artifact.
+      const size_t body_at = auditz.find("\r\n\r\n");
+      WriteFile(bench_audit_json + ".auditz",
+                body_at == std::string::npos
+                    ? auditz
+                    : auditz.substr(body_at + 4));
+    }
+  }
+  const int64_t dumps_after = RegistryCounterValue("flight_dumps_total");
+  const int64_t drill_dumps = dumps_after - dumps_before;
+  SOAK_CHECK(drill_dumps == 1,
+             "audit drill: %lld incident dumps, expected exactly 1",
+             static_cast<long long>(drill_dumps));
+  ::unsetenv("NIMBUS_FLIGHT_RECORDER");
+  std::remove(dump_path.c_str());
+  std::printf(
+      "   drill: injected mispricing detected=%s (ticket %lld, offering %s, "
+      "%lld incident dump(s))\n",
+      drill_detected ? "yes" : "NO", static_cast<long long>(drill_ticket),
+      drill_offering.c_str(), static_cast<long long>(drill_dumps));
+
+  if (!bench_audit_json.empty()) {
+    // Overhead: auditor-on vs auditor-off, averaged across worker counts.
+    double off_rps = 0.0, on_rps = 0.0, off_p50 = 0.0, on_p50 = 0.0;
+    int off_n = 0, on_n = 0;
+    std::string runs_json;
+    for (const AuditRun& run : audit_runs) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"workers\":%d,\"auditor\":\"%s\","
+                    "\"requests_per_second\":%.6g,\"p50_us\":%.6g}",
+                    runs_json.empty() ? "" : ",\n", run.workers,
+                    run.audited ? "on" : "off", run.requests_per_second,
+                    run.p50_us);
+      runs_json += buf;
+      (run.audited ? on_rps : off_rps) += run.requests_per_second;
+      (run.audited ? on_p50 : off_p50) += run.p50_us;
+      (run.audited ? on_n : off_n) += 1;
+    }
+    if (off_n > 0 && on_n > 0) {
+      off_rps /= off_n;
+      on_rps /= on_n;
+      off_p50 /= off_n;
+      on_p50 /= on_n;
+    }
+    char tail[512];
+    std::snprintf(
+        tail, sizeof(tail),
+        "  ],\n  \"overhead\": {\"requests_per_second_pct\":%.4g,"
+        "\"p50_us_pct\":%.4g},\n  \"ledger_identical\": %s,\n"
+        "  \"drill\": {\"detected\": %s, \"violations\": %lld,"
+        " \"ticket\": %lld, \"offering\": \"%s\","
+        " \"incident_dumps\": %lld}\n}\n",
+        off_rps > 0.0 ? (off_rps - on_rps) / off_rps * 100.0 : 0.0,
+        off_p50 > 0.0 ? (on_p50 - off_p50) / off_p50 * 100.0 : 0.0,
+        ledger_mismatches == 0 ? "true" : "false",
+        drill_detected ? "true" : "false",
+        static_cast<long long>(drill_violations),
+        static_cast<long long>(drill_ticket), drill_offering.c_str(),
+        static_cast<long long>(drill_dumps));
+    const std::string out =
+        "{\n  \"benchmark\": \"bench_audit\",\n  \"requests\": " +
+        std::to_string(requests) + ",\n  \"runs\": [\n" + runs_json + "\n" +
+        tail;
+    if (!WriteFile(bench_audit_json, out)) {
+      std::fprintf(stderr, "cannot write audit bench json to '%s'\n",
+                   bench_audit_json.c_str());
+      std::exit(2);
+    }
+    std::printf("audit bench report written to %s\n",
+                bench_audit_json.c_str());
+  }
+}
+
 // Phase 3 (optional, --admin-port): keep a service under steady traffic
 // while the admin endpoint serves scrapes — the CI smoke target and a
 // hands-on curl playground (see bench/README.md).
@@ -1260,7 +1546,15 @@ void RunAdminServeWindow(uint64_t seed, int port, double seconds) {
   std::printf("== phase 3: live admin window (port %d, %.1f s)\n", port,
               seconds);
   Marketplace market = MakeMarket(seed);
-  MarketService service(&market, SoakServiceOptions(seed, 2, 256));
+  // Run the economic auditor live so /auditz and /statz serve real
+  // verdicts and history during the curl window (detection-only; the
+  // ledger is unaffected).
+  nimbus::market::Auditor auditor(nimbus::market::AuditorOptions{});
+  auditor.Start();
+  nimbus::service::ServiceOptions service_options =
+      SoakServiceOptions(seed, 2, 256);
+  service_options.auditor = &auditor;
+  MarketService service(&market, service_options);
   const Status started = service.Start();
   SOAK_CHECK(started.ok(), "admin: Start failed: %s",
              started.ToString().c_str());
@@ -1275,7 +1569,7 @@ void RunAdminServeWindow(uint64_t seed, int port, double seconds) {
     return;
   }
   std::printf("   admin listening on http://127.0.0.1:%d (metrics healthz "
-              "tracez flightz)\n",
+              "tracez flightz auditz statz)\n",
               admin.port());
   std::fflush(stdout);
   const auto deadline =
@@ -1298,7 +1592,15 @@ void RunAdminServeWindow(uint64_t seed, int port, double seconds) {
   // Serve a beat longer so a scraper can watch /healthz flip to 503.
   std::this_thread::sleep_for(std::chrono::milliseconds(250));
   admin.Stop();
-  std::printf("   served %d requests during the window\n", i);
+  auditor.Stop();
+  auditor.RunPass();
+  const nimbus::market::Auditor::Status audit_status = auditor.GetStatus();
+  SOAK_CHECK(audit_status.violations == 0,
+             "admin: serve window flagged %lld audit violations",
+             static_cast<long long>(audit_status.violations));
+  std::printf("   served %d requests during the window (%lld audited, "
+              "0 violations)\n",
+              i, static_cast<long long>(audit_status.samples_audited));
 }
 
 }  // namespace
@@ -1321,6 +1623,8 @@ int main(int argc, char** argv) {
   const std::string bench_json = StringFlag(argc, argv, "bench-json", "");
   const std::string bench_recovery_json =
       StringFlag(argc, argv, "bench-recovery-json", "");
+  const std::string bench_audit_json =
+      StringFlag(argc, argv, "bench-audit-json", "");
   g_slo_report = BoolFlag(argc, argv, "slo-report");
   const int admin_port = IntFlag(argc, argv, "admin-port", -1);
   const double serve_seconds =
@@ -1353,6 +1657,7 @@ int main(int argc, char** argv) {
   RunCrashRecoveryDrill(requests, seed + 3, worker_counts);
   RunRecoverySweep(fast, seed + 4, bench_recovery_json);
   RunShardedChaosPhase(seed + 5, fast, worker_counts);
+  RunAuditPhase(requests, seed + 6, worker_counts, bench_audit_json);
   if (metrics) {
     std::printf("%s\n", nimbus::telemetry::SnapshotToText(
                             nimbus::telemetry::Registry::Global().Snapshot())

@@ -52,6 +52,25 @@ for name in $src_names; do
     fi
 done
 
+# The economic-audit surface is load-bearing for operators (alerts and
+# the CI drill grep these families by name): require the auditor's and
+# the metric-history ring's registrations to exist in src/ AND be
+# documented, so a refactor cannot silently rename or drop them.
+required_families="audit_violations_total audit_offering_violations_total \
+audit_samples_total audit_commits_observed_total audit_ring_dropped_total \
+audit_passes_total audit_lanes timeseries_samples_total \
+timeseries_evictions_total timeseries_series"
+for name in $required_families; do
+    if ! printf '%s\n' "$src_names" | grep -qx "$name"; then
+        echo "error: required audit/timeseries metric '$name' is not registered anywhere in src/" >&2
+        status=1
+    fi
+    if ! grep -q "\`$name\`" "$root/DESIGN.md"; then
+        echo "error: required audit/timeseries metric '$name' is missing from DESIGN.md's metrics table" >&2
+        status=1
+    fi
+done
+
 if [ "$status" -ne 0 ]; then
     echo "check_metrics_names: FAILED (fix the kind clash / missing doc rows above)" >&2
 else

@@ -20,6 +20,7 @@ namespace {
 // from the catalog or a duplicate entry. Keep the list sorted.
 // FAULT-POINT-CATALOG-BEGIN
 constexpr const char* kFaultPointCatalog[] = {
+    "audit.verify",
     "broker.quote",
     "io.read",
     "io.write",

@@ -13,6 +13,7 @@ namespace {
 
 constexpr uint32_t kFlagDegraded = 1u << 0;
 constexpr uint32_t kFlagShed = 1u << 1;
+constexpr uint32_t kFlagAuditViolation = 1u << 2;
 
 Counter& IncidentsCounter() {
   static Counter& counter =
@@ -68,6 +69,7 @@ void FlightRecorder::Record(const FlightRecord& record) {
   uint32_t flags = 0;
   if (record.degraded) flags |= kFlagDegraded;
   if (record.shed) flags |= kFlagShed;
+  if (record.audit_violation) flags |= kFlagAuditViolation;
   slot.flags.store(flags, std::memory_order_relaxed);
   slot.version.store(version + 2, std::memory_order_release);
 }
@@ -100,6 +102,7 @@ std::vector<FlightRecord> FlightRecorder::Snapshot() const {
     const uint32_t flags = slot.flags.load(std::memory_order_relaxed);
     item.record.degraded = (flags & kFlagDegraded) != 0;
     item.record.shed = (flags & kFlagShed) != 0;
+    item.record.audit_violation = (flags & kFlagAuditViolation) != 0;
     const uint64_t after = slot.version.load(std::memory_order_acquire);
     if (after != before) {
       continue;  // Overwritten while we read; drop the torn view.
@@ -142,7 +145,9 @@ std::string FlightRecorder::ToJson() const {
     out << ",\"quote_attempts\":" << r.quote_attempts
         << ",\"journal_attempts\":" << r.journal_attempts
         << ",\"degraded\":" << (r.degraded ? "true" : "false")
-        << ",\"shed\":" << (r.shed ? "true" : "false") << '}';
+        << ",\"shed\":" << (r.shed ? "true" : "false")
+        << ",\"audit_violation\":" << (r.audit_violation ? "true" : "false")
+        << '}';
   }
   out << "],\"total_recorded\":" << TotalRecorded()
       << ",\"capacity\":" << kCapacity << '}';

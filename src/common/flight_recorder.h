@@ -27,6 +27,11 @@ struct FlightRecord {
   int32_t journal_attempts = 0;
   bool degraded = false;  // Quote served from a degraded error curve.
   bool shed = false;      // Rejected at admission (kUnavailable).
+  // Filed by the marketplace auditor (not the serving path): this
+  // record marks an economic-invariant violation attributed to the
+  // trace above. /tracez includes such flights alongside errored/slow
+  // ones so the violation links to its request's span tree.
+  bool audit_violation = false;
 };
 
 // Bounded lock-free ring of the most recent FlightRecords — the
@@ -97,7 +102,7 @@ class FlightRecorder {
     std::atomic<double> total_us{0.0};
     std::atomic<int32_t> quote_attempts{0};
     std::atomic<int32_t> journal_attempts{0};
-    std::atomic<uint32_t> flags{0};  // bit 0 degraded, bit 1 shed.
+    std::atomic<uint32_t> flags{0};  // bit 0 degraded, 1 shed, 2 audit.
   };
 
   std::vector<Slot> slots_;

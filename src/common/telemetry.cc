@@ -171,7 +171,9 @@ const std::vector<double>& Histogram::DefaultBoundaries() {
   return boundaries;
 }
 
-Histogram::Histogram() : buckets_(DefaultBoundaries().size() + 1) {}
+Histogram::Histogram()
+    : buckets_(DefaultBoundaries().size() + 1),
+      exemplars_(DefaultBoundaries().size() + 1) {}
 
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
@@ -181,9 +183,12 @@ void Histogram::Reset() {
   for (std::atomic<int64_t>& b : buckets_) {
     b.store(0, std::memory_order_relaxed);
   }
+  for (std::atomic<uint64_t>& e : exemplars_) {
+    e.store(0, std::memory_order_relaxed);
+  }
 }
 
-void Histogram::Observe(double value) {
+void Histogram::Observe(double value, uint64_t trace_id) {
   const std::vector<double>& bounds = DefaultBoundaries();
   size_t bucket = bounds.size();  // Overflow slot.
   for (size_t i = 0; i < bounds.size(); ++i) {
@@ -193,6 +198,9 @@ void Histogram::Observe(double value) {
     }
   }
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (trace_id != 0) {
+    exemplars_[bucket].store(trace_id, std::memory_order_relaxed);
+  }
   // Seed min/max from the first observation: a histogram with count 0 has
   // min == max == 0, so distinguish "empty" via count.
   if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
@@ -219,6 +227,10 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.buckets.reserve(buckets_.size());
   for (const std::atomic<int64_t>& b : buckets_) {
     snap.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.exemplars.reserve(exemplars_.size());
+  for (const std::atomic<uint64_t>& e : exemplars_) {
+    snap.exemplars.push_back(e.load(std::memory_order_relaxed));
   }
   snap.count = count_.load(std::memory_order_relaxed);
   snap.sum = sum_.load(std::memory_order_relaxed);

@@ -81,6 +81,10 @@ struct HistogramSnapshot {
   double max = 0.0;
   std::vector<double> boundaries;
   std::vector<int64_t> buckets;
+  // Trace exemplars: the last trace id observed into each bucket (0 =
+  // no exemplar yet). Parallel to `buckets`; joined by /tracez so a
+  // latency bucket links to a concrete request's span tree.
+  std::vector<uint64_t> exemplars;
 
   // Quantile estimate (q in [0, 1]) by linear interpolation inside the
   // covering bucket, clamped to the observed [min, max]. Returns 0 for
@@ -93,7 +97,12 @@ struct HistogramSnapshot {
 // relaxed atomics on pre-allocated buckets — no locks, no allocation.
 class Histogram {
  public:
-  void Observe(double value);
+  void Observe(double value) { Observe(value, 0); }
+  // Exemplar form: additionally records `trace_id` (when nonzero) as the
+  // covering bucket's last-seen exemplar, so the bucket can be joined
+  // back to that request's span tree. Same cost: one extra relaxed
+  // store on the pre-allocated exemplar slot.
+  void Observe(double value, uint64_t trace_id);
   HistogramSnapshot Snapshot() const;
 
   static const std::vector<double>& DefaultBoundaries();
@@ -112,6 +121,8 @@ class Histogram {
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
   std::vector<std::atomic<int64_t>> buckets_;  // boundaries + overflow.
+  // Last trace id observed per bucket (parallel to buckets_; 0 = none).
+  std::vector<std::atomic<uint64_t>> exemplars_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,203 @@
+#include "common/timeseries.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/telemetry.h"
+
+namespace nimbus::telemetry {
+namespace {
+
+// Self-accounting: scrape-visible evidence that history is being
+// captured (and at what cost), without reading process internals.
+Counter& SamplesCounter() {
+  static Counter& counter =
+      Registry::Global().GetCounter("timeseries_samples_total");
+  return counter;
+}
+
+Counter& EvictionsCounter() {
+  static Counter& counter =
+      Registry::Global().GetCounter("timeseries_evictions_total");
+  return counter;
+}
+
+Gauge& SeriesGauge() {
+  static Gauge& gauge = Registry::Global().GetGauge("timeseries_series");
+  return gauge;
+}
+
+void AppendDouble17(std::ostringstream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+}  // namespace
+
+TimeseriesRing::TimeseriesRing(TimeseriesOptions options, const Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SystemClock::Get()) {}
+
+bool TimeseriesRing::SampleIfDue() {
+  const int64_t now_ns = clock_->NowNanos();
+  const int64_t step_ns = static_cast<int64_t>(options_.step_seconds * 1e9);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (has_sampled_ && now_ns - last_sample_ns_ < step_ns) {
+    return false;
+  }
+  SampleLocked(now_ns);
+  return true;
+}
+
+void TimeseriesRing::SampleNow() {
+  const int64_t now_ns = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  SampleLocked(now_ns);
+}
+
+void TimeseriesRing::SampleLocked(int64_t now_ns) {
+  const std::vector<Registry::SnapshotEntry> snap =
+      Registry::Global().Snapshot();
+  const size_t capacity = options_.capacity > 0
+                              ? static_cast<size_t>(options_.capacity)
+                              : size_t{1};
+  auto record = [&](const std::string& name, double value) {
+    std::vector<Point>& points = series_[name];
+    points.push_back(Point{now_ns, value});
+    if (points.size() > capacity) {
+      points.erase(points.begin());
+      EvictionsCounter().Increment();
+    }
+  };
+  for (const Registry::SnapshotEntry& e : snap) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        record(e.name, static_cast<double>(e.counter_value));
+        break;
+      case MetricKind::kGauge:
+        record(e.name, e.gauge_value);
+        break;
+      case MetricKind::kCounterVec:
+      case MetricKind::kGaugeVec:
+        // Labeled families flatten to one series per label value, in
+        // the exposition spelling so /statz and scrape names line up.
+        for (const Registry::LabeledValue& v : e.series) {
+          const std::string flat =
+              e.name + "{" + e.label_key + "=\"" + v.label + "\"}";
+          record(flat, e.kind == MetricKind::kCounterVec
+                           ? static_cast<double>(v.counter_value)
+                           : v.gauge_value);
+        }
+        break;
+      case MetricKind::kHistogram:
+      case MetricKind::kHistogramVec:
+        // Histories are for counters/gauges; histograms already carry
+        // their own distribution state.
+        break;
+    }
+  }
+  if (sample_times_ns_.size() >= capacity) {
+    sample_times_ns_.erase(sample_times_ns_.begin());
+  }
+  sample_times_ns_.push_back(now_ns);
+  last_sample_ns_ = now_ns;
+  has_sampled_ = true;
+  SamplesCounter().Increment();
+  SeriesGauge().Set(static_cast<double>(series_.size()));
+}
+
+std::vector<std::string> TimeseriesRing::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, points] : series_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<TimeseriesRing::Point> TimeseriesRing::Series(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  return it != series_.end() ? it->second : std::vector<Point>{};
+}
+
+std::optional<int64_t> TimeseriesRing::FirstAtLeast(const std::string& name,
+                                                    double threshold) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    return std::nullopt;
+  }
+  for (const Point& p : it->second) {
+    if (p.value >= threshold) {
+      return p.t_ns;
+    }
+  }
+  return std::nullopt;
+}
+
+int TimeseriesRing::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sample_times_ns_.size());
+}
+
+std::string TimeseriesRing::ToJson(int max_points) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"step_seconds\":";
+  AppendDouble17(out, options_.step_seconds);
+  out << ",\"capacity\":" << options_.capacity
+      << ",\"samples\":" << sample_times_ns_.size() << ",\"series\":{";
+  bool first = true;
+  for (const auto& [name, points] : series_) {
+    if (points.empty()) {
+      continue;
+    }
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    const Point& oldest = points.front();
+    const Point& latest = points.back();
+    const double window_s =
+        static_cast<double>(latest.t_ns - oldest.t_ns) * 1e-9;
+    const double rate =
+        window_s > 0.0 ? (latest.value - oldest.value) / window_s : 0.0;
+    out << '"' << JsonEscape(name) << "\":{\"latest\":";
+    AppendDouble17(out, latest.value);
+    out << ",\"window_seconds\":";
+    AppendDouble17(out, window_s);
+    out << ",\"rate_per_second\":";
+    AppendDouble17(out, rate);
+    out << ",\"points\":[";
+    size_t begin = 0;
+    if (max_points > 0 && points.size() > static_cast<size_t>(max_points)) {
+      begin = points.size() - static_cast<size_t>(max_points);
+    }
+    for (size_t i = begin; i < points.size(); ++i) {
+      if (i != begin) {
+        out << ',';
+      }
+      out << '[';
+      AppendDouble17(out, static_cast<double>(points[i].t_ns) * 1e-9);
+      out << ',';
+      AppendDouble17(out, points[i].value);
+      out << ']';
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+TimeseriesRing& TimeseriesRing::Global() {
+  // Leaked, like Registry::Global(): late background samplers must
+  // never race static destruction.
+  static TimeseriesRing* ring = new TimeseriesRing(TimeseriesOptions{});
+  return *ring;
+}
+
+}  // namespace nimbus::telemetry

@@ -1,0 +1,107 @@
+#ifndef NIMBUS_COMMON_TIMESERIES_H_
+#define NIMBUS_COMMON_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace nimbus::telemetry {
+
+// Fixed-size ring of periodic registry snapshots: every `step_seconds`
+// (on a pluggable Clock) the ring captures the current value of every
+// registered counter and gauge — including each labeled family's
+// series, flattened to `name{key="value"}` — and retains the last
+// `capacity` samples. This gives the process a bounded metric HISTORY:
+// /statz renders per-series rate windows from it, and the marketplace
+// auditor answers "when did this invariant first fail" by asking for
+// the earliest retained sample where a violation counter crossed zero
+// (FirstAtLeast), instead of only knowing the current total.
+//
+// Like the rest of the telemetry substrate this is observation-only
+// (reads registry snapshots; never touches RNG streams or market
+// state) and thread-safe: sampling and queries serialize on one mutex,
+// off every serving hot path (the auditor's background loop is the
+// only periodic caller).
+struct TimeseriesOptions {
+  // Minimum spacing between retained samples.
+  double step_seconds = 1.0;
+  // Samples retained (ring capacity). Defaults to a 10-minute window
+  // at the 1 s step.
+  int capacity = 600;
+};
+
+class TimeseriesRing {
+ public:
+  // `clock` must outlive the ring; nullptr means SystemClock::Get().
+  explicit TimeseriesRing(TimeseriesOptions options,
+                          const Clock* clock = nullptr);
+
+  // One retained observation of one series.
+  struct Point {
+    int64_t t_ns = 0;    // Clock::NowNanos at sample time.
+    double value = 0.0;  // Counter value (as double) or gauge reading.
+  };
+
+  // Captures a sample if at least one step elapsed since the last one
+  // (or the ring is empty). Returns whether a sample was taken.
+  bool SampleIfDue();
+  // Captures a sample unconditionally — used by tests and by the
+  // auditor on a first violation, so the crossing timestamp is in the
+  // ring immediately rather than up to one step late.
+  void SampleNow();
+
+  // Series names with at least one retained point, sorted.
+  std::vector<std::string> Names() const;
+
+  // Retained points for one series, oldest first (empty when unknown).
+  // Series that appeared mid-window have points only from their first
+  // sampled registration onward.
+  std::vector<Point> Series(const std::string& name) const;
+
+  // Timestamp of the earliest retained sample where `name` >=
+  // `threshold`; nullopt when no retained sample crosses it. This is
+  // the auditor's "first failure" query: the first sample with
+  // audit_violations_total >= 1 dates the incident to within one step.
+  std::optional<int64_t> FirstAtLeast(const std::string& name,
+                                      double threshold) const;
+
+  int sample_count() const;
+
+  // {"step_seconds":..,"samples":N,"series":{name:{"latest":..,
+  // "window_seconds":..,"rate_per_second":..,"points":[[t_seconds,
+  // value],..]},..}} — the /statz body. `max_points` caps the rendered
+  // tail per series (0 = all retained); latest/rate always use the
+  // full window.
+  std::string ToJson(int max_points = 0) const;
+
+  // Process-wide instance (1 s x 600, system clock) pumped by whichever
+  // background loop runs (the auditor); /statz reads it.
+  static TimeseriesRing& Global();
+
+  TimeseriesRing(const TimeseriesRing&) = delete;
+  TimeseriesRing& operator=(const TimeseriesRing&) = delete;
+
+ private:
+  void SampleLocked(int64_t now_ns);
+
+  const TimeseriesOptions options_;
+  const Clock* const clock_;
+
+  mutable std::mutex mu_;
+  // Per-series ring of retained points, oldest first (vector rotation
+  // happens at most once per step, on sizes <= capacity — not a hot
+  // path). Name-sorted map keeps Names()/ToJson deterministic.
+  std::map<std::string, std::vector<Point>> series_;
+  std::vector<int64_t> sample_times_ns_;  // Oldest first, <= capacity.
+  int64_t last_sample_ns_ = 0;
+  bool has_sampled_ = false;
+};
+
+}  // namespace nimbus::telemetry
+
+#endif  // NIMBUS_COMMON_TIMESERIES_H_

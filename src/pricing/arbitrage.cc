@@ -67,6 +67,27 @@ AuditResult AuditPricingFunction(const PricingFunction& pricing,
   return result;
 }
 
+std::vector<double> AuditGrid(double min_inverse_ncp, double max_inverse_ncp,
+                              int points) {
+  NIMBUS_CHECK_GT(min_inverse_ncp, 0.0);
+  NIMBUS_CHECK_GE(max_inverse_ncp, min_inverse_ncp);
+  if (points <= 1 || max_inverse_ncp == min_inverse_ncp) {
+    return {min_inverse_ncp};
+  }
+  std::vector<double> grid;
+  grid.reserve(static_cast<size_t>(points));
+  const double log_lo = std::log(min_inverse_ncp);
+  const double log_hi = std::log(max_inverse_ncp);
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    grid.push_back(std::exp(log_lo + t * (log_hi - log_lo)));
+  }
+  // Exact endpoints (exp/log round trips can drift an ulp).
+  grid.front() = min_inverse_ncp;
+  grid.back() = max_inverse_ncp;
+  return grid;
+}
+
 AttackExecution ExecuteAttack(const ArbitrageAttack& attack,
                               const PricingFunction& pricing,
                               const linalg::Vector& optimal_model,

@@ -52,6 +52,15 @@ struct AuditResult {
 AuditResult AuditPricingFunction(const PricingFunction& pricing,
                                  std::vector<double> grid, double tol = 1e-9);
 
+// Geometric grid of `points` inverse-NCP values spanning
+// [min_inverse_ncp, max_inverse_ncp] (both > 0, min <= max), the
+// standard spot-check grid for auditing a live broker over its served
+// quote range: log spacing covers the decades a 1/δ menu spans with
+// few evaluations, and the endpoints are always included so boundary
+// versions are certified. points <= 1 collapses to {min_inverse_ncp}.
+std::vector<double> AuditGrid(double min_inverse_ncp, double max_inverse_ncp,
+                              int points);
+
 // Outcome of executing an arbitrage attack empirically.
 struct AttackExecution {
   // Monte-Carlo estimate of the combined model's expected square loss

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "common/logging.h"
 #include "common/profiler.h"
 #include "common/telemetry.h"
+#include "common/timeseries.h"
 
 namespace nimbus::service {
 namespace {
@@ -240,7 +242,9 @@ std::string AdminServer::MetricsBody() const {
 std::string AdminServer::TracezBody() const {
   const std::vector<telemetry::FlightRecord> records =
       telemetry::FlightRecorder::Global().Snapshot();
-  // Newest interesting requests first: errored always qualifies; slow
+  // Newest interesting requests first: errored always qualifies, as
+  // does a flight the economic auditor flagged (those are the traces
+  // an operator needs to see the mispriced request's span tree); slow
   // successes qualify when a slow_us threshold is configured.
   std::vector<const telemetry::FlightRecord*> picked;
   for (auto it = records.rbegin();
@@ -249,8 +253,54 @@ std::string AdminServer::TracezBody() const {
        ++it) {
     const bool errored = it->status_code != 0;
     const bool slow = options_.slow_us > 0.0 && it->total_us >= options_.slow_us;
-    if (errored || slow) {
+    if (errored || slow || it->audit_violation) {
       picked.push_back(&*it);
+    }
+  }
+  // Exemplar join: which histogram buckets cite a picked trace as their
+  // last-seen exemplar. Each picked flight lists its citations as
+  // "metric{le}" strings, so a /tracez reader can hop from a latency
+  // bucket to the concrete request and back.
+  std::map<uint64_t, std::vector<std::string>> exemplar_citations;
+  {
+    std::map<uint64_t, bool> wanted;
+    for (const telemetry::FlightRecord* r : picked) {
+      if (r->trace_id != 0) {
+        wanted[r->trace_id] = true;
+      }
+    }
+    auto cite = [&](const std::string& metric,
+                    const telemetry::HistogramSnapshot& h) {
+      for (size_t b = 0; b < h.exemplars.size(); ++b) {
+        const uint64_t id = h.exemplars[b];
+        if (id == 0 || wanted.find(id) == wanted.end()) {
+          continue;
+        }
+        std::ostringstream label;
+        label << metric << "{le=";
+        if (b < h.boundaries.size()) {
+          AppendJsonDouble(label, h.boundaries[b]);
+        } else {
+          label << "+Inf";
+        }
+        label << '}';
+        exemplar_citations[id].push_back(label.str());
+      }
+    };
+    if (!wanted.empty()) {
+      for (const telemetry::Registry::SnapshotEntry& entry :
+           telemetry::Registry::Global().Snapshot()) {
+        if (entry.kind == telemetry::MetricKind::kHistogram) {
+          cite(entry.name, entry.histogram);
+        } else if (entry.kind == telemetry::MetricKind::kHistogramVec) {
+          for (const telemetry::Registry::LabeledValue& series :
+               entry.series) {
+            cite(entry.name + "{" + entry.label_key + "=\"" + series.label +
+                     "\"}",
+                 series.histogram);
+          }
+        }
+      }
     }
   }
   std::ostringstream out;
@@ -264,7 +314,19 @@ std::string AdminServer::TracezBody() const {
     out << "{\"trace_id\":" << r->trace_id << ",\"ticket\":" << r->ticket
         << ",\"status_code\":" << r->status_code << ",\"total_us\":";
     AppendJsonDouble(out, r->total_us);
-    out << ",\"shed\":" << (r->shed ? "true" : "false") << ",\"spans\":[";
+    out << ",\"shed\":" << (r->shed ? "true" : "false")
+        << ",\"audit_violation\":" << (r->audit_violation ? "true" : "false")
+        << ",\"exemplar_of\":[";
+    const auto cited = exemplar_citations.find(r->trace_id);
+    if (cited != exemplar_citations.end()) {
+      for (size_t i = 0; i < cited->second.size(); ++i) {
+        if (i > 0) {
+          out << ',';
+        }
+        out << '"' << telemetry::JsonEscape(cited->second[i]) << '"';
+      }
+    }
+    out << "],\"spans\":[";
     bool first_span = true;
     for (const telemetry::TraceEventView& span :
          telemetry::SnapshotTraceEvents(r->trace_id)) {
@@ -320,6 +382,32 @@ std::string AdminServer::ShardzBody() const {
   }
   out << "]}";
   return out.str();
+}
+
+std::string AdminServer::AuditzBody() const {
+  market::Auditor* auditor =
+      service_ != nullptr ? service_->auditor() : nullptr;
+  if (auditor == nullptr) {
+    return "{\"enabled\":false}";
+  }
+  // The auditor's own JSON starts with '{'; tag it enabled so a smoke
+  // curl can tell "no auditor attached" from "auditor attached, clean".
+  std::string body = auditor->ToJson();
+  if (!body.empty() && body.front() == '{') {
+    body.insert(1, "\"enabled\":true,");
+  }
+  return body;
+}
+
+std::string AdminServer::StatzBody(const std::string& query) const {
+  const std::string points_text = QueryParam(query, "points", "0");
+  char* end = nullptr;
+  const long points = std::strtol(points_text.c_str(), &end, 10);
+  const int max_points =
+      (end != points_text.c_str() && *end == '\0' && points > 0)
+          ? static_cast<int>(std::min<long>(points, 1 << 20))
+          : 0;
+  return telemetry::TimeseriesRing::Global().ToJson(max_points);
 }
 
 std::string AdminServer::ProfilezResponse(const std::string& query) const {
@@ -396,6 +484,12 @@ std::string AdminServer::HandlePath(const std::string& target) const {
     return HttpResponse(200, "OK", "application/json",
                         telemetry::FlightRecorder::Global().ToJson());
   }
+  if (path == "/auditz") {
+    return HttpResponse(200, "OK", "application/json", AuditzBody());
+  }
+  if (path == "/statz") {
+    return HttpResponse(200, "OK", "application/json", StatzBody(query));
+  }
   if (path == "/profilez") {
     return ProfilezResponse(query);
   }
@@ -407,8 +501,12 @@ std::string AdminServer::HandlePath(const std::string& target) const {
                         "components (shards, breakers, drain)\n"
                         "  /shardz    per-shard health/traffic/revenue "
                         "rollup (JSON)\n"
-                        "  /tracez    recent errored/slow request traces\n"
+                        "  /tracez    recent errored/slow/audit-flagged "
+                        "request traces with histogram exemplars\n"
                         "  /flightz   flight-recorder ring dump\n"
+                        "  /auditz    economic-auditor verdicts "
+                        "(invariant violations, first failures)\n"
+                        "  /statz     metric history ring (?points=N)\n"
                         "  /profilez  ?seconds=N&type=cpu|contention|alloc\n");
   }
   return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",

@@ -43,10 +43,20 @@ struct AdminServerOptions {
 //              callers can see which bulkhead tripped.
 //   /shardz    Per-shard catalog rollup as JSON: state, quarantine and
 //              recovery counts, traffic, revenue, last restore.
-//   /tracez    JSON summaries of the most recent errored/slow
-//              requests, with their spans when tracing is enabled.
+//   /tracez    JSON summaries of the most recent errored/slow/
+//              audit-flagged requests, with their spans when tracing
+//              is enabled, each joined against the latency histograms'
+//              trace exemplars (which buckets cite this trace).
 //   /flightz   The flight recorder's ring as JSON (same payload as an
 //              incident dump).
+//   /auditz    The economic auditor's verdicts as JSON: pass counts,
+//              recent invariant violations with owning shard/offering,
+//              and each invariant's first-failure timestamp from the
+//              metric-history ring. {"enabled":false} when the service
+//              has no auditor attached.
+//   /statz     The metric-history ring (periodic registry snapshots)
+//              as JSON: per-series points, latest value, and windowed
+//              rate. ?points=N bounds points per series.
 //   /profilez  On-demand profile window:
 //              ?seconds=N&type=cpu|contention|alloc (defaults 2, cpu).
 //              cpu returns folded stacks (flamegraph/speedscope
@@ -89,6 +99,8 @@ class AdminServer {
   std::string MetricsBody() const;
   std::string TracezBody() const;
   std::string ShardzBody() const;
+  std::string AuditzBody() const;
+  std::string StatzBody(const std::string& query) const;
   std::string ProfilezResponse(const std::string& query) const;
 
   MarketService* service_;

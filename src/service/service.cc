@@ -141,6 +141,13 @@ MarketService::MarketService(market::Marketplace* market,
     if (shard != nullptr) {
       lane_by_shard_.emplace(shard, lane->index);
     }
+    // Register the auditor's commit tap before any traffic exists. The
+    // tap is observation-only: the lane's RNG streams and ledger bytes
+    // are identical with or without it.
+    if (options_.auditor != nullptr) {
+      lane->audit_tap =
+          options_.auditor->RegisterLane(product_id, shard, fixed_market);
+    }
     lanes_.push_back(std::move(lane));
   };
   if (catalog_ != nullptr) {
@@ -149,6 +156,9 @@ MarketService::MarketService(market::Marketplace* market,
     }
   } else {
     add_lane("", nullptr, market_);
+  }
+  if (options_.auditor != nullptr && catalog_ != nullptr) {
+    options_.auditor->AttachCatalog(catalog_);
   }
 }
 
@@ -635,6 +645,22 @@ void MarketService::CommitOne(Item& item, PurchaseResult& result) {
     lane.booked_sales.store(lane.fixed_market->ledger().SaleCount(),
                             std::memory_order_relaxed);
   }
+  // Hand the committed sale to the economic auditor while this thread
+  // still owns the sequencer slot — the post-commit ledger totals it
+  // fingerprints are only safe to read here. Detection-only: OnCommit
+  // never blocks, fails, or touches any lane RNG stream.
+  if (lane.audit_tap != nullptr && result.status.ok()) {
+    market::Auditor::CommitView view;
+    view.model = item.request.model;
+    view.inverse_ncp = result.purchase.inverse_ncp;
+    view.price = result.purchase.price;
+    view.booked_revenue_after = item.market->total_revenue();
+    view.sales_after = item.market->ledger().SaleCount();
+    view.trace_id = item.trace.trace_id;
+    view.ticket = item.ticket;
+    view.degraded = result.purchase.degraded;
+    options_.auditor->OnCommit(lane.audit_tap, view);
+  }
 }
 
 void MarketService::CommitInOrder(Item& item, PurchaseResult& result) {
@@ -710,7 +736,9 @@ void MarketService::Finish(Item& item, PurchaseResult result,
   }
   const double total_us =
       static_cast<double>(clock_->NowNanos() - item.submit_ns) / 1000.0;
-  LatencyHistogram().Observe(total_us);
+  // The trace id rides along as the bucket's exemplar, so /tracez can
+  // join a latency bucket back to this request's span tree.
+  LatencyHistogram().Observe(total_us, item.trace.trace_id);
 
   flight.status_code = static_cast<int32_t>(result.status.code());
   flight.total_us = total_us;
@@ -928,6 +956,22 @@ MarketService::HealthReport MarketService::GetHealthReport() const {
     if (lane->journal_breaker->state() == CircuitBreaker::State::kOpen) {
       report.healthy = false;
       report.problems.push_back("lane " + name + ": journal breaker open");
+    }
+  }
+  // Economic-auditor verdicts: a detected invariant violation is a
+  // quarantine-grade annotation on the owning shard's health — it flips
+  // the liveness bit (the books can no longer be trusted) but never
+  // blocks the quote path; the auditor is detection-only.
+  if (options_.auditor != nullptr) {
+    const market::Auditor::Status audit = options_.auditor->GetStatus();
+    if (audit.violations > 0) {
+      report.healthy = false;
+      for (const market::Auditor::Violation& v : audit.recent) {
+        const std::string owner = v.product.empty() ? "default" : v.product;
+        report.problems.push_back("shard " + owner + ": audit violation (" +
+                                  market::AuditInvariantName(v.invariant) +
+                                  ": " + v.detail + ")");
+      }
     }
   }
   return report;

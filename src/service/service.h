@@ -22,6 +22,7 @@
 #include "common/slo_tracker.h"
 #include "common/statusor.h"
 #include "common/telemetry.h"
+#include "market/auditor.h"
 #include "market/catalog.h"
 #include "market/marketplace.h"
 #include "market/shard.h"
@@ -66,6 +67,11 @@ struct ServiceOptions {
   // Service-level objective tracked per terminal outcome (availability
   // plus optional latency half); clock defaults to the service clock.
   telemetry::SloOptions slo;
+  // Optional online economic auditor (caller-owned, must outlive the
+  // service). When set, every lane registers a commit tap and each
+  // successful commit is observed (sampled) off the sequencer path.
+  // Strictly detection-only: ledger bytes are identical either way.
+  market::Auditor* auditor = nullptr;
 };
 
 // One buyer request: purchase the version at `inverse_ncp` of `model`.
@@ -190,6 +196,10 @@ class MarketService {
   // admin endpoint exports its gauges; the soak harness asserts on it.
   const telemetry::SloTracker& slo_tracker() const { return slo_; }
 
+  // The attached economic auditor (nullptr when auditing is off). The
+  // admin server joins it into /auditz and the health report.
+  market::Auditor* auditor() const { return options_.auditor; }
+
   // True while any marketplace (or shard) is rebuilding state from a
   // checkpoint or journal. /healthz reports the recovering components
   // so orchestrators hold traffic until restore completes.
@@ -266,6 +276,9 @@ class MarketService {
     Rng base_rng{0};
     std::unique_ptr<CircuitBreaker> quote_breaker;
     std::unique_ptr<CircuitBreaker> journal_breaker;
+    // Commit tap of the attached auditor (nullptr when auditing is
+    // off); written by the committing thread under the sequencer.
+    market::AuditTap* audit_tap = nullptr;
     // Admission tickets are dense per lane; guarded by submit_mu_.
     int64_t next_ticket = 0;
     // Per-lane commit sequencer. Same instrumented name on every lane:

@@ -560,7 +560,50 @@ TEST_F(AdminServerTest, HandlePathRoutesWithoutASocket) {
             std::string::npos);
   EXPECT_NE(server.HandlePath("/flightz").find("application/json"),
             std::string::npos);
+  // No service -> no auditor: /auditz still answers 200 so unconditional
+  // CI smoke curls work, and says the auditor is absent.
+  const std::string auditz = server.HandlePath("/auditz");
+  EXPECT_NE(auditz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(auditz.find("{\"enabled\":false}"), std::string::npos) << auditz;
+  const std::string statz = server.HandlePath("/statz");
+  EXPECT_NE(statz.find("application/json"), std::string::npos);
+  EXPECT_NE(statz.find("\"step_seconds\":"), std::string::npos) << statz;
+  EXPECT_NE(server.HandlePath("/statz?points=2").find("HTTP/1.1 200 OK"),
+            std::string::npos);
   EXPECT_NE(server.HandlePath("/missing").find("HTTP/1.1 404 Not Found"),
+            std::string::npos);
+}
+
+TEST_F(AdminServerTest, TracezJoinsAuditFlaggedFlightWithExemplars) {
+  // An audit violation files a flight with status 0 and trivial
+  // latency — /tracez must surface it anyway (audit_violation flag)
+  // and join it against the latency histograms' trace exemplars.
+  telemetry::FlightRecord record;
+  record.trace_id = 777001;
+  record.ticket = 3;
+  record.status_code = 0;
+  record.total_us = 5.0;
+  record.audit_violation = true;
+  telemetry::FlightRecorder::Global().Record(record);
+  telemetry::Registry::Global()
+      .GetHistogram("tracez_join_test_latency_us")
+      .Observe(12.0, /*trace_id=*/777001);
+
+  AdminServer server(nullptr, AdminServerOptions{});
+  const std::string body = server.HandlePath("/tracez");
+  EXPECT_NE(body.find("\"trace_id\":777001"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"audit_violation\":true"), std::string::npos);
+  // The exemplar join names the metric and the bucket citing the trace.
+  EXPECT_NE(body.find("\"exemplar_of\":["), std::string::npos);
+  EXPECT_NE(body.find("tracez_join_test_latency_us{le="), std::string::npos)
+      << body;
+
+  // A healthy, fast, non-audit flight stays out of /tracez.
+  telemetry::FlightRecord quiet;
+  quiet.trace_id = 777002;
+  quiet.total_us = 5.0;
+  telemetry::FlightRecorder::Global().Record(quiet);
+  EXPECT_EQ(server.HandlePath("/tracez").find("\"trace_id\":777002"),
             std::string::npos);
 }
 

@@ -1,0 +1,183 @@
+#include "common/timeseries.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/telemetry.h"
+
+namespace nimbus::telemetry {
+namespace {
+
+// Every test drives its own ring off a ManualClock, against counters
+// with test-unique names so runs are independent of registry state
+// left behind by other tests in this binary.
+class TimeseriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Global().ResetForTest(); }
+};
+
+TEST_F(TimeseriesTest, SampleIfDueHonorsStepEdges) {
+  ManualClock clock(1'000'000'000);
+  TimeseriesOptions options;
+  options.step_seconds = 1.0;
+  options.capacity = 8;
+  TimeseriesRing ring(options, &clock);
+  Counter& counter = Registry::Global().GetCounter("ts_test_edges_total");
+
+  // First call always samples (the ring is empty).
+  EXPECT_TRUE(ring.SampleIfDue());
+  EXPECT_EQ(ring.sample_count(), 1);
+  // Same instant, and one nanosecond short of the step: not due.
+  EXPECT_FALSE(ring.SampleIfDue());
+  clock.AdvanceNanos(999'999'999);
+  EXPECT_FALSE(ring.SampleIfDue());
+  EXPECT_EQ(ring.sample_count(), 1);
+  // Exactly one step later: due.
+  clock.AdvanceNanos(1);
+  counter.Increment(3);
+  EXPECT_TRUE(ring.SampleIfDue());
+  EXPECT_EQ(ring.sample_count(), 2);
+
+  const std::vector<TimeseriesRing::Point> points =
+      ring.Series("ts_test_edges_total");
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].value, 0.0);
+  EXPECT_EQ(points[1].value, 3.0);
+  EXPECT_EQ(points[1].t_ns - points[0].t_ns, 1'000'000'000);
+}
+
+TEST_F(TimeseriesTest, RingWrapsAtCapacityOldestFirst) {
+  ManualClock clock(0);
+  TimeseriesOptions options;
+  options.step_seconds = 1.0;
+  options.capacity = 3;
+  TimeseriesRing ring(options, &clock);
+  Counter& counter = Registry::Global().GetCounter("ts_test_wrap_total");
+
+  for (int i = 0; i < 7; ++i) {
+    counter.Increment();
+    ring.SampleNow();
+    clock.AdvanceSeconds(1.0);
+  }
+  EXPECT_EQ(ring.sample_count(), 3);
+  const std::vector<TimeseriesRing::Point> points =
+      ring.Series("ts_test_wrap_total");
+  ASSERT_EQ(points.size(), 3u);
+  // Oldest retained sample is the 5th (values 5, 6, 7), oldest first.
+  EXPECT_EQ(points[0].value, 5.0);
+  EXPECT_EQ(points[1].value, 6.0);
+  EXPECT_EQ(points[2].value, 7.0);
+  EXPECT_LT(points[0].t_ns, points[2].t_ns);
+}
+
+TEST_F(TimeseriesTest, FirstAtLeastDatesTheCrossing) {
+  ManualClock clock(0);
+  TimeseriesOptions options;
+  options.step_seconds = 1.0;
+  options.capacity = 16;
+  TimeseriesRing ring(options, &clock);
+  Counter& counter = Registry::Global().GetCounter("ts_test_cross_total");
+
+  for (int i = 0; i < 4; ++i) {
+    ring.SampleNow();  // Values 0, 0, 0, 0.
+    clock.AdvanceSeconds(1.0);
+  }
+  counter.Increment();  // The "violation" lands between samples.
+  ring.SampleNow();     // Value 1 at t = 4 s.
+  clock.AdvanceSeconds(1.0);
+  counter.Increment();
+  ring.SampleNow();  // Value 2 at t = 5 s.
+
+  const std::optional<int64_t> first =
+      ring.FirstAtLeast("ts_test_cross_total", 1.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 4'000'000'000);
+  EXPECT_FALSE(ring.FirstAtLeast("ts_test_cross_total", 10.0).has_value());
+  EXPECT_FALSE(ring.FirstAtLeast("no_such_series", 0.0).has_value());
+}
+
+TEST_F(TimeseriesTest, FlattensLabeledFamiliesAndSkipsHistograms) {
+  ManualClock clock(0);
+  TimeseriesRing ring(TimeseriesOptions{}, &clock);
+  Registry::Global()
+      .GetCounterVec("ts_test_vec_total", "invariant")
+      .WithLabel("mispricing")
+      .Increment(2);
+  Registry::Global().GetGauge("ts_test_gauge").Set(1.5);
+  Registry::Global().GetHistogram("ts_test_hist_us").Observe(10.0);
+  ring.SampleNow();
+
+  const std::vector<std::string> names = ring.Names();
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "ts_test_vec_total{invariant=\"mispricing\"}"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ts_test_gauge"),
+            names.end());
+  for (const std::string& name : names) {
+    EXPECT_EQ(name.find("ts_test_hist_us"), std::string::npos) << name;
+  }
+  const std::vector<TimeseriesRing::Point> series =
+      ring.Series("ts_test_vec_total{invariant=\"mispricing\"}");
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].value, 2.0);
+}
+
+TEST_F(TimeseriesTest, SnapshotAndJsonAreDeterministic) {
+  auto run = [](std::string* json) {
+    ManualClock clock(0);
+    TimeseriesOptions options;
+    options.step_seconds = 1.0;
+    options.capacity = 4;
+    TimeseriesRing ring(options, &clock);
+    Registry::Global().ResetForTest();
+    Counter& counter = Registry::Global().GetCounter("ts_test_det_total");
+    for (int i = 0; i < 6; ++i) {
+      counter.Increment(i);
+      ring.SampleNow();
+      clock.AdvanceSeconds(1.0);
+    }
+    *json = ring.ToJson();
+  };
+  std::string first, second;
+  run(&first);
+  run(&second);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"step_seconds\":"), std::string::npos);
+  EXPECT_NE(first.find("\"ts_test_det_total\""), std::string::npos);
+  EXPECT_NE(first.find("\"rate_per_second\":"), std::string::npos);
+
+  // max_points caps the rendered tail without changing latest/rate.
+  std::string capped;
+  {
+    ManualClock clock(0);
+    TimeseriesOptions options;
+    options.step_seconds = 1.0;
+    options.capacity = 4;
+    TimeseriesRing ring(options, &clock);
+    Registry::Global().ResetForTest();
+    Counter& counter = Registry::Global().GetCounter("ts_test_det_total");
+    for (int i = 0; i < 6; ++i) {
+      counter.Increment(i);
+      ring.SampleNow();
+      clock.AdvanceSeconds(1.0);
+    }
+    capped = ring.ToJson(/*max_points=*/1);
+  }
+  EXPECT_LT(capped.size(), first.size());
+  EXPECT_NE(capped.find("\"latest\":"), std::string::npos);
+}
+
+TEST_F(TimeseriesTest, GlobalRingIsSingletonAndSamples) {
+  TimeseriesRing& global = TimeseriesRing::Global();
+  EXPECT_EQ(&global, &TimeseriesRing::Global());
+  Registry::Global().GetCounter("ts_test_global_total").Increment();
+  global.SampleNow();
+  EXPECT_GE(global.sample_count(), 1);
+  EXPECT_FALSE(global.Series("ts_test_global_total").empty());
+}
+
+}  // namespace
+}  // namespace nimbus::telemetry
